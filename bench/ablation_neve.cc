@@ -1,0 +1,112 @@
+// Ablation study (DESIGN.md section 5): how much does each of NEVE's three
+// mechanisms contribute?
+//   1. deferred access page (Table 3's VM system registers)
+//   2. register redirection (Table 4's EL2->EL1 mapping)
+//   3. cached copies (Table 4/5 read-side caching)
+// Also measures the x86 analogue the paper cites in section 8: VMCS
+// shadowing on/off (~10% on application-level work, larger on raw exits).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/table_printer.h"
+#include "src/workload/microbench.h"
+
+namespace neve {
+namespace {
+
+constexpr int kIters = 50;
+
+StackConfig WithParts(bool deferred, bool redirect, bool cached) {
+  StackConfig cfg = StackConfig::NestedNeve(false);
+  cfg.neve_deferred = deferred;
+  cfg.neve_redirect = redirect;
+  cfg.neve_cached = cached;
+  return cfg;
+}
+
+void Run() {
+  PrintHeader("Ablation: contribution of each NEVE mechanism",
+              "design-choice study over sections 6.1's three mechanisms");
+
+  struct Variant {
+    const char* name;
+    StackConfig cfg;
+  };
+  const Variant variants[] = {
+      {"ARMv8.3 (no NEVE)", StackConfig::NestedV83(false)},
+      {"deferred page only", WithParts(true, false, false)},
+      {"redirection only", WithParts(false, true, false)},
+      {"cached copies only", WithParts(false, false, true)},
+      {"deferred + redirection", WithParts(true, true, false)},
+      {"full NEVE", WithParts(true, true, true)},
+  };
+
+  for (MicrobenchKind kind :
+       {MicrobenchKind::kHypercall, MicrobenchKind::kVirtualIpi}) {
+    std::printf("--- %s ---\n", MicrobenchName(kind));
+    TablePrinter t({"Variant", "Cycles/op", "Traps/op", "vs ARMv8.3"});
+    double base = 0;
+    for (const Variant& v : variants) {
+      MicrobenchResult r = RunArmMicrobench(kind, v.cfg, kIters);
+      if (base == 0) {
+        base = r.cycles_per_op;
+      }
+      t.AddRow({v.name, TablePrinter::Cycles(
+                            static_cast<uint64_t>(r.cycles_per_op)),
+                TablePrinter::Fixed(r.traps_per_op, 1),
+                TablePrinter::Fixed(base / r.cycles_per_op, 2)});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+  }
+
+  // GIC interface variant: the paper's hardware used a memory-mapped GICv2
+  // hypervisor interface ("trivially traps to EL2 when not mapped in the
+  // Stage-2 page tables", section 4); Table 5's cached copies exist only for
+  // the GICv3 system-register interface.
+  std::printf("--- GIC hypervisor interface: GICv3 sysregs vs GICv2 MMIO ---\n");
+  {
+    TablePrinter t({"Variant", "NEVE Hypercall cycles", "Traps/op"});
+    StackConfig v3 = StackConfig::NestedNeve(false);
+    StackConfig v2 = StackConfig::NestedNeve(false);
+    v2.gicv2_mmio = true;
+    MicrobenchResult r3 =
+        RunArmMicrobench(MicrobenchKind::kHypercall, v3, kIters);
+    MicrobenchResult r2 =
+        RunArmMicrobench(MicrobenchKind::kHypercall, v2, kIters);
+    t.AddRow({"GICv3 system registers",
+              TablePrinter::Cycles(static_cast<uint64_t>(r3.cycles_per_op)),
+              TablePrinter::Fixed(r3.traps_per_op, 1)});
+    t.AddRow({"GICv2 memory-mapped",
+              TablePrinter::Cycles(static_cast<uint64_t>(r2.cycles_per_op)),
+              TablePrinter::Fixed(r2.traps_per_op, 1)});
+    std::printf("%s\n", t.ToString().c_str());
+  }
+
+  std::printf("--- x86: VMCS shadowing (section 8's Intel analogue) ---\n");
+  TablePrinter t({"Variant", "Nested Hypercall cycles", "Exits/op"});
+  MicrobenchResult with_shadow =
+      RunX86Microbench(MicrobenchKind::kHypercall, true, kIters, true);
+  MicrobenchResult no_shadow =
+      RunX86Microbench(MicrobenchKind::kHypercall, true, kIters, false);
+  t.AddRow({"VMCS shadowing on",
+            TablePrinter::Cycles(static_cast<uint64_t>(with_shadow.cycles_per_op)),
+            TablePrinter::Fixed(with_shadow.traps_per_op, 1)});
+  t.AddRow({"VMCS shadowing off",
+            TablePrinter::Cycles(static_cast<uint64_t>(no_shadow.cycles_per_op)),
+            TablePrinter::Fixed(no_shadow.traps_per_op, 1)});
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf(
+      "Reading: the deferred access page is the dominant mechanism (it\n"
+      "covers the EL1 context switch that floods ARMv8.3 with traps);\n"
+      "redirection removes the exception-vector/syndrome accesses; cached\n"
+      "copies shave the remaining read-side traps. The mechanisms compose.\n");
+}
+
+}  // namespace
+}  // namespace neve
+
+int main() {
+  neve::Run();
+  return 0;
+}

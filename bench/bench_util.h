@@ -1,0 +1,29 @@
+// Shared helpers for the table/figure regeneration benches.
+
+#ifndef NEVE_BENCH_BENCH_UTIL_H_
+#define NEVE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace neve {
+
+// Renders "measured (paper: X, d%)" for side-by-side comparison.
+inline std::string VsPaper(double measured, double paper) {
+  char buf[96];
+  double delta = paper != 0 ? (measured - paper) / paper * 100.0 : 0;
+  std::snprintf(buf, sizeof(buf), "%.0f (paper %.0f, %+.0f%%)", measured,
+                paper, delta);
+  return buf;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("    reproduces: %s\n", paper_ref);
+  std::printf("    units: simulated cycles (see DESIGN.md section 1)\n\n");
+}
+
+}  // namespace neve
+
+#endif  // NEVE_BENCH_BENCH_UTIL_H_

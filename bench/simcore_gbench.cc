@@ -1,0 +1,83 @@
+// google-benchmark microbenchmarks of the *simulator itself*: how fast the
+// machine model executes, so users know what workload sizes are practical.
+// (The paper's motivation for paravirtualization over cycle-accurate
+// simulators -- section 3 -- is simulator slowness; ours runs a full nested
+// hypercall, >100 traps deep, in microseconds of host time.)
+
+#include <benchmark/benchmark.h>
+
+#include "src/workload/microbench.h"
+#include "src/workload/stacks.h"
+
+namespace neve {
+namespace {
+
+void BM_SysRegOp(benchmark::State& state) {
+  PhysMem mem(16ull << 20);
+  Cpu cpu(0, ArchFeatures::Armv83Nv(), CostModel::Default(), &mem);
+  for (auto _ : state) {
+    cpu.SysRegWrite(SysReg::kVBAR_EL2, 1);
+    benchmark::DoNotOptimize(cpu.SysRegRead(SysReg::kVBAR_EL2));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_SysRegOp);
+
+void BM_GuestMemoryAccess(benchmark::State& state) {
+  ArmStack stack(StackConfig::Vm(), 1);
+  stack.Run([&](GuestEnv& env) {
+    (void)env.Load(Va(0x2000));  // warm the TLB
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(env.Load(Va(0x2000)));
+    }
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GuestMemoryAccess);
+
+void BM_VmHypercall(benchmark::State& state) {
+  ArmStack stack(StackConfig::Vm(), 1);
+  stack.Run([&](GuestEnv& env) {
+    for (auto _ : state) {
+      env.Hvc(kHvcTestCall);
+    }
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VmHypercall);
+
+void BM_NestedHypercallV83(benchmark::State& state) {
+  // >120 traps and two full world switches per iteration.
+  ArmStack stack(StackConfig::NestedV83(false), 1);
+  stack.Run([&](GuestEnv& env) {
+    for (auto _ : state) {
+      env.Hvc(kHvcTestCall);
+    }
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NestedHypercallV83);
+
+void BM_NestedHypercallNeve(benchmark::State& state) {
+  ArmStack stack(StackConfig::NestedNeve(false), 1);
+  stack.Run([&](GuestEnv& env) {
+    for (auto _ : state) {
+      env.Hvc(kHvcTestCall);
+    }
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NestedHypercallNeve);
+
+void BM_StackConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    ArmStack stack(StackConfig::NestedNeve(false), 1);
+    benchmark::DoNotOptimize(&stack);
+  }
+}
+BENCHMARK(BM_StackConstruction);
+
+}  // namespace
+}  // namespace neve
+
+BENCHMARK_MAIN();

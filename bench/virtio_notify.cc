@@ -1,0 +1,110 @@
+// Quantifies the virtio notification-scaling anomaly of section 7.2: "the
+// quicker the backend driver handles packets, the more the frontend needs to
+// notify ... having faster hardware can result in more virtualization
+// overhead." The paper demonstrates it by busy-waiting in the x86 L1 backend
+// to slow it down, which pulled Memcached's overhead down toward NEVE's; this
+// bench sweeps the backend's per-buffer cost and reports the kick (VM-exit)
+// rate through a real split virtqueue in guest memory.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/rng.h"
+#include "src/base/table_printer.h"
+#include "src/hyp/host_kvm.h"
+#include "src/hyp/virtio.h"
+#include "src/sim/machine.h"
+
+namespace neve {
+namespace {
+
+constexpr uint64_t kRingIpa = 0x10000;
+constexpr uint64_t kDoorbellIpa = 0x4000'0000;
+// Bursty request traffic: bursts of packets with jittered inter-packet gaps,
+// separated by client think time (a memcached-like pattern).
+constexpr int kBursts = 40;
+constexpr int kBurstLen = 5;
+constexpr int kSends = kBursts * kBurstLen;
+constexpr uint32_t kMeanGap = 6000;
+constexpr uint32_t kThinkTime = 60000;
+
+struct SweepResult {
+  uint64_t kicks = 0;
+  uint64_t exits = 0;
+  double cycles_per_send = 0;
+};
+
+SweepResult RunSweep(uint32_t per_buffer_cycles) {
+  Machine machine(MachineConfig{.features = ArchFeatures::Armv83Nv()});
+  HostKvm kvm(&machine, {});
+  Vm* vm = kvm.CreateVm({.name = "net", .ram_size = 8ull << 20});
+  VirtioBackend backend(&machine.mem(), Pa(vm->ram_base().value + kRingIpa),
+                        per_buffer_cycles);
+  vm->AddMmioRange(Ipa(kDoorbellIpa), kPageSize, &backend);
+
+  SweepResult result;
+  vm->vcpu(0).main_sw.main = [&](GuestEnv& env) {
+    VirtioDriver driver{Va(kRingIpa), Va(kDoorbellIpa)};
+    driver.Init(env);
+    // Warm the translations and the first kick.
+    driver.SendBuffer(env, 0x5000, 1500);
+    env.Compute(10 * per_buffer_cycles + 1000);
+    backend.Poll(env.cpu().cycles());
+    (void)driver.ReapUsed(env);
+
+    Rng rng(42);
+    uint64_t kicks0 = driver.kicks_sent();
+    uint64_t traps0 = env.cpu().trace().traps_to_el2();
+    uint64_t c0 = env.cpu().cycles();
+    for (int burst = 0; burst < kBursts; ++burst) {
+      for (int i = 0; i < kBurstLen; ++i) {
+        driver.SendBuffer(env, 0x5000 + (i % 8) * 0x200, 1500);
+        env.Compute(
+            static_cast<uint32_t>(kMeanGap / 2 + rng.NextBelow(kMeanGap)));
+        backend.Poll(env.cpu().cycles());
+        (void)driver.ReapUsed(env);
+      }
+      env.Compute(kThinkTime);  // client think time: backend catches up
+      backend.Poll(env.cpu().cycles());
+      (void)driver.ReapUsed(env);
+    }
+    result.kicks = driver.kicks_sent() - kicks0;
+    result.exits = env.cpu().trace().traps_to_el2() - traps0;
+    result.cycles_per_send =
+        static_cast<double>(env.cpu().cycles() - c0) / kSends;
+  };
+  kvm.RunVcpu(vm->vcpu(0), 0);
+  return result;
+}
+
+void Run() {
+  PrintHeader("virtio notification scaling (section 7.2's anomaly)",
+              "Lim et al., SOSP'17, section 7.2 Memcached discussion");
+
+  TablePrinter t({"Backend per-buffer cycles", "Kicks / 200 sends",
+                  "Exits / 200 sends", "Guest cycles per send"});
+  for (uint32_t per_buffer : {200u, 1000u, 4000u, 8000u, 16000u, 64000u}) {
+    SweepResult r = RunSweep(per_buffer);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%u", per_buffer);
+    t.AddRow({label, TablePrinter::Cycles(r.kicks),
+              TablePrinter::Cycles(r.exits),
+              TablePrinter::Fixed(r.cycles_per_send, 0)});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf(
+      "Fast backends (left rows: x86-like) re-enable notifications before\n"
+      "the guest's next packet, so nearly every send exits; slow backends\n"
+      "(ARMv8.3-nested-like) coalesce sends under one suppression window.\n"
+      "This is why the paper measured >4x as many I/O exits for Memcached\n"
+      "on x86 as with NEVE, and why slowing the x86 backend artificially\n"
+      "closed the gap.\n");
+}
+
+}  // namespace
+}  // namespace neve
+
+int main() {
+  neve::Run();
+  return 0;
+}

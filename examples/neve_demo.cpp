@@ -1,0 +1,99 @@
+// NEVE demo: the same nested stack as examples/nested_boot, but on ARMv8.4
+// hardware with NEVE enabled. Shows:
+//   - the hardware VNCR_EL2 value the host programs,
+//   - the live deferred access page filling up with the guest hypervisor's
+//     register writes (no traps),
+//   - the trap-count collapse versus ARMv8.3 (Table 7: 126 -> 15).
+//
+//   $ ./build/examples/neve_demo
+
+#include <cstdio>
+
+#include "src/arch/vncr.h"
+#include "src/hyp/guest_kvm.h"
+#include "src/hyp/host_kvm.h"
+#include "src/sim/machine.h"
+#include "src/workload/microbench.h"
+
+using namespace neve;
+
+namespace {
+
+uint64_t MeasureNestedHypercallTraps(const StackConfig& cfg) {
+  return static_cast<uint64_t>(
+      RunArmMicrobench(MicrobenchKind::kHypercall, cfg, 10).traps_per_op);
+}
+
+void DumpDeferredPage(Machine& machine, Pa page) {
+  std::printf("  deferred access page @ PA 0x%lx (nonzero slots):\n",
+              static_cast<unsigned long>(page.value));
+  for (int r = 0; r < kNumRegIds; ++r) {
+    auto reg = static_cast<RegId>(r);
+    uint64_t v = machine.mem().Read64(Pa(page.value + DeferredPageOffset(reg)));
+    if (v != 0) {
+      std::printf("    +0x%03lx  %-16s = 0x%lx\n",
+                  static_cast<unsigned long>(DeferredPageOffset(reg)),
+                  RegName(reg), static_cast<unsigned long>(v));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  MachineConfig mc;
+  mc.features = ArchFeatures::Armv84Neve();
+  Machine machine(mc);
+  HostKvm l0(&machine, HostKvmConfig{});
+
+  Vm* vm1 = l0.CreateVm({.name = "l1",
+                         .ram_size = 64ull << 20,
+                         .virtual_el2 = true,
+                         .expose_neve = true});
+  Vcpu& vcpu = vm1->vcpu(0);
+  std::unique_ptr<GuestKvm> l1;
+
+  vcpu.main_sw.main = [&](GuestEnv& env) {
+    std::printf("[L1] booting with NEVE; hardware VNCR_EL2 = 0x%lx "
+                "(BADDR | Enable)\n",
+                static_cast<unsigned long>(
+                    env.cpu().PeekReg(RegId::kVNCR_EL2)));
+
+    uint64_t traps0 = env.cpu().trace().traps_to_el2();
+    // These are all EL2-register writes that would trap on ARMv8.3; under
+    // NEVE the hardware rewrites them into stores to the deferred page.
+    env.WriteSys(SysReg::kHCR_EL2, Hcr::Make({HcrBits::kVm, HcrBits::kImo}));
+    env.WriteSys(SysReg::kHSTR_EL2, 0x5A);
+    env.WriteSys(SysReg::kVTTBR_EL2, 0x123000);
+    env.WriteSys(SysReg::kVMPIDR_EL2, 7);
+    env.WriteSys(SysReg::kSPSR_EL1, 0x3C5);  // VM register via NV1 path
+    uint64_t traps1 = env.cpu().trace().traps_to_el2();
+    std::printf("[L1] five hypervisor-register writes took %lu traps "
+                "(ARMv8.3 would take 5)\n",
+                static_cast<unsigned long>(traps1 - traps0));
+
+    l1 = std::make_unique<GuestKvm>(&env, &machine, GuestKvmConfig{});
+    Vm* vm2 = l1->CreateVm({.name = "l2", .ram_size = 8ull << 20});
+    l1->RunVcpu(env, vm2->vcpu(0), [](GuestEnv& l2env) {
+      l2env.Hvc(kHvcTestCall);
+    });
+  };
+
+  l0.RunVcpu(vcpu, 0);
+
+  std::printf("\n[host] after the run:\n");
+  DumpDeferredPage(machine, vcpu.vncr_hw_page);
+
+  std::printf("\n=== trap counts per nested hypercall (Table 7) ===\n");
+  std::printf("  ARMv8.3:      %3lu traps\n",
+              static_cast<unsigned long>(
+                  MeasureNestedHypercallTraps(StackConfig::NestedV83(false))));
+  std::printf("  NEVE:         %3lu traps\n",
+              static_cast<unsigned long>(MeasureNestedHypercallTraps(
+                  StackConfig::NestedNeve(false))));
+  std::printf(
+      "\nNEVE coalesces and defers: VM-register traps became stores to the\n"
+      "page above; the host reads them back only when it actually needs\n"
+      "them (on eret into the nested VM).\n");
+  return 0;
+}

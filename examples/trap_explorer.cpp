@@ -1,0 +1,120 @@
+// Trap explorer: for every register the paper classifies (Tables 3-5),
+// show what an access from a deprivileged guest hypervisor (virtual EL2)
+// does under each architecture generation:
+//
+//   ARMv8.0  UNDEF   -> the crash that motivates NV (section 2)
+//   ARMv8.3  trap    -> exit multiplication (section 5)
+//   NEVE     memory / EL1-register / cached / trap (section 6.1)
+//
+//   $ ./build/examples/trap_explorer [--all]   (--all includes every register)
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/base/table_printer.h"
+#include "src/cpu/trap_rules.h"
+
+using namespace neve;
+
+namespace {
+
+const char* Describe(const AccessContext& ctx, SysReg enc, bool is_write) {
+  AccessResolution r = ResolveSysRegAccess(ctx, enc, is_write);
+  switch (r.kind) {
+    case AccessResolution::Kind::kRegister:
+      return r.target == SysRegStorage(enc) ? "hw register"
+                                            : "redirect->EL1";
+    case AccessResolution::Kind::kGicCpuIf:
+      return "GIC cpuif";
+    case AccessResolution::Kind::kMemory:
+      return "deferred page";
+    case AccessResolution::Kind::kTrapEl2:
+      return "TRAP";
+    case AccessResolution::Kind::kUndefined:
+      return "UNDEF (crash)";
+  }
+  return "?";
+}
+
+AccessContext Vel2Context(ArchFeatures f, bool guest_vhe) {
+  uint64_t hcr = Hcr::Make({HcrBits::kVm, HcrBits::kImo});
+  if (f.nv) {
+    hcr = SetBit(hcr, HcrBits::kNv);
+    if (!guest_vhe) {
+      hcr = SetBit(hcr, HcrBits::kNv1);
+    }
+  }
+  return AccessContext{.features = f,
+                       .el = El::kEl1,
+                       .hcr = Hcr{hcr},
+                       .vncr_enabled = f.neve};
+}
+
+const char* ClassName(NeveClass c) {
+  switch (c) {
+    case NeveClass::kNone:
+      return "-";
+    case NeveClass::kDeferred:
+      return "Table 3 (VM reg)";
+    case NeveClass::kRedirect:
+      return "Table 4 redirect";
+    case NeveClass::kRedirectVhe:
+      return "Table 4 redirect (VHE)";
+    case NeveClass::kTrapOnWrite:
+      return "Table 4 trap-on-write";
+    case NeveClass::kRedirectOrTrap:
+      return "Table 4 redirect-or-trap";
+    case NeveClass::kGicCached:
+      return "Table 5 (GIC)";
+    case NeveClass::kTimerTrap:
+      return "6.1 timer (trap)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool all = argc > 1 && std::strcmp(argv[1], "--all") == 0;
+
+  AccessContext v80 = Vel2Context(ArchFeatures::Armv80(), false);
+  AccessContext v83 = Vel2Context(ArchFeatures::Armv83Nv(), false);
+  AccessContext neve = Vel2Context(ArchFeatures::Armv84Neve(), false);
+  AccessContext neve_vhe = Vel2Context(ArchFeatures::Armv84Neve(), true);
+
+  std::printf("Access behaviour from a deprivileged guest hypervisor "
+              "(virtual EL2)\n");
+  std::printf("R/W column shows read,write when they differ.\n\n");
+
+  TablePrinter t({"Register", "Paper class", "ARMv8.0", "ARMv8.3", "NEVE",
+                  "NEVE (VHE guest)"});
+  for (int r = 0; r < kNumRegIds; ++r) {
+    auto reg = static_cast<RegId>(r);
+    if (!all && RegNeveClass(reg) == NeveClass::kNone) {
+      continue;
+    }
+    SysReg enc = DirectEncodingOf(reg);
+    bool can_read = SysRegRw(enc) != Rw::kWO;
+    bool can_write = SysRegRw(enc) != Rw::kRO;
+    auto cell = [&](const AccessContext& ctx) -> std::string {
+      const char* rd = can_read ? Describe(ctx, enc, false) : "-";
+      const char* wr = can_write ? Describe(ctx, enc, true) : "-";
+      if (std::strcmp(rd, wr) == 0) {
+        return rd;
+      }
+      return std::string(rd) + "," + wr;
+    };
+    t.AddRow({RegName(reg), ClassName(RegNeveClass(reg)), cell(v80), cell(v83),
+              cell(neve), cell(neve_vhe)});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+
+  std::printf("Special cases:\n");
+  std::printf("  CurrentEL read:  v8.0 -> %s, v8.3/NEVE -> %s (the disguise)\n",
+              ElName(ResolveCurrentEl(v80)), ElName(ResolveCurrentEl(v83)));
+  std::printf("  eret:            v8.0 -> local (crashes the stack), "
+              "v8.3/NEVE -> %s\n",
+              ResolveEret(v83) == EretResolution::kTrapEl2 ? "TRAP" : "local");
+  std::printf("\nRun with --all to include unclassified registers.\n");
+  return 0;
+}

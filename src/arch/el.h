@@ -1,0 +1,34 @@
+// ARM exception levels.
+
+#ifndef NEVE_SRC_ARCH_EL_H_
+#define NEVE_SRC_ARCH_EL_H_
+
+#include <cstdint>
+
+namespace neve {
+
+// Hardware exception level. The simulator models EL0-EL2 (EL3 / secure world
+// is out of scope for the paper). "Virtual EL2" -- the mode a deprivileged
+// guest hypervisor believes it runs in -- is not a hardware EL: it is tracked
+// by hypervisor software (see hyp/nested.h) while the hardware runs at kEl1.
+enum class El : uint8_t {
+  kEl0 = 0,
+  kEl1 = 1,
+  kEl2 = 2,
+};
+
+constexpr const char* ElName(El el) {
+  switch (el) {
+    case El::kEl0:
+      return "EL0";
+    case El::kEl1:
+      return "EL1";
+    case El::kEl2:
+      return "EL2";
+  }
+  return "EL?";
+}
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_ARCH_EL_H_

@@ -1,0 +1,52 @@
+// HCR_EL2 (Hypervisor Configuration Register) bit assignments used by the
+// simulator. Values match the AArch64 architecture.
+//
+// The CPU model derives its trap behaviour from the *hardware* HCR_EL2
+// storage value -- which only the host hypervisor (real EL2 software) can
+// write -- exactly as silicon does. A guest hypervisor's writes to "HCR_EL2"
+// land in its virtual EL2 state (trapped, or deferred-page under NEVE) and
+// never affect these bits directly.
+
+#ifndef NEVE_SRC_ARCH_HCR_H_
+#define NEVE_SRC_ARCH_HCR_H_
+
+#include <cstdint>
+
+#include "src/base/bits.h"
+
+namespace neve {
+
+struct HcrBits {
+  static constexpr unsigned kVm = 0;    // Stage-2 translation enable
+  static constexpr unsigned kImo = 4;   // route IRQs to EL2
+  static constexpr unsigned kFmo = 3;   // route FIQs to EL2
+  static constexpr unsigned kTwi = 13;  // trap WFI
+  static constexpr unsigned kTge = 27;  // trap general exceptions
+  static constexpr unsigned kE2h = 34;  // VHE: EL2 hosts an OS
+  static constexpr unsigned kNv = 42;   // ARMv8.3: nested virtualization
+  static constexpr unsigned kNv1 = 43;  // ARMv8.3: trap EL1 sysreg accesses
+};
+
+struct Hcr {
+  uint64_t bits = 0;
+
+  constexpr bool vm() const { return TestBit(bits, HcrBits::kVm); }
+  constexpr bool imo() const { return TestBit(bits, HcrBits::kImo); }
+  constexpr bool twi() const { return TestBit(bits, HcrBits::kTwi); }
+  constexpr bool tge() const { return TestBit(bits, HcrBits::kTge); }
+  constexpr bool e2h() const { return TestBit(bits, HcrBits::kE2h); }
+  constexpr bool nv() const { return TestBit(bits, HcrBits::kNv); }
+  constexpr bool nv1() const { return TestBit(bits, HcrBits::kNv1); }
+
+  static constexpr uint64_t Make(std::initializer_list<unsigned> set_bits) {
+    uint64_t v = 0;
+    for (unsigned b : set_bits) {
+      v = SetBit(v, b);
+    }
+    return v;
+  }
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_ARCH_HCR_H_

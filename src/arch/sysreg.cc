@@ -1,0 +1,136 @@
+#include "src/arch/sysreg.h"
+
+#include <array>
+
+#include "src/base/status.h"
+
+namespace neve {
+namespace {
+
+struct RegInfo {
+  const char* name;
+  El owner;
+  NeveClass neve_class;
+  RegId redirect;
+};
+
+constexpr std::array<RegInfo, kNumRegIds> kRegInfo = {{
+#define NEVE_REGID(id, name, owner, klass, redirect) \
+  RegInfo{name, owner, klass, RegId::redirect},
+#include "src/arch/regid_defs.inc"
+#undef NEVE_REGID
+}};
+
+struct EncInfo {
+  const char* name;
+  RegId storage;
+  El min_el;
+  EncKind kind;
+  Rw rw;
+};
+
+constexpr std::array<EncInfo, kNumSysRegs> kEncInfo = {{
+#define NEVE_SYSREG(id, name, storage, min_el, kind, rw) \
+  EncInfo{name, storage, min_el, kind, rw},
+#include "src/arch/sysreg_defs.inc"
+#undef NEVE_SYSREG
+}};
+
+const RegInfo& InfoOf(RegId reg) {
+  auto idx = static_cast<size_t>(reg);
+  NEVE_CHECK(idx < kRegInfo.size());
+  return kRegInfo[idx];
+}
+
+const EncInfo& InfoOf(SysReg enc) {
+  auto idx = static_cast<size_t>(enc);
+  NEVE_CHECK(idx < kEncInfo.size());
+  return kEncInfo[idx];
+}
+
+// Direct-encoding lookup table, built once.
+std::array<SysReg, kNumRegIds> BuildDirectEncodingTable() {
+  std::array<SysReg, kNumRegIds> table{};
+  std::array<bool, kNumRegIds> seen{};
+  for (int e = 0; e < kNumSysRegs; ++e) {
+    auto enc = static_cast<SysReg>(e);
+    if (SysRegEncKind(enc) == EncKind::kDirect) {
+      auto s = static_cast<size_t>(SysRegStorage(enc));
+      NEVE_CHECK_MSG(!seen[s], "duplicate direct encoding");
+      seen[s] = true;
+      table[s] = enc;
+    }
+  }
+  for (int r = 0; r < kNumRegIds; ++r) {
+    NEVE_CHECK_MSG(seen[r], std::string("no direct encoding for ") +
+                                RegName(static_cast<RegId>(r)));
+  }
+  return table;
+}
+
+}  // namespace
+
+const char* RegName(RegId reg) { return InfoOf(reg).name; }
+El RegOwnerEl(RegId reg) { return InfoOf(reg).owner; }
+NeveClass RegNeveClass(RegId reg) { return InfoOf(reg).neve_class; }
+
+std::optional<RegId> RegRedirectTarget(RegId reg) {
+  const RegInfo& info = InfoOf(reg);
+  switch (info.neve_class) {
+    case NeveClass::kRedirect:
+    case NeveClass::kRedirectVhe:
+    case NeveClass::kRedirectOrTrap:
+      return info.redirect;
+    default:
+      return std::nullopt;
+  }
+}
+
+uint64_t DeferredPageOffset(RegId reg) {
+  auto idx = static_cast<uint64_t>(reg);
+  NEVE_CHECK(idx < static_cast<uint64_t>(kNumRegIds));
+  uint64_t offset = idx * 8;
+  NEVE_CHECK(offset + 8 <= kDeferredPageSize);
+  return offset;
+}
+
+const char* SysRegName(SysReg enc) { return InfoOf(enc).name; }
+RegId SysRegStorage(SysReg enc) { return InfoOf(enc).storage; }
+EncKind SysRegEncKind(SysReg enc) { return InfoOf(enc).kind; }
+Rw SysRegRw(SysReg enc) { return InfoOf(enc).rw; }
+El SysRegMinEl(SysReg enc) { return InfoOf(enc).min_el; }
+
+SysReg DirectEncodingOf(RegId reg) {
+  static const std::array<SysReg, kNumRegIds> kTable = BuildDirectEncodingTable();
+  auto idx = static_cast<size_t>(reg);
+  NEVE_CHECK(idx < kTable.size());
+  return kTable[idx];
+}
+
+bool IsIchRegister(RegId reg) {
+  return RegNeveClass(reg) == NeveClass::kGicCached;
+}
+
+bool IsIchListRegister(RegId reg, int* index) {
+  auto first = static_cast<int>(RegId::kICH_LR0_EL2);
+  auto last = static_cast<int>(RegId::kICH_LR15_EL2);
+  auto r = static_cast<int>(reg);
+  if (r < first || r > last) {
+    return false;
+  }
+  if (index != nullptr) {
+    *index = r - first;
+  }
+  return true;
+}
+
+RegId IchListRegister(int n) {
+  NEVE_CHECK(n >= 0 && n < 16);
+  return static_cast<RegId>(static_cast<int>(RegId::kICH_LR0_EL2) + n);
+}
+
+SysReg IchListRegisterEncoding(int n) {
+  return DirectEncodingOf(IchListRegister(n));
+}
+
+}  // namespace neve

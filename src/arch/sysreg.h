@@ -1,0 +1,116 @@
+// System-register model: storage registers, access encodings, and the NEVE
+// classification from the paper's Tables 3, 4 and 5.
+//
+// Two enums:
+//  - RegId: a *backing register* (one storage slot per hardware register).
+//  - SysReg: an *access encoding* (MSR/MRS mnemonic). The VHE *_EL12/*_EL02
+//    aliases are distinct encodings onto EL1/EL0 storage.
+//
+// What an encoding touches at runtime (hardware register, EL1 counterpart,
+// deferred-access-page slot, or a trap) is computed by cpu/trap_rules.cc from
+// the metadata exposed here.
+
+#ifndef NEVE_SRC_ARCH_SYSREG_H_
+#define NEVE_SRC_ARCH_SYSREG_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/arch/el.h"
+
+namespace neve {
+
+// NEVE treatment of a backing register when accessed from virtual EL2
+// (paper section 6.1; see regid_defs.inc for the table-by-table breakdown).
+enum class NeveClass : uint8_t {
+  kNone = 0,
+  kDeferred,        // Table 3: VM system register -> deferred access page
+  kRedirect,        // Table 4: EL2 access -> corresponding EL1 register
+  kRedirectVhe,     // Table 4 (VHE rows): same, register exists since v8.1
+  kTrapOnWrite,     // Table 4: reads from cached copy, writes trap
+  kRedirectOrTrap,  // Table 4: redirect for VHE guests, cached/trap otherwise
+  kGicCached,       // Table 5: ICH_* cached copies, writes trap
+  kTimerTrap,       // 6.1: EL2 timers always trap (hardware-updated values)
+};
+
+enum class RegId : uint16_t {
+#define NEVE_REGID(id, name, owner, klass, redirect) id,
+#include "src/arch/regid_defs.inc"
+#undef NEVE_REGID
+  kNumRegIds,
+};
+
+inline constexpr int kNumRegIds = static_cast<int>(RegId::kNumRegIds);
+
+// How an encoding reaches its storage.
+enum class EncKind : uint8_t {
+  kDirect,  // canonical encoding of the backing register
+  kEl12,    // VHE alias: EL1 storage reachable from E2H EL2
+  kEl02,    // VHE alias: EL0 timer storage reachable from E2H EL2
+};
+
+enum class Rw : uint8_t { kRW, kRO, kWO };
+
+enum class SysReg : uint16_t {
+#define NEVE_SYSREG(id, name, storage, min_el, kind, rw) id,
+#include "src/arch/sysreg_defs.inc"
+#undef NEVE_SYSREG
+  kNumSysRegs,
+};
+
+inline constexpr int kNumSysRegs = static_cast<int>(SysReg::kNumSysRegs);
+
+// --- Backing-register metadata ----------------------------------------------
+
+const char* RegName(RegId reg);
+
+// Which EL's context this register belongs to.
+El RegOwnerEl(RegId reg);
+
+// The paper's NEVE classification of this register.
+NeveClass RegNeveClass(RegId reg);
+
+// For kRedirect / kRedirectVhe / kRedirectOrTrap: the EL1 register an EL2
+// access is redirected to. nullopt for other classes.
+std::optional<RegId> RegRedirectTarget(RegId reg);
+
+// Byte offset of this register's slot in the deferred access page
+// (section 6.1: "each VM system register is stored at a well-defined offset
+// from BADDR"). Every backing register has a slot; NEVE only *uses* the slots
+// of kDeferred / kTrapOnWrite / kGicCached / kRedirectOrTrap registers.
+uint64_t DeferredPageOffset(RegId reg);
+
+// The deferred access page itself: one 4 KB page.
+inline constexpr uint64_t kDeferredPageSize = 4096;
+
+// --- Encoding metadata --------------------------------------------------------
+
+const char* SysRegName(SysReg enc);
+RegId SysRegStorage(SysReg enc);
+EncKind SysRegEncKind(SysReg enc);
+Rw SysRegRw(SysReg enc);
+
+// Lowest exception level from which this encoding is architecturally
+// accessible on hardware that implements it.
+El SysRegMinEl(SysReg enc);
+
+// The canonical (kDirect) encoding of a backing register. Every backing
+// register has exactly one.
+SysReg DirectEncodingOf(RegId reg);
+
+// True for registers that belong to the GIC hypervisor control interface
+// (Table 5) -- the hyp vGIC code treats these specially.
+bool IsIchRegister(RegId reg);
+
+// True for the ICH_LR<n> list registers; `index` receives n when non-null.
+bool IsIchListRegister(RegId reg, int* index = nullptr);
+
+// RegId for ICH_LR<n>. n must be in [0, 16).
+RegId IchListRegister(int n);
+
+// SysReg encoding for ICH_LR<n>. n must be in [0, 16).
+SysReg IchListRegisterEncoding(int n);
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_ARCH_SYSREG_H_

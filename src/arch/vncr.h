@@ -1,0 +1,53 @@
+// VNCR_EL2 -- the EL2 Virtual Nested Control Register introduced by NEVE
+// (paper section 6.1, Table 2).
+//
+//   bits[52:12]  BADDR   deferred access page base address (page-aligned PA)
+//   bits[11:1]   reserved
+//   bit[0]       Enable
+//
+// The architecture mandates a page-aligned physical address in BADDR so the
+// redirection logic never needs alignment checks or translation faults
+// (section 6.3); the setters below enforce that invariant.
+
+#ifndef NEVE_SRC_ARCH_VNCR_H_
+#define NEVE_SRC_ARCH_VNCR_H_
+
+#include <cstdint>
+
+#include "src/base/bits.h"
+#include "src/base/status.h"
+
+namespace neve {
+
+class VncrEl2 {
+ public:
+  VncrEl2() = default;
+  explicit VncrEl2(uint64_t bits) : bits_(bits) {}
+
+  uint64_t bits() const { return bits_; }
+
+  bool enabled() const { return TestBit(bits_, 0); }
+  void set_enabled(bool on) { bits_ = AssignBit(bits_, 0, on); }
+
+  // Physical base address of the deferred access page.
+  uint64_t baddr() const { return bits_ & BitMask(52, 12); }
+  void set_baddr(uint64_t pa) {
+    NEVE_CHECK_MSG(IsAligned(pa, 4096), "VNCR_EL2.BADDR must be page-aligned");
+    NEVE_CHECK_MSG((pa & ~BitMask(52, 12)) == 0, "BADDR out of range");
+    bits_ = (bits_ & ~BitMask(52, 12)) | pa;
+  }
+
+  static VncrEl2 Make(uint64_t page_pa, bool enable) {
+    VncrEl2 v;
+    v.set_baddr(page_pa);
+    v.set_enabled(enable);
+    return v;
+  }
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_ARCH_VNCR_H_

@@ -1,0 +1,66 @@
+// Bit-manipulation helpers for register field encoding/decoding.
+//
+// All helpers operate on 64-bit values, the native width of AArch64 system
+// registers, and are constexpr so register layouts can be computed at compile
+// time (e.g. the VNCR_EL2 field masks in src/arch/vncr.h).
+
+#ifndef NEVE_SRC_BASE_BITS_H_
+#define NEVE_SRC_BASE_BITS_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+
+namespace neve {
+
+// A mask covering bits [hi:lo], inclusive, e.g. BitMask(3, 1) == 0b1110.
+constexpr uint64_t BitMask(unsigned hi, unsigned lo) {
+  if (hi >= 64 || lo > hi) {
+    return 0;  // Callers validate; constexpr context forbids Panic here.
+  }
+  uint64_t width = hi - lo + 1;
+  uint64_t mask = (width >= 64) ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+  return mask << lo;
+}
+
+// Extracts bits [hi:lo] of value, right-aligned.
+constexpr uint64_t ExtractBits(uint64_t value, unsigned hi, unsigned lo) {
+  return (value & BitMask(hi, lo)) >> lo;
+}
+
+// Returns value with bits [hi:lo] replaced by field (right-aligned).
+constexpr uint64_t InsertBits(uint64_t value, unsigned hi, unsigned lo,
+                              uint64_t field) {
+  uint64_t mask = BitMask(hi, lo);
+  return (value & ~mask) | ((field << lo) & mask);
+}
+
+// Single-bit helpers.
+constexpr bool TestBit(uint64_t value, unsigned bit) {
+  return ((value >> bit) & 1u) != 0;
+}
+constexpr uint64_t SetBit(uint64_t value, unsigned bit) {
+  return value | (uint64_t{1} << bit);
+}
+constexpr uint64_t ClearBit(uint64_t value, unsigned bit) {
+  return value & ~(uint64_t{1} << bit);
+}
+constexpr uint64_t AssignBit(uint64_t value, unsigned bit, bool on) {
+  return on ? SetBit(value, bit) : ClearBit(value, bit);
+}
+
+// Alignment helpers; alignment must be a power of two.
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+constexpr bool IsAligned(uint64_t value, uint64_t alignment) {
+  return IsPowerOfTwo(alignment) && (value & (alignment - 1)) == 0;
+}
+constexpr uint64_t AlignDown(uint64_t value, uint64_t alignment) {
+  return value & ~(alignment - 1);
+}
+constexpr uint64_t AlignUp(uint64_t value, uint64_t alignment) {
+  return AlignDown(value + alignment - 1, alignment);
+}
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_BASE_BITS_H_

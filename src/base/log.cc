@@ -1,0 +1,76 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace neve {
+namespace {
+
+LogLevel ParseLevel(const char* s) {
+  if (std::strcmp(s, "debug") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(s, "info") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(s, "warning") == 0) {
+    return LogLevel::kWarning;
+  }
+  if (std::strcmp(s, "error") == 0) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(s, "off") == 0) {
+    return LogLevel::kOff;
+  }
+  return LogLevel::kWarning;
+}
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("NEVE_LOG_LEVEL");
+  return env != nullptr ? ParseLevel(env) : LogLevel::kWarning;
+}
+
+LogLevel& MutableLevel() {
+  static LogLevel level = InitialLevel();
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return MutableLevel(); }
+void SetLogLevel(LogLevel level) { MutableLevel() = level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Keep only the basename to keep lines short.
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelTag(level) << " " << (base != nullptr ? base + 1 : file)
+          << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+}  // namespace internal
+}  // namespace neve

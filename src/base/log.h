@@ -1,0 +1,61 @@
+// Minimal leveled logger.
+//
+// The simulator's correctness story does not depend on logging; this exists so
+// examples can narrate what the machine is doing and so deep debugging of the
+// hypervisor model is possible with NEVE_LOG_LEVEL=debug.
+
+#ifndef NEVE_SRC_BASE_LOG_H_
+#define NEVE_SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace neve {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Global log threshold; messages below it are dropped. Defaults to kWarning,
+// overridable via the NEVE_LOG_LEVEL environment variable
+// (debug|info|warning|error|off), read once at first use.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+// Stream-style log line; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace neve
+
+#define NEVE_LOG(level)                                                    \
+  if (::neve::LogLevel::level < ::neve::GetLogLevel()) {                   \
+  } else                                                                   \
+    ::neve::internal::LogMessage(::neve::LogLevel::level, __FILE__, __LINE__) \
+        .stream()
+
+#define NEVE_LOG_DEBUG NEVE_LOG(kDebug)
+#define NEVE_LOG_INFO NEVE_LOG(kInfo)
+#define NEVE_LOG_WARNING NEVE_LOG(kWarning)
+#define NEVE_LOG_ERROR NEVE_LOG(kError)
+
+#endif  // NEVE_SRC_BASE_LOG_H_

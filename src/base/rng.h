@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Workload models use randomness (e.g. jitter in application exit mixes);
+// determinism matters because the benchmark harness must regenerate the same
+// tables on every run. std::mt19937 would work but is heavyweight and its
+// distributions are not cross-stdlib reproducible; we keep both the engine and
+// the distributions in-house.
+
+#ifndef NEVE_SRC_BASE_RNG_H_
+#define NEVE_SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+
+namespace neve {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound) {
+    NEVE_CHECK(bound != 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+    while (true) {
+      uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Bernoulli trial with probability p (clamped to [0,1]).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_BASE_RNG_H_

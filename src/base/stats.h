@@ -1,0 +1,59 @@
+// Small online-statistics accumulator for benchmark runs.
+
+#ifndef NEVE_SRC_BASE_STATS_H_
+#define NEVE_SRC_BASE_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "src/base/status.h"
+
+namespace neve {
+
+// Accumulates min/max/mean/variance of a stream of samples (Welford).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const {
+    NEVE_CHECK(n_ > 0);
+    return min_;
+  }
+  double max() const {
+    NEVE_CHECK(n_ > 0);
+    return max_;
+  }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  // Max relative spread: (max - min) / mean. Used by the trap-cost validation
+  // bench, which checks the paper's "<10% overall" claim (section 5).
+  double relative_spread() const {
+    NEVE_CHECK(n_ > 0);
+    return mean_ != 0.0 ? (max_ - min_) / mean_ : 0.0;
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_BASE_STATS_H_

@@ -1,0 +1,157 @@
+// Lightweight status / result types used across the NEVE simulator.
+//
+// The simulator is a library first: internal invariant violations abort loudly
+// (they indicate a modeling bug), while conditions that model *architectural*
+// outcomes (faults, undefined instructions) are ordinary values, never errors.
+// Status/StatusOr are reserved for host-level, recoverable failures such as
+// bad configuration supplied by an embedder.
+
+#ifndef NEVE_SRC_BASE_STATUS_H_
+#define NEVE_SRC_BASE_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace neve {
+
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name for an ErrorCode ("OK", "INVALID_ARGUMENT", ...).
+const char* ErrorCodeName(ErrorCode code);
+
+// A success-or-error value with an optional message. Cheap to copy on the
+// success path (no allocation).
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(ErrorCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(ErrorCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(ErrorCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(ErrorCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(ErrorCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(ErrorCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Value-or-Status. Accessing value() on an error aborts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : v_(std::move(value)) {}             // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : v_(std::move(status)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(v_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const;
+
+  std::variant<T, Status> v_;
+};
+
+// Aborts the process with a formatted message. Used for modeling-invariant
+// violations where continuing would silently corrupt measured results.
+[[noreturn]] void Panic(const char* file, int line, const std::string& message);
+
+}  // namespace neve
+
+// Invariant check used throughout the simulator. Unlike assert(), stays on in
+// release builds: a violated invariant means the simulation results would be
+// garbage, which is never acceptable in a measurement tool.
+#define NEVE_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::neve::Panic(__FILE__, __LINE__, "check failed: " #cond);      \
+    }                                                                 \
+  } while (false)
+
+#define NEVE_CHECK_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::neve::Panic(__FILE__, __LINE__,                                     \
+                    std::string("check failed: " #cond ": ") + (msg));      \
+    }                                                                       \
+  } while (false)
+
+namespace neve {
+
+template <typename T>
+void StatusOr<T>::CheckOk() const {
+  if (!ok()) {
+    Panic(__FILE__, __LINE__,
+          "StatusOr::value() on error: " + std::get<Status>(v_).ToString());
+  }
+}
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_BASE_STATUS_H_

@@ -1,0 +1,105 @@
+#include "src/base/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/base/status.h"
+
+namespace neve {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : num_cols_(header.size()), header_(std::move(header)) {
+  NEVE_CHECK(num_cols_ > 0);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(num_cols_);
+  rows_.push_back(Row{.separator = false, .cells = std::move(cells)});
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.push_back(Row{.separator = true, .cells = {}});
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(num_cols_);
+  for (size_t c = 0; c < num_cols_; ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (size_t c = 0; c < num_cols_; ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto print_line = [&]() {
+    os << "+";
+    for (size_t c = 0; c < num_cols_; ++c) {
+      os << std::string(widths[c] + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t c = 0; c < num_cols_; ++c) {
+      const std::string& cell = cells[c];
+      os << " " << cell << std::string(widths[c] - cell.size() + 1, ' ') << "|";
+    }
+    os << "\n";
+  };
+
+  print_line();
+  print_cells(header_);
+  print_line();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      print_line();
+    } else {
+      print_cells(row.cells);
+    }
+  }
+  print_line();
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+std::string TablePrinter::Cycles(uint64_t cycles) {
+  std::string digits = std::to_string(cycles);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string TablePrinter::Ratio(double x) {
+  char buf[32];
+  if (x >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fx", x);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fx", x);
+  }
+  return buf;
+}
+
+std::string TablePrinter::Fixed(double x, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, x);
+  return buf;
+}
+
+}  // namespace neve

@@ -1,0 +1,48 @@
+// ASCII table rendering for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables/figures; this
+// printer produces aligned, pipe-separated rows so the output can be compared
+// side by side with the paper and pasted into EXPERIMENTS.md.
+
+#ifndef NEVE_SRC_BASE_TABLE_PRINTER_H_
+#define NEVE_SRC_BASE_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace neve {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Adds one row; pads/truncates to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  // Inserts a horizontal separator line before the next row.
+  void AddSeparator();
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  // Formatting helpers for cells.
+  static std::string Cycles(uint64_t cycles);          // "422,720"
+  static std::string Ratio(double x);                  // "155x"
+  static std::string Fixed(double x, int precision);   // "2.53"
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  size_t num_cols_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_BASE_TABLE_PRINTER_H_

@@ -1,0 +1,72 @@
+// Cycle-cost model for CPU operations.
+//
+// Calibration (DESIGN.md section 6): the primitive costs come from the
+// paper's own measurements on ARMv8.0 server hardware --
+//   - trapping EL1 -> EL2 costs 68-76 cycles regardless of the trapping
+//     instruction class (section 5); we use a 72-cycle base plus a small
+//     per-class detect delta so the spread stays under the paper's 10% bound,
+//   - returning from EL2 to EL1 costs 65 cycles,
+//   - a completed virtual EOI costs 71 cycles (Tables 1/6).
+// Everything else (world-switch totals, exit multiplication, NEVE savings)
+// emerges from the hypervisor code paths executing these primitives.
+
+#ifndef NEVE_SRC_CPU_COST_MODEL_H_
+#define NEVE_SRC_CPU_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace neve {
+
+struct CostModel {
+  // Exception entry EL1->EL2 (take the trap: pipeline flush, vector fetch).
+  uint32_t trap_entry = 72;
+  // Exception return EL2->EL1 (eret).
+  uint32_t trap_return = 65;
+
+  // Per-instruction-class *detect* deltas, added to trap_entry. The paper
+  // observes "finding out that you need to generate an exception" ranges
+  // from free (hvc) to almost free (sysreg trap); keeping distinct deltas
+  // lets the trapcost_validation bench reproduce the <10% spread claim.
+  uint32_t detect_hvc = 0;
+  uint32_t detect_sysreg = 2;
+  uint32_t detect_eret = 1;
+  uint32_t detect_mem_abort = 6;
+  uint32_t detect_wfx = 1;
+
+  // Non-trapping system register access (MSR/MRS).
+  uint32_t sysreg_access = 8;
+  // Cached memory access; also the cost of a NEVE deferred-page access,
+  // which is an L1-hit store/load by design.
+  uint32_t mem_access = 4;
+  // Page-table walk cost per level on a TLB miss.
+  uint32_t tlb_walk_per_level = 14;
+  // GIC virtual CPU interface access (hardware-accelerated ack/EOI). The
+  // paper measures a completed virtual EOI at 71 cycles on Applied Micro
+  // Atlas cores (Tables 1/6); GIC CPU-interface accesses hit the external
+  // interrupt controller block, far slower than core system registers.
+  uint32_t gic_vcpuif_access = 71;
+  // GIC distributor MMIO access from the hypervisor.
+  uint32_t gic_dist_access = 28;
+  // wfi/wfe, barrier instructions.
+  uint32_t wfx = 4;
+  uint32_t barrier = 6;
+  // Exception entry within EL1 (guest vector dispatch for a virtual IRQ).
+  uint32_t el1_vector_entry = 36;
+  uint32_t el1_eret = 30;
+
+  // x86 comparator (src/x86): VT-x transition costs. Root-mode transitions
+  // bundle the hardware VMCS state save/restore, which is why they dwarf the
+  // ARM trap cost -- the architectural difference the paper builds on
+  // (section 2, "Comparison to x86").
+  uint32_t vmexit = 480;
+  uint32_t vmentry = 430;
+  uint32_t vmread = 18;
+  uint32_t vmwrite = 20;
+  uint32_t x86_insn = 1;
+
+  static CostModel Default() { return {}; }
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_CPU_COST_MODEL_H_

@@ -1,0 +1,335 @@
+#include "src/cpu/cpu.h"
+
+#include "src/base/bits.h"
+#include "src/base/log.h"
+#include "src/base/status.h"
+#include "src/mem/mem_io.h"
+#include "src/mem/page_table.h"
+
+namespace neve {
+namespace {
+
+// Stage-1 table walks read descriptors in guest-physical space; when Stage-2
+// is active those reads translate through the Stage-2 tables first, as the
+// hardware nested walk does.
+class S2TranslatingView : public MemIo {
+ public:
+  S2TranslatingView(PhysMem* mem, Pa s2_root) : mem_(mem), s2_root_(s2_root) {}
+
+  uint64_t Read64(Pa ipa) const override {
+    WalkResult w =
+        PageTable::WalkFrom(*mem_, s2_root_, ipa.value, /*is_write=*/false);
+    NEVE_CHECK_MSG(w.ok, "Stage-2 fault on Stage-1 table walk (unsupported)");
+    return mem_->Read64(w.pa);
+  }
+  void Write64(Pa, uint64_t) override {
+    NEVE_CHECK_MSG(false, "table walker never writes");
+  }
+  void ZeroPage(Pa) override { NEVE_CHECK(false); }
+  bool Contains(Pa, uint64_t) const override { return true; }
+
+ private:
+  PhysMem* mem_;
+  Pa s2_root_;
+};
+
+}  // namespace
+
+Cpu::Cpu(int index, ArchFeatures features, const CostModel& cost, PhysMem* mem)
+    : index_(index), features_(features), cost_(cost), mem_(mem) {
+  NEVE_CHECK(mem != nullptr);
+  NEVE_CHECK(features.Valid());
+  // ID registers: a fixed midr, per-CPU mpidr (affinity level 0 = index).
+  regs_[static_cast<size_t>(RegId::kMIDR_EL1)] = 0x410FD073;  // modeled core
+  regs_[static_cast<size_t>(RegId::kMPIDR_EL1)] = static_cast<uint64_t>(index);
+  regs_[static_cast<size_t>(RegId::kCNTFRQ_EL0)] = 100'000'000;
+  // ICH_VTR: 4 list registers (typical GIC implementation; Table 7's IPI trap
+  // counts depend on the hypervisor only touching in-use LRs, not this limit).
+  regs_[static_cast<size_t>(RegId::kICH_VTR_EL2)] = 4;
+}
+
+void Cpu::AdvanceTo(uint64_t cycle_count) {
+  if (cycle_count > cycles_) {
+    cycles_ = cycle_count;
+  }
+}
+
+bool Cpu::VncrEnabled() const {
+  return features_.neve &&
+         TestBit(regs_[static_cast<size_t>(RegId::kVNCR_EL2)], 0);
+}
+
+Pa Cpu::VncrPage() const {
+  return Pa(regs_[static_cast<size_t>(RegId::kVNCR_EL2)] & BitMask(52, 12));
+}
+
+AccessContext Cpu::CurrentAccessContext() const {
+  return AccessContext{.features = features_,
+                       .el = el_,
+                       .hcr = hcr(),
+                       .vncr_enabled = VncrEnabled()};
+}
+
+TrapOutcome Cpu::TakeTrapToEl2(const Syndrome& s, uint32_t detect_cost) {
+  NEVE_CHECK_MSG(el_ != El::kEl2, "host hypervisor code cannot trap to EL2");
+  NEVE_CHECK_MSG(host_ != nullptr, "no EL2 host installed");
+  NEVE_CHECK_MSG(trap_depth_ < 64, "runaway trap recursion (modeling bug)");
+
+  uint64_t episode_start = cycles_;
+  Charge(detect_cost + cost_.trap_entry);
+  trace_.OnTrapToEl2(s, cycles_);
+
+  // Hardware exception-entry side effects: syndrome and return state land in
+  // the EL2 registers (part of the trap cost, not separately charged).
+  regs_[static_cast<size_t>(RegId::kESR_EL2)] = s.ToEsrBits();
+  regs_[static_cast<size_t>(RegId::kSPSR_EL2)] = static_cast<uint64_t>(el_);
+  if (s.ec == Ec::kDataAbortLow) {
+    regs_[static_cast<size_t>(RegId::kFAR_EL2)] = s.far;
+    regs_[static_cast<size_t>(RegId::kHPFAR_EL2)] = s.hpfar >> 8;
+  }
+
+  El saved_el = el_;
+  el_ = El::kEl2;
+  ++trap_depth_;
+  TrapOutcome outcome = host_->OnTrapToEl2(*this, s);
+  --trap_depth_;
+  el_ = saved_el;
+  Charge(cost_.trap_return);
+  if (trap_depth_ == 0) {
+    trace_.AttributeCycles(s.ec, cycles_ - episode_start);
+  }
+  return outcome;
+}
+
+uint64_t Cpu::SysRegRead(SysReg enc) {
+  AccessResolution r =
+      ResolveSysRegAccess(CurrentAccessContext(), enc, /*is_write=*/false);
+  switch (r.kind) {
+    case AccessResolution::Kind::kRegister:
+      Charge(cost_.sysreg_access);
+      return regs_[static_cast<size_t>(r.target)];
+    case AccessResolution::Kind::kGicCpuIf:
+      NEVE_CHECK_MSG(gic_ != nullptr, "no GIC CPU interface installed");
+      Charge(cost_.gic_vcpuif_access);
+      return gic_->IccRead(index_, r.target);
+    case AccessResolution::Kind::kMemory:
+      // NEVE rewrote the register read into a plain load (section 6.1).
+      Charge(cost_.mem_access);
+      return mem_->Read64(VncrPage() + r.mem_offset);
+    case AccessResolution::Kind::kTrapEl2: {
+      TrapOutcome out = TakeTrapToEl2(
+          Syndrome::SysRegTrap(enc, /*is_write=*/false, 0), cost_.detect_sysreg);
+      NEVE_CHECK(out.kind == TrapOutcome::Kind::kCompleted);
+      return out.value;
+    }
+    case AccessResolution::Kind::kUndefined:
+      NEVE_CHECK_MSG(false, std::string("UNDEFINED read of ") +
+                                SysRegName(enc) + " at " + ElName(el_) +
+                                " (a real guest hypervisor would crash here)");
+  }
+  return 0;
+}
+
+void Cpu::SysRegWrite(SysReg enc, uint64_t value) {
+  AccessResolution r =
+      ResolveSysRegAccess(CurrentAccessContext(), enc, /*is_write=*/true);
+  switch (r.kind) {
+    case AccessResolution::Kind::kRegister:
+      // Note: translation-control writes do not flush the TLB model -- the
+      // TLB key includes the active table roots (the moral equivalent of
+      // VMID/ASID tagging), so switching contexts cannot hit stale entries.
+      // Mutating table *contents* requires an explicit TlbiAll, as on real
+      // hardware.
+      Charge(cost_.sysreg_access);
+      regs_[static_cast<size_t>(r.target)] = value;
+      return;
+    case AccessResolution::Kind::kGicCpuIf:
+      NEVE_CHECK_MSG(gic_ != nullptr, "no GIC CPU interface installed");
+      Charge(cost_.gic_vcpuif_access);
+      gic_->IccWrite(index_, r.target, value);
+      return;
+    case AccessResolution::Kind::kMemory:
+      Charge(cost_.mem_access);
+      mem_->Write64(VncrPage() + r.mem_offset, value);
+      return;
+    case AccessResolution::Kind::kTrapEl2: {
+      TrapOutcome out = TakeTrapToEl2(
+          Syndrome::SysRegTrap(enc, /*is_write=*/true, value),
+          cost_.detect_sysreg);
+      NEVE_CHECK(out.kind == TrapOutcome::Kind::kCompleted);
+      return;
+    }
+    case AccessResolution::Kind::kUndefined:
+      NEVE_CHECK_MSG(false, std::string("UNDEFINED write of ") +
+                                SysRegName(enc) + " at " + ElName(el_) +
+                                " (a real guest hypervisor would crash here)");
+  }
+}
+
+El Cpu::ReadCurrentEl() {
+  Charge(cost_.sysreg_access);
+  return ResolveCurrentEl(CurrentAccessContext());
+}
+
+void Cpu::Hvc(uint16_t imm) {
+  NEVE_CHECK_MSG(el_ != El::kEl2, "hvc at EL2 is not modeled (no EL3)");
+  TrapOutcome out = TakeTrapToEl2(Syndrome::Hvc(imm), cost_.detect_hvc);
+  NEVE_CHECK(out.kind == TrapOutcome::Kind::kCompleted);
+}
+
+void Cpu::EretFromVirtualEl2() {
+  NEVE_CHECK_MSG(el_ != El::kEl2,
+                 "host hypervisor enters guests via RunLowerEl, not eret");
+  if (ResolveEret(CurrentAccessContext()) == EretResolution::kTrapEl2) {
+    TrapOutcome out = TakeTrapToEl2(Syndrome::EretTrap(), cost_.detect_eret);
+    NEVE_CHECK(out.kind == TrapOutcome::Kind::kCompleted);
+    return;
+  }
+  // Plain EL1 eret (a guest OS returning to its user space): cost only.
+  Charge(cost_.el1_eret);
+}
+
+void Cpu::TakeIrq(uint32_t intid) {
+  NEVE_CHECK_MSG(el_ != El::kEl2, "IRQ-exit injection targets guest context");
+  NEVE_CHECK_MSG(hcr().imo(), "IRQ while IMO clear is not modeled");
+  TrapOutcome out = TakeTrapToEl2(Syndrome::Irq(intid), /*detect_cost=*/0);
+  NEVE_CHECK(out.kind == TrapOutcome::Kind::kCompleted);
+}
+
+void Cpu::Wfi() {
+  if (el_ != El::kEl2 && hcr().twi()) {
+    TrapOutcome out = TakeTrapToEl2(Syndrome::Wfx(), cost_.detect_wfx);
+    NEVE_CHECK(out.kind == TrapOutcome::Kind::kCompleted);
+    return;
+  }
+  Charge(cost_.wfx);
+}
+
+void Cpu::Barrier() { Charge(cost_.barrier); }
+
+void Cpu::TlbiAll() {
+  Charge(cost_.barrier);
+  tlb_.clear();
+}
+
+void Cpu::Compute(uint32_t cycles) { Charge(cycles); }
+
+bool Cpu::TranslateVa(Va va, bool is_write, Pa* pa, Syndrome* fault) {
+  bool below_el2 = el_ != El::kEl2;
+  bool s1_on = below_el2 &&
+               TestBit(regs_[static_cast<size_t>(RegId::kSCTLR_EL1)], 0);
+  bool s2_on = below_el2 && hcr().vm();
+  uint64_t s1_root =
+      s1_on ? regs_[static_cast<size_t>(RegId::kTTBR0_EL1)] : 0;
+  uint64_t s2_root =
+      s2_on ? regs_[static_cast<size_t>(RegId::kVTTBR_EL2)] : 0;
+
+  TlbKey key{va.PageIndex(), s1_root, s2_root};
+  if (auto it = tlb_.find(key); it != tlb_.end()) {
+    if (!is_write || it->second.writable) {
+      *pa = Pa((it->second.pa_page << kPageShift) | va.PageOffset());
+      return true;
+    }
+    // Write to a cached read-only translation: re-walk to classify the fault.
+  }
+
+  uint64_t addr = va.value;
+  bool writable = true;
+
+  if (s1_on) {
+    Charge(PageTable::kWalkLevels * cost_.tlb_walk_per_level *
+           (s2_on ? 2 : 1));  // nested walks double the descriptor loads
+    WalkResult s1;
+    if (s2_on) {
+      S2TranslatingView view(mem_, Pa(s2_root));
+      s1 = PageTable::WalkFrom(view, Pa(s1_root), addr, is_write);
+    } else {
+      s1 = PageTable::WalkFrom(*mem_, Pa(s1_root), addr, is_write);
+    }
+    NEVE_CHECK_MSG(s1.ok, "Stage-1 fault: simulated guests premap their "
+                          "address spaces; this is a modeling bug");
+    writable = writable && s1.perms.write;
+    addr = s1.pa.value;
+  }
+
+  if (s2_on) {
+    Charge(PageTable::kWalkLevels * cost_.tlb_walk_per_level);
+    WalkResult s2 =
+        PageTable::WalkFrom(*mem_, Pa(s2_root), addr, is_write);
+    if (!s2.ok) {
+      *fault = Syndrome::DataAbort(va.value, addr & ~uint64_t{0xFFF}, is_write,
+                                   /*size=*/8);
+      return false;
+    }
+    writable = writable && s2.perms.write;
+    addr = s2.pa.value;
+  }
+
+  *pa = Pa(addr);
+  tlb_[key] = TlbEntry{.pa_page = addr >> kPageShift, .writable = writable};
+  return true;
+}
+
+uint64_t Cpu::LoadVa(Va va) {
+  while (true) {
+    Pa pa;
+    Syndrome fault;
+    if (TranslateVa(va, /*is_write=*/false, &pa, &fault)) {
+      Charge(cost_.mem_access);
+      return mem_->Read64(pa);
+    }
+    TrapOutcome out = TakeTrapToEl2(fault, cost_.detect_mem_abort);
+    if (out.kind == TrapOutcome::Kind::kCompleted) {
+      return out.value;  // MMIO read emulated by the hypervisor
+    }
+  }
+}
+
+void Cpu::StoreVa(Va va, uint64_t value) {
+  while (true) {
+    Pa pa;
+    Syndrome fault;
+    if (TranslateVa(va, /*is_write=*/true, &pa, &fault)) {
+      Charge(cost_.mem_access);
+      mem_->Write64(pa, value);
+      return;
+    }
+    fault.write_value = value;
+    TrapOutcome out = TakeTrapToEl2(fault, cost_.detect_mem_abort);
+    if (out.kind == TrapOutcome::Kind::kCompleted) {
+      return;  // MMIO write emulated
+    }
+  }
+}
+
+void Cpu::RunLowerEl(El target_el, const std::function<void()>& body) {
+  NEVE_CHECK_MSG(el_ == El::kEl2, "only the host hypervisor enters guests");
+  NEVE_CHECK(target_el != El::kEl2);
+  Charge(cost_.trap_return);  // the eret into the guest
+  el_ = target_el;
+  body();
+  NEVE_CHECK_MSG(el_ == target_el, "unbalanced EL transitions");
+  el_ = El::kEl2;
+}
+
+uint64_t Cpu::HostLoad(Pa pa) {
+  NEVE_CHECK(el_ == El::kEl2);
+  Charge(cost_.mem_access);
+  return mem_->Read64(pa);
+}
+
+void Cpu::HostStore(Pa pa, uint64_t value) {
+  NEVE_CHECK(el_ == El::kEl2);
+  Charge(cost_.mem_access);
+  mem_->Write64(pa, value);
+}
+
+uint64_t Cpu::PeekReg(RegId reg) const {
+  return regs_[static_cast<size_t>(reg)];
+}
+
+void Cpu::PokeReg(RegId reg, uint64_t value) {
+  regs_[static_cast<size_t>(reg)] = value;
+}
+
+}  // namespace neve

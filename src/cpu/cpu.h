@@ -1,0 +1,211 @@
+// The simulated CPU core.
+//
+// All simulated software -- guest workloads, guest hypervisors and the host
+// hypervisor -- executes by calling the operation methods below. Each
+// operation charges calibrated cycles (cost_model.h) and consults the
+// E2H/NV/NEVE resolution pipeline (trap_rules.h); an operation that must trap
+// performs exception entry to EL2 and invokes the installed El2Host
+// synchronously, so exit multiplication (the paper's core phenomenon) arises
+// from real control flow rather than bookkeeping.
+//
+// Control-transfer modeling: "entering a guest" is a nested call
+// (RunLowerEl), mirroring how KVM's __guest_enter returns on the next exit.
+// A trapped operation resumes after its handler returns, exactly like
+// hardware resuming at the preferred return address. The C++ call stack
+// therefore always mirrors the privilege stack, and unwinds symmetrically.
+
+#ifndef NEVE_SRC_CPU_CPU_H_
+#define NEVE_SRC_CPU_CPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/arch/el.h"
+#include "src/arch/esr.h"
+#include "src/arch/features.h"
+#include "src/arch/hcr.h"
+#include "src/arch/sysreg.h"
+#include "src/cpu/cost_model.h"
+#include "src/cpu/trace.h"
+#include "src/cpu/trap_rules.h"
+#include "src/mem/phys_mem.h"
+
+namespace neve {
+
+// How a trapped operation completes, decided by the host hypervisor.
+struct TrapOutcome {
+  enum class Kind : uint8_t {
+    kCompleted,  // instruction emulated; reads receive `value`
+    kRetry,      // replay the faulting operation (e.g. after S2 fixup)
+  };
+  Kind kind = Kind::kCompleted;
+  uint64_t value = 0;
+
+  static TrapOutcome Completed(uint64_t v = 0) {
+    return {.kind = Kind::kCompleted, .value = v};
+  }
+  static TrapOutcome Retry() { return {.kind = Kind::kRetry}; }
+};
+
+class Cpu;
+
+// The EL2 exception vector: implemented by the host hypervisor. Invoked by
+// the CPU after exception entry; runs at EL2 and may itself run lower-EL
+// software via RunLowerEl (nested VM entry).
+class El2Host {
+ public:
+  virtual ~El2Host() = default;
+  virtual TrapOutcome OnTrapToEl2(Cpu& cpu, const Syndrome& syndrome) = 0;
+};
+
+// The GICv3 CPU interface, served by the GIC model (hardware-accelerated
+// ack/EOI path; see src/gic).
+class GicCpuInterface {
+ public:
+  virtual ~GicCpuInterface() = default;
+  virtual uint64_t IccRead(int cpu, RegId reg) = 0;
+  virtual void IccWrite(int cpu, RegId reg, uint64_t value) = 0;
+};
+
+class Cpu {
+ public:
+  Cpu(int index, ArchFeatures features, const CostModel& cost, PhysMem* mem);
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  // --- wiring -----------------------------------------------------------
+  void SetEl2Host(El2Host* host) { host_ = host; }
+  void SetGicCpuInterface(GicCpuInterface* gic) { gic_ = gic; }
+
+  int index() const { return index_; }
+  const ArchFeatures& features() const { return features_; }
+  const CostModel& cost() const { return cost_; }
+  PhysMem& mem() { return *mem_; }
+
+  // --- clock & trace ------------------------------------------------------
+  uint64_t cycles() const { return cycles_; }
+  void AdvanceTo(uint64_t cycle_count);  // cross-CPU rendezvous (sim layer)
+  CpuTrace& trace() { return trace_; }
+
+  El current_el() const { return el_; }
+
+  // =======================================================================
+  // Software-visible operations (cycle charged, may trap)
+  // =======================================================================
+
+  uint64_t SysRegRead(SysReg enc);
+  void SysRegWrite(SysReg enc, uint64_t value);
+
+  // CurrentEL special register, with the ARMv8.3-NV disguise.
+  El ReadCurrentEl();
+
+  // hvc #imm. Only meaningful below EL2 (EL3 is not modeled).
+  void Hvc(uint16_t imm);
+
+  // eret executed by a deprivileged guest hypervisor (virtual EL2). Under
+  // ARMv8.3-NV this traps to the host hypervisor, which switches contexts and
+  // runs the nested VM; the call returns when control next reaches this
+  // context (the host delivered a virtual exception back to virtual EL2) or
+  // when the nested workload finished.
+  void EretFromVirtualEl2();
+
+  // An asynchronous interrupt arrives while this guest executes: with
+  // HCR_EL2.IMO the hardware routes it to EL2 (an IRQ exit). Called by
+  // device models / the app-workload driver at instruction boundaries.
+  void TakeIrq(uint32_t intid);
+
+  // wfi (may trap with HCR_EL2.TWI).
+  void Wfi();
+
+  // Barriers (isb/dsb): cost only.
+  void Barrier();
+
+  // TLB invalidate: drops the TLB and charges a barrier-ish cost.
+  void TlbiAll();
+
+  // Generic software work worth `cycles` cycles (straight-line code between
+  // the architecturally interesting instructions).
+  void Compute(uint32_t cycles);
+
+  // Memory access through the active translation regime(s): Stage-1 when
+  // SCTLR_EL1.M is set (EL0/EL1), Stage-2 when HCR_EL2.VM is set and the CPU
+  // is below EL2. Stage-2 faults trap to EL2 (data abort, HPFAR set); the
+  // host either fixes the mapping (retry) or emulates MMIO (complete).
+  uint64_t LoadVa(Va va);
+  void StoreVa(Va va, uint64_t value);
+
+  // =======================================================================
+  // Host-only operations (real EL2)
+  // =======================================================================
+
+  // Enters lower-EL software: charges the eret, switches to `target_el`,
+  // runs `body`, and restores EL2 on return. `body` returning models the
+  // final teardown of that software context (benchmark finished); mid-run
+  // exits are handled inside trapped operations and do not unwind.
+  void RunLowerEl(El target_el, const std::function<void()>& body);
+
+  // Direct physical memory access by host hypervisor code (its VA==PA).
+  uint64_t HostLoad(Pa pa);
+  void HostStore(Pa pa, uint64_t value);
+
+  // Raw register-file access for state save/restore by the *simulator* (not
+  // cycle-charged; hypervisor code must use SysRegRead/Write instead).
+  uint64_t PeekReg(RegId reg) const;
+  void PokeReg(RegId reg, uint64_t value);
+
+  // The access context software currently executes under (for tests and the
+  // trap_explorer example).
+  AccessContext CurrentAccessContext() const;
+
+ private:
+  struct TlbEntry {
+    uint64_t pa_page = 0;
+    bool writable = false;
+  };
+  struct TlbKey {
+    uint64_t va_page;
+    uint64_t s1_root;
+    uint64_t s2_root;
+    bool operator==(const TlbKey&) const = default;
+  };
+  struct TlbKeyHash {
+    size_t operator()(const TlbKey& k) const {
+      return std::hash<uint64_t>()(k.va_page * 0x9E3779B97F4A7C15ull ^
+                                   k.s1_root ^ (k.s2_root << 1));
+    }
+  };
+
+  Hcr hcr() const { return Hcr{regs_[static_cast<size_t>(RegId::kHCR_EL2)]}; }
+  bool VncrEnabled() const;
+  Pa VncrPage() const;
+
+  // Exception entry to EL2 + host dispatch + return. Returns the outcome.
+  TrapOutcome TakeTrapToEl2(const Syndrome& s, uint32_t detect_cost);
+
+  // Address translation for LoadVa/StoreVa. On success fills pa; on Stage-2
+  // fault fills the syndrome for the trap. Stage-1 faults are modeling
+  // errors (guests premap their address spaces) and panic.
+  bool TranslateVa(Va va, bool is_write, Pa* pa, Syndrome* fault);
+
+  void Charge(uint32_t cycles) { cycles_ += cycles; }
+
+  int index_;
+  ArchFeatures features_;
+  CostModel cost_;
+  PhysMem* mem_;
+  El2Host* host_ = nullptr;
+  GicCpuInterface* gic_ = nullptr;
+
+  El el_ = El::kEl2;
+  uint64_t cycles_ = 0;
+  uint64_t regs_[kNumRegIds] = {};
+  CpuTrace trace_;
+  std::unordered_map<TlbKey, TlbEntry, TlbKeyHash> tlb_;
+  int trap_depth_ = 0;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_CPU_CPU_H_

@@ -1,0 +1,136 @@
+// Execution trace and trap accounting.
+//
+// Table 7 of the paper reports *traps to the host hypervisor* per
+// microbenchmark operation; section 5 narrates individual exit-multiplication
+// traces. The trace records every exception taken to (real) EL2 with its
+// syndrome, plus coarse counters, so benches and examples can reproduce both.
+
+#ifndef NEVE_SRC_CPU_TRACE_H_
+#define NEVE_SRC_CPU_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/arch/esr.h"
+
+namespace neve {
+
+struct TrapRecord {
+  uint64_t sequence = 0;  // monotonically increasing per CPU
+  Syndrome syndrome;
+  uint64_t cycles_at_entry = 0;
+};
+
+class CpuTrace {
+ public:
+  // When detailed recording is off, only counters are maintained (benches
+  // run millions of ops; keeping full records would be wasteful).
+  void set_record_details(bool on) { record_details_ = on; }
+
+  void OnTrapToEl2(const Syndrome& s, uint64_t cycles) {
+    ++traps_to_el2_;
+    switch (s.ec) {
+      case Ec::kHvc64:
+        ++hvc_traps_;
+        break;
+      case Ec::kSysReg:
+        ++sysreg_traps_;
+        break;
+      case Ec::kEretTrap:
+        ++eret_traps_;
+        break;
+      case Ec::kDataAbortLow:
+        ++abort_traps_;
+        break;
+      case Ec::kIrq:
+        ++irq_exits_;
+        break;
+      default:
+        break;
+    }
+    if (record_details_) {
+      records_.push_back(
+          {.sequence = traps_to_el2_, .syndrome = s, .cycles_at_entry = cycles});
+    }
+  }
+
+  // Attributes `cycles` of handling time to exception class `ec`. The CPU
+  // calls this for outermost traps only, so nested handling (a guest
+  // hypervisor's emulation traps inside a forwarded exit) rolls up into the
+  // class that started the episode.
+  void AttributeCycles(Ec ec, uint64_t cycles) {
+    cycles_by_class_[ClassIndex(ec)] += cycles;
+  }
+
+  uint64_t cycles_for(Ec ec) const { return cycles_by_class_[ClassIndex(ec)]; }
+  uint64_t total_attributed_cycles() const {
+    uint64_t sum = 0;
+    for (uint64_t c : cycles_by_class_) {
+      sum += c;
+    }
+    return sum;
+  }
+
+  void Reset() {
+    traps_to_el2_ = 0;
+    hvc_traps_ = 0;
+    sysreg_traps_ = 0;
+    eret_traps_ = 0;
+    abort_traps_ = 0;
+    irq_exits_ = 0;
+    records_.clear();
+    cycles_by_class_.fill(0);
+  }
+
+  uint64_t traps_to_el2() const { return traps_to_el2_; }
+  uint64_t hvc_traps() const { return hvc_traps_; }
+  uint64_t sysreg_traps() const { return sysreg_traps_; }
+  uint64_t eret_traps() const { return eret_traps_; }
+  uint64_t abort_traps() const { return abort_traps_; }
+  uint64_t irq_exits() const { return irq_exits_; }
+
+  const std::vector<TrapRecord>& records() const { return records_; }
+
+  // Multi-line rendering of the recorded trace (examples/nested_boot).
+  std::string Dump() const;
+
+  // "Where the cycles went": per-exception-class handling time.
+  std::string AttributionReport() const;
+
+ private:
+  static constexpr int kNumClasses = 6;
+  static int ClassIndex(Ec ec) {
+    switch (ec) {
+      case Ec::kHvc64:
+      case Ec::kSmc64:
+        return 0;
+      case Ec::kSysReg:
+        return 1;
+      case Ec::kEretTrap:
+        return 2;
+      case Ec::kDataAbortLow:
+      case Ec::kInstAbortLow:
+        return 3;
+      case Ec::kIrq:
+        return 4;
+      default:
+        return 5;
+    }
+  }
+
+  bool record_details_ = false;
+  uint64_t traps_to_el2_ = 0;
+  uint64_t hvc_traps_ = 0;
+  uint64_t sysreg_traps_ = 0;
+  uint64_t eret_traps_ = 0;
+  uint64_t abort_traps_ = 0;
+  uint64_t irq_exits_ = 0;
+  std::vector<TrapRecord> records_;
+  std::array<uint64_t, kNumClasses> cycles_by_class_ = {};
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_CPU_TRACE_H_

@@ -1,0 +1,252 @@
+#include "src/cpu/trap_rules.h"
+
+#include "src/base/status.h"
+
+namespace neve {
+namespace {
+
+// Resolution for an access executed at (real) EL2.
+AccessResolution ResolveAtEl2(const AccessContext& ctx, SysReg enc) {
+  RegId storage = SysRegStorage(enc);
+  switch (SysRegEncKind(enc)) {
+    case EncKind::kEl12:
+    case EncKind::kEl02:
+      // VHE aliases reach the EL1/EL0 storage, but only with E2H set.
+      if (!ctx.features.vhe || !ctx.hcr.e2h()) {
+        return AccessResolution::Undefined();
+      }
+      return AccessResolution::Register(storage);
+    case EncKind::kDirect:
+      break;
+  }
+  if (IsGicCpuInterfaceReg(storage)) {
+    return AccessResolution::GicCpuIf(storage);
+  }
+  // E2H redirection: EL1-encoded accesses at VHE EL2 touch the EL2
+  // counterpart, letting an unmodified OS kernel run in EL2 (section 2).
+  if (ctx.features.vhe && ctx.hcr.e2h() && RegOwnerEl(storage) != El::kEl2) {
+    if (std::optional<RegId> el2 = El2CounterpartOf(storage); el2.has_value()) {
+      return AccessResolution::Register(*el2);
+    }
+  }
+  return AccessResolution::Register(storage);
+}
+
+// NEVE treatment of an access to `storage` from virtual EL2 (paper 6.1).
+// The ablation switches in ArchFeatures can disable each mechanism, falling
+// back to plain NV trapping for the registers it covers.
+AccessResolution ResolveNeve(const AccessContext& ctx, RegId storage,
+                             bool is_write) {
+  const ArchFeatures& f = ctx.features;
+  switch (RegNeveClass(storage)) {
+    case NeveClass::kDeferred:
+      return f.neve_deferred ? AccessResolution::Memory(storage)
+                             : AccessResolution::TrapEl2();
+    case NeveClass::kRedirect:
+    case NeveClass::kRedirectVhe:
+      // (The VHE rows were added by v8.1; NEVE hardware implies v8.1+, so
+      // the EL1 counterpart always exists.)
+      return f.neve_redirect
+                 ? AccessResolution::Register(*RegRedirectTarget(storage))
+                 : AccessResolution::TrapEl2();
+    case NeveClass::kTrapOnWrite:
+      if (is_write || !f.neve_cached) {
+        return AccessResolution::TrapEl2();
+      }
+      return AccessResolution::Memory(storage);
+    case NeveClass::kRedirectOrTrap:
+      // VHE guest hypervisors (vE2H=1, run with NV1 clear) see the VHE
+      // register format, identical to EL1's: redirect. Non-VHE guests use
+      // the incompatible EL2 format: cached reads, trapped writes.
+      if (!ctx.hcr.nv1()) {
+        return f.neve_redirect
+                   ? AccessResolution::Register(*RegRedirectTarget(storage))
+                   : AccessResolution::TrapEl2();
+      }
+      if (is_write || !f.neve_cached) {
+        return AccessResolution::TrapEl2();
+      }
+      return AccessResolution::Memory(storage);
+    case NeveClass::kGicCached:
+      if (is_write || !f.neve_cached) {
+        return AccessResolution::TrapEl2();
+      }
+      return AccessResolution::Memory(storage);
+    case NeveClass::kTimerTrap:
+      // Hardware updates these; reads must see live values (section 6.1).
+      return AccessResolution::TrapEl2();
+    case NeveClass::kNone:
+      return AccessResolution::TrapEl2();
+  }
+  return AccessResolution::TrapEl2();
+}
+
+// Resolution for an access executed at EL1 (or EL0 for EL0 registers).
+AccessResolution ResolveAtEl01(const AccessContext& ctx, SysReg enc,
+                               bool is_write) {
+  RegId storage = SysRegStorage(enc);
+  bool nv = ctx.features.nv && ctx.hcr.nv();
+  bool neve = ctx.features.neve && nv && ctx.vncr_enabled;
+
+  // EL2-only encodings (including the *_EL12/*_EL02 aliases, which require
+  // EL2 + E2H on real hardware).
+  if (SysRegMinEl(enc) == El::kEl2) {
+    if (!nv) {
+      // ARMv8.0/8.1: a deprivileged hypervisor's EL2 access is UNDEFINED --
+      // the crash scenario from section 2.
+      return AccessResolution::Undefined();
+    }
+    if (!neve) {
+      return AccessResolution::TrapEl2();  // plain ARMv8.3 NV
+    }
+    switch (SysRegEncKind(enc)) {
+      case EncKind::kEl12:
+        // VHE guest hypervisor saving/restoring its VM's EL1 context: all
+        // EL12 targets are Table 3 VM registers -> deferred page.
+        return ctx.features.neve_deferred ? AccessResolution::Memory(storage)
+                                          : AccessResolution::TrapEl2();
+      case EncKind::kEl02:
+        // EL02 timer accesses always trap, even under NEVE (section 7.1):
+        // the EL1 virtual timer is live hardware while the guest hypervisor
+        // runs.
+        return AccessResolution::TrapEl2();
+      case EncKind::kDirect:
+        return ResolveNeve(ctx, storage, is_write);
+    }
+    return AccessResolution::TrapEl2();
+  }
+
+  // GIC CPU interface: hardware-accelerated for VM ack/EOI, but SGI
+  // generation is emulated by the hypervisor (it must translate target CPU
+  // lists), so ICC_SGI1R writes trap out of VM context.
+  if (IsGicCpuInterfaceReg(storage)) {
+    if (storage == RegId::kICC_SGI1R_EL1 && ctx.hcr.imo()) {
+      return AccessResolution::TrapEl2();
+    }
+    return AccessResolution::GicCpuIf(storage);
+  }
+
+  // EL1/EL0 encodings. At virtual EL2 with NV1 (non-VHE guest hypervisor),
+  // VM-register accesses would clobber the guest hypervisor's own execution
+  // context (section 4) and therefore trap -- or, under NEVE, go to the
+  // deferred page (Table 3). Trap-on-write registers (MDSCR_EL1) keep their
+  // cached-read behaviour.
+  if (nv && ctx.hcr.nv1() && RegOwnerEl(storage) != El::kEl2) {
+    switch (RegNeveClass(storage)) {
+      case NeveClass::kDeferred:
+        return neve && ctx.features.neve_deferred
+                   ? AccessResolution::Memory(storage)
+                   : AccessResolution::TrapEl2();
+      case NeveClass::kTrapOnWrite:
+        if (!neve || is_write || !ctx.features.neve_cached) {
+          return AccessResolution::TrapEl2();
+        }
+        return AccessResolution::Memory(storage);
+      default:
+        break;
+    }
+  }
+
+  return AccessResolution::Register(storage);
+}
+
+}  // namespace
+
+AccessResolution ResolveSysRegAccess(const AccessContext& ctx, SysReg enc,
+                                     bool is_write) {
+  NEVE_CHECK(ctx.features.Valid());
+  // Reject architecturally impossible directions regardless of EL.
+  if ((is_write && SysRegRw(enc) == Rw::kRO) ||
+      (!is_write && SysRegRw(enc) == Rw::kWO)) {
+    return AccessResolution::Undefined();
+  }
+  if (ctx.el == El::kEl2) {
+    return ResolveAtEl2(ctx, enc);
+  }
+  // EL0 software may only use EL0 encodings.
+  if (ctx.el == El::kEl0 && SysRegMinEl(enc) != El::kEl0) {
+    return AccessResolution::Undefined();
+  }
+  return ResolveAtEl01(ctx, enc, is_write);
+}
+
+EretResolution ResolveEret(const AccessContext& ctx) {
+  if (ctx.el != El::kEl2 && ctx.features.nv && ctx.hcr.nv()) {
+    return EretResolution::kTrapEl2;
+  }
+  return EretResolution::kLocal;
+}
+
+El ResolveCurrentEl(const AccessContext& ctx) {
+  if (ctx.el == El::kEl1 && ctx.features.nv && ctx.hcr.nv()) {
+    // The NV disguise: a deprivileged guest hypervisor believes it is in EL2.
+    return El::kEl2;
+  }
+  return ctx.el;
+}
+
+std::optional<RegId> El2CounterpartOf(RegId el1_reg) {
+  switch (el1_reg) {
+    case RegId::kSCTLR_EL1:
+      return RegId::kSCTLR_EL2;
+    case RegId::kTTBR0_EL1:
+      return RegId::kTTBR0_EL2;
+    case RegId::kTTBR1_EL1:
+      return RegId::kTTBR1_EL2;
+    case RegId::kTCR_EL1:
+      return RegId::kTCR_EL2;
+    case RegId::kESR_EL1:
+      return RegId::kESR_EL2;
+    case RegId::kFAR_EL1:
+      return RegId::kFAR_EL2;
+    case RegId::kAFSR0_EL1:
+      return RegId::kAFSR0_EL2;
+    case RegId::kAFSR1_EL1:
+      return RegId::kAFSR1_EL2;
+    case RegId::kMAIR_EL1:
+      return RegId::kMAIR_EL2;
+    case RegId::kAMAIR_EL1:
+      return RegId::kAMAIR_EL2;
+    case RegId::kCONTEXTIDR_EL1:
+      return RegId::kCONTEXTIDR_EL2;
+    case RegId::kVBAR_EL1:
+      return RegId::kVBAR_EL2;
+    case RegId::kELR_EL1:
+      return RegId::kELR_EL2;
+    case RegId::kSPSR_EL1:
+      return RegId::kSPSR_EL2;
+    case RegId::kCPACR_EL1:
+      return RegId::kCPTR_EL2;
+    case RegId::kCNTKCTL_EL1:
+      return RegId::kCNTHCTL_EL2;
+    case RegId::kCNTV_CTL_EL0:
+      return RegId::kCNTHV_CTL_EL2;
+    case RegId::kCNTV_CVAL_EL0:
+      return RegId::kCNTHV_CVAL_EL2;
+    case RegId::kCNTP_CTL_EL0:
+      return RegId::kCNTHP_CTL_EL2;
+    case RegId::kCNTP_CVAL_EL0:
+      return RegId::kCNTHP_CVAL_EL2;
+    default:
+      return std::nullopt;
+  }
+}
+
+bool IsGicCpuInterfaceReg(RegId reg) {
+  switch (reg) {
+    case RegId::kICC_IAR1_EL1:
+    case RegId::kICC_EOIR1_EL1:
+    case RegId::kICC_DIR_EL1:
+    case RegId::kICC_PMR_EL1:
+    case RegId::kICC_BPR1_EL1:
+    case RegId::kICC_IGRPEN1_EL1:
+    case RegId::kICC_CTLR_EL1:
+    case RegId::kICC_HPPIR1_EL1:
+    case RegId::kICC_SGI1R_EL1:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace neve

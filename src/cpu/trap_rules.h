@@ -1,0 +1,86 @@
+// System-register access resolution: the E2H / NV / NEVE pipeline.
+//
+// Given an access encoding, the current exception level, and the hardware
+// configuration (HCR_EL2 bits, VNCR_EL2, implemented features), decide what
+// the access does. This one function captures the architectural story the
+// paper tells:
+//
+//   ARMv8.0  EL2 encodings are UNDEFINED at EL1  -> guest hypervisors crash
+//   ARMv8.1  VHE: E2H redirection at EL2, *_EL12/*_EL02 aliases
+//   ARMv8.3  NV: EL2 encodings (and, with NV1, the EL1 VM-register
+//            encodings) trap from EL1 to EL2; CurrentEL reads EL2
+//   NEVE     VNCR_EL2-driven redirection: deferred page, EL1-register
+//            redirection, cached copies (Tables 3-5)
+
+#ifndef NEVE_SRC_CPU_TRAP_RULES_H_
+#define NEVE_SRC_CPU_TRAP_RULES_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/arch/el.h"
+#include "src/arch/features.h"
+#include "src/arch/hcr.h"
+#include "src/arch/sysreg.h"
+
+namespace neve {
+
+struct AccessContext {
+  ArchFeatures features;
+  El el = El::kEl2;
+  Hcr hcr;            // hardware HCR_EL2 value
+  bool vncr_enabled = false;  // hardware VNCR_EL2.Enable (NEVE active)
+};
+
+struct AccessResolution {
+  enum class Kind : uint8_t {
+    kRegister,   // access backing register `target`
+    kGicCpuIf,   // ICC_* access served by the GIC virtual CPU interface
+    kMemory,     // NEVE: redirected to deferred access page at `mem_offset`
+    kTrapEl2,    // trap to EL2
+    kUndefined,  // UNDEFINED at this EL / configuration
+  };
+
+  Kind kind = Kind::kUndefined;
+  RegId target = RegId::kNumRegIds;
+  uint64_t mem_offset = 0;
+
+  static AccessResolution Register(RegId reg) {
+    return {.kind = Kind::kRegister, .target = reg};
+  }
+  static AccessResolution GicCpuIf(RegId reg) {
+    return {.kind = Kind::kGicCpuIf, .target = reg};
+  }
+  static AccessResolution Memory(RegId reg) {
+    return {.kind = Kind::kMemory,
+            .target = reg,
+            .mem_offset = DeferredPageOffset(reg)};
+  }
+  static AccessResolution TrapEl2() { return {.kind = Kind::kTrapEl2}; }
+  static AccessResolution Undefined() { return {.kind = Kind::kUndefined}; }
+};
+
+// Resolves a system-register access.
+AccessResolution ResolveSysRegAccess(const AccessContext& ctx, SysReg enc,
+                                     bool is_write);
+
+// Resolves the eret instruction: executes locally, traps to EL2 (NV), or is
+// undefined in the current context.
+enum class EretResolution : uint8_t { kLocal, kTrapEl2 };
+EretResolution ResolveEret(const AccessContext& ctx);
+
+// CurrentEL as seen by software (the NV disguise: a deprivileged guest
+// hypervisor reads EL2).
+El ResolveCurrentEl(const AccessContext& ctx);
+
+// The EL2 register an EL1-encoded access is redirected to at E2H EL2
+// (ARMv8.1 VHE), when one exists.
+std::optional<RegId> El2CounterpartOf(RegId el1_reg);
+
+// True when the backing register is part of the GICv3 CPU interface (ICC_*),
+// which the CPU routes to the GIC model rather than plain storage.
+bool IsGicCpuInterfaceReg(RegId reg);
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_CPU_TRAP_RULES_H_

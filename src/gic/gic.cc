@@ -1,0 +1,157 @@
+#include "src/gic/gic.h"
+
+#include "src/base/status.h"
+
+namespace neve {
+
+GicV3::GicV3(int num_cpus) : num_cpus_(num_cpus) {
+  NEVE_CHECK(num_cpus > 0);
+  cpus_.resize(num_cpus, nullptr);
+}
+
+void GicV3::AttachCpu(Cpu* cpu) {
+  NEVE_CHECK(cpu != nullptr);
+  NEVE_CHECK(cpu->index() >= 0 && cpu->index() < num_cpus_);
+  cpus_[cpu->index()] = cpu;
+  cpu->SetGicCpuInterface(this);
+}
+
+Cpu& GicV3::CpuRef(int cpu) {
+  NEVE_CHECK(cpu >= 0 && cpu < num_cpus_ && cpus_[cpu] != nullptr);
+  return *cpus_[cpu];
+}
+
+void GicV3::SendPhysSgi(int from_cpu, int to_cpu, uint8_t sgi_id) {
+  NEVE_CHECK_MSG(sink_, "no physical IRQ sink installed");
+  uint64_t raiser_cycles = CpuRef(from_cpu).cycles();
+  sink_(to_cpu, kSgiBase + sgi_id, raiser_cycles);
+}
+
+void GicV3::RaiseSpi(int target_cpu, uint32_t intid, uint64_t raiser_cycles) {
+  NEVE_CHECK(intid >= kSpiBase);
+  NEVE_CHECK_MSG(sink_, "no physical IRQ sink installed");
+  sink_(target_cpu, intid, raiser_cycles);
+}
+
+void GicV3::RaisePpi(int target_cpu, uint32_t intid, uint64_t raiser_cycles) {
+  NEVE_CHECK(intid >= kPpiBase && intid < kSpiBase);
+  NEVE_CHECK_MSG(sink_, "no physical IRQ sink installed");
+  sink_(target_cpu, intid, raiser_cycles);
+}
+
+int GicV3::FindPendingLr(const Cpu& cpu) const {
+  int best = -1;
+  uint32_t best_intid = kSpuriousIntid;
+  for (int i = 0; i < kNumListRegs; ++i) {
+    uint64_t lr = cpu.PeekReg(IchListRegister(i));
+    if (ListReg::Pending(lr) && ListReg::Intid(lr) < best_intid) {
+      best = i;
+      best_intid = ListReg::Intid(lr);
+    }
+  }
+  return best;
+}
+
+int GicV3::FindEmptyLr(const Cpu& cpu) const {
+  for (int i = 0; i < kNumListRegs; ++i) {
+    if (ListReg::Inactive(cpu.PeekReg(IchListRegister(i)))) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+void GicV3::SyncStatusRegs(Cpu& cpu) const {
+  uint64_t elrsr = 0;
+  uint64_t eisr = 0;
+  for (int i = 0; i < kNumListRegs; ++i) {
+    uint64_t lr = cpu.PeekReg(IchListRegister(i));
+    if (ListReg::Inactive(lr)) {
+      elrsr = SetBit(elrsr, i);
+    }
+  }
+  cpu.PokeReg(RegId::kICH_ELRSR_EL2, elrsr);
+  cpu.PokeReg(RegId::kICH_EISR_EL2, eisr);
+  cpu.PokeReg(RegId::kICH_MISR_EL2, 0);
+}
+
+uint64_t GicV3::IccRead(int cpu_idx, RegId reg) {
+  Cpu& cpu = CpuRef(cpu_idx);
+  switch (reg) {
+    case RegId::kICC_IAR1_EL1: {
+      // Virtual acknowledge: highest-priority pending list register goes
+      // active; the VM learns the intid -- no hypervisor involvement.
+      int lr_idx = FindPendingLr(cpu);
+      if (lr_idx < 0) {
+        return kSpuriousIntid;
+      }
+      uint64_t lr = cpu.PeekReg(IchListRegister(lr_idx));
+      cpu.PokeReg(IchListRegister(lr_idx), ListReg::ToActive(lr));
+      SyncStatusRegs(cpu);
+      ++virtual_acks_;
+      return ListReg::Intid(lr);
+    }
+    case RegId::kICC_HPPIR1_EL1: {
+      int lr_idx = FindPendingLr(cpu);
+      return lr_idx < 0
+                 ? kSpuriousIntid
+                 : ListReg::Intid(cpu.PeekReg(IchListRegister(lr_idx)));
+    }
+    case RegId::kICC_PMR_EL1:
+    case RegId::kICC_BPR1_EL1:
+    case RegId::kICC_IGRPEN1_EL1:
+    case RegId::kICC_CTLR_EL1:
+    case RegId::kICC_SRE_EL1:
+      return cpu.PeekReg(reg);
+    default:
+      NEVE_CHECK_MSG(false, "unmodeled ICC read");
+  }
+  return 0;
+}
+
+void GicV3::IccWrite(int cpu_idx, RegId reg, uint64_t value) {
+  Cpu& cpu = CpuRef(cpu_idx);
+  switch (reg) {
+    case RegId::kICC_EOIR1_EL1: {
+      // Virtual EOI: deactivate the matching active list register. Hardware-
+      // accelerated -- no trap (Tables 1/6, "Virtual EOI" row).
+      uint32_t intid = static_cast<uint32_t>(value);
+      for (int i = 0; i < kNumListRegs; ++i) {
+        uint64_t lr = cpu.PeekReg(IchListRegister(i));
+        if (ListReg::Active(lr) && ListReg::Intid(lr) == intid) {
+          cpu.PokeReg(IchListRegister(i), 0);
+          SyncStatusRegs(cpu);
+          ++virtual_eois_;
+          return;
+        }
+      }
+      // EOI for an interrupt not in the LRs: ignored (spec: priority drop
+      // still happens; nothing to deactivate in the model).
+      return;
+    }
+    case RegId::kICC_DIR_EL1:
+      return;  // separate deactivation: modeled as part of EOI
+    case RegId::kICC_SGI1R_EL1: {
+      // Reached only from contexts where SGI writes do not trap (host EL2
+      // sending a physical IPI).
+      uint16_t mask = SgiR::TargetMask(value);
+      for (int t = 0; t < num_cpus_; ++t) {
+        if ((mask >> t) & 1) {
+          SendPhysSgi(cpu_idx, t, SgiR::SgiId(value));
+        }
+      }
+      return;
+    }
+    case RegId::kICC_PMR_EL1:
+    case RegId::kICC_BPR1_EL1:
+    case RegId::kICC_IGRPEN1_EL1:
+    case RegId::kICC_CTLR_EL1:
+    case RegId::kICC_SRE_EL1:
+      cpu.PokeReg(reg, value);
+      return;
+    default:
+      NEVE_CHECK_MSG(false, "unmodeled ICC write");
+  }
+}
+
+}  // namespace neve

@@ -1,0 +1,45 @@
+#include "src/hyp/guest_env.h"
+
+#include "src/base/status.h"
+#include "src/hyp/vm.h"
+
+namespace neve {
+
+void GuestEnv::SetIrqHandler(GuestIrqHandler handler) {
+  vcpu_->SoftwareFor(vcpu_->mode).irq = std::move(handler);
+}
+
+void GuestEnv::SetVel2Handler(Vel2Handler* handler) {
+  NEVE_CHECK(handler != nullptr);
+  vcpu_->SoftwareFor(vcpu_->mode).vel2 = handler;
+}
+
+void GuestEnv::SetNestedProgram(GuestMain program) {
+  NEVE_CHECK_MSG(vcpu_->vm().config().virtual_el2,
+                 "only guest hypervisors load nested images");
+  // A hypervisor running as someone's nested guest loads images one level
+  // deeper than a first-level guest hypervisor.
+  GuestSoftware& slot = vcpu_->mode == VcpuMode::kVel1Nested
+                            ? vcpu_->nested2_sw
+                            : vcpu_->nested_sw;
+  slot.main = std::move(program);
+  slot.started = false;
+}
+
+void GuestEnv::DeferVectorCall(Vel2Handler* handler, const Syndrome& syndrome) {
+  NEVE_CHECK(handler != nullptr);
+  NEVE_CHECK_MSG(!vcpu_->deferred_vector.has_value(),
+                 "a vector call is already pending");
+  vcpu_->deferred_vector =
+      Vcpu::DeferredVector{.handler = handler, .syndrome = syndrome};
+}
+
+void GuestEnv::RequestRetry() { vcpu_->mmio_retry = true; }
+
+void GuestEnv::CompleteMmio(uint64_t value) { vcpu_->mmio_result = value; }
+
+void GuestEnv::ParkRunning() { vcpu_->parked = true; }
+
+bool GuestEnv::parked() const { return vcpu_->parked; }
+
+}  // namespace neve

@@ -1,0 +1,111 @@
+// Guest software model.
+//
+// Simulated guest software -- workloads, guest OS kernels, guest hypervisors
+// -- is C++ code executing operations through a GuestEnv. The env wraps the
+// CPU operation API (every call is cycle-charged and may trap per the
+// NV/NEVE rules) and adds the registration hooks that stand in for state a
+// real guest establishes in memory/registers:
+//
+//   SetIrqHandler    "I wrote my EL1 exception vector" (VBAR_EL1)
+//   SetVel2Handler   "I wrote my EL2 exception vector" (VBAR_EL2, as seen by
+//                    a guest hypervisor in virtual EL2)
+//   SetNestedProgram "I loaded a software image for my own guest to run"
+//
+// The host hypervisor consults these when it emulates exception delivery or
+// starts a nested context, mirroring how hardware would vector into the
+// registered addresses.
+
+#ifndef NEVE_SRC_HYP_GUEST_ENV_H_
+#define NEVE_SRC_HYP_GUEST_ENV_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/cpu/cpu.h"
+
+namespace neve {
+
+class Vcpu;
+class GuestEnv;
+
+// A guest's EL1 IRQ vector: invoked (through the full virtualization stack)
+// when a virtual interrupt is delivered while the guest runs.
+using GuestIrqHandler = std::function<void(GuestEnv&, uint32_t intid)>;
+
+// A guest hypervisor's virtual-EL2 exception vector: invoked when the host
+// forwards an exit (trap, IRQ) from the guest hypervisor's own guest.
+class Vel2Handler {
+ public:
+  virtual ~Vel2Handler() = default;
+  virtual void OnVirtualExit(GuestEnv& env, const Syndrome& syndrome) = 0;
+};
+
+// Guest entry point.
+using GuestMain = std::function<void(GuestEnv&)>;
+
+class GuestEnv {
+ public:
+  GuestEnv(Cpu* cpu, Vcpu* vcpu) : cpu_(cpu), vcpu_(vcpu) {}
+
+  Cpu& cpu() { return *cpu_; }
+  Vcpu& vcpu() { return *vcpu_; }
+
+  // --- plain CPU operations (cycle-charged; may trap) ----------------------
+  uint64_t ReadSys(SysReg enc) { return cpu_->SysRegRead(enc); }
+  void WriteSys(SysReg enc, uint64_t v) { cpu_->SysRegWrite(enc, v); }
+  El CurrentEl() { return cpu_->ReadCurrentEl(); }
+  void Hvc(uint16_t imm) { cpu_->Hvc(imm); }
+  void Wfi() { cpu_->Wfi(); }
+  void Barrier() { cpu_->Barrier(); }
+  void TlbiAll() { cpu_->TlbiAll(); }
+  void Compute(uint32_t cycles) { cpu_->Compute(cycles); }
+  uint64_t Load(Va va) { return cpu_->LoadVa(va); }
+  void Store(Va va, uint64_t v) { cpu_->StoreVa(va, v); }
+
+  // eret from virtual EL2: enter this guest hypervisor's own guest. Returns
+  // when the nested workload has finished or parked (see ParkRunning); all
+  // intermediate exits are delivered through the registered Vel2Handler.
+  void EretToGuest() { cpu_->EretFromVirtualEl2(); }
+
+  // --- registration hooks ---------------------------------------------------
+  void SetIrqHandler(GuestIrqHandler handler);
+  void SetVel2Handler(Vel2Handler* handler);
+
+  // Guest-hypervisor only: registers the software its guest will run. The
+  // host starts it on the first eret into a fresh nested context. Called
+  // from virtual EL2 this loads the L2 image; called from a nested
+  // hypervisor (an L2 in virtual-virtual EL2) it loads the L3 image.
+  void SetNestedProgram(GuestMain program);
+
+  // Guest-hypervisor only: schedules `handler` to be invoked (with
+  // `syndrome`) when control next reaches the guest this hypervisor is
+  // about to resume -- the simulation's expression of "my eret lands at the
+  // deeper hypervisor's exception vector". Used for recursive nesting: a
+  // guest hypervisor forwarding its own guest's exits one level down.
+  void DeferVectorCall(Vel2Handler* handler, const Syndrome& syndrome);
+
+  // Guest-hypervisor only: tells the host that a forwarded Stage-2 fault
+  // was resolved by fixing translation state (not by emulating MMIO); the
+  // host replays the faulting access.
+  void RequestRetry();
+
+  // Guest-hypervisor only: completes a forwarded MMIO access on behalf of
+  // the nested VM (modeling "wrote the emulated value into the VM's x0").
+  void CompleteMmio(uint64_t value);
+
+  // Leaves this guest "running" from the hypervisor's point of view while
+  // returning from its main function -- used by vCPUs whose foreground work
+  // is an idle/spin loop and whose interesting activity is interrupt-driven
+  // (e.g. the Virtual IPI receiver). The full register/mode state stays
+  // loaded; interrupts delivered later run against it.
+  void ParkRunning();
+  bool parked() const;
+
+ private:
+  Cpu* cpu_;
+  Vcpu* vcpu_;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_HYP_GUEST_ENV_H_

@@ -1,0 +1,787 @@
+#include "src/hyp/host_kvm.h"
+
+#include "src/arch/vncr.h"
+#include "src/base/bits.h"
+#include "src/base/log.h"
+#include "src/base/status.h"
+#include "src/gic/gic.h"
+
+namespace neve {
+namespace {
+
+// Physical SGI id used to kick a vCPU loaded on another physical CPU.
+constexpr uint8_t kKickSgi = 1;
+
+// True when the virtual-EL2 state of `reg` lives in the deferred access page
+// under NEVE (the page is the authoritative storage; section 6.1).
+bool UsesDeferredSlot(RegId reg, bool guest_vhe) {
+  switch (RegNeveClass(reg)) {
+    case NeveClass::kDeferred:
+    case NeveClass::kTrapOnWrite:
+    case NeveClass::kGicCached:
+      return true;
+    case NeveClass::kRedirectOrTrap:
+      return !guest_vhe;  // VHE guests get redirection instead
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+HostKvm::HostKvm(Machine* machine, const HostKvmConfig& config)
+    : machine_(machine), config_(config) {
+  NEVE_CHECK(machine != nullptr);
+  NEVE_CHECK_MSG(!config.vhe || machine->config().features.vhe,
+                 "VHE host requires VHE hardware");
+  pcpu_.resize(machine->num_cpus());
+  for (int i = 0; i < machine->num_cpus(); ++i) {
+    Cpu& cpu = machine->cpu(i);
+    cpu.SetEl2Host(this);
+    // Boot-time hardware configuration (not part of any measurement).
+    cpu.PokeReg(RegId::kHCR_EL2, HostHcr());
+  }
+  machine->gic().SetPhysIrqSink(
+      [this](int target, uint32_t intid, uint64_t raiser_cycles) {
+        OnPhysIrq(target, intid, raiser_cycles);
+      });
+}
+
+HostKvm::~HostKvm() = default;
+
+HostKvm::VcpuHostState& HostKvm::HostStateOf(Vcpu& vcpu) {
+  auto it = vcpu_state_.find(&vcpu);
+  NEVE_CHECK_MSG(it != vcpu_state_.end(), "vcpu not owned by this hypervisor");
+  return *it->second;
+}
+
+Vm* HostKvm::CreateVm(const VmConfig& config) {
+  NEVE_CHECK_MSG(!config.virtual_el2 || machine_->config().features.nv,
+                 "virtual EL2 requires ARMv8.3-NV hardware support");
+  Pa ram = machine_->AllocGuestRam(config.ram_size);
+  auto vm = std::make_unique<Vm>(config, ram, &machine_->mem(),
+                                 &machine_->host_pool());
+  for (int i = 0; i < vm->num_vcpus(); ++i) {
+    Vcpu& vcpu = vm->vcpu(i);
+    vcpu_state_[&vcpu] = std::make_unique<VcpuHostState>();
+    if (config.virtual_el2 && NeveActiveFor(vcpu)) {
+      vcpu.vncr_hw_page = machine_->host_pool().AllocPage();
+    }
+  }
+  vms_.push_back(std::move(vm));
+  return vms_.back().get();
+}
+
+bool HostKvm::NeveActiveFor(const Vcpu& vcpu) const {
+  return config_.use_neve && machine_->config().features.neve &&
+         vcpu.vm().config().expose_neve;
+}
+
+uint64_t HostKvm::HostHcr() const {
+  uint64_t h = 0;
+  if (config_.vhe) {
+    h = SetBit(h, HcrBits::kE2h);
+  }
+  return h;
+}
+
+uint64_t HostKvm::GuestHcrFor(const Vcpu& vcpu) const {
+  uint64_t h = Hcr::Make({HcrBits::kVm, HcrBits::kImo, HcrBits::kFmo});
+  if (config_.vhe) {
+    h = SetBit(h, HcrBits::kE2h);
+  }
+  if (vcpu.mode == VcpuMode::kVel2) {
+    h = SetBit(h, HcrBits::kNv);
+    if (!vcpu.vm().config().guest_vhe) {
+      h = SetBit(h, HcrBits::kNv1);
+    }
+  } else if (vcpu.mode == VcpuMode::kVel1Nested && vcpu.nested_is_hyp) {
+    // Recursive nesting (6.2): the guest hypervisor's guest is itself a
+    // hypervisor; mirror the NV bits it programmed so the L2's hypervisor
+    // instructions trap (and get forwarded to the L1).
+    h |= vcpu.nested_hcr &
+         (Hcr::Make({HcrBits::kNv}) | Hcr::Make({HcrBits::kNv1}));
+  }
+  return h;
+}
+
+ShadowS2& HostKvm::ShadowFor(Vcpu& vcpu, uint64_t vvttbr) {
+  auto& slot = vcpu.shadows[vvttbr];
+  if (slot == nullptr) {
+    slot = std::make_unique<ShadowS2>(&machine_->mem(), &machine_->host_pool());
+  }
+  return *slot;
+}
+
+uint64_t HostKvm::VttbrFor(Cpu& cpu, Vcpu& vcpu) {
+  if (vcpu.mode == VcpuMode::kVel1Nested) {
+    uint64_t vvttbr = ReadVel2Reg(cpu, vcpu, RegId::kVTTBR_EL2);
+    return ShadowFor(vcpu, vvttbr).table().root().value;
+  }
+  return vcpu.vm().s2().root().value;
+}
+
+// ---------------------------------------------------------------------------
+// Virtual EL2 register state
+// ---------------------------------------------------------------------------
+
+uint64_t HostKvm::ReadVel2Reg(Cpu& cpu, Vcpu& vcpu, RegId reg) {
+  if (NeveActiveFor(vcpu) &&
+      UsesDeferredSlot(reg, vcpu.vm().config().guest_vhe)) {
+    return cpu.HostLoad(Pa(vcpu.vncr_hw_page.value + DeferredPageOffset(reg)));
+  }
+  cpu.Compute(cpu.cost().mem_access);
+  return vcpu.vreg(reg);
+}
+
+void HostKvm::WriteVel2Reg(Cpu& cpu, Vcpu& vcpu, RegId reg, uint64_t value) {
+  if (NeveActiveFor(vcpu) &&
+      UsesDeferredSlot(reg, vcpu.vm().config().guest_vhe)) {
+    cpu.HostStore(Pa(vcpu.vncr_hw_page.value + DeferredPageOffset(reg)), value);
+    return;
+  }
+  cpu.Compute(cpu.cost().mem_access);
+  vcpu.set_vreg(reg, value);
+}
+
+void HostKvm::StashVel1State(Cpu& cpu, Vcpu& vcpu) {
+  // Copy the virtual-EL1 machine state out of the hardware-bound context
+  // into its virtual-EL2-visible storage (deferred page under NEVE): the
+  // "copies the EL1 system register values ... into the deferred access
+  // page" step of section 6.1.
+  VcpuHostState& hs = HostStateOf(vcpu);
+  std::span<const RegId> regs = VmEl1RegIds();
+  for (int i = 0; i < kNumVmEl1Regs; ++i) {
+    WriteVel2Reg(cpu, vcpu, regs[i], hs.cur_el1.regs[i]);
+  }
+}
+
+void HostKvm::LoadVel1State(Cpu& cpu, Vcpu& vcpu) {
+  // The converse: "copies register values from the deferred access page to
+  // physical EL1 registers to run the nested VM".
+  VcpuHostState& hs = HostStateOf(vcpu);
+  std::span<const RegId> regs = VmEl1RegIds();
+  for (int i = 0; i < kNumVmEl1Regs; ++i) {
+    hs.cur_el1.regs[i] = ReadVel2Reg(cpu, vcpu, regs[i]);
+  }
+}
+
+void HostKvm::EnterVel1Mode(Cpu& cpu, Vcpu& vcpu, VcpuMode vel1_mode) {
+  NEVE_CHECK(vcpu.mode == VcpuMode::kVel2);
+  NEVE_CHECK(vel1_mode == VcpuMode::kVel1Kernel ||
+             vel1_mode == VcpuMode::kVel1Nested);
+  VcpuHostState& hs = HostStateOf(vcpu);
+  cpu.Compute(SwCost::kVel1Transition);
+  hs.vel2_exec = hs.cur_el1;
+  cpu.Compute(kNumVmEl1Regs * cpu.cost().mem_access);
+  LoadVel1State(cpu, vcpu);
+  vcpu.mode = vel1_mode;
+}
+
+void HostKvm::EnterVel2Mode(Cpu& cpu, Vcpu& vcpu) {
+  NEVE_CHECK(vcpu.mode == VcpuMode::kVel1Kernel ||
+             vcpu.mode == VcpuMode::kVel1Nested);
+  VcpuHostState& hs = HostStateOf(vcpu);
+  cpu.Compute(SwCost::kVel1Transition);
+  StashVel1State(cpu, vcpu);
+  hs.cur_el1 = hs.vel2_exec;
+  cpu.Compute(kNumVmEl1Regs * cpu.cost().mem_access);
+  vcpu.mode = VcpuMode::kVel2;
+}
+
+// ---------------------------------------------------------------------------
+// World switch
+// ---------------------------------------------------------------------------
+
+void HostKvm::SwitchIntoGuest(Cpu& cpu, Vcpu& vcpu) {
+  PcpuState& ps = pcpu_.at(cpu.index());
+  NEVE_CHECK(!ps.guest_loaded);
+  VcpuHostState& hs = HostStateOf(vcpu);
+
+  cpu.Compute(SwCost::kRunLoop);
+  cpu.Compute(SwCost::kGprSwitch);
+  TouchPerCpuData(cpu);
+  if (!config_.vhe) {
+    SaveEl1Context(cpu, /*vhe=*/false, &ps.host_el1);
+    SaveExtEl1Context(cpu, /*vhe=*/false, &ps.host_ext);
+  }
+  RestoreEl1Context(cpu, config_.vhe, hs.cur_el1);
+  RestoreExtEl1Context(cpu, config_.vhe, hs.ext);
+  RestorePmuDebugState(cpu, hs.pmu);
+
+  // vGIC: program the list registers for this context.
+  VgicContext vg;
+  if (vcpu.mode == VcpuMode::kVel1Nested) {
+    // The nested VM's virtual interrupts are whatever the guest hypervisor
+    // programmed into its (virtual) list registers.
+    for (int i = 0; i < machine_->gic().num_list_regs(); ++i) {
+      uint64_t vlr = ReadVel2Reg(cpu, vcpu, IchListRegister(i));
+      if (!ListReg::Inactive(vlr)) {
+        vg.lr[vg.lrs_in_use++] = vlr;
+      }
+    }
+  } else {
+    while (!vcpu.pending_virq.empty() &&
+           vg.lrs_in_use < machine_->gic().num_list_regs()) {
+      vg.lr[vg.lrs_in_use++] = ListReg::MakePending(vcpu.pending_virq.front());
+      vcpu.pending_virq.pop_front();
+    }
+  }
+  RestoreVgic(cpu, vg);
+  machine_->gic().SyncStatusRegs(cpu);
+  ps.lrs_loaded = vg.lrs_in_use;
+
+  RestoreGuestTimer(cpu, config_.vhe, hs.timer, hs.cntvoff);
+  WriteGuestTrapControls(cpu, GuestHcrFor(vcpu), VttbrFor(cpu, vcpu),
+                         static_cast<uint64_t>(vcpu.id()));
+  if (vcpu.vm().config().virtual_el2 && machine_->config().features.neve &&
+      config_.use_neve) {
+    // Enable the deferred access page only while the guest hypervisor runs
+    // in virtual EL2; the nested VM must see its real EL1 registers (6.1).
+    // Exception (6.2): when the nested context is itself a hypervisor in
+    // virtual-virtual EL2 and the guest hypervisor enabled NEVE for it, the
+    // host emulates NEVE "by using the hardware features directly":
+    // translate the guest's VNCR base through Stage-2 and program the real
+    // register with the machine address.
+    uint64_t vncr = 0;
+    if (vcpu.mode == VcpuMode::kVel2 && NeveActiveFor(vcpu)) {
+      vncr = VncrEl2::Make(vcpu.vncr_hw_page.value, true).bits();
+    } else if (vcpu.mode == VcpuMode::kVel1Nested && vcpu.nested_is_hyp) {
+      VncrEl2 guest_vncr(ReadVel2Reg(cpu, vcpu, RegId::kVNCR_EL2));
+      if (guest_vncr.enabled()) {
+        cpu.Compute(PageTable::kWalkLevels * cpu.cost().tlb_walk_per_level);
+        WalkResult walk = vcpu.vm().s2().Walk(Ipa(guest_vncr.baddr()),
+                                              /*is_write=*/true);
+        NEVE_CHECK_MSG(walk.ok, "guest VNCR page unmapped in Stage-2");
+        vncr = VncrEl2::Make(walk.pa.PageBase().value, true).bits();
+      }
+    }
+    cpu.SysRegWrite(SysReg::kVNCR_EL2, vncr);
+  }
+  WriteReturnState(cpu, config_.vhe, hs.elr, hs.spsr);
+  ps.guest_loaded = true;
+}
+
+void HostKvm::SwitchOutOfGuest(Cpu& cpu, Vcpu& vcpu) {
+  PcpuState& ps = pcpu_.at(cpu.index());
+  NEVE_CHECK(ps.guest_loaded);
+  ps.guest_loaded = false;
+  VcpuHostState& hs = HostStateOf(vcpu);
+
+  TouchPerCpuData(cpu);
+  cpu.Compute(SwCost::kGprSwitch);
+  ExitInfo info = ReadExitInfo(cpu, config_.vhe, /*read_fault_regs=*/true);
+  hs.elr = info.elr;
+  hs.spsr = info.spsr;
+  SaveEl1Context(cpu, config_.vhe, &hs.cur_el1);
+  SaveExtEl1Context(cpu, config_.vhe, &hs.ext);
+  SavePmuDebugState(cpu, &hs.pmu);
+
+  VgicContext vg;
+  vg.lrs_in_use = ps.lrs_loaded;
+  SaveVgic(cpu, &vg);
+  if (vcpu.mode == VcpuMode::kVel1Nested) {
+    // Reflect hardware LR state (EOIed interrupts cleared) back into the
+    // guest hypervisor's virtual list registers.
+    for (int i = 0; i < vg.lrs_in_use; ++i) {
+      WriteVel2Reg(cpu, vcpu, IchListRegister(i), vg.lr[i]);
+    }
+  } else {
+    for (int i = 0; i < vg.lrs_in_use; ++i) {
+      if (ListReg::Pending(vg.lr[i])) {
+        vcpu.pending_virq.push_front(ListReg::Intid(vg.lr[i]));
+      }
+    }
+  }
+  ps.lrs_loaded = 0;
+
+  SaveGuestTimer(cpu, config_.vhe, &hs.timer);
+  if (!config_.vhe) {
+    RestoreEl1Context(cpu, /*vhe=*/false, ps.host_el1);
+    RestoreExtEl1Context(cpu, /*vhe=*/false, ps.host_ext);
+  }
+  WriteHostTrapControls(cpu, HostHcr());
+  cpu.Compute(SwCost::kRunLoop);
+}
+
+void HostKvm::StartGuestProgram(Cpu& cpu, Vcpu& vcpu, GuestSoftware& sw) {
+  NEVE_CHECK(sw.main);
+  NEVE_CHECK(!sw.started);
+  sw.started = true;
+  GuestEnv env(&cpu, &vcpu);
+  cpu.RunLowerEl(El::kEl1, [&] { sw.main(env); });
+}
+
+void HostKvm::RunVcpu(Vcpu& vcpu, int pcpu) {
+  PcpuState& ps = pcpu_.at(pcpu);
+  NEVE_CHECK_MSG(ps.current == nullptr, "pcpu already running a vcpu");
+  Cpu& cpu = machine_->cpu(pcpu);
+  ps.current = &vcpu;
+  vcpu.loaded_on_pcpu = pcpu;
+
+  cpu.Compute(SwCost::kVcpuLoadPut);
+  SwitchIntoGuest(cpu, vcpu);
+  StartGuestProgram(cpu, vcpu, vcpu.SoftwareFor(vcpu.mode));
+  if (vcpu.parked) {
+    // The guest stays logically running (interrupt-driven); state remains
+    // loaded and later IRQ deliveries execute against it.
+    return;
+  }
+  if (ps.guest_loaded) {
+    SwitchOutOfGuest(cpu, vcpu);
+  }
+  cpu.Compute(SwCost::kVcpuLoadPut);
+  ps.current = nullptr;
+  vcpu.loaded_on_pcpu = -1;
+}
+
+// ---------------------------------------------------------------------------
+// Exit handling
+// ---------------------------------------------------------------------------
+
+TrapOutcome HostKvm::OnTrapToEl2(Cpu& cpu, const Syndrome& s) {
+  PcpuState& ps = pcpu_.at(cpu.index());
+  NEVE_CHECK_MSG(ps.current != nullptr, "trap with no vcpu loaded");
+  Vcpu& vcpu = *ps.current;
+  ++vcpu.exits;
+
+  SwitchOutOfGuest(cpu, vcpu);
+  cpu.Compute(SwCost::kExitDispatch);
+  TrapOutcome outcome = HandleExit(cpu, vcpu, s);
+  if (!ps.guest_loaded) {
+    SwitchIntoGuest(cpu, vcpu);
+  }
+  // A guest hypervisor may have scheduled a deeper vector invocation for the
+  // context just resumed ("my eret lands at the L2 hypervisor's vector") --
+  // recursive nesting's analogue of DeliverToVel2's handler call.
+  if (vcpu.deferred_vector.has_value() &&
+      vcpu.mode == VcpuMode::kVel1Nested && !vcpu.deferred_vector_active) {
+    Vcpu::DeferredVector dv = *vcpu.deferred_vector;
+    vcpu.deferred_vector.reset();
+    vcpu.deferred_vector_active = true;
+    GuestEnv env(&cpu, &vcpu);
+    cpu.RunLowerEl(El::kEl1,
+                   [&] { dv.handler->OnVirtualExit(env, dv.syndrome); });
+    vcpu.deferred_vector_active = false;
+  }
+  return outcome;
+}
+
+TrapOutcome HostKvm::HandleExit(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
+  switch (s.ec) {
+    case Ec::kHvc64:
+    case Ec::kSmc64:
+      return HandleHvc(cpu, vcpu, s);
+    case Ec::kSysReg:
+      return HandleSysRegTrap(cpu, vcpu, s);
+    case Ec::kEretTrap:
+      if (vcpu.mode == VcpuMode::kVel1Nested && vcpu.nested_is_hyp) {
+        // An L2 hypervisor's eret: its guest hypervisor emulates it.
+        DeliverToVel2(cpu, vcpu, s);
+        return TrapOutcome::Completed();
+      }
+      return HandleEret(cpu, vcpu);
+    case Ec::kDataAbortLow:
+      return HandleDataAbort(cpu, vcpu, s);
+    case Ec::kWfx:
+      cpu.Compute(SwCost::kHypercall);
+      return TrapOutcome::Completed();
+    case Ec::kIrq: {
+      // Synchronously-modeled IRQ exit (device interrupt for the running
+      // guest; see Cpu::TakeIrq). Ack/complete on the host CPU interface,
+      // then route the queued virtual interrupt.
+      cpu.Compute(2 * cpu.cost().gic_vcpuif_access);
+      cpu.Compute(SwCost::kIrqTriageHost);
+      PcpuState& ps = pcpu_.at(cpu.index());
+      DeliverVirqsToLoadedVcpu(cpu, vcpu);
+      if (!ps.guest_loaded) {
+        SwitchIntoGuest(cpu, vcpu);
+      }
+      DeliverLoadedLrToGuestSw(cpu, vcpu);
+      return TrapOutcome::Completed();
+    }
+    default:
+      NEVE_CHECK_MSG(false, "unhandled exit: " + s.ToString());
+  }
+  return TrapOutcome::Completed();
+}
+
+TrapOutcome HostKvm::HandleHvc(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
+  switch (vcpu.mode) {
+    case VcpuMode::kGuest:
+    case VcpuMode::kVel2:
+      // Handled by this hypervisor (PSCI / test hypercall).
+      cpu.Compute(SwCost::kHypercall);
+      return TrapOutcome::Completed();
+    case VcpuMode::kVel1Kernel:
+    case VcpuMode::kVel1Nested:
+      // hvc from below virtual EL2 belongs to the guest hypervisor.
+      DeliverToVel2(cpu, vcpu, s);
+      return TrapOutcome::Completed();
+  }
+  return TrapOutcome::Completed();
+}
+
+TrapOutcome HostKvm::HandleSysRegTrap(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
+  RegId storage = SysRegStorage(s.sysreg);
+
+  if (vcpu.mode != VcpuMode::kVel2) {
+    // Traps from a plain guest / virtual EL1 context.
+    if (vcpu.mode == VcpuMode::kVel1Nested &&
+        (vcpu.nested_is_hyp || storage == RegId::kICC_SGI1R_EL1)) {
+      // An L2 hypervisor's trapped instructions, and any nested VM's SGI
+      // generation, belong to the guest hypervisor: forward.
+      DeliverToVel2(cpu, vcpu, s);
+      return TrapOutcome::Completed(vcpu.mmio_result);
+    }
+    if (storage == RegId::kICC_SGI1R_EL1) {
+      cpu.Compute(SwCost::kSysregEmulate);
+      EmulateSgi(cpu, vcpu, s.write_value);
+      return TrapOutcome::Completed();
+    }
+    cpu.Compute(SwCost::kSysregEmulate);
+    return TrapOutcome::Completed(0);
+  }
+
+  // Traps from virtual EL2: emulate against the virtual EL2 state. The
+  // emulation path length depends on what trapped: the traps NEVE leaves
+  // behind (vGIC, timer, trap-control writes, eret) run real state machines,
+  // while the plain VM-register stores that dominate under ARMv8.3 are
+  // trivial.
+  if (SysRegEncKind(s.sysreg) == EncKind::kEl02) {
+    cpu.Compute(SwCost::kEl02TimerEmulate);
+  } else {
+    switch (RegNeveClass(storage)) {
+      case NeveClass::kGicCached:
+        cpu.Compute(SwCost::kVgicEmulate);
+        break;
+      case NeveClass::kTimerTrap:
+        cpu.Compute(SwCost::kTimerEmulate);
+        break;
+      case NeveClass::kTrapOnWrite:
+      case NeveClass::kRedirectOrTrap:
+        cpu.Compute(SwCost::kTrapCtlEmulate);
+        break;
+      default:
+        cpu.Compute(SwCost::kSysregEmulate);
+        break;
+    }
+  }
+
+  // Guest hypervisor programming its guest's EL1 timer via *_EL02: operate
+  // on the context-switched-out guest timer image.
+  if (SysRegEncKind(s.sysreg) == EncKind::kEl02) {
+    VcpuHostState& hs = HostStateOf(vcpu);
+    uint64_t* slot = nullptr;
+    switch (storage) {
+      case RegId::kCNTV_CTL_EL0:
+      case RegId::kCNTP_CTL_EL0:
+        slot = &hs.timer.cntv_ctl;
+        break;
+      case RegId::kCNTV_CVAL_EL0:
+      case RegId::kCNTP_CVAL_EL0:
+        slot = &hs.timer.cntv_cval;
+        break;
+      default:
+        break;
+    }
+    NEVE_CHECK(slot != nullptr);
+    if (s.is_write) {
+      *slot = s.write_value;
+      return TrapOutcome::Completed();
+    }
+    return TrapOutcome::Completed(*slot);
+  }
+
+  if (storage == RegId::kICC_SGI1R_EL1) {
+    EmulateSgi(cpu, vcpu, s.write_value);
+    return TrapOutcome::Completed();
+  }
+
+  // Redirect-class registers: the virtual EL2 value lives in the (currently
+  // switched-out) EL1 execution context.
+  if (std::optional<RegId> target = RegRedirectTarget(storage);
+      target.has_value() &&
+      (RegNeveClass(storage) != NeveClass::kRedirectOrTrap ||
+       vcpu.vm().config().guest_vhe)) {
+    int idx = El1ContextIndexOf(*target);
+    VcpuHostState& hs = HostStateOf(vcpu);
+    if (idx >= 0) {
+      if (s.is_write) {
+        hs.cur_el1.regs[idx] = s.write_value;
+        return TrapOutcome::Completed();
+      }
+      return TrapOutcome::Completed(hs.cur_el1.regs[idx]);
+    }
+    // Redirect target outside the switched context list (TTBR1 etc.):
+    // treat the vcpu context as authoritative.
+  }
+
+  if (s.is_write) {
+    WriteVel2Reg(cpu, vcpu, storage, s.write_value);
+    return TrapOutcome::Completed();
+  }
+  return TrapOutcome::Completed(ReadVel2Reg(cpu, vcpu, storage));
+}
+
+TrapOutcome HostKvm::HandleEret(Cpu& cpu, Vcpu& vcpu) {
+  NEVE_CHECK_MSG(vcpu.mode == VcpuMode::kVel2,
+                 "eret trap outside virtual EL2");
+  cpu.Compute(SwCost::kEretEmulate);
+  VcpuHostState& hs = HostStateOf(vcpu);
+
+  // The guest hypervisor's return state (vELR_EL2/vSPSR_EL2) lives in the
+  // EL1 context slots (the NEVE redirect mapping; same storage under plain
+  // v8.3 via trap-and-emulate).
+  hs.elr = hs.cur_el1.regs[El1ContextIndexOf(RegId::kELR_EL1)];
+  hs.spsr = hs.cur_el1.regs[El1ContextIndexOf(RegId::kSPSR_EL1)];
+  cpu.Compute(2 * cpu.cost().mem_access);
+
+  // Where is the guest hypervisor going? Its virtual HCR_EL2 decides:
+  // VM=1 -> the nested VM under its virtual Stage-2; VM=0 -> its own kernel.
+  Hcr vhcr{ReadVel2Reg(cpu, vcpu, RegId::kHCR_EL2)};
+  bool to_nested = vhcr.vm();
+  EnterVel1Mode(cpu, vcpu,
+                to_nested ? VcpuMode::kVel1Nested : VcpuMode::kVel1Kernel);
+
+  if (to_nested) {
+    // Recursive nesting: the guest hypervisor may have programmed NV for
+    // its guest, making that guest a (deeper) hypervisor.
+    vcpu.nested_is_hyp = vhcr.nv();
+    vcpu.nested_hcr = vhcr.bits;
+    vcpu.active_nested =
+        vcpu.nested_is_hyp
+            ? &vcpu.nested_sw
+            : (vcpu.nested2_sw.main ? &vcpu.nested2_sw : &vcpu.nested_sw);
+    GuestSoftware& sw = *vcpu.active_nested;
+    if (sw.main && !sw.started) {
+      // First entry into this nested context: start its software image.
+      SwitchIntoGuest(cpu, vcpu);
+      StartGuestProgram(cpu, vcpu, sw);
+      if (!vcpu.parked) {
+        // The nested workload finished: hand control back to virtual EL2.
+        // (In a recursive stack a deeper completion may already have done
+        // so while this frame's program was unwinding.)
+        SwitchOutOfGuest(cpu, vcpu);
+        if (vcpu.mode != VcpuMode::kVel2) {
+          EnterVel2Mode(cpu, vcpu);
+        }
+      }
+    }
+  }
+  return TrapOutcome::Completed();
+}
+
+TrapOutcome HostKvm::HandleDataAbort(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
+  cpu.Compute(SwCost::kMmioDispatch);
+  Ipa ipa(s.hpfar | (s.far & 0xFFF));
+
+  if (vcpu.mode == VcpuMode::kVel1Nested) {
+    // Stage-2 fault under the shadow tables: either the shadow lacks an
+    // entry present in the guest hypervisor's virtual Stage-2 (fix up and
+    // retry) or the guest hypervisor itself left it unmapped (forward: its
+    // device, its problem).
+    cpu.Compute(SwCost::kShadowFixup);
+    uint64_t vvttbr = ReadVel2Reg(cpu, vcpu, RegId::kVTTBR_EL2);
+    GuestPhysView view(&machine_->mem(), &vcpu.vm().s2());
+    ShadowS2::FixupResult result = ShadowFor(vcpu, vvttbr).HandleFault(
+        ipa, s.abort_is_write, view, Pa(vvttbr), vcpu.vm().s2());
+    switch (result) {
+      case ShadowS2::FixupResult::kInstalled:
+        return TrapOutcome::Retry();
+      case ShadowS2::FixupResult::kVirtualFault:
+        DeliverToVel2(cpu, vcpu, s);
+        if (vcpu.mmio_retry) {
+          // The guest hypervisor fixed its own translation state (e.g. a
+          // recursive shadow) rather than emulating a device: replay.
+          vcpu.mmio_retry = false;
+          return TrapOutcome::Retry();
+        }
+        return TrapOutcome::Completed(vcpu.mmio_result);
+      case ShadowS2::FixupResult::kHostFault:
+        NEVE_CHECK_MSG(false, "host Stage-2 hole under shadow fault");
+    }
+    return TrapOutcome::Completed();
+  }
+
+  // GICv2-style memory-mapped hypervisor control interface: the guest
+  // hypervisor's GICH accesses fault here and are emulated against the same
+  // virtual ICH state the system-register interface uses. NEVE cannot help
+  // this path -- the reason Table 5 presumes the GICv3 interface.
+  if (vcpu.vm().config().virtual_el2 && ipa.value >= kGichMmioBase &&
+      ipa.value < kGichMmioBase + kPageSize) {
+    cpu.Compute(SwCost::kVgicEmulate);
+    auto reg = static_cast<RegId>((ipa.value - kGichMmioBase) / 8);
+    NEVE_CHECK_MSG(IsIchRegister(reg), "GICH access outside the ICH block");
+    if (s.abort_is_write) {
+      WriteVel2Reg(cpu, vcpu, reg, s.write_value);
+      return TrapOutcome::Completed();
+    }
+    return TrapOutcome::Completed(ReadVel2Reg(cpu, vcpu, reg));
+  }
+
+  const MmioRange* range = vcpu.vm().FindMmio(ipa);
+  NEVE_CHECK_MSG(range != nullptr,
+                 "Stage-2 fault on unmapped non-MMIO address");
+  uint64_t offset = ipa.value - range->base.value;
+  if (s.abort_is_write) {
+    range->device->MmioWrite(cpu, offset, s.write_value);
+    return TrapOutcome::Completed();
+  }
+  return TrapOutcome::Completed(range->device->MmioRead(cpu, offset));
+}
+
+// ---------------------------------------------------------------------------
+// Virtual EL2 exception delivery
+// ---------------------------------------------------------------------------
+
+void HostKvm::DeliverToVel2(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
+  NEVE_CHECK(vcpu.vm().config().virtual_el2);
+  ++vcpu.vel2_deliveries;
+  cpu.Compute(SwCost::kVel2Deliver);
+
+  // An hvc from the guest hypervisor's own kernel is the return half of its
+  // non-VHE kernel bounce: the mode switches and its linear flow continues.
+  // Every other delivery vectors into the registered virtual EL2 handler.
+  bool kernel_bounce =
+      vcpu.mode == VcpuMode::kVel1Kernel && s.ec == Ec::kHvc64;
+
+  if (vcpu.mode != VcpuMode::kVel2) {
+    EnterVel2Mode(cpu, vcpu);
+  }
+  // Publish the virtual syndrome where the guest hypervisor will read it:
+  // vESR_EL2/vFAR_EL2 are redirect-class (EL1 slots); vHPFAR_EL2 is a VM
+  // register (deferred page / vcpu context).
+  VcpuHostState& hs = HostStateOf(vcpu);
+  hs.cur_el1.regs[El1ContextIndexOf(RegId::kESR_EL1)] = s.ToEsrBits();
+  hs.cur_el1.regs[El1ContextIndexOf(RegId::kFAR_EL1)] = s.far;
+  hs.cur_el1.regs[El1ContextIndexOf(RegId::kELR_EL1)] = hs.elr;
+  hs.cur_el1.regs[El1ContextIndexOf(RegId::kSPSR_EL1)] = hs.spsr;
+  cpu.Compute(4 * cpu.cost().sysreg_access);
+  if (s.ec == Ec::kDataAbortLow) {
+    WriteVel2Reg(cpu, vcpu, RegId::kHPFAR_EL2, s.hpfar);
+  }
+  hs.elr = 0;  // virtual vector entry
+  hs.spsr = static_cast<uint64_t>(El::kEl2);
+
+  if (!kernel_bounce) {
+    GuestSoftware& sw = vcpu.main_sw;
+    NEVE_CHECK_MSG(sw.vel2 != nullptr, "no virtual EL2 vector registered");
+    SwitchIntoGuest(cpu, vcpu);
+    vcpu.vel2_handler_active = true;
+    GuestEnv env(&cpu, &vcpu);
+    cpu.RunLowerEl(El::kEl1, [&] { sw.vel2->OnVirtualExit(env, s); });
+    vcpu.vel2_handler_active = false;
+  }
+  // Otherwise the guest hypervisor's linear flow continues after its
+  // trapped instruction.
+}
+
+// ---------------------------------------------------------------------------
+// Interrupts
+// ---------------------------------------------------------------------------
+
+void HostKvm::EmulateSgi(Cpu& cpu, Vcpu& vcpu, uint64_t sgir) {
+  cpu.Compute(SwCost::kVgicSgi);
+  uint16_t mask = SgiR::TargetMask(sgir);
+  uint32_t virq = kSgiBase + SgiR::SgiId(sgir);
+  Vm& vm = vcpu.vm();
+  for (int t = 0; t < vm.num_vcpus(); ++t) {
+    if ((mask >> t) & 1) {
+      InjectVirq(vm.vcpu(t), virq, &cpu);
+    }
+  }
+}
+
+void HostKvm::InjectVirq(Vcpu& vcpu, uint32_t virq, Cpu* raiser,
+                         uint64_t raiser_cycles) {
+  vcpu.pending_virq.push_back(virq);
+  int target_pcpu = vcpu.loaded_on_pcpu;
+  if (target_pcpu < 0) {
+    return;  // delivered when the vcpu is next loaded
+  }
+  if (raiser != nullptr && raiser->index() == target_pcpu) {
+    return;  // picked up by the next guest entry on this pcpu
+  }
+  if (raiser != nullptr) {
+    // Kick the remote pcpu with a physical SGI; the GIC sink runs the
+    // receiver-side delivery synchronously with time propagation.
+    raiser->SysRegWrite(SysReg::kICC_SGI1R_EL1,
+                        SgiR::Make(static_cast<uint16_t>(1u << target_pcpu),
+                                   kKickSgi));
+  } else {
+    OnPhysIrq(target_pcpu, virq, raiser_cycles);
+  }
+}
+
+void HostKvm::OnPhysIrq(int target_pcpu, uint32_t intid,
+                        uint64_t raiser_cycles) {
+  Cpu& cpu = machine_->cpu(target_pcpu);
+  machine_->PropagateEventTime(cpu, raiser_cycles);
+  PcpuState& ps = pcpu_.at(target_pcpu);
+  Vcpu* vcpu = ps.current;
+  if (vcpu == nullptr) {
+    // Interrupt while the host runs: triage only.
+    cpu.Compute(SwCost::kIrqTriageHost);
+    return;
+  }
+  NEVE_CHECK(ps.guest_loaded);
+
+  // Hardware IRQ exit from the running guest.
+  cpu.Compute(cpu.cost().trap_entry);
+  cpu.trace().OnTrapToEl2(Syndrome::Irq(intid), cpu.cycles());
+  SwitchOutOfGuest(cpu, *vcpu);
+  // Acknowledge and complete the physical interrupt on the host CPU
+  // interface before routing it as a virtual interrupt.
+  cpu.Compute(2 * cpu.cost().gic_vcpuif_access);
+  cpu.Compute(SwCost::kIrqTriageHost);
+
+  DeliverVirqsToLoadedVcpu(cpu, *vcpu);
+  if (!ps.guest_loaded) {
+    SwitchIntoGuest(cpu, *vcpu);
+  }
+  cpu.Compute(cpu.cost().trap_return);
+  DeliverLoadedLrToGuestSw(cpu, *vcpu);
+}
+
+void HostKvm::DeliverVirqsToLoadedVcpu(Cpu& cpu, Vcpu& vcpu) {
+  if (vcpu.pending_virq.empty()) {
+    return;
+  }
+  if (vcpu.vm().config().virtual_el2) {
+    // The guest hypervisor owns interrupt delivery for everything below it:
+    // vector into its virtual EL2. The pending interrupt reaches its
+    // hardware list registers on the switch into virtual EL2.
+    DeliverToVel2(cpu, vcpu, Syndrome::Irq(vcpu.pending_virq.front()));
+    return;
+  }
+  // Plain VM: the next SwitchIntoGuest programs the list registers.
+}
+
+void HostKvm::DeliverLoadedLrToGuestSw(Cpu& cpu, Vcpu& vcpu) {
+  // A pending list register plus a registered guest IRQ vector means the
+  // guest takes a virtual interrupt now.
+  uint32_t intid = kSpuriousIntid;
+  for (int i = 0; i < machine_->gic().num_list_regs(); ++i) {
+    uint64_t lr = cpu.PeekReg(IchListRegister(i));
+    if (ListReg::Pending(lr)) {
+      intid = ListReg::Intid(lr);
+      break;
+    }
+  }
+  if (intid == kSpuriousIntid) {
+    return;
+  }
+  GuestSoftware& sw = vcpu.SoftwareFor(vcpu.mode);
+  if (!sw.irq) {
+    return;
+  }
+  GuestEnv env(&cpu, &vcpu);
+  cpu.RunLowerEl(El::kEl1, [&] {
+    cpu.Compute(cpu.cost().el1_vector_entry);
+    sw.irq(env, intid);
+    cpu.Compute(cpu.cost().el1_eret);
+  });
+}
+
+}  // namespace neve

@@ -1,0 +1,144 @@
+#include "src/hyp/virtio.h"
+
+#include <algorithm>
+
+#include "src/base/status.h"
+#include "src/hyp/world_switch.h"
+
+namespace neve {
+
+using L = VringLayout;
+
+// ---------------------------------------------------------------------------
+// Backend
+// ---------------------------------------------------------------------------
+
+VirtioBackend::VirtioBackend(MemIo* guest_mem, Pa ring_base,
+                             uint32_t per_buffer_cycles)
+    : guest_mem_(guest_mem),
+      ring_base_(ring_base),
+      per_buffer_cycles_(per_buffer_cycles) {
+  NEVE_CHECK(guest_mem != nullptr);
+}
+
+uint64_t VirtioBackend::MmioRead(Cpu& cpu, uint64_t offset) {
+  cpu.Compute(SwCost::kMmioDispatch);
+  (void)offset;
+  return 0;  // device status: ready
+}
+
+void VirtioBackend::MmioWrite(Cpu& cpu, uint64_t offset, uint64_t value) {
+  // The kick: wakes the backend (vhost) thread. The kicker pays for the
+  // exit and dispatch; the buffer processing runs on the backend's own
+  // clock, concurrently with the guest.
+  (void)offset;
+  (void)value;
+  ++kicks_;
+  cpu.Compute(SwCost::kMmioDispatch);
+  busy_until_ = std::max(busy_until_, cpu.cycles());
+  // Busy window opens: suppress further notifications ("while the backend
+  // driver is busy, it tells the frontend it can continue to send packets
+  // without further notification", section 7.2).
+  Write(L::kUsedFlags, L::kNoNotify);
+  ProcessAvail(cpu);
+}
+
+int VirtioBackend::ProcessAvail(Cpu& cpu) {
+  (void)cpu;  // processing time accrues on the backend thread's clock
+  uint64_t avail = Read(L::kAvailIdx);
+  uint64_t used = Read(L::kUsedIdx);
+  int processed = 0;
+  while (last_avail_ < avail) {
+    int slot = static_cast<int>(last_avail_ % L::kQueueSize);
+    uint64_t desc = Read(L::AvailSlot(slot));
+    (void)Read(L::DescLen(static_cast<int>(desc % L::kQueueSize)));
+    busy_until_ += per_buffer_cycles_;
+    Write(L::UsedSlot(static_cast<int>(used % L::kQueueSize)), desc);
+    ++used;
+    ++last_avail_;
+    ++processed;
+  }
+  Write(L::kUsedIdx, used);
+  buffers_processed_ += processed;
+  return processed;
+}
+
+void VirtioBackend::Poll(uint64_t now_cycles) {
+  // The backend thread's scheduling points: pick up buffers that were
+  // posted without a kick, and -- "only once the backend driver has nothing
+  // left to do" -- re-enable notifications.
+  if (Read(L::kAvailIdx) > last_avail_) {
+    busy_until_ = std::max(busy_until_, now_cycles);
+    ProcessAvailOnThread();
+  }
+  if (now_cycles >= busy_until_) {
+    Write(L::kUsedFlags, 0);
+  }
+}
+
+void VirtioBackend::ProcessAvailOnThread() {
+  uint64_t avail = Read(L::kAvailIdx);
+  uint64_t used = Read(L::kUsedIdx);
+  while (last_avail_ < avail) {
+    int slot = static_cast<int>(last_avail_ % L::kQueueSize);
+    uint64_t desc = Read(L::AvailSlot(slot));
+    busy_until_ += per_buffer_cycles_;
+    Write(L::UsedSlot(static_cast<int>(used % L::kQueueSize)), desc);
+    ++used;
+    ++last_avail_;
+    ++buffers_processed_;
+  }
+  Write(L::kUsedIdx, used);
+}
+
+// ---------------------------------------------------------------------------
+// Frontend
+// ---------------------------------------------------------------------------
+
+VirtioDriver::VirtioDriver(Va ring_base, Va doorbell)
+    : base_(ring_base), doorbell_(doorbell) {}
+
+void VirtioDriver::Init(GuestEnv& env) {
+  env.Store(Va(base_.value + L::kAvailIdx), 0);
+  env.Store(Va(base_.value + L::kUsedIdx), 0);
+  env.Store(Va(base_.value + L::kUsedFlags), 0);
+  avail_idx_ = 0;
+  last_used_ = 0;
+  next_desc_ = 0;
+}
+
+bool VirtioDriver::SendBuffer(GuestEnv& env, uint64_t addr, uint64_t len) {
+  int desc = next_desc_;
+  next_desc_ = (next_desc_ + 1) % L::kQueueSize;
+  env.Store(Va(base_.value + L::DescAddr(desc)), addr);
+  env.Store(Va(base_.value + L::DescLen(desc)), len);
+  env.Store(Va(base_.value + L::AvailSlot(
+                                static_cast<int>(avail_idx_ % L::kQueueSize))),
+            static_cast<uint64_t>(desc));
+  ++avail_idx_;
+  env.Store(Va(base_.value + L::kAvailIdx), avail_idx_);
+  ++posts_;
+
+  // The notification decision: kick only when the backend asked for it.
+  uint64_t flags = env.Load(Va(base_.value + L::kUsedFlags));
+  if ((flags & L::kNoNotify) != 0) {
+    return false;  // backend is busy; it will see our buffer on its own
+  }
+  ++kicks_sent_;
+  env.Store(doorbell_, 1);  // MMIO: exits to the device's owner
+  return true;
+}
+
+int VirtioDriver::ReapUsed(GuestEnv& env) {
+  uint64_t used = env.Load(Va(base_.value + L::kUsedIdx));
+  int reaped = 0;
+  while (last_used_ < used) {
+    (void)env.Load(Va(base_.value +
+                      L::UsedSlot(static_cast<int>(last_used_ % L::kQueueSize))));
+    ++last_used_;
+    ++reaped;
+  }
+  return reaped;
+}
+
+}  // namespace neve

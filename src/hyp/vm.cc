@@ -1,0 +1,56 @@
+#include "src/hyp/vm.h"
+
+#include "src/base/status.h"
+
+namespace neve {
+
+const char* VcpuModeName(VcpuMode mode) {
+  switch (mode) {
+    case VcpuMode::kGuest:
+      return "guest";
+    case VcpuMode::kVel2:
+      return "vEL2";
+    case VcpuMode::kVel1Kernel:
+      return "vEL1-kernel";
+    case VcpuMode::kVel1Nested:
+      return "vEL1-nested";
+  }
+  return "?";
+}
+
+Vm::Vm(const VmConfig& config, Pa ram_base, MemIo* table_mem,
+       PageAllocator* table_alloc)
+    : config_(config), ram_base_(ram_base), s2_(table_mem, table_alloc) {
+  NEVE_CHECK(config.num_vcpus > 0);
+  NEVE_CHECK(!config.expose_neve || config.virtual_el2);
+  // Identity-with-offset Stage-2: guest IPA [0, ram_size) -> creator
+  // physical [ram_base, ram_base + ram_size).
+  s2_.MapRange(Ipa(0), ram_base, config.ram_size, PagePerms::Rw());
+  for (int i = 0; i < config.num_vcpus; ++i) {
+    vcpus_.push_back(std::make_unique<Vcpu>(this, i));
+    if (config.virtual_el2) {
+      vcpus_.back()->mode = VcpuMode::kVel2;
+    }
+  }
+}
+
+void Vm::AddMmioRange(Ipa base, uint64_t size, MmioDevice* device) {
+  NEVE_CHECK(device != nullptr);
+  // The region must fault: unmap it from Stage-2 (it may overlap RAM
+  // mappings created above; devices normally sit above RAM, but be safe).
+  for (uint64_t off = 0; off < size; off += kPageSize) {
+    s2_.UnmapPage(Ipa(base.value + off));
+  }
+  mmio_.push_back(MmioRange{.base = base, .size = size, .device = device});
+}
+
+const MmioRange* Vm::FindMmio(Ipa ipa) const {
+  for (const MmioRange& r : mmio_) {
+    if (r.Contains(ipa)) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace neve

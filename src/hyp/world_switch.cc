@@ -1,0 +1,237 @@
+#include "src/hyp/world_switch.h"
+
+#include <array>
+
+#include "src/base/bits.h"
+#include "src/base/status.h"
+
+namespace neve {
+namespace {
+
+constexpr std::array<SysReg, kNumVmEl1Regs> kEl1Encodings = {
+    SysReg::kSCTLR_EL1, SysReg::kTTBR0_EL1, SysReg::kTTBR1_EL1,
+    SysReg::kTCR_EL1,   SysReg::kESR_EL1,   SysReg::kFAR_EL1,
+    SysReg::kAFSR0_EL1, SysReg::kAFSR1_EL1, SysReg::kMAIR_EL1,
+    SysReg::kAMAIR_EL1, SysReg::kCONTEXTIDR_EL1, SysReg::kVBAR_EL1,
+    SysReg::kCPACR_EL1, SysReg::kELR_EL1,   SysReg::kSPSR_EL1,
+    SysReg::kSP_EL1,
+};
+
+constexpr std::array<SysReg, kNumVmEl1Regs> kEl12Encodings = {
+    SysReg::kSCTLR_EL12, SysReg::kTTBR0_EL12, SysReg::kTTBR1_EL12,
+    SysReg::kTCR_EL12,   SysReg::kESR_EL12,   SysReg::kFAR_EL12,
+    SysReg::kAFSR0_EL12, SysReg::kAFSR1_EL12, SysReg::kMAIR_EL12,
+    SysReg::kAMAIR_EL12, SysReg::kCONTEXTIDR_EL12, SysReg::kVBAR_EL12,
+    SysReg::kCPACR_EL12, SysReg::kELR_EL12,   SysReg::kSPSR_EL12,
+    SysReg::kSP_EL1,  // no *_EL12 alias exists; encoding shared
+};
+
+constexpr std::array<RegId, kNumVmEl1Regs> kEl1RegIds = {
+    RegId::kSCTLR_EL1, RegId::kTTBR0_EL1, RegId::kTTBR1_EL1,
+    RegId::kTCR_EL1,   RegId::kESR_EL1,   RegId::kFAR_EL1,
+    RegId::kAFSR0_EL1, RegId::kAFSR1_EL1, RegId::kMAIR_EL1,
+    RegId::kAMAIR_EL1, RegId::kCONTEXTIDR_EL1, RegId::kVBAR_EL1,
+    RegId::kCPACR_EL1, RegId::kELR_EL1,   RegId::kSPSR_EL1,
+    RegId::kSP_EL1,
+};
+
+// One cached memory reference for the in-memory context slot accompanying
+// each register save/restore.
+void ChargeContextSlot(Cpu& cpu) { cpu.Compute(cpu.cost().mem_access); }
+
+}  // namespace
+
+std::span<const RegId> VmEl1RegIds() { return kEl1RegIds; }
+
+int El1ContextIndexOf(RegId el1_reg) {
+  for (int i = 0; i < kNumVmEl1Regs; ++i) {
+    if (kEl1RegIds[i] == el1_reg) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+std::span<const SysReg> VmEl1Encodings(bool vhe) {
+  return vhe ? std::span<const SysReg>(kEl12Encodings)
+             : std::span<const SysReg>(kEl1Encodings);
+}
+
+void SaveEl1Context(Cpu& cpu, bool vhe, El1Context* out) {
+  std::span<const SysReg> encs = VmEl1Encodings(vhe);
+  for (int i = 0; i < kNumVmEl1Regs; ++i) {
+    out->regs[i] = cpu.SysRegRead(encs[i]);
+    ChargeContextSlot(cpu);
+  }
+}
+
+void RestoreEl1Context(Cpu& cpu, bool vhe, const El1Context& in) {
+  std::span<const SysReg> encs = VmEl1Encodings(vhe);
+  for (int i = 0; i < kNumVmEl1Regs; ++i) {
+    ChargeContextSlot(cpu);
+    cpu.SysRegWrite(encs[i], in.regs[i]);
+  }
+}
+
+ExitInfo ReadExitInfo(Cpu& cpu, bool vhe, bool read_fault_regs) {
+  // The syndrome registers are the hypervisor's *own* EL2 state; VHE and
+  // non-VHE builds both use the EL2 encodings (E2H redirection only affects
+  // EL1 encodings). At virtual EL2 these accesses trap under plain
+  // ARMv8.3-NV and become EL1-register reads under NEVE (Table 4 redirect).
+  (void)vhe;
+  ExitInfo info;
+  info.esr = cpu.SysRegRead(SysReg::kESR_EL2);
+  info.elr = cpu.SysRegRead(SysReg::kELR_EL2);
+  info.spsr = cpu.SysRegRead(SysReg::kSPSR_EL2);
+  if (read_fault_regs) {
+    info.far = cpu.SysRegRead(SysReg::kFAR_EL2);
+    info.hpfar = cpu.SysRegRead(SysReg::kHPFAR_EL2);
+  }
+  return info;
+}
+
+void WriteReturnState(Cpu& cpu, bool vhe, uint64_t elr, uint64_t spsr) {
+  (void)vhe;
+  cpu.SysRegWrite(SysReg::kELR_EL2, elr);
+  cpu.SysRegWrite(SysReg::kSPSR_EL2, spsr);
+}
+
+void SaveExtEl1Context(Cpu& cpu, bool vhe, ExtEl1Context* out) {
+  out->regs[0] = cpu.SysRegRead(SysReg::kTPIDR_EL0);
+  out->regs[1] = cpu.SysRegRead(SysReg::kTPIDRRO_EL0);
+  out->regs[2] = cpu.SysRegRead(SysReg::kTPIDR_EL1);
+  out->regs[3] = cpu.SysRegRead(SysReg::kPAR_EL1);
+  out->regs[4] =
+      cpu.SysRegRead(vhe ? SysReg::kCNTKCTL_EL12 : SysReg::kCNTKCTL_EL1);
+  out->regs[5] = cpu.SysRegRead(SysReg::kCSSELR_EL1);
+  for (int i = 0; i < kNumExtEl1Regs; ++i) {
+    ChargeContextSlot(cpu);
+  }
+}
+
+void RestoreExtEl1Context(Cpu& cpu, bool vhe, const ExtEl1Context& in) {
+  for (int i = 0; i < kNumExtEl1Regs; ++i) {
+    ChargeContextSlot(cpu);
+  }
+  cpu.SysRegWrite(SysReg::kTPIDR_EL0, in.regs[0]);
+  cpu.SysRegWrite(SysReg::kTPIDRRO_EL0, in.regs[1]);
+  cpu.SysRegWrite(SysReg::kTPIDR_EL1, in.regs[2]);
+  cpu.SysRegWrite(SysReg::kPAR_EL1, in.regs[3]);
+  cpu.SysRegWrite(vhe ? SysReg::kCNTKCTL_EL12 : SysReg::kCNTKCTL_EL1,
+                  in.regs[4]);
+  cpu.SysRegWrite(SysReg::kCSSELR_EL1, in.regs[5]);
+}
+
+void SavePmuDebugState(Cpu& cpu, PmuDebugContext* out) {
+  out->mdscr = cpu.SysRegRead(SysReg::kMDSCR_EL1);
+  out->pmuserenr = cpu.SysRegRead(SysReg::kPMUSERENR_EL0);
+  cpu.SysRegWrite(SysReg::kPMUSERENR_EL0, 0);  // lock out EL0 counters
+  ChargeContextSlot(cpu);
+  ChargeContextSlot(cpu);
+}
+
+void RestorePmuDebugState(Cpu& cpu, const PmuDebugContext& in) {
+  ChargeContextSlot(cpu);
+  cpu.SysRegWrite(SysReg::kPMUSERENR_EL0, in.pmuserenr);
+  cpu.SysRegWrite(SysReg::kPMSELR_EL0, 0);
+}
+
+void SaveVgic(Cpu& cpu, VgicContext* ctx) {
+  ctx->vmcr = cpu.SysRegRead(SysReg::kICH_VMCR_EL2);
+  ChargeContextSlot(cpu);
+  // Live list registers are discovered through the status registers.
+  (void)cpu.SysRegRead(SysReg::kICH_VTR_EL2);
+  (void)cpu.SysRegRead(SysReg::kICH_ELRSR_EL2);
+  (void)cpu.SysRegRead(SysReg::kICH_EISR_EL2);
+  for (int i = 0; i < ctx->lrs_in_use; ++i) {
+    ctx->lr[i] = cpu.SysRegRead(IchListRegisterEncoding(i));
+    ChargeContextSlot(cpu);
+  }
+  if (ctx->lrs_in_use > 0) {
+    (void)cpu.SysRegRead(SysReg::kICH_AP1R0_EL2);
+  }
+  cpu.SysRegWrite(SysReg::kICH_HCR_EL2, 0);  // disable maintenance interface
+}
+
+void RestoreVgic(Cpu& cpu, const VgicContext& ctx) {
+  cpu.SysRegWrite(SysReg::kICH_VMCR_EL2, ctx.vmcr);
+  for (int i = 0; i < ctx.lrs_in_use; ++i) {
+    ChargeContextSlot(cpu);
+    cpu.SysRegWrite(IchListRegisterEncoding(i), ctx.lr[i]);
+  }
+  if (ctx.lrs_in_use > 0) {
+    cpu.SysRegWrite(SysReg::kICH_AP1R0_EL2, 0);
+  }
+  cpu.SysRegWrite(SysReg::kICH_HCR_EL2, 1);  // En
+}
+
+void SaveGuestTimer(Cpu& cpu, bool vhe, TimerContext* out) {
+  if (vhe) {
+    // VHE hypervisors reach the guest's EL1 virtual timer through the
+    // *_EL02 encodings -- which always trap at virtual EL2, even with NEVE
+    // (section 7.1's extra traps for VHE guest hypervisors).
+    out->cntv_ctl = cpu.SysRegRead(SysReg::kCNTV_CTL_EL02);
+    cpu.SysRegWrite(SysReg::kCNTV_CTL_EL02, 0);  // mask while in hypervisor
+    if (TestBit(out->cntv_ctl, 0)) {
+      out->cntv_cval = cpu.SysRegRead(SysReg::kCNTV_CVAL_EL02);
+    }
+  } else {
+    out->cntv_ctl = cpu.SysRegRead(SysReg::kCNTV_CTL_EL0);
+    cpu.SysRegWrite(SysReg::kCNTV_CTL_EL0, 0);
+    if (TestBit(out->cntv_ctl, 0)) {
+      out->cntv_cval = cpu.SysRegRead(SysReg::kCNTV_CVAL_EL0);
+    }
+  }
+  // Open host access to the physical counter while in the hypervisor/host.
+  cpu.SysRegWrite(SysReg::kCNTHCTL_EL2, 0b11);
+}
+
+void RestoreGuestTimer(Cpu& cpu, bool vhe, const TimerContext& in,
+                       uint64_t cntvoff) {
+  cpu.SysRegWrite(SysReg::kCNTHCTL_EL2, 0b01);  // restrict counter access
+  cpu.SysRegWrite(SysReg::kCNTVOFF_EL2, cntvoff);
+  // The compare value only needs reprogramming when the timer is armed.
+  if (vhe) {
+    if (TestBit(in.cntv_ctl, 0)) {
+      cpu.SysRegWrite(SysReg::kCNTV_CVAL_EL02, in.cntv_cval);
+    }
+    cpu.SysRegWrite(SysReg::kCNTV_CTL_EL02, in.cntv_ctl);
+  } else {
+    if (TestBit(in.cntv_ctl, 0)) {
+      cpu.SysRegWrite(SysReg::kCNTV_CVAL_EL0, in.cntv_cval);
+    }
+    cpu.SysRegWrite(SysReg::kCNTV_CTL_EL0, in.cntv_ctl);
+  }
+}
+
+void WriteGuestTrapControls(Cpu& cpu, uint64_t hcr, uint64_t vttbr,
+                            uint64_t vmpidr) {
+  cpu.SysRegWrite(SysReg::kVMPIDR_EL2, vmpidr);
+  cpu.SysRegWrite(SysReg::kVPIDR_EL2, cpu.PeekReg(RegId::kMIDR_EL1));
+  cpu.SysRegWrite(SysReg::kHSTR_EL2, 0);
+  cpu.SysRegWrite(SysReg::kVTTBR_EL2, vttbr);
+  // HCR is read-modify-written: per-vcpu bits over the global base.
+  uint64_t cur = cpu.SysRegRead(SysReg::kHCR_EL2);
+  cpu.SysRegWrite(SysReg::kHCR_EL2, (cur & 0) | hcr);
+  // Activate FP/debug traps for the guest.
+  cpu.SysRegWrite(SysReg::kCPTR_EL2, 1);
+  cpu.SysRegWrite(SysReg::kMDCR_EL2, 1);
+}
+
+void WriteHostTrapControls(Cpu& cpu, uint64_t host_hcr) {
+  uint64_t cur = cpu.SysRegRead(SysReg::kHCR_EL2);
+  cpu.SysRegWrite(SysReg::kHCR_EL2, (cur & 0) | host_hcr);
+  cpu.SysRegWrite(SysReg::kVTTBR_EL2, 0);
+  cpu.SysRegWrite(SysReg::kCPTR_EL2, 0);
+  cpu.SysRegWrite(SysReg::kMDCR_EL2, 0);
+}
+
+void TouchPerCpuData(Cpu& cpu) {
+  // Per-cpu data pointer loads at vector entry and in the run loop.
+  (void)cpu.SysRegRead(SysReg::kTPIDR_EL2);
+  ChargeContextSlot(cpu);
+  (void)cpu.SysRegRead(SysReg::kTPIDR_EL2);
+  ChargeContextSlot(cpu);
+}
+
+}  // namespace neve

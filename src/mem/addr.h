@@ -1,0 +1,54 @@
+// Strongly-typed addresses for the three translation regimes involved in
+// nested virtualization (paper section 4):
+//
+//   Va  -- virtual address (what a guest's Stage-1 tables translate)
+//   Ipa -- intermediate physical address (guest "physical"; Stage-2 input)
+//   Pa  -- machine physical address
+//
+// With nesting there are *three* address spaces stacked below an L2 VA
+// (L2 IPA -> L1 IPA -> L0 PA); the types keep hypervisor code honest about
+// which space a value lives in.
+
+#ifndef NEVE_SRC_MEM_ADDR_H_
+#define NEVE_SRC_MEM_ADDR_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace neve {
+
+namespace internal {
+
+template <typename Tag>
+struct Address {
+  uint64_t value = 0;
+
+  constexpr Address() = default;
+  constexpr explicit Address(uint64_t v) : value(v) {}
+
+  constexpr auto operator<=>(const Address&) const = default;
+
+  constexpr Address operator+(uint64_t off) const {
+    return Address(value + off);
+  }
+  constexpr uint64_t PageIndex() const { return value >> 12; }
+  constexpr uint64_t PageOffset() const { return value & 0xFFF; }
+  constexpr Address PageBase() const { return Address(value & ~uint64_t{0xFFF}); }
+};
+
+struct VaTag {};
+struct IpaTag {};
+struct PaTag {};
+
+}  // namespace internal
+
+using Va = internal::Address<internal::VaTag>;
+using Ipa = internal::Address<internal::IpaTag>;
+using Pa = internal::Address<internal::PaTag>;
+
+inline constexpr uint64_t kPageSize = 4096;
+inline constexpr uint64_t kPageShift = 12;
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_MEM_ADDR_H_

@@ -1,0 +1,31 @@
+// Abstract 64-bit word memory interface.
+//
+// Page tables are built over this rather than PhysMem directly so that a
+// guest hypervisor's Stage-2 tables -- which live in *its* physical (IPA)
+// space -- can be read and written through a translating view
+// (GuestPhysView in shadow_s2.h). The host's shadow-S2 collapse walks the
+// guest's tables through exactly such a view, as real hardware-assisted
+// software walkers do.
+
+#ifndef NEVE_SRC_MEM_MEM_IO_H_
+#define NEVE_SRC_MEM_MEM_IO_H_
+
+#include <cstdint>
+
+#include "src/mem/addr.h"
+
+namespace neve {
+
+class MemIo {
+ public:
+  virtual ~MemIo() = default;
+
+  virtual uint64_t Read64(Pa pa) const = 0;
+  virtual void Write64(Pa pa, uint64_t value) = 0;
+  virtual void ZeroPage(Pa page_base) = 0;
+  virtual bool Contains(Pa pa, uint64_t bytes) const = 0;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_MEM_MEM_IO_H_

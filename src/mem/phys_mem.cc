@@ -1,0 +1,102 @@
+#include "src/mem/phys_mem.h"
+
+#include <cstring>
+
+#include "src/base/bits.h"
+#include "src/base/status.h"
+
+namespace neve {
+
+PhysMem::PhysMem(uint64_t size_bytes) : size_(size_bytes) {
+  NEVE_CHECK_MSG(IsAligned(size_bytes, kPageSize), "size must be page aligned");
+}
+
+void PhysMem::CheckRange(Pa pa, uint64_t bytes) const {
+  NEVE_CHECK_MSG(Contains(pa, bytes), "PA out of range: 0x" +
+                                          std::to_string(pa.value) + " size " +
+                                          std::to_string(size_));
+  // Accesses must not straddle a page boundary (hardware would split them;
+  // simulator callers always use naturally aligned accesses).
+  NEVE_CHECK_MSG(pa.PageOffset() + bytes <= kPageSize, "access crosses page");
+}
+
+PhysMem::Page& PhysMem::PageFor(Pa pa) {
+  auto& slot = pages_[pa.PageIndex()];
+  if (slot == nullptr) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+const PhysMem::Page* PhysMem::PageForRead(Pa pa) const {
+  auto it = pages_.find(pa.PageIndex());
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+uint64_t PhysMem::Read64(Pa pa) const {
+  CheckRange(pa, 8);
+  const Page* page = PageForRead(pa);
+  if (page == nullptr) {
+    return 0;
+  }
+  uint64_t v = 0;
+  std::memcpy(&v, page->data() + pa.PageOffset(), 8);
+  return v;
+}
+
+void PhysMem::Write64(Pa pa, uint64_t value) {
+  CheckRange(pa, 8);
+  std::memcpy(PageFor(pa).data() + pa.PageOffset(), &value, 8);
+}
+
+uint32_t PhysMem::Read32(Pa pa) const {
+  CheckRange(pa, 4);
+  const Page* page = PageForRead(pa);
+  if (page == nullptr) {
+    return 0;
+  }
+  uint32_t v = 0;
+  std::memcpy(&v, page->data() + pa.PageOffset(), 4);
+  return v;
+}
+
+void PhysMem::Write32(Pa pa, uint32_t value) {
+  CheckRange(pa, 4);
+  std::memcpy(PageFor(pa).data() + pa.PageOffset(), &value, 4);
+}
+
+uint8_t PhysMem::Read8(Pa pa) const {
+  CheckRange(pa, 1);
+  const Page* page = PageForRead(pa);
+  return page == nullptr ? 0 : (*page)[pa.PageOffset()];
+}
+
+void PhysMem::Write8(Pa pa, uint8_t value) {
+  CheckRange(pa, 1);
+  PageFor(pa)[pa.PageOffset()] = value;
+}
+
+void PhysMem::ZeroPage(Pa page_base) {
+  NEVE_CHECK(IsAligned(page_base.value, kPageSize));
+  CheckRange(page_base, kPageSize);
+  PageFor(page_base).fill(0);
+}
+
+PageAllocator::PageAllocator(MemIo* mem, Pa start, uint64_t size)
+    : mem_(mem), start_(start), next_(start.value), end_(start.value + size) {
+  NEVE_CHECK(mem != nullptr);
+  NEVE_CHECK(IsAligned(start.value, kPageSize));
+  NEVE_CHECK(IsAligned(size, kPageSize));
+  NEVE_CHECK_MSG(mem->Contains(start, size), "allocator region outside mem");
+}
+
+Pa PageAllocator::AllocPage() {
+  NEVE_CHECK_MSG(next_ < end_, "page allocator exhausted");
+  Pa page(next_);
+  next_ += kPageSize;
+  mem_->ZeroPage(page);
+  return page;
+}
+
+}  // namespace neve

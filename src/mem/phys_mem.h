@@ -1,0 +1,78 @@
+// Sparse physical memory backing the simulated machine.
+//
+// Pages materialize on first touch; the simulator never cares about the
+// host's memory layout, only that every PA within the configured size reads
+// back what was last written. A bump allocator hands out fresh pages for
+// page tables, deferred access pages, and guest RAM carve-outs.
+
+#ifndef NEVE_SRC_MEM_PHYS_MEM_H_
+#define NEVE_SRC_MEM_PHYS_MEM_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/mem/addr.h"
+#include "src/mem/mem_io.h"
+
+namespace neve {
+
+class PhysMem : public MemIo {
+ public:
+  // size must be page aligned.
+  explicit PhysMem(uint64_t size_bytes);
+
+  uint64_t size() const { return size_; }
+  bool Contains(Pa pa, uint64_t bytes) const override {
+    return pa.value + bytes <= size_ && pa.value + bytes >= pa.value;
+  }
+
+  uint64_t Read64(Pa pa) const override;
+  void Write64(Pa pa, uint64_t value) override;
+  uint32_t Read32(Pa pa) const;
+  void Write32(Pa pa, uint32_t value);
+  uint8_t Read8(Pa pa) const;
+  void Write8(Pa pa, uint8_t value);
+
+  // Zeroes an entire page.
+  void ZeroPage(Pa page_base) override;
+
+  // Number of pages actually materialized (for tests / stats).
+  size_t ResidentPages() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<uint8_t, kPageSize>;
+
+  Page& PageFor(Pa pa);
+  const Page* PageForRead(Pa pa) const;
+  void CheckRange(Pa pa, uint64_t bytes) const;
+
+  uint64_t size_;
+  mutable std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+// Hands out fresh page-aligned physical pages from a region of PhysMem.
+class PageAllocator {
+ public:
+  // Allocates from [start, start+size) within mem. Region must be page
+  // aligned and inside mem.
+  PageAllocator(MemIo* mem, Pa start, uint64_t size);
+
+  // Returns a zeroed page. Aborts if the region is exhausted (the simulator
+  // sizes regions generously; exhaustion is a configuration bug).
+  Pa AllocPage();
+
+  uint64_t PagesAllocated() const { return (next_ - start_.value) >> kPageShift; }
+  uint64_t PagesRemaining() const { return (end_ - next_) >> kPageShift; }
+
+ private:
+  MemIo* mem_;
+  Pa start_;
+  uint64_t next_;
+  uint64_t end_;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_MEM_PHYS_MEM_H_

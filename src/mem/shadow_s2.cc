@@ -1,0 +1,72 @@
+#include "src/mem/shadow_s2.h"
+
+#include "src/base/status.h"
+
+namespace neve {
+
+Pa GuestPhysView::Translate(Pa ipa_as_pa, bool is_write) const {
+  WalkResult walk = host_s2_->Walk(Ipa(ipa_as_pa.value), is_write);
+  NEVE_CHECK_MSG(walk.ok, "GuestPhysView: IPA not mapped in host Stage-2");
+  return walk.pa;
+}
+
+uint64_t GuestPhysView::Read64(Pa ipa_as_pa) const {
+  return parent_->Read64(Translate(ipa_as_pa, /*is_write=*/false));
+}
+
+void GuestPhysView::Write64(Pa ipa_as_pa, uint64_t value) {
+  parent_->Write64(Translate(ipa_as_pa, /*is_write=*/true), value);
+}
+
+void GuestPhysView::ZeroPage(Pa page_base) {
+  parent_->ZeroPage(Translate(page_base, /*is_write=*/true));
+}
+
+bool GuestPhysView::Contains(Pa ipa_as_pa, uint64_t bytes) const {
+  // Bounded by the Stage-2 mapping itself; delegate the final check to the
+  // machine memory after translation on access. Straddle checks still apply.
+  (void)ipa_as_pa;
+  (void)bytes;
+  return true;
+}
+
+ShadowS2::ShadowS2(MemIo* mem, PageAllocator* alloc) : table_(mem, alloc) {}
+
+ShadowS2::FixupResult ShadowS2::HandleFault(Ipa l2_ipa, bool is_write,
+                                            const Stage2Table& virtual_s2,
+                                            const Stage2Table& host_s2) {
+  // The table object's own memory view and root are authoritative here.
+  WalkResult virt = virtual_s2.Walk(l2_ipa, is_write);
+  return FinishFault(l2_ipa, virt, is_write, host_s2);
+}
+
+ShadowS2::FixupResult ShadowS2::HandleFault(Ipa l2_ipa, bool is_write,
+                                            const MemIo& guest_view,
+                                            Pa virtual_s2_root,
+                                            const Stage2Table& host_s2) {
+  WalkResult virt =
+      PageTable::WalkFrom(guest_view, virtual_s2_root, l2_ipa.value, is_write);
+  return FinishFault(l2_ipa, virt, is_write, host_s2);
+}
+
+ShadowS2::FixupResult ShadowS2::FinishFault(Ipa l2_ipa, const WalkResult& virt,
+                                            bool is_write,
+                                            const Stage2Table& host_s2) {
+  if (!virt.ok) {
+    return FixupResult::kVirtualFault;
+  }
+  // Step 2: L1 IPA -> L0 PA through the host's tables.
+  Ipa l1_ipa(virt.pa.value);
+  WalkResult host = host_s2.Walk(l1_ipa, is_write);
+  if (!host.ok) {
+    return FixupResult::kHostFault;
+  }
+  // Step 3: install the collapsed mapping with intersected permissions.
+  PagePerms perms{.write = virt.perms.write && host.perms.write,
+                  .user = virt.perms.user};
+  table_.MapPage(Ipa(l2_ipa.PageBase().value), host.pa.PageBase(), perms);
+  ++faults_handled_;
+  return FixupResult::kInstalled;
+}
+
+}  // namespace neve

@@ -1,0 +1,92 @@
+// Shadow Stage-2 page tables for nested memory virtualization (paper
+// section 4).
+//
+// ARM hardware performs at most two translation stages, but a nested VM needs
+// three: L2 VA -> L2 IPA (guest OS Stage-1), L2 IPA -> L1 IPA (guest
+// hypervisor's virtual Stage-2) and L1 IPA -> L0 PA (host Stage-2). The host
+// hypervisor collapses the last two into a *shadow* Stage-2 table
+// (L2 IPA -> L0 PA) which is what the hardware actually uses while the
+// nested VM runs. Shadow entries are built lazily on Stage-2 faults.
+
+#ifndef NEVE_SRC_MEM_SHADOW_S2_H_
+#define NEVE_SRC_MEM_SHADOW_S2_H_
+
+#include <cstdint>
+
+#include "src/mem/mem_io.h"
+#include "src/mem/page_table.h"
+#include "src/mem/phys_mem.h"
+
+namespace neve {
+
+// Memory view in a VM's IPA space: every access is translated through the
+// VM's (host-maintained) Stage-2 table before touching the parent address
+// space. The guest hypervisor's own page tables are built over this view,
+// exactly as a guest hypervisor's table walks land in guest-physical memory
+// on hardware. Views compose: an L2 guest-physical view stacks a GuestPhysView
+// on top of the L1 view, giving the L3-capable recursion of section 6.2.
+class GuestPhysView : public MemIo {
+ public:
+  GuestPhysView(MemIo* parent, const Stage2Table* host_s2)
+      : parent_(parent), host_s2_(host_s2) {}
+
+  uint64_t Read64(Pa ipa_as_pa) const override;
+  void Write64(Pa ipa_as_pa, uint64_t value) override;
+  void ZeroPage(Pa page_base) override;
+  bool Contains(Pa ipa_as_pa, uint64_t bytes) const override;
+
+ private:
+  Pa Translate(Pa ipa_as_pa, bool is_write) const;
+
+  MemIo* parent_;
+  const Stage2Table* host_s2_;
+};
+
+// The host hypervisor's shadow table for one nested VM.
+class ShadowS2 {
+ public:
+  enum class FixupResult {
+    kInstalled,     // mapping created; the faulting access can be replayed
+    kVirtualFault,  // guest hypervisor's own Stage-2 lacks a mapping: the
+                    // fault must be forwarded to the guest hypervisor
+    kHostFault,     // host Stage-2 lacks a mapping (host bug or MMIO region)
+  };
+
+  // Table pages come from `alloc`; `mem` is the address space the shadow
+  // tree lives in (machine memory for the host hypervisor, a guest-physical
+  // view for a guest hypervisor shadowing its own guest's tables).
+  ShadowS2(MemIo* mem, PageAllocator* alloc);
+
+  // Collapses the guest hypervisor's virtual Stage-2 (L2 IPA -> L1 IPA,
+  // rooted at `virtual_s2_root` in guest-physical space and walked through
+  // `guest_view`) with host_s2 (L1 IPA -> L0 PA) for the faulting page and
+  // installs the combined mapping. Effective permissions are the
+  // intersection.
+  FixupResult HandleFault(Ipa l2_ipa, bool is_write, const MemIo& guest_view,
+                          Pa virtual_s2_root, const Stage2Table& host_s2);
+
+  // Convenience overload for tests holding a Stage2Table object.
+  FixupResult HandleFault(Ipa l2_ipa, bool is_write,
+                          const Stage2Table& virtual_s2,
+                          const Stage2Table& host_s2);
+
+  // The guest hypervisor changed its virtual Stage-2 (vTTBR write / TLBI):
+  // all shadow entries are stale.
+  void Flush() { table_.Reset(); }
+
+  const Stage2Table& table() const { return table_; }
+  Stage2Table& table() { return table_; }
+
+  uint64_t faults_handled() const { return faults_handled_; }
+
+ private:
+  FixupResult FinishFault(Ipa l2_ipa, const WalkResult& virt, bool is_write,
+                          const Stage2Table& host_s2);
+
+  Stage2Table table_;
+  uint64_t faults_handled_ = 0;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_MEM_SHADOW_S2_H_

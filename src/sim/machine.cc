@@ -1,0 +1,39 @@
+#include "src/sim/machine.h"
+
+#include "src/base/bits.h"
+#include "src/base/status.h"
+
+namespace neve {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      mem_(config.ram_size + config.host_pool_size),
+      gic_(config.num_cpus),
+      timer_(&gic_, config.cycles_per_timer_tick),
+      host_pool_(&mem_, Pa(config.ram_size), config.host_pool_size),
+      next_guest_ram_(0) {
+  NEVE_CHECK(config.num_cpus > 0);
+  NEVE_CHECK(IsAligned(config.ram_size, kPageSize));
+  NEVE_CHECK(IsAligned(config.host_pool_size, kPageSize));
+  cpus_.reserve(config.num_cpus);
+  for (int i = 0; i < config.num_cpus; ++i) {
+    cpus_.push_back(
+        std::make_unique<Cpu>(i, config.features, config.cost, &mem_));
+    gic_.AttachCpu(cpus_.back().get());
+  }
+}
+
+Pa Machine::AllocGuestRam(uint64_t size) {
+  NEVE_CHECK(IsAligned(size, kPageSize));
+  NEVE_CHECK_MSG(next_guest_ram_ + size <= config_.ram_size,
+                 "guest RAM exhausted; raise MachineConfig::ram_size");
+  Pa base(next_guest_ram_);
+  next_guest_ram_ += size;
+  return base;
+}
+
+void Machine::PropagateEventTime(Cpu& target, uint64_t raiser_cycles) {
+  target.AdvanceTo(raiser_cycles + config_.ipi_wire_latency);
+}
+
+}  // namespace neve

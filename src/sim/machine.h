@@ -1,0 +1,77 @@
+// The simulated machine: physical memory, CPUs, GIC and timers.
+//
+// Memory map (machine physical):
+//   [0,            ram_size)                guest RAM carve-outs (hyp-managed)
+//   [pool_base,    pool_base + pool_size)   host page pool: page tables,
+//                                           deferred access pages, etc.
+//
+// Cross-CPU time: each CPU has its own cycle clock; cross-CPU events (IPIs,
+// device interrupts) carry the raiser's timestamp, and the receiving side
+// advances its clock to max(local, raiser + wire latency) -- a conservative
+// discrete-event rendezvous that keeps multi-vCPU benchmarks (Virtual IPI)
+// deterministic without threads.
+
+#ifndef NEVE_SRC_SIM_MACHINE_H_
+#define NEVE_SRC_SIM_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/arch/features.h"
+#include "src/cpu/cost_model.h"
+#include "src/cpu/cpu.h"
+#include "src/gic/gic.h"
+#include "src/mem/phys_mem.h"
+#include "src/timer/timer.h"
+
+namespace neve {
+
+struct MachineConfig {
+  int num_cpus = 1;
+  uint64_t ram_size = 256ull << 20;        // guest-assignable RAM
+  uint64_t host_pool_size = 64ull << 20;   // page tables & host pages
+  ArchFeatures features = ArchFeatures::Armv83Nv();
+  CostModel cost = CostModel::Default();
+  uint64_t cycles_per_timer_tick = 24;     // 2.4 GHz CPU, 100 MHz counter
+  uint64_t ipi_wire_latency = 150;         // cycles for a cross-CPU signal
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& config() const { return config_; }
+
+  int num_cpus() const { return static_cast<int>(cpus_.size()); }
+  Cpu& cpu(int i) { return *cpus_.at(i); }
+  PhysMem& mem() { return mem_; }
+  GicV3& gic() { return gic_; }
+  TimerUnit& timer() { return timer_; }
+
+  // Host page pool (page tables, VNCR pages, shadow tables).
+  PageAllocator& host_pool() { return host_pool_; }
+
+  // Guest RAM carve-outs: returns the base of a fresh region of `size` bytes.
+  Pa AllocGuestRam(uint64_t size);
+
+  // Applies the cross-CPU rendezvous rule to `target`'s clock for an event
+  // raised at `raiser_cycles`.
+  void PropagateEventTime(Cpu& target, uint64_t raiser_cycles);
+
+ private:
+  MachineConfig config_;
+  PhysMem mem_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+  GicV3 gic_;
+  TimerUnit timer_;
+  PageAllocator host_pool_;
+  uint64_t next_guest_ram_;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_SIM_MACHINE_H_

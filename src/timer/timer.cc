@@ -1,0 +1,53 @@
+#include "src/timer/timer.h"
+
+#include "src/base/bits.h"
+#include "src/base/status.h"
+
+namespace neve {
+
+TimerUnit::TimerUnit(GicV3* gic, uint64_t cycles_per_tick)
+    : gic_(gic), cycles_per_tick_(cycles_per_tick) {
+  NEVE_CHECK(gic != nullptr);
+  NEVE_CHECK(cycles_per_tick > 0);
+}
+
+uint64_t TimerUnit::CountFor(const Cpu& cpu) const {
+  return cpu.cycles() / cycles_per_tick_;
+}
+
+bool TimerUnit::Expired(const Cpu& cpu, uint64_t ctl, uint64_t cval) const {
+  bool enabled = TestBit(ctl, TimerCtl::kEnable);
+  bool masked = TestBit(ctl, TimerCtl::kImask);
+  return enabled && !masked && CountFor(cpu) >= cval;
+}
+
+bool TimerUnit::PollVirtualTimer(Cpu& cpu) {
+  uint64_t ctl = cpu.PeekReg(RegId::kCNTV_CTL_EL0);
+  uint64_t cval = cpu.PeekReg(RegId::kCNTV_CVAL_EL0);
+  // The virtual count is the physical count minus CNTVOFF_EL2 (saturating:
+  // an offset ahead of the physical count reads as zero).
+  uint64_t voff = cpu.PeekReg(RegId::kCNTVOFF_EL2);
+  if (!TestBit(ctl, TimerCtl::kEnable) || TestBit(ctl, TimerCtl::kImask)) {
+    return false;
+  }
+  uint64_t count = CountFor(cpu);
+  uint64_t vcount = count > voff ? count - voff : 0;
+  if (vcount < cval) {
+    return false;
+  }
+  cpu.PokeReg(RegId::kCNTV_CTL_EL0, SetBit(ctl, TimerCtl::kIstatus));
+  gic_->RaisePpi(cpu.index(), kVtimerPpi, cpu.cycles());
+  return true;
+}
+
+bool TimerUnit::PollHypVirtualTimer(Cpu& cpu) {
+  uint64_t ctl = cpu.PeekReg(RegId::kCNTHV_CTL_EL2);
+  uint64_t cval = cpu.PeekReg(RegId::kCNTHV_CVAL_EL2);
+  if (!Expired(cpu, ctl, cval)) {
+    return false;
+  }
+  cpu.PokeReg(RegId::kCNTHV_CTL_EL2, SetBit(ctl, TimerCtl::kIstatus));
+  return true;
+}
+
+}  // namespace neve

@@ -1,0 +1,56 @@
+// ARM generic timer model.
+//
+// Each CPU has an EL1 virtual timer (CNTV_*) and, with VHE, an EL2 virtual
+// timer (CNTHV_*) -- the extra timer the paper calls out as a source of
+// additional traps for VHE guest hypervisors (section 7.1). The count is
+// derived from the CPU's cycle clock; an enabled timer whose compare value
+// has passed raises the corresponding PPI through the GIC.
+
+#ifndef NEVE_SRC_TIMER_TIMER_H_
+#define NEVE_SRC_TIMER_TIMER_H_
+
+#include <cstdint>
+
+#include "src/cpu/cpu.h"
+#include "src/gic/gic.h"
+
+namespace neve {
+
+// PPI intids (GIC architecture assignments).
+inline constexpr uint32_t kVtimerPpi = 27;   // EL1 virtual timer
+inline constexpr uint32_t kHvtimerPpi = 28;  // EL2 virtual timer (VHE)
+inline constexpr uint32_t kPtimerPpi = 30;   // EL1 physical timer
+
+// CNT*_CTL bits.
+struct TimerCtl {
+  static constexpr unsigned kEnable = 0;
+  static constexpr unsigned kImask = 1;
+  static constexpr unsigned kIstatus = 2;
+};
+
+class TimerUnit {
+ public:
+  TimerUnit(GicV3* gic, uint64_t cycles_per_tick);
+
+  // Derives the architectural counter value from a CPU's cycle clock.
+  uint64_t CountFor(const Cpu& cpu) const;
+
+  // Checks the EL1 virtual timer condition for `cpu` and fires kVtimerPpi
+  // when it is enabled, unmasked and expired. Returns true when it fired.
+  // The simulated hypervisor polls this at world-switch points, standing in
+  // for the asynchronous hardware signal.
+  bool PollVirtualTimer(Cpu& cpu);
+
+  // Same for the EL2 virtual timer (VHE hosts).
+  bool PollHypVirtualTimer(Cpu& cpu);
+
+ private:
+  bool Expired(const Cpu& cpu, uint64_t ctl, uint64_t cval) const;
+
+  GicV3* gic_;
+  uint64_t cycles_per_tick_;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_TIMER_TIMER_H_

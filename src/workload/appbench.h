@@ -1,0 +1,84 @@
+// Application benchmark models (paper Table 8 / Figure 2).
+//
+// Each of the paper's ten application workloads is modeled as a per-request
+// *exit mix*: pure guest CPU work plus counts of hypercalls, virtio kicks
+// (MMIO notifications), device interrupts (RX), scheduler IPIs, and EOIs.
+// The mixes are replayed through the same simulated stacks as the
+// microbenchmarks, so every event exercises the full world-switch / exit
+// multiplication machinery; the reported number is overhead relative to
+// native execution (the Figure 2 y-axis).
+//
+// Two second-order mechanisms the paper discusses are modeled explicitly:
+//  - virtio notification scaling (section 7.2): the faster the backend
+//    handles kicks, the sooner it re-enables notifications and the more
+//    kicks/interrupts the frontend generates. x86's fast backend makes
+//    Memcached take "more than four times as many exits ... than NEVE";
+//    the x86_io_mult knob encodes the measured factor per workload.
+//  - device interrupt load / receive livelock: NIC interrupts arrive at a
+//    moderation-governed *rate* (irq_period cycles between interrupts), not
+//    per request. The fraction of CPU time spent in interrupt handling is
+//    x = irq_cost / irq_period; useful throughput scales by 1/(1-x), and
+//    once x approaches 1 the stack falls into NAPI polling with a bounded
+//    penalty. This is what turns ARMv8.3's ~0.5M-cycle interrupt path into
+//    the >40x collapses of Figure 2 while NEVE stays in the low single
+//    digits.
+
+#ifndef NEVE_SRC_WORKLOAD_APPBENCH_H_
+#define NEVE_SRC_WORKLOAD_APPBENCH_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/workload/microbench.h"
+
+namespace neve {
+
+struct AppProfile {
+  const char* name = "";
+  // Per request / unit of work:
+  uint32_t compute_cycles = 100000;  // guest CPU time
+  double hypercalls = 0;             // PSCI/pvtime style hypercalls
+  double kicks = 0;                  // virtio notifications (MMIO writes)
+  double inline_irqs = 0;            // request-synchronous interrupts (RR)
+  double ipis = 0;                   // cross-vCPU scheduler IPIs
+  // Device (NIC/timer) interrupt moderation period in cycles; 0 = no
+  // rate-based interrupt load.
+  uint64_t irq_period = 0;
+  // Native-execution cost of the same I/O events (syscalls, bare-metal IRQ
+  // handling) so that native isn't free I/O.
+  uint32_t native_io_cost = 600;
+  // Measured I/O-exit multiplier on x86 (virtio notification scaling).
+  double x86_io_mult = 1.0;
+  // Extra cheap exits per request on x86 (EPT pressure, APIC timer --
+  // the "high cost of x86 non-nested virtualization" the paper cites for
+  // MySQL). Handled on the host's fast path at both levels.
+  double x86_extra_exits = 0;
+};
+
+// The paper's ten workloads (Table 8), in Figure 2 order.
+std::span<const AppProfile> AppProfiles();
+
+// Figure 2 configurations.
+enum class AppStack {
+  kArmVm,
+  kArmNestedV83,
+  kArmNestedV83Vhe,
+  kArmNestedNeve,
+  kArmNestedNeveVhe,
+  kX86Vm,
+  kX86Nested,
+};
+const char* AppStackName(AppStack stack);
+
+struct AppBenchResult {
+  double overhead = 0;           // normalized to native (Figure 2 y-axis)
+  double cycles_per_request = 0;
+  double native_cycles_per_request = 0;
+};
+
+AppBenchResult RunAppBench(const AppProfile& profile, AppStack stack,
+                           int requests = 24);
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_WORKLOAD_APPBENCH_H_

@@ -1,0 +1,67 @@
+// kvm-unit-tests style microbenchmarks (paper section 5, Tables 1/6/7).
+//
+//   Hypercall   cost of a VM -> hypervisor -> VM round trip with no work
+//   Device I/O  cost of accessing a device emulated in the hypervisor
+//   Virtual IPI cost of a cross-vCPU IPI, sender-measured, both vCPUs live
+//   Virtual EOI cost of completing a virtual interrupt (trap-free path)
+//
+// Each benchmark runs on a freshly built stack: host hypervisor alone (VM
+// configuration) or host + deprivileged guest hypervisor (nested VM), with
+// the architecture selected by StackConfig. Results are simulated cycles and
+// traps-to-host-hypervisor per operation, matching the units of Tables 1-7.
+
+#ifndef NEVE_SRC_WORKLOAD_MICROBENCH_H_
+#define NEVE_SRC_WORKLOAD_MICROBENCH_H_
+
+#include <cstdint>
+
+namespace neve {
+
+enum class MicrobenchKind {
+  kHypercall,
+  kDeviceIo,
+  kVirtualIpi,
+  kVirtualEoi,
+};
+
+const char* MicrobenchName(MicrobenchKind kind);
+
+struct StackConfig {
+  bool nested = false;     // run the workload in a nested VM (L2) vs a VM (L1)
+  bool guest_vhe = false;  // the guest hypervisor uses the VHE design
+  bool neve = false;       // NEVE hardware (ARMv8.4) + host exposes it
+                           // (ignored unless nested)
+  // NEVE mechanism ablation (bench/ablation_neve).
+  bool neve_deferred = true;
+  bool neve_redirect = true;
+  bool neve_cached = true;
+  // GICv2 memory-mapped hypervisor interface for the guest hypervisor
+  // (instead of GICv3 system registers); see GuestKvmConfig::gicv2_mmio.
+  bool gicv2_mmio = false;
+
+  static StackConfig Vm() { return {}; }
+  static StackConfig NestedV83(bool vhe) {
+    return {.nested = true, .guest_vhe = vhe, .neve = false};
+  }
+  static StackConfig NestedNeve(bool vhe) {
+    return {.nested = true, .guest_vhe = vhe, .neve = true};
+  }
+};
+
+struct MicrobenchResult {
+  double cycles_per_op = 0;
+  double traps_per_op = 0;  // exceptions taken to the host hypervisor
+};
+
+MicrobenchResult RunArmMicrobench(MicrobenchKind kind, const StackConfig& cfg,
+                                  int iterations);
+
+// The x86 comparison stack (Tables 1/6/7 "x86" columns): KVM x86 with VT-x,
+// Turtles-style nesting, VMCS shadowing and APICv. traps_per_op counts
+// vmexits to the L0 hypervisor.
+MicrobenchResult RunX86Microbench(MicrobenchKind kind, bool nested,
+                                  int iterations, bool vmcs_shadowing = true);
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_WORKLOAD_MICROBENCH_H_

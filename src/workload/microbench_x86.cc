@@ -1,0 +1,158 @@
+#include <memory>
+
+#include "src/base/status.h"
+#include "src/workload/microbench.h"
+#include "src/x86/kvm_x86.h"
+
+namespace neve {
+namespace {
+
+constexpr int kWarmupIters = 4;
+constexpr uint32_t kIpiVector = 0xF2;
+
+struct X86Measure {
+  X86Machine* machine = nullptr;
+  uint64_t cycles_begin = 0;
+  uint64_t exits_begin = 0;
+  uint64_t cycles_end = 0;
+  uint64_t exits_end = 0;
+
+  void Begin(VmxCpu& cpu) {
+    cycles_begin = cpu.cycles();
+    exits_begin = machine->TotalVmexits();
+  }
+  void End(VmxCpu& cpu) {
+    cycles_end = cpu.cycles();
+    exits_end = machine->TotalVmexits();
+  }
+  MicrobenchResult Result(int iters) const {
+    return {.cycles_per_op =
+                static_cast<double>(cycles_end - cycles_begin) / iters,
+            .traps_per_op =
+                static_cast<double>(exits_end - exits_begin) / iters};
+  }
+};
+
+X86GuestMain MakeX86BenchBody(MicrobenchKind kind, X86Machine* machine,
+                              X86Measure* m, int iterations,
+                              std::shared_ptr<uint64_t> flag) {
+  switch (kind) {
+    case MicrobenchKind::kHypercall:
+      return [=](X86Env& env) {
+        for (int i = 0; i < kWarmupIters; ++i) {
+          env.Vmcall(0x20);
+        }
+        m->Begin(env.cpu());
+        for (int i = 0; i < iterations; ++i) {
+          env.Vmcall(0x20);
+        }
+        m->End(env.cpu());
+      };
+    case MicrobenchKind::kDeviceIo:
+      return [=](X86Env& env) {
+        for (int i = 0; i < kWarmupIters; ++i) {
+          (void)env.IoRead(0x1F0);
+        }
+        m->Begin(env.cpu());
+        for (int i = 0; i < iterations; ++i) {
+          (void)env.IoRead(0x1F0);
+        }
+        m->End(env.cpu());
+      };
+    case MicrobenchKind::kVirtualIpi:
+      return [=](X86Env& env) {
+        auto one_ipi = [&](uint64_t seq) {
+          env.SendIpi(/*target=*/1, kIpiVector);
+          while (*flag != seq) {
+            env.Compute(8);
+          }
+          env.cpu().AdvanceTo(machine->cpu(1).cycles());
+        };
+        for (int i = 0; i < kWarmupIters; ++i) {
+          one_ipi(static_cast<uint64_t>(i) + 1);
+        }
+        m->Begin(env.cpu());
+        for (int i = 0; i < iterations; ++i) {
+          one_ipi(static_cast<uint64_t>(kWarmupIters + i) + 1);
+        }
+        m->End(env.cpu());
+      };
+    case MicrobenchKind::kVirtualEoi:
+      return [=](X86Env& env) {
+        for (int i = 0; i < kWarmupIters; ++i) {
+          env.ApicEoi();
+        }
+        m->Begin(env.cpu());
+        for (int i = 0; i < iterations; ++i) {
+          env.ApicEoi();
+        }
+        m->End(env.cpu());
+      };
+  }
+  NEVE_CHECK(false);
+  return nullptr;
+}
+
+X86GuestMain MakeX86IpiReceiver(std::shared_ptr<uint64_t> flag) {
+  return [flag](X86Env& env) {
+    env.SetIrqHandler([flag](X86Env& henv, uint32_t) {
+      henv.Compute(120);  // handler body
+      *flag += 1;
+      henv.ApicEoi();
+    });
+    env.ParkRunning();
+  };
+}
+
+}  // namespace
+
+MicrobenchResult RunX86Microbench(MicrobenchKind kind, bool nested,
+                                  int iterations, bool vmcs_shadowing) {
+  NEVE_CHECK(iterations > 0);
+  int num_cpus = kind == MicrobenchKind::kVirtualIpi ? 2 : 1;
+  X86Machine machine(num_cpus, CostModel::Default());
+  KvmX86 l0(&machine, vmcs_shadowing);
+  X86Measure m{.machine = &machine};
+  auto flag = std::make_shared<uint64_t>(0);
+
+  if (!nested) {
+    X86Vcpu* sender = l0.CreateVcpu(false);
+    if (kind == MicrobenchKind::kVirtualIpi) {
+      X86Vcpu* receiver = l0.CreateVcpu(false);
+      receiver->main_sw = MakeX86IpiReceiver(flag);
+      l0.RunVcpu(*receiver, /*pcpu=*/1);
+    }
+    sender->main_sw = MakeX86BenchBody(kind, &machine, &m, iterations, flag);
+    l0.RunVcpu(*sender, /*pcpu=*/0);
+    return m.Result(iterations);
+  }
+
+  X86Vcpu* v0 = l0.CreateVcpu(/*nested_hyp=*/true);
+  std::unique_ptr<X86GuestHyp> l1;
+
+  if (kind == MicrobenchKind::kVirtualIpi) {
+    X86Vcpu* v1 = l0.CreateVcpu(/*nested_hyp=*/true);
+    v1->main_sw = [&](X86Env& env) {
+      l1 = std::make_unique<X86GuestHyp>(&env, &machine);
+      l1->RunNested(env, MakeX86IpiReceiver(flag));
+    };
+    l0.RunVcpu(*v1, /*pcpu=*/1);
+    v0->main_sw = [&](X86Env& env) {
+      l1->Attach(env);
+      l1->RunNested(env,
+                    MakeX86BenchBody(kind, &machine, &m, iterations, flag));
+    };
+    l0.RunVcpu(*v0, /*pcpu=*/0);
+    return m.Result(iterations);
+  }
+
+  v0->main_sw = [&](X86Env& env) {
+    l1 = std::make_unique<X86GuestHyp>(&env, &machine);
+    l1->RunNested(env,
+                  MakeX86BenchBody(kind, &machine, &m, iterations, flag));
+  };
+  l0.RunVcpu(*v0, /*pcpu=*/0);
+  return m.Result(iterations);
+}
+
+}  // namespace neve

@@ -1,0 +1,139 @@
+#include "src/workload/stacks.h"
+
+#include "src/base/status.h"
+#include "src/hyp/world_switch.h"
+
+namespace neve {
+
+ArmStack::ArmStack(const StackConfig& cfg, int num_cpus)
+    : cfg_(cfg), device_(SwCost::kDeviceIo) {
+  MachineConfig mc;
+  mc.num_cpus = num_cpus;
+  mc.features =
+      cfg.neve ? ArchFeatures::Armv84Neve() : ArchFeatures::Armv83Nv();
+  mc.features.neve_deferred = cfg.neve_deferred;
+  mc.features.neve_redirect = cfg.neve_redirect;
+  mc.features.neve_cached = cfg.neve_cached;
+  machine_ = std::make_unique<Machine>(mc);
+  l0_ = std::make_unique<HostKvm>(machine_.get(), HostKvmConfig{});
+
+  VmConfig vc;
+  vc.num_vcpus = num_cpus;
+  if (cfg.nested) {
+    vc.name = "l1";
+    vc.ram_size = 64ull << 20;
+    vc.virtual_el2 = true;
+    vc.expose_neve = cfg.neve;
+    vc.guest_vhe = cfg.guest_vhe;
+  } else {
+    vc.name = "vm";
+    vc.ram_size = 16ull << 20;
+  }
+  vm_ = l0_->CreateVm(vc);
+  if (!cfg.nested) {
+    vm_->AddMmioRange(Ipa(kBenchDeviceBase), kPageSize, &device_);
+  }
+}
+
+ArmStack::~ArmStack() = default;
+
+Vcpu& ArmStack::MeasuredVcpu() { return vm_->vcpu(0); }
+
+void ArmStack::Run(GuestMain body, GuestMain receiver) {
+  NEVE_CHECK(body);
+  if (!cfg_.nested) {
+    if (receiver) {
+      vm_->vcpu(1).main_sw.main = std::move(receiver);
+      l0_->RunVcpu(vm_->vcpu(1), /*pcpu=*/1);
+    }
+    vm_->vcpu(0).main_sw.main = std::move(body);
+    l0_->RunVcpu(vm_->vcpu(0), /*pcpu=*/0);
+    return;
+  }
+
+  GuestKvmConfig gc{.vhe = cfg_.guest_vhe, .gicv2_mmio = cfg_.gicv2_mmio};
+  if (receiver) {
+    // Boot the guest hypervisor on vCPU 1 and park the nested receiver.
+    vm_->vcpu(1).main_sw.main = [&, receiver](GuestEnv& env) {
+      l1_ = std::make_unique<GuestKvm>(&env, machine_.get(), gc);
+      l1_->SetMmioBackend(&device_);
+      VmConfig nvc;
+      nvc.name = "l2";
+      nvc.num_vcpus = 2;
+      nvc.ram_size = 8ull << 20;
+      nvm_ = l1_->CreateVm(nvc);
+      l1_->RunVcpu(env, nvm_->vcpu(1), receiver);
+    };
+    l0_->RunVcpu(vm_->vcpu(1), /*pcpu=*/1);
+    vm_->vcpu(0).main_sw.main = [&, body](GuestEnv& env) {
+      l1_->AttachVcpu(env);
+      l1_->RunVcpu(env, nvm_->vcpu(0), body);
+    };
+    l0_->RunVcpu(vm_->vcpu(0), /*pcpu=*/0);
+    return;
+  }
+
+  vm_->vcpu(0).main_sw.main = [&, body](GuestEnv& env) {
+    l1_ = std::make_unique<GuestKvm>(&env, machine_.get(), gc);
+    l1_->SetMmioBackend(&device_);
+    VmConfig nvc;
+    nvc.name = "l2";
+    nvc.ram_size = 8ull << 20;
+    nvm_ = l1_->CreateVm(nvc);
+    l1_->RunVcpu(env, nvm_->vcpu(0), body);
+  };
+  l0_->RunVcpu(vm_->vcpu(0), /*pcpu=*/0);
+}
+
+uint64_t ArmStack::TotalTrapsToHost() const {
+  uint64_t total = 0;
+  for (int i = 0; i < machine_->num_cpus(); ++i) {
+    total += machine_->cpu(i).trace().traps_to_el2();
+  }
+  return total;
+}
+
+X86Stack::X86Stack(bool nested, int num_cpus, bool vmcs_shadowing)
+    : nested_(nested) {
+  machine_ = std::make_unique<X86Machine>(num_cpus, CostModel::Default());
+  l0_ = std::make_unique<KvmX86>(machine_.get(), vmcs_shadowing);
+}
+
+void X86Stack::Run(X86GuestMain body, X86GuestMain receiver) {
+  NEVE_CHECK(body);
+  if (!nested_) {
+    X86Vcpu* sender = l0_->CreateVcpu(false);
+    if (receiver) {
+      X86Vcpu* rx = l0_->CreateVcpu(false);
+      rx->main_sw = std::move(receiver);
+      l0_->RunVcpu(*rx, /*pcpu=*/1);
+    }
+    sender->main_sw = std::move(body);
+    l0_->RunVcpu(*sender, /*pcpu=*/0);
+    return;
+  }
+
+  X86Vcpu* v0 = l0_->CreateVcpu(/*nested_hyp=*/true);
+  if (receiver) {
+    X86Vcpu* v1 = l0_->CreateVcpu(/*nested_hyp=*/true);
+    v1->main_sw = [&, receiver](X86Env& env) {
+      l1_ = std::make_unique<X86GuestHyp>(&env, machine_.get());
+      l1_->RunNested(env, receiver);
+    };
+    l0_->RunVcpu(*v1, /*pcpu=*/1);
+    v0->main_sw = [&, body](X86Env& env) {
+      l1_->Attach(env);
+      l1_->RunNested(env, body);
+    };
+    l0_->RunVcpu(*v0, /*pcpu=*/0);
+    return;
+  }
+
+  v0->main_sw = [&, body](X86Env& env) {
+    l1_ = std::make_unique<X86GuestHyp>(&env, machine_.get());
+    l1_->RunNested(env, body);
+  };
+  l0_->RunVcpu(*v0, /*pcpu=*/0);
+}
+
+}  // namespace neve

@@ -1,0 +1,80 @@
+// Reusable virtualization-stack harnesses for benchmarks and examples.
+//
+// An ArmStack builds the full simulated ARM stack for one Table-1/Figure-2
+// configuration: machine + host hypervisor (VM), or machine + host + guest
+// hypervisor + nested VM (nested). An X86Stack does the same for the VT-x
+// comparison stack. Both expose the "run the measured guest on pCPU 0, with
+// an optional parked receiver on pCPU 1" pattern every benchmark uses.
+
+#ifndef NEVE_SRC_WORKLOAD_STACKS_H_
+#define NEVE_SRC_WORKLOAD_STACKS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/hyp/guest_kvm.h"
+#include "src/hyp/host_kvm.h"
+#include "src/sim/machine.h"
+#include "src/workload/microbench.h"
+#include "src/x86/kvm_x86.h"
+
+namespace neve {
+
+// MMIO device region used by all guest workloads.
+inline constexpr uint64_t kBenchDeviceBase = 0x4000'0000;
+// SPI used for modeled device (network RX) interrupts.
+inline constexpr uint32_t kBenchDeviceSpi = 48;
+
+class ArmStack {
+ public:
+  ArmStack(const StackConfig& cfg, int num_cpus);
+  ~ArmStack();
+
+  Machine& machine() { return *machine_; }
+  HostKvm& host() { return *l0_; }
+  TestDevice& device() { return device_; }
+  bool nested() const { return cfg_.nested; }
+
+  // Runs `body` as the measured guest on pCPU 0. When `receiver` is given,
+  // it runs first on pCPU 1 and is expected to park itself (IPI target /
+  // interrupt sink).
+  void Run(GuestMain body, GuestMain receiver = nullptr);
+
+  // The L0 vCPU carrying the measured guest (for virtual-IRQ queueing by
+  // device models).
+  Vcpu& MeasuredVcpu();
+
+  uint64_t TotalTrapsToHost() const;
+
+ private:
+  StackConfig cfg_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<HostKvm> l0_;
+  TestDevice device_;
+  Vm* vm_ = nullptr;         // the (only) L0-level VM
+  Vm* nvm_ = nullptr;        // nested VM when cfg.nested
+  std::unique_ptr<GuestKvm> l1_;
+};
+
+class X86Stack {
+ public:
+  X86Stack(bool nested, int num_cpus, bool vmcs_shadowing = true);
+
+  X86Machine& machine() { return *machine_; }
+  KvmX86& host() { return *l0_; }
+  bool nested() const { return nested_; }
+
+  void Run(X86GuestMain body, X86GuestMain receiver = nullptr);
+
+  uint64_t TotalVmexits() const { return machine_->TotalVmexits(); }
+
+ private:
+  bool nested_;
+  std::unique_ptr<X86Machine> machine_;
+  std::unique_ptr<KvmX86> l0_;
+  std::unique_ptr<X86GuestHyp> l1_;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_WORKLOAD_STACKS_H_

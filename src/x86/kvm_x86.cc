@@ -1,0 +1,332 @@
+#include "src/x86/kvm_x86.h"
+
+namespace neve {
+
+X86Machine::X86Machine(int num_cpus, const CostModel& cost,
+                       uint64_t wire_latency)
+    : wire_latency_(wire_latency) {
+  NEVE_CHECK(num_cpus > 0);
+  for (int i = 0; i < num_cpus; ++i) {
+    cpus_.push_back(std::make_unique<VmxCpu>(i, cost));
+  }
+}
+
+uint64_t X86Machine::TotalVmexits() const {
+  uint64_t total = 0;
+  for (const auto& cpu : cpus_) {
+    total += cpu->vmexits();
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// KvmX86 (the L0 hypervisor)
+// ---------------------------------------------------------------------------
+
+KvmX86::KvmX86(X86Machine* machine, bool vmcs_shadowing)
+    : machine_(machine), vmcs_shadowing_(vmcs_shadowing) {
+  NEVE_CHECK(machine != nullptr);
+  loaded_.resize(machine->num_cpus(), nullptr);
+  for (int i = 0; i < machine->num_cpus(); ++i) {
+    machine->cpu(i).SetRootHandler(this);
+  }
+}
+
+X86Vcpu* KvmX86::CreateVcpu(bool nested_hyp) {
+  auto vcpu = std::make_unique<X86Vcpu>();
+  vcpu->id = static_cast<int>(vcpus_.size());
+  vcpu->nested_hyp = nested_hyp;
+  vcpu->mode = X86VcpuMode::kGuest;
+  vcpus_.push_back(std::move(vcpu));
+  return vcpus_.back().get();
+}
+
+void KvmX86::EnterL1Context(VmxCpu& cpu, X86Vcpu& vcpu) {
+  cpu.Vmptrld(&vcpu.vmcs01, &vcpu.vmcs12,
+              vmcs_shadowing_ && vcpu.nested_hyp);
+  vcpu.mode = vcpu.nested_hyp ? X86VcpuMode::kL1Hyp : X86VcpuMode::kGuest;
+}
+
+void KvmX86::EnterL2Context(VmxCpu& cpu, X86Vcpu& vcpu) {
+  cpu.Vmptrld(&vcpu.vmcs02, nullptr, false);
+  vcpu.mode = X86VcpuMode::kL2;
+}
+
+void KvmX86::RunVcpu(X86Vcpu& vcpu, int pcpu) {
+  NEVE_CHECK(loaded_.at(pcpu) == nullptr);
+  VmxCpu& cpu = machine_->cpu(pcpu);
+  loaded_[pcpu] = &vcpu;
+  vcpu.loaded_on_pcpu = pcpu;
+  cpu.Compute(SwCostX86::kDispatch);  // vcpu load
+  EnterL1Context(cpu, vcpu);
+  NEVE_CHECK(!vcpu.main_started);
+  vcpu.main_started = true;
+  cpu.RunNonRoot([&] {
+    X86Env env(&cpu, &vcpu);
+    vcpu.main_sw(env);
+  });
+  if (vcpu.parked) {
+    return;  // stays logically running, interrupt-driven
+  }
+  loaded_[pcpu] = nullptr;
+  vcpu.loaded_on_pcpu = -1;
+}
+
+void KvmX86::MergeVmcs02(VmxCpu& cpu, X86Vcpu& vcpu) {
+  // prepare_vmcs02: guest state and controls from vmcs12, host state from
+  // vmcs01 -- the software cost VMCS shadowing cannot remove.
+  cpu.Compute(SwCostX86::kMerge);
+  for (int f = 0; f < Vmcs::kNumGuestStateFields; ++f) {
+    auto field = static_cast<VmcsField>(f);
+    cpu.VmwriteRoot(vcpu.vmcs02, field, cpu.VmreadRoot(vcpu.vmcs12, field));
+  }
+  for (int f = Vmcs::kFirstControlField;
+       f < Vmcs::kFirstControlField + Vmcs::kNumControlFields; ++f) {
+    auto field = static_cast<VmcsField>(f);
+    cpu.VmwriteRoot(vcpu.vmcs02, field, cpu.VmreadRoot(vcpu.vmcs12, field));
+  }
+}
+
+void KvmX86::ReflectToL1(VmxCpu& cpu, X86Vcpu& vcpu, const X86Syndrome& s) {
+  // Sync the exit information from the hardware VMCS into the guest
+  // hypervisor's vmcs12, then vector into it.
+  cpu.Compute(SwCostX86::kReflect);
+  for (int f = Vmcs::kFirstExitField;
+       f < Vmcs::kFirstExitField + Vmcs::kNumExitFields; ++f) {
+    auto field = static_cast<VmcsField>(f);
+    cpu.VmwriteRoot(vcpu.vmcs12, field, cpu.VmreadRoot(vcpu.vmcs02, field));
+  }
+  EnterL1Context(cpu, vcpu);
+  if (!vcpu.l1_handler_active) {
+    NEVE_CHECK_MSG(vcpu.l1 != nullptr, "no guest hypervisor registered");
+    vcpu.l1_handler_active = true;
+    cpu.RunNonRoot([&] {
+      X86Env env(&cpu, &vcpu);
+      vcpu.l1->OnForwardedExit(env, s);
+    });
+    vcpu.l1_handler_active = false;
+  }
+}
+
+X86Outcome KvmX86::HandleL0Exit(VmxCpu& cpu, X86Vcpu& vcpu,
+                                const X86Syndrome& s) {
+  cpu.Compute(SwCostX86::kDispatch);
+  switch (s.reason) {
+    case ExitReason::kVmcall:
+      cpu.Compute(SwCostX86::kHypercall);
+      cpu.VmwriteRoot(*cpu.current_vmcs(), VmcsField::kGuestRip, 0);
+      return X86Outcome::Completed();
+    case ExitReason::kIoAccess:
+      cpu.Compute(SwCostX86::kDevice);
+      return X86Outcome::Completed(0xD0D0'0000 | s.qualification);
+    case ExitReason::kIcrWrite:
+      cpu.Compute(SwCostX86::kApicEmul);
+      if (s.target_cpu >= 0 &&
+          s.target_cpu < static_cast<int>(vcpus_.size())) {
+        DeliverIpi(*vcpus_[s.target_cpu], s.vector, &cpu);
+      }
+      return X86Outcome::Completed();
+    case ExitReason::kWrmsr:
+      cpu.Compute(SwCostX86::kMsrEmul);
+      return X86Outcome::Completed();
+    case ExitReason::kInvept:
+      cpu.Compute(SwCostX86::kInveptEmul);
+      return X86Outcome::Completed();
+    case ExitReason::kExternalInterrupt:
+      // Device interrupt for the running guest: ack, inject, run the guest's
+      // vector (APICv injects without a second exit).
+      cpu.Compute(SwCostX86::kPostIntr);
+      InvokeGuestIrqHandler(cpu, vcpu, s.vector);
+      return X86Outcome::Completed();
+    case ExitReason::kHlt:
+      return X86Outcome::Completed();
+    default:
+      NEVE_CHECK_MSG(false, "unhandled L0 exit");
+  }
+  return X86Outcome::Completed();
+}
+
+X86Outcome KvmX86::OnVmexit(VmxCpu& cpu, const X86Syndrome& s) {
+  X86Vcpu* vcpu = loaded_.at(cpu.index());
+  NEVE_CHECK_MSG(vcpu != nullptr, "vmexit with no vcpu loaded");
+  ++vcpu->exits;
+
+  // EPT violations take the host's fast path regardless of nesting:
+  // multi-dimensional paging resolves L2 faults against the shadow EPT
+  // without the guest hypervisor.
+  if (s.reason == ExitReason::kEptViolation) {
+    cpu.Compute(SwCostX86::kEptFixup);
+    return X86Outcome::Completed();
+  }
+
+  if (vcpu->nested_hyp) {
+    // Nested bookkeeping runs on every exit of a nested stack: request
+    // processing, vmcs12 dirty tracking, state reconciliation.
+    cpu.Compute(SwCostX86::kNestedExitOverhead);
+  }
+
+  switch (vcpu->mode) {
+    case X86VcpuMode::kGuest:
+      return HandleL0Exit(cpu, *vcpu, s);
+
+    case X86VcpuMode::kL1Hyp:
+      // The guest hypervisor's own exits.
+      switch (s.reason) {
+        case ExitReason::kVmreadWrite:
+          cpu.Compute(SwCostX86::kCtrlEmul);
+          if (s.is_write) {
+            cpu.VmwriteRoot(vcpu->vmcs12, s.field, s.value);
+            return X86Outcome::Completed();
+          }
+          return X86Outcome::Completed(cpu.VmreadRoot(vcpu->vmcs12, s.field));
+        case ExitReason::kVmresume: {
+          MergeVmcs02(cpu, *vcpu);
+          EnterL2Context(cpu, *vcpu);
+          if (!vcpu->nested_started && vcpu->nested_sw) {
+            vcpu->nested_started = true;
+            cpu.RunNonRoot([&] {
+              X86Env env(&cpu, vcpu);
+              vcpu->nested_sw(env);
+            });
+            if (!vcpu->parked) {
+              EnterL1Context(cpu, *vcpu);
+            }
+          }
+          return X86Outcome::Completed();
+        }
+        default:
+          return HandleL0Exit(cpu, *vcpu, s);
+      }
+
+    case X86VcpuMode::kL2:
+      // The nested VM's exits belong to the guest hypervisor.
+      ReflectToL1(cpu, *vcpu, s);
+      if (s.reason == ExitReason::kExternalInterrupt) {
+        // The guest hypervisor injected the interrupt and resumed its
+        // guest, which now takes its vector.
+        InvokeGuestIrqHandler(cpu, *vcpu, s.vector);
+      }
+      return X86Outcome::Completed(vcpu->mmio_result);
+  }
+  return X86Outcome::Completed();
+}
+
+void KvmX86::InvokeGuestIrqHandler(VmxCpu& cpu, X86Vcpu& vcpu,
+                                   uint32_t vector) {
+  if (!vcpu.guest_irq) {
+    return;
+  }
+  cpu.Compute(SwCostX86::kVectorEntry);
+  X86Env env(&cpu, &vcpu);
+  vcpu.guest_irq(env, vector);
+}
+
+void KvmX86::DeliverIpi(X86Vcpu& target, uint32_t vector, VmxCpu* raiser) {
+  target.pending_vectors.push_back(vector);
+  int pcpu = target.loaded_on_pcpu;
+  if (pcpu < 0 || (raiser != nullptr && raiser->index() == pcpu)) {
+    return;
+  }
+  VmxCpu& rcpu = machine_->cpu(pcpu);
+  if (raiser != nullptr) {
+    rcpu.AdvanceTo(raiser->cycles() + machine_->wire_latency());
+  }
+  target.pending_vectors.pop_back();
+
+  if (target.mode == X86VcpuMode::kGuest) {
+    // APICv posted interrupt: delivered without a vmexit.
+    rcpu.Compute(SwCostX86::kPostIntr);
+    InvokeGuestIrqHandler(rcpu, target, vector);
+    return;
+  }
+
+  // Nested receiver: external-interrupt exit, reflected to the guest
+  // hypervisor, which injects into the nested VM and resumes it.
+  rcpu.Compute(rcpu.cost().vmexit);
+  rcpu.NoteAsyncVmexit();
+  ++target.exits;
+  if (target.nested_hyp) {
+    rcpu.Compute(SwCostX86::kNestedExitOverhead);
+  }
+  X86Syndrome s;
+  s.reason = ExitReason::kExternalInterrupt;
+  s.vector = vector;
+  ReflectToL1(rcpu, target, s);
+  rcpu.Compute(rcpu.cost().vmentry);
+  InvokeGuestIrqHandler(rcpu, target, vector);
+}
+
+// ---------------------------------------------------------------------------
+// X86GuestHyp (the L1 hypervisor personality)
+// ---------------------------------------------------------------------------
+
+X86GuestHyp::X86GuestHyp(X86Env* boot_env, X86Machine* machine)
+    : machine_(machine) {
+  NEVE_CHECK(boot_env != nullptr && machine != nullptr);
+  boot_env->vcpu().l1 = this;
+}
+
+void X86GuestHyp::ResumeNested(X86Env& env) {
+  // The non-shadowable tail of every handled exit: recompute physical
+  // controls, TLB maintenance, preemption timer, then resume.
+  env.Vmwrite(VmcsField::kProcControls, 0x8401'E172);  // exits (unshadowable)
+  env.Invept();                                        // exits
+  env.Wrmsr(0x6E0, env.cpu().cycles() + 100000);       // exits (TSC deadline)
+  env.Vmresume();                                      // exits; host merges
+}
+
+void X86GuestHyp::RunNested(X86Env& env, X86GuestMain program) {
+  env.vcpu().nested_sw = std::move(program);
+  env.vcpu().nested_started = false;
+  // Populate vmcs12's guest state (shadowed writes: no exits).
+  for (int f = 0; f < Vmcs::kNumGuestStateFields; ++f) {
+    env.Vmwrite(static_cast<VmcsField>(f), 0x1000 + f);
+  }
+  env.Vmwrite(VmcsField::kEptPointer, 0xEEE000);  // exits (unshadowable)
+  env.Compute(SwCostX86::kL1Handler);             // vcpu setup
+  ResumeNested(env);
+  // Returns when the nested program finished or parked.
+}
+
+void X86GuestHyp::HandleExitBody(X86Env& env, const X86Syndrome& s) {
+  switch (s.reason) {
+    case ExitReason::kVmcall:
+      env.Compute(SwCostX86::kHypercall);
+      return;
+    case ExitReason::kIoAccess:
+      env.Compute(SwCostX86::kDevice);
+      env.CompleteMmio(0xD0D0'BEEF);
+      return;
+    case ExitReason::kIcrWrite:
+      // Our guest's IPI: emulate its APIC and kick the target through our
+      // own ICR (which exits to the host).
+      env.Compute(SwCostX86::kApicEmul);
+      env.SendIpi(s.target_cpu, s.vector);
+      return;
+    case ExitReason::kExternalInterrupt:
+      // A kick for our guest: inject the pending vector on the next entry.
+      env.Compute(SwCostX86::kPostIntr);
+      env.Vmwrite(VmcsField::kExitIntrInfo, s.vector);  // shadowed
+      return;
+    case ExitReason::kHlt:
+      return;
+    default:
+      NEVE_CHECK_MSG(false, "x86 guest hypervisor: unhandled exit");
+  }
+}
+
+void X86GuestHyp::OnForwardedExit(X86Env& env, const X86Syndrome& s) {
+  // Read the exit information from vmcs12 (shadowed: no exits).
+  (void)env.Vmread(VmcsField::kExitReason);
+  (void)env.Vmread(VmcsField::kExitQualification);
+  (void)env.Vmread(VmcsField::kGuestRip);
+  (void)env.Vmread(VmcsField::kExitIntrInfo);
+  (void)env.Vmread(VmcsField::kInstructionLength);
+  env.Compute(SwCostX86::kL1Handler);
+  HandleExitBody(env, s);
+  env.Vmwrite(VmcsField::kGuestRip, env.Vmread(VmcsField::kGuestRip) + 3);
+  ResumeNested(env);
+  // Contract: the host resumed the nested VM; unwind now.
+}
+
+}  // namespace neve

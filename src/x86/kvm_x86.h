@@ -1,0 +1,173 @@
+// KVM x86-style hypervisor with Turtles nested virtualization
+// (paper sections 2 and 5's comparison baseline).
+//
+// Single level: trap-and-emulate with hardware VMCS transitions.
+// Nested (Turtles): the guest hypervisor's VMCS for its guest (vmcs12) is
+// shadowed so its vmread/vmwrite mostly complete without exits (VMCS
+// shadowing -- the Intel feature the paper contrasts with NEVE); on
+// vmresume the host merges vmcs12 with its own vmcs01 into the vmcs02 that
+// hardware actually runs, and reflects the nested VM's exits back into
+// vmcs12. The handful of non-shadowable accesses plus vmresume/invept/wrmsr
+// produce the ~5 exits per operation of Table 7's x86 column.
+
+#ifndef NEVE_SRC_X86_KVM_X86_H_
+#define NEVE_SRC_X86_KVM_X86_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/x86/vmx_cpu.h"
+
+namespace neve {
+
+// Software path lengths for the x86 stack, calibrated so the single-level
+// rows land near Table 1's x86 column; nested costs emerge (DESIGN.md 6).
+struct SwCostX86 {
+  static constexpr uint32_t kDispatch = 180;      // exit demux (L0)
+  static constexpr uint32_t kHypercall = 90;
+  static constexpr uint32_t kDevice = 1180;       // device backend
+  static constexpr uint32_t kApicEmul = 600;      // ICR emulation
+  static constexpr uint32_t kPostIntr = 380;      // posted-interrupt path
+  static constexpr uint32_t kVectorEntry = 200;   // guest IDT dispatch
+  static constexpr uint32_t kMsrEmul = 260;
+  static constexpr uint32_t kInveptEmul = 340;
+  static constexpr uint32_t kCtrlEmul = 320;      // non-shadowed vmwrite
+  static constexpr uint32_t kEptFixup = 1600;     // fast-path EPT handling
+  // Nested machinery (the heavy parts of KVM's nested_vmx_*):
+  static constexpr uint32_t kNestedExitOverhead = 4000;  // per exit while a
+                                                         // nested stack runs
+  static constexpr uint32_t kReflect = 1800;      // sync exit into vmcs12
+  static constexpr uint32_t kMerge = 2800;        // prepare_vmcs02
+  static constexpr uint32_t kL1Handler = 2200;    // guest hyp kernel work
+};
+
+class X86Machine {
+ public:
+  X86Machine(int num_cpus, const CostModel& cost, uint64_t wire_latency = 150);
+
+  int num_cpus() const { return static_cast<int>(cpus_.size()); }
+  VmxCpu& cpu(int i) { return *cpus_.at(i); }
+  uint64_t wire_latency() const { return wire_latency_; }
+
+  uint64_t TotalVmexits() const;
+
+ private:
+  std::vector<std::unique_ptr<VmxCpu>> cpus_;
+  uint64_t wire_latency_;
+};
+
+class X86Env;
+using X86GuestMain = std::function<void(X86Env&)>;
+using X86IrqHandler = std::function<void(X86Env&, uint32_t vector)>;
+
+class X86GuestHyp;
+
+enum class X86VcpuMode : uint8_t { kGuest, kL1Hyp, kL2 };
+
+struct X86Vcpu {
+  int id = 0;
+  bool nested_hyp = false;     // this vcpu hosts a guest hypervisor
+  X86VcpuMode mode = X86VcpuMode::kGuest;
+  Vmcs vmcs01;                 // L1 state
+  Vmcs vmcs12;                 // guest hypervisor's VMCS for its guest
+  Vmcs vmcs02;                 // merged VMCS hardware runs the L2 with
+  X86GuestMain main_sw;
+  X86GuestMain nested_sw;
+  bool main_started = false;
+  bool nested_started = false;
+  X86IrqHandler guest_irq;     // IRQ vector of the currently relevant guest
+  X86GuestHyp* l1 = nullptr;   // guest hypervisor personality
+  bool l1_handler_active = false;
+  bool parked = false;
+  int loaded_on_pcpu = -1;
+  std::deque<uint32_t> pending_vectors;
+  uint64_t exits = 0;
+  uint64_t mmio_result = 0;
+};
+
+class X86Env {
+ public:
+  X86Env(VmxCpu* cpu, X86Vcpu* vcpu) : cpu_(cpu), vcpu_(vcpu) {}
+  VmxCpu& cpu() { return *cpu_; }
+  X86Vcpu& vcpu() { return *vcpu_; }
+
+  void Vmcall(uint16_t imm) { cpu_->Vmcall(imm); }
+  uint64_t IoRead(uint16_t port) { return cpu_->IoRead(port); }
+  void SendIpi(int target, uint32_t vector) { cpu_->SendIpi(target, vector); }
+  void ApicEoi() { cpu_->ApicEoi(); }
+  void Compute(uint32_t cycles) { cpu_->Compute(cycles); }
+  uint64_t Vmread(VmcsField f) { return cpu_->Vmread(f); }
+  void Vmwrite(VmcsField f, uint64_t v) { cpu_->Vmwrite(f, v); }
+  void Vmresume() { cpu_->Vmresume(); }
+  void Invept() { cpu_->Invept(); }
+  void Wrmsr(uint32_t msr, uint64_t v) { cpu_->Wrmsr(msr, v); }
+
+  void SetIrqHandler(X86IrqHandler handler) {
+    vcpu_->guest_irq = std::move(handler);
+  }
+  void ParkRunning() { vcpu_->parked = true; }
+  bool parked() const { return vcpu_->parked; }
+  void CompleteMmio(uint64_t v) { vcpu_->mmio_result = v; }
+
+ private:
+  VmxCpu* cpu_;
+  X86Vcpu* vcpu_;
+};
+
+// The L0 KVM x86 hypervisor.
+class KvmX86 : public VmxRootHandler {
+ public:
+  KvmX86(X86Machine* machine, bool vmcs_shadowing);
+
+  X86Vcpu* CreateVcpu(bool nested_hyp);
+  void RunVcpu(X86Vcpu& vcpu, int pcpu);
+
+  // Sends a cross-CPU interrupt (used by APIC emulation).
+  void DeliverIpi(X86Vcpu& target, uint32_t vector, VmxCpu* raiser);
+
+  X86Outcome OnVmexit(VmxCpu& cpu, const X86Syndrome& s) override;
+
+  bool vmcs_shadowing() const { return vmcs_shadowing_; }
+
+ private:
+  void EnterL1Context(VmxCpu& cpu, X86Vcpu& vcpu);
+  void EnterL2Context(VmxCpu& cpu, X86Vcpu& vcpu);
+  void ReflectToL1(VmxCpu& cpu, X86Vcpu& vcpu, const X86Syndrome& s);
+  void MergeVmcs02(VmxCpu& cpu, X86Vcpu& vcpu);
+  X86Outcome HandleL0Exit(VmxCpu& cpu, X86Vcpu& vcpu, const X86Syndrome& s);
+  void InvokeGuestIrqHandler(VmxCpu& cpu, X86Vcpu& vcpu, uint32_t vector);
+
+  X86Machine* machine_;
+  bool vmcs_shadowing_;
+  std::vector<std::unique_ptr<X86Vcpu>> vcpus_;
+  std::vector<X86Vcpu*> loaded_;  // per pcpu
+};
+
+// The L1 (guest) hypervisor personality: the same KVM design deprivileged.
+class X86GuestHyp {
+ public:
+  X86GuestHyp(X86Env* boot_env, X86Machine* machine);
+
+  // Brings a secondary virtual CPU under this hypervisor (SMP boot).
+  void Attach(X86Env& env) { env.vcpu().l1 = this; }
+
+  // Runs `program` as the nested VM on the caller's virtual CPU.
+  void RunNested(X86Env& env, X86GuestMain program);
+
+  // Called by the host when an exit belonging to this hypervisor's guest
+  // was reflected into vmcs12.
+  void OnForwardedExit(X86Env& env, const X86Syndrome& s);
+
+ private:
+  void HandleExitBody(X86Env& env, const X86Syndrome& s);
+  void ResumeNested(X86Env& env);
+
+  X86Machine* machine_;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_X86_KVM_X86_H_

@@ -1,0 +1,103 @@
+#include "src/x86/vmcs.h"
+
+namespace neve {
+
+const char* VmcsFieldName(VmcsField field) {
+  switch (field) {
+    case VmcsField::kGuestRip:
+      return "GUEST_RIP";
+    case VmcsField::kGuestRsp:
+      return "GUEST_RSP";
+    case VmcsField::kGuestRflags:
+      return "GUEST_RFLAGS";
+    case VmcsField::kGuestCr0:
+      return "GUEST_CR0";
+    case VmcsField::kGuestCr3:
+      return "GUEST_CR3";
+    case VmcsField::kGuestCr4:
+      return "GUEST_CR4";
+    case VmcsField::kGuestEfer:
+      return "GUEST_EFER";
+    case VmcsField::kGuestCsBase:
+      return "GUEST_CS_BASE";
+    case VmcsField::kGuestSsBase:
+      return "GUEST_SS_BASE";
+    case VmcsField::kGuestDsBase:
+      return "GUEST_DS_BASE";
+    case VmcsField::kGuestEsBase:
+      return "GUEST_ES_BASE";
+    case VmcsField::kGuestFsBase:
+      return "GUEST_FS_BASE";
+    case VmcsField::kGuestGsBase:
+      return "GUEST_GS_BASE";
+    case VmcsField::kGuestTrBase:
+      return "GUEST_TR_BASE";
+    case VmcsField::kGuestGdtrBase:
+      return "GUEST_GDTR_BASE";
+    case VmcsField::kGuestIdtrBase:
+      return "GUEST_IDTR_BASE";
+    case VmcsField::kGuestDr7:
+      return "GUEST_DR7";
+    case VmcsField::kGuestSysenterEsp:
+      return "GUEST_SYSENTER_ESP";
+    case VmcsField::kGuestSysenterEip:
+      return "GUEST_SYSENTER_EIP";
+    case VmcsField::kGuestActivityState:
+      return "GUEST_ACTIVITY_STATE";
+    case VmcsField::kGuestIntrState:
+      return "GUEST_INTERRUPTIBILITY";
+    case VmcsField::kHostRip:
+      return "HOST_RIP";
+    case VmcsField::kHostRsp:
+      return "HOST_RSP";
+    case VmcsField::kHostCr3:
+      return "HOST_CR3";
+    case VmcsField::kHostFsBase:
+      return "HOST_FS_BASE";
+    case VmcsField::kHostGsBase:
+      return "HOST_GS_BASE";
+    case VmcsField::kPinControls:
+      return "PIN_CONTROLS";
+    case VmcsField::kProcControls:
+      return "PROC_CONTROLS";
+    case VmcsField::kProcControls2:
+      return "PROC_CONTROLS2";
+    case VmcsField::kExceptionBitmap:
+      return "EXCEPTION_BITMAP";
+    case VmcsField::kEptPointer:
+      return "EPT_POINTER";
+    case VmcsField::kVmcsLinkPointer:
+      return "VMCS_LINK_POINTER";
+    case VmcsField::kTprThreshold:
+      return "TPR_THRESHOLD";
+    case VmcsField::kExitReason:
+      return "EXIT_REASON";
+    case VmcsField::kExitQualification:
+      return "EXIT_QUALIFICATION";
+    case VmcsField::kGuestPhysAddr:
+      return "GUEST_PHYSICAL_ADDRESS";
+    case VmcsField::kExitIntrInfo:
+      return "EXIT_INTR_INFO";
+    case VmcsField::kInstructionLength:
+      return "INSTRUCTION_LENGTH";
+    case VmcsField::kNumFields:
+      break;
+  }
+  return "?";
+}
+
+bool FieldShadowed(VmcsField field) {
+  switch (field) {
+    // Controls with immediate effect on the physical execution environment
+    // cannot be handled from the shadow: they vmexit so the host can
+    // recompute the real (merged) controls.
+    case VmcsField::kProcControls:
+    case VmcsField::kEptPointer:
+    case VmcsField::kTprThreshold:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace neve

@@ -1,0 +1,105 @@
+// VMCS (VM Control Structure) model -- the heart of the x86 comparison.
+//
+// The paper's section 2 contrast: Intel VT keeps the VM's machine state in a
+// memory-resident structure that hardware saves/restores *wholesale* on every
+// root/non-root transition, while ARM leaves state movement to software,
+// register by register. The VMCS model here is what makes the x86 columns of
+// Tables 1/6/7 behave: a guest hypervisor touches VM state through
+// vmread/vmwrite (trappable, but mostly absorbed by VMCS shadowing), and a
+// single vmexit/vmentry moves everything at once.
+
+#ifndef NEVE_SRC_X86_VMCS_H_
+#define NEVE_SRC_X86_VMCS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace neve {
+
+enum class VmcsField : uint8_t {
+  // Guest state (saved/restored by hardware on transitions).
+  kGuestRip = 0,
+  kGuestRsp,
+  kGuestRflags,
+  kGuestCr0,
+  kGuestCr3,
+  kGuestCr4,
+  kGuestEfer,
+  kGuestCsBase,
+  kGuestSsBase,
+  kGuestDsBase,
+  kGuestEsBase,
+  kGuestFsBase,
+  kGuestGsBase,
+  kGuestTrBase,
+  kGuestGdtrBase,
+  kGuestIdtrBase,
+  kGuestDr7,
+  kGuestSysenterEsp,
+  kGuestSysenterEip,
+  kGuestActivityState,
+  kGuestIntrState,
+  // Host state (loaded on vmexit).
+  kHostRip,
+  kHostRsp,
+  kHostCr3,
+  kHostFsBase,
+  kHostGsBase,
+  // Execution controls.
+  kPinControls,
+  kProcControls,
+  kProcControls2,
+  kExceptionBitmap,
+  kEptPointer,
+  kVmcsLinkPointer,
+  kTprThreshold,
+  // Exit information (read-only to software, written by hardware).
+  kExitReason,
+  kExitQualification,
+  kGuestPhysAddr,
+  kExitIntrInfo,
+  kInstructionLength,
+  kNumFields,
+};
+
+inline constexpr int kNumVmcsFields = static_cast<int>(VmcsField::kNumFields);
+
+const char* VmcsFieldName(VmcsField field);
+
+// True for fields covered by the VMCS-shadowing read/write bitmaps KVM
+// programs: accesses by a guest hypervisor complete without a vmexit.
+// Control fields that affect the *physical* execution environment cannot be
+// shadowed and still trap (the residual exits of Table 7's x86 column).
+bool FieldShadowed(VmcsField field);
+
+class Vmcs {
+ public:
+  uint64_t Read(VmcsField field) const {
+    return fields_[static_cast<size_t>(field)];
+  }
+  void Write(VmcsField field, uint64_t value) {
+    fields_[static_cast<size_t>(field)] = value;
+  }
+
+  // Field groups, used by the nested-merge and hardware-transition paths.
+  static constexpr int kNumGuestStateFields =
+      static_cast<int>(VmcsField::kGuestIntrState) + 1;
+  static constexpr int kFirstControlField =
+      static_cast<int>(VmcsField::kPinControls);
+  static constexpr int kNumControlFields =
+      static_cast<int>(VmcsField::kTprThreshold) -
+      static_cast<int>(VmcsField::kPinControls) + 1;
+  static constexpr int kFirstExitField =
+      static_cast<int>(VmcsField::kExitReason);
+  static constexpr int kNumExitFields =
+      static_cast<int>(VmcsField::kInstructionLength) -
+      static_cast<int>(VmcsField::kExitReason) + 1;
+
+ private:
+  std::array<uint64_t, kNumVmcsFields> fields_ = {};
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_X86_VMCS_H_

@@ -1,0 +1,174 @@
+#include "src/x86/vmx_cpu.h"
+
+namespace neve {
+
+const char* ExitReasonName(ExitReason reason) {
+  switch (reason) {
+    case ExitReason::kVmcall:
+      return "VMCALL";
+    case ExitReason::kIoAccess:
+      return "IO";
+    case ExitReason::kIcrWrite:
+      return "ICR_WRITE";
+    case ExitReason::kVmreadWrite:
+      return "VMREAD_VMWRITE";
+    case ExitReason::kVmresume:
+      return "VMRESUME";
+    case ExitReason::kInvept:
+      return "INVEPT";
+    case ExitReason::kWrmsr:
+      return "WRMSR";
+    case ExitReason::kExternalInterrupt:
+      return "EXTERNAL_INTERRUPT";
+    case ExitReason::kEptViolation:
+      return "EPT_VIOLATION";
+    case ExitReason::kHlt:
+      return "HLT";
+  }
+  return "?";
+}
+
+uint64_t VmxCpu::VmreadRoot(Vmcs& vmcs, VmcsField field) {
+  NEVE_CHECK(!nonroot_);
+  Compute(cost_.vmread);
+  return vmcs.Read(field);
+}
+
+void VmxCpu::VmwriteRoot(Vmcs& vmcs, VmcsField field, uint64_t value) {
+  NEVE_CHECK(!nonroot_);
+  Compute(cost_.vmwrite);
+  vmcs.Write(field, value);
+}
+
+void VmxCpu::Vmptrld(Vmcs* vmcs, Vmcs* shadow, bool shadowing) {
+  NEVE_CHECK(!nonroot_);
+  Compute(cost_.vmwrite);  // vmptrld is roughly a VMCS access
+  current_ = vmcs;
+  shadow_ = shadow;
+  shadowing_ = shadowing;
+}
+
+void VmxCpu::RunNonRoot(const std::function<void()>& body) {
+  NEVE_CHECK(!nonroot_);
+  NEVE_CHECK_MSG(current_ != nullptr, "no VMCS loaded");
+  // vmentry: hardware loads the full guest state from the VMCS.
+  Compute(cost_.vmentry);
+  nonroot_ = true;
+  body();
+  NEVE_CHECK(nonroot_);
+  nonroot_ = false;
+}
+
+X86Outcome VmxCpu::TakeVmexit(const X86Syndrome& s) {
+  NEVE_CHECK_MSG(nonroot_, "vmexit from root mode");
+  NEVE_CHECK_MSG(host_ != nullptr, "no root handler installed");
+  NEVE_CHECK(exit_depth_ < 64);
+  // Hardware: save guest state to the VMCS, load host state, record the
+  // exit information -- one bundled operation (the CISC contrast).
+  Compute(cost_.vmexit);
+  ++vmexits_;
+  current_->Write(VmcsField::kExitReason, static_cast<uint64_t>(s.reason));
+  current_->Write(VmcsField::kExitQualification, s.qualification);
+
+  nonroot_ = false;
+  ++exit_depth_;
+  X86Outcome outcome = host_->OnVmexit(*this, s);
+  --exit_depth_;
+  // Re-enter non-root mode. The handler either left the VMCS context alone
+  // (plain emulate-and-resume) or deliberately switched it (nested context
+  // change) -- both are entered as-is, like hardware.
+  nonroot_ = true;
+  Compute(cost_.vmentry);
+  return outcome;
+}
+
+uint64_t VmxCpu::Vmread(VmcsField field) {
+  NEVE_CHECK(nonroot_);
+  if (shadowing_ && shadow_ != nullptr && FieldShadowed(field)) {
+    Compute(cost_.vmread);
+    return shadow_->Read(field);
+  }
+  X86Syndrome s;
+  s.reason = ExitReason::kVmreadWrite;
+  s.field = field;
+  s.is_write = false;
+  return TakeVmexit(s).value;
+}
+
+void VmxCpu::Vmwrite(VmcsField field, uint64_t value) {
+  NEVE_CHECK(nonroot_);
+  if (shadowing_ && shadow_ != nullptr && FieldShadowed(field)) {
+    Compute(cost_.vmwrite);
+    shadow_->Write(field, value);
+    return;
+  }
+  X86Syndrome s;
+  s.reason = ExitReason::kVmreadWrite;
+  s.field = field;
+  s.is_write = true;
+  s.value = value;
+  TakeVmexit(s);
+}
+
+void VmxCpu::Vmcall(uint16_t imm) {
+  X86Syndrome s;
+  s.reason = ExitReason::kVmcall;
+  s.qualification = imm;
+  TakeVmexit(s);
+}
+
+void VmxCpu::Vmresume() {
+  X86Syndrome s;
+  s.reason = ExitReason::kVmresume;
+  TakeVmexit(s);
+}
+
+void VmxCpu::Invept() {
+  X86Syndrome s;
+  s.reason = ExitReason::kInvept;
+  TakeVmexit(s);
+}
+
+void VmxCpu::Wrmsr(uint32_t msr, uint64_t value) {
+  X86Syndrome s;
+  s.reason = ExitReason::kWrmsr;
+  s.qualification = msr;
+  s.value = value;
+  TakeVmexit(s);
+}
+
+uint64_t VmxCpu::IoRead(uint16_t port) {
+  X86Syndrome s;
+  s.reason = ExitReason::kIoAccess;
+  s.qualification = port;
+  return TakeVmexit(s).value;
+}
+
+void VmxCpu::SendIpi(int target_cpu, uint32_t vector) {
+  X86Syndrome s;
+  s.reason = ExitReason::kIcrWrite;
+  s.target_cpu = target_cpu;
+  s.vector = vector;
+  TakeVmexit(s);
+}
+
+void VmxCpu::EptViolation(uint64_t gpa) {
+  X86Syndrome s;
+  s.reason = ExitReason::kEptViolation;
+  s.qualification = gpa;
+  TakeVmexit(s);
+}
+
+void VmxCpu::TakeExternalInterrupt(uint32_t vector) {
+  X86Syndrome s;
+  s.reason = ExitReason::kExternalInterrupt;
+  s.vector = vector;
+  TakeVmexit(s);
+}
+
+void VmxCpu::ApicEoi() {
+  // APICv virtual-EOI: hardware-complete, no exit. Paper: 316 cycles.
+  Compute(316);
+}
+
+}  // namespace neve

@@ -1,0 +1,139 @@
+// VT-x CPU model: root/non-root modes with hardware VMCS transitions.
+//
+// The architectural contrast with ARM (paper section 2): entering and
+// leaving a VM is a *single* hardware operation that saves/restores the
+// whole machine state to/from the current VMCS -- so the vmexit/vmentry
+// costs here bundle what ARM's world switch performs as dozens of
+// individually-trappable register accesses. Guest hypervisors touch VM state
+// with vmread/vmwrite, which VMCS shadowing (Intel's analogue of NEVE's
+// deferred page) redirects to a shadow structure without exits.
+//
+// Control-flow modeling matches the ARM side: running a guest is a nested
+// call; a vmexit invokes the root-mode handler synchronously and the guest
+// resumes when it returns.
+
+#ifndef NEVE_SRC_X86_VMX_CPU_H_
+#define NEVE_SRC_X86_VMX_CPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/cpu/cost_model.h"
+#include "src/x86/vmcs.h"
+
+namespace neve {
+
+enum class ExitReason : uint8_t {
+  kVmcall = 18,
+  kIoAccess = 30,
+  kIcrWrite = 45,       // APIC ICR access (IPI send)
+  kVmreadWrite = 24,    // non-shadowed VMCS access by a guest hypervisor
+  kVmresume = 25,
+  kInvept = 50,
+  kWrmsr = 32,
+  kExternalInterrupt = 1,
+  kEptViolation = 48,   // handled on the host's fast path, even when nested
+  kHlt = 12,
+};
+
+const char* ExitReasonName(ExitReason reason);
+
+struct X86Syndrome {
+  ExitReason reason = ExitReason::kVmcall;
+  uint64_t qualification = 0;
+  VmcsField field = VmcsField::kNumFields;  // kVmreadWrite
+  bool is_write = false;
+  uint64_t value = 0;
+  uint32_t vector = 0;  // kIcrWrite / kExternalInterrupt
+  int target_cpu = 0;   // kIcrWrite
+};
+
+struct X86Outcome {
+  uint64_t value = 0;
+  static X86Outcome Completed(uint64_t v = 0) { return {.value = v}; }
+};
+
+class VmxCpu;
+
+class VmxRootHandler {
+ public:
+  virtual ~VmxRootHandler() = default;
+  virtual X86Outcome OnVmexit(VmxCpu& cpu, const X86Syndrome& syndrome) = 0;
+};
+
+class VmxCpu {
+ public:
+  VmxCpu(int index, const CostModel& cost) : index_(index), cost_(cost) {}
+
+  VmxCpu(const VmxCpu&) = delete;
+  VmxCpu& operator=(const VmxCpu&) = delete;
+
+  int index() const { return index_; }
+  uint64_t cycles() const { return cycles_; }
+  void AdvanceTo(uint64_t c) { cycles_ = std::max(cycles_, c); }
+  uint64_t vmexits() const { return vmexits_; }
+  // Records an asynchronous (externally-initiated) exit, e.g. an external
+  // interrupt arriving while this CPU runs a guest.
+  void NoteAsyncVmexit() { ++vmexits_; }
+  const CostModel& cost() const { return cost_; }
+  bool in_nonroot() const { return nonroot_; }
+
+  void SetRootHandler(VmxRootHandler* host) { host_ = host; }
+
+  // --- root-mode operations (host hypervisor) -------------------------------
+  uint64_t VmreadRoot(Vmcs& vmcs, VmcsField field);
+  void VmwriteRoot(Vmcs& vmcs, VmcsField field, uint64_t value);
+  // Loads the controlling VMCS and shadow configuration for the next entry.
+  void Vmptrld(Vmcs* vmcs, Vmcs* shadow, bool shadowing);
+  // Enters non-root mode (hardware loads guest state from the current VMCS),
+  // runs `body`, returns when it finishes. Exits inside `body` are handled
+  // via the root handler and resume transparently.
+  void RunNonRoot(const std::function<void()>& body);
+  // Straight-line host code.
+  void Compute(uint32_t cycles) { cycles_ += cycles; }
+
+  // --- non-root operations (guests, incl. deprivileged hypervisors) --------
+  uint64_t Vmread(VmcsField field);
+  void Vmwrite(VmcsField field, uint64_t value);
+  void Vmcall(uint16_t imm);
+  void Vmresume();   // guest hypervisor resuming its guest: always exits
+  void Invept();     // EPT TLB management: always exits
+  void Wrmsr(uint32_t msr, uint64_t value);  // modeled MSRs exit
+  uint64_t IoRead(uint16_t port);
+  void SendIpi(int target_cpu, uint32_t vector);  // ICR write: exits
+  // An external (device) interrupt arrives while this guest executes:
+  // external-interrupt vmexit.
+  void TakeExternalInterrupt(uint32_t vector);
+  // EPT violation (guest page-table pressure). The host fixes these on its
+  // fast path without involving a guest hypervisor (multi-dimensional
+  // paging keeps L2 EPT faults a host-only affair).
+  void EptViolation(uint64_t gpa);
+  // APICv-accelerated EOI: completes without an exit (the x86 "Virtual EOI"
+  // row of Tables 1/6: 316 cycles in VM and nested VM alike).
+  void ApicEoi();
+
+  Vmcs* current_vmcs() { return current_; }
+  Vmcs* shadow_vmcs() { return shadow_; }
+  bool shadowing() const { return shadowing_; }
+
+ private:
+  X86Outcome TakeVmexit(const X86Syndrome& syndrome);
+
+  int index_;
+  CostModel cost_;
+  uint64_t cycles_ = 0;
+  uint64_t vmexits_ = 0;
+  bool nonroot_ = false;
+  Vmcs* current_ = nullptr;
+  Vmcs* shadow_ = nullptr;
+  bool shadowing_ = false;
+  VmxRootHandler* host_ = nullptr;
+  int exit_depth_ = 0;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_X86_VMX_CPU_H_

@@ -1,0 +1,334 @@
+// Unit tests for src/arch: the register model (paper Tables 2-5), syndrome
+// encodings, features, and the VNCR_EL2 layout.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/arch/esr.h"
+#include "src/arch/features.h"
+#include "src/arch/hcr.h"
+#include "src/arch/sysreg.h"
+#include "src/arch/vncr.h"
+
+namespace neve {
+namespace {
+
+std::set<RegId> RegsOfClass(NeveClass klass) {
+  std::set<RegId> out;
+  for (int r = 0; r < kNumRegIds; ++r) {
+    auto reg = static_cast<RegId>(r);
+    if (RegNeveClass(reg) == klass) {
+      out.insert(reg);
+    }
+  }
+  return out;
+}
+
+// --- Table 3: VM system registers --------------------------------------------
+
+TEST(RegClassTest, Table3VmTrapControlGroupIsDeferred) {
+  for (RegId reg : {RegId::kHACR_EL2, RegId::kHCR_EL2, RegId::kHPFAR_EL2,
+                    RegId::kHSTR_EL2, RegId::kVMPIDR_EL2, RegId::kVNCR_EL2,
+                    RegId::kVPIDR_EL2, RegId::kVTCR_EL2, RegId::kVTTBR_EL2}) {
+    EXPECT_EQ(RegNeveClass(reg), NeveClass::kDeferred) << RegName(reg);
+  }
+}
+
+TEST(RegClassTest, Table3VmExecutionControlGroupIsDeferred) {
+  for (RegId reg :
+       {RegId::kAFSR0_EL1, RegId::kAFSR1_EL1, RegId::kAMAIR_EL1,
+        RegId::kCONTEXTIDR_EL1, RegId::kCPACR_EL1, RegId::kELR_EL1,
+        RegId::kESR_EL1, RegId::kFAR_EL1, RegId::kMAIR_EL1, RegId::kSCTLR_EL1,
+        RegId::kSP_EL1, RegId::kSPSR_EL1, RegId::kTCR_EL1, RegId::kTTBR0_EL1,
+        RegId::kTTBR1_EL1, RegId::kVBAR_EL1}) {
+    EXPECT_EQ(RegNeveClass(reg), NeveClass::kDeferred) << RegName(reg);
+  }
+}
+
+TEST(RegClassTest, Table3ThreadIdRegisterIsDeferred) {
+  EXPECT_EQ(RegNeveClass(RegId::kTPIDR_EL2), NeveClass::kDeferred);
+}
+
+TEST(RegClassTest, DeferredSetCoversPaperTable3) {
+  // 9 VM trap control + 16 VM execution control + TPIDR_EL2 (the paper's
+  // "27 VM system registers" table) + PMUSERENR/PMSELR (section 6.1) + the
+  // extended kernel-context registers the table abridges.
+  std::set<RegId> deferred = RegsOfClass(NeveClass::kDeferred);
+  EXPECT_GE(deferred.size(), 26u);
+  EXPECT_TRUE(deferred.contains(RegId::kPMUSERENR_EL0));
+  EXPECT_TRUE(deferred.contains(RegId::kPMSELR_EL0));
+}
+
+// --- Table 4: hypervisor control registers -----------------------------------
+
+TEST(RegClassTest, Table4RedirectRegistersMapToEl1Counterparts) {
+  struct Expect {
+    RegId el2;
+    RegId el1;
+  };
+  for (auto [el2, el1] : {
+           Expect{RegId::kAFSR0_EL2, RegId::kAFSR0_EL1},
+           Expect{RegId::kAFSR1_EL2, RegId::kAFSR1_EL1},
+           Expect{RegId::kAMAIR_EL2, RegId::kAMAIR_EL1},
+           Expect{RegId::kELR_EL2, RegId::kELR_EL1},
+           Expect{RegId::kESR_EL2, RegId::kESR_EL1},
+           Expect{RegId::kFAR_EL2, RegId::kFAR_EL1},
+           Expect{RegId::kSPSR_EL2, RegId::kSPSR_EL1},
+           Expect{RegId::kMAIR_EL2, RegId::kMAIR_EL1},
+           Expect{RegId::kSCTLR_EL2, RegId::kSCTLR_EL1},
+           Expect{RegId::kVBAR_EL2, RegId::kVBAR_EL1},
+       }) {
+    EXPECT_EQ(RegNeveClass(el2), NeveClass::kRedirect) << RegName(el2);
+    ASSERT_TRUE(RegRedirectTarget(el2).has_value());
+    EXPECT_EQ(*RegRedirectTarget(el2), el1) << RegName(el2);
+  }
+}
+
+TEST(RegClassTest, Table4VheRedirectRows) {
+  EXPECT_EQ(RegNeveClass(RegId::kCONTEXTIDR_EL2), NeveClass::kRedirectVhe);
+  EXPECT_EQ(*RegRedirectTarget(RegId::kCONTEXTIDR_EL2),
+            RegId::kCONTEXTIDR_EL1);
+  EXPECT_EQ(RegNeveClass(RegId::kTTBR1_EL2), NeveClass::kRedirectVhe);
+  EXPECT_EQ(*RegRedirectTarget(RegId::kTTBR1_EL2), RegId::kTTBR1_EL1);
+}
+
+TEST(RegClassTest, Table4TrapOnWriteRows) {
+  for (RegId reg : {RegId::kCNTHCTL_EL2, RegId::kCNTVOFF_EL2,
+                    RegId::kCPTR_EL2, RegId::kMDCR_EL2}) {
+    EXPECT_EQ(RegNeveClass(reg), NeveClass::kTrapOnWrite) << RegName(reg);
+  }
+}
+
+TEST(RegClassTest, Table4RedirectOrTrapRows) {
+  EXPECT_EQ(RegNeveClass(RegId::kTCR_EL2), NeveClass::kRedirectOrTrap);
+  EXPECT_EQ(*RegRedirectTarget(RegId::kTCR_EL2), RegId::kTCR_EL1);
+  EXPECT_EQ(RegNeveClass(RegId::kTTBR0_EL2), NeveClass::kRedirectOrTrap);
+  EXPECT_EQ(*RegRedirectTarget(RegId::kTTBR0_EL2), RegId::kTTBR0_EL1);
+}
+
+// --- Table 5: GIC hypervisor control interface --------------------------------
+
+TEST(RegClassTest, Table5IchRegistersAreGicCached) {
+  std::set<RegId> gic = RegsOfClass(NeveClass::kGicCached);
+  // ICH_HCR, VTR, VMCR, MISR, EISR, ELRSR + 4 AP0R + 4 AP1R + 16 LR = 30.
+  EXPECT_EQ(gic.size(), 30u);
+  for (RegId reg : gic) {
+    EXPECT_TRUE(IsIchRegister(reg)) << RegName(reg);
+    EXPECT_TRUE(std::string(RegName(reg)).starts_with("ICH_")) << RegName(reg);
+  }
+}
+
+TEST(RegClassTest, ListRegisterHelpers) {
+  for (int i = 0; i < 16; ++i) {
+    RegId lr = IchListRegister(i);
+    int idx = -1;
+    EXPECT_TRUE(IsIchListRegister(lr, &idx));
+    EXPECT_EQ(idx, i);
+    EXPECT_EQ(SysRegStorage(IchListRegisterEncoding(i)), lr);
+  }
+  EXPECT_FALSE(IsIchListRegister(RegId::kICH_HCR_EL2));
+  EXPECT_DEATH(IchListRegister(16), "check failed");
+}
+
+TEST(RegClassTest, HypTimersAlwaysTrap) {
+  for (RegId reg : {RegId::kCNTHV_CTL_EL2, RegId::kCNTHV_CVAL_EL2,
+                    RegId::kCNTHP_CTL_EL2, RegId::kCNTHP_CVAL_EL2}) {
+    EXPECT_EQ(RegNeveClass(reg), NeveClass::kTimerTrap) << RegName(reg);
+  }
+}
+
+// --- Table integrity properties ------------------------------------------------
+
+TEST(SysRegTableTest, RegisterNamesAreUnique) {
+  std::set<std::string> names;
+  for (int r = 0; r < kNumRegIds; ++r) {
+    EXPECT_TRUE(names.insert(RegName(static_cast<RegId>(r))).second)
+        << RegName(static_cast<RegId>(r));
+  }
+}
+
+TEST(SysRegTableTest, EncodingNamesAreUnique) {
+  std::set<std::string> names;
+  for (int e = 0; e < kNumSysRegs; ++e) {
+    EXPECT_TRUE(names.insert(SysRegName(static_cast<SysReg>(e))).second);
+  }
+}
+
+TEST(SysRegTableTest, EveryRegisterHasExactlyOneDirectEncoding) {
+  for (int r = 0; r < kNumRegIds; ++r) {
+    auto reg = static_cast<RegId>(r);
+    SysReg enc = DirectEncodingOf(reg);
+    EXPECT_EQ(SysRegStorage(enc), reg);
+    EXPECT_EQ(SysRegEncKind(enc), EncKind::kDirect);
+    EXPECT_STREQ(SysRegName(enc), RegName(reg));
+  }
+}
+
+TEST(SysRegTableTest, AliasEncodingsTargetLowerElStorage) {
+  for (int e = 0; e < kNumSysRegs; ++e) {
+    auto enc = static_cast<SysReg>(e);
+    if (SysRegEncKind(enc) == EncKind::kDirect) {
+      continue;
+    }
+    EXPECT_EQ(SysRegMinEl(enc), El::kEl2) << SysRegName(enc);
+    EXPECT_NE(RegOwnerEl(SysRegStorage(enc)), El::kEl2) << SysRegName(enc);
+  }
+}
+
+TEST(SysRegTableTest, El12AliasesExistForTheWholeVmContextList) {
+  // The VHE guest hypervisor saves the Table 3 EL1 context through EL12
+  // encodings; each must resolve to the same storage as the EL1 encoding.
+  struct Pair {
+    SysReg el1;
+    SysReg el12;
+  };
+  for (auto [el1, el12] : {
+           Pair{SysReg::kSCTLR_EL1, SysReg::kSCTLR_EL12},
+           Pair{SysReg::kTTBR0_EL1, SysReg::kTTBR0_EL12},
+           Pair{SysReg::kTCR_EL1, SysReg::kTCR_EL12},
+           Pair{SysReg::kESR_EL1, SysReg::kESR_EL12},
+           Pair{SysReg::kELR_EL1, SysReg::kELR_EL12},
+           Pair{SysReg::kSPSR_EL1, SysReg::kSPSR_EL12},
+           Pair{SysReg::kCNTKCTL_EL1, SysReg::kCNTKCTL_EL12},
+       }) {
+    EXPECT_EQ(SysRegStorage(el1), SysRegStorage(el12));
+    EXPECT_EQ(SysRegEncKind(el12), EncKind::kEl12);
+  }
+}
+
+TEST(SysRegTableTest, RedirectTargetsShareTheOwnerElOfEl1) {
+  for (int r = 0; r < kNumRegIds; ++r) {
+    auto reg = static_cast<RegId>(r);
+    if (std::optional<RegId> target = RegRedirectTarget(reg);
+        target.has_value()) {
+      EXPECT_EQ(RegOwnerEl(reg), El::kEl2) << RegName(reg);
+      EXPECT_EQ(RegOwnerEl(*target), El::kEl1) << RegName(reg);
+    }
+  }
+}
+
+// --- Deferred access page layout (Table 2 / section 6.1) -----------------------
+
+TEST(DeferredPageTest, OffsetsAreUniqueAlignedAndInPage) {
+  std::set<uint64_t> offsets;
+  for (int r = 0; r < kNumRegIds; ++r) {
+    uint64_t off = DeferredPageOffset(static_cast<RegId>(r));
+    EXPECT_EQ(off % 8, 0u);
+    EXPECT_LT(off + 8, kDeferredPageSize + 1);
+    EXPECT_TRUE(offsets.insert(off).second);
+  }
+}
+
+TEST(VncrTest, FieldLayout) {
+  VncrEl2 v = VncrEl2::Make(0x1234'5000, true);
+  EXPECT_TRUE(v.enabled());
+  EXPECT_EQ(v.baddr(), 0x1234'5000u);
+  v.set_enabled(false);
+  EXPECT_FALSE(v.enabled());
+  EXPECT_EQ(v.baddr(), 0x1234'5000u);  // BADDR untouched
+}
+
+TEST(VncrTest, EnableIsBitZero) {
+  EXPECT_EQ(VncrEl2::Make(0, true).bits(), 1u);
+}
+
+TEST(VncrTest, UnalignedBaddrAborts) {
+  VncrEl2 v;
+  EXPECT_DEATH(v.set_baddr(0x1234), "page-aligned");
+}
+
+TEST(VncrTest, BaddrBeyondBit52Aborts) {
+  VncrEl2 v;
+  EXPECT_DEATH(v.set_baddr(uint64_t{1} << 53), "out of range");
+}
+
+// --- Syndromes -----------------------------------------------------------------
+
+TEST(EsrTest, HvcSyndromeCarriesImmediate) {
+  Syndrome s = Syndrome::Hvc(0x4B00);
+  EXPECT_EQ(s.ec, Ec::kHvc64);
+  EXPECT_EQ(s.imm16, 0x4B00);
+  uint64_t esr = s.ToEsrBits();
+  EXPECT_EQ(ExtractBits(esr, 31, 26), static_cast<uint64_t>(Ec::kHvc64));
+  EXPECT_EQ(ExtractBits(esr, 15, 0), 0x4B00u);
+}
+
+TEST(EsrTest, SysRegSyndromeCarriesEncodingAndDirection) {
+  Syndrome s = Syndrome::SysRegTrap(SysReg::kVBAR_EL2, /*is_write=*/true,
+                                    0xABCD);
+  EXPECT_EQ(s.ec, Ec::kSysReg);
+  EXPECT_EQ(s.sysreg, SysReg::kVBAR_EL2);
+  EXPECT_TRUE(s.is_write);
+  EXPECT_EQ(s.write_value, 0xABCDu);
+  uint64_t esr = s.ToEsrBits();
+  EXPECT_EQ(ExtractBits(esr, 21, 5),
+            static_cast<uint64_t>(SysReg::kVBAR_EL2));
+  EXPECT_EQ(ExtractBits(esr, 0, 0), 0u);  // direction: write
+}
+
+TEST(EsrTest, DataAbortSyndrome) {
+  Syndrome s = Syndrome::DataAbort(0x4000'0008, 0x4000'0000, false, 8);
+  EXPECT_EQ(s.ec, Ec::kDataAbortLow);
+  EXPECT_EQ(s.far, 0x4000'0008u);
+  EXPECT_EQ(s.hpfar, 0x4000'0000u);
+  EXPECT_FALSE(s.abort_is_write);
+}
+
+TEST(EsrTest, ToStringIsInformative) {
+  EXPECT_NE(Syndrome::Hvc(7).ToString().find("HVC"), std::string::npos);
+  EXPECT_NE(Syndrome::SysRegTrap(SysReg::kHCR_EL2, true, 0)
+                .ToString()
+                .find("HCR_EL2"),
+            std::string::npos);
+  EXPECT_NE(Syndrome::EretTrap().ToString().find("ERET"), std::string::npos);
+}
+
+// --- Features / HCR --------------------------------------------------------------
+
+TEST(FeaturesTest, Presets) {
+  EXPECT_FALSE(ArchFeatures::Armv80().vhe);
+  EXPECT_TRUE(ArchFeatures::Armv81Vhe().vhe);
+  EXPECT_FALSE(ArchFeatures::Armv81Vhe().nv);
+  EXPECT_TRUE(ArchFeatures::Armv83Nv().nv);
+  EXPECT_FALSE(ArchFeatures::Armv83Nv().neve);
+  EXPECT_TRUE(ArchFeatures::Armv84Neve().neve);
+  EXPECT_TRUE(ArchFeatures::Armv84Neve().nv);
+}
+
+TEST(FeaturesTest, NeveRequiresNv) {
+  ArchFeatures f{.vhe = true, .nv = false, .neve = true};
+  EXPECT_FALSE(f.Valid());
+  EXPECT_TRUE(ArchFeatures::Armv84Neve().Valid());
+}
+
+TEST(HcrTest, BitAccessors) {
+  Hcr h{Hcr::Make({HcrBits::kVm, HcrBits::kNv, HcrBits::kNv1,
+                   HcrBits::kImo, HcrBits::kE2h})};
+  EXPECT_TRUE(h.vm());
+  EXPECT_TRUE(h.nv());
+  EXPECT_TRUE(h.nv1());
+  EXPECT_TRUE(h.imo());
+  EXPECT_TRUE(h.e2h());
+  EXPECT_FALSE(h.tge());
+  EXPECT_FALSE(Hcr{}.nv());
+}
+
+TEST(HcrTest, ArchitecturalBitPositions) {
+  EXPECT_EQ(HcrBits::kVm, 0u);
+  EXPECT_EQ(HcrBits::kImo, 4u);
+  EXPECT_EQ(HcrBits::kTge, 27u);
+  EXPECT_EQ(HcrBits::kE2h, 34u);
+  EXPECT_EQ(HcrBits::kNv, 42u);
+  EXPECT_EQ(HcrBits::kNv1, 43u);
+}
+
+TEST(ElTest, Names) {
+  EXPECT_STREQ(ElName(El::kEl0), "EL0");
+  EXPECT_STREQ(ElName(El::kEl1), "EL1");
+  EXPECT_STREQ(ElName(El::kEl2), "EL2");
+}
+
+}  // namespace
+}  // namespace neve

@@ -1,0 +1,254 @@
+// Unit tests for src/base: status, bits, rng, stats, table printer.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/base/bits.h"
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/base/status.h"
+#include "src/base/table_printer.h"
+
+namespace neve {
+namespace {
+
+// --- Status -----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad vcpu id");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad vcpu id");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad vcpu id");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), ErrorCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), ErrorCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string out = std::move(v).value();
+  EXPECT_EQ(out, "hello");
+}
+
+TEST(StatusOrTest, ValueOnErrorAborts) {
+  StatusOr<int> v = Status::Internal("boom");
+  EXPECT_DEATH((void)v.value(), "StatusOr::value");
+}
+
+TEST(CheckTest, PassingCheckIsSilent) { NEVE_CHECK(1 + 1 == 2); }
+
+TEST(CheckTest, FailingCheckAborts) {
+  EXPECT_DEATH(NEVE_CHECK(false), "check failed");
+}
+
+TEST(CheckTest, FailingCheckMsgIncludesMessage) {
+  EXPECT_DEATH(NEVE_CHECK_MSG(false, "vcpu exploded"), "vcpu exploded");
+}
+
+// --- Bits --------------------------------------------------------------------
+
+TEST(BitsTest, BitMaskBasics) {
+  EXPECT_EQ(BitMask(0, 0), 0x1u);
+  EXPECT_EQ(BitMask(3, 1), 0b1110u);
+  EXPECT_EQ(BitMask(63, 0), ~uint64_t{0});
+  EXPECT_EQ(BitMask(63, 63), uint64_t{1} << 63);
+  EXPECT_EQ(BitMask(52, 12), 0x001FFFFFFFFFF000ull);
+}
+
+TEST(BitsTest, BitMaskDegenerateRangesAreZero) {
+  EXPECT_EQ(BitMask(1, 2), 0u);   // lo > hi
+  EXPECT_EQ(BitMask(64, 0), 0u);  // hi out of range
+}
+
+TEST(BitsTest, ExtractInsertRoundTrip) {
+  uint64_t v = 0;
+  v = InsertBits(v, 15, 8, 0xAB);
+  EXPECT_EQ(ExtractBits(v, 15, 8), 0xABu);
+  EXPECT_EQ(v, 0xAB00u);
+  v = InsertBits(v, 15, 8, 0xFFFF);  // field truncated to width
+  EXPECT_EQ(ExtractBits(v, 15, 8), 0xFFu);
+}
+
+TEST(BitsTest, SingleBitHelpers) {
+  uint64_t v = 0;
+  v = SetBit(v, 42);
+  EXPECT_TRUE(TestBit(v, 42));
+  EXPECT_FALSE(TestBit(v, 41));
+  v = ClearBit(v, 42);
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(TestBit(AssignBit(0, 7, true), 7));
+  EXPECT_FALSE(TestBit(AssignBit(~uint64_t{0}, 7, false), 7));
+}
+
+TEST(BitsTest, Alignment) {
+  EXPECT_TRUE(IsAligned(0x1000, 4096));
+  EXPECT_FALSE(IsAligned(0x1001, 4096));
+  EXPECT_FALSE(IsAligned(0x1000, 0));  // not a power of two
+  EXPECT_FALSE(IsAligned(0x1000, 3));
+  EXPECT_EQ(AlignDown(0x1234, 0x1000), 0x1000u);
+  EXPECT_EQ(AlignUp(0x1234, 0x1000), 0x2000u);
+  EXPECT_EQ(AlignUp(0x1000, 0x1000), 0x1000u);
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next();
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.NextBelow(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRoughlyMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.NextBool(0.25);
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+// --- RunningStats -------------------------------------------------------------
+
+TEST(StatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+}
+
+TEST(StatsTest, RelativeSpread) {
+  RunningStats s;
+  s.Add(68);
+  s.Add(76);
+  s.Add(72);
+  // The paper's trap-cost spread bound: (76-68)/72 ~ 11%.
+  EXPECT_NEAR(s.relative_spread(), 8.0 / 72.0, 1e-9);
+}
+
+TEST(StatsTest, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.Add(42);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(StatsTest, MinOnEmptyAborts) {
+  RunningStats s;
+  EXPECT_DEATH((void)s.min(), "check failed");
+}
+
+// --- TablePrinter --------------------------------------------------------------
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t({"Benchmark", "Cycles"});
+  t.AddRow({"Hypercall", "2,729"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("Benchmark"), std::string::npos);
+  EXPECT_NE(out.find("Hypercall"), std::string::npos);
+  EXPECT_NE(out.find("2,729"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"A", "B", "C"});
+  t.AddRow({"only"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CyclesFormatting) {
+  EXPECT_EQ(TablePrinter::Cycles(0), "0");
+  EXPECT_EQ(TablePrinter::Cycles(999), "999");
+  EXPECT_EQ(TablePrinter::Cycles(1000), "1,000");
+  EXPECT_EQ(TablePrinter::Cycles(422720), "422,720");
+  EXPECT_EQ(TablePrinter::Cycles(1234567890), "1,234,567,890");
+}
+
+TEST(TablePrinterTest, RatioFormatting) {
+  EXPECT_EQ(TablePrinter::Ratio(155.2), "155x");
+  EXPECT_EQ(TablePrinter::Ratio(1.04), "1.0x");
+  EXPECT_EQ(TablePrinter::Ratio(2.53), "2.5x");
+}
+
+TEST(TablePrinterTest, FixedFormatting) {
+  EXPECT_EQ(TablePrinter::Fixed(2.534, 2), "2.53");
+  EXPECT_EQ(TablePrinter::Fixed(2.0, 1), "2.0");
+}
+
+}  // namespace
+}  // namespace neve

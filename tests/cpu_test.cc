@@ -1,0 +1,395 @@
+// Unit tests for the CPU core: cycle charging, trap dispatch, exception
+// entry state, MMU behaviour, NEVE memory redirection.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/arch/vncr.h"
+#include "src/cpu/cpu.h"
+#include "src/mem/shadow_s2.h"
+#include "src/mem/page_table.h"
+
+namespace neve {
+namespace {
+
+// A scriptable EL2 host for unit tests.
+class FakeHost : public El2Host {
+ public:
+  TrapOutcome OnTrapToEl2(Cpu& cpu, const Syndrome& s) override {
+    (void)cpu;
+    syndromes.push_back(s);
+    if (!outcomes.empty()) {
+      TrapOutcome out = outcomes.front();
+      outcomes.erase(outcomes.begin());
+      return out;
+    }
+    return TrapOutcome::Completed(default_value);
+  }
+
+  std::vector<Syndrome> syndromes;
+  std::vector<TrapOutcome> outcomes;
+  uint64_t default_value = 0;
+};
+
+class CpuFixture : public testing::Test {
+ protected:
+  CpuFixture()
+      : mem_(64ull << 20),
+        cpu_(0, ArchFeatures::Armv84Neve(), CostModel::Default(), &mem_) {
+    cpu_.SetEl2Host(&host_);
+  }
+
+  // Configures the CPU as if the host had entered a guest context.
+  void EnterGuestContext(uint64_t hcr) {
+    cpu_.PokeReg(RegId::kHCR_EL2, hcr);
+  }
+
+  uint64_t Vel2Hcr(bool vhe) {
+    uint64_t h = Hcr::Make({HcrBits::kVm, HcrBits::kImo, HcrBits::kNv});
+    return vhe ? h : SetBit(h, HcrBits::kNv1);
+  }
+
+  PhysMem mem_;
+  Cpu cpu_;
+  FakeHost host_;
+};
+
+// --- cycle accounting ------------------------------------------------------------
+
+TEST_F(CpuFixture, ComputeChargesExactly) {
+  uint64_t c0 = cpu_.cycles();
+  cpu_.Compute(123);
+  EXPECT_EQ(cpu_.cycles(), c0 + 123);
+}
+
+TEST_F(CpuFixture, SysRegAccessChargesAtEl2) {
+  uint64_t c0 = cpu_.cycles();
+  cpu_.SysRegWrite(SysReg::kVBAR_EL2, 0x1000);
+  EXPECT_EQ(cpu_.cycles(), c0 + cpu_.cost().sysreg_access);
+  EXPECT_EQ(cpu_.SysRegRead(SysReg::kVBAR_EL2), 0x1000u);
+}
+
+TEST_F(CpuFixture, AdvanceToNeverRewinds) {
+  cpu_.Compute(1000);
+  cpu_.AdvanceTo(500);
+  EXPECT_EQ(cpu_.cycles(), 1000u);
+  cpu_.AdvanceTo(2000);
+  EXPECT_EQ(cpu_.cycles(), 2000u);
+}
+
+TEST_F(CpuFixture, PeekPokeAreFree) {
+  uint64_t c0 = cpu_.cycles();
+  cpu_.PokeReg(RegId::kSCTLR_EL1, 42);
+  EXPECT_EQ(cpu_.PeekReg(RegId::kSCTLR_EL1), 42u);
+  EXPECT_EQ(cpu_.cycles(), c0);
+}
+
+// --- trap dispatch ------------------------------------------------------------------
+
+TEST_F(CpuFixture, HvcFromGuestTrapsWithImmediate) {
+  EnterGuestContext(Hcr::Make({HcrBits::kImo}));
+  cpu_.RunLowerEl(El::kEl1, [&] { cpu_.Hvc(0x4B00); });
+  ASSERT_EQ(host_.syndromes.size(), 1u);
+  EXPECT_EQ(host_.syndromes[0].ec, Ec::kHvc64);
+  EXPECT_EQ(host_.syndromes[0].imm16, 0x4B00);
+  EXPECT_EQ(cpu_.trace().hvc_traps(), 1u);
+}
+
+TEST_F(CpuFixture, TrapChargesEntryAndReturn) {
+  EnterGuestContext(Hcr::Make({HcrBits::kImo}));
+  uint64_t c0 = 0, c1 = 0;
+  cpu_.RunLowerEl(El::kEl1, [&] {
+    c0 = cpu_.cycles();
+    cpu_.Hvc(1);
+    c1 = cpu_.cycles();
+  });
+  EXPECT_EQ(c1 - c0, cpu_.cost().trap_entry + cpu_.cost().detect_hvc +
+                         cpu_.cost().trap_return);
+}
+
+TEST_F(CpuFixture, ExceptionEntryPopulatesEl2Registers) {
+  EnterGuestContext(Hcr::Make({HcrBits::kImo}));
+  cpu_.RunLowerEl(El::kEl1, [&] { cpu_.Hvc(0x77); });
+  uint64_t esr = cpu_.PeekReg(RegId::kESR_EL2);
+  EXPECT_EQ(ExtractBits(esr, 31, 26), static_cast<uint64_t>(Ec::kHvc64));
+  EXPECT_EQ(ExtractBits(esr, 15, 0), 0x77u);
+  EXPECT_EQ(cpu_.PeekReg(RegId::kSPSR_EL2), static_cast<uint64_t>(El::kEl1));
+}
+
+TEST_F(CpuFixture, TrappedSysRegReadReturnsHostValue) {
+  EnterGuestContext(Vel2Hcr(false));
+  // ARMv8.4 hardware but VNCR disabled: plain NV trapping.
+  host_.default_value = 0xFEED;
+  uint64_t v = 0;
+  cpu_.RunLowerEl(El::kEl1, [&] { v = cpu_.SysRegRead(SysReg::kHACR_EL2); });
+  EXPECT_EQ(v, 0xFEEDu);
+  ASSERT_EQ(host_.syndromes.size(), 1u);
+  EXPECT_EQ(host_.syndromes[0].sysreg, SysReg::kHACR_EL2);
+  EXPECT_FALSE(host_.syndromes[0].is_write);
+}
+
+TEST_F(CpuFixture, TrappedSysRegWriteCarriesValue) {
+  EnterGuestContext(Vel2Hcr(false));
+  cpu_.RunLowerEl(El::kEl1,
+                  [&] { cpu_.SysRegWrite(SysReg::kCPTR_EL2, 0xAA55); });
+  ASSERT_EQ(host_.syndromes.size(), 1u);
+  EXPECT_TRUE(host_.syndromes[0].is_write);
+  EXPECT_EQ(host_.syndromes[0].write_value, 0xAA55u);
+}
+
+TEST_F(CpuFixture, EretFromVirtualEl2Traps) {
+  EnterGuestContext(Vel2Hcr(false));
+  cpu_.RunLowerEl(El::kEl1, [&] { cpu_.EretFromVirtualEl2(); });
+  ASSERT_EQ(host_.syndromes.size(), 1u);
+  EXPECT_EQ(host_.syndromes[0].ec, Ec::kEretTrap);
+  EXPECT_EQ(cpu_.trace().eret_traps(), 1u);
+}
+
+TEST_F(CpuFixture, EretWithoutNvIsLocal) {
+  EnterGuestContext(Hcr::Make({HcrBits::kVm, HcrBits::kImo}));
+  cpu_.RunLowerEl(El::kEl1, [&] { cpu_.EretFromVirtualEl2(); });
+  EXPECT_TRUE(host_.syndromes.empty());
+}
+
+TEST_F(CpuFixture, CurrentElDisguise) {
+  EnterGuestContext(Vel2Hcr(false));
+  El seen = El::kEl0;
+  cpu_.RunLowerEl(El::kEl1, [&] { seen = cpu_.ReadCurrentEl(); });
+  EXPECT_EQ(seen, El::kEl2);  // the NV lie
+  EXPECT_EQ(cpu_.ReadCurrentEl(), El::kEl2);  // and the truth at EL2
+}
+
+TEST_F(CpuFixture, WfiTrapsOnlyWithTwi) {
+  EnterGuestContext(Hcr::Make({HcrBits::kImo}));
+  cpu_.RunLowerEl(El::kEl1, [&] { cpu_.Wfi(); });
+  EXPECT_TRUE(host_.syndromes.empty());
+  EnterGuestContext(Hcr::Make({HcrBits::kImo, HcrBits::kTwi}));
+  cpu_.RunLowerEl(El::kEl1, [&] { cpu_.Wfi(); });
+  ASSERT_EQ(host_.syndromes.size(), 1u);
+  EXPECT_EQ(host_.syndromes[0].ec, Ec::kWfx);
+}
+
+TEST_F(CpuFixture, TakeIrqRoutesToHost) {
+  EnterGuestContext(Hcr::Make({HcrBits::kImo}));
+  cpu_.RunLowerEl(El::kEl1, [&] { cpu_.TakeIrq(48); });
+  ASSERT_EQ(host_.syndromes.size(), 1u);
+  EXPECT_EQ(host_.syndromes[0].ec, Ec::kIrq);
+  EXPECT_EQ(host_.syndromes[0].intid, 48u);
+  EXPECT_EQ(cpu_.trace().irq_exits(), 1u);
+}
+
+TEST_F(CpuFixture, HostCodeCannotTrap) {
+  EXPECT_DEATH(cpu_.Hvc(1), "");
+  EXPECT_DEATH(cpu_.EretFromVirtualEl2(), "");
+}
+
+TEST_F(CpuFixture, UndefinedAccessAbortsLikeACrash) {
+  // ARMv8.0 semantics: EL2 access from EL1 is UNDEFINED.
+  PhysMem mem(16ull << 20);
+  Cpu v80(0, ArchFeatures::Armv80(), CostModel::Default(), &mem);
+  FakeHost host;
+  v80.SetEl2Host(&host);
+  v80.PokeReg(RegId::kHCR_EL2, Hcr::Make({HcrBits::kImo}));
+  EXPECT_DEATH(
+      v80.RunLowerEl(El::kEl1, [&] { v80.SysRegWrite(SysReg::kVBAR_EL2, 1); }),
+      "crash");
+}
+
+TEST_F(CpuFixture, RunLowerElTracksElevation) {
+  EXPECT_EQ(cpu_.current_el(), El::kEl2);
+  cpu_.RunLowerEl(El::kEl1, [&] { EXPECT_EQ(cpu_.current_el(), El::kEl1); });
+  EXPECT_EQ(cpu_.current_el(), El::kEl2);
+}
+
+TEST_F(CpuFixture, TraceCountsByClass) {
+  EnterGuestContext(Vel2Hcr(false));
+  cpu_.RunLowerEl(El::kEl1, [&] {
+    cpu_.Hvc(1);
+    cpu_.SysRegWrite(SysReg::kCPTR_EL2, 0);
+    cpu_.EretFromVirtualEl2();
+  });
+  EXPECT_EQ(cpu_.trace().traps_to_el2(), 3u);
+  EXPECT_EQ(cpu_.trace().hvc_traps(), 1u);
+  EXPECT_EQ(cpu_.trace().sysreg_traps(), 1u);
+  EXPECT_EQ(cpu_.trace().eret_traps(), 1u);
+  cpu_.trace().Reset();
+  EXPECT_EQ(cpu_.trace().traps_to_el2(), 0u);
+}
+
+TEST_F(CpuFixture, DetailedTraceRecordsSyndromes) {
+  cpu_.trace().set_record_details(true);
+  EnterGuestContext(Vel2Hcr(false));
+  cpu_.RunLowerEl(El::kEl1, [&] { cpu_.Hvc(9); });
+  ASSERT_EQ(cpu_.trace().records().size(), 1u);
+  EXPECT_EQ(cpu_.trace().records()[0].syndrome.imm16, 9);
+  EXPECT_NE(cpu_.trace().Dump().find("HVC"), std::string::npos);
+}
+
+// --- NEVE memory redirection --------------------------------------------------------
+
+class NeveCpuFixture : public CpuFixture {
+ protected:
+  NeveCpuFixture() : page_(Pa(8ull << 20)) {
+    cpu_.PokeReg(RegId::kVNCR_EL2, VncrEl2::Make(page_.value, true).bits());
+  }
+  Pa page_;
+};
+
+TEST_F(NeveCpuFixture, DeferredWriteLandsInPage) {
+  EnterGuestContext(Vel2Hcr(false));
+  cpu_.RunLowerEl(El::kEl1,
+                  [&] { cpu_.SysRegWrite(SysReg::kHCR_EL2, 0x1234); });
+  EXPECT_TRUE(host_.syndromes.empty()) << "NEVE must not trap VM registers";
+  EXPECT_EQ(mem_.Read64(Pa(page_.value + DeferredPageOffset(RegId::kHCR_EL2))),
+            0x1234u);
+}
+
+TEST_F(NeveCpuFixture, DeferredReadServedFromPage) {
+  EnterGuestContext(Vel2Hcr(false));
+  mem_.Write64(Pa(page_.value + DeferredPageOffset(RegId::kVTTBR_EL2)),
+               0xABCD);
+  uint64_t v = 0;
+  cpu_.RunLowerEl(El::kEl1, [&] { v = cpu_.SysRegRead(SysReg::kVTTBR_EL2); });
+  EXPECT_EQ(v, 0xABCDu);
+  EXPECT_TRUE(host_.syndromes.empty());
+}
+
+TEST_F(NeveCpuFixture, DeferredAccessCostsAMemoryReference) {
+  EnterGuestContext(Vel2Hcr(false));
+  uint64_t c0 = 0, c1 = 0;
+  cpu_.RunLowerEl(El::kEl1, [&] {
+    c0 = cpu_.cycles();
+    cpu_.SysRegWrite(SysReg::kHSTR_EL2, 1);
+    c1 = cpu_.cycles();
+  });
+  EXPECT_EQ(c1 - c0, cpu_.cost().mem_access);
+}
+
+TEST_F(NeveCpuFixture, RedirectClassTouchesEl1Register) {
+  EnterGuestContext(Vel2Hcr(false));
+  cpu_.RunLowerEl(El::kEl1,
+                  [&] { cpu_.SysRegWrite(SysReg::kVBAR_EL2, 0x8000); });
+  EXPECT_TRUE(host_.syndromes.empty());
+  EXPECT_EQ(cpu_.PeekReg(RegId::kVBAR_EL1), 0x8000u);
+  EXPECT_EQ(cpu_.PeekReg(RegId::kVBAR_EL2), 0u);
+}
+
+TEST_F(NeveCpuFixture, TrapOnWriteStillTraps) {
+  EnterGuestContext(Vel2Hcr(false));
+  cpu_.RunLowerEl(El::kEl1, [&] {
+    (void)cpu_.SysRegRead(SysReg::kCNTHCTL_EL2);  // cached: no trap
+    cpu_.SysRegWrite(SysReg::kCNTHCTL_EL2, 3);    // write: traps
+  });
+  ASSERT_EQ(host_.syndromes.size(), 1u);
+  EXPECT_TRUE(host_.syndromes[0].is_write);
+}
+
+// --- MMU ------------------------------------------------------------------------------
+
+class MmuFixture : public CpuFixture {
+ protected:
+  MmuFixture() : alloc_(&mem_, Pa(32ull << 20), 16ull << 20), s2_(&mem_, &alloc_) {
+    // Guest IPA [0, 1MB) -> machine [1MB, 2MB).
+    s2_.MapRange(Ipa(0), Pa(1ull << 20), 1ull << 20, PagePerms::Rw());
+    cpu_.PokeReg(RegId::kVTTBR_EL2, s2_.root().value);
+    EnterGuestContext(Hcr::Make({HcrBits::kVm, HcrBits::kImo}));
+  }
+
+  PageAllocator alloc_;
+  Stage2Table s2_;
+};
+
+TEST_F(MmuFixture, Stage2TranslatesGuestAccesses) {
+  cpu_.RunLowerEl(El::kEl1, [&] {
+    cpu_.StoreVa(Va(0x2000), 0x99);
+    EXPECT_EQ(cpu_.LoadVa(Va(0x2000)), 0x99u);
+  });
+  EXPECT_EQ(mem_.Read64(Pa((1ull << 20) + 0x2000)), 0x99u);
+}
+
+TEST_F(MmuFixture, TlbMissChargesWalkHitsDoNot) {
+  uint64_t miss = 0, hit = 0;
+  cpu_.RunLowerEl(El::kEl1, [&] {
+    uint64_t c0 = cpu_.cycles();
+    (void)cpu_.LoadVa(Va(0x3000));
+    miss = cpu_.cycles() - c0;
+    c0 = cpu_.cycles();
+    (void)cpu_.LoadVa(Va(0x3008));
+    hit = cpu_.cycles() - c0;
+  });
+  EXPECT_EQ(hit, cpu_.cost().mem_access);
+  EXPECT_EQ(miss, cpu_.cost().mem_access +
+                      PageTable::kWalkLevels * cpu_.cost().tlb_walk_per_level);
+}
+
+TEST_F(MmuFixture, TlbiForcesRewalk) {
+  uint64_t again = 0;
+  cpu_.RunLowerEl(El::kEl1, [&] {
+    (void)cpu_.LoadVa(Va(0x3000));
+    cpu_.TlbiAll();
+    uint64_t c0 = cpu_.cycles();
+    (void)cpu_.LoadVa(Va(0x3000));
+    again = cpu_.cycles() - c0;
+  });
+  EXPECT_GT(again, cpu_.cost().mem_access);
+}
+
+TEST_F(MmuFixture, Stage2FaultTrapsWithAbortSyndrome) {
+  host_.outcomes.push_back(TrapOutcome::Completed(0x1234));
+  uint64_t v = 0;
+  cpu_.RunLowerEl(El::kEl1, [&] { v = cpu_.LoadVa(Va(0x40000008)); });
+  EXPECT_EQ(v, 0x1234u);  // MMIO value supplied by the host
+  ASSERT_EQ(host_.syndromes.size(), 1u);
+  EXPECT_EQ(host_.syndromes[0].ec, Ec::kDataAbortLow);
+  EXPECT_EQ(host_.syndromes[0].far, 0x40000008u);
+  EXPECT_EQ(host_.syndromes[0].hpfar, 0x40000000u);
+}
+
+TEST_F(MmuFixture, RetryReplaysTheAccessAfterFixup) {
+  // First fault: host maps the page and asks for a retry.
+  bool fixed = false;
+  class FixupHost : public El2Host {
+   public:
+    FixupHost(Stage2Table* s2, bool* fixed) : s2_(s2), fixed_(fixed) {}
+    TrapOutcome OnTrapToEl2(Cpu&, const Syndrome& s) override {
+      EXPECT_EQ(s.ec, Ec::kDataAbortLow);
+      s2_->MapPage(Ipa(s.hpfar), Pa(2ull << 20), PagePerms::Rw());
+      *fixed_ = true;
+      return TrapOutcome::Retry();
+    }
+    Stage2Table* s2_;
+    bool* fixed_;
+  };
+  FixupHost fixup(&s2_, &fixed);
+  cpu_.SetEl2Host(&fixup);
+  cpu_.RunLowerEl(El::kEl1, [&] {
+    cpu_.StoreVa(Va(0x200000), 0x55);  // beyond the premapped 1MB
+  });
+  EXPECT_TRUE(fixed);
+  EXPECT_EQ(mem_.Read64(Pa(2ull << 20)), 0x55u);
+}
+
+TEST_F(MmuFixture, Stage1AndStage2Compose) {
+  // Build a Stage-1 table *in guest memory* mapping VA 0x700000 -> IPA 0x2000.
+  GuestPhysView view(&mem_, &s2_);
+  PageAllocator guest_alloc(&view, Pa(0x80000), 0x40000);
+  Stage1Table s1(&view, &guest_alloc);
+  s1.MapPage(Va(0x700000), Ipa(0x2000), PagePerms::Rw());
+  cpu_.PokeReg(RegId::kTTBR0_EL1, s1.root().value);
+  cpu_.PokeReg(RegId::kSCTLR_EL1, 1);  // MMU on
+  cpu_.RunLowerEl(El::kEl1, [&] {
+    cpu_.StoreVa(Va(0x700000), 0x42);
+    EXPECT_EQ(cpu_.LoadVa(Va(0x700000)), 0x42u);
+  });
+  EXPECT_EQ(mem_.Read64(Pa((1ull << 20) + 0x2000)), 0x42u);
+}
+
+TEST_F(MmuFixture, HostAccessesBypassTranslation) {
+  cpu_.HostStore(Pa(0x5000), 7);
+  EXPECT_EQ(cpu_.HostLoad(Pa(0x5000)), 7u);
+  EXPECT_EQ(mem_.Read64(Pa(0x5000)), 7u);
+}
+
+}  // namespace
+}  // namespace neve

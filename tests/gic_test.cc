@@ -1,0 +1,169 @@
+// Unit tests for the GICv3 model: list registers, hardware-accelerated
+// ack/EOI (the trap-free path of Tables 1/6), SGI routing.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/gic/gic.h"
+
+namespace neve {
+namespace {
+
+class GicFixture : public testing::Test {
+ protected:
+  GicFixture()
+      : mem_(16ull << 20),
+        cpu0_(0, ArchFeatures::Armv83Nv(), CostModel::Default(), &mem_),
+        cpu1_(1, ArchFeatures::Armv83Nv(), CostModel::Default(), &mem_),
+        gic_(2) {
+    gic_.AttachCpu(&cpu0_);
+    gic_.AttachCpu(&cpu1_);
+    gic_.SetPhysIrqSink([this](int target, uint32_t intid, uint64_t t) {
+      delivered_.push_back({target, intid, t});
+    });
+  }
+
+  struct Delivery {
+    int target;
+    uint32_t intid;
+    uint64_t raiser_cycles;
+  };
+
+  PhysMem mem_;
+  Cpu cpu0_;
+  Cpu cpu1_;
+  GicV3 gic_;
+  std::vector<Delivery> delivered_;
+};
+
+TEST_F(GicFixture, ListRegEncoding) {
+  uint64_t lr = ListReg::MakePending(27);
+  EXPECT_EQ(ListReg::Intid(lr), 27u);
+  EXPECT_TRUE(ListReg::Pending(lr));
+  EXPECT_FALSE(ListReg::Active(lr));
+  uint64_t active = ListReg::ToActive(lr);
+  EXPECT_TRUE(ListReg::Active(active));
+  EXPECT_FALSE(ListReg::Pending(active));
+  EXPECT_EQ(ListReg::Intid(active), 27u);
+  EXPECT_TRUE(ListReg::Inactive(0));
+}
+
+TEST_F(GicFixture, SgiRoundTrip) {
+  uint64_t v = SgiR::Make(0b10, 5);
+  EXPECT_EQ(SgiR::TargetMask(v), 0b10);
+  EXPECT_EQ(SgiR::SgiId(v), 5);
+}
+
+TEST_F(GicFixture, AckActivatesHighestPriorityPending) {
+  cpu0_.PokeReg(IchListRegister(0), ListReg::MakePending(40));
+  cpu0_.PokeReg(IchListRegister(1), ListReg::MakePending(27));
+  uint64_t intid = gic_.IccRead(0, RegId::kICC_IAR1_EL1);
+  EXPECT_EQ(intid, 27u);  // lowest intid wins
+  EXPECT_TRUE(ListReg::Active(cpu0_.PeekReg(IchListRegister(1))));
+  EXPECT_TRUE(ListReg::Pending(cpu0_.PeekReg(IchListRegister(0))));
+  EXPECT_EQ(gic_.virtual_acks(), 1u);
+}
+
+TEST_F(GicFixture, AckWithNothingPendingIsSpurious) {
+  EXPECT_EQ(gic_.IccRead(0, RegId::kICC_IAR1_EL1), kSpuriousIntid);
+}
+
+TEST_F(GicFixture, EoiDeactivatesMatchingLr) {
+  cpu0_.PokeReg(IchListRegister(2), ListReg::ToActive(ListReg::MakePending(33)));
+  gic_.IccWrite(0, RegId::kICC_EOIR1_EL1, 33);
+  EXPECT_TRUE(ListReg::Inactive(cpu0_.PeekReg(IchListRegister(2))));
+  EXPECT_EQ(gic_.virtual_eois(), 1u);
+}
+
+TEST_F(GicFixture, EoiOfUnknownIntidIsIgnored) {
+  gic_.IccWrite(0, RegId::kICC_EOIR1_EL1, 99);
+  EXPECT_EQ(gic_.virtual_eois(), 0u);
+}
+
+TEST_F(GicFixture, AckEoiFullCycle) {
+  cpu1_.PokeReg(IchListRegister(0), ListReg::MakePending(48));
+  uint64_t intid = gic_.IccRead(1, RegId::kICC_IAR1_EL1);
+  gic_.IccWrite(1, RegId::kICC_EOIR1_EL1, intid);
+  EXPECT_TRUE(ListReg::Inactive(cpu1_.PeekReg(IchListRegister(0))));
+  // cpu0's LRs are untouched (per-CPU banking).
+  EXPECT_EQ(gic_.IccRead(0, RegId::kICC_IAR1_EL1), kSpuriousIntid);
+}
+
+TEST_F(GicFixture, SyncStatusRegsTracksEmptyLrs) {
+  gic_.SyncStatusRegs(cpu0_);
+  EXPECT_EQ(cpu0_.PeekReg(RegId::kICH_ELRSR_EL2), 0b1111u);
+  cpu0_.PokeReg(IchListRegister(1), ListReg::MakePending(30));
+  gic_.SyncStatusRegs(cpu0_);
+  EXPECT_EQ(cpu0_.PeekReg(RegId::kICH_ELRSR_EL2), 0b1101u);
+}
+
+TEST_F(GicFixture, FindEmptyLr) {
+  EXPECT_EQ(gic_.FindEmptyLr(cpu0_), 0);
+  cpu0_.PokeReg(IchListRegister(0), ListReg::MakePending(30));
+  EXPECT_EQ(gic_.FindEmptyLr(cpu0_), 1);
+  for (int i = 0; i < 4; ++i) {
+    cpu0_.PokeReg(IchListRegister(i), ListReg::MakePending(30 + i));
+  }
+  EXPECT_EQ(gic_.FindEmptyLr(cpu0_), -1);
+}
+
+TEST_F(GicFixture, PhysSgiReachesSinkWithRaiserTime) {
+  cpu0_.Compute(5000);
+  gic_.SendPhysSgi(/*from=*/0, /*to=*/1, /*sgi=*/1);
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].target, 1);
+  EXPECT_EQ(delivered_[0].intid, kSgiBase + 1);
+  EXPECT_EQ(delivered_[0].raiser_cycles, 5000u);
+}
+
+TEST_F(GicFixture, SgiWriteViaCpuInterfaceFansOutToMask) {
+  gic_.IccWrite(0, RegId::kICC_SGI1R_EL1, SgiR::Make(0b11, 2));
+  ASSERT_EQ(delivered_.size(), 2u);
+  EXPECT_EQ(delivered_[0].target, 0);
+  EXPECT_EQ(delivered_[1].target, 1);
+}
+
+TEST_F(GicFixture, SpiRoutesToTarget) {
+  gic_.RaiseSpi(1, 48, 777);
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].intid, 48u);
+  EXPECT_EQ(delivered_[0].raiser_cycles, 777u);
+}
+
+TEST_F(GicFixture, PpiRangeChecked) {
+  gic_.RaisePpi(0, 27, 0);
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_DEATH(gic_.RaisePpi(0, 48, 0), "");   // SPI id via PPI API
+  EXPECT_DEATH(gic_.RaiseSpi(0, 27, 0), "");   // PPI id via SPI API
+}
+
+TEST_F(GicFixture, PlainRegistersActAsStorage) {
+  gic_.IccWrite(0, RegId::kICC_PMR_EL1, 0xF0);
+  EXPECT_EQ(gic_.IccRead(0, RegId::kICC_PMR_EL1), 0xF0u);
+}
+
+TEST_F(GicFixture, HppirPeeksWithoutActivating) {
+  cpu0_.PokeReg(IchListRegister(0), ListReg::MakePending(35));
+  EXPECT_EQ(gic_.IccRead(0, RegId::kICC_HPPIR1_EL1), 35u);
+  EXPECT_TRUE(ListReg::Pending(cpu0_.PeekReg(IchListRegister(0))));
+}
+
+TEST_F(GicFixture, GuestEoiThroughCpuOpCostsGicAccess) {
+  // The Virtual EOI benchmark path: a sysreg write that resolves to the
+  // GIC CPU interface, costing exactly the accelerated-access cost.
+  cpu0_.PokeReg(IchListRegister(0),
+                ListReg::ToActive(ListReg::MakePending(40)));
+  cpu0_.PokeReg(RegId::kHCR_EL2, Hcr::Make({HcrBits::kVm, HcrBits::kImo}));
+  uint64_t c0 = 0, c1 = 0;
+  cpu0_.RunLowerEl(El::kEl1, [&] {
+    c0 = cpu0_.cycles();
+    cpu0_.SysRegWrite(SysReg::kICC_EOIR1_EL1, 40);
+    c1 = cpu0_.cycles();
+  });
+  EXPECT_EQ(c1 - c0, cpu0_.cost().gic_vcpuif_access);
+  EXPECT_EQ(cpu0_.trace().traps_to_el2(), 0u) << "EOI must not trap";
+}
+
+}  // namespace
+}  // namespace neve

@@ -1,0 +1,339 @@
+// Unit tests for src/mem: physical memory, page tables, shadow Stage-2.
+
+#include <gtest/gtest.h>
+
+#include "src/mem/page_table.h"
+#include "src/base/bits.h"
+#include "src/mem/phys_mem.h"
+#include "src/mem/shadow_s2.h"
+
+namespace neve {
+namespace {
+
+constexpr uint64_t kMemSize = 64ull << 20;
+
+class MemFixture : public testing::Test {
+ protected:
+  MemFixture() : mem_(kMemSize), alloc_(&mem_, Pa(32ull << 20), 16ull << 20) {}
+
+  PhysMem mem_;
+  PageAllocator alloc_;
+};
+
+// --- PhysMem -------------------------------------------------------------------
+
+TEST_F(MemFixture, ReadsBackWrites) {
+  mem_.Write64(Pa(0x1000), 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(mem_.Read64(Pa(0x1000)), 0xDEADBEEFCAFEF00Dull);
+  mem_.Write32(Pa(0x2000), 0x12345678);
+  EXPECT_EQ(mem_.Read32(Pa(0x2000)), 0x12345678u);
+  mem_.Write8(Pa(0x3000), 0xAB);
+  EXPECT_EQ(mem_.Read8(Pa(0x3000)), 0xAB);
+}
+
+TEST_F(MemFixture, UntouchedMemoryReadsZero) {
+  EXPECT_EQ(mem_.Read64(Pa(0x123456 & ~7ull)), 0u);
+  EXPECT_EQ(mem_.ResidentPages(), 0u);  // reads do not materialize pages
+}
+
+TEST_F(MemFixture, PagesMaterializeLazily) {
+  mem_.Write64(Pa(0x5000), 1);
+  mem_.Write64(Pa(0x5008), 2);
+  mem_.Write64(Pa(0x9000), 3);
+  EXPECT_EQ(mem_.ResidentPages(), 2u);
+}
+
+TEST_F(MemFixture, SubwordWritesCompose) {
+  mem_.Write8(Pa(0x1000), 0x11);
+  mem_.Write8(Pa(0x1001), 0x22);
+  EXPECT_EQ(mem_.Read64(Pa(0x1000)) & 0xFFFF, 0x2211u);
+}
+
+TEST_F(MemFixture, ZeroPageClears) {
+  mem_.Write64(Pa(0x4000), 0xFFFF);
+  mem_.ZeroPage(Pa(0x4000));
+  EXPECT_EQ(mem_.Read64(Pa(0x4000)), 0u);
+}
+
+TEST_F(MemFixture, OutOfRangeAccessAborts) {
+  EXPECT_DEATH(mem_.Read64(Pa(kMemSize)), "PA out of range");
+  EXPECT_DEATH(mem_.Write64(Pa(kMemSize - 4), 1), "");  // straddles the end
+}
+
+TEST_F(MemFixture, PageStraddlingAccessAborts) {
+  EXPECT_DEATH(mem_.Read64(Pa(0x1FFC)), "crosses page");
+}
+
+TEST(PhysMemTest, UnalignedSizeAborts) {
+  EXPECT_DEATH(PhysMem bad(4097), "page aligned");
+}
+
+// --- PageAllocator ---------------------------------------------------------------
+
+TEST_F(MemFixture, AllocatorHandsOutDistinctZeroedPages) {
+  Pa a = alloc_.AllocPage();
+  Pa b = alloc_.AllocPage();
+  EXPECT_NE(a.value, b.value);
+  EXPECT_TRUE(IsAligned(a.value, kPageSize));
+  EXPECT_EQ(mem_.Read64(a), 0u);
+  EXPECT_EQ(alloc_.PagesAllocated(), 2u);
+}
+
+TEST_F(MemFixture, AllocatorExhaustionAborts) {
+  PageAllocator tiny(&mem_, Pa(0), 2 * kPageSize);
+  tiny.AllocPage();
+  tiny.AllocPage();
+  EXPECT_DEATH(tiny.AllocPage(), "exhausted");
+}
+
+// --- PageTable -------------------------------------------------------------------
+
+TEST_F(MemFixture, MapThenWalk) {
+  PageTable pt(&mem_, &alloc_);
+  pt.MapPage(0x10000, Pa(0x200000), PagePerms::Rw());
+  WalkResult r = pt.Walk(0x10123, /*is_write=*/false);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.pa.value, 0x200123u);
+  EXPECT_TRUE(r.perms.write);
+}
+
+TEST_F(MemFixture, UnmappedWalkFaultsAtLevelZero) {
+  PageTable pt(&mem_, &alloc_);
+  WalkResult r = pt.Walk(0xDEAD000, false);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault, FaultReason::kTranslation);
+  EXPECT_EQ(r.fault_level, 0);
+}
+
+TEST_F(MemFixture, PartiallyMappedWalkFaultsAtIntermediateLevel) {
+  PageTable pt(&mem_, &alloc_);
+  pt.MapPage(0x10000, Pa(0x200000), PagePerms::Rw());
+  // Same level-0/1/2 indices, different level-3 index.
+  WalkResult r = pt.Walk(0x11000, false);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault_level, 3);
+}
+
+TEST_F(MemFixture, WritePermissionEnforced) {
+  PageTable pt(&mem_, &alloc_);
+  pt.MapPage(0x10000, Pa(0x200000), PagePerms::Ro());
+  EXPECT_TRUE(pt.Walk(0x10000, /*is_write=*/false).ok);
+  WalkResult w = pt.Walk(0x10000, /*is_write=*/true);
+  EXPECT_FALSE(w.ok);
+  EXPECT_EQ(w.fault, FaultReason::kPermission);
+}
+
+TEST_F(MemFixture, RemapOverwrites) {
+  PageTable pt(&mem_, &alloc_);
+  pt.MapPage(0x10000, Pa(0x200000), PagePerms::Rw());
+  pt.MapPage(0x10000, Pa(0x300000), PagePerms::Ro());
+  WalkResult r = pt.Walk(0x10000, false);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.pa.value, 0x300000u);
+  EXPECT_FALSE(r.perms.write);
+}
+
+TEST_F(MemFixture, UnmapRemovesTranslation) {
+  PageTable pt(&mem_, &alloc_);
+  pt.MapPage(0x10000, Pa(0x200000), PagePerms::Rw());
+  pt.UnmapPage(0x10000);
+  EXPECT_FALSE(pt.Walk(0x10000, false).ok);
+  pt.UnmapPage(0x77000);  // unmapped: no-op
+}
+
+TEST_F(MemFixture, MapRangeCoversEveryPage) {
+  PageTable pt(&mem_, &alloc_);
+  pt.MapRange(0, Pa(0x400000), 16 * kPageSize, PagePerms::Rw());
+  for (uint64_t off = 0; off < 16 * kPageSize; off += kPageSize) {
+    WalkResult r = pt.Walk(off, true);
+    ASSERT_TRUE(r.ok) << off;
+    EXPECT_EQ(r.pa.value, 0x400000 + off);
+  }
+  EXPECT_FALSE(pt.Walk(16 * kPageSize, false).ok);
+}
+
+TEST_F(MemFixture, WalkAcrossTableBoundaries) {
+  PageTable pt(&mem_, &alloc_);
+  // Addresses chosen to exercise distinct level-0/1/2 indices.
+  const uint64_t addrs[] = {
+      0x0000'0000'0000ull,          // everything zero
+      0x0000'0000'1000ull,          // level-3 index 1
+      0x0000'0020'0000ull,          // level-2 index 1
+      0x0000'4000'0000ull,          // level-1 index 1
+      0x0080'0000'0000ull,          // level-0 index 1
+      0x00FF'FFFF'F000ull,          // high indices
+  };
+  uint64_t target = 0x100000;
+  for (uint64_t a : addrs) {
+    pt.MapPage(a, Pa(target), PagePerms::Rw());
+    target += kPageSize;
+  }
+  target = 0x100000;
+  for (uint64_t a : addrs) {
+    WalkResult r = pt.Walk(a + 0x42, false);
+    ASSERT_TRUE(r.ok) << std::hex << a;
+    EXPECT_EQ(r.pa.value, target + 0x42) << std::hex << a;
+    target += kPageSize;
+  }
+}
+
+TEST_F(MemFixture, WalkFromMatchesMemberWalk) {
+  PageTable pt(&mem_, &alloc_);
+  pt.MapPage(0x30000, Pa(0x500000), PagePerms::Rw());
+  WalkResult a = pt.Walk(0x30010, false);
+  WalkResult b = PageTable::WalkFrom(mem_, pt.root(), 0x30010, false);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.pa.value, b.pa.value);
+}
+
+TEST_F(MemFixture, ResetDropsAllMappings) {
+  PageTable pt(&mem_, &alloc_);
+  pt.MapPage(0x10000, Pa(0x200000), PagePerms::Rw());
+  Pa old_root = pt.root();
+  pt.Reset();
+  EXPECT_NE(pt.root().value, old_root.value);
+  EXPECT_FALSE(pt.Walk(0x10000, false).ok);
+}
+
+TEST_F(MemFixture, MisalignedMapAborts) {
+  PageTable pt(&mem_, &alloc_);
+  EXPECT_DEATH(pt.MapPage(0x10001, Pa(0x200000), PagePerms::Rw()), "");
+  EXPECT_DEATH(pt.MapPage(0x10000, Pa(0x200001), PagePerms::Rw()), "");
+}
+
+// --- Typed wrappers ----------------------------------------------------------------
+
+TEST_F(MemFixture, StageTablesWrapTypes) {
+  Stage1Table s1(&mem_, &alloc_);
+  s1.MapPage(Va(0x8000), Ipa(0x18000), PagePerms::RwUser());
+  WalkResult r = s1.Walk(Va(0x8000), false);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.pa.value, 0x18000u);
+  EXPECT_TRUE(r.perms.user);
+
+  Stage2Table s2(&mem_, &alloc_);
+  s2.MapPage(Ipa(0x18000), Pa(0x28000), PagePerms::Rw());
+  WalkResult r2 = s2.Walk(Ipa(0x18000), true);
+  ASSERT_TRUE(r2.ok);
+  EXPECT_EQ(r2.pa.value, 0x28000u);
+}
+
+// --- Shadow Stage-2 (section 4's memory virtualization) -----------------------------
+
+class ShadowFixture : public MemFixture {
+ protected:
+  // The host Stage-2 must exist before the guest's own tables can be built
+  // through the translating view -- same ordering a real host enforces.
+  static Stage2Table MakeHostS2(PhysMem* mem, PageAllocator* alloc) {
+    Stage2Table s2(mem, alloc);
+    // L1 IPA [0, 16MB) -> machine [16MB, 32MB).
+    s2.MapRange(Ipa(0), Pa(16ull << 20), 16ull << 20, PagePerms::Rw());
+    return s2;
+  }
+
+  ShadowFixture()
+      : host_s2_(MakeHostS2(&mem_, &alloc_)),
+        view_(&mem_, &host_s2_),
+        guest_alloc_(&view_, Pa(4ull << 20), 4ull << 20),
+        virtual_s2_(&view_, &guest_alloc_),
+        shadow_(&mem_, &alloc_) {}
+
+  Stage2Table host_s2_;     // L1 IPA -> machine PA
+  GuestPhysView view_;      // guest-physical view for the guest's tables
+  PageAllocator guest_alloc_;
+  Stage2Table virtual_s2_;  // L2 IPA -> L1 IPA (lives in guest memory)
+  ShadowS2 shadow_;
+};
+
+TEST_F(ShadowFixture, GuestPhysViewTranslatesThroughHostS2) {
+  view_.Write64(Pa(0x1000), 0x77);
+  // The write must land at machine PA 16MB + 0x1000.
+  EXPECT_EQ(mem_.Read64(Pa((16ull << 20) + 0x1000)), 0x77u);
+  EXPECT_EQ(view_.Read64(Pa(0x1000)), 0x77u);
+}
+
+TEST_F(ShadowFixture, GuestPhysViewUnmappedIpaAborts) {
+  EXPECT_DEATH(view_.Read64(Pa(17ull << 20)), "not mapped");
+}
+
+TEST_F(ShadowFixture, CollapseInstallsCombinedMapping) {
+  // L2 IPA 0x2000 -> L1 IPA 0x5000 -> machine 16MB + 0x5000.
+  virtual_s2_.MapPage(Ipa(0x2000), Pa(0x5000), PagePerms::Rw());
+  auto result = shadow_.HandleFault(Ipa(0x2000), /*is_write=*/true,
+                                    virtual_s2_, host_s2_);
+  EXPECT_EQ(result, ShadowS2::FixupResult::kInstalled);
+  WalkResult w = shadow_.table().Walk(Ipa(0x2010), true);
+  ASSERT_TRUE(w.ok);
+  EXPECT_EQ(w.pa.value, (16ull << 20) + 0x5010);
+  EXPECT_EQ(shadow_.faults_handled(), 1u);
+}
+
+TEST_F(ShadowFixture, CollapseViaGuestViewAndRoot) {
+  virtual_s2_.MapPage(Ipa(0x3000), Pa(0x6000), PagePerms::Rw());
+  auto result = shadow_.HandleFault(Ipa(0x3000), false, view_,
+                                    virtual_s2_.root(), host_s2_);
+  EXPECT_EQ(result, ShadowS2::FixupResult::kInstalled);
+  WalkResult w = shadow_.table().Walk(Ipa(0x3000), false);
+  ASSERT_TRUE(w.ok);
+  EXPECT_EQ(w.pa.value, (16ull << 20) + 0x6000);
+}
+
+TEST_F(ShadowFixture, VirtualFaultIsForwardedNotInstalled) {
+  // The guest hypervisor never mapped this IPA: its fault to handle
+  // (e.g. an MMIO region it emulates).
+  auto result = shadow_.HandleFault(Ipa(0x9000), false, virtual_s2_, host_s2_);
+  EXPECT_EQ(result, ShadowS2::FixupResult::kVirtualFault);
+  EXPECT_EQ(shadow_.faults_handled(), 0u);
+}
+
+TEST_F(ShadowFixture, HostFaultDetected) {
+  // vS2 maps to an L1 IPA outside the host's Stage-2 range.
+  virtual_s2_.MapPage(Ipa(0x2000), Pa(20ull << 20), PagePerms::Rw());
+  auto result = shadow_.HandleFault(Ipa(0x2000), false, virtual_s2_, host_s2_);
+  EXPECT_EQ(result, ShadowS2::FixupResult::kHostFault);
+}
+
+TEST_F(ShadowFixture, PermissionsIntersect) {
+  // Guest hypervisor grants RO; host grants RW -> effective RO.
+  virtual_s2_.MapPage(Ipa(0x2000), Pa(0x5000), PagePerms::Ro());
+  auto result = shadow_.HandleFault(Ipa(0x2000), /*is_write=*/false,
+                                    virtual_s2_, host_s2_);
+  EXPECT_EQ(result, ShadowS2::FixupResult::kInstalled);
+  EXPECT_TRUE(shadow_.table().Walk(Ipa(0x2000), false).ok);
+  EXPECT_FALSE(shadow_.table().Walk(Ipa(0x2000), true).ok);
+}
+
+TEST_F(ShadowFixture, WriteFaultOnReadOnlyVirtualMappingForwards) {
+  virtual_s2_.MapPage(Ipa(0x2000), Pa(0x5000), PagePerms::Ro());
+  auto result = shadow_.HandleFault(Ipa(0x2000), /*is_write=*/true,
+                                    virtual_s2_, host_s2_);
+  EXPECT_EQ(result, ShadowS2::FixupResult::kVirtualFault);
+}
+
+TEST_F(ShadowFixture, FlushDropsShadowEntries) {
+  virtual_s2_.MapPage(Ipa(0x2000), Pa(0x5000), PagePerms::Rw());
+  shadow_.HandleFault(Ipa(0x2000), true, virtual_s2_, host_s2_);
+  ASSERT_TRUE(shadow_.table().Walk(Ipa(0x2000), true).ok);
+  shadow_.Flush();
+  EXPECT_FALSE(shadow_.table().Walk(Ipa(0x2000), true).ok);
+}
+
+TEST_F(ShadowFixture, GuestTablePagesLiveInGuestMemory) {
+  // The virtual Stage-2's descriptors must be reachable through the guest
+  // view -- i.e. stored in guest-physical space, as on real hardware.
+  virtual_s2_.MapPage(Ipa(0x2000), Pa(0x5000), PagePerms::Rw());
+  Pa root = virtual_s2_.root();
+  // Root is an L1 IPA inside the guest allocator's range.
+  EXPECT_GE(root.value, 4ull << 20);
+  EXPECT_LT(root.value, 8ull << 20);
+  // And its backing machine page holds a nonzero descriptor somewhere.
+  uint64_t nonzero = 0;
+  for (uint64_t off = 0; off < kPageSize; off += 8) {
+    nonzero |= view_.Read64(Pa(root.value + off));
+  }
+  EXPECT_NE(nonzero, 0u);
+}
+
+}  // namespace
+}  // namespace neve

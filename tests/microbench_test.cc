@@ -1,0 +1,225 @@
+// Property tests over the microbenchmark suite: the orderings and ratios of
+// the paper's Tables 1, 6 and 7 must hold by construction.
+
+#include <gtest/gtest.h>
+
+#include "src/workload/microbench.h"
+
+namespace neve {
+namespace {
+
+constexpr int kIters = 10;
+
+struct AllResults {
+  MicrobenchResult vm;
+  MicrobenchResult v83;
+  MicrobenchResult v83_vhe;
+  MicrobenchResult neve;
+  MicrobenchResult neve_vhe;
+  MicrobenchResult x86_vm;
+  MicrobenchResult x86_nested;
+};
+
+AllResults RunAll(MicrobenchKind kind) {
+  AllResults r;
+  r.vm = RunArmMicrobench(kind, StackConfig::Vm(), kIters);
+  r.v83 = RunArmMicrobench(kind, StackConfig::NestedV83(false), kIters);
+  r.v83_vhe = RunArmMicrobench(kind, StackConfig::NestedV83(true), kIters);
+  r.neve = RunArmMicrobench(kind, StackConfig::NestedNeve(false), kIters);
+  r.neve_vhe = RunArmMicrobench(kind, StackConfig::NestedNeve(true), kIters);
+  r.x86_vm = RunX86Microbench(kind, false, kIters);
+  r.x86_nested = RunX86Microbench(kind, true, kIters);
+  return r;
+}
+
+class MicrobenchOrderingTest : public testing::TestWithParam<MicrobenchKind> {
+ protected:
+  static AllResults Results(MicrobenchKind kind) {
+    // Each configuration is deterministic; cache per kind across tests.
+    static AllResults cache[4];
+    static bool done[4] = {};
+    int i = static_cast<int>(kind);
+    if (!done[i]) {
+      cache[i] = RunAll(kind);
+      done[i] = true;
+    }
+    return cache[i];
+  }
+};
+
+TEST_P(MicrobenchOrderingTest, DeterministicAcrossRuns) {
+  MicrobenchResult a = RunArmMicrobench(GetParam(), StackConfig::Vm(), kIters);
+  MicrobenchResult b = RunArmMicrobench(GetParam(), StackConfig::Vm(), kIters);
+  EXPECT_EQ(a.cycles_per_op, b.cycles_per_op);
+  EXPECT_EQ(a.traps_per_op, b.traps_per_op);
+}
+
+TEST_P(MicrobenchOrderingTest, Table1CycleOrdering) {
+  if (GetParam() == MicrobenchKind::kVirtualEoi) {
+    GTEST_SKIP() << "EOI is flat by design";
+  }
+  AllResults r = Results(GetParam());
+  // VM << NEVE << v8.3-VHE << v8.3 (Tables 1/6).
+  EXPECT_LT(r.vm.cycles_per_op, r.neve.cycles_per_op);
+  EXPECT_LT(r.neve.cycles_per_op, r.v83_vhe.cycles_per_op);
+  EXPECT_LT(r.v83_vhe.cycles_per_op, r.v83.cycles_per_op);
+  // x86 nested is far above its VM but far below ARMv8.3 nested.
+  EXPECT_LT(r.x86_vm.cycles_per_op, r.x86_nested.cycles_per_op);
+  EXPECT_LT(r.x86_nested.cycles_per_op, r.v83.cycles_per_op);
+}
+
+TEST_P(MicrobenchOrderingTest, Table7TrapOrdering) {
+  if (GetParam() == MicrobenchKind::kVirtualEoi) {
+    GTEST_SKIP();
+  }
+  AllResults r = Results(GetParam());
+  EXPECT_GT(r.v83.traps_per_op, r.v83_vhe.traps_per_op);
+  EXPECT_GT(r.v83_vhe.traps_per_op, r.neve.traps_per_op);
+  EXPECT_GE(r.neve.traps_per_op, r.x86_nested.traps_per_op);
+}
+
+TEST_P(MicrobenchOrderingTest, NeveReducesTrapsAtLeastSixfold) {
+  // Section 7.1: "NEVE reduces the number of traps by more than six times
+  // compared to ARMv8.3."
+  if (GetParam() == MicrobenchKind::kVirtualEoi) {
+    GTEST_SKIP();
+  }
+  AllResults r = Results(GetParam());
+  EXPECT_GE(r.v83.traps_per_op / r.neve.traps_per_op, 6.0);
+}
+
+TEST_P(MicrobenchOrderingTest, NeveOverheadComparableToX86) {
+  // Section 7.1: "a guest hypervisor using NEVE has similar overhead to
+  // x86" in relative terms. Allow a 2.5x band around parity.
+  if (GetParam() == MicrobenchKind::kVirtualEoi) {
+    GTEST_SKIP();
+  }
+  AllResults r = Results(GetParam());
+  double arm_rel = r.neve.cycles_per_op / r.vm.cycles_per_op;
+  double x86_rel = r.x86_nested.cycles_per_op / r.x86_vm.cycles_per_op;
+  EXPECT_LT(arm_rel / x86_rel, 2.5);
+  EXPECT_GT(arm_rel / x86_rel, 1.0 / 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, MicrobenchOrderingTest,
+                         testing::Values(MicrobenchKind::kHypercall,
+                                         MicrobenchKind::kDeviceIo,
+                                         MicrobenchKind::kVirtualIpi,
+                                         MicrobenchKind::kVirtualEoi),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case MicrobenchKind::kHypercall:
+                               return "Hypercall";
+                             case MicrobenchKind::kDeviceIo:
+                               return "DeviceIo";
+                             case MicrobenchKind::kVirtualIpi:
+                               return "VirtualIpi";
+                             case MicrobenchKind::kVirtualEoi:
+                               return "VirtualEoi";
+                           }
+                           return "?";
+                         });
+
+// --- spot values against the paper -------------------------------------------------
+
+TEST(MicrobenchValueTest, VmHypercallTakesOneTrap) {
+  MicrobenchResult r =
+      RunArmMicrobench(MicrobenchKind::kHypercall, StackConfig::Vm(), kIters);
+  EXPECT_EQ(r.traps_per_op, 1.0);
+  // Calibrated to Table 1's 2,729-cycle baseline (within 15%).
+  EXPECT_NEAR(r.cycles_per_op, 2729, 2729 * 0.15);
+}
+
+TEST(MicrobenchValueTest, NestedTrapCountsNearPaper) {
+  // Table 7: 126 / 82 / 15 / 15.
+  EXPECT_NEAR(RunArmMicrobench(MicrobenchKind::kHypercall,
+                               StackConfig::NestedV83(false), kIters)
+                  .traps_per_op,
+              126, 15);
+  EXPECT_NEAR(RunArmMicrobench(MicrobenchKind::kHypercall,
+                               StackConfig::NestedV83(true), kIters)
+                  .traps_per_op,
+              82, 12);
+  EXPECT_NEAR(RunArmMicrobench(MicrobenchKind::kHypercall,
+                               StackConfig::NestedNeve(false), kIters)
+                  .traps_per_op,
+              15, 3);
+  EXPECT_NEAR(RunArmMicrobench(MicrobenchKind::kHypercall,
+                               StackConfig::NestedNeve(true), kIters)
+                  .traps_per_op,
+              15, 3);
+}
+
+TEST(MicrobenchValueTest, VirtualEoiIsFlatAndTrapFree) {
+  // Tables 1/6: 71 cycles in every ARM configuration, zero traps.
+  for (StackConfig cfg :
+       {StackConfig::Vm(), StackConfig::NestedV83(false),
+        StackConfig::NestedV83(true), StackConfig::NestedNeve(false),
+        StackConfig::NestedNeve(true)}) {
+    MicrobenchResult r =
+        RunArmMicrobench(MicrobenchKind::kVirtualEoi, cfg, kIters);
+    EXPECT_EQ(r.cycles_per_op, 71.0);
+    EXPECT_EQ(r.traps_per_op, 0.0);
+  }
+}
+
+TEST(MicrobenchValueTest, X86EoiIs316Everywhere) {
+  EXPECT_EQ(RunX86Microbench(MicrobenchKind::kVirtualEoi, false, kIters)
+                .cycles_per_op,
+            316.0);
+  EXPECT_EQ(RunX86Microbench(MicrobenchKind::kVirtualEoi, true, kIters)
+                .cycles_per_op,
+            316.0);
+}
+
+TEST(MicrobenchValueTest, X86NestedHypercallFiveExits) {
+  MicrobenchResult r =
+      RunX86Microbench(MicrobenchKind::kHypercall, true, kIters);
+  EXPECT_EQ(r.traps_per_op, 5.0);
+  EXPECT_NEAR(r.cycles_per_op, 36345, 36345 * 0.15);
+}
+
+TEST(MicrobenchValueTest, X86VmBaselinesNearPaper) {
+  EXPECT_NEAR(RunX86Microbench(MicrobenchKind::kHypercall, false, kIters)
+                  .cycles_per_op,
+              1188, 1188 * 0.1);
+  EXPECT_NEAR(RunX86Microbench(MicrobenchKind::kDeviceIo, false, kIters)
+                  .cycles_per_op,
+              2307, 2307 * 0.1);
+}
+
+TEST(MicrobenchValueTest, DeviceIoCostsMoreThanHypercall) {
+  // Table 1: Device I/O = Hypercall + device emulation, in every config.
+  for (StackConfig cfg :
+       {StackConfig::Vm(), StackConfig::NestedV83(false),
+        StackConfig::NestedNeve(true)}) {
+    double hvc = RunArmMicrobench(MicrobenchKind::kHypercall, cfg, kIters)
+                     .cycles_per_op;
+    double dio =
+        RunArmMicrobench(MicrobenchKind::kDeviceIo, cfg, kIters).cycles_per_op;
+    EXPECT_GT(dio, hvc);
+    EXPECT_LT(dio, hvc * 1.6);
+  }
+}
+
+TEST(MicrobenchValueTest, NestedOverheadFactorsMatchPaperShape) {
+  // Table 6's headline relative overheads: 155x / 113x / 34x / 37x for
+  // Hypercall. Accept a generous band; the *shape* is what must hold.
+  AllResults r;
+  r.vm = RunArmMicrobench(MicrobenchKind::kHypercall, StackConfig::Vm(), kIters);
+  r.v83 =
+      RunArmMicrobench(MicrobenchKind::kHypercall, StackConfig::NestedV83(false), kIters);
+  r.neve =
+      RunArmMicrobench(MicrobenchKind::kHypercall, StackConfig::NestedNeve(false), kIters);
+  double v83_rel = r.v83.cycles_per_op / r.vm.cycles_per_op;
+  double neve_rel = r.neve.cycles_per_op / r.vm.cycles_per_op;
+  EXPECT_GT(v83_rel, 100);
+  EXPECT_LT(v83_rel, 220);
+  EXPECT_GT(neve_rel, 20);
+  EXPECT_LT(neve_rel, 50);
+  // "up to 5 times faster performance than ARMv8.3" (section 7.1).
+  EXPECT_GT(v83_rel / neve_rel, 3.5);
+}
+
+}  // namespace
+}  // namespace neve

@@ -1,0 +1,173 @@
+// Cross-cutting tests: the benchmark stack harness, guest-environment
+// registration slots, deferred-vector plumbing, and end-to-end determinism.
+
+#include <gtest/gtest.h>
+
+#include "src/workload/appbench.h"
+#include "src/workload/microbench.h"
+#include "src/workload/stacks.h"
+
+namespace neve {
+namespace {
+
+// --- ArmStack harness -----------------------------------------------------------
+
+TEST(ArmStackTest, VmStackRunsBodyOnPcpu0) {
+  ArmStack stack(StackConfig::Vm(), 1);
+  int ran_on = -1;
+  stack.Run([&](GuestEnv& env) { ran_on = env.cpu().index(); });
+  EXPECT_EQ(ran_on, 0);
+}
+
+TEST(ArmStackTest, NestedStackGivesTheBodyTheNestedContext) {
+  ArmStack stack(StackConfig::NestedV83(false), 1);
+  stack.Run([&](GuestEnv& env) {
+    EXPECT_EQ(env.vcpu().mode, VcpuMode::kVel1Nested);
+    EXPECT_TRUE(env.vcpu().vm().config().virtual_el2);
+  });
+}
+
+TEST(ArmStackTest, TrapsAccumulateAcrossRuns) {
+  ArmStack stack(StackConfig::Vm(), 1);
+  stack.Run([](GuestEnv& env) { env.Hvc(kHvcTestCall); });
+  EXPECT_EQ(stack.TotalTrapsToHost(), 1u);
+}
+
+TEST(ArmStackTest, ReceiverParksBeforeSenderRuns) {
+  ArmStack stack(StackConfig::Vm(), 2);
+  bool receiver_first = false;
+  bool receiver_ran = false;
+  stack.Run(
+      [&](GuestEnv&) { receiver_first = receiver_ran; },
+      [&](GuestEnv& env) {
+        receiver_ran = true;
+        env.ParkRunning();
+      });
+  EXPECT_TRUE(receiver_first);
+}
+
+// --- registration slots --------------------------------------------------------
+
+TEST(GuestEnvTest, NestedProgramSlotDependsOnMode) {
+  // From virtual EL2 the image loads into nested_sw; from a nested
+  // hypervisor (itself in kVel1Nested) into nested2_sw.
+  Machine machine(MachineConfig{.features = ArchFeatures::Armv83Nv()});
+  HostKvm l0(&machine, {});
+  Vm* vm = l0.CreateVm(
+      {.name = "h", .ram_size = 32ull << 20, .virtual_el2 = true});
+  Vcpu& vcpu = vm->vcpu(0);
+
+  GuestEnv env(&machine.cpu(0), &vcpu);
+  vcpu.mode = VcpuMode::kVel2;
+  env.SetNestedProgram([](GuestEnv&) {});
+  EXPECT_TRUE(static_cast<bool>(vcpu.nested_sw.main));
+  EXPECT_FALSE(static_cast<bool>(vcpu.nested2_sw.main));
+
+  vcpu.mode = VcpuMode::kVel1Nested;
+  env.SetNestedProgram([](GuestEnv&) {});
+  EXPECT_TRUE(static_cast<bool>(vcpu.nested2_sw.main));
+}
+
+TEST(GuestEnvTest, PlainVmCannotLoadNestedImages) {
+  Machine machine(MachineConfig{.features = ArchFeatures::Armv83Nv()});
+  HostKvm l0(&machine, {});
+  Vm* vm = l0.CreateVm({.name = "p", .ram_size = 8ull << 20});
+  GuestEnv env(&machine.cpu(0), &vm->vcpu(0));
+  EXPECT_DEATH(env.SetNestedProgram([](GuestEnv&) {}),
+               "only guest hypervisors");
+}
+
+TEST(GuestEnvTest, DoubleDeferredVectorIsRejected) {
+  Machine machine(MachineConfig{.features = ArchFeatures::Armv83Nv()});
+  HostKvm l0(&machine, {});
+  Vm* vm = l0.CreateVm(
+      {.name = "h", .ram_size = 32ull << 20, .virtual_el2 = true});
+  GuestEnv env(&machine.cpu(0), &vm->vcpu(0));
+  class NullHandler : public Vel2Handler {
+    void OnVirtualExit(GuestEnv&, const Syndrome&) override {}
+  } handler;
+  env.DeferVectorCall(&handler, Syndrome::Hvc(1));
+  EXPECT_DEATH(env.DeferVectorCall(&handler, Syndrome::Hvc(2)),
+               "already pending");
+}
+
+// --- determinism across independent stacks ----------------------------------------
+
+TEST(DeterminismTest, MicrobenchSuiteIsBitStable) {
+  for (MicrobenchKind kind :
+       {MicrobenchKind::kHypercall, MicrobenchKind::kDeviceIo,
+        MicrobenchKind::kVirtualIpi}) {
+    for (StackConfig cfg :
+         {StackConfig::Vm(), StackConfig::NestedV83(true),
+          StackConfig::NestedNeve(false)}) {
+      MicrobenchResult a = RunArmMicrobench(kind, cfg, 7);
+      MicrobenchResult b = RunArmMicrobench(kind, cfg, 7);
+      EXPECT_EQ(a.cycles_per_op, b.cycles_per_op) << MicrobenchName(kind);
+      EXPECT_EQ(a.traps_per_op, b.traps_per_op) << MicrobenchName(kind);
+    }
+  }
+}
+
+TEST(DeterminismTest, AppBenchIsBitStable) {
+  const AppProfile& p = AppProfiles()[5];  // TCP_MAERTS: rate-model heavy
+  for (AppStack stack : {AppStack::kArmNestedV83, AppStack::kArmNestedNeve,
+                         AppStack::kX86Nested}) {
+    AppBenchResult a = RunAppBench(p, stack);
+    AppBenchResult b = RunAppBench(p, stack);
+    EXPECT_EQ(a.overhead, b.overhead);
+  }
+}
+
+TEST(DeterminismTest, IterationCountDoesNotChangePerOpCost) {
+  // Steady state: per-op cost is iteration-count independent (warmup absorbs
+  // the cold shadow/TLB misses).
+  MicrobenchResult small = RunArmMicrobench(MicrobenchKind::kHypercall,
+                                            StackConfig::NestedNeve(false), 5);
+  MicrobenchResult large = RunArmMicrobench(MicrobenchKind::kHypercall,
+                                            StackConfig::NestedNeve(false), 50);
+  EXPECT_EQ(small.cycles_per_op, large.cycles_per_op);
+  EXPECT_EQ(small.traps_per_op, large.traps_per_op);
+}
+
+// --- x86 stack harness ---------------------------------------------------------
+
+TEST(X86StackTest, NestedStackRoundTrips) {
+  X86Stack stack(/*nested=*/true, 1);
+  int done = 0;
+  stack.Run([&](X86Env& env) {
+    env.Vmcall(0x20);
+    ++done;
+  });
+  EXPECT_EQ(done, 1);
+  EXPECT_GE(stack.TotalVmexits(), 5u);
+}
+
+TEST(X86StackTest, ShadowingKnobReachesTheStack) {
+  auto exits = [](bool shadowing) {
+    MicrobenchResult r = RunX86Microbench(MicrobenchKind::kHypercall, true,
+                                          5, shadowing);
+    return r.traps_per_op;
+  };
+  EXPECT_LT(exits(true), exits(false));
+}
+
+// --- GICv2 knob through the harness ------------------------------------------------
+
+TEST(ArmStackTest, Gicv2KnobMattersOnlyUnderNeve) {
+  // Under plain ARMv8.3 both GIC interfaces trap on every hypervisor-
+  // interface access, so the counts coincide -- the paper's "the
+  // programming interfaces for both GIC versions are almost identical".
+  // Under NEVE only the GICv3 system-register interface benefits from
+  // Table 5's cached copies; the memory-mapped interface still traps.
+  auto traps = [](bool neve, bool gicv2) {
+    StackConfig cfg =
+        neve ? StackConfig::NestedNeve(false) : StackConfig::NestedV83(false);
+    cfg.gicv2_mmio = gicv2;
+    return RunArmMicrobench(MicrobenchKind::kHypercall, cfg, 5).traps_per_op;
+  };
+  EXPECT_EQ(traps(false, false), traps(false, true));
+  EXPECT_GT(traps(true, true), traps(true, false));
+}
+
+}  // namespace
+}  // namespace neve

@@ -1,0 +1,96 @@
+// Unit tests for the generic timer model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/timer/timer.h"
+
+namespace neve {
+namespace {
+
+class TimerFixture : public testing::Test {
+ protected:
+  TimerFixture()
+      : mem_(16ull << 20),
+        cpu_(0, ArchFeatures::Armv83Nv(), CostModel::Default(), &mem_),
+        gic_(1),
+        timer_(&gic_, /*cycles_per_tick=*/24) {
+    gic_.AttachCpu(&cpu_);
+    gic_.SetPhysIrqSink([this](int target, uint32_t intid, uint64_t) {
+      fired_.push_back({target, intid});
+    });
+  }
+
+  PhysMem mem_;
+  Cpu cpu_;
+  GicV3 gic_;
+  TimerUnit timer_;
+  std::vector<std::pair<int, uint32_t>> fired_;
+};
+
+TEST_F(TimerFixture, CountDerivesFromCycles) {
+  EXPECT_EQ(timer_.CountFor(cpu_), 0u);
+  cpu_.Compute(240);
+  EXPECT_EQ(timer_.CountFor(cpu_), 10u);
+}
+
+TEST_F(TimerFixture, DisabledTimerNeverFires) {
+  cpu_.PokeReg(RegId::kCNTV_CVAL_EL0, 0);
+  cpu_.Compute(1000);
+  EXPECT_FALSE(timer_.PollVirtualTimer(cpu_));
+  EXPECT_TRUE(fired_.empty());
+}
+
+TEST_F(TimerFixture, EnabledExpiredTimerFiresVtimerPpi) {
+  cpu_.PokeReg(RegId::kCNTV_CTL_EL0, 1);  // enabled, unmasked
+  cpu_.PokeReg(RegId::kCNTV_CVAL_EL0, 5);
+  cpu_.Compute(24 * 10);
+  EXPECT_TRUE(timer_.PollVirtualTimer(cpu_));
+  ASSERT_EQ(fired_.size(), 1u);
+  EXPECT_EQ(fired_[0].second, kVtimerPpi);
+  // ISTATUS latched.
+  EXPECT_TRUE(TestBit(cpu_.PeekReg(RegId::kCNTV_CTL_EL0), TimerCtl::kIstatus));
+}
+
+TEST_F(TimerFixture, MaskedTimerDoesNotFire) {
+  cpu_.PokeReg(RegId::kCNTV_CTL_EL0, 0b11);  // enabled + masked
+  cpu_.PokeReg(RegId::kCNTV_CVAL_EL0, 0);
+  cpu_.Compute(1000);
+  EXPECT_FALSE(timer_.PollVirtualTimer(cpu_));
+}
+
+TEST_F(TimerFixture, NotYetExpiredTimerWaits) {
+  cpu_.PokeReg(RegId::kCNTV_CTL_EL0, 1);
+  cpu_.PokeReg(RegId::kCNTV_CVAL_EL0, 1000);
+  cpu_.Compute(240);
+  EXPECT_FALSE(timer_.PollVirtualTimer(cpu_));
+}
+
+TEST_F(TimerFixture, CntvoffShiftsTheVirtualCount) {
+  cpu_.PokeReg(RegId::kCNTV_CTL_EL0, 1);
+  cpu_.PokeReg(RegId::kCNTV_CVAL_EL0, 10);
+  cpu_.PokeReg(RegId::kCNTVOFF_EL2, 100);  // virtual count lags physical
+  cpu_.Compute(24 * 50);
+  EXPECT_FALSE(timer_.PollVirtualTimer(cpu_));
+  cpu_.Compute(24 * 100);
+  EXPECT_TRUE(timer_.PollVirtualTimer(cpu_));
+}
+
+TEST_F(TimerFixture, HypVirtualTimer) {
+  cpu_.PokeReg(RegId::kCNTHV_CTL_EL2, 1);
+  cpu_.PokeReg(RegId::kCNTHV_CVAL_EL2, 2);
+  cpu_.Compute(24 * 5);
+  EXPECT_TRUE(timer_.PollHypVirtualTimer(cpu_));
+  EXPECT_TRUE(TestBit(cpu_.PeekReg(RegId::kCNTHV_CTL_EL2), TimerCtl::kIstatus));
+}
+
+TEST_F(TimerFixture, CntfrqIsReadable) {
+  cpu_.PokeReg(RegId::kHCR_EL2, Hcr::Make({HcrBits::kImo}));
+  uint64_t frq = 0;
+  cpu_.RunLowerEl(El::kEl1, [&] { frq = cpu_.SysRegRead(SysReg::kCNTFRQ_EL0); });
+  EXPECT_EQ(frq, 100'000'000u);
+}
+
+}  // namespace
+}  // namespace neve

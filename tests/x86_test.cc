@@ -1,0 +1,308 @@
+// Tests for the x86/VT-x comparison stack: VMCS model, shadowing,
+// Turtles-style nesting, APICv EOI.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/x86/kvm_x86.h"
+
+namespace neve {
+namespace {
+
+// --- VMCS ---------------------------------------------------------------------
+
+TEST(VmcsTest, FieldsStoreIndependently) {
+  Vmcs v;
+  v.Write(VmcsField::kGuestRip, 0x1000);
+  v.Write(VmcsField::kGuestRsp, 0x2000);
+  EXPECT_EQ(v.Read(VmcsField::kGuestRip), 0x1000u);
+  EXPECT_EQ(v.Read(VmcsField::kGuestRsp), 0x2000u);
+  EXPECT_EQ(v.Read(VmcsField::kGuestCr3), 0u);
+}
+
+TEST(VmcsTest, FieldNamesAreDefined) {
+  for (int f = 0; f < kNumVmcsFields; ++f) {
+    EXPECT_STRNE(VmcsFieldName(static_cast<VmcsField>(f)), "?");
+  }
+}
+
+TEST(VmcsTest, ShadowingCoversGuestStateButNotPhysicalControls) {
+  EXPECT_TRUE(FieldShadowed(VmcsField::kGuestRip));
+  EXPECT_TRUE(FieldShadowed(VmcsField::kGuestCr3));
+  EXPECT_TRUE(FieldShadowed(VmcsField::kExitReason));
+  EXPECT_FALSE(FieldShadowed(VmcsField::kProcControls));
+  EXPECT_FALSE(FieldShadowed(VmcsField::kEptPointer));
+  EXPECT_FALSE(FieldShadowed(VmcsField::kTprThreshold));
+}
+
+TEST(VmcsTest, FieldGroupBoundsAreConsistent) {
+  EXPECT_EQ(Vmcs::kNumGuestStateFields +
+                5 /* host state */ + Vmcs::kNumControlFields +
+                Vmcs::kNumExitFields,
+            kNumVmcsFields);
+}
+
+// --- VmxCpu -----------------------------------------------------------------------
+
+class RecordingHandler : public VmxRootHandler {
+ public:
+  X86Outcome OnVmexit(VmxCpu&, const X86Syndrome& s) override {
+    reasons.push_back(s.reason);
+    return X86Outcome::Completed(value);
+  }
+  std::vector<ExitReason> reasons;
+  uint64_t value = 0;
+};
+
+class VmxFixture : public testing::Test {
+ protected:
+  VmxFixture() : cpu_(0, CostModel::Default()) {
+    cpu_.SetRootHandler(&handler_);
+    cpu_.Vmptrld(&vmcs_, &shadow_, /*shadowing=*/true);
+  }
+  VmxCpu cpu_;
+  RecordingHandler handler_;
+  Vmcs vmcs_;
+  Vmcs shadow_;
+};
+
+TEST_F(VmxFixture, VmcallExits) {
+  cpu_.RunNonRoot([&] { cpu_.Vmcall(0x20); });
+  ASSERT_EQ(handler_.reasons.size(), 1u);
+  EXPECT_EQ(handler_.reasons[0], ExitReason::kVmcall);
+  EXPECT_EQ(cpu_.vmexits(), 1u);
+}
+
+TEST_F(VmxFixture, VmexitChargesTransitionCosts) {
+  uint64_t c0 = 0, c1 = 0;
+  cpu_.RunNonRoot([&] {
+    c0 = cpu_.cycles();
+    cpu_.Vmcall(1);
+    c1 = cpu_.cycles();
+  });
+  EXPECT_EQ(c1 - c0, cpu_.cost().vmexit + cpu_.cost().vmentry);
+}
+
+TEST_F(VmxFixture, ShadowedVmreadDoesNotExit) {
+  shadow_.Write(VmcsField::kGuestRip, 0xAB);
+  uint64_t v = 0;
+  cpu_.RunNonRoot([&] { v = cpu_.Vmread(VmcsField::kGuestRip); });
+  EXPECT_EQ(v, 0xABu);
+  EXPECT_TRUE(handler_.reasons.empty());
+}
+
+TEST_F(VmxFixture, ShadowedVmwriteLandsInShadow) {
+  cpu_.RunNonRoot([&] { cpu_.Vmwrite(VmcsField::kGuestRsp, 0x77); });
+  EXPECT_EQ(shadow_.Read(VmcsField::kGuestRsp), 0x77u);
+  EXPECT_TRUE(handler_.reasons.empty());
+}
+
+TEST_F(VmxFixture, NonShadowableFieldExits) {
+  cpu_.RunNonRoot([&] { cpu_.Vmwrite(VmcsField::kProcControls, 1); });
+  ASSERT_EQ(handler_.reasons.size(), 1u);
+  EXPECT_EQ(handler_.reasons[0], ExitReason::kVmreadWrite);
+}
+
+TEST_F(VmxFixture, ShadowingOffMakesEveryVmcsAccessExit) {
+  cpu_.Vmptrld(&vmcs_, &shadow_, /*shadowing=*/false);
+  cpu_.RunNonRoot([&] {
+    (void)cpu_.Vmread(VmcsField::kGuestRip);
+    cpu_.Vmwrite(VmcsField::kGuestRsp, 1);
+  });
+  EXPECT_EQ(handler_.reasons.size(), 2u);
+}
+
+TEST_F(VmxFixture, ApicEoiNeverExitsAndCosts316) {
+  uint64_t c0 = 0, c1 = 0;
+  cpu_.RunNonRoot([&] {
+    c0 = cpu_.cycles();
+    cpu_.ApicEoi();
+    c1 = cpu_.cycles();
+  });
+  EXPECT_TRUE(handler_.reasons.empty());
+  EXPECT_EQ(c1 - c0, 316u);
+}
+
+TEST_F(VmxFixture, ExitInfoRecordedInVmcs) {
+  cpu_.RunNonRoot([&] { cpu_.Vmcall(0x42); });
+  EXPECT_EQ(vmcs_.Read(VmcsField::kExitReason),
+            static_cast<uint64_t>(ExitReason::kVmcall));
+  EXPECT_EQ(vmcs_.Read(VmcsField::kExitQualification), 0x42u);
+}
+
+TEST_F(VmxFixture, RootOpsFromNonRootAbort) {
+  cpu_.RunNonRoot([&] {
+    EXPECT_DEATH(cpu_.VmreadRoot(vmcs_, VmcsField::kGuestRip), "");
+  });
+}
+
+// --- KvmX86 integration ----------------------------------------------------------------
+
+TEST(KvmX86Test, PlainGuestHypercallOneExit) {
+  X86Machine machine(1, CostModel::Default());
+  KvmX86 l0(&machine, /*vmcs_shadowing=*/true);
+  X86Vcpu* vcpu = l0.CreateVcpu(false);
+  vcpu->main_sw = [](X86Env& env) { env.Vmcall(0x20); };
+  l0.RunVcpu(*vcpu, 0);
+  EXPECT_EQ(machine.TotalVmexits(), 1u);
+}
+
+TEST(KvmX86Test, NestedHypercallTakesExactlyFiveExits) {
+  // Table 7's x86 column: 5 exits per nested hypercall with VMCS shadowing
+  // (vmcall + non-shadowed control write + invept + wrmsr + vmresume).
+  X86Machine machine(1, CostModel::Default());
+  KvmX86 l0(&machine, /*vmcs_shadowing=*/true);
+  X86Vcpu* v0 = l0.CreateVcpu(/*nested_hyp=*/true);
+  std::unique_ptr<X86GuestHyp> l1;
+  uint64_t before = 0, after = 0;
+  v0->main_sw = [&](X86Env& env) {
+    l1 = std::make_unique<X86GuestHyp>(&env, &machine);
+    l1->RunNested(env, [&](X86Env& nested) {
+      nested.Vmcall(0x20);  // warm
+      before = machine.TotalVmexits();
+      nested.Vmcall(0x20);
+      after = machine.TotalVmexits();
+    });
+  };
+  l0.RunVcpu(*v0, 0);
+  EXPECT_EQ(after - before, 5u);
+}
+
+TEST(KvmX86Test, WithoutShadowingNestedExitsGrow) {
+  // Section 8: VMCS shadowing buys ~10%; without it every vmread/vmwrite in
+  // the guest hypervisor's handler exits.
+  auto run = [](bool shadowing) {
+    X86Machine machine(1, CostModel::Default());
+    KvmX86 l0(&machine, shadowing);
+    X86Vcpu* v0 = l0.CreateVcpu(true);
+    std::unique_ptr<X86GuestHyp> l1;
+    uint64_t before = 0, after = 0, cycles0 = 0, cycles1 = 0;
+    v0->main_sw = [&](X86Env& env) {
+      l1 = std::make_unique<X86GuestHyp>(&env, &machine);
+      l1->RunNested(env, [&](X86Env& nested) {
+        nested.Vmcall(0x20);
+        before = machine.TotalVmexits();
+        cycles0 = nested.cpu().cycles();
+        nested.Vmcall(0x20);
+        after = machine.TotalVmexits();
+        cycles1 = nested.cpu().cycles();
+      });
+    };
+    l0.RunVcpu(*v0, 0);
+    return std::pair<uint64_t, uint64_t>(after - before, cycles1 - cycles0);
+  };
+  auto [shadow_exits, shadow_cycles] = run(true);
+  auto [plain_exits, plain_cycles] = run(false);
+  EXPECT_GT(plain_exits, shadow_exits);
+  EXPECT_GT(plain_cycles, shadow_cycles);
+}
+
+TEST(KvmX86Test, NestedMmioForwardedToL1) {
+  X86Machine machine(1, CostModel::Default());
+  KvmX86 l0(&machine, true);
+  X86Vcpu* v0 = l0.CreateVcpu(true);
+  std::unique_ptr<X86GuestHyp> l1;
+  uint64_t value = 0;
+  v0->main_sw = [&](X86Env& env) {
+    l1 = std::make_unique<X86GuestHyp>(&env, &machine);
+    l1->RunNested(env,
+                  [&](X86Env& nested) { value = nested.IoRead(0x1F0); });
+  };
+  l0.RunVcpu(*v0, 0);
+  EXPECT_EQ(value, 0xD0D0'BEEFu);
+}
+
+TEST(KvmX86Test, MergeCopiesGuestStateIntoVmcs02) {
+  X86Machine machine(1, CostModel::Default());
+  KvmX86 l0(&machine, true);
+  X86Vcpu* v0 = l0.CreateVcpu(true);
+  std::unique_ptr<X86GuestHyp> l1;
+  v0->main_sw = [&](X86Env& env) {
+    l1 = std::make_unique<X86GuestHyp>(&env, &machine);
+    l1->RunNested(env, [](X86Env& nested) { nested.Vmcall(0x20); });
+  };
+  l0.RunVcpu(*v0, 0);
+  // RunNested seeds vmcs12 guest-state fields with 0x1000+f; the merge must
+  // have copied them into vmcs02.
+  EXPECT_EQ(v0->vmcs02.Read(VmcsField::kGuestCr3),
+            v0->vmcs12.Read(VmcsField::kGuestCr3));
+  EXPECT_NE(v0->vmcs02.Read(VmcsField::kGuestCr3), 0u);
+}
+
+TEST(KvmX86Test, ReflectSyncsExitInfoIntoVmcs12) {
+  X86Machine machine(1, CostModel::Default());
+  KvmX86 l0(&machine, true);
+  X86Vcpu* v0 = l0.CreateVcpu(true);
+  std::unique_ptr<X86GuestHyp> l1;
+  v0->main_sw = [&](X86Env& env) {
+    l1 = std::make_unique<X86GuestHyp>(&env, &machine);
+    l1->RunNested(env, [](X86Env& nested) { nested.Vmcall(0x33); });
+  };
+  l0.RunVcpu(*v0, 0);
+  EXPECT_EQ(v0->vmcs12.Read(VmcsField::kExitReason),
+            static_cast<uint64_t>(ExitReason::kVmcall));
+  EXPECT_EQ(v0->vmcs12.Read(VmcsField::kExitQualification), 0x33u);
+}
+
+TEST(KvmX86Test, EptViolationHandledOnFastPathEvenWhenNested) {
+  X86Machine machine(1, CostModel::Default());
+  KvmX86 l0(&machine, true);
+  X86Vcpu* v0 = l0.CreateVcpu(true);
+  std::unique_ptr<X86GuestHyp> l1;
+  uint64_t exits_for_fault = 0;
+  v0->main_sw = [&](X86Env& env) {
+    l1 = std::make_unique<X86GuestHyp>(&env, &machine);
+    l1->RunNested(env, [&](X86Env& nested) {
+      uint64_t before = machine.TotalVmexits();
+      nested.cpu().EptViolation(0x1234000);
+      exits_for_fault = machine.TotalVmexits() - before;
+    });
+  };
+  l0.RunVcpu(*v0, 0);
+  EXPECT_EQ(exits_for_fault, 1u) << "no reflection to L1 for EPT faults";
+}
+
+TEST(KvmX86Test, CrossCpuIpiDeliveredViaApicv) {
+  X86Machine machine(2, CostModel::Default());
+  KvmX86 l0(&machine, true);
+  X86Vcpu* sender = l0.CreateVcpu(false);
+  X86Vcpu* receiver = l0.CreateVcpu(false);
+  bool handled = false;
+  receiver->main_sw = [&](X86Env& env) {
+    env.SetIrqHandler([&](X86Env& henv, uint32_t vector) {
+      EXPECT_EQ(vector, 0xF2u);
+      handled = true;
+      henv.ApicEoi();
+    });
+    env.ParkRunning();
+  };
+  l0.RunVcpu(*receiver, 1);
+  sender->main_sw = [&](X86Env& env) { env.SendIpi(1, 0xF2); };
+  l0.RunVcpu(*sender, 0);
+  EXPECT_TRUE(handled);
+  // APICv posted interrupt: only the sender's ICR write exited.
+  EXPECT_EQ(machine.TotalVmexits(), 1u);
+}
+
+TEST(KvmX86Test, VcpuClocksPropagateAcrossIpi) {
+  X86Machine machine(2, CostModel::Default());
+  KvmX86 l0(&machine, true);
+  X86Vcpu* sender = l0.CreateVcpu(false);
+  X86Vcpu* receiver = l0.CreateVcpu(false);
+  receiver->main_sw = [](X86Env& env) {
+    env.SetIrqHandler([](X86Env& henv, uint32_t) { henv.ApicEoi(); });
+    env.ParkRunning();
+  };
+  l0.RunVcpu(*receiver, 1);
+  sender->main_sw = [&](X86Env& env) {
+    env.Compute(50'000);
+    env.SendIpi(1, 0xF2);
+  };
+  l0.RunVcpu(*sender, 0);
+  EXPECT_GT(machine.cpu(1).cycles(), 50'000u);
+}
+
+}  // namespace
+}  // namespace neve

@@ -1,0 +1,21 @@
+#include <cstdio>
+#include "src/workload/microbench.h"
+using namespace neve;
+int main() {
+  for (int k = 0; k < 4; ++k) {
+    auto kind = static_cast<MicrobenchKind>(k);
+    auto vm = RunArmMicrobench(kind, StackConfig::Vm(), 50);
+    auto n83 = RunArmMicrobench(kind, StackConfig::NestedV83(false), 20);
+    auto n83v = RunArmMicrobench(kind, StackConfig::NestedV83(true), 20);
+    auto nv = RunArmMicrobench(kind, StackConfig::NestedNeve(false), 20);
+    auto nvv = RunArmMicrobench(kind, StackConfig::NestedNeve(true), 20);
+    auto xvm = RunX86Microbench(kind, false, 50);
+    auto xn = RunX86Microbench(kind, true, 20);
+    std::printf("%-11s VM %7.0f | v8.3 %8.0f(%5.1f) vhe %8.0f(%5.1f) | NEVE %7.0f(%4.1f) vhe %7.0f(%4.1f) | x86 %6.0f(%3.1f) xnest %6.0f(%4.1f)\n",
+      MicrobenchName(kind), vm.cycles_per_op,
+      n83.cycles_per_op, n83.traps_per_op, n83v.cycles_per_op, n83v.traps_per_op,
+      nv.cycles_per_op, nv.traps_per_op, nvv.cycles_per_op, nvv.traps_per_op,
+      xvm.cycles_per_op, xvm.traps_per_op, xn.cycles_per_op, xn.traps_per_op);
+  }
+  return 0;
+}

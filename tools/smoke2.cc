@@ -1,0 +1,12 @@
+#include <cstdio>
+#include "src/workload/appbench.h"
+using namespace neve;
+int main() {
+  std::printf("%-12s %6s %8s %8s %8s %8s %7s %8s\n", "workload", "VM", "v8.3", "v8.3vhe", "NEVE", "NEVEvhe", "x86VM", "x86nest");
+  for (const AppProfile& p : AppProfiles()) {
+    double r[7];
+    for (int s = 0; s < 7; ++s) r[s] = RunAppBench(p, static_cast<AppStack>(s)).overhead;
+    std::printf("%-12s %6.2f %8.2f %8.2f %8.2f %8.2f %7.2f %8.2f\n", p.name, r[0], r[1], r[2], r[3], r[4], r[5], r[6]);
+  }
+  return 0;
+}
