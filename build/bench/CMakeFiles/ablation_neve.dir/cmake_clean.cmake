@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_neve.dir/ablation_neve.cc.o"
+  "CMakeFiles/ablation_neve.dir/ablation_neve.cc.o.d"
+  "ablation_neve"
+  "ablation_neve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_neve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

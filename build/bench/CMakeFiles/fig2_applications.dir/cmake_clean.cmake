@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_applications.dir/fig2_applications.cc.o"
+  "CMakeFiles/fig2_applications.dir/fig2_applications.cc.o.d"
+  "fig2_applications"
+  "fig2_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_nesting.dir/recursive_nesting.cc.o"
+  "CMakeFiles/recursive_nesting.dir/recursive_nesting.cc.o.d"
+  "recursive_nesting"
+  "recursive_nesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_nesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_micro_v83.dir/table1_micro_v83.cc.o"
+  "CMakeFiles/table1_micro_v83.dir/table1_micro_v83.cc.o.d"
+  "table1_micro_v83"
+  "table1_micro_v83.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_micro_v83.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

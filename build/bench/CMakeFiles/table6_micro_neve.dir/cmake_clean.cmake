@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_micro_neve.dir/table6_micro_neve.cc.o"
+  "CMakeFiles/table6_micro_neve.dir/table6_micro_neve.cc.o.d"
+  "table6_micro_neve"
+  "table6_micro_neve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_micro_neve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_trap_counts.dir/table7_trap_counts.cc.o"
+  "CMakeFiles/table7_trap_counts.dir/table7_trap_counts.cc.o.d"
+  "table7_trap_counts"
+  "table7_trap_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_trap_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

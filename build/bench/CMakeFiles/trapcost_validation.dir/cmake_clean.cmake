@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trapcost_validation.dir/trapcost_validation.cc.o"
+  "CMakeFiles/trapcost_validation.dir/trapcost_validation.cc.o.d"
+  "trapcost_validation"
+  "trapcost_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trapcost_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

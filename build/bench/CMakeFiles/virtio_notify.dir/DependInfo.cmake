@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/virtio_notify.cc" "bench/CMakeFiles/virtio_notify.dir/virtio_notify.cc.o" "gcc" "bench/CMakeFiles/virtio_notify.dir/virtio_notify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/neve_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyp/CMakeFiles/neve_hyp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/neve_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/neve_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/gic/CMakeFiles/neve_gic.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/neve_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/neve_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/neve_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/neve_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/neve_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtio_notify.dir/virtio_notify.cc.o"
+  "CMakeFiles/virtio_notify.dir/virtio_notify.cc.o.d"
+  "virtio_notify"
+  "virtio_notify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtio_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_boot.dir/nested_boot.cpp.o"
+  "CMakeFiles/nested_boot.dir/nested_boot.cpp.o.d"
+  "nested_boot"
+  "nested_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

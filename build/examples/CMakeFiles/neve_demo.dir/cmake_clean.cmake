@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neve_demo.dir/neve_demo.cpp.o"
+  "CMakeFiles/neve_demo.dir/neve_demo.cpp.o.d"
+  "neve_demo"
+  "neve_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neve_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

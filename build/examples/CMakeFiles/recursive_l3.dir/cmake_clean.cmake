@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_l3.dir/recursive_l3.cpp.o"
+  "CMakeFiles/recursive_l3.dir/recursive_l3.cpp.o.d"
+  "recursive_l3"
+  "recursive_l3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_l3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_explorer.dir/trap_explorer.cpp.o"
+  "CMakeFiles/trap_explorer.dir/trap_explorer.cpp.o.d"
+  "trap_explorer"
+  "trap_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neve_arch.dir/esr.cc.o"
+  "CMakeFiles/neve_arch.dir/esr.cc.o.d"
+  "CMakeFiles/neve_arch.dir/sysreg.cc.o"
+  "CMakeFiles/neve_arch.dir/sysreg.cc.o.d"
+  "libneve_arch.a"
+  "libneve_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neve_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neve_base.dir/log.cc.o"
+  "CMakeFiles/neve_base.dir/log.cc.o.d"
+  "CMakeFiles/neve_base.dir/status.cc.o"
+  "CMakeFiles/neve_base.dir/status.cc.o.d"
+  "CMakeFiles/neve_base.dir/table_printer.cc.o"
+  "CMakeFiles/neve_base.dir/table_printer.cc.o.d"
+  "libneve_base.a"
+  "libneve_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neve_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neve_cpu.dir/cpu.cc.o"
+  "CMakeFiles/neve_cpu.dir/cpu.cc.o.d"
+  "CMakeFiles/neve_cpu.dir/trace.cc.o"
+  "CMakeFiles/neve_cpu.dir/trace.cc.o.d"
+  "CMakeFiles/neve_cpu.dir/trap_rules.cc.o"
+  "CMakeFiles/neve_cpu.dir/trap_rules.cc.o.d"
+  "libneve_cpu.a"
+  "libneve_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neve_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neve_gic.dir/gic.cc.o"
+  "CMakeFiles/neve_gic.dir/gic.cc.o.d"
+  "libneve_gic.a"
+  "libneve_gic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neve_gic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

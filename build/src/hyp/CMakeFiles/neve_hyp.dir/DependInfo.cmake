@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hyp/guest_env.cc" "src/hyp/CMakeFiles/neve_hyp.dir/guest_env.cc.o" "gcc" "src/hyp/CMakeFiles/neve_hyp.dir/guest_env.cc.o.d"
+  "/root/repo/src/hyp/guest_kvm.cc" "src/hyp/CMakeFiles/neve_hyp.dir/guest_kvm.cc.o" "gcc" "src/hyp/CMakeFiles/neve_hyp.dir/guest_kvm.cc.o.d"
+  "/root/repo/src/hyp/host_kvm.cc" "src/hyp/CMakeFiles/neve_hyp.dir/host_kvm.cc.o" "gcc" "src/hyp/CMakeFiles/neve_hyp.dir/host_kvm.cc.o.d"
+  "/root/repo/src/hyp/virtio.cc" "src/hyp/CMakeFiles/neve_hyp.dir/virtio.cc.o" "gcc" "src/hyp/CMakeFiles/neve_hyp.dir/virtio.cc.o.d"
+  "/root/repo/src/hyp/vm.cc" "src/hyp/CMakeFiles/neve_hyp.dir/vm.cc.o" "gcc" "src/hyp/CMakeFiles/neve_hyp.dir/vm.cc.o.d"
+  "/root/repo/src/hyp/world_switch.cc" "src/hyp/CMakeFiles/neve_hyp.dir/world_switch.cc.o" "gcc" "src/hyp/CMakeFiles/neve_hyp.dir/world_switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/neve_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gic/CMakeFiles/neve_gic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/neve_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/neve_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/neve_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/neve_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/neve_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

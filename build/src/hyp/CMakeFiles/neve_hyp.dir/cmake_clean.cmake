@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neve_hyp.dir/guest_env.cc.o"
+  "CMakeFiles/neve_hyp.dir/guest_env.cc.o.d"
+  "CMakeFiles/neve_hyp.dir/guest_kvm.cc.o"
+  "CMakeFiles/neve_hyp.dir/guest_kvm.cc.o.d"
+  "CMakeFiles/neve_hyp.dir/host_kvm.cc.o"
+  "CMakeFiles/neve_hyp.dir/host_kvm.cc.o.d"
+  "CMakeFiles/neve_hyp.dir/virtio.cc.o"
+  "CMakeFiles/neve_hyp.dir/virtio.cc.o.d"
+  "CMakeFiles/neve_hyp.dir/vm.cc.o"
+  "CMakeFiles/neve_hyp.dir/vm.cc.o.d"
+  "CMakeFiles/neve_hyp.dir/world_switch.cc.o"
+  "CMakeFiles/neve_hyp.dir/world_switch.cc.o.d"
+  "libneve_hyp.a"
+  "libneve_hyp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neve_hyp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/neve_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/neve_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/phys_mem.cc" "src/mem/CMakeFiles/neve_mem.dir/phys_mem.cc.o" "gcc" "src/mem/CMakeFiles/neve_mem.dir/phys_mem.cc.o.d"
+  "/root/repo/src/mem/shadow_s2.cc" "src/mem/CMakeFiles/neve_mem.dir/shadow_s2.cc.o" "gcc" "src/mem/CMakeFiles/neve_mem.dir/shadow_s2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/neve_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/neve_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neve_mem.dir/page_table.cc.o"
+  "CMakeFiles/neve_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/neve_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/neve_mem.dir/phys_mem.cc.o.d"
+  "CMakeFiles/neve_mem.dir/shadow_s2.cc.o"
+  "CMakeFiles/neve_mem.dir/shadow_s2.cc.o.d"
+  "libneve_mem.a"
+  "libneve_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neve_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neve_sim.dir/machine.cc.o"
+  "CMakeFiles/neve_sim.dir/machine.cc.o.d"
+  "libneve_sim.a"
+  "libneve_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neve_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neve_timer.dir/timer.cc.o"
+  "CMakeFiles/neve_timer.dir/timer.cc.o.d"
+  "libneve_timer.a"
+  "libneve_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neve_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libneve_timer.a"
+)

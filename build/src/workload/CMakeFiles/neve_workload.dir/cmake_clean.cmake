@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neve_workload.dir/appbench.cc.o"
+  "CMakeFiles/neve_workload.dir/appbench.cc.o.d"
+  "CMakeFiles/neve_workload.dir/microbench.cc.o"
+  "CMakeFiles/neve_workload.dir/microbench.cc.o.d"
+  "CMakeFiles/neve_workload.dir/microbench_x86.cc.o"
+  "CMakeFiles/neve_workload.dir/microbench_x86.cc.o.d"
+  "CMakeFiles/neve_workload.dir/stacks.cc.o"
+  "CMakeFiles/neve_workload.dir/stacks.cc.o.d"
+  "libneve_workload.a"
+  "libneve_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neve_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

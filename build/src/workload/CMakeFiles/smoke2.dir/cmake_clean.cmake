@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke2.dir/__/__/tools/smoke2.cc.o"
+  "CMakeFiles/smoke2.dir/__/__/tools/smoke2.cc.o.d"
+  "smoke2"
+  "smoke2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neve_x86.dir/kvm_x86.cc.o"
+  "CMakeFiles/neve_x86.dir/kvm_x86.cc.o.d"
+  "CMakeFiles/neve_x86.dir/vmcs.cc.o"
+  "CMakeFiles/neve_x86.dir/vmcs.cc.o.d"
+  "CMakeFiles/neve_x86.dir/vmx_cpu.cc.o"
+  "CMakeFiles/neve_x86.dir/vmx_cpu.cc.o.d"
+  "libneve_x86.a"
+  "libneve_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neve_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appbench_test.dir/appbench_test.cc.o"
+  "CMakeFiles/appbench_test.dir/appbench_test.cc.o.d"
+  "appbench_test"
+  "appbench_test.pdb"
+  "appbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for appbench_test.
+# This may be replaced when dependencies are built.

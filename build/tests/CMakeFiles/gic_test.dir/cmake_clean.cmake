@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gic_test.dir/gic_test.cc.o"
+  "CMakeFiles/gic_test.dir/gic_test.cc.o.d"
+  "gic_test"
+  "gic_test.pdb"
+  "gic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyp_test.dir/hyp_test.cc.o"
+  "CMakeFiles/hyp_test.dir/hyp_test.cc.o.d"
+  "hyp_test"
+  "hyp_test.pdb"
+  "hyp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

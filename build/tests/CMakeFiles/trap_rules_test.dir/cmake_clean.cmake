@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_rules_test.dir/trap_rules_test.cc.o"
+  "CMakeFiles/trap_rules_test.dir/trap_rules_test.cc.o.d"
+  "trap_rules_test"
+  "trap_rules_test.pdb"
+  "trap_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

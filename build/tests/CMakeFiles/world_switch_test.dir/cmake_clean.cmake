@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_switch_test.dir/world_switch_test.cc.o"
+  "CMakeFiles/world_switch_test.dir/world_switch_test.cc.o.d"
+  "world_switch_test"
+  "world_switch_test.pdb"
+  "world_switch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/arch_test[1]_include.cmake")
+include("/root/repo/build/tests/trap_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/gic_test[1]_include.cmake")
+include("/root/repo/build/tests/timer_test[1]_include.cmake")
+include("/root/repo/build/tests/world_switch_test[1]_include.cmake")
+include("/root/repo/build/tests/hyp_test[1]_include.cmake")
+include("/root/repo/build/tests/recursive_test[1]_include.cmake")
+include("/root/repo/build/tests/virtio_test[1]_include.cmake")
+include("/root/repo/build/tests/stacks_test[1]_include.cmake")
+include("/root/repo/build/tests/x86_test[1]_include.cmake")
+include("/root/repo/build/tests/microbench_test[1]_include.cmake")
+include("/root/repo/build/tests/appbench_test[1]_include.cmake")
