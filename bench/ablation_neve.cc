@@ -7,9 +7,11 @@
 // shadowing on/off (~10% on application-level work, larger on raw exits).
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/base/table_printer.h"
+#include "src/obs/report.h"
 #include "src/workload/microbench.h"
 
 namespace neve {
@@ -25,9 +27,11 @@ StackConfig WithParts(bool deferred, bool redirect, bool cached) {
   return cfg;
 }
 
-void Run() {
+void Run(const std::string& json_path) {
   PrintHeader("Ablation: contribution of each NEVE mechanism",
               "design-choice study over sections 6.1's three mechanisms");
+  BenchReport report("ablation_neve", "cycles/op",
+                     "design-choice study over section 6.1's mechanisms");
 
   struct Variant {
     const char* name;
@@ -56,6 +60,8 @@ void Run() {
                             static_cast<uint64_t>(r.cycles_per_op)),
                 TablePrinter::Fixed(r.traps_per_op, 1),
                 TablePrinter::Fixed(base / r.cycles_per_op, 2)});
+      report.Add(std::string(MicrobenchName(kind)) + " / " + v.name,
+                 "ARM nested", r.cycles_per_op, std::nullopt, r.traps_per_op);
     }
     std::printf("%s\n", t.ToString().c_str());
   }
@@ -81,6 +87,10 @@ void Run() {
               TablePrinter::Cycles(static_cast<uint64_t>(r2.cycles_per_op)),
               TablePrinter::Fixed(r2.traps_per_op, 1)});
     std::printf("%s\n", t.ToString().c_str());
+    report.Add("Hypercall / GICv3 sysregs", "NEVE nested", r3.cycles_per_op,
+               std::nullopt, r3.traps_per_op);
+    report.Add("Hypercall / GICv2 MMIO", "NEVE nested", r2.cycles_per_op,
+               std::nullopt, r2.traps_per_op);
   }
 
   std::printf("--- x86: VMCS shadowing (section 8's Intel analogue) ---\n");
@@ -101,12 +111,18 @@ void Run() {
       "covers the EL1 context switch that floods ARMv8.3 with traps);\n"
       "redirection removes the exception-vector/syndrome accesses; cached\n"
       "copies shave the remaining read-side traps. The mechanisms compose.\n");
+  report.Add("Hypercall / VMCS shadowing on", "x86 nested",
+             with_shadow.cycles_per_op, std::nullopt,
+             with_shadow.traps_per_op);
+  report.Add("Hypercall / VMCS shadowing off", "x86 nested",
+             no_shadow.cycles_per_op, std::nullopt, no_shadow.traps_per_op);
+  report.WriteIfRequested(json_path);
 }
 
 }  // namespace
 }  // namespace neve
 
-int main() {
-  neve::Run();
+int main(int argc, char** argv) {
+  neve::Run(neve::JsonOutPath(argc, argv));
   return 0;
 }

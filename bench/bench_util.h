@@ -5,16 +5,22 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 namespace neve {
 
-// Renders "measured (paper: X, d%)" for side-by-side comparison.
+// Renders "measured (paper: X, d%)" for side-by-side comparison. A zero
+// paper value means "no reference number": the delta prints as n/a rather
+// than a misleading +0%.
 inline std::string VsPaper(double measured, double paper) {
   char buf[96];
-  double delta = paper != 0 ? (measured - paper) / paper * 100.0 : 0;
-  std::snprintf(buf, sizeof(buf), "%.0f (paper %.0f, %+.0f%%)", measured,
-                paper, delta);
+  if (paper != 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f (paper %.0f, %+.0f%%)", measured,
+                  paper, (measured - paper) / paper * 100.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f (paper %.0f, n/a)", measured, paper);
+  }
   return buf;
 }
 
@@ -22,6 +28,19 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
   std::printf("\n=== %s ===\n", title);
   std::printf("    reproduces: %s\n", paper_ref);
   std::printf("    units: simulated cycles (see DESIGN.md section 1)\n\n");
+}
+
+// Extracts the value of a --json=<path> argument, or "" when absent. Every
+// bench accepts this flag and mirrors its printed table into a machine-
+// readable BENCH_<name>.json (schema: src/obs/report.h).
+inline std::string JsonOutPath(int argc, char** argv) {
+  constexpr const char kFlag[] = "--json=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      return argv[i] + sizeof(kFlag) - 1;
+    }
+  }
+  return "";
 }
 
 }  // namespace neve

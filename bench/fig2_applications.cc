@@ -9,6 +9,7 @@
 
 #include "bench/bench_util.h"
 #include "src/base/table_printer.h"
+#include "src/obs/report.h"
 #include "src/workload/appbench.h"
 
 namespace neve {
@@ -32,15 +33,18 @@ std::string Bar(double overhead, double scale_max) {
   return bar;
 }
 
-void Run() {
+void Run(const std::string& json_path) {
   PrintHeader("Figure 2: Application Benchmark Performance",
               "Lim et al., SOSP'17, Figure 2 (workloads of Table 8)");
+  BenchReport report("fig2_applications", "overhead vs native (x)",
+                     "Lim et al., SOSP'17, Figure 2");
 
   double results[10][7];
   int wi = 0;
   for (const AppProfile& p : AppProfiles()) {
     for (int s = 0; s < 7; ++s) {
       results[wi][s] = RunAppBench(p, kStacks[s]).overhead;
+      report.Add(p.name, AppStackName(kStacks[s]), results[wi][s]);
     }
     ++wi;
   }
@@ -79,12 +83,13 @@ void Run() {
       "SPECjvm 1.24x/1.14x nested non-VHE/VHE; hackbench 15x/11x;\n"
       "Memcached >40x on ARMv8.3, <3x with NEVE, 8x on x86; NEVE beats\n"
       "x86 on TCP_MAERTS, Nginx, Memcached and MySQL.\n");
+  report.WriteIfRequested(json_path);
 }
 
 }  // namespace
 }  // namespace neve
 
-int main() {
-  neve::Run();
+int main(int argc, char** argv) {
+  neve::Run(neve::JsonOutPath(argc, argv));
   return 0;
 }

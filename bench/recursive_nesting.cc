@@ -11,11 +11,13 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/base/table_printer.h"
 #include "src/hyp/guest_kvm.h"
 #include "src/hyp/host_kvm.h"
+#include "src/obs/report.h"
 
 namespace neve {
 namespace {
@@ -67,9 +69,11 @@ L3Result MeasureL3Hypercall(bool neve, int iters) {
   return result;
 }
 
-void Run() {
+void Run(const std::string& json_path) {
   PrintHeader("Recursive nesting: L0 -> L1 -> L2 -> L3 (section 6.2)",
               "Lim et al., SOSP'17, section 6.2 (quantified extension)");
+  BenchReport report("recursive_nesting", "cycles/op",
+                     "Lim et al., SOSP'17, section 6.2");
 
   constexpr int kIters = 3;
   L3Result v83 = MeasureL3Hypercall(/*neve=*/false, kIters);
@@ -92,12 +96,19 @@ void Run() {
       "is why the paper's recursive story depends on NEVE applying at every\n"
       "level (the host translates each level's VNCR page through Stage-2).\n",
       v83.traps);
+  report.Add("L3 Hypercall", "ARMv8.3 (both levels)", v83.cycles, std::nullopt,
+             v83.traps);
+  report.Add("L3 Hypercall", "NEVE (both levels)", nv.cycles, std::nullopt,
+             nv.traps);
+  report.AddMetric("cycle_improvement_ratio", v83.cycles / nv.cycles);
+  report.AddMetric("trap_improvement_ratio", v83.traps / nv.traps);
+  report.WriteIfRequested(json_path);
 }
 
 }  // namespace
 }  // namespace neve
 
-int main() {
-  neve::Run();
+int main(int argc, char** argv) {
+  neve::Run(neve::JsonOutPath(argc, argv));
   return 0;
 }

@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "src/workload/microbench.h"
 #include "src/workload/stacks.h"
 
@@ -69,6 +73,22 @@ void BM_NestedHypercallNeve(benchmark::State& state) {
 }
 BENCHMARK(BM_NestedHypercallNeve);
 
+void BM_NestedHypercallV83Observed(benchmark::State& state) {
+  // Same workload as BM_NestedHypercallV83 with the observability layer
+  // recording: the gap between the two is the cost of metrics + tracing when
+  // *enabled* (disabled-cost is covered by the plain variant, whose Machine
+  // carries the layer switched off).
+  ArmStack stack(StackConfig::NestedV83(false), 1);
+  stack.machine().obs().set_enabled(true);
+  stack.Run([&](GuestEnv& env) {
+    for (auto _ : state) {
+      env.Hvc(kHvcTestCall);
+    }
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NestedHypercallV83Observed);
+
 void BM_StackConstruction(benchmark::State& state) {
   for (auto _ : state) {
     ArmStack stack(StackConfig::NestedNeve(false), 1);
@@ -80,4 +100,31 @@ BENCHMARK(BM_StackConstruction);
 }  // namespace
 }  // namespace neve
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus the repo-wide --json=<path> flag, translated into
+// google-benchmark's JSON reporter so every bench shares one output contract.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::vector<char*> argv2;
+  std::string out_flag, fmt_flag;
+  for (std::string& a : args) {
+    constexpr const char kFlag[] = "--json=";
+    if (a.compare(0, sizeof(kFlag) - 1, kFlag) == 0) {
+      out_flag = "--benchmark_out=" + a.substr(sizeof(kFlag) - 1);
+      fmt_flag = "--benchmark_out_format=json";
+      continue;
+    }
+    argv2.push_back(a.data());
+  }
+  if (!out_flag.empty()) {
+    argv2.push_back(out_flag.data());
+    argv2.push_back(fmt_flag.data());
+  }
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,9 +3,11 @@
 // VHE guest hypervisors) and x86 (KVM with VMCS shadowing).
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/base/table_printer.h"
+#include "src/obs/report.h"
 #include "src/workload/microbench.h"
 
 namespace neve {
@@ -26,9 +28,11 @@ constexpr PaperRow kPaper[] = {
     {MicrobenchKind::kVirtualEoi, 71, 71, 71, 316, 316},
 };
 
-void Run() {
+void Run(const std::string& json_path) {
   PrintHeader("Table 1: Microbenchmark Cycle Counts (ARMv8.3 vs x86)",
               "Lim et al., SOSP'17, Table 1");
+  BenchReport report("table1_micro_v83", "cycles/op",
+                     "Lim et al., SOSP'17, Table 1");
   TablePrinter t({"Micro-benchmark", "ARM VM", "ARM Nested VM",
                   "ARM Nested VM VHE", "x86 VM", "x86 Nested VM"});
   for (const PaperRow& row : kPaper) {
@@ -44,6 +48,16 @@ void Run() {
               VsPaper(nested_vhe.cycles_per_op, row.nested_vhe),
               VsPaper(x86_vm.cycles_per_op, row.x86_vm),
               VsPaper(x86_nested.cycles_per_op, row.x86_nested)});
+    const char* name = MicrobenchName(row.kind);
+    report.Add(name, "ARM VM", vm.cycles_per_op, row.vm, vm.traps_per_op);
+    report.Add(name, "ARM Nested VM", nested.cycles_per_op, row.nested,
+               nested.traps_per_op);
+    report.Add(name, "ARM Nested VM VHE", nested_vhe.cycles_per_op,
+               row.nested_vhe, nested_vhe.traps_per_op);
+    report.Add(name, "x86 VM", x86_vm.cycles_per_op, row.x86_vm,
+               x86_vm.traps_per_op);
+    report.Add(name, "x86 Nested VM", x86_nested.cycles_per_op, row.x86_nested,
+               x86_nested.traps_per_op);
   }
   std::printf("%s\n", t.ToString().c_str());
   std::printf(
@@ -51,12 +65,13 @@ void Run() {
       "the VM baseline (exit multiplication), VHE guest hypervisors trap\n"
       "less than non-VHE ones, Virtual EOI is flat (hardware-accelerated),\n"
       "and x86 nesting is far cheaper than ARMv8.3 nesting.\n");
+  report.WriteIfRequested(json_path);
 }
 
 }  // namespace
 }  // namespace neve
 
-int main() {
-  neve::Run();
+int main(int argc, char** argv) {
+  neve::Run(neve::JsonOutPath(argc, argv));
   return 0;
 }

@@ -3,9 +3,11 @@
 // the relative overhead versus each platform's non-nested VM.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/base/table_printer.h"
+#include "src/obs/report.h"
 #include "src/workload/microbench.h"
 
 namespace neve {
@@ -38,9 +40,11 @@ std::string WithOverhead(double cycles, double baseline, double paper_cycles,
   return buf;
 }
 
-void Run() {
+void Run(const std::string& json_path) {
   PrintHeader("Table 6: Microbenchmark Cycle Counts with NEVE",
               "Lim et al., SOSP'17, Table 6");
+  BenchReport report("table6_micro_neve", "cycles/op",
+                     "Lim et al., SOSP'17, Table 6");
   TablePrinter t({"Micro-benchmark", "ARMv8.3 Nested", "ARMv8.3 Nested VHE",
                   "NEVE Nested", "NEVE Nested VHE", "x86 Nested"});
   for (const PaperRow& row : kPaper) {
@@ -66,18 +70,25 @@ void Run() {
               WithOverhead(nv, vm, row.neve, row.neve_x),
               WithOverhead(nv_vhe, vm, row.neve_vhe, row.neve_vhe_x),
               WithOverhead(x86, x86_vm, row.x86, row.x86_x)});
+    const char* name = MicrobenchName(row.kind);
+    report.Add(name, "ARMv8.3 Nested", v83, row.v83);
+    report.Add(name, "ARMv8.3 Nested VHE", v83_vhe, row.v83_vhe);
+    report.Add(name, "NEVE Nested", nv, row.neve);
+    report.Add(name, "NEVE Nested VHE", nv_vhe, row.neve_vhe);
+    report.Add(name, "x86 Nested", x86, row.x86);
   }
   std::printf("%s\n", t.ToString().c_str());
   std::printf(
       "Headline claims: NEVE is up to ~5x faster than ARMv8.3 for nested\n"
       "VMs, and its *relative* overhead (vs a non-nested VM) is comparable\n"
       "to x86's despite slower absolute hardware (section 7.1).\n");
+  report.WriteIfRequested(json_path);
 }
 
 }  // namespace
 }  // namespace neve
 
-int main() {
-  neve::Run();
+int main(int argc, char** argv) {
+  neve::Run(neve::JsonOutPath(argc, argv));
   return 0;
 }

@@ -3,9 +3,11 @@
 // section 5 in-text trap counts (1 trap per VM hypercall; 126/82 nested).
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/base/table_printer.h"
+#include "src/obs/report.h"
 #include "src/workload/microbench.h"
 
 namespace neve {
@@ -26,14 +28,17 @@ constexpr PaperRow kPaper[] = {
     {MicrobenchKind::kVirtualEoi, 0, 0, 0, 0, 0},
 };
 
-void Run() {
+void Run(const std::string& json_path) {
   PrintHeader("Table 7: Microbenchmark Average Trap Counts",
               "Lim et al., SOSP'17, Table 7 + section 5 in-text counts");
+  BenchReport report("table7_trap_counts", "traps/op",
+                     "Lim et al., SOSP'17, Table 7");
 
   // Section 5: single-level baseline.
   MicrobenchResult vm =
       RunArmMicrobench(MicrobenchKind::kHypercall, StackConfig::Vm(), kIters);
   std::printf("VM Hypercall: %.1f traps (paper: 1)\n\n", vm.traps_per_op);
+  report.Add("Hypercall", "ARM VM", vm.traps_per_op, 1, vm.traps_per_op);
 
   TablePrinter t({"Micro-benchmark", "ARMv8.3 Nested", "ARMv8.3 Nested VHE",
                   "NEVE Nested", "NEVE Nested VHE", "x86 Nested"});
@@ -55,6 +60,12 @@ void Run() {
     t.AddRow({MicrobenchName(row.kind), VsPaper(v83, row.v83),
               VsPaper(v83_vhe, row.v83_vhe), VsPaper(nv, row.neve),
               VsPaper(nv_vhe, row.neve_vhe), VsPaper(x86, row.x86)});
+    const char* name = MicrobenchName(row.kind);
+    report.Add(name, "ARMv8.3 Nested", v83, row.v83, v83);
+    report.Add(name, "ARMv8.3 Nested VHE", v83_vhe, row.v83_vhe, v83_vhe);
+    report.Add(name, "NEVE Nested", nv, row.neve, nv);
+    report.Add(name, "NEVE Nested VHE", nv_vhe, row.neve_vhe, nv_vhe);
+    report.Add(name, "x86 Nested", x86, row.x86, x86);
     if (nv > 0) {
       worst_ratio = std::max(worst_ratio, v83 / nv);
     }
@@ -64,12 +75,14 @@ void Run() {
       "NEVE reduces trap counts by up to %.1fx versus ARMv8.3 (paper:\n"
       "\"more than six times\"), resolving the exit multiplication problem.\n",
       worst_ratio);
+  report.AddMetric("neve_trap_reduction_ratio", worst_ratio);
+  report.WriteIfRequested(json_path);
 }
 
 }  // namespace
 }  // namespace neve
 
-int main() {
-  neve::Run();
+int main(int argc, char** argv) {
+  neve::Run(neve::JsonOutPath(argc, argv));
   return 0;
 }

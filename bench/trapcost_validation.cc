@@ -5,11 +5,13 @@
 // cycles, and an overall spread under 10%.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/base/stats.h"
 #include "src/base/table_printer.h"
 #include "src/cpu/cpu.h"
+#include "src/obs/report.h"
 
 namespace neve {
 namespace {
@@ -28,9 +30,11 @@ struct Probe {
   void (*op)(Cpu&);
 };
 
-void Run() {
+void Run(const std::string& json_path) {
   PrintHeader("Section 5: trap-cost interchangeability validation",
               "Lim et al., SOSP'17, section 5 in-text measurements");
+  BenchReport report("trapcost_validation", "cycles",
+                     "Lim et al., SOSP'17, section 5 in-text");
 
   PhysMem mem(16ull << 20);
   Cpu cpu(0, ArchFeatures::Armv83Nv(), CostModel::Default(), &mem);
@@ -72,6 +76,7 @@ void Run() {
     entry_stats.Add(static_cast<double>(entry));
     t.AddRow({probe.name, TablePrinter::Cycles(entry),
               TablePrinter::Cycles(ret), TablePrinter::Cycles(total)});
+    report.Add(probe.name, "EL1->EL2 entry", static_cast<double>(entry));
   }
   std::printf("%s\n", t.ToString().c_str());
 
@@ -85,12 +90,18 @@ void Run() {
       "\nConclusion (as in the paper): hvc is a faithful stand-in for the\n"
       "system-register traps ARMv8.3 introduces, validating the\n"
       "paravirtualization-based evaluation methodology.\n");
+  report.AddMetric("entry_min_cycles", entry_stats.min());
+  report.AddMetric("entry_max_cycles", entry_stats.max());
+  report.AddMetric("entry_mean_cycles", entry_stats.mean());
+  report.AddMetric("relative_spread_pct", entry_stats.relative_spread() * 100);
+  report.AddMetric("return_cycles", CostModel::Default().trap_return);
+  report.WriteIfRequested(json_path);
 }
 
 }  // namespace
 }  // namespace neve
 
-int main() {
-  neve::Run();
+int main(int argc, char** argv) {
+  neve::Run(neve::JsonOutPath(argc, argv));
   return 0;
 }

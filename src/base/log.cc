@@ -7,28 +7,22 @@
 namespace neve {
 namespace {
 
-LogLevel ParseLevel(const char* s) {
-  if (std::strcmp(s, "debug") == 0) {
-    return LogLevel::kDebug;
-  }
-  if (std::strcmp(s, "info") == 0) {
-    return LogLevel::kInfo;
-  }
-  if (std::strcmp(s, "warning") == 0) {
-    return LogLevel::kWarning;
-  }
-  if (std::strcmp(s, "error") == 0) {
-    return LogLevel::kError;
-  }
-  if (std::strcmp(s, "off") == 0) {
-    return LogLevel::kOff;
-  }
-  return LogLevel::kWarning;
-}
-
 LogLevel InitialLevel() {
   const char* env = std::getenv("NEVE_LOG_LEVEL");
-  return env != nullptr ? ParseLevel(env) : LogLevel::kWarning;
+  if (env == nullptr) {
+    return LogLevel::kWarning;
+  }
+  std::optional<LogLevel> parsed = ParseLogLevel(env);
+  if (!parsed.has_value()) {
+    // Warn exactly once (InitialLevel runs once, under the function-local
+    // static below) rather than silently running at the default level.
+    std::fprintf(stderr,
+                 "[W log] unrecognized NEVE_LOG_LEVEL=\"%s\" "
+                 "(want debug|info|warning|error|off); using \"warning\"\n",
+                 env);
+    return LogLevel::kWarning;
+  }
+  return *parsed;
 }
 
 LogLevel& MutableLevel() {
@@ -56,6 +50,25 @@ const char* LevelTag(LogLevel level) {
 
 LogLevel GetLogLevel() { return MutableLevel(); }
 void SetLogLevel(LogLevel level) { MutableLevel() = level; }
+
+std::optional<LogLevel> ParseLogLevel(const char* s) {
+  if (std::strcmp(s, "debug") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(s, "info") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(s, "warning") == 0) {
+    return LogLevel::kWarning;
+  }
+  if (std::strcmp(s, "error") == 0) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(s, "off") == 0) {
+    return LogLevel::kOff;
+  }
+  return std::nullopt;
+}
 
 namespace internal {
 

@@ -7,6 +7,7 @@
 #ifndef NEVE_SRC_BASE_LOG_H_
 #define NEVE_SRC_BASE_LOG_H_
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -22,9 +23,13 @@ enum class LogLevel : int {
 
 // Global log threshold; messages below it are dropped. Defaults to kWarning,
 // overridable via the NEVE_LOG_LEVEL environment variable
-// (debug|info|warning|error|off), read once at first use.
+// (debug|info|warning|error|off), read once at first use. An unrecognized
+// value keeps the default and warns on stderr, once.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// Maps a NEVE_LOG_LEVEL spelling to its level; nullopt if unrecognized.
+std::optional<LogLevel> ParseLogLevel(const char* s);
 
 namespace internal {
 

@@ -79,6 +79,14 @@ TrapOutcome Cpu::TakeTrapToEl2(const Syndrome& s, uint32_t detect_cost) {
   Charge(detect_cost + cost_.trap_entry);
   trace_.OnTrapToEl2(s, cycles_);
 
+  // Snapshot observability state at entry so the begin/end pair stays
+  // balanced even if tracing is toggled while the handler runs.
+  bool observing = ObsActive(obs_);
+  if (observing) {
+    obs_->metrics().Counter("cpu.traps_to_el2").Add(1);
+    obs_->tracer().Begin(index_, "trap", EcName(s.ec), episode_start);
+  }
+
   // Hardware exception-entry side effects: syndrome and return state land in
   // the EL2 registers (part of the trap cost, not separately charged).
   regs_[static_cast<size_t>(RegId::kESR_EL2)] = s.ToEsrBits();
@@ -97,6 +105,14 @@ TrapOutcome Cpu::TakeTrapToEl2(const Syndrome& s, uint32_t detect_cost) {
   Charge(cost_.trap_return);
   if (trap_depth_ == 0) {
     trace_.AttributeCycles(s.ec, cycles_ - episode_start);
+    if (observing) {
+      obs_->metrics()
+          .Histogram("cpu.trap_episode_cycles")
+          .Record(cycles_ - episode_start);
+    }
+  }
+  if (observing) {
+    obs_->tracer().End(index_, "trap", EcName(s.ec), cycles_);
   }
   return outcome;
 }
@@ -115,6 +131,10 @@ uint64_t Cpu::SysRegRead(SysReg enc) {
     case AccessResolution::Kind::kMemory:
       // NEVE rewrote the register read into a plain load (section 6.1).
       Charge(cost_.mem_access);
+      if (ObsActive(obs_)) {
+        obs_->metrics().Counter("cpu.vncr_redirects").Add(1);
+        obs_->tracer().Instant(index_, "vncr", SysRegName(enc), cycles_);
+      }
       return mem_->Read64(VncrPage() + r.mem_offset);
     case AccessResolution::Kind::kTrapEl2: {
       TrapOutcome out = TakeTrapToEl2(
@@ -150,6 +170,10 @@ void Cpu::SysRegWrite(SysReg enc, uint64_t value) {
       return;
     case AccessResolution::Kind::kMemory:
       Charge(cost_.mem_access);
+      if (ObsActive(obs_)) {
+        obs_->metrics().Counter("cpu.vncr_redirects").Add(1);
+        obs_->tracer().Instant(index_, "vncr", SysRegName(enc), cycles_);
+      }
       mem_->Write64(VncrPage() + r.mem_offset, value);
       return;
     case AccessResolution::Kind::kTrapEl2: {
@@ -180,6 +204,10 @@ void Cpu::Hvc(uint16_t imm) {
 void Cpu::EretFromVirtualEl2() {
   NEVE_CHECK_MSG(el_ != El::kEl2,
                  "host hypervisor enters guests via RunLowerEl, not eret");
+  if (ObsActive(obs_)) {
+    obs_->metrics().Counter("cpu.virtual_el2_erets").Add(1);
+    obs_->tracer().Instant(index_, "trap", "eret_virtual_el2", cycles_);
+  }
   if (ResolveEret(CurrentAccessContext()) == EretResolution::kTrapEl2) {
     TrapOutcome out = TakeTrapToEl2(Syndrome::EretTrap(), cost_.detect_eret);
     NEVE_CHECK(out.kind == TrapOutcome::Kind::kCompleted);

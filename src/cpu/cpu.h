@@ -30,6 +30,7 @@
 #include "src/cpu/trace.h"
 #include "src/cpu/trap_rules.h"
 #include "src/mem/phys_mem.h"
+#include "src/obs/observability.h"
 
 namespace neve {
 
@@ -78,6 +79,11 @@ class Cpu {
   // --- wiring -----------------------------------------------------------
   void SetEl2Host(El2Host* host) { host_ = host; }
   void SetGicCpuInterface(GicCpuInterface* gic) { gic_ = gic; }
+  // Machine-wide observability layer (metrics + tracer); may stay null for
+  // bare CPUs built outside a Machine. Hooks are no-ops unless the layer is
+  // both present and enabled.
+  void SetObservability(Observability* obs) { obs_ = obs; }
+  Observability* obs() const { return obs_; }
 
   int index() const { return index_; }
   const ArchFeatures& features() const { return features_; }
@@ -197,6 +203,7 @@ class Cpu {
   PhysMem* mem_;
   El2Host* host_ = nullptr;
   GicCpuInterface* gic_ = nullptr;
+  Observability* obs_ = nullptr;
 
   El el_ = El::kEl2;
   uint64_t cycles_ = 0;

@@ -24,6 +24,10 @@ Cpu& GicV3::CpuRef(int cpu) {
 void GicV3::SendPhysSgi(int from_cpu, int to_cpu, uint8_t sgi_id) {
   NEVE_CHECK_MSG(sink_, "no physical IRQ sink installed");
   uint64_t raiser_cycles = CpuRef(from_cpu).cycles();
+  if (ObsActive(obs_)) {
+    obs_->metrics().Counter("gic.phys_sgis").Add(1);
+    obs_->tracer().Instant(from_cpu, "gic", "phys_sgi", raiser_cycles);
+  }
   sink_(to_cpu, kSgiBase + sgi_id, raiser_cycles);
 }
 
@@ -89,6 +93,11 @@ uint64_t GicV3::IccRead(int cpu_idx, RegId reg) {
       cpu.PokeReg(IchListRegister(lr_idx), ListReg::ToActive(lr));
       SyncStatusRegs(cpu);
       ++virtual_acks_;
+      if (ObsActive(obs_)) {
+        obs_->metrics().Counter("gic.virtual_acks").Add(1);
+        obs_->tracer().Instant(cpu_idx, "gic", "virtual_ack", cpu.cycles(),
+                               "intid", ListReg::Intid(lr));
+      }
       return ListReg::Intid(lr);
     }
     case RegId::kICC_HPPIR1_EL1: {
@@ -122,6 +131,11 @@ void GicV3::IccWrite(int cpu_idx, RegId reg, uint64_t value) {
           cpu.PokeReg(IchListRegister(i), 0);
           SyncStatusRegs(cpu);
           ++virtual_eois_;
+          if (ObsActive(obs_)) {
+            obs_->metrics().Counter("gic.virtual_eois").Add(1);
+            obs_->tracer().Instant(cpu_idx, "gic", "virtual_eoi", cpu.cycles(),
+                                   "intid", intid);
+          }
           return;
         }
       }

@@ -77,6 +77,7 @@ class GicV3 : public GicCpuInterface {
 
   void AttachCpu(Cpu* cpu);
   void SetPhysIrqSink(PhysIrqSink sink) { sink_ = std::move(sink); }
+  void SetObservability(Observability* obs) { obs_ = obs; }
 
   int num_list_regs() const { return kNumListRegs; }
 
@@ -118,6 +119,7 @@ class GicV3 : public GicCpuInterface {
   int num_cpus_;
   std::vector<Cpu*> cpus_;
   PhysIrqSink sink_;
+  Observability* obs_ = nullptr;
   uint64_t virtual_acks_ = 0;
   uint64_t virtual_eois_ = 0;
 };

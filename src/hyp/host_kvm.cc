@@ -198,6 +198,11 @@ void HostKvm::SwitchIntoGuest(Cpu& cpu, Vcpu& vcpu) {
   NEVE_CHECK(!ps.guest_loaded);
   VcpuHostState& hs = HostStateOf(vcpu);
 
+  ScopedSpan span(cpu.obs(), cpu, "world_switch", "switch_into_guest");
+  if (ObsActive(cpu.obs())) {
+    cpu.obs()->metrics().Counter("hyp.switches_into_guest").Add(1);
+  }
+
   cpu.Compute(SwCost::kRunLoop);
   cpu.Compute(SwCost::kGprSwitch);
   TouchPerCpuData(cpu);
@@ -267,6 +272,11 @@ void HostKvm::SwitchOutOfGuest(Cpu& cpu, Vcpu& vcpu) {
   NEVE_CHECK(ps.guest_loaded);
   ps.guest_loaded = false;
   VcpuHostState& hs = HostStateOf(vcpu);
+
+  ScopedSpan span(cpu.obs(), cpu, "world_switch", "switch_out_of_guest");
+  if (ObsActive(cpu.obs())) {
+    cpu.obs()->metrics().Counter("hyp.switches_out_of_guest").Add(1);
+  }
 
   TouchPerCpuData(cpu);
   cpu.Compute(SwCost::kGprSwitch);
@@ -584,8 +594,26 @@ TrapOutcome HostKvm::HandleDataAbort(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
     cpu.Compute(SwCost::kShadowFixup);
     uint64_t vvttbr = ReadVel2Reg(cpu, vcpu, RegId::kVTTBR_EL2);
     GuestPhysView view(&machine_->mem(), &vcpu.vm().s2());
-    ShadowS2::FixupResult result = ShadowFor(vcpu, vvttbr).HandleFault(
-        ipa, s.abort_is_write, view, Pa(vvttbr), vcpu.vm().s2());
+    ShadowS2::FixupResult result;
+    {
+      ScopedSpan span(cpu.obs(), cpu, "shadow_s2", "handle_fault");
+      result = ShadowFor(vcpu, vvttbr).HandleFault(
+          ipa, s.abort_is_write, view, Pa(vvttbr), vcpu.vm().s2());
+    }
+    if (ObsActive(cpu.obs())) {
+      MetricsRegistry& m = cpu.obs()->metrics();
+      m.Counter("shadow_s2.faults").Add(1);
+      switch (result) {
+        case ShadowS2::FixupResult::kInstalled:
+          m.Counter("shadow_s2.installed").Add(1);
+          break;
+        case ShadowS2::FixupResult::kVirtualFault:
+          m.Counter("shadow_s2.virtual_faults").Add(1);
+          break;
+        case ShadowS2::FixupResult::kHostFault:
+          break;
+      }
+    }
     switch (result) {
       case ShadowS2::FixupResult::kInstalled:
         return TrapOutcome::Retry();
@@ -639,6 +667,10 @@ void HostKvm::DeliverToVel2(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
   NEVE_CHECK(vcpu.vm().config().virtual_el2);
   ++vcpu.vel2_deliveries;
   cpu.Compute(SwCost::kVel2Deliver);
+  ScopedSpan span(cpu.obs(), cpu, "hyp", "vel2_deliver");
+  if (ObsActive(cpu.obs())) {
+    cpu.obs()->metrics().Counter("hyp.vel2_deliveries").Add(1);
+  }
 
   // An hvc from the guest hypervisor's own kernel is the return half of its
   // non-VHE kernel bounce: the mode switches and its linear flow continues.
@@ -695,6 +727,13 @@ void HostKvm::EmulateSgi(Cpu& cpu, Vcpu& vcpu, uint64_t sgir) {
 
 void HostKvm::InjectVirq(Vcpu& vcpu, uint32_t virq, Cpu* raiser,
                          uint64_t raiser_cycles) {
+  if (Observability& obs = machine_->obs(); ObsActive(&obs)) {
+    obs.metrics().Counter("gic.virq_injections").Add(1);
+    if (raiser != nullptr) {
+      obs.tracer().Instant(raiser->index(), "gic", "inject_virq",
+                           raiser->cycles(), "intid", virq);
+    }
+  }
   vcpu.pending_virq.push_back(virq);
   int target_pcpu = vcpu.loaded_on_pcpu;
   if (target_pcpu < 0) {

@@ -34,6 +34,10 @@ void VirtioBackend::MmioWrite(Cpu& cpu, uint64_t offset, uint64_t value) {
   (void)offset;
   (void)value;
   ++kicks_;
+  ScopedSpan span(cpu.obs(), cpu, "virtio", "kick");
+  if (ObsActive(cpu.obs())) {
+    cpu.obs()->metrics().Counter("virtio.kicks").Add(1);
+  }
   cpu.Compute(SwCost::kMmioDispatch);
   busy_until_ = std::max(busy_until_, cpu.cycles());
   // Busy window opens: suppress further notifications ("while the backend
@@ -44,7 +48,7 @@ void VirtioBackend::MmioWrite(Cpu& cpu, uint64_t offset, uint64_t value) {
 }
 
 int VirtioBackend::ProcessAvail(Cpu& cpu) {
-  (void)cpu;  // processing time accrues on the backend thread's clock
+  ScopedSpan span(cpu.obs(), cpu, "virtio", "process_avail");
   uint64_t avail = Read(L::kAvailIdx);
   uint64_t used = Read(L::kUsedIdx);
   int processed = 0;
@@ -60,6 +64,9 @@ int VirtioBackend::ProcessAvail(Cpu& cpu) {
   }
   Write(L::kUsedIdx, used);
   buffers_processed_ += processed;
+  if (processed > 0 && ObsActive(cpu.obs())) {
+    cpu.obs()->metrics().Counter("virtio.buffers_processed").Add(processed);
+  }
   return processed;
 }
 

@@ -58,6 +58,7 @@ std::span<const SysReg> VmEl1Encodings(bool vhe) {
 }
 
 void SaveEl1Context(Cpu& cpu, bool vhe, El1Context* out) {
+  ScopedSpan span(cpu.obs(), cpu, "world_switch", "save_el1");
   std::span<const SysReg> encs = VmEl1Encodings(vhe);
   for (int i = 0; i < kNumVmEl1Regs; ++i) {
     out->regs[i] = cpu.SysRegRead(encs[i]);
@@ -66,6 +67,7 @@ void SaveEl1Context(Cpu& cpu, bool vhe, El1Context* out) {
 }
 
 void RestoreEl1Context(Cpu& cpu, bool vhe, const El1Context& in) {
+  ScopedSpan span(cpu.obs(), cpu, "world_switch", "restore_el1");
   std::span<const SysReg> encs = VmEl1Encodings(vhe);
   for (int i = 0; i < kNumVmEl1Regs; ++i) {
     ChargeContextSlot(cpu);
@@ -74,6 +76,7 @@ void RestoreEl1Context(Cpu& cpu, bool vhe, const El1Context& in) {
 }
 
 ExitInfo ReadExitInfo(Cpu& cpu, bool vhe, bool read_fault_regs) {
+  ScopedSpan span(cpu.obs(), cpu, "world_switch", "read_exit_info");
   // The syndrome registers are the hypervisor's *own* EL2 state; VHE and
   // non-VHE builds both use the EL2 encodings (E2H redirection only affects
   // EL1 encodings). At virtual EL2 these accesses trap under plain
@@ -97,6 +100,7 @@ void WriteReturnState(Cpu& cpu, bool vhe, uint64_t elr, uint64_t spsr) {
 }
 
 void SaveExtEl1Context(Cpu& cpu, bool vhe, ExtEl1Context* out) {
+  ScopedSpan span(cpu.obs(), cpu, "world_switch", "save_ext_el1");
   out->regs[0] = cpu.SysRegRead(SysReg::kTPIDR_EL0);
   out->regs[1] = cpu.SysRegRead(SysReg::kTPIDRRO_EL0);
   out->regs[2] = cpu.SysRegRead(SysReg::kTPIDR_EL1);
@@ -110,6 +114,7 @@ void SaveExtEl1Context(Cpu& cpu, bool vhe, ExtEl1Context* out) {
 }
 
 void RestoreExtEl1Context(Cpu& cpu, bool vhe, const ExtEl1Context& in) {
+  ScopedSpan span(cpu.obs(), cpu, "world_switch", "restore_ext_el1");
   for (int i = 0; i < kNumExtEl1Regs; ++i) {
     ChargeContextSlot(cpu);
   }
@@ -123,6 +128,7 @@ void RestoreExtEl1Context(Cpu& cpu, bool vhe, const ExtEl1Context& in) {
 }
 
 void SavePmuDebugState(Cpu& cpu, PmuDebugContext* out) {
+  ScopedSpan span(cpu.obs(), cpu, "world_switch", "save_pmu_debug");
   out->mdscr = cpu.SysRegRead(SysReg::kMDSCR_EL1);
   out->pmuserenr = cpu.SysRegRead(SysReg::kPMUSERENR_EL0);
   cpu.SysRegWrite(SysReg::kPMUSERENR_EL0, 0);  // lock out EL0 counters
@@ -131,12 +137,14 @@ void SavePmuDebugState(Cpu& cpu, PmuDebugContext* out) {
 }
 
 void RestorePmuDebugState(Cpu& cpu, const PmuDebugContext& in) {
+  ScopedSpan span(cpu.obs(), cpu, "world_switch", "restore_pmu_debug");
   ChargeContextSlot(cpu);
   cpu.SysRegWrite(SysReg::kPMUSERENR_EL0, in.pmuserenr);
   cpu.SysRegWrite(SysReg::kPMSELR_EL0, 0);
 }
 
 void SaveVgic(Cpu& cpu, VgicContext* ctx) {
+  ScopedSpan span(cpu.obs(), cpu, "world_switch", "save_vgic");
   ctx->vmcr = cpu.SysRegRead(SysReg::kICH_VMCR_EL2);
   ChargeContextSlot(cpu);
   // Live list registers are discovered through the status registers.
@@ -154,6 +162,7 @@ void SaveVgic(Cpu& cpu, VgicContext* ctx) {
 }
 
 void RestoreVgic(Cpu& cpu, const VgicContext& ctx) {
+  ScopedSpan span(cpu.obs(), cpu, "world_switch", "restore_vgic");
   cpu.SysRegWrite(SysReg::kICH_VMCR_EL2, ctx.vmcr);
   for (int i = 0; i < ctx.lrs_in_use; ++i) {
     ChargeContextSlot(cpu);
@@ -166,6 +175,7 @@ void RestoreVgic(Cpu& cpu, const VgicContext& ctx) {
 }
 
 void SaveGuestTimer(Cpu& cpu, bool vhe, TimerContext* out) {
+  ScopedSpan span(cpu.obs(), cpu, "world_switch", "save_guest_timer");
   if (vhe) {
     // VHE hypervisors reach the guest's EL1 virtual timer through the
     // *_EL02 encodings -- which always trap at virtual EL2, even with NEVE
@@ -188,6 +198,7 @@ void SaveGuestTimer(Cpu& cpu, bool vhe, TimerContext* out) {
 
 void RestoreGuestTimer(Cpu& cpu, bool vhe, const TimerContext& in,
                        uint64_t cntvoff) {
+  ScopedSpan span(cpu.obs(), cpu, "world_switch", "restore_guest_timer");
   cpu.SysRegWrite(SysReg::kCNTHCTL_EL2, 0b01);  // restrict counter access
   cpu.SysRegWrite(SysReg::kCNTVOFF_EL2, cntvoff);
   // The compare value only needs reprogramming when the timer is armed.
@@ -206,6 +217,7 @@ void RestoreGuestTimer(Cpu& cpu, bool vhe, const TimerContext& in,
 
 void WriteGuestTrapControls(Cpu& cpu, uint64_t hcr, uint64_t vttbr,
                             uint64_t vmpidr) {
+  ScopedSpan span(cpu.obs(), cpu, "world_switch", "write_guest_trap_controls");
   cpu.SysRegWrite(SysReg::kVMPIDR_EL2, vmpidr);
   cpu.SysRegWrite(SysReg::kVPIDR_EL2, cpu.PeekReg(RegId::kMIDR_EL1));
   cpu.SysRegWrite(SysReg::kHSTR_EL2, 0);
@@ -219,6 +231,7 @@ void WriteGuestTrapControls(Cpu& cpu, uint64_t hcr, uint64_t vttbr,
 }
 
 void WriteHostTrapControls(Cpu& cpu, uint64_t host_hcr) {
+  ScopedSpan span(cpu.obs(), cpu, "world_switch", "write_host_trap_controls");
   uint64_t cur = cpu.SysRegRead(SysReg::kHCR_EL2);
   cpu.SysRegWrite(SysReg::kHCR_EL2, (cur & 0) | host_hcr);
   cpu.SysRegWrite(SysReg::kVTTBR_EL2, 0);

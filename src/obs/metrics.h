@@ -1,0 +1,141 @@
+// Machine-wide metrics registry: named counters, gauges and log2-bucketed
+// latency histograms.
+//
+// The registry is owned per-Machine and shared by every CPU and device model
+// of that machine, so a counter like "cpu.traps_to_el2" aggregates across
+// CPUs by construction (the simulator is single-threaded; no atomics). All
+// instrumentation sites are gated on Observability::enabled() -- when the
+// layer is off nothing here executes, keeping the hot paths at their
+// uninstrumented cost (the "zero-cost when disabled" contract verified by
+// bench/simcore_gbench).
+//
+// Naming scheme (see DESIGN.md "Observability"): dot-separated
+// `<subsystem>.<event>[,k=v...]`, e.g. "cpu.traps_to_el2",
+// "shadow_s2.faults_installed", "virtio.kicks". Histograms record simulated
+// cycles unless the name says otherwise.
+
+#ifndef NEVE_SRC_OBS_METRICS_H_
+#define NEVE_SRC_OBS_METRICS_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace neve {
+
+// Monotonically increasing event count.
+class MetricCounter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Last-write-wins instantaneous value.
+class MetricGauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Log2-bucketed histogram of non-negative integer samples (latencies in
+// simulated cycles). Bucket i holds samples whose bit width is i, i.e.
+// [2^(i-1), 2^i); bucket 0 holds the value 0. Quantiles are estimated as the
+// upper bound of the bucket where the cumulative count crosses the rank --
+// good to within 2x, which is what a log-scale latency summary needs. min
+// and max are tracked exactly.
+class MetricHistogram {
+ public:
+  static constexpr int kNumBuckets = 65;  // bit_width of a uint64_t is 0..64
+
+  void Record(uint64_t sample) {
+    ++buckets_[std::bit_width(sample)];
+    ++count_;
+    sum_ += sample;
+    if (sample < min_ || count_ == 1) {
+      min_ = sample;
+    }
+    if (sample > max_) {
+      max_ = sample;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+  }
+
+  // Upper-bound estimate of the p-th percentile (p in [0, 100]).
+  uint64_t Percentile(double p) const;
+
+  struct Summary {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    double mean = 0.0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+  };
+  Summary Summarize() const;
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_ = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+// Name -> metric registry. Lookup creates on first use; references remain
+// valid for the registry's lifetime (std::map nodes are stable), so hot
+// instrumentation sites may cache them.
+class MetricsRegistry {
+ public:
+  MetricCounter& Counter(std::string_view name);
+  MetricGauge& Gauge(std::string_view name);
+  MetricHistogram& Histogram(std::string_view name);
+
+  // Lookup without creation; nullptr when the metric was never touched.
+  const MetricCounter* FindCounter(std::string_view name) const;
+  const MetricGauge* FindGauge(std::string_view name) const;
+  const MetricHistogram* FindHistogram(std::string_view name) const;
+
+  const std::map<std::string, MetricCounter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, MetricGauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, MetricHistogram, std::less<>>& histograms()
+      const {
+    return histograms_;
+  }
+
+  // Human-readable dump of every metric, one per line, sorted by name.
+  std::string TextReport() const;
+
+  void Reset();
+
+ private:
+  std::map<std::string, MetricCounter, std::less<>> counters_;
+  std::map<std::string, MetricGauge, std::less<>> gauges_;
+  std::map<std::string, MetricHistogram, std::less<>> histograms_;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_OBS_METRICS_H_

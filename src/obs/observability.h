@@ -1,0 +1,103 @@
+// The per-Machine observability layer: one metrics registry plus one event
+// tracer behind a single enable switch.
+//
+// Wiring: Machine owns an Observability and hands a pointer to every Cpu,
+// the GIC and (via the hypervisors) device models. Instrumentation sites are
+// written as
+//
+//     if (ObsActive(obs_)) {
+//       obs_->metrics().Counter("cpu.traps_to_el2").Add();
+//     }
+//
+// so a disabled (or absent) layer costs one pointer test and one predictable
+// branch -- the zero-cost-when-disabled contract bench/simcore_gbench
+// guards. Spans use the ScopedSpan RAII helper below, which captures the
+// enable decision at construction so a span begun while enabled always
+// closes.
+
+#ifndef NEVE_SRC_OBS_OBSERVABILITY_H_
+#define NEVE_SRC_OBS_OBSERVABILITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
+
+namespace neve {
+
+class Observability {
+ public:
+  explicit Observability(size_t trace_capacity = Tracer::kDefaultCapacity)
+      : tracer_(trace_capacity) {}
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+ private:
+  bool enabled_ = false;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+// True when instrumentation should record: the site has an observability
+// layer and it is switched on.
+inline bool ObsActive(const Observability* obs) {
+  return obs != nullptr && obs->enabled();
+}
+
+// RAII begin/end span on the clock of `Clocked` (anything exposing cycles()
+// and index(), i.e. a Cpu). Templated so the tracer stays independent of the
+// CPU model while call sites read naturally:
+//
+//     ScopedSpan span(cpu.obs(), cpu, "world_switch", "save_el1");
+//
+// `name` must be a static string (all call sites pass literals): holding a
+// const char* keeps a disabled span to two pointer tests with no std::string
+// materialization -- world-switch phases run 100+ times per nested trap, so
+// an allocation here would break the zero-cost contract.
+template <typename Clocked>
+class ScopedSpan {
+ public:
+  ScopedSpan(Observability* obs, Clocked& clock, const char* category,
+             const char* name)
+      : obs_(ObsActive(obs) ? obs : nullptr),
+        clock_(clock),
+        category_(category),
+        name_(name) {
+    if (obs_ != nullptr) {
+      obs_->tracer().Begin(clock_.index(), category_, name_, clock_.cycles());
+    }
+  }
+
+  ~ScopedSpan() {
+    if (obs_ != nullptr) {
+      obs_->tracer().End(clock_.index(), category_, name_, clock_.cycles());
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Observability* obs_;
+  Clocked& clock_;
+  const char* category_;
+  const char* name_;
+};
+
+template <typename Clocked>
+ScopedSpan(Observability*, Clocked&, const char*, const char*)
+    -> ScopedSpan<Clocked>;
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_OBS_OBSERVABILITY_H_

@@ -1,0 +1,312 @@
+#include "src/obs/report.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "src/base/log.h"
+#include "src/base/status.h"
+
+namespace neve {
+
+// --- JsonWriter -------------------------------------------------------------
+
+void JsonWriter::Raw(std::string_view text) { out_.append(text); }
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (!stack_.empty() && stack_.back() && !have_key_) {
+    NEVE_CHECK_MSG(false, "JsonWriter: value inside object without a key");
+  }
+  if (need_comma_ && !have_key_) {
+    Raw(",");
+  }
+  need_comma_ = false;
+  have_key_ = false;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  Raw("{");
+  stack_.push_back(true);
+  need_comma_ = false;
+}
+
+void JsonWriter::EndObject() {
+  NEVE_CHECK(!stack_.empty() && stack_.back() && !have_key_);
+  stack_.pop_back();
+  Raw("}");
+  need_comma_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  Raw("[");
+  stack_.push_back(false);
+  need_comma_ = false;
+}
+
+void JsonWriter::EndArray() {
+  NEVE_CHECK(!stack_.empty() && !stack_.back());
+  stack_.pop_back();
+  Raw("]");
+  need_comma_ = true;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  NEVE_CHECK(!stack_.empty() && stack_.back() && !have_key_);
+  if (need_comma_) {
+    Raw(",");
+    need_comma_ = false;
+  }
+  Raw("\"");
+  Raw(Escape(key));
+  Raw("\":");
+  have_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  Raw("\"");
+  Raw(Escape(value));
+  Raw("\"");
+  need_comma_ = true;
+}
+
+void JsonWriter::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    // JSON has no NaN/Inf; null is the conventional stand-in.
+    Raw("null");
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    Raw(buf);
+  }
+  need_comma_ = true;
+}
+
+void JsonWriter::Number(uint64_t value) {
+  BeforeValue();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  Raw(buf);
+  need_comma_ = true;
+}
+
+void JsonWriter::Number(int64_t value) {
+  BeforeValue();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  Raw(buf);
+  need_comma_ = true;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  Raw(value ? "true" : "false");
+  need_comma_ = true;
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  Raw("null");
+  need_comma_ = true;
+}
+
+std::string JsonWriter::str() const {
+  NEVE_CHECK_MSG(stack_.empty(), "JsonWriter: unclosed object/array");
+  return out_;
+}
+
+// --- BenchReport ------------------------------------------------------------
+
+std::optional<double> DeltaPct(double measured, std::optional<double> paper) {
+  if (!paper.has_value() || *paper == 0.0) {
+    return std::nullopt;
+  }
+  return (measured - *paper) / *paper * 100.0;
+}
+
+BenchReport::BenchReport(std::string bench_name, std::string units,
+                         std::string paper_ref)
+    : bench_name_(std::move(bench_name)),
+      units_(std::move(units)),
+      paper_ref_(std::move(paper_ref)) {}
+
+void BenchReport::AddEntry(BenchEntry entry) {
+  entries_.push_back(std::move(entry));
+}
+
+void BenchReport::Add(std::string name, std::string config, double measured,
+                      std::optional<double> paper,
+                      std::optional<double> traps_per_op) {
+  entries_.push_back(BenchEntry{.name = std::move(name),
+                                .config = std::move(config),
+                                .measured = measured,
+                                .paper = paper,
+                                .traps_per_op = traps_per_op});
+}
+
+void BenchReport::AddMetric(std::string name, double value) {
+  metrics_.emplace_back(std::move(name), value);
+}
+
+void BenchReport::AddHistogram(std::string name,
+                               const MetricHistogram::Summary& summary) {
+  histograms_.emplace_back(std::move(name), summary);
+}
+
+void BenchReport::AddRegistry(const MetricsRegistry& registry) {
+  for (const auto& [name, counter] : registry.counters()) {
+    AddMetric(name, static_cast<double>(counter.value()));
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    AddMetric(name, gauge.value());
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    AddHistogram(name, histogram.Summarize());
+  }
+}
+
+std::string BenchReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Number(int64_t{1});
+  w.Key("bench");
+  w.String(bench_name_);
+  w.Key("units");
+  w.String(units_);
+  w.Key("paper_ref");
+  w.String(paper_ref_);
+  w.Key("entries");
+  w.BeginArray();
+  for (const BenchEntry& e : entries_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(e.name);
+    w.Key("config");
+    w.String(e.config);
+    w.Key("measured");
+    w.Number(e.measured);
+    w.Key("paper");
+    if (e.paper.has_value()) {
+      w.Number(*e.paper);
+    } else {
+      w.Null();
+    }
+    w.Key("delta_pct");
+    if (std::optional<double> delta = DeltaPct(e.measured, e.paper);
+        delta.has_value()) {
+      w.Number(*delta);
+    } else {
+      w.Null();
+    }
+    if (e.traps_per_op.has_value()) {
+      w.Key("traps_per_op");
+      w.Number(*e.traps_per_op);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  if (!metrics_.empty()) {
+    w.Key("metrics");
+    w.BeginObject();
+    for (const auto& [name, value] : metrics_) {
+      w.Key(name);
+      w.Number(value);
+    }
+    w.EndObject();
+  }
+  if (!histograms_.empty()) {
+    w.Key("histograms");
+    w.BeginObject();
+    for (const auto& [name, s] : histograms_) {
+      w.Key(name);
+      w.BeginObject();
+      w.Key("count");
+      w.Number(s.count);
+      w.Key("sum");
+      w.Number(s.sum);
+      w.Key("mean");
+      w.Number(s.mean);
+      w.Key("min");
+      w.Number(s.min);
+      w.Key("max");
+      w.Number(s.max);
+      w.Key("p50");
+      w.Number(s.p50);
+      w.Key("p95");
+      w.Number(s.p95);
+      w.Key("p99");
+      w.Number(s.p99);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.str();
+}
+
+bool BenchReport::WriteFile(const std::string& path) const {
+  std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    NEVE_LOG_ERROR << "cannot open bench JSON output file " << path;
+    return false;
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  if (written != json.size()) {
+    NEVE_LOG_ERROR << "short write to bench JSON output file " << path;
+    return false;
+  }
+  return true;
+}
+
+bool BenchReport::WriteIfRequested(const std::string& path) const {
+  if (path.empty()) {
+    return true;
+  }
+  if (!WriteFile(path)) {
+    return false;
+  }
+  std::printf("wrote %zu entries to %s\n", entries_.size(), path.c_str());
+  return true;
+}
+
+}  // namespace neve

@@ -1,0 +1,126 @@
+// Machine-readable benchmark reporting: a dependency-free JSON writer and
+// the BENCH_*.json emitter shared by every bench.
+//
+// The emitted schema (validated by tools/bench_json_check.cc):
+//   {
+//     "schema_version": 1,
+//     "bench": "<bench name>",
+//     "units": "<units of measured values>",
+//     "paper_ref": "<table/figure being reproduced>",
+//     "entries": [
+//       {"name": ..., "config": ..., "measured": N,
+//        "paper": N | null, "delta_pct": N | null,
+//        "traps_per_op": N (optional)},
+//       ...
+//     ],
+//     "metrics":    {"<counter name>": N, ...}          (optional)
+//     "histograms": {"<name>": {count,mean,...}, ...}   (optional)
+//   }
+// Every PR gets a perf trajectory out of these files: run a bench with
+// --json=BENCH_<name>.json before and after a change and diff the deltas.
+
+#ifndef NEVE_SRC_OBS_REPORT_H_
+#define NEVE_SRC_OBS_REPORT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace neve {
+
+// Minimal streaming JSON writer: tracks nesting and comma placement, escapes
+// strings. Misuse (e.g. two values without a key inside an object) is a
+// programming error and is checked.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(std::string_view key);
+  void String(std::string_view value);
+  void Number(double value);
+  void Number(uint64_t value);
+  void Number(int64_t value);
+  void Number(int value) { Number(static_cast<int64_t>(value)); }
+  void Bool(bool value);
+  void Null();
+
+  // The finished document. Valid once all containers are closed.
+  std::string str() const;
+
+ private:
+  void BeforeValue();
+  void Raw(std::string_view text);
+  static std::string Escape(std::string_view s);
+
+  std::string out_;
+  // One entry per open container: true = object, false = array.
+  std::vector<bool> stack_;
+  bool need_comma_ = false;
+  bool have_key_ = false;
+};
+
+// One measured-vs-paper data point.
+struct BenchEntry {
+  std::string name;                    // e.g. "Hypercall"
+  std::string config;                  // e.g. "ARMv8.3 Nested VHE"
+  double measured = 0;
+  std::optional<double> paper;         // absent: nothing to compare against
+  std::optional<double> traps_per_op;  // optional trap-count annotation
+};
+
+// Accumulates a bench run and renders/writes the BENCH_*.json document.
+class BenchReport {
+ public:
+  BenchReport(std::string bench_name, std::string units,
+              std::string paper_ref);
+
+  void AddEntry(BenchEntry entry);
+
+  // Convenience for the common case.
+  void Add(std::string name, std::string config, double measured,
+           std::optional<double> paper = std::nullopt,
+           std::optional<double> traps_per_op = std::nullopt);
+
+  // Free-form scalar published under "metrics".
+  void AddMetric(std::string name, double value);
+
+  // Histogram summary published under "histograms".
+  void AddHistogram(std::string name, const MetricHistogram::Summary& summary);
+
+  // Copies every counter and histogram out of a registry (bench runs that
+  // enabled machine observability).
+  void AddRegistry(const MetricsRegistry& registry);
+
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path`. Returns false (and logs) on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+  // No-op when `path` is empty (the bench ran without --json); otherwise
+  // WriteFile plus a one-line confirmation on stdout.
+  bool WriteIfRequested(const std::string& path) const;
+
+  const std::vector<BenchEntry>& entries() const { return entries_; }
+
+ private:
+  std::string bench_name_;
+  std::string units_;
+  std::string paper_ref_;
+  std::vector<BenchEntry> entries_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, MetricHistogram::Summary>> histograms_;
+};
+
+// Percent delta of measured vs paper; nullopt when paper is 0 or absent
+// (a 0 baseline makes "+X%" meaningless -- render "n/a" instead).
+std::optional<double> DeltaPct(double measured, std::optional<double> paper);
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_OBS_REPORT_H_

@@ -1,0 +1,80 @@
+// Structured event tracer: a bounded ring buffer of begin/end spans and
+// instant events, exportable as Chrome trace-event JSON.
+//
+// The timebase is *simulated cycles* (each simulated CPU's own clock), not
+// host time: a span covering a nested trap episode shows where the simulated
+// machine's cycles went, which is the quantity the paper accounts (Tables
+// 1/6/7). The exporter maps each simulated CPU to one Chrome track (tid),
+// writing cycles into the microsecond field -- chrome://tracing renders the
+// numbers verbatim, so read "us" as "cycles". Load the file via
+// chrome://tracing -> Load, or https://ui.perfetto.dev.
+//
+// The ring overwrites the oldest events when full (a long run keeps the tail
+// of the episode, which is usually the part being inspected);
+// `dropped_events()` says how many were lost. chrome://tracing tolerates the
+// unbalanced begin/end pairs a wrapped ring can produce.
+
+#ifndef NEVE_SRC_OBS_TRACER_H_
+#define NEVE_SRC_OBS_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neve {
+
+enum class TracePhase : uint8_t {
+  kBegin,    // Chrome "B"
+  kEnd,      // Chrome "E"
+  kInstant,  // Chrome "i" (thread scope)
+};
+
+struct TraceEvent {
+  TracePhase phase = TracePhase::kInstant;
+  int cpu = 0;               // simulated CPU (one Chrome track each)
+  uint64_t ts = 0;           // simulated cycles
+  const char* category = ""; // static string: "trap", "world_switch", ...
+  std::string name;
+  // Optional single argument, rendered into Chrome "args" when arg_name set.
+  const char* arg_name = nullptr;
+  uint64_t arg = 0;
+};
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(size_t capacity = kDefaultCapacity);
+
+  void Begin(int cpu, const char* category, std::string name, uint64_t ts);
+  void End(int cpu, const char* category, std::string name, uint64_t ts);
+  void Instant(int cpu, const char* category, std::string name, uint64_t ts,
+               const char* arg_name = nullptr, uint64_t arg = 0);
+
+  size_t size() const { return events_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped_events() const { return dropped_; }
+
+  // Recorded events, oldest first (unwinds the ring).
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Chrome trace-event JSON ({"traceEvents": [...], ...}).
+  std::string ToChromeJson() const;
+
+  // Writes ToChromeJson() to `path`; false (with a log line) on I/O failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+  void Clear();
+
+ private:
+  void Push(TraceEvent ev);
+
+  size_t capacity_;
+  std::vector<TraceEvent> events_;  // ring once size() == capacity_
+  size_t next_ = 0;                 // ring write position
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_OBS_TRACER_H_

@@ -15,10 +15,12 @@ Machine::Machine(const MachineConfig& config)
   NEVE_CHECK(config.num_cpus > 0);
   NEVE_CHECK(IsAligned(config.ram_size, kPageSize));
   NEVE_CHECK(IsAligned(config.host_pool_size, kPageSize));
+  gic_.SetObservability(&obs_);
   cpus_.reserve(config.num_cpus);
   for (int i = 0; i < config.num_cpus; ++i) {
     cpus_.push_back(
         std::make_unique<Cpu>(i, config.features, config.cost, &mem_));
+    cpus_.back()->SetObservability(&obs_);
     gic_.AttachCpu(cpus_.back().get());
   }
 }

@@ -23,6 +23,7 @@
 #include "src/cpu/cpu.h"
 #include "src/gic/gic.h"
 #include "src/mem/phys_mem.h"
+#include "src/obs/observability.h"
 #include "src/timer/timer.h"
 
 namespace neve {
@@ -55,6 +56,12 @@ class Machine {
   // Host page pool (page tables, VNCR pages, shadow tables).
   PageAllocator& host_pool() { return host_pool_; }
 
+  // Machine-wide observability: metrics registry + exit-episode tracer,
+  // shared by every CPU and device model. Disabled by default; call
+  // obs().set_enabled(true) before a run to collect data.
+  Observability& obs() { return obs_; }
+  const Observability& obs() const { return obs_; }
+
   // Guest RAM carve-outs: returns the base of a fresh region of `size` bytes.
   Pa AllocGuestRam(uint64_t size);
 
@@ -64,6 +71,9 @@ class Machine {
 
  private:
   MachineConfig config_;
+  // Declared before cpus_/gic_ so the pointer handed to them outlives their
+  // construction and destruction.
+  Observability obs_;
   PhysMem mem_;
   std::vector<std::unique_ptr<Cpu>> cpus_;
   GicV3 gic_;

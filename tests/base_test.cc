@@ -1,10 +1,11 @@
-// Unit tests for src/base: status, bits, rng, stats, table printer.
+// Unit tests for src/base: status, bits, rng, stats, logging, table printer.
 
 #include <gtest/gtest.h>
 
 #include <set>
 
 #include "src/base/bits.h"
+#include "src/base/log.h"
 #include "src/base/rng.h"
 #include "src/base/stats.h"
 #include "src/base/status.h"
@@ -211,6 +212,57 @@ TEST(StatsTest, SingleSampleHasZeroVariance) {
 TEST(StatsTest, MinOnEmptyAborts) {
   RunningStats s;
   EXPECT_DEATH((void)s.min(), "check failed");
+}
+
+TEST(StatsTest, MaxOnEmptyAborts) {
+  RunningStats s;
+  EXPECT_DEATH((void)s.max(), "check failed");
+}
+
+TEST(StatsTest, RelativeSpreadOnEmptyAborts) {
+  RunningStats s;
+  EXPECT_DEATH((void)s.relative_spread(), "check failed");
+}
+
+TEST(StatsTest, SingleSampleHasZeroSpread) {
+  RunningStats s;
+  s.Add(1234);
+  EXPECT_EQ(s.relative_spread(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StatsTest, ZeroMeanSpreadIsDefinedAsZero) {
+  // A symmetric stream has mean 0; (max-min)/mean would divide by zero, so
+  // the accessor pins the result at 0 instead.
+  RunningStats s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.relative_spread(), 0.0);
+}
+
+// --- Log ---------------------------------------------------------------------
+
+TEST(LogTest, ParseLogLevelRecognizesAllSpellings) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+}
+
+TEST(LogTest, ParseLogLevelRejectsJunk) {
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("DEBUG"), std::nullopt);  // case-sensitive
+  EXPECT_EQ(ParseLogLevel("warn"), std::nullopt);
+}
+
+TEST(LogTest, SetLogLevelRoundTrips) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
 }
 
 // --- TablePrinter --------------------------------------------------------------

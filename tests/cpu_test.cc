@@ -7,6 +7,7 @@
 
 #include "src/arch/vncr.h"
 #include "src/cpu/cpu.h"
+#include "src/cpu/trace.h"
 #include "src/mem/shadow_s2.h"
 #include "src/mem/page_table.h"
 
@@ -389,6 +390,78 @@ TEST_F(MmuFixture, HostAccessesBypassTranslation) {
   cpu_.HostStore(Pa(0x5000), 7);
   EXPECT_EQ(cpu_.HostLoad(Pa(0x5000)), 7u);
   EXPECT_EQ(mem_.Read64(Pa(0x5000)), 7u);
+}
+
+// --- CpuTrace rendering ------------------------------------------------------
+
+TEST(CpuTraceTest, DumpWithoutDetailsShowsCountersOnly) {
+  CpuTrace trace;
+  trace.OnTrapToEl2(Syndrome::Hvc(0x42), 100);
+  trace.OnTrapToEl2(Syndrome::EretTrap(), 200);
+  std::string out = trace.Dump();
+  EXPECT_NE(out.find("total traps to EL2: 2"), std::string::npos);
+  EXPECT_NE(out.find("hvc 1"), std::string::npos);
+  EXPECT_NE(out.find("eret 1"), std::string::npos);
+  // Details were off, so no per-trap lines (they start with "  #<seq>").
+  EXPECT_EQ(out.find("#1"), std::string::npos);
+}
+
+TEST(CpuTraceTest, DumpWithDetailsListsEachTrap) {
+  CpuTrace trace;
+  trace.set_record_details(true);
+  trace.OnTrapToEl2(Syndrome::Hvc(0x42), 123);
+  trace.OnTrapToEl2(Syndrome::DataAbort(0x2000, 0x2000, true, 8), 456);
+  ASSERT_EQ(trace.records().size(), 2u);
+  std::string out = trace.Dump();
+  EXPECT_NE(out.find("#1 @123cyc"), std::string::npos);
+  EXPECT_NE(out.find("#2 @456cyc"), std::string::npos);
+  EXPECT_NE(out.find(trace.records()[0].syndrome.ToString()),
+            std::string::npos);
+}
+
+TEST(CpuTraceTest, CountersClassifyBySyndrome) {
+  CpuTrace trace;
+  trace.OnTrapToEl2(Syndrome::SysRegTrap(SysReg::kVBAR_EL2, true, 1), 1);
+  trace.OnTrapToEl2(Syndrome::SysRegTrap(SysReg::kVBAR_EL2, false, 0), 2);
+  trace.OnTrapToEl2(Syndrome::Irq(27), 3);
+  EXPECT_EQ(trace.traps_to_el2(), 3u);
+  EXPECT_EQ(trace.sysreg_traps(), 2u);
+  EXPECT_EQ(trace.irq_exits(), 1u);
+  EXPECT_EQ(trace.hvc_traps(), 0u);
+}
+
+TEST(CpuTraceTest, AttributionReportShowsClassesWithPercent) {
+  CpuTrace trace;
+  trace.AttributeCycles(Ec::kHvc64, 750);
+  trace.AttributeCycles(Ec::kSysReg, 250);
+  EXPECT_EQ(trace.total_attributed_cycles(), 1000u);
+  EXPECT_EQ(trace.cycles_for(Ec::kHvc64), 750u);
+  std::string out = trace.AttributionReport();
+  EXPECT_NE(out.find("hvc/smc"), std::string::npos);
+  EXPECT_NE(out.find("sysreg"), std::string::npos);
+  EXPECT_NE(out.find("75.0%"), std::string::npos);
+  EXPECT_NE(out.find("25.0%"), std::string::npos);
+  // Classes with zero cycles are elided.
+  EXPECT_EQ(out.find("eret"), std::string::npos);
+}
+
+TEST(CpuTraceTest, SmcRollsUpWithHvc) {
+  // kSmc64 shares the hvc/smc attribution bucket.
+  CpuTrace trace;
+  trace.AttributeCycles(Ec::kSmc64, 10);
+  EXPECT_EQ(trace.cycles_for(Ec::kHvc64), 10u);
+}
+
+TEST(CpuTraceTest, ResetClearsEverything) {
+  CpuTrace trace;
+  trace.set_record_details(true);
+  trace.OnTrapToEl2(Syndrome::Hvc(0x42), 1);
+  trace.AttributeCycles(Ec::kHvc64, 99);
+  trace.Reset();
+  EXPECT_EQ(trace.traps_to_el2(), 0u);
+  EXPECT_EQ(trace.hvc_traps(), 0u);
+  EXPECT_TRUE(trace.records().empty());
+  EXPECT_EQ(trace.total_attributed_cycles(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,336 @@
+// Unit tests for the observability layer: metrics registry, tracer ring,
+// Chrome JSON export, JSON writer, bench report schema, VsPaper rendering.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/obs/metrics.h"
+#include "src/obs/observability.h"
+#include "src/obs/report.h"
+#include "src/obs/tracer.h"
+
+namespace neve {
+namespace {
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsTest, CounterFindOrCreateAndAccumulate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.FindCounter("cpu.traps_to_el2"), nullptr);
+  reg.Counter("cpu.traps_to_el2").Add();
+  reg.Counter("cpu.traps_to_el2").Add(4);
+  const MetricCounter* c = reg.FindCounter("cpu.traps_to_el2");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 5u);
+}
+
+TEST(MetricsTest, CounterReferencesAreStable) {
+  MetricsRegistry reg;
+  MetricCounter& cached = reg.Counter("a");
+  // Creating many more metrics must not invalidate the cached reference.
+  for (int i = 0; i < 100; ++i) {
+    reg.Counter("b" + std::to_string(i)).Add();
+  }
+  cached.Add(7);
+  EXPECT_EQ(reg.FindCounter("a")->value(), 7u);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  reg.Gauge("gic.pending").Set(3);
+  reg.Gauge("gic.pending").Set(1.5);
+  EXPECT_DOUBLE_EQ(reg.FindGauge("gic.pending")->value(), 1.5);
+}
+
+TEST(MetricsTest, HistogramTracksExactMinMaxMean) {
+  MetricHistogram h;
+  h.Record(100);
+  h.Record(300);
+  h.Record(200);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 600u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 300u);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(MetricsTest, HistogramEmptyIsAllZero) {
+  MetricHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  MetricHistogram::Summary s = h.Summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p99, 0u);
+}
+
+TEST(MetricsTest, HistogramZeroSampleLandsInBucketZero) {
+  MetricHistogram h;
+  h.Record(0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+}
+
+TEST(MetricsTest, HistogramPercentilesAreLog2UpperBounds) {
+  MetricHistogram h;
+  // 99 samples in [2^3, 2^4) and one huge outlier.
+  for (int i = 0; i < 99; ++i) {
+    h.Record(10);
+  }
+  h.Record(1 << 20);
+  // p50/p95 fall in the bucket holding 10 -> upper bound 2^4 - 1 territory.
+  EXPECT_LE(h.Percentile(50), 15u);
+  EXPECT_GE(h.Percentile(50), 10u);
+  EXPECT_LE(h.Percentile(95), 15u);
+  // p100 must reach the outlier's bucket.
+  EXPECT_GE(h.Percentile(100), 1u << 19);
+}
+
+TEST(MetricsTest, SummarizeMatchesAccessors) {
+  MetricHistogram h;
+  for (uint64_t v : {5u, 9u, 17u, 33u}) {
+    h.Record(v);
+  }
+  MetricHistogram::Summary s = h.Summarize();
+  EXPECT_EQ(s.count, h.count());
+  EXPECT_EQ(s.sum, h.sum());
+  EXPECT_EQ(s.min, h.min());
+  EXPECT_EQ(s.max, h.max());
+  EXPECT_EQ(s.p50, h.Percentile(50));
+  EXPECT_EQ(s.p95, h.Percentile(95));
+  EXPECT_EQ(s.p99, h.Percentile(99));
+}
+
+TEST(MetricsTest, TextReportListsEveryKind) {
+  MetricsRegistry reg;
+  reg.Counter("cpu.traps_to_el2").Add(42);
+  reg.Gauge("x.level").Set(2.5);
+  reg.Histogram("cpu.episode_cycles").Record(1000);
+  std::string out = reg.TextReport();
+  EXPECT_NE(out.find("cpu.traps_to_el2"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("x.level"), std::string::npos);
+  EXPECT_NE(out.find("cpu.episode_cycles"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetClearsAllMetrics) {
+  MetricsRegistry reg;
+  reg.Counter("a").Add(5);
+  reg.Histogram("h").Record(9);
+  reg.Reset();
+  EXPECT_TRUE(reg.counters().empty());
+  EXPECT_TRUE(reg.histograms().empty());
+}
+
+// --- Tracer ------------------------------------------------------------------
+
+TEST(TracerTest, RecordsInOrder) {
+  Tracer t;
+  t.Begin(0, "trap", "hvc", 100);
+  t.Instant(0, "vncr", "redirect", 150, "reg", 7);
+  t.End(0, "trap", "hvc", 200);
+  auto events = t.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].phase, TracePhase::kBegin);
+  EXPECT_EQ(events[1].phase, TracePhase::kInstant);
+  EXPECT_EQ(events[1].arg, 7u);
+  EXPECT_EQ(events[2].phase, TracePhase::kEnd);
+  EXPECT_EQ(events[2].ts, 200u);
+  EXPECT_EQ(t.dropped_events(), 0u);
+}
+
+TEST(TracerTest, RingOverwritesOldestAndCountsDrops) {
+  Tracer t(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    t.Instant(0, "c", "e" + std::to_string(i), static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped_events(), 6u);
+  auto events = t.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first snapshot: the survivors are events 6..9.
+  EXPECT_EQ(events.front().name, "e6");
+  EXPECT_EQ(events.back().name, "e9");
+}
+
+TEST(TracerTest, ClearEmptiesRing) {
+  Tracer t(4);
+  t.Instant(0, "c", "x", 1);
+  t.Clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.Snapshot().empty());
+}
+
+TEST(TracerTest, ChromeJsonShape) {
+  Tracer t;
+  t.Begin(2, "world_switch", "save_el1", 1000);
+  t.End(2, "world_switch", "save_el1", 1500);
+  t.Instant(0, "gic", "virtual_ack", 1700, "intid", 27);
+  std::string json = t.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);  // CPU -> track
+  EXPECT_NE(json.find("\"cat\":\"world_switch\""), std::string::npos);
+  EXPECT_NE(json.find("\"intid\":27"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+}
+
+// --- Observability / ScopedSpan ----------------------------------------------
+
+TEST(ObservabilityTest, DisabledByDefaultAndNullSafe) {
+  Observability obs;
+  EXPECT_FALSE(obs.enabled());
+  EXPECT_FALSE(ObsActive(&obs));
+  EXPECT_FALSE(ObsActive(nullptr));
+  obs.set_enabled(true);
+  EXPECT_TRUE(ObsActive(&obs));
+}
+
+// Minimal stand-in for a Cpu: the span template only needs cycles()/index().
+struct FakeClock {
+  uint64_t cycles() const { return now; }
+  int index() const { return 3; }
+  uint64_t now = 0;
+};
+
+TEST(ObservabilityTest, ScopedSpanEmitsBalancedPair) {
+  Observability obs;
+  obs.set_enabled(true);
+  FakeClock clock;
+  {
+    clock.now = 10;
+    ScopedSpan span(&obs, clock, "trap", "hvc");
+    clock.now = 90;
+  }
+  auto events = obs.tracer().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, TracePhase::kBegin);
+  EXPECT_EQ(events[0].ts, 10u);
+  EXPECT_EQ(events[0].cpu, 3);
+  EXPECT_EQ(events[1].phase, TracePhase::kEnd);
+  EXPECT_EQ(events[1].ts, 90u);
+}
+
+TEST(ObservabilityTest, ScopedSpanCapturesEnableAtConstruction) {
+  Observability obs;
+  obs.set_enabled(true);
+  FakeClock clock;
+  {
+    ScopedSpan span(&obs, clock, "trap", "hvc");
+    obs.set_enabled(false);  // toggled mid-span: the End still fires
+  }
+  EXPECT_EQ(obs.tracer().size(), 2u);
+  obs.tracer().Clear();
+  {
+    ScopedSpan span(&obs, clock, "trap", "hvc");  // begun while disabled
+    obs.set_enabled(true);
+  }
+  EXPECT_EQ(obs.tracer().size(), 0u);
+}
+
+TEST(ObservabilityTest, DisabledSpanRecordsNothing) {
+  Observability obs;
+  FakeClock clock;
+  { ScopedSpan span(&obs, clock, "trap", "hvc"); }
+  { ScopedSpan span(nullptr, clock, "trap", "hvc"); }
+  EXPECT_EQ(obs.tracer().size(), 0u);
+}
+
+// --- JsonWriter --------------------------------------------------------------
+
+TEST(JsonWriterTest, WritesNestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("table7");
+  w.Key("values");
+  w.BeginArray();
+  w.Number(int64_t{1});
+  w.Number(2.5);
+  w.Null();
+  w.Bool(true);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"name\":\"table7\",\"values\":[1,2.5,null,true]}");
+}
+
+TEST(JsonWriterTest, EscapesControlCharsAndQuotes) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s");
+  w.String("a\"b\\c\n\t");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\n\\t\"}");
+}
+
+// --- DeltaPct / BenchReport --------------------------------------------------
+
+TEST(ReportTest, DeltaPctBasics) {
+  ASSERT_TRUE(DeltaPct(110, 100).has_value());
+  EXPECT_DOUBLE_EQ(*DeltaPct(110, 100), 10.0);
+  EXPECT_DOUBLE_EQ(*DeltaPct(90, 100), -10.0);
+  EXPECT_FALSE(DeltaPct(90, std::nullopt).has_value());
+  EXPECT_FALSE(DeltaPct(90, 0.0).has_value());  // no baseline -> n/a
+}
+
+TEST(ReportTest, JsonContainsSchemaAndEntries) {
+  BenchReport report("table7_trap_counts", "traps/op", "Table 7");
+  report.Add("Hypercall", "ARMv8.3 Nested", 125, 126, 125);
+  report.Add("Hypercall", "NEVE Nested", 14);
+  report.AddMetric("ratio", 8.9);
+  MetricHistogram h;
+  h.Record(4000);
+  report.AddHistogram("cpu.trap_episode_cycles", h.Summarize());
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"table7_trap_counts\""), std::string::npos);
+  EXPECT_NE(json.find("\"units\":\"traps/op\""), std::string::npos);
+  EXPECT_NE(json.find("\"paper\":126"), std::string::npos);
+  EXPECT_NE(json.find("\"delta_pct\":"), std::string::npos);
+  EXPECT_NE(json.find("\"paper\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"ratio\":8.9"), std::string::npos);
+  EXPECT_NE(json.find("\"cpu.trap_episode_cycles\""), std::string::npos);
+}
+
+TEST(ReportTest, AddRegistryCopiesCountersAndHistograms) {
+  MetricsRegistry reg;
+  reg.Counter("virtio.kicks").Add(12);
+  reg.Histogram("cpu.trap_episode_cycles").Record(5000);
+  BenchReport report("virtio_notify", "kicks", "section 7.2");
+  report.AddRegistry(reg);
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"virtio.kicks\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"cpu.trap_episode_cycles\""), std::string::npos);
+}
+
+// --- bench_util --------------------------------------------------------------
+
+TEST(BenchUtilTest, VsPaperWithBaselineShowsDelta) {
+  EXPECT_EQ(VsPaper(110, 100), "110 (paper 100, +10%)");
+  EXPECT_EQ(VsPaper(90, 100), "90 (paper 100, -10%)");
+}
+
+TEST(BenchUtilTest, VsPaperWithoutBaselineIsNa) {
+  EXPECT_EQ(VsPaper(125, 0), "125 (paper 0, n/a)");
+}
+
+TEST(BenchUtilTest, JsonOutPathParsesFlag) {
+  char prog[] = "bench";
+  char flag[] = "--json=out/B.json";
+  char other[] = "--verbose";
+  char* argv1[] = {prog, flag};
+  EXPECT_EQ(JsonOutPath(2, argv1), "out/B.json");
+  char* argv2[] = {prog, other};
+  EXPECT_EQ(JsonOutPath(2, argv2), "");
+  EXPECT_EQ(JsonOutPath(1, argv1), "");
+}
+
+}  // namespace
+}  // namespace neve

@@ -1,0 +1,352 @@
+// Validates BENCH_*.json files emitted by the benches (--json=<path>).
+//
+//   $ ./build/tools/bench_json_check BENCH_table7.json [more.json ...]
+//
+// Checks the schema documented in src/obs/report.h: schema_version == 1,
+// non-empty "bench"/"units" strings, a non-empty "entries" array whose
+// elements each carry a string "name" and a numeric "measured", and -- when
+// present -- numeric "paper"/"delta_pct"/"traps_per_op" (null allowed for
+// paper/delta_pct). The parser here is written from scratch on purpose:
+// validating the emitter with the emitter's own code would prove nothing.
+// Registered in ctest behind the bench_json fixture (bench/CMakeLists.txt),
+// so `ctest` exercises the full emit -> parse -> validate loop every run.
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- a minimal JSON document model ------------------------------------------
+
+struct JsonValue;
+using JsonPtr = std::unique_ptr<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonPtr> array;
+  std::map<std::string, JsonPtr> object;
+
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+  const JsonValue* Get(const std::string& key) const {
+    auto it = object.find(key);
+    return it != object.end() ? it->second.get() : nullptr;
+  }
+};
+
+// --- recursive-descent parser ------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonPtr Parse(std::string* error) {
+    JsonPtr v = ParseValue();
+    SkipWs();
+    if (v == nullptr || pos_ != text_.size()) {
+      *error = error_.empty() ? "trailing garbage after document" : error_;
+      return nullptr;
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return Fail(std::string("expected ") + lit);
+  }
+
+  JsonPtr ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return nullptr;
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't': {
+        if (!ConsumeLiteral("true")) return nullptr;
+        auto v = std::make_unique<JsonValue>();
+        v->kind = JsonValue::Kind::kBool;
+        v->boolean = true;
+        return v;
+      }
+      case 'f': {
+        if (!ConsumeLiteral("false")) return nullptr;
+        auto v = std::make_unique<JsonValue>();
+        v->kind = JsonValue::Kind::kBool;
+        return v;
+      }
+      case 'n': {
+        if (!ConsumeLiteral("null")) return nullptr;
+        return std::make_unique<JsonValue>();
+      }
+      default:
+        return ParseNumber();
+    }
+  }
+
+  JsonPtr ParseObject() {
+    if (!Consume('{')) return nullptr;
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonPtr key = ParseString();
+      if (key == nullptr || !Consume(':')) return nullptr;
+      JsonPtr val = ParseValue();
+      if (val == nullptr) return nullptr;
+      v->object[key->string] = std::move(val);
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!Consume('}')) return nullptr;
+      return v;
+    }
+  }
+
+  JsonPtr ParseArray() {
+    if (!Consume('[')) return nullptr;
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonPtr elem = ParseValue();
+      if (elem == nullptr) return nullptr;
+      v->array.push_back(std::move(elem));
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!Consume(']')) return nullptr;
+      return v;
+    }
+  }
+
+  JsonPtr ParseString() {
+    if (!Consume('"')) return nullptr;
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        v->string.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': v->string.push_back('"'); break;
+        case '\\': v->string.push_back('\\'); break;
+        case '/': v->string.push_back('/'); break;
+        case 'n': v->string.push_back('\n'); break;
+        case 't': v->string.push_back('\t'); break;
+        case 'r': v->string.push_back('\r'); break;
+        case 'b': v->string.push_back('\b'); break;
+        case 'f': v->string.push_back('\f'); break;
+        case 'u':
+          // \uXXXX: accept and substitute '?' -- the schema fields we
+          // validate never need non-ASCII round-tripping.
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return nullptr;
+          }
+          pos_ += 4;
+          v->string.push_back('?');
+          break;
+        default:
+          Fail("bad escape");
+          return nullptr;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      Fail("unterminated string");
+      return nullptr;
+    }
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  JsonPtr ParseNumber() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected a value");
+      return nullptr;
+    }
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::kNumber;
+    try {
+      v->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      Fail("malformed number");
+      return nullptr;
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// --- schema checks -----------------------------------------------------------
+
+struct Checker {
+  const char* path;
+  int failures = 0;
+
+  void Require(bool ok, const std::string& what) {
+    if (!ok) {
+      std::fprintf(stderr, "%s: FAIL: %s\n", path, what.c_str());
+      ++failures;
+    }
+  }
+};
+
+bool IsNumberOrNull(const JsonValue* v) {
+  return v == nullptr || v->IsNumber() ||
+         v->kind == JsonValue::Kind::kNull;
+}
+
+int CheckFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: FAIL: cannot open\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+
+  std::string error;
+  JsonPtr doc = Parser(text).Parse(&error);
+  if (doc == nullptr) {
+    std::fprintf(stderr, "%s: FAIL: not valid JSON: %s\n", path,
+                 error.c_str());
+    return 1;
+  }
+
+  Checker c{path};
+  c.Require(doc->kind == JsonValue::Kind::kObject, "top level is not an object");
+  if (doc->kind != JsonValue::Kind::kObject) {
+    return c.failures;
+  }
+
+  const JsonValue* version = doc->Get("schema_version");
+  c.Require(version != nullptr && version->IsNumber() && version->number == 1,
+            "schema_version missing or != 1");
+  const JsonValue* bench = doc->Get("bench");
+  c.Require(bench != nullptr && bench->IsString() && !bench->string.empty(),
+            "bench missing or empty");
+  const JsonValue* units = doc->Get("units");
+  c.Require(units != nullptr && units->IsString() && !units->string.empty(),
+            "units missing or empty");
+
+  const JsonValue* entries = doc->Get("entries");
+  c.Require(entries != nullptr && entries->kind == JsonValue::Kind::kArray &&
+                !entries->array.empty(),
+            "entries missing or empty");
+  if (entries != nullptr && entries->kind == JsonValue::Kind::kArray) {
+    size_t i = 0;
+    for (const JsonPtr& e : entries->array) {
+      std::string where = "entries[" + std::to_string(i++) + "]";
+      if (e->kind != JsonValue::Kind::kObject) {
+        c.Require(false, where + " is not an object");
+        continue;
+      }
+      const JsonValue* name = e->Get("name");
+      c.Require(name != nullptr && name->IsString() && !name->string.empty(),
+                where + ".name missing or empty");
+      const JsonValue* measured = e->Get("measured");
+      c.Require(measured != nullptr && measured->IsNumber(),
+                where + ".measured missing or not a number");
+      c.Require(IsNumberOrNull(e->Get("paper")),
+                where + ".paper is neither number nor null");
+      c.Require(IsNumberOrNull(e->Get("delta_pct")),
+                where + ".delta_pct is neither number nor null");
+      const JsonValue* traps = e->Get("traps_per_op");
+      c.Require(traps == nullptr || traps->IsNumber(),
+                where + ".traps_per_op is not a number");
+    }
+  }
+
+  if (c.failures == 0) {
+    std::printf("%s: OK (%zu entries)\n", path,
+                entries != nullptr ? entries->array.size() : 0);
+  }
+  return c.failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_foo.json [more.json ...]\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    failures += CheckFile(argv[i]);
+  }
+  return failures == 0 ? 0 : 1;
+}
