@@ -1,0 +1,47 @@
+// Static verification of the architecture model.
+//
+// Three passes, each returning file:line diagnostics (empty == clean):
+//
+//  1. LintModel       -- structural invariants over the declarative tables
+//                        (offsets, aliases, redirect targets, encoding
+//                        bijection). Operates on an ArchModel snapshot so
+//                        tests can seed violations into a copy.
+//  2. SweepResolution -- exhaustively drives ResolveSysRegAccess over the
+//                        cross-product of every encoding x EL x feature
+//                        generation (incl. NEVE ablations) x HCR{E2H,NV,NV1,
+//                        IMO} x VNCR enable x read/write, and checks
+//                        architectural invariants on every cell.
+//  3. CheckGoldenTables - per-class register sets and virtual-EL2 behaviour
+//                        must exactly match the paper's Tables 3-5 golden
+//                        data (golden_tables.h).
+//
+// A fourth entry point dumps the full resolution cross-product as CSV or
+// JSON so model behaviour can be diffed between commits.
+
+#ifndef NEVE_SRC_ANALYSIS_ARCHLINT_H_
+#define NEVE_SRC_ANALYSIS_ARCHLINT_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/analysis/golden_tables.h"
+#include "src/analysis/model.h"
+
+namespace neve::analysis {
+
+std::vector<Diagnostic> LintModel(const ArchModel& model);
+std::vector<Diagnostic> SweepResolution();
+std::vector<Diagnostic> CheckGoldenTables(const GoldenTables& golden);
+
+// All three passes over the live tables and the paper golden data.
+std::vector<Diagnostic> RunArchLint();
+
+enum class MatrixFormat { kCsv, kJson };
+
+// Emits one row per (features, HCR, VNCR, EL, direction, encoding) cell of
+// the resolution cross-product.
+void WriteResolutionMatrix(std::ostream& os, MatrixFormat format);
+
+}  // namespace neve::analysis
+
+#endif  // NEVE_SRC_ANALYSIS_ARCHLINT_H_

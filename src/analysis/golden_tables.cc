@@ -1,0 +1,55 @@
+#include "src/analysis/golden_tables.h"
+
+namespace neve::analysis {
+
+std::vector<std::string> GoldenTables::DeferredNames() const {
+  std::vector<std::string> out;
+  for (const auto* list : {&table3_vm_trap_control, &table3_vm_execution_control,
+                           &table3_thread_id, &table3_extended}) {
+    out.insert(out.end(), list->begin(), list->end());
+  }
+  return out;
+}
+
+GoldenTables GoldenTables::Paper() {
+  GoldenTables g;
+  g.table3_vm_trap_control = {
+      "HACR_EL2", "HCR_EL2",  "HPFAR_EL2", "HSTR_EL2", "VMPIDR_EL2",
+      "VNCR_EL2", "VPIDR_EL2", "VTCR_EL2", "VTTBR_EL2",
+  };
+  g.table3_vm_execution_control = {
+      "AFSR0_EL1", "AFSR1_EL1", "AMAIR_EL1", "CONTEXTIDR_EL1",
+      "CPACR_EL1", "ELR_EL1",   "ESR_EL1",   "FAR_EL1",
+      "MAIR_EL1",  "SCTLR_EL1", "SP_EL1",    "SPSR_EL1",
+      "TCR_EL1",   "TTBR0_EL1", "TTBR1_EL1", "VBAR_EL1",
+  };
+  g.table3_thread_id = {"TPIDR_EL2"};
+  g.table3_extended = {
+      "PMUSERENR_EL0", "PMSELR_EL0",  // section 6.1 PMU registers
+      "TPIDR_EL1", "PAR_EL1", "CNTKCTL_EL1", "CSSELR_EL1",  // extended ctx
+  };
+  g.table4_redirect = {
+      "AFSR0_EL2", "AFSR1_EL2", "AMAIR_EL2", "ELR_EL2",   "ESR_EL2",
+      "FAR_EL2",   "SPSR_EL2",  "MAIR_EL2",  "SCTLR_EL2", "VBAR_EL2",
+  };
+  g.table4_redirect_vhe = {"CONTEXTIDR_EL2", "TTBR1_EL2"};
+  g.table4_trap_on_write = {"CNTHCTL_EL2", "CNTVOFF_EL2", "CPTR_EL2",
+                            "MDCR_EL2"};
+  g.table4_redirect_or_trap = {"TCR_EL2", "TTBR0_EL2"};
+  g.trap_on_write_el1 = {"MDSCR_EL1"};
+  g.table5_gic_cached = {
+      "ICH_HCR_EL2",   "ICH_VTR_EL2",   "ICH_VMCR_EL2",  "ICH_MISR_EL2",
+      "ICH_EISR_EL2",  "ICH_ELRSR_EL2", "ICH_AP0R0_EL2", "ICH_AP0R1_EL2",
+      "ICH_AP0R2_EL2", "ICH_AP0R3_EL2", "ICH_AP1R0_EL2", "ICH_AP1R1_EL2",
+      "ICH_AP1R2_EL2", "ICH_AP1R3_EL2", "ICH_LR0_EL2",   "ICH_LR1_EL2",
+      "ICH_LR2_EL2",   "ICH_LR3_EL2",   "ICH_LR4_EL2",   "ICH_LR5_EL2",
+      "ICH_LR6_EL2",   "ICH_LR7_EL2",   "ICH_LR8_EL2",   "ICH_LR9_EL2",
+      "ICH_LR10_EL2",  "ICH_LR11_EL2",  "ICH_LR12_EL2",  "ICH_LR13_EL2",
+      "ICH_LR14_EL2",  "ICH_LR15_EL2",
+  };
+  g.timer_trap = {"CNTHV_CTL_EL2", "CNTHV_CVAL_EL2", "CNTHP_CTL_EL2",
+                  "CNTHP_CVAL_EL2"};
+  return g;
+}
+
+}  // namespace neve::analysis

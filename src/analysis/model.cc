@@ -1,0 +1,87 @@
+#include "src/analysis/model.h"
+
+#include <array>
+#include <sstream>
+
+#include "src/base/status.h"
+
+namespace neve::analysis {
+namespace {
+
+// __LINE__ inside an included file expands to the line within *that* file,
+// so re-including the .inc tables with a line-capturing macro yields the
+// source row of every table entry.
+constexpr std::array<int, kNumRegIds> kRegLines = {
+#define NEVE_REGID(id, name, owner, klass, redirect) __LINE__,
+#include "src/arch/regid_defs.inc"
+#undef NEVE_REGID
+};
+
+constexpr std::array<int, kNumSysRegs> kEncLines = {
+#define NEVE_SYSREG(id, name, storage, min_el, kind, rw) __LINE__,
+#include "src/arch/sysreg_defs.inc"
+#undef NEVE_SYSREG
+};
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream oss;
+  oss << file;
+  if (line > 0) {
+    oss << ":" << line;
+  }
+  oss << ": [" << check << "] " << message;
+  return oss.str();
+}
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diags) {
+  std::ostringstream oss;
+  for (const Diagnostic& d : diags) {
+    oss << d.ToString() << "\n";
+  }
+  return oss.str();
+}
+
+int RegDefLine(RegId reg) {
+  auto idx = static_cast<size_t>(reg);
+  NEVE_CHECK(idx < kRegLines.size());
+  return kRegLines[idx];
+}
+
+int EncDefLine(SysReg enc) {
+  auto idx = static_cast<size_t>(enc);
+  NEVE_CHECK(idx < kEncLines.size());
+  return kEncLines[idx];
+}
+
+ArchModel ArchModel::FromTables() {
+  ArchModel m;
+  m.regs.reserve(kNumRegIds);
+  for (int r = 0; r < kNumRegIds; ++r) {
+    auto reg = static_cast<RegId>(r);
+    RegRow row;
+    row.name = RegName(reg);
+    row.owner = RegOwnerEl(reg);
+    row.klass = RegNeveClass(reg);
+    row.redirect = RegRedirectTarget(reg).value_or(reg);
+    row.deferred_offset = DeferredPageOffset(reg);
+    row.line = RegDefLine(reg);
+    m.regs.push_back(std::move(row));
+  }
+  m.encs.reserve(kNumSysRegs);
+  for (int e = 0; e < kNumSysRegs; ++e) {
+    auto enc = static_cast<SysReg>(e);
+    EncRow row;
+    row.name = SysRegName(enc);
+    row.storage = SysRegStorage(enc);
+    row.min_el = SysRegMinEl(enc);
+    row.kind = SysRegEncKind(enc);
+    row.rw = SysRegRw(enc);
+    row.line = EncDefLine(enc);
+    m.encs.push_back(std::move(row));
+  }
+  return m;
+}
+
+}  // namespace neve::analysis

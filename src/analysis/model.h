@@ -1,0 +1,73 @@
+// A mutable snapshot of the declarative architecture model.
+//
+// The live tables in src/arch are constexpr arrays stamped out of the .inc
+// files; archlint wants to (a) check invariants over them and (b) let tests
+// seed violations to prove each check actually fires. ArchModel copies every
+// row into plain vectors -- tests corrupt a copy, the linter never knows the
+// difference -- and records the .inc line each row came from, so diagnostics
+// point at the offending row, not just at a register name.
+
+#ifndef NEVE_SRC_ANALYSIS_MODEL_H_
+#define NEVE_SRC_ANALYSIS_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/arch/el.h"
+#include "src/arch/sysreg.h"
+
+namespace neve::analysis {
+
+// Repo-relative paths of the table sources, used as diagnostic locations.
+inline constexpr char kRegIdDefsPath[] = "src/arch/regid_defs.inc";
+inline constexpr char kSysRegDefsPath[] = "src/arch/sysreg_defs.inc";
+
+// One finding. `file` is repo-relative; line 0 means "whole file / no row".
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string check;  // short kebab-case id of the violated rule
+  std::string message;
+
+  std::string ToString() const;
+};
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diags);
+
+// One NEVE_REGID row.
+struct RegRow {
+  std::string name;
+  El owner = El::kEl0;
+  NeveClass klass = NeveClass::kNone;
+  RegId redirect = RegId::kNumRegIds;  // self for non-redirect classes
+  uint64_t deferred_offset = 0;
+  int line = 0;  // row in regid_defs.inc
+};
+
+// One NEVE_SYSREG row.
+struct EncRow {
+  std::string name;
+  RegId storage = RegId::kNumRegIds;
+  El min_el = El::kEl0;
+  EncKind kind = EncKind::kDirect;
+  Rw rw = Rw::kRW;
+  int line = 0;  // row in sysreg_defs.inc
+};
+
+struct ArchModel {
+  std::vector<RegRow> regs;  // indexed by RegId ordinal
+  std::vector<EncRow> encs;  // indexed by SysReg ordinal
+
+  // Snapshot of the tables the simulator actually runs on.
+  static ArchModel FromTables();
+};
+
+// Line (in the respective .inc file) of a row, for diagnostics that start
+// from a live RegId/SysReg rather than an ArchModel row.
+int RegDefLine(RegId reg);
+int EncDefLine(SysReg enc);
+
+}  // namespace neve::analysis
+
+#endif  // NEVE_SRC_ANALYSIS_MODEL_H_

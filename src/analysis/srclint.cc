@@ -1,0 +1,348 @@
+#include "src/analysis/srclint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+namespace neve::analysis {
+namespace {
+
+// Files allowed to index the raw register file directly. The linter itself
+// is whitelisted because it names the patterns as string literals.
+constexpr const char* kRawRegsWhitelist[] = {
+    "src/cpu/cpu.h",
+    "src/cpu/cpu.cc",
+    "src/analysis/srclint.cc",
+};
+
+// Files allowed to use the non-resolving PeekReg/PokeReg accessors: the CPU
+// itself, the host hypervisor's world switch and KVM emulation, and the
+// device models that share hardware register state with the CPU.
+constexpr const char* kPeekPokeWhitelist[] = {
+    "src/cpu/cpu.h",          "src/cpu/cpu.cc",
+    "src/hyp/world_switch.cc", "src/hyp/host_kvm.cc",
+    "src/gic/gic.cc",          "src/timer/timer.cc",
+    "src/workload/microbench.cc", "src/analysis/srclint.cc",
+};
+
+bool PathMatches(std::string_view path, std::string_view repo_relative) {
+  if (path == repo_relative) {
+    return true;
+  }
+  return path.size() > repo_relative.size() &&
+         path.compare(path.size() - repo_relative.size(),
+                      repo_relative.size(), repo_relative) == 0 &&
+         path[path.size() - repo_relative.size() - 1] == '/';
+}
+
+template <size_t N>
+bool Whitelisted(std::string_view path, const char* const (&list)[N]) {
+  for (const char* entry : list) {
+    if (PathMatches(path, entry)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+int LineOfOffset(std::string_view content, size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(content.begin(), content.begin() + offset, '\n'));
+}
+
+bool IsCommentLine(std::string_view content, size_t offset) {
+  size_t bol = content.rfind('\n', offset);
+  bol = (bol == std::string_view::npos) ? 0 : bol + 1;
+  while (bol < offset && (content[bol] == ' ' || content[bol] == '\t')) {
+    ++bol;
+  }
+  return content.compare(bol, 2, "//") == 0;
+}
+
+// Every occurrence of `pattern` as a whole token prefix (previous char is not
+// part of an identifier), skipping comment lines.
+std::vector<size_t> FindCalls(std::string_view content,
+                              std::string_view pattern) {
+  std::vector<size_t> out;
+  for (size_t pos = content.find(pattern); pos != std::string_view::npos;
+       pos = content.find(pattern, pos + 1)) {
+    if (pos > 0 && IdentChar(content[pos - 1])) {
+      continue;  // e.g. vregs_[ is not regs_[
+    }
+    if (!IsCommentLine(content, pos)) {
+      out.push_back(pos);
+    }
+  }
+  return out;
+}
+
+// --- rule: raw register-file access ------------------------------------------
+
+void LintRawRegisterAccess(const SourceFile& f, std::vector<Diagnostic>& d) {
+  struct Rule {
+    const char* pattern;
+    bool raw_array;  // uses the tighter regs_[ whitelist
+  };
+  static constexpr Rule kRules[] = {
+      {"regs_[", true}, {"PeekReg(", false}, {"PokeReg(", false}};
+  for (const Rule& rule : kRules) {
+    bool ok = rule.raw_array ? Whitelisted(f.path, kRawRegsWhitelist)
+                             : Whitelisted(f.path, kPeekPokeWhitelist);
+    if (ok) {
+      continue;
+    }
+    for (size_t pos : FindCalls(f.content, rule.pattern)) {
+      d.push_back({f.path, LineOfOffset(f.content, pos),
+                   "raw-register-access",
+                   std::string(rule.pattern) +
+                       "... bypasses access resolution; use the Cpu "
+                       "SysRegRead/SysRegWrite accessors or whitelist this "
+                       "file in srclint.cc"});
+    }
+  }
+}
+
+// --- rule: .inc table hygiene ------------------------------------------------
+
+struct IncRow {
+  int line = 0;
+  std::string id;                     // first macro argument
+  std::string name;                   // quoted NAME argument
+  std::vector<std::string> args;      // all arguments, trimmed
+};
+
+std::string Trim(std::string s) {
+  size_t b = s.find_first_not_of(" \t");
+  size_t e = s.find_last_not_of(" \t");
+  return (b == std::string::npos) ? std::string() : s.substr(b, e - b + 1);
+}
+
+std::vector<IncRow> ParseIncRows(std::string_view content,
+                                 std::string_view macro) {
+  std::vector<IncRow> rows;
+  std::string open = std::string(macro) + "(";
+  for (size_t pos : FindCalls(content, open)) {
+    size_t args_begin = pos + open.size();
+    size_t close = content.find(')', args_begin);
+    if (close == std::string_view::npos) {
+      continue;
+    }
+    IncRow row;
+    row.line = LineOfOffset(content, pos);
+    std::string args(content.substr(args_begin, close - args_begin));
+    std::istringstream iss(args);
+    std::string field;
+    while (std::getline(iss, field, ',')) {
+      row.args.push_back(Trim(field));
+    }
+    if (row.args.size() < 2) {
+      continue;
+    }
+    row.id = row.args[0];
+    std::string& quoted = row.args[1];
+    if (quoted.size() >= 2 && quoted.front() == '"' && quoted.back() == '"') {
+      row.name = quoted.substr(1, quoted.size() - 2);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+int EncKindRank(const std::string& kind_arg) {
+  if (kind_arg.find("kDirect") != std::string::npos) {
+    return 0;
+  }
+  if (kind_arg.find("kEl12") != std::string::npos) {
+    return 1;
+  }
+  if (kind_arg.find("kEl02") != std::string::npos) {
+    return 2;
+  }
+  return -1;
+}
+
+// ICH_LR<n> suffix of a row name, or -1.
+int IchLrIndex(const std::string& name) {
+  constexpr std::string_view prefix = "ICH_LR";
+  if (name.rfind(prefix, 0) != 0) {
+    return -1;
+  }
+  size_t i = prefix.size();
+  int n = 0;
+  bool any = false;
+  while (i < name.size() &&
+         std::isdigit(static_cast<unsigned char>(name[i])) != 0) {
+    n = n * 10 + (name[i] - '0');
+    any = true;
+    ++i;
+  }
+  return (any && name.compare(i, std::string::npos, "_EL2") == 0) ? n : -1;
+}
+
+void LintIncRows(const SourceFile& f, std::string_view macro,
+                 std::vector<Diagnostic>& d) {
+  std::vector<IncRow> rows = ParseIncRows(f.content, macro);
+  std::map<std::string, int> ids;
+  int prev_kind = 0;
+  int prev_lr = -1;
+  for (const IncRow& row : rows) {
+    if (row.id != "k" + row.name) {
+      d.push_back({f.path, row.line, "inc-identifier-name",
+                   row.id + ": identifier must be 'k' + NAME (k" + row.name +
+                       ")"});
+    }
+    auto [it, inserted] = ids.emplace(row.id, row.line);
+    if (!inserted) {
+      d.push_back({f.path, row.line, "inc-duplicate-id",
+                   row.id + " already defined at line " +
+                       std::to_string(it->second)});
+    }
+    if (macro == "NEVE_SYSREG" && row.args.size() >= 5) {
+      int kind = EncKindRank(row.args[4]);
+      if (kind >= 0) {
+        if (kind < prev_kind) {
+          d.push_back({f.path, row.line, "inc-kind-order",
+                       row.id + ": encoding kinds must be grouped kDirect, "
+                                "then kEl12, then kEl02"});
+        }
+        prev_kind = std::max(prev_kind, kind);
+      }
+    }
+    int lr = IchLrIndex(row.name);
+    if (lr >= 0) {
+      if (prev_lr >= 0 && lr != prev_lr + 1) {
+        d.push_back({f.path, row.line, "ich-lr-order",
+                     row.name + ": ICH_LR rows must be consecutive and "
+                                "ascending (previous was ICH_LR" +
+                         std::to_string(prev_lr) + "_EL2)"});
+      }
+      prev_lr = lr;
+    }
+  }
+}
+
+// --- rule: trap-path instrumentation -----------------------------------------
+
+void LintTrapInstrumentation(const SourceFile& f,
+                             std::vector<Diagnostic>& d) {
+  if (!PathMatches(f.path, "src/cpu/cpu.cc")) {
+    return;
+  }
+  for (size_t pos : FindCalls(f.content, "TakeTrapToEl2(")) {
+    // The argument list may span lines; scan to the matching close paren.
+    size_t open = f.content.find('(', pos);
+    int depth = 0;
+    size_t end = open;
+    for (; end < f.content.size(); ++end) {
+      if (f.content[end] == '(') {
+        ++depth;
+      } else if (f.content[end] == ')' && --depth == 0) {
+        break;
+      }
+    }
+    std::string call = f.content.substr(open, end - open);
+    if (call.find("detect") == std::string::npos) {
+      d.push_back({f.path, LineOfOffset(f.content, pos),
+                   "trap-missing-detect",
+                   "TakeTrapToEl2 call does not charge a detect cost "
+                   "(pass cost_.detect_* or an explicit /*detect_cost=*/)"});
+    }
+  }
+  struct Required {
+    const char* needle;
+    const char* check;
+    const char* message;
+  };
+  static constexpr Required kRequired[] = {
+      {"cost_.trap_entry", "trap-missing-entry-charge",
+       "trap path never charges cost_.trap_entry"},
+      {"cost_.trap_return", "trap-missing-return-charge",
+       "trap path never charges cost_.trap_return"},
+      {"Counter(\"cpu.traps_to_el2\")", "trap-missing-counter",
+       "trap path never bumps the cpu.traps_to_el2 counter"},
+  };
+  for (const Required& req : kRequired) {
+    if (f.content.find(req.needle) == std::string::npos) {
+      d.push_back({f.path, 0, req.check, req.message});
+    }
+  }
+}
+
+// --- rule: obs span balance --------------------------------------------------
+
+void LintSpanBalance(const SourceFile& f, std::vector<Diagnostic>& d) {
+  size_t begins = FindCalls(f.content, "tracer().Begin(").size();
+  size_t ends = FindCalls(f.content, "tracer().End(").size();
+  if (begins != ends) {
+    d.push_back({f.path, 0, "span-balance",
+                 "tracer().Begin/End mismatch: " + std::to_string(begins) +
+                     " Begin vs " + std::to_string(ends) +
+                     " End -- a span leaks or double-closes"});
+  }
+}
+
+bool HasSuffix(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> LintSources(const std::vector<SourceFile>& files) {
+  std::vector<Diagnostic> d;
+  for (const SourceFile& f : files) {
+    if (HasSuffix(f.path, ".inc")) {
+      LintIncRows(f, "NEVE_REGID", d);
+      LintIncRows(f, "NEVE_SYSREG", d);
+      continue;
+    }
+    LintRawRegisterAccess(f, d);
+    LintTrapInstrumentation(f, d);
+    LintSpanBalance(f, d);
+  }
+  return d;
+}
+
+std::vector<SourceFile> LoadRepoSources(const std::string& repo_root) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  fs::path src = fs::path(repo_root) / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src, ec)) {
+    return files;
+  }
+  for (fs::recursive_directory_iterator it(src, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec || !it->is_regular_file()) {
+      continue;
+    }
+    std::string ext = it->path().extension().string();
+    if (ext != ".h" && ext != ".cc" && ext != ".inc") {
+      continue;
+    }
+    std::ifstream in(it->path(), std::ios::binary);
+    std::ostringstream content;
+    content << in.rdbuf();
+    std::string rel =
+        fs::relative(it->path(), fs::path(repo_root), ec).generic_string();
+    if (ec) {
+      rel = it->path().generic_string();
+    }
+    files.push_back({std::move(rel), content.str()});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+}  // namespace neve::analysis

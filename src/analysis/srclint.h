@@ -1,0 +1,44 @@
+// Source lint: repo-convention checks that the compiler cannot enforce.
+//
+// Rules:
+//   raw-register-access   direct register-file pokes (regs_[...], PeekReg,
+//                         PokeReg) outside the whitelisted CPU/hypervisor/
+//                         device files; everything else must go through the
+//                         resolving SysRegRead/SysRegWrite accessors
+//   inc-*                 .inc table hygiene: identifier is 'k' + NAME, no
+//                         duplicate identifiers, encoding kinds appear in
+//                         canonical kDirect < kEl12 < kEl02 group order,
+//                         ICH_LR<n> rows consecutive and ascending
+//   trap-*                every TakeTrapToEl2 call site charges a detect
+//                         cost, and the trap path charges trap_entry /
+//                         trap_return and bumps the cpu.traps_to_el2 counter
+//   span-balance          tracer().Begin( and tracer().End( counts match per
+//                         file, so obs spans cannot leak
+//
+// The linter operates on (path, content) pairs so tests can feed it seeded
+// bad sources; LoadRepoSources gathers the real tree for the CLI.
+
+#ifndef NEVE_SRC_ANALYSIS_SRCLINT_H_
+#define NEVE_SRC_ANALYSIS_SRCLINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/model.h"
+
+namespace neve::analysis {
+
+struct SourceFile {
+  std::string path;  // repo-relative, forward slashes
+  std::string content;
+};
+
+std::vector<Diagnostic> LintSources(const std::vector<SourceFile>& files);
+
+// Reads every .h/.cc/.inc under <repo_root>/src, paths repo-relative,
+// sorted. Missing root yields an empty list.
+std::vector<SourceFile> LoadRepoSources(const std::string& repo_root);
+
+}  // namespace neve::analysis
+
+#endif  // NEVE_SRC_ANALYSIS_SRCLINT_H_

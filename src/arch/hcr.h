@@ -11,6 +11,7 @@
 #define NEVE_SRC_ARCH_HCR_H_
 
 #include <cstdint>
+#include <initializer_list>
 
 #include "src/base/bits.h"
 

@@ -71,6 +71,24 @@ std::array<SysReg, kNumRegIds> BuildDirectEncodingTable() {
 }  // namespace
 
 const char* RegName(RegId reg) { return InfoOf(reg).name; }
+
+std::optional<RegId> RegIdFromName(std::string_view name) {
+  for (int r = 0; r < kNumRegIds; ++r) {
+    if (name == kRegInfo[r].name) {
+      return static_cast<RegId>(r);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<SysReg> SysRegFromName(std::string_view name) {
+  for (int e = 0; e < kNumSysRegs; ++e) {
+    if (name == kEncInfo[e].name) {
+      return static_cast<SysReg>(e);
+    }
+  }
+  return std::nullopt;
+}
 El RegOwnerEl(RegId reg) { return InfoOf(reg).owner; }
 NeveClass RegNeveClass(RegId reg) { return InfoOf(reg).neve_class; }
 

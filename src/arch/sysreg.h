@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 
 #include "src/arch/el.h"
 
@@ -63,6 +64,11 @@ inline constexpr int kNumSysRegs = static_cast<int>(SysReg::kNumSysRegs);
 // --- Backing-register metadata ----------------------------------------------
 
 const char* RegName(RegId reg);
+
+// Inverse of RegName / SysRegName: look an entry up by its architectural name
+// string. nullopt when no table row carries that name.
+std::optional<RegId> RegIdFromName(std::string_view name);
+std::optional<SysReg> SysRegFromName(std::string_view name);
 
 // Which EL's context this register belongs to.
 El RegOwnerEl(RegId reg);

@@ -21,8 +21,17 @@ namespace neve {
 
 class VncrEl2 {
  public:
+  // The architecturally defined fields: BADDR[52:12] and Enable[0]. Anything
+  // else is reserved, RES0.
+  static constexpr uint64_t kDefinedBits = BitMask(52, 12) | uint64_t{1};
+
   VncrEl2() = default;
-  explicit VncrEl2(uint64_t bits) : bits_(bits) {}
+
+  // Constructing from a raw register value keeps only the defined fields,
+  // exactly as hardware treats writes to RES0 bits. This is the single place
+  // raw bits enter the type: BADDR taken from bits[52:12] is page-aligned by
+  // construction, so the setter invariants hold for any input value.
+  explicit VncrEl2(uint64_t bits) : bits_(bits & kDefinedBits) {}
 
   uint64_t bits() const { return bits_; }
 

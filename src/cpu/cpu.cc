@@ -1,5 +1,6 @@
 #include "src/cpu/cpu.h"
 
+#include "src/arch/vncr.h"
 #include "src/base/bits.h"
 #include "src/base/log.h"
 #include "src/base/status.h"
@@ -56,11 +57,11 @@ void Cpu::AdvanceTo(uint64_t cycle_count) {
 
 bool Cpu::VncrEnabled() const {
   return features_.neve &&
-         TestBit(regs_[static_cast<size_t>(RegId::kVNCR_EL2)], 0);
+         VncrEl2(regs_[static_cast<size_t>(RegId::kVNCR_EL2)]).enabled();
 }
 
 Pa Cpu::VncrPage() const {
-  return Pa(regs_[static_cast<size_t>(RegId::kVNCR_EL2)] & BitMask(52, 12));
+  return Pa(VncrEl2(regs_[static_cast<size_t>(RegId::kVNCR_EL2)]).baddr());
 }
 
 AccessContext Cpu::CurrentAccessContext() const {

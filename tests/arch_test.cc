@@ -156,6 +156,23 @@ TEST(SysRegTableTest, EncodingNamesAreUnique) {
   }
 }
 
+TEST(SysRegTableTest, RegisterNamesRoundTrip) {
+  for (int r = 0; r < kNumRegIds; ++r) {
+    auto reg = static_cast<RegId>(r);
+    EXPECT_EQ(RegIdFromName(RegName(reg)), reg) << RegName(reg);
+  }
+  EXPECT_FALSE(RegIdFromName("NOT_A_REGISTER").has_value());
+  EXPECT_FALSE(RegIdFromName("").has_value());
+}
+
+TEST(SysRegTableTest, EncodingNamesRoundTrip) {
+  for (int e = 0; e < kNumSysRegs; ++e) {
+    auto enc = static_cast<SysReg>(e);
+    EXPECT_EQ(SysRegFromName(SysRegName(enc)), enc) << SysRegName(enc);
+  }
+  EXPECT_FALSE(SysRegFromName("SCTLR_EL3").has_value());
+}
+
 TEST(SysRegTableTest, EveryRegisterHasExactlyOneDirectEncoding) {
   for (int r = 0; r < kNumRegIds; ++r) {
     auto reg = static_cast<RegId>(r);
@@ -242,6 +259,24 @@ TEST(VncrTest, UnalignedBaddrAborts) {
 TEST(VncrTest, BaddrBeyondBit52Aborts) {
   VncrEl2 v;
   EXPECT_DEATH(v.set_baddr(uint64_t{1} << 53), "out of range");
+}
+
+TEST(VncrTest, RawBitsDropReservedFields) {
+  // Regression: the raw-bits constructor used to accept values the setters
+  // reject (junk in RES0 bits [11:1] / [63:53], which makes baddr() come out
+  // unaligned via bits [11:1]). Raw values must land masked to the defined
+  // fields, like a hardware write to RES0 bits.
+  uint64_t raw = (uint64_t{0x5A5} << 53) | 0x1234'5000u | 0xFFEu | 1u;
+  VncrEl2 v(raw);
+  EXPECT_TRUE(v.enabled());
+  EXPECT_EQ(v.baddr(), 0x1234'5000u);
+  EXPECT_TRUE(IsAligned(v.baddr(), 4096));
+  EXPECT_EQ(v.bits(), 0x1234'5001u);
+}
+
+TEST(VncrTest, RawBitsRoundTripSetterOutput) {
+  VncrEl2 made = VncrEl2::Make(0x7'F000, true);
+  EXPECT_EQ(VncrEl2(made.bits()).bits(), made.bits());
 }
 
 // --- Syndromes -----------------------------------------------------------------

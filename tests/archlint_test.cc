@@ -1,0 +1,212 @@
+// Tests for the archlint verification passes.
+//
+// Two halves: the live model must come back clean from every pass, and every
+// check must demonstrably fire when a violation is seeded into a model
+// snapshot or into the golden data -- a linter whose checks cannot fail
+// verifies nothing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/archlint.h"
+#include "src/analysis/golden_tables.h"
+#include "src/analysis/model.h"
+
+namespace neve::analysis {
+namespace {
+
+bool HasCheck(const std::vector<Diagnostic>& diags, const std::string& check) {
+  return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.check == check;
+  });
+}
+
+// --- the live tree is clean --------------------------------------------------
+
+TEST(ArchLintTest, LiveModelIsClean) {
+  std::vector<Diagnostic> d = LintModel(ArchModel::FromTables());
+  EXPECT_TRUE(d.empty()) << FormatDiagnostics(d);
+}
+
+TEST(ArchLintTest, ResolutionSweepIsClean) {
+  std::vector<Diagnostic> d = SweepResolution();
+  EXPECT_TRUE(d.empty()) << FormatDiagnostics(d);
+}
+
+TEST(ArchLintTest, PaperGoldenTablesMatch) {
+  std::vector<Diagnostic> d = CheckGoldenTables(GoldenTables::Paper());
+  EXPECT_TRUE(d.empty()) << FormatDiagnostics(d);
+}
+
+TEST(ArchLintTest, RunArchLintAggregatesAllPasses) {
+  EXPECT_TRUE(RunArchLint().empty());
+}
+
+// --- seeded violations flip checks to FAIL -----------------------------------
+
+TEST(ArchLintSeededTest, DuplicateVncrOffsetIsCaught) {
+  ArchModel m = ArchModel::FromTables();
+  m.regs[1].deferred_offset = m.regs[0].deferred_offset;
+  std::vector<Diagnostic> d = LintModel(m);
+  ASSERT_TRUE(HasCheck(d, "vncr-offset-duplicate")) << FormatDiagnostics(d);
+  // The diagnostic points at the .inc row of the offending register.
+  for (const Diagnostic& diag : d) {
+    if (diag.check == "vncr-offset-duplicate") {
+      EXPECT_EQ(diag.file, kRegIdDefsPath);
+      EXPECT_EQ(diag.line, m.regs[1].line);
+    }
+  }
+}
+
+TEST(ArchLintSeededTest, UnalignedVncrOffsetIsCaught) {
+  ArchModel m = ArchModel::FromTables();
+  m.regs[3].deferred_offset += 4;
+  EXPECT_TRUE(HasCheck(LintModel(m), "vncr-offset-alignment"));
+}
+
+TEST(ArchLintSeededTest, OffsetBeyondThePageIsCaught) {
+  ArchModel m = ArchModel::FromTables();
+  m.regs[2].deferred_offset = kDeferredPageSize;
+  EXPECT_TRUE(HasCheck(LintModel(m), "vncr-offset-range"));
+}
+
+TEST(ArchLintSeededTest, DuplicateRegisterNameIsCaught) {
+  ArchModel m = ArchModel::FromTables();
+  m.regs[5].name = m.regs[4].name;
+  EXPECT_TRUE(HasCheck(LintModel(m), "reg-name-duplicate"));
+}
+
+TEST(ArchLintSeededTest, BrokenDirectEncodingBijectionIsCaught) {
+  ArchModel m = ArchModel::FromTables();
+  // Point a second direct encoding at register 0: register 0 now has two
+  // direct encodings and some other register has none.
+  ASSERT_GE(m.encs.size(), 2u);
+  ASSERT_EQ(m.encs[1].kind, EncKind::kDirect);
+  m.encs[1].storage = static_cast<RegId>(0);
+  EXPECT_TRUE(HasCheck(LintModel(m), "direct-encoding-bijection"));
+}
+
+TEST(ArchLintSeededTest, AliasOntoEl2StorageIsCaught) {
+  ArchModel m = ArchModel::FromTables();
+  auto alias = std::find_if(m.encs.begin(), m.encs.end(), [](const EncRow& e) {
+    return e.kind == EncKind::kEl12;
+  });
+  ASSERT_NE(alias, m.encs.end());
+  // RegId 0 is an EL2 register (the tables open with Table 3's EL2 rows).
+  ASSERT_EQ(m.regs[0].owner, El::kEl2);
+  alias->storage = static_cast<RegId>(0);
+  EXPECT_TRUE(HasCheck(LintModel(m), "alias-el12-storage"));
+}
+
+TEST(ArchLintSeededTest, RedirectToNonEl1TargetIsCaught) {
+  ArchModel m = ArchModel::FromTables();
+  auto redirect =
+      std::find_if(m.regs.begin(), m.regs.end(), [](const RegRow& r) {
+        return r.klass == NeveClass::kRedirect;
+      });
+  ASSERT_NE(redirect, m.regs.end());
+  ASSERT_EQ(m.regs[0].owner, El::kEl2);
+  redirect->redirect = static_cast<RegId>(0);
+  EXPECT_TRUE(HasCheck(LintModel(m), "redirect-target-el1"));
+}
+
+TEST(ArchLintSeededTest, SelfRedirectIsCaught) {
+  ArchModel m = ArchModel::FromTables();
+  auto redirect =
+      std::find_if(m.regs.begin(), m.regs.end(), [](const RegRow& r) {
+        return r.klass == NeveClass::kRedirect;
+      });
+  ASSERT_NE(redirect, m.regs.end());
+  redirect->redirect =
+      static_cast<RegId>(std::distance(m.regs.begin(), redirect));
+  EXPECT_TRUE(HasCheck(LintModel(m), "redirect-target"));
+}
+
+TEST(ArchLintSeededTest, PerturbedGoldenClassIsCaught) {
+  GoldenTables g = GoldenTables::Paper();
+  // Claim CNTHCTL_EL2 is a full redirect register: the model (correctly)
+  // classifies it trap-on-write, so both the membership check and the
+  // behavioural probe must fire.
+  g.table4_trap_on_write.clear();
+  g.table4_redirect.push_back("CNTHCTL_EL2");
+  std::vector<Diagnostic> d = CheckGoldenTables(g);
+  EXPECT_TRUE(HasCheck(d, "golden-class-mismatch")) << FormatDiagnostics(d);
+}
+
+TEST(ArchLintSeededTest, GoldenTableOmissionIsCaught) {
+  GoldenTables g = GoldenTables::Paper();
+  // Drop a register the model classifies: the reverse containment check
+  // must notice the model knows more than the "paper".
+  ASSERT_FALSE(g.table5_gic_cached.empty());
+  g.table5_gic_cached.pop_back();
+  EXPECT_TRUE(HasCheck(CheckGoldenTables(g), "golden-extra-register"));
+}
+
+TEST(ArchLintSeededTest, UnknownGoldenRegisterIsCaught) {
+  GoldenTables g = GoldenTables::Paper();
+  g.table3_vm_trap_control.push_back("TOTALLY_FAKE_EL2");
+  EXPECT_TRUE(HasCheck(CheckGoldenTables(g), "golden-missing-register"));
+}
+
+// --- diagnostics carry usable locations --------------------------------------
+
+TEST(ArchLintTest, TableRowsHaveSourceLines) {
+  ArchModel m = ArchModel::FromTables();
+  for (const RegRow& r : m.regs) {
+    EXPECT_GT(r.line, 0) << r.name;
+  }
+  for (const EncRow& e : m.encs) {
+    EXPECT_GT(e.line, 0) << e.name;
+  }
+  // Rows appear in .inc order, so line numbers are strictly increasing.
+  for (size_t i = 1; i < m.regs.size(); ++i) {
+    EXPECT_LT(m.regs[i - 1].line, m.regs[i].line);
+  }
+}
+
+TEST(ArchLintTest, DiagnosticToStringIsFileLineFormatted) {
+  Diagnostic d{"src/arch/regid_defs.inc", 42, "some-check", "message"};
+  EXPECT_EQ(d.ToString(), "src/arch/regid_defs.inc:42: [some-check] message");
+  Diagnostic whole_file{"src/cpu/cpu.cc", 0, "c", "m"};
+  EXPECT_EQ(whole_file.ToString(), "src/cpu/cpu.cc: [c] m");
+}
+
+// --- matrix dump -------------------------------------------------------------
+
+TEST(MatrixDumpTest, CsvHasHeaderAndFullCrossProduct) {
+  std::ostringstream oss;
+  WriteResolutionMatrix(oss, MatrixFormat::kCsv);
+  std::string out = oss.str();
+  ASSERT_EQ(out.rfind("features,el,e2h,nv,nv1,vncr,write,encoding,kind,"
+                      "target,mem_offset\n",
+                      0),
+            0u);
+  // 4 feature generations x {v8.0,vhe,nv: 8 HCR combos; neve: 8 x 2 VNCR}
+  // x 3 ELs x 2 directions x all encodings, plus the header line.
+  size_t rows = static_cast<size_t>(std::count(out.begin(), out.end(), '\n'));
+  EXPECT_EQ(rows, 1u + (3u * 8 + 16) * 3 * 2 * kNumSysRegs);
+  // A known NEVE deferral shows up with its page offset.
+  EXPECT_NE(out.find("neve,EL1,0,1,1,1,0,HCR_EL2,memory,HCR_EL2,"),
+            std::string::npos);
+}
+
+TEST(MatrixDumpTest, JsonRowsMatchCsvRows) {
+  std::ostringstream csv;
+  std::ostringstream json;
+  WriteResolutionMatrix(csv, MatrixFormat::kCsv);
+  WriteResolutionMatrix(json, MatrixFormat::kJson);
+  std::string c = csv.str();
+  std::string j = json.str();
+  size_t csv_rows =
+      static_cast<size_t>(std::count(c.begin(), c.end(), '\n')) - 1;
+  size_t json_rows =
+      static_cast<size_t>(std::count(j.begin(), j.end(), '{'));
+  EXPECT_EQ(csv_rows, json_rows);
+  EXPECT_EQ(j.front(), '[');
+}
+
+}  // namespace
+}  // namespace neve::analysis

@@ -1,0 +1,199 @@
+// Tests for srclint: each repo-convention rule must pass on conforming
+// sources and fire on seeded violations, with correct file:line locations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/analysis/srclint.h"
+
+namespace neve::analysis {
+namespace {
+
+std::vector<Diagnostic> Lint(const std::string& path,
+                             const std::string& content) {
+  return LintSources({{path, content}});
+}
+
+const Diagnostic* Find(const std::vector<Diagnostic>& diags,
+                       const std::string& check) {
+  auto it = std::find_if(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.check == check;
+  });
+  return it == diags.end() ? nullptr : &*it;
+}
+
+// --- raw register-file access ------------------------------------------------
+
+TEST(SrcLintTest, RawRegsAccessOutsideWhitelistIsFlagged) {
+  std::vector<Diagnostic> d = Lint("src/hyp/nested.cc",
+                                   "void F(Cpu& c) {\n"
+                                   "  c.regs_[0] = 1;\n"
+                                   "}\n");
+  const Diagnostic* diag = Find(d, "raw-register-access");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->file, "src/hyp/nested.cc");
+  EXPECT_EQ(diag->line, 2);
+}
+
+TEST(SrcLintTest, RawRegsAccessInCpuImplementationIsAllowed) {
+  // (The trap-instrumentation rules still apply to cpu.cc; only the
+  // register-access rule is under test here.)
+  std::vector<Diagnostic> d = Lint("src/cpu/cpu.cc", "regs_[0] = 1;\n");
+  EXPECT_EQ(Find(d, "raw-register-access"), nullptr);
+}
+
+TEST(SrcLintTest, PokeRegOutsideWhitelistIsFlagged) {
+  std::vector<Diagnostic> d =
+      Lint("src/sim/machine.cc", "cpu.PokeReg(RegId::kHCR_EL2, 0);\n");
+  EXPECT_NE(Find(d, "raw-register-access"), nullptr);
+}
+
+TEST(SrcLintTest, PeekRegInWhitelistedDeviceModelIsAllowed) {
+  EXPECT_TRUE(
+      Lint("src/gic/gic.cc", "uint64_t v = cpu.PeekReg(reg);\n").empty());
+}
+
+TEST(SrcLintTest, SimilarIdentifiersDoNotTriggerTheRegsRule) {
+  // vregs_[ must not match regs_[ (hyp/vm.h stores virtual EL2 state).
+  EXPECT_TRUE(Lint("src/hyp/vm.h", "vregs_[static_cast<size_t>(r)] = v;\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, CommentedPatternsAreIgnored) {
+  EXPECT_TRUE(Lint("src/hyp/nested.cc",
+                   "// never touch regs_[...] directly; use PokeReg(...)\n")
+                  .empty());
+}
+
+// --- .inc table hygiene ------------------------------------------------------
+
+TEST(SrcLintTest, IncIdentifierMustBeKPlusName) {
+  std::vector<Diagnostic> d = Lint(
+      "src/arch/regid_defs.inc",
+      "NEVE_REGID(kHCR_EL2, \"HCR_EL2\", El::kEl2, NeveClass::kDeferred, "
+      "kHCR_EL2)\n"
+      "NEVE_REGID(kBogus, \"VBAR_EL2\", El::kEl2, NeveClass::kNone, kBogus)\n");
+  const Diagnostic* diag = Find(d, "inc-identifier-name");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->line, 2);
+}
+
+TEST(SrcLintTest, IncDuplicateIdentifierIsFlagged) {
+  std::vector<Diagnostic> d = Lint(
+      "src/arch/regid_defs.inc",
+      "NEVE_REGID(kHCR_EL2, \"HCR_EL2\", El::kEl2, NeveClass::kDeferred, "
+      "kHCR_EL2)\n"
+      "NEVE_REGID(kHCR_EL2, \"HCR_EL2\", El::kEl2, NeveClass::kDeferred, "
+      "kHCR_EL2)\n");
+  EXPECT_NE(Find(d, "inc-duplicate-id"), nullptr);
+}
+
+TEST(SrcLintTest, IncEncodingKindsMustStayGrouped) {
+  // An out-of-order row: a kDirect encoding after the kEl12 block started.
+  std::vector<Diagnostic> d = Lint(
+      "src/arch/sysreg_defs.inc",
+      "NEVE_SYSREG(kSCTLR_EL12, \"SCTLR_EL12\", RegId::kSCTLR_EL1, El::kEl2, "
+      "EncKind::kEl12, Rw::kRW)\n"
+      "NEVE_SYSREG(kVBAR_EL2, \"VBAR_EL2\", RegId::kVBAR_EL2, El::kEl2, "
+      "EncKind::kDirect, Rw::kRW)\n");
+  const Diagnostic* diag = Find(d, "inc-kind-order");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->line, 2);
+}
+
+TEST(SrcLintTest, IchListRowsMustBeConsecutive) {
+  std::vector<Diagnostic> d = Lint(
+      "src/arch/regid_defs.inc",
+      "NEVE_REGID(kICH_LR0_EL2, \"ICH_LR0_EL2\", El::kEl2, "
+      "NeveClass::kGicCached, kICH_LR0_EL2)\n"
+      "NEVE_REGID(kICH_LR2_EL2, \"ICH_LR2_EL2\", El::kEl2, "
+      "NeveClass::kGicCached, kICH_LR2_EL2)\n");
+  EXPECT_NE(Find(d, "ich-lr-order"), nullptr);
+}
+
+TEST(SrcLintTest, CanonicalIncRowsPass) {
+  EXPECT_TRUE(Lint("src/arch/regid_defs.inc",
+                   "NEVE_REGID(kICH_LR0_EL2, \"ICH_LR0_EL2\", El::kEl2, "
+                   "NeveClass::kGicCached, kICH_LR0_EL2)\n"
+                   "NEVE_REGID(kICH_LR1_EL2, \"ICH_LR1_EL2\", El::kEl2, "
+                   "NeveClass::kGicCached, kICH_LR1_EL2)\n")
+                  .empty());
+}
+
+// --- trap-path instrumentation -----------------------------------------------
+
+constexpr char kInstrumentedTrapPath[] =
+    "TrapOutcome Cpu::TakeTrapToEl2(const Syndrome& s, uint32_t detect_cost) "
+    "{\n"
+    "  Charge(detect_cost + cost_.trap_entry);\n"
+    "  obs_->metrics().Counter(\"cpu.traps_to_el2\").Add(1);\n"
+    "  obs_->tracer().Begin(index_, \"trap\", EcName(s.ec), 0);\n"
+    "  Charge(cost_.trap_return);\n"
+    "  obs_->tracer().End(index_, \"trap\", EcName(s.ec), 0);\n"
+    "}\n";
+
+TEST(SrcLintTest, InstrumentedTrapPathPasses) {
+  std::string content = std::string(kInstrumentedTrapPath) +
+                        "void F() { TakeTrapToEl2(s, cost_.detect_hvc); }\n";
+  EXPECT_TRUE(Lint("src/cpu/cpu.cc", content).empty());
+}
+
+TEST(SrcLintTest, TrapCallWithoutDetectCostIsFlagged) {
+  // Multi-line call sites must be scanned to the closing paren.
+  std::string content = std::string(kInstrumentedTrapPath) +
+                        "void F() {\n"
+                        "  TakeTrapToEl2(\n"
+                        "      Syndrome::Hvc(0));\n"
+                        "}\n";
+  std::vector<Diagnostic> d = Lint("src/cpu/cpu.cc", content);
+  const Diagnostic* diag = Find(d, "trap-missing-detect");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->line, 9);
+}
+
+TEST(SrcLintTest, TrapPathWithoutCounterIsFlagged) {
+  std::string content =
+      "TrapOutcome Cpu::TakeTrapToEl2(const Syndrome& s, uint32_t "
+      "detect_cost) {\n"
+      "  Charge(detect_cost + cost_.trap_entry);\n"
+      "  Charge(cost_.trap_return);\n"
+      "}\n";
+  std::vector<Diagnostic> d = Lint("src/cpu/cpu.cc", content);
+  EXPECT_NE(Find(d, "trap-missing-counter"), nullptr);
+}
+
+TEST(SrcLintTest, TrapPathWithoutCycleChargesIsFlagged) {
+  std::vector<Diagnostic> d = Lint("src/cpu/cpu.cc", "void Unrelated() {}\n");
+  EXPECT_NE(Find(d, "trap-missing-entry-charge"), nullptr);
+  EXPECT_NE(Find(d, "trap-missing-return-charge"), nullptr);
+}
+
+// --- obs span balance --------------------------------------------------------
+
+TEST(SrcLintTest, UnbalancedTracerSpanIsFlagged) {
+  std::vector<Diagnostic> d =
+      Lint("src/gic/gic.cc",
+           "void F() { obs_->tracer().Begin(0, \"gic\", \"eoi\", 0); }\n");
+  EXPECT_NE(Find(d, "span-balance"), nullptr);
+}
+
+TEST(SrcLintTest, BalancedTracerSpansPass) {
+  EXPECT_TRUE(Lint("src/gic/gic.cc",
+                   "void F() {\n"
+                   "  obs_->tracer().Begin(0, \"gic\", \"eoi\", 0);\n"
+                   "  obs_->tracer().End(0, \"gic\", \"eoi\", 0);\n"
+                   "}\n")
+                  .empty());
+}
+
+// --- the real tree -----------------------------------------------------------
+
+TEST(SrcLintTest, LoadRepoSourcesOnMissingRootIsEmpty) {
+  EXPECT_TRUE(LoadRepoSources("/nonexistent/path").empty());
+}
+
+}  // namespace
+}  // namespace neve::analysis

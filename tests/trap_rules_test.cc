@@ -448,5 +448,61 @@ TEST(ResolutionSweepTest, El0SoftwareCannotTouchPrivilegedState) {
             AccessResolution::Kind::kRegister);
 }
 
+// --- Differential: what exactly does NEVE remove from the trap set? ----------
+
+// The paper's Tables 3-5 predict precisely which trapping accesses NEVE
+// converts into register or in-memory accesses for a guest hypervisor.
+bool NeveRemovesTrap(SysReg enc, bool is_write, bool guest_vhe) {
+  if (SysRegEncKind(enc) == EncKind::kEl02) {
+    return false;  // EL0 timer aliases keep trapping (live hardware state)
+  }
+  switch (RegNeveClass(SysRegStorage(enc))) {
+    case NeveClass::kDeferred:
+      return true;  // Table 3: deferred access page, both directions
+    case NeveClass::kRedirect:
+    case NeveClass::kRedirectVhe:
+      return true;  // Table 4: redirected to *_EL1, both directions
+    case NeveClass::kTrapOnWrite:
+      return !is_write;  // Table 4: cached reads, writes still trap
+    case NeveClass::kRedirectOrTrap:
+      // Table 4: redirect for VHE guests; cached reads for non-VHE guests.
+      return guest_vhe || !is_write;
+    case NeveClass::kGicCached:
+      return !is_write;  // Table 5: cached ICH_* reads
+    case NeveClass::kTimerTrap:
+    case NeveClass::kNone:
+      return false;
+  }
+  return false;
+}
+
+TEST(NeveDifferentialTest, TrapSetsDifferExactlyByPaperTables) {
+  for (bool guest_vhe : {false, true}) {
+    AccessContext nv =
+        MakeCtx(ArchFeatures::Armv83Nv(), El::kEl1, HcrForVel2(guest_vhe));
+    AccessContext neve = MakeCtx(ArchFeatures::Armv84Neve(), El::kEl1,
+                                 HcrForVel2(guest_vhe), /*vncr=*/true);
+    for (int e = 0; e < kNumSysRegs; ++e) {
+      auto enc = static_cast<SysReg>(e);
+      for (bool w : {false, true}) {
+        bool nv_traps = ResolveSysRegAccess(nv, enc, w).kind ==
+                        AccessResolution::Kind::kTrapEl2;
+        bool neve_traps = ResolveSysRegAccess(neve, enc, w).kind ==
+                          AccessResolution::Kind::kTrapEl2;
+        if (!nv_traps) {
+          // NEVE only ever shrinks the trap set.
+          EXPECT_FALSE(neve_traps)
+              << SysRegName(enc) << (w ? " write" : " read")
+              << " vhe=" << guest_vhe;
+          continue;
+        }
+        EXPECT_EQ(!neve_traps, NeveRemovesTrap(enc, w, guest_vhe))
+            << SysRegName(enc) << (w ? " write" : " read")
+            << " vhe=" << guest_vhe;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace neve

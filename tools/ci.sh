@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# CI entry point: build + test matrix.
+#
+#   tools/ci.sh            run the full matrix (Release, asan, ubsan)
+#   tools/ci.sh release    run a single named configuration
+#   tools/ci.sh asan
+#   tools/ci.sh ubsan
+#   tools/ci.sh tidy       clang-tidy over src/ (skipped when not installed)
+#
+# Every configuration runs the whole ctest suite, which includes the archlint
+# model verification and the srclint repo-convention checks.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+
+run_config() {
+  local name="$1"
+  local build_dir="$ROOT/build-ci-$name"
+  shift
+  echo "==> [$name] configure: $*"
+  cmake -B "$build_dir" -S "$ROOT" "$@" >/dev/null
+  echo "==> [$name] build"
+  cmake --build "$build_dir" -j "$JOBS" >/dev/null
+  echo "==> [$name] test"
+  (cd "$build_dir" && ctest --output-on-failure -j "$JOBS")
+  echo "==> [$name] OK"
+}
+
+run_release() {
+  run_config release -DCMAKE_BUILD_TYPE=Release
+}
+
+run_asan() {
+  run_config asan -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DNEVE_SANITIZE=address"
+}
+
+run_ubsan() {
+  run_config ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DNEVE_SANITIZE=undefined"
+}
+
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> [tidy] clang-tidy not installed; skipping"
+    return 0
+  fi
+  local build_dir="$ROOT/build-ci-tidy"
+  cmake -B "$build_dir" -S "$ROOT" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  echo "==> [tidy] clang-tidy over src/"
+  find "$ROOT/src" -name '*.cc' -print0 |
+    xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$build_dir" --quiet
+  echo "==> [tidy] OK"
+}
+
+case "${1:-all}" in
+  release) run_release ;;
+  asan)    run_asan ;;
+  ubsan)   run_ubsan ;;
+  tidy)    run_tidy ;;
+  all)
+    run_release
+    run_asan
+    run_ubsan
+    run_tidy
+    ;;
+  *)
+    echo "usage: $0 [all|release|asan|ubsan|tidy]" >&2
+    exit 2
+    ;;
+esac

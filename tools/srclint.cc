@@ -1,0 +1,36 @@
+// srclint: repo-convention lint over the simulator sources.
+//
+//   srclint <repo-root>
+//
+// Scans <repo-root>/src/**.{h,cc,inc} and exits nonzero with file:line
+// diagnostics on violations (raw register-file access outside whitelisted
+// files, .inc table rows out of canonical form, trap paths missing cycle
+// charging or observability, unbalanced tracer spans).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/srclint.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: " << argv[0] << " <repo-root>\n";
+    return 2;
+  }
+  std::vector<neve::analysis::SourceFile> files =
+      neve::analysis::LoadRepoSources(argv[1]);
+  if (files.empty()) {
+    std::cerr << "srclint: no sources found under " << argv[1] << "/src\n";
+    return 2;
+  }
+  std::vector<neve::analysis::Diagnostic> diags =
+      neve::analysis::LintSources(files);
+  if (diags.empty()) {
+    std::cout << "srclint: " << files.size() << " files clean\n";
+    return 0;
+  }
+  std::cerr << neve::analysis::FormatDiagnostics(diags);
+  std::cerr << "srclint: " << diags.size() << " finding(s)\n";
+  return 1;
+}
