@@ -3,21 +3,27 @@
 #ifndef NEVE_BENCH_BENCH_UTIL_H_
 #define NEVE_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "src/base/parallel.h"
 
 namespace neve {
 
 // Renders "measured (paper: X, d%)" for side-by-side comparison. A zero
 // paper value means "no reference number": the delta prints as n/a rather
-// than a misleading +0%.
+// than a misleading +0%. The divisor is |paper| so the delta's sign always
+// means "measured above/below the reference" even for negative references
+// (e.g. a paper speedup expressed as a negative overhead).
 inline std::string VsPaper(double measured, double paper) {
   char buf[96];
   if (paper != 0) {
     std::snprintf(buf, sizeof(buf), "%.0f (paper %.0f, %+.0f%%)", measured,
-                  paper, (measured - paper) / paper * 100.0);
+                  paper, (measured - paper) / std::fabs(paper) * 100.0);
   } else {
     std::snprintf(buf, sizeof(buf), "%.0f (paper %.0f, n/a)", measured, paper);
   }
@@ -32,15 +38,34 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
 
 // Extracts the value of a --json=<path> argument, or "" when absent. Every
 // bench accepts this flag and mirrors its printed table into a machine-
-// readable BENCH_<name>.json (schema: src/obs/report.h).
+// readable BENCH_<name>.json (schema: src/obs/report.h). Repeated flags
+// behave like standard CLI flags: the last one wins.
 inline std::string JsonOutPath(int argc, char** argv) {
   constexpr const char kFlag[] = "--json=";
+  std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
-      return argv[i] + sizeof(kFlag) - 1;
+      path = argv[i] + sizeof(kFlag) - 1;
     }
   }
-  return "";
+  return path;
+}
+
+// Worker count for the parallel bench harness: --threads=N (last flag wins,
+// like --json); absent or 0 means "pick for me" (DefaultBenchThreads).
+// --threads=1 forces the serial path. Results are identical either way --
+// each cell runs its own Machine, and the tables print after the join.
+inline unsigned ThreadsFromArgs(int argc, char** argv) {
+  constexpr const char kFlag[] = "--threads=";
+  unsigned threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      threads =
+          static_cast<unsigned>(std::strtoul(argv[i] + sizeof(kFlag) - 1,
+                                             nullptr, 10));
+    }
+  }
+  return threads == 0 ? DefaultBenchThreads() : threads;
 }
 
 }  // namespace neve

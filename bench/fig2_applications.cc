@@ -33,17 +33,28 @@ std::string Bar(double overhead, double scale_max) {
   return bar;
 }
 
-void Run(const std::string& json_path) {
+void Run(const std::string& json_path, unsigned threads) {
   PrintHeader("Figure 2: Application Benchmark Performance",
               "Lim et al., SOSP'17, Figure 2 (workloads of Table 8)");
   BenchReport report("fig2_applications", "overhead vs native (x)",
                      "Lim et al., SOSP'17, Figure 2");
 
+  // Each of the 10x7 cells builds and runs its own Machine; the cells are
+  // independent, so fan them out (--threads=N; see bench_util.h). Results
+  // land in an index-addressed array and everything below prints serially,
+  // keeping the output deterministic at any thread count.
+  const auto profiles = AppProfiles();
   double results[10][7];
+  ParallelFor(profiles.size() * 7, threads, [&](size_t cell) {
+    size_t wi = cell / 7;
+    size_t s = cell % 7;
+    results[wi][s] = RunAppBench(profiles[wi], kStacks[s]).overhead;
+  });
+  std::printf("(ran %zu cells on %u threads)\n\n", profiles.size() * 7,
+              threads);
   int wi = 0;
   for (const AppProfile& p : AppProfiles()) {
     for (int s = 0; s < 7; ++s) {
-      results[wi][s] = RunAppBench(p, kStacks[s]).overhead;
       report.Add(p.name, AppStackName(kStacks[s]), results[wi][s]);
     }
     ++wi;
@@ -90,6 +101,6 @@ void Run(const std::string& json_path) {
 }  // namespace neve
 
 int main(int argc, char** argv) {
-  neve::Run(neve::JsonOutPath(argc, argv));
+  neve::Run(neve::JsonOutPath(argc, argv), neve::ThreadsFromArgs(argc, argv));
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/arch/vncr.h"
 #include "src/workload/microbench.h"
 #include "src/workload/stacks.h"
 
@@ -26,6 +27,40 @@ void BM_SysRegOp(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_SysRegOp);
+
+// The steady-state call pattern of a guest hypervisor's world switch: a
+// burst of EL2 sysreg accesses at virtual EL2 under NEVE, all resolving
+// without trapping (deferred page + cached copies). This is the resolution
+// pipeline's hottest path; the cached/uncached pair isolates the fast-path
+// cache's host-side speedup (the uncached variant re-walks the full
+// E2H/NV/NEVE decision tree on every access).
+void RunVel2SysRegBurst(benchmark::State& state, bool cache_enabled) {
+  PhysMem mem(16ull << 20);
+  Cpu cpu(0, ArchFeatures::Armv84Neve(), CostModel::Default(), &mem);
+  cpu.resolution_cache().set_enabled(cache_enabled);
+  cpu.PokeReg(RegId::kVNCR_EL2, VncrEl2::Make(8ull << 20, true).bits());
+  cpu.PokeReg(RegId::kHCR_EL2, Hcr::Make({HcrBits::kVm, HcrBits::kImo,
+                                          HcrBits::kNv, HcrBits::kNv1}));
+  cpu.RunLowerEl(El::kEl1, [&] {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(cpu.SysRegRead(SysReg::kHCR_EL2));
+      benchmark::DoNotOptimize(cpu.SysRegRead(SysReg::kVTTBR_EL2));
+      benchmark::DoNotOptimize(cpu.SysRegRead(SysReg::kTPIDR_EL2));
+      cpu.SysRegWrite(SysReg::kHSTR_EL2, 1);
+    }
+  });
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+
+void BM_Vel2SysRegBurstCached(benchmark::State& state) {
+  RunVel2SysRegBurst(state, /*cache_enabled=*/true);
+}
+BENCHMARK(BM_Vel2SysRegBurstCached);
+
+void BM_Vel2SysRegBurstUncached(benchmark::State& state) {
+  RunVel2SysRegBurst(state, /*cache_enabled=*/false);
+}
+BENCHMARK(BM_Vel2SysRegBurstUncached);
 
 void BM_GuestMemoryAccess(benchmark::State& state) {
   ArmStack stack(StackConfig::Vm(), 1);
@@ -61,6 +96,22 @@ void BM_NestedHypercallV83(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NestedHypercallV83);
+
+void BM_NestedHypercallV83Uncached(benchmark::State& state) {
+  // The same >120-trap episode with the resolution fast-path cache disabled:
+  // every sysreg access in every world switch re-walks the decision tree.
+  // The gap to BM_NestedHypercallV83 is the cache's win on a trap-heavy
+  // workload.
+  ArmStack stack(StackConfig::NestedV83(false), 1);
+  stack.machine().cpu(0).resolution_cache().set_enabled(false);
+  stack.Run([&](GuestEnv& env) {
+    for (auto _ : state) {
+      env.Hvc(kHvcTestCall);
+    }
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NestedHypercallV83Uncached);
 
 void BM_NestedHypercallNeve(benchmark::State& state) {
   ArmStack stack(StackConfig::NestedNeve(false), 1);

@@ -3,6 +3,7 @@
 // VHE guest hypervisors) and x86 (KVM with VMCS shadowing).
 
 #include <cstdio>
+#include <iterator>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -28,21 +29,48 @@ constexpr PaperRow kPaper[] = {
     {MicrobenchKind::kVirtualEoi, 71, 71, 71, 316, 316},
 };
 
-void Run(const std::string& json_path) {
+void Run(const std::string& json_path, unsigned threads) {
   PrintHeader("Table 1: Microbenchmark Cycle Counts (ARMv8.3 vs x86)",
               "Lim et al., SOSP'17, Table 1");
   BenchReport report("table1_micro_v83", "cycles/op",
                      "Lim et al., SOSP'17, Table 1");
   TablePrinter t({"Micro-benchmark", "ARM VM", "ARM Nested VM",
                   "ARM Nested VM VHE", "x86 VM", "x86 Nested VM"});
-  for (const PaperRow& row : kPaper) {
-    MicrobenchResult vm = RunArmMicrobench(row.kind, StackConfig::Vm(), kIters);
-    MicrobenchResult nested =
-        RunArmMicrobench(row.kind, StackConfig::NestedV83(false), kIters);
-    MicrobenchResult nested_vhe =
-        RunArmMicrobench(row.kind, StackConfig::NestedV83(true), kIters);
-    MicrobenchResult x86_vm = RunX86Microbench(row.kind, false, kIters);
-    MicrobenchResult x86_nested = RunX86Microbench(row.kind, true, kIters);
+  // 4 rows x 5 configurations, each an independent stack: fan the cells out
+  // (--threads=N), then assemble the table serially from the result array.
+  constexpr size_t kRows = std::size(kPaper);
+  constexpr size_t kCols = 5;
+  MicrobenchResult cells[kRows][kCols];
+  ParallelFor(kRows * kCols, threads, [&](size_t cell) {
+    size_t r = cell / kCols;
+    MicrobenchKind kind = kPaper[r].kind;
+    switch (cell % kCols) {
+      case 0:
+        cells[r][0] = RunArmMicrobench(kind, StackConfig::Vm(), kIters);
+        break;
+      case 1:
+        cells[r][1] =
+            RunArmMicrobench(kind, StackConfig::NestedV83(false), kIters);
+        break;
+      case 2:
+        cells[r][2] =
+            RunArmMicrobench(kind, StackConfig::NestedV83(true), kIters);
+        break;
+      case 3:
+        cells[r][3] = RunX86Microbench(kind, false, kIters);
+        break;
+      case 4:
+        cells[r][4] = RunX86Microbench(kind, true, kIters);
+        break;
+    }
+  });
+  for (size_t r = 0; r < kRows; ++r) {
+    const PaperRow& row = kPaper[r];
+    const MicrobenchResult& vm = cells[r][0];
+    const MicrobenchResult& nested = cells[r][1];
+    const MicrobenchResult& nested_vhe = cells[r][2];
+    const MicrobenchResult& x86_vm = cells[r][3];
+    const MicrobenchResult& x86_nested = cells[r][4];
     t.AddRow({MicrobenchName(row.kind), VsPaper(vm.cycles_per_op, row.vm),
               VsPaper(nested.cycles_per_op, row.nested),
               VsPaper(nested_vhe.cycles_per_op, row.nested_vhe),
@@ -72,6 +100,6 @@ void Run(const std::string& json_path) {
 }  // namespace neve
 
 int main(int argc, char** argv) {
-  neve::Run(neve::JsonOutPath(argc, argv));
+  neve::Run(neve::JsonOutPath(argc, argv), neve::ThreadsFromArgs(argc, argv));
   return 0;
 }

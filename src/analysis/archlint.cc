@@ -14,6 +14,7 @@
 #include "src/arch/hcr.h"
 #include "src/base/bits.h"
 #include "src/cpu/cost_model.h"
+#include "src/cpu/resolution_cache.h"
 #include "src/cpu/trap_rules.h"
 
 namespace neve::analysis {
@@ -297,6 +298,13 @@ std::vector<Diagnostic> SweepResolution() {
   // ESR round-trip is per (encoding, direction); dedup across contexts.
   std::set<std::pair<int, bool>> esr_checked;
 
+  // The fast-path cache, differentially checked against the plain tree walk
+  // on every cell. Feature/HCR/VNCR changes happen at the loop boundaries
+  // below; Invalidate() there mirrors the CPU's configuration-write hook
+  // (features are immutable per CPU, so the CPU itself only ever invalidates
+  // on HCR_EL2/VNCR_EL2 writes).
+  ResolutionCache cache;
+
   for (const FeatureCase& fc : kFeatureCases) {
     for (unsigned combo = 0; combo < (1u << std::size(kSweptHcrBits));
          ++combo) {
@@ -304,6 +312,7 @@ std::vector<Diagnostic> SweepResolution() {
         if (vncr && !fc.f.neve) {
           continue;  // VNCR enable is meaningless pre-NEVE
         }
+        cache.Invalidate();  // new configuration: all cached cells are stale
         for (El el : {El::kEl0, El::kEl1, El::kEl2}) {
           AccessContext ctx{.features = fc.f,
                             .el = el,
@@ -332,6 +341,23 @@ std::vector<Diagnostic> SweepResolution() {
               if (!SameResolution(res, ResolveSysRegAccess(ctx, enc, w))) {
                 fail("resolve-deterministic",
                      "two identical resolutions disagree");
+              }
+
+              // Cached-vs-uncached differential: the first cache resolve
+              // fills the slot, the second must hit it; both must agree with
+              // the plain tree walk on every cell of the cross-product.
+              bool hit = false;
+              AccessResolution cached = cache.Resolve(ctx, enc, w, &hit);
+              AccessResolution cached_again = cache.Resolve(ctx, enc, w, &hit);
+              if (!SameResolution(cached, res) ||
+                  !SameResolution(cached_again, res)) {
+                fail("cache-differential",
+                     "fast-path cache resolution diverges from the tree walk");
+              }
+              if (!hit) {
+                fail("cache-hit-after-fill",
+                     "second cache resolve of an unchanged configuration "
+                     "missed");
               }
 
               // Access kinds (RO/WO) are honored at every EL and config.
@@ -769,7 +795,9 @@ std::vector<Diagnostic> RunArchLint() {
 
 // --- matrix dump -------------------------------------------------------------
 
-void WriteResolutionMatrix(std::ostream& os, MatrixFormat format) {
+void WriteResolutionMatrix(std::ostream& os, MatrixFormat format,
+                           bool use_cache) {
+  ResolutionCache cache;
   bool json = format == MatrixFormat::kJson;
   if (json) {
     os << "[\n";
@@ -787,6 +815,7 @@ void WriteResolutionMatrix(std::ostream& os, MatrixFormat format) {
         if (vncr && !fc.f.neve) {
           continue;
         }
+        cache.Invalidate();  // configuration boundary, as on the CPU
         for (El el : {El::kEl0, El::kEl1, El::kEl2}) {
           AccessContext ctx{.features = fc.f,
                             .el = el,
@@ -795,7 +824,9 @@ void WriteResolutionMatrix(std::ostream& os, MatrixFormat format) {
           for (int e = 0; e < kNumSysRegs; ++e) {
             auto enc = static_cast<SysReg>(e);
             for (bool w : {false, true}) {
-              AccessResolution res = ResolveSysRegAccess(ctx, enc, w);
+              AccessResolution res = use_cache
+                                         ? cache.Resolve(ctx, enc, w)
+                                         : ResolveSysRegAccess(ctx, enc, w);
               bool has_target =
                   res.kind == AccessResolution::Kind::kRegister ||
                   res.kind == AccessResolution::Kind::kGicCpuIf ||

@@ -10,7 +10,11 @@
 //                        cross-product of every encoding x EL x feature
 //                        generation (incl. NEVE ablations) x HCR{E2H,NV,NV1,
 //                        IMO} x VNCR enable x read/write, and checks
-//                        architectural invariants on every cell.
+//                        architectural invariants on every cell. Every cell
+//                        is also resolved through a ResolutionCache twice
+//                        (miss-then-hit) and compared against the plain tree
+//                        walk -- the differential oracle for the CPU's
+//                        fast-path cache.
 //  3. CheckGoldenTables - per-class register sets and virtual-EL2 behaviour
 //                        must exactly match the paper's Tables 3-5 golden
 //                        data (golden_tables.h).
@@ -39,8 +43,12 @@ std::vector<Diagnostic> RunArchLint();
 enum class MatrixFormat { kCsv, kJson };
 
 // Emits one row per (features, HCR, VNCR, EL, direction, encoding) cell of
-// the resolution cross-product.
-void WriteResolutionMatrix(std::ostream& os, MatrixFormat format);
+// the resolution cross-product. With `use_cache` the cells are resolved
+// through a ResolutionCache (invalidated on each configuration change,
+// exactly as the CPU does); the output must be byte-identical to the
+// uncached dump -- the CI smoke stage diffs the two.
+void WriteResolutionMatrix(std::ostream& os, MatrixFormat format,
+                           bool use_cache = false);
 
 }  // namespace neve::analysis
 

@@ -1,0 +1,65 @@
+// A minimal fork-join helper for the bench harness.
+//
+// The fig2/table benches iterate independent Machine instances (one per
+// workload x stack cell); a Machine is self-contained -- its CPUs, memory,
+// GIC, timers and observability layer share no mutable global state (the
+// only process-wide mutable is the log level, which the benches never touch
+// mid-run). ParallelFor fans those cells out across a small thread pool and
+// joins before returning, so callers fill index-addressed result arrays in
+// parallel and print them serially afterwards: output stays byte-for-byte
+// deterministic regardless of thread count.
+
+#ifndef NEVE_SRC_BASE_PARALLEL_H_
+#define NEVE_SRC_BASE_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace neve {
+
+// Default worker count for the bench harness: the hardware concurrency,
+// clamped to a small pool (the benches have at most ~70 independent cells;
+// more threads than that is pure overhead).
+inline unsigned DefaultBenchThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(hw, 1u, 8u);
+}
+
+// Invokes fn(0) .. fn(n-1), distributing indices across `threads` workers
+// via an atomic work counter (cells have uneven costs -- nested NEVE stacks
+// run ~10x faster than nested v8.3 stacks -- so static striping would leave
+// workers idle). threads <= 1 runs inline. Joins all workers before
+// returning. fn must not touch shared mutable state for distinct indices.
+inline void ParallelFor(size_t n, unsigned threads,
+                        const std::function<void(size_t)>& fn) {
+  if (threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  unsigned spawned = std::min<size_t>(threads, n) - 1;  // this thread works too
+  pool.reserve(spawned);
+  for (unsigned t = 0; t < spawned; ++t) {
+    pool.emplace_back(worker);
+  }
+  worker();
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_BASE_PARALLEL_H_

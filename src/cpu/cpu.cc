@@ -118,9 +118,31 @@ TrapOutcome Cpu::TakeTrapToEl2(const Syndrome& s, uint32_t detect_cost) {
   return outcome;
 }
 
+AccessResolution Cpu::ResolveCached(SysReg enc, bool is_write) {
+  // Hit path first, and without building an AccessContext: constructing one
+  // reads HCR_EL2/VNCR_EL2 and copies the feature set, which costs more than
+  // the tree walk it feeds. Only a miss pays for the context + full resolve.
+  if (rcache_.enabled()) {
+    if (const AccessResolution* hit = rcache_.Lookup(enc, el_, is_write)) {
+      if (ObsActive(obs_)) {
+        obs_->metrics().Counter("cpu.resolve_cache_hits").Add(1);
+      }
+      return *hit;
+    }
+  }
+  AccessResolution r = ResolveSysRegAccess(CurrentAccessContext(), enc,
+                                           is_write);
+  if (rcache_.enabled()) {
+    rcache_.Insert(enc, el_, is_write, r);
+    if (ObsActive(obs_)) {
+      obs_->metrics().Counter("cpu.resolve_cache_misses").Add(1);
+    }
+  }
+  return r;
+}
+
 uint64_t Cpu::SysRegRead(SysReg enc) {
-  AccessResolution r =
-      ResolveSysRegAccess(CurrentAccessContext(), enc, /*is_write=*/false);
+  AccessResolution r = ResolveCached(enc, /*is_write=*/false);
   switch (r.kind) {
     case AccessResolution::Kind::kRegister:
       Charge(cost_.sysreg_access);
@@ -152,8 +174,7 @@ uint64_t Cpu::SysRegRead(SysReg enc) {
 }
 
 void Cpu::SysRegWrite(SysReg enc, uint64_t value) {
-  AccessResolution r =
-      ResolveSysRegAccess(CurrentAccessContext(), enc, /*is_write=*/true);
+  AccessResolution r = ResolveCached(enc, /*is_write=*/true);
   switch (r.kind) {
     case AccessResolution::Kind::kRegister:
       // Note: translation-control writes do not flush the TLB model -- the
@@ -163,6 +184,7 @@ void Cpu::SysRegWrite(SysReg enc, uint64_t value) {
       // hardware.
       Charge(cost_.sysreg_access);
       regs_[static_cast<size_t>(r.target)] = value;
+      InvalidateResolutionsFor(r.target);
       return;
     case AccessResolution::Kind::kGicCpuIf:
       NEVE_CHECK_MSG(gic_ != nullptr, "no GIC CPU interface installed");
@@ -209,13 +231,21 @@ void Cpu::EretFromVirtualEl2() {
     obs_->metrics().Counter("cpu.virtual_el2_erets").Add(1);
     obs_->tracer().Instant(index_, "trap", "eret_virtual_el2", cycles_);
   }
-  if (ResolveEret(CurrentAccessContext()) == EretResolution::kTrapEl2) {
-    TrapOutcome out = TakeTrapToEl2(Syndrome::EretTrap(), cost_.detect_eret);
-    NEVE_CHECK(out.kind == TrapOutcome::Kind::kCompleted);
-    return;
+  switch (ResolveEret(CurrentAccessContext())) {
+    case EretResolution::kTrapEl2: {
+      TrapOutcome out = TakeTrapToEl2(Syndrome::EretTrap(), cost_.detect_eret);
+      NEVE_CHECK(out.kind == TrapOutcome::Kind::kCompleted);
+      return;
+    }
+    case EretResolution::kUndefined:
+      NEVE_CHECK_MSG(false, std::string("UNDEFINED eret at ") + ElName(el_) +
+                                " (a real guest would crash here)");
+      return;
+    case EretResolution::kLocal:
+      // Plain EL1 eret (a guest OS returning to its user space): cost only.
+      Charge(cost_.el1_eret);
+      return;
   }
-  // Plain EL1 eret (a guest OS returning to its user space): cost only.
-  Charge(cost_.el1_eret);
 }
 
 void Cpu::TakeIrq(uint32_t intid) {
@@ -359,6 +389,7 @@ uint64_t Cpu::PeekReg(RegId reg) const {
 
 void Cpu::PokeReg(RegId reg, uint64_t value) {
   regs_[static_cast<size_t>(reg)] = value;
+  InvalidateResolutionsFor(reg);
 }
 
 }  // namespace neve

@@ -27,6 +27,7 @@
 #include "src/arch/hcr.h"
 #include "src/arch/sysreg.h"
 #include "src/cpu/cost_model.h"
+#include "src/cpu/resolution_cache.h"
 #include "src/cpu/trace.h"
 #include "src/cpu/trap_rules.h"
 #include "src/mem/phys_mem.h"
@@ -165,6 +166,12 @@ class Cpu {
   // trap_explorer example).
   AccessContext CurrentAccessContext() const;
 
+  // The sysreg resolution fast-path cache (resolution_cache.h). Exposed so
+  // tests and benches can read its counters or disable it (the uncached
+  // variant in simcore_gbench, the differential checks in archlint).
+  ResolutionCache& resolution_cache() { return rcache_; }
+  const ResolutionCache& resolution_cache() const { return rcache_; }
+
  private:
   struct TlbEntry {
     uint64_t pa_page = 0;
@@ -187,6 +194,23 @@ class Cpu {
   bool VncrEnabled() const;
   Pa VncrPage() const;
 
+  // SysRegRead/Write resolution through the fast-path cache (or the full
+  // tree walk when the cache is disabled).
+  AccessResolution ResolveCached(SysReg enc, bool is_write);
+
+  // Re-keys the resolution cache when a configuration register the
+  // resolution pipeline reads was written (HCR_EL2, VNCR_EL2). Call *after*
+  // the store: the cache banks are tagged with the post-write values, so a
+  // rewrite of identical values costs nothing and the world-switch pattern
+  // of toggling between host and guest trap controls flips between two warm
+  // banks instead of discarding the cache on every switch.
+  void InvalidateResolutionsFor(RegId reg) {
+    if (reg == RegId::kHCR_EL2 || reg == RegId::kVNCR_EL2) {
+      rcache_.OnConfigChange(regs_[static_cast<size_t>(RegId::kHCR_EL2)],
+                             regs_[static_cast<size_t>(RegId::kVNCR_EL2)]);
+    }
+  }
+
   // Exception entry to EL2 + host dispatch + return. Returns the outcome.
   TrapOutcome TakeTrapToEl2(const Syndrome& s, uint32_t detect_cost);
 
@@ -207,6 +231,7 @@ class Cpu {
 
   El el_ = El::kEl2;
   uint64_t cycles_ = 0;
+  ResolutionCache rcache_;
   uint64_t regs_[kNumRegIds] = {};
   CpuTrace trace_;
   std::unordered_map<TlbKey, TlbEntry, TlbKeyHash> tlb_;

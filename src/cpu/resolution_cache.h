@@ -1,0 +1,198 @@
+// Resolution fast-path cache: memoizes ResolveSysRegAccess results.
+//
+// The outcome of a system-register access depends on (encoding, EL,
+// direction) plus the machine configuration: the implemented features
+// (immutable per CPU), HCR_EL2 and VNCR_EL2. The configuration changes only
+// when the host hypervisor writes HCR_EL2 or VNCR_EL2, which is rare
+// compared with the millions of sysreg accesses a bench run executes -- so
+// steady-state accesses can skip the full E2H/NV/NEVE decision tree and load
+// a previously computed AccessResolution from a flat table.
+//
+// Invalidation is generation-based: every entry is stamped with the
+// generation it was filled under, and anything that makes the configuration
+// unknown moves to a fresh generation, making stale entries unreachable in
+// O(1). On top of that sits a small set of *banks*, one per recently seen
+// (HCR_EL2, VNCR_EL2) value pair. The Cpu reports every write (cycle-charged
+// or simulator Poke) to those registers via OnConfigChange(); rewriting the
+// same values is a no-op, and toggling between a few configurations -- the
+// world-switch pattern, where the host flips guest trap controls in and out
+// around every trap -- lands back in the still-warm bank for that
+// configuration instead of discarding the cache twice per trap. Only a
+// genuinely new configuration pays a bank eviction (fresh generation).
+// Features never change after construction, so no hook is needed for them.
+//
+// The fingerprint is the registers' full values, not the subset of bits the
+// resolution pipeline currently reads: value-identity can never go stale
+// against trap_rules.cc changes, and the cost is only that a write flipping
+// an irrelevant bit re-fills a bank it could in principle have kept.
+//
+// This is a host-side speedup only. Cycle charging, trap behaviour and every
+// architectural outcome are unchanged: archlint's SweepResolution runs a
+// cached-vs-uncached differential over the full ~200k-cell cross-product,
+// and `archlint --dump-matrix` must be byte-identical with the cache on and
+// off (tools/ci.sh smoke stage).
+
+#ifndef NEVE_SRC_CPU_RESOLUTION_CACHE_H_
+#define NEVE_SRC_CPU_RESOLUTION_CACHE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/cpu/trap_rules.h"
+
+namespace neve {
+
+class ResolutionCache {
+ public:
+  static constexpr size_t kNumEls = 3;  // EL0, EL1, EL2
+  static constexpr size_t kNumSlots =
+      static_cast<size_t>(kNumSysRegs) * kNumEls * 2;
+  // Distinct (HCR_EL2, VNCR_EL2) configurations kept warm at once. The
+  // steady-state working set is two (host controls, guest controls); four
+  // leaves headroom for a second guest or a transient without thrashing.
+  static constexpr size_t kNumBanks = 4;
+
+  ResolutionCache() {
+    banks_[0].generation = 1;
+    banks_[0].tagged = true;  // the reset configuration: HCR = VNCR = 0
+  }
+
+  // Hot-path probe: returns the memoized resolution, or nullptr on a miss.
+  // Deliberately takes no AccessContext -- a hit must not pay for building
+  // one (that construction reads HCR_EL2/VNCR_EL2 and copies the feature
+  // set, which on a hit is all wasted work). The caller resolves misses
+  // itself and stores the result with Insert().
+  const AccessResolution* Lookup(SysReg enc, El el, bool is_write) {
+    const Entry& e = banks_[current_].slots[SlotIndex(enc, el, is_write)];
+    if (e.generation != banks_[current_].generation) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    return &e.res;
+  }
+
+  // Memoizes a freshly computed resolution under the current generation.
+  void Insert(SysReg enc, El el, bool is_write, const AccessResolution& res) {
+    Bank& b = banks_[current_];
+    Entry& e = b.slots[SlotIndex(enc, el, is_write)];
+    e.res = res;
+    e.generation = b.generation;
+  }
+
+  // Convenience wrapper used by archlint's differential sweeps: one array
+  // load on a hit, a full ResolveSysRegAccess walk (then memoized) on a
+  // miss. `ctx.el` must match the EL the caller keys with -- the context's
+  // feature/HCR/VNCR state is what the current generation stands for.
+  const AccessResolution& Resolve(const AccessContext& ctx, SysReg enc,
+                                  bool is_write, bool* was_hit = nullptr) {
+    if (const AccessResolution* hit = Lookup(enc, ctx.el, is_write)) {
+      if (was_hit != nullptr) {
+        *was_hit = true;
+      }
+      return *hit;
+    }
+    if (was_hit != nullptr) {
+      *was_hit = false;
+    }
+    Bank& b = banks_[current_];
+    Entry& e = b.slots[SlotIndex(enc, ctx.el, is_write)];
+    e.res = ResolveSysRegAccess(ctx, enc, is_write);
+    e.generation = b.generation;
+    return e.res;
+  }
+
+  // Reports the post-write (HCR_EL2, VNCR_EL2) values. Switches to the bank
+  // memoized for that configuration (possibly the current one: a rewrite of
+  // identical values is a no-op), or recycles the least-recently-used bank
+  // under a fresh generation when the configuration is new.
+  void OnConfigChange(uint64_t hcr, uint64_t vncr) {
+    ++tick_;
+    Bank& cur = banks_[current_];
+    if (cur.tagged && cur.hcr == hcr && cur.vncr == vncr) {
+      cur.last_used = tick_;
+      return;
+    }
+    for (size_t i = 0; i < kNumBanks; ++i) {
+      Bank& b = banks_[i];
+      if (b.tagged && b.hcr == hcr && b.vncr == vncr) {
+        b.last_used = tick_;
+        current_ = i;
+        ++revalidations_;
+        return;
+      }
+    }
+    size_t victim = 0;
+    for (size_t i = 1; i < kNumBanks; ++i) {
+      if (banks_[i].last_used < banks_[victim].last_used) {
+        victim = i;
+      }
+    }
+    Bank& b = banks_[victim];
+    b.hcr = hcr;
+    b.vncr = vncr;
+    b.tagged = true;
+    b.last_used = tick_;
+    b.generation = ++next_generation_;
+    current_ = victim;
+    ++invalidations_;
+  }
+
+  // Drops every memoized resolution in O(1): the current bank moves to a
+  // fresh generation and every bank's configuration tag is cleared, so
+  // nothing can revalidate by fingerprint either. This is the blunt hammer
+  // for callers that change configuration without going through
+  // OnConfigChange (archlint's sweeps build AccessContexts directly).
+  void Invalidate() {
+    for (Bank& b : banks_) {
+      b.tagged = false;
+    }
+    banks_[current_].generation = ++next_generation_;
+    ++invalidations_;
+  }
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t invalidations() const { return invalidations_; }
+  uint64_t revalidations() const { return revalidations_; }
+
+ private:
+  struct Entry {
+    uint64_t generation = 0;  // valid iff == owning bank's generation
+    AccessResolution res;
+  };
+
+  struct Bank {
+    std::array<Entry, kNumSlots> slots = {};
+    uint64_t hcr = 0;
+    uint64_t vncr = 0;
+    uint64_t generation = 0;
+    uint64_t last_used = 0;
+    bool tagged = false;  // hcr/vncr identify a real configuration
+  };
+
+  static size_t SlotIndex(SysReg enc, El el, bool is_write) {
+    return (static_cast<size_t>(enc) * kNumEls + static_cast<size_t>(el)) * 2 +
+           (is_write ? 1 : 0);
+  }
+
+  std::array<Bank, kNumBanks> banks_ = {};
+  size_t current_ = 0;
+  // Generations start at 1 so zero-initialized entries are stale in every
+  // bank; bank 0 owns generation 1 from the start and is tagged with the
+  // reset configuration (HCR_EL2 = VNCR_EL2 = 0), matching a fresh Cpu.
+  uint64_t next_generation_ = 1;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+  uint64_t revalidations_ = 0;
+  bool enabled_ = true;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_CPU_RESOLUTION_CACHE_H_

@@ -171,6 +171,12 @@ AccessResolution ResolveSysRegAccess(const AccessContext& ctx, SysReg enc,
 }
 
 EretResolution ResolveEret(const AccessContext& ctx) {
+  if (ctx.el == El::kEl0) {
+    // eret is a privileged instruction: UNDEFINED at EL0 on every
+    // architecture generation, with or without NV -- HCR_EL2.NV redefines
+    // EL1 behaviour only.
+    return EretResolution::kUndefined;
+  }
   if (ctx.el != El::kEl2 && ctx.features.nv && ctx.hcr.nv()) {
     return EretResolution::kTrapEl2;
   }

@@ -65,8 +65,10 @@ AccessResolution ResolveSysRegAccess(const AccessContext& ctx, SysReg enc,
                                      bool is_write);
 
 // Resolves the eret instruction: executes locally, traps to EL2 (NV), or is
-// undefined in the current context.
-enum class EretResolution : uint8_t { kLocal, kTrapEl2 };
+// undefined in the current context. eret at EL0 is always UNDEFINED -- NV
+// trapping only covers EL1 (a deprivileged guest hypervisor), never user
+// space.
+enum class EretResolution : uint8_t { kLocal, kTrapEl2, kUndefined };
 EretResolution ResolveEret(const AccessContext& ctx);
 
 // CurrentEL as seen by software (the NV disguise: a deprivileged guest

@@ -1,5 +1,6 @@
 #include "src/obs/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -43,9 +44,10 @@ uint64_t MetricHistogram::Percentile(double p) const {
   for (int i = 0; i < kNumBuckets; ++i) {
     cumulative += buckets_[i];
     if (cumulative >= rank) {
-      // Clamp to the observed extremes so sparse histograms stay sane.
-      uint64_t upper = BucketUpperBound(i);
-      return upper > max_ ? max_ : (upper < min_ ? min_ : upper);
+      // Clamp to the observed extremes so sparse histograms stay sane: the
+      // bucket upper bound can exceed max (or undershoot min) when only a
+      // few samples landed in it.
+      return std::clamp(BucketUpperBound(i), min_, max_);
     }
   }
   return max_;

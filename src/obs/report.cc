@@ -157,7 +157,9 @@ std::optional<double> DeltaPct(double measured, std::optional<double> paper) {
   if (!paper.has_value() || *paper == 0.0) {
     return std::nullopt;
   }
-  return (measured - *paper) / *paper * 100.0;
+  // |paper| keeps the sign meaning "measured above/below the reference"
+  // even for negative reference values.
+  return (measured - *paper) / std::fabs(*paper) * 100.0;
 }
 
 BenchReport::BenchReport(std::string bench_name, std::string units,

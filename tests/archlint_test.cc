@@ -193,6 +193,20 @@ TEST(MatrixDumpTest, CsvHasHeaderAndFullCrossProduct) {
             std::string::npos);
 }
 
+TEST(MatrixDumpTest, CachedDumpIsByteIdentical) {
+  // The resolution fast-path cache is a host-side speedup only: routing the
+  // full configuration cross-product through it must produce the exact
+  // bytes of the uncached tree walk, in both formats. This is the same
+  // contract tools/ci.sh enforces with `archlint --dump-matrix --cached`.
+  for (MatrixFormat fmt : {MatrixFormat::kCsv, MatrixFormat::kJson}) {
+    std::ostringstream uncached;
+    std::ostringstream cached;
+    WriteResolutionMatrix(uncached, fmt, /*use_cache=*/false);
+    WriteResolutionMatrix(cached, fmt, /*use_cache=*/true);
+    EXPECT_EQ(uncached.str(), cached.str());
+  }
+}
+
 TEST(MatrixDumpTest, JsonRowsMatchCsvRows) {
   std::ostringstream csv;
   std::ostringstream json;

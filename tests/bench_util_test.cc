@@ -1,0 +1,82 @@
+// Tests for the bench harness helpers: paper-delta formatting, CLI flag
+// parsing, and the parallel fan-out primitive.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace neve {
+namespace {
+
+char* Mutable(const char* s) { return const_cast<char*>(s); }
+
+TEST(VsPaperTest, PositiveReference) {
+  std::string s = VsPaper(110, 100);
+  EXPECT_NE(s.find("110"), std::string::npos);
+  EXPECT_NE(s.find("paper 100"), std::string::npos);
+  EXPECT_NE(s.find("+10%"), std::string::npos);
+}
+
+TEST(VsPaperTest, NegativeReferenceKeepsDeltaSignMeaningful) {
+  // Regression: dividing by a signed negative reference flipped the delta's
+  // sign. -50 measured against -100 is *above* the reference: +50%.
+  std::string s = VsPaper(-50, -100);
+  EXPECT_NE(s.find("+50%"), std::string::npos) << s;
+  std::string below = VsPaper(-150, -100);
+  EXPECT_NE(below.find("-50%"), std::string::npos) << below;
+}
+
+TEST(VsPaperTest, ZeroReferenceIsNa) {
+  EXPECT_NE(VsPaper(42, 0).find("n/a"), std::string::npos);
+}
+
+TEST(JsonOutPathTest, AbsentFlagYieldsEmpty) {
+  char* argv[] = {Mutable("bench")};
+  EXPECT_EQ(JsonOutPath(1, argv), "");
+}
+
+TEST(JsonOutPathTest, LastFlagWins) {
+  // Regression: the parser used to return the *first* --json=, breaking the
+  // standard CLI convention that a later flag overrides an earlier one.
+  char* argv[] = {Mutable("bench"), Mutable("--json=a.json"),
+                  Mutable("--threads=2"), Mutable("--json=b.json")};
+  EXPECT_EQ(JsonOutPath(4, argv), "b.json");
+}
+
+TEST(ThreadsFromArgsTest, ParsesAndDefaults) {
+  char* none[] = {Mutable("bench")};
+  EXPECT_EQ(ThreadsFromArgs(1, none), DefaultBenchThreads());
+  char* four[] = {Mutable("bench"), Mutable("--threads=4")};
+  EXPECT_EQ(ThreadsFromArgs(2, four), 4u);
+  char* last[] = {Mutable("bench"), Mutable("--threads=4"),
+                  Mutable("--threads=2")};
+  EXPECT_EQ(ThreadsFromArgs(3, last), 2u);
+  char* zero[] = {Mutable("bench"), Mutable("--threads=0")};
+  EXPECT_EQ(ThreadsFromArgs(2, zero), DefaultBenchThreads());
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 7u}) {
+    constexpr size_t kN = 100;
+    std::vector<std::atomic<int>> seen(kN);
+    ParallelFor(kN, threads, [&](size_t i) { seen[i].fetch_add(1); });
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(seen[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, MoreThreadsThanWorkIsFine) {
+  std::atomic<int> calls{0};
+  ParallelFor(3, 16, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 3);
+  ParallelFor(0, 4, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+}  // namespace
+}  // namespace neve

@@ -227,6 +227,81 @@ TEST_F(CpuFixture, DetailedTraceRecordsSyndromes) {
   EXPECT_NE(cpu_.trace().Dump().find("HVC"), std::string::npos);
 }
 
+// --- resolution fast-path cache -----------------------------------------------------
+
+TEST_F(CpuFixture, ResolutionCacheCountsHitsAndMisses) {
+  const ResolutionCache& rc = cpu_.resolution_cache();
+  ASSERT_TRUE(rc.enabled());
+  uint64_t h0 = rc.hits(), m0 = rc.misses();
+  cpu_.SysRegWrite(SysReg::kVBAR_EL2, 0x40);  // miss (write slot)
+  (void)cpu_.SysRegRead(SysReg::kVBAR_EL2);   // miss (read slot is distinct)
+  (void)cpu_.SysRegRead(SysReg::kVBAR_EL2);   // hit
+  EXPECT_EQ(rc.misses() - m0, 2u);
+  EXPECT_EQ(rc.hits() - h0, 1u);
+}
+
+TEST_F(CpuFixture, HcrWriteMidStreamChangesResolution) {
+  // A VHE guest hypervisor (NV, no NV1) accesses its EL1 registers
+  // directly; flipping NV1 on mid-stream must make the very next access
+  // trap. A stale cache would keep serving the register path.
+  EnterGuestContext(Vel2Hcr(true));
+  cpu_.RunLowerEl(El::kEl1, [&] {
+    (void)cpu_.SysRegRead(SysReg::kSCTLR_EL1);
+    EXPECT_TRUE(host_.syndromes.empty());
+    EnterGuestContext(Vel2Hcr(false));
+    (void)cpu_.SysRegRead(SysReg::kSCTLR_EL1);
+    ASSERT_EQ(host_.syndromes.size(), 1u);
+    EXPECT_EQ(host_.syndromes[0].sysreg, SysReg::kSCTLR_EL1);
+  });
+}
+
+TEST_F(CpuFixture, VncrEnableMidStreamRedirectsToMemory) {
+  // First access traps (plain v8.3-NV behaviour: VNCR disabled); enabling
+  // the deferred page mid-stream must reroute the next access to memory
+  // with no further trap -- the VNCR_EL2 write has to drop the memoized
+  // kTrapEl2 resolution.
+  EnterGuestContext(Vel2Hcr(false));
+  cpu_.RunLowerEl(El::kEl1, [&] {
+    (void)cpu_.SysRegRead(SysReg::kHCR_EL2);
+    ASSERT_EQ(host_.syndromes.size(), 1u);
+    cpu_.PokeReg(RegId::kVNCR_EL2, VncrEl2::Make(8ull << 20, true).bits());
+    (void)cpu_.SysRegRead(SysReg::kHCR_EL2);
+    EXPECT_EQ(host_.syndromes.size(), 1u) << "deferred access must not trap";
+  });
+}
+
+TEST_F(CpuFixture, WorldSwitchTogglingRevalidatesWarmBanks) {
+  // The host flips between guest and host trap controls around every trap;
+  // returning to an already-seen configuration must land in its still-warm
+  // bank (a revalidation, not an invalidation) and resolve identically.
+  const ResolutionCache& rc = cpu_.resolution_cache();
+  EnterGuestContext(Vel2Hcr(false));
+  cpu_.RunLowerEl(El::kEl1,
+                  [&] { (void)cpu_.SysRegRead(SysReg::kSCTLR_EL1); });
+  EnterGuestContext(0);  // back to host controls
+  (void)cpu_.SysRegRead(SysReg::kVBAR_EL2);
+  uint64_t inv0 = rc.invalidations(), rev0 = rc.revalidations();
+  uint64_t traps0 = host_.syndromes.size();
+  EnterGuestContext(Vel2Hcr(false));  // toggle back: warm bank
+  uint64_t h0 = rc.hits();
+  cpu_.RunLowerEl(El::kEl1,
+                  [&] { (void)cpu_.SysRegRead(SysReg::kSCTLR_EL1); });
+  EXPECT_EQ(rc.hits(), h0 + 1) << "warm bank should serve the re-toggle";
+  EXPECT_EQ(rc.invalidations(), inv0);
+  EXPECT_GT(rc.revalidations(), rev0);
+  EXPECT_EQ(host_.syndromes.size(), traps0 + 1) << "still traps under NV1";
+}
+
+TEST_F(CpuFixture, DisabledCacheStillResolvesCorrectly) {
+  cpu_.resolution_cache().set_enabled(false);
+  uint64_t m0 = cpu_.resolution_cache().misses();
+  cpu_.SysRegWrite(SysReg::kVBAR_EL2, 0x77);
+  EXPECT_EQ(cpu_.SysRegRead(SysReg::kVBAR_EL2), 0x77u);
+  EXPECT_EQ(cpu_.SysRegRead(SysReg::kVBAR_EL2), 0x77u);
+  EXPECT_EQ(cpu_.resolution_cache().misses(), m0)
+      << "disabled cache must not be probed";
+}
+
 // --- NEVE memory redirection --------------------------------------------------------
 
 class NeveCpuFixture : public CpuFixture {

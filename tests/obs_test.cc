@@ -91,6 +91,32 @@ TEST(MetricsTest, HistogramPercentilesAreLog2UpperBounds) {
   EXPECT_GE(h.Percentile(100), 1u << 19);
 }
 
+TEST(MetricsTest, HistogramPercentileClampsToObservedExtremes) {
+  // The log2 bucket upper bound can overshoot badly for sparse histograms:
+  // a single sample of 1000 lands in the [512, 1023] bucket, whose upper
+  // bound is 1023. Percentile must clamp to the observed max (and min), not
+  // report a value never recorded.
+  MetricHistogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.Percentile(50), 1000u);
+  EXPECT_EQ(h.Percentile(99), 1000u);
+  MetricHistogram multi;
+  multi.Record(100);
+  multi.Record(120);
+  multi.Record(90);
+  EXPECT_EQ(multi.Percentile(0), 90u) << "p0 is the observed minimum";
+  EXPECT_EQ(multi.Percentile(100), 120u) << "p100 is the observed maximum";
+  EXPECT_GE(multi.Percentile(50), 90u);
+  EXPECT_LE(multi.Percentile(50), 120u);
+}
+
+TEST(MetricsTest, HistogramPercentileEmptyIsZero) {
+  MetricHistogram h;
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.Percentile(p), 0u);
+  }
+}
+
 TEST(MetricsTest, SummarizeMatchesAccessors) {
   MetricHistogram h;
   for (uint64_t v : {5u, 9u, 17u, 33u}) {
@@ -278,6 +304,15 @@ TEST(ReportTest, DeltaPctBasics) {
   EXPECT_DOUBLE_EQ(*DeltaPct(90, 100), -10.0);
   EXPECT_FALSE(DeltaPct(90, std::nullopt).has_value());
   EXPECT_FALSE(DeltaPct(90, 0.0).has_value());  // no baseline -> n/a
+}
+
+TEST(ReportTest, DeltaPctUsesBaselineMagnitude) {
+  // A negative reference (e.g. a paper speedup expressed as negative
+  // overhead) must not flip the delta's sign: the divisor is |paper|, so
+  // "measured above the reference" is always positive.
+  ASSERT_TRUE(DeltaPct(-50, -100).has_value());
+  EXPECT_DOUBLE_EQ(*DeltaPct(-50, -100), 50.0);
+  EXPECT_DOUBLE_EQ(*DeltaPct(-150, -100), -50.0);
 }
 
 TEST(ReportTest, JsonContainsSchemaAndEntries) {

@@ -114,6 +114,22 @@ TEST(ResolveV80Test, EretAtEl1ExecutesLocally) {
   EXPECT_EQ(ResolveEret(ctx), EretResolution::kLocal);
 }
 
+TEST(ResolveEretTest, EretAtEl0IsUndefined) {
+  // ERET is UNDEFINED at EL0 on every ARMv8 implementation (C5.2.4): there
+  // is no lower level to return to. In particular HCR_EL2.NV must NOT turn
+  // it into a vEL2 trap -- NV's ERET trapping applies to EL1 only.
+  // Regression: the resolver used to report kTrapEl2 for an NV guest's EL0.
+  for (ArchFeatures f : {ArchFeatures::Armv80(), ArchFeatures::Armv83Nv(),
+                         ArchFeatures::Armv84Neve()}) {
+    EXPECT_EQ(ResolveEret(MakeCtx(f, El::kEl0, HcrForPlainGuest())),
+              EretResolution::kUndefined);
+    EXPECT_EQ(ResolveEret(MakeCtx(f, El::kEl0, HcrForVel2(false))),
+              EretResolution::kUndefined);
+    EXPECT_EQ(ResolveEret(MakeCtx(f, El::kEl0, HcrForVel2(true))),
+              EretResolution::kUndefined);
+  }
+}
+
 TEST(ResolveV80Test, CurrentElReadsTruthfully) {
   AccessContext ctx = MakeCtx(ArchFeatures::Armv80(), El::kEl1,
                               HcrForPlainGuest());

@@ -8,6 +8,9 @@
 //   archlint --dump-matrix   dump the resolution cross-product as CSV
 //   archlint --dump-matrix=json   ... as JSON
 //   archlint --dump-matrix=csv -o FILE   write the dump to FILE
+//   archlint --dump-matrix --cached      resolve through the fast-path cache
+//                                        (output must be byte-identical to
+//                                        the uncached dump; CI diffs them)
 
 #include <cstring>
 #include <fstream>
@@ -20,7 +23,7 @@ namespace {
 
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--dump-matrix[=csv|json]] [-o FILE]\n";
+            << " [--dump-matrix[=csv|json]] [--cached] [-o FILE]\n";
   return 2;
 }
 
@@ -28,6 +31,7 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   bool dump = false;
+  bool cached = false;
   neve::analysis::MatrixFormat format = neve::analysis::MatrixFormat::kCsv;
   std::string out_path;
 
@@ -38,11 +42,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--dump-matrix=json") {
       dump = true;
       format = neve::analysis::MatrixFormat::kJson;
+    } else if (arg == "--cached") {
+      cached = true;
     } else if (arg == "-o" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       return Usage(argv[0]);
     }
+  }
+  if (cached && !dump) {
+    return Usage(argv[0]);
   }
 
   if (dump) {
@@ -52,9 +61,9 @@ int main(int argc, char** argv) {
         std::cerr << "archlint: cannot open " << out_path << "\n";
         return 2;
       }
-      neve::analysis::WriteResolutionMatrix(out, format);
+      neve::analysis::WriteResolutionMatrix(out, format, cached);
     } else {
-      neve::analysis::WriteResolutionMatrix(std::cout, format);
+      neve::analysis::WriteResolutionMatrix(std::cout, format, cached);
     }
     return 0;
   }

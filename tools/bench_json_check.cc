@@ -2,14 +2,21 @@
 //
 //   $ ./build/tools/bench_json_check BENCH_table7.json [more.json ...]
 //
-// Checks the schema documented in src/obs/report.h: schema_version == 1,
-// non-empty "bench"/"units" strings, a non-empty "entries" array whose
-// elements each carry a string "name" and a numeric "measured", and -- when
-// present -- numeric "paper"/"delta_pct"/"traps_per_op" (null allowed for
-// paper/delta_pct). The parser here is written from scratch on purpose:
-// validating the emitter with the emitter's own code would prove nothing.
-// Registered in ctest behind the bench_json fixture (bench/CMakeLists.txt),
-// so `ctest` exercises the full emit -> parse -> validate loop every run.
+// Two schemas are recognized, keyed by the top-level object's fields:
+//
+//  - The repo's BenchReport schema (src/obs/report.h): schema_version == 1,
+//    non-empty "bench"/"units" strings, a non-empty "entries" array whose
+//    elements each carry a string "name" and a numeric "measured", and --
+//    when present -- numeric "paper"/"delta_pct"/"traps_per_op" (null
+//    allowed for paper/delta_pct).
+//  - google-benchmark's JSON reporter (simcore_gbench --json=...): a
+//    "context" object plus a non-empty "benchmarks" array whose elements
+//    each carry a string "name" and numeric "real_time"/"cpu_time".
+//
+// The parser here is written from scratch on purpose: validating the
+// emitter with the emitter's own code would prove nothing. Registered in
+// ctest behind the bench_json fixture (bench/CMakeLists.txt), so `ctest`
+// exercises the full emit -> parse -> validate loop every run.
 
 #include <cctype>
 #include <cstdio>
@@ -268,6 +275,42 @@ bool IsNumberOrNull(const JsonValue* v) {
          v->kind == JsonValue::Kind::kNull;
 }
 
+// google-benchmark reporter output, as produced by simcore_gbench --json=.
+int CheckGoogleBenchmark(Checker& c, const JsonValue& doc) {
+  const JsonValue* context = doc.Get("context");
+  c.Require(context != nullptr &&
+                context->kind == JsonValue::Kind::kObject,
+            "context missing or not an object");
+  const JsonValue* benches = doc.Get("benchmarks");
+  c.Require(benches != nullptr && benches->kind == JsonValue::Kind::kArray &&
+                !benches->array.empty(),
+            "benchmarks missing or empty");
+  if (benches != nullptr && benches->kind == JsonValue::Kind::kArray) {
+    size_t i = 0;
+    for (const JsonPtr& b : benches->array) {
+      std::string where = "benchmarks[" + std::to_string(i++) + "]";
+      if (b->kind != JsonValue::Kind::kObject) {
+        c.Require(false, where + " is not an object");
+        continue;
+      }
+      const JsonValue* name = b->Get("name");
+      c.Require(name != nullptr && name->IsString() && !name->string.empty(),
+                where + ".name missing or empty");
+      const JsonValue* real_time = b->Get("real_time");
+      c.Require(real_time != nullptr && real_time->IsNumber(),
+                where + ".real_time missing or not a number");
+      const JsonValue* cpu_time = b->Get("cpu_time");
+      c.Require(cpu_time != nullptr && cpu_time->IsNumber(),
+                where + ".cpu_time missing or not a number");
+    }
+  }
+  if (c.failures == 0) {
+    std::printf("%s: OK (%zu benchmarks, google-benchmark schema)\n", c.path,
+                benches != nullptr ? benches->array.size() : 0);
+  }
+  return c.failures;
+}
+
 int CheckFile(const char* path) {
   std::ifstream in(path);
   if (!in) {
@@ -290,6 +333,10 @@ int CheckFile(const char* path) {
   c.Require(doc->kind == JsonValue::Kind::kObject, "top level is not an object");
   if (doc->kind != JsonValue::Kind::kObject) {
     return c.failures;
+  }
+
+  if (doc->Get("benchmarks") != nullptr) {
+    return CheckGoogleBenchmark(c, *doc);
   }
 
   const JsonValue* version = doc->Get("schema_version");

@@ -6,6 +6,8 @@
 #   tools/ci.sh asan
 #   tools/ci.sh ubsan
 #   tools/ci.sh tidy       clang-tidy over src/ (skipped when not installed)
+#   tools/ci.sh smoke      simcore_gbench smoke (BENCH_simcore.json) + cached
+#                          vs uncached archlint matrix-dump byte comparison
 #
 # Every configuration runs the whole ctest suite, which includes the archlint
 # model verification and the srclint repo-convention checks.
@@ -40,6 +42,32 @@ run_ubsan() {
   run_config ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DNEVE_SANITIZE=undefined"
 }
 
+# Perf + serialization smoke on the Release build: run the simulator-core
+# microbenchmarks into BENCH_simcore.json, validate the JSON with the
+# from-scratch checker, and prove the resolution fast-path cache is
+# behaviour-preserving by byte-comparing archlint's full resolution matrix
+# dumped with the cache on and off.
+run_smoke() {
+  local build_dir="$ROOT/build-ci-release"
+  if [[ ! -x "$build_dir/bench/simcore_gbench" ]]; then
+    echo "==> [smoke] configure + build (Release)"
+    cmake -B "$build_dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build "$build_dir" -j "$JOBS" >/dev/null
+  fi
+  echo "==> [smoke] simcore_gbench -> BENCH_simcore.json"
+  "$build_dir/bench/simcore_gbench" --json="$ROOT/BENCH_simcore.json" \
+    >/dev/null
+  "$build_dir/tools/bench_json_check" "$ROOT/BENCH_simcore.json"
+  echo "==> [smoke] archlint --dump-matrix: cached vs uncached"
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+  "$build_dir/tools/archlint" --dump-matrix -o "$tmp/uncached.csv"
+  "$build_dir/tools/archlint" --dump-matrix --cached -o "$tmp/cached.csv"
+  cmp "$tmp/uncached.csv" "$tmp/cached.csv"
+  echo "==> [smoke] OK"
+}
+
 run_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "==> [tidy] clang-tidy not installed; skipping"
@@ -59,14 +87,16 @@ case "${1:-all}" in
   asan)    run_asan ;;
   ubsan)   run_ubsan ;;
   tidy)    run_tidy ;;
+  smoke)   run_smoke ;;
   all)
     run_release
+    run_smoke
     run_asan
     run_ubsan
     run_tidy
     ;;
   *)
-    echo "usage: $0 [all|release|asan|ubsan|tidy]" >&2
+    echo "usage: $0 [all|release|asan|ubsan|tidy|smoke]" >&2
     exit 2
     ;;
 esac
