@@ -11,6 +11,7 @@
 #include <string>
 
 #include "src/base/parallel.h"
+#include "src/fault/fault.h"
 
 namespace neve {
 
@@ -66,6 +67,50 @@ inline unsigned ThreadsFromArgs(int argc, char** argv) {
     }
   }
   return threads == 0 ? DefaultBenchThreads() : threads;
+}
+
+// Fault-injection campaign seed: --fault-seed=N (last flag wins). 0 (the
+// default) leaves injection disabled so every bench stays byte-identical to
+// its uninstrumented behavior unless a campaign is explicitly requested.
+inline uint64_t FaultSeedFromArgs(int argc, char** argv) {
+  constexpr const char kFlag[] = "--fault-seed=";
+  uint64_t seed = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      seed = std::strtoull(argv[i] + sizeof(kFlag) - 1, nullptr, 10);
+    }
+  }
+  return seed;
+}
+
+// Per-opportunity injection probability: --fault-rate=R in [0,1] (last flag
+// wins); defaults to 0.
+inline double FaultRateFromArgs(int argc, char** argv) {
+  constexpr const char kFlag[] = "--fault-rate=";
+  double rate = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      rate = std::strtod(argv[i] + sizeof(kFlag) - 1, nullptr);
+    }
+  }
+  return rate;
+}
+
+// Assembles a fault campaign from the two flags above. The campaign is
+// enabled only when --fault-rate is positive; --fault-seed alone keeps
+// injection off (a seed without a rate draws nothing anyway, and benches
+// must stay byte-identical unless a campaign is explicitly requested). The
+// watchdog budget clears the longest legitimate single vcpu entry (a full
+// nested-v8.3 boot, ~22M cycles) with a wide margin.
+inline FaultConfig FaultCampaignFromArgs(int argc, char** argv) {
+  FaultConfig fault;
+  fault.seed = FaultSeedFromArgs(argc, argv);
+  fault.rate = FaultRateFromArgs(argc, argv);
+  fault.enabled = fault.rate > 0.0;
+  if (fault.enabled) {
+    fault.watchdog_budget = 200'000'000;
+  }
+  return fault;
 }
 
 }  // namespace neve

@@ -276,6 +276,64 @@ void LintTrapInstrumentation(const SourceFile& f,
   }
 }
 
+// --- rule: guest-reachable aborts --------------------------------------------
+
+// Layers a guest can drive trap paths through: a failed NEVE_CHECK there
+// takes the whole machine down with the guest's bug. Checks in these
+// directories must either be confined (NEVE_GUEST_CHECK / RaiseGuestFault)
+// or justified as unreachable-by-guest with a `// host-invariant:` comment.
+constexpr const char* kConfinedDirs[] = {"src/hyp/", "src/gic/", "src/x86/"};
+
+bool InConfinedDir(std::string_view path) {
+  for (const char* dir : kConfinedDirs) {
+    if (path.rfind(dir, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// True when "host-invariant:" appears on the match's own line or within the
+// two preceding lines.
+bool JustifiedHostInvariant(std::string_view content, size_t pos) {
+  size_t bol = content.rfind('\n', pos);
+  bol = (bol == std::string_view::npos) ? 0 : bol + 1;
+  for (int i = 0; i < 2 && bol >= 2; ++i) {
+    size_t prev = content.rfind('\n', bol - 2);
+    bol = (prev == std::string_view::npos) ? 0 : prev + 1;
+  }
+  size_t eol = content.find('\n', pos);
+  if (eol == std::string_view::npos) {
+    eol = content.size();
+  }
+  return content.substr(bol, eol - bol).find("host-invariant:") !=
+         std::string_view::npos;
+}
+
+void LintGuestReachableAborts(const SourceFile& f,
+                              std::vector<Diagnostic>& d) {
+  if (!InConfinedDir(f.path)) {
+    return;
+  }
+  static constexpr const char* kPatterns[] = {"NEVE_CHECK(", "NEVE_CHECK_MSG(",
+                                              "abort("};
+  for (const char* pattern : kPatterns) {
+    for (size_t pos : FindCalls(f.content, pattern)) {
+      if (JustifiedHostInvariant(f.content, pos)) {
+        continue;
+      }
+      d.push_back({f.path, LineOfOffset(f.content, pos),
+                   "guest-reachable-abort",
+                   std::string(pattern) +
+                       "...) in a guest-drivable layer takes the machine "
+                       "down with the guest; confine it (NEVE_GUEST_CHECK / "
+                       "RaiseGuestFault) or justify it with a "
+                       "'// host-invariant:' comment within the two "
+                       "preceding lines"});
+    }
+  }
+}
+
 // --- rule: obs span balance --------------------------------------------------
 
 void LintSpanBalance(const SourceFile& f, std::vector<Diagnostic>& d) {
@@ -306,6 +364,7 @@ std::vector<Diagnostic> LintSources(const std::vector<SourceFile>& files) {
     }
     LintRawRegisterAccess(f, d);
     LintTrapInstrumentation(f, d);
+    LintGuestReachableAborts(f, d);
     LintSpanBalance(f, d);
   }
   return d;

@@ -12,6 +12,12 @@
 //   trap-*                every TakeTrapToEl2 call site charges a detect
 //                         cost, and the trap path charges trap_entry /
 //                         trap_return and bumps the cpu.traps_to_el2 counter
+//   guest-reachable-abort NEVE_CHECK / NEVE_CHECK_MSG / abort() in the
+//                         guest-drivable layers (src/hyp, src/gic, src/x86)
+//                         without a `// host-invariant:` justification on
+//                         the same line or the two lines above; such checks
+//                         must be confined (NEVE_GUEST_CHECK or
+//                         RaiseGuestFault) so a guest bug kills only its VM
 //   span-balance          tracer().Begin( and tracer().End( counts match per
 //                         file, so obs spans cannot leak
 //

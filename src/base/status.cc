@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 namespace neve {
 
@@ -39,9 +42,61 @@ std::string Status::ToString() const {
   return out;
 }
 
+namespace {
+
+struct PanicHookRegistry {
+  std::mutex mu;
+  std::vector<std::pair<int, std::function<void()>>> hooks;
+  int next_id = 1;
+};
+
+PanicHookRegistry& HookRegistry() {
+  static auto* registry = new PanicHookRegistry;
+  return *registry;
+}
+
+}  // namespace
+
+int AddPanicHook(std::function<void()> hook) {
+  PanicHookRegistry& reg = HookRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  int id = reg.next_id++;
+  reg.hooks.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void RemovePanicHook(int id) {
+  PanicHookRegistry& reg = HookRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto it = reg.hooks.begin(); it != reg.hooks.end(); ++it) {
+    if (it->first == id) {
+      reg.hooks.erase(it);
+      return;
+    }
+  }
+}
+
 void Panic(const char* file, int line, const std::string& message) {
   std::fprintf(stderr, "[neve PANIC] %s:%d: %s\n", file, line, message.c_str());
   std::fflush(stderr);
+  // Flush diagnostics (newest hook first), once: a panic raised from inside
+  // a hook falls straight through to abort instead of recursing.
+  static thread_local bool in_panic = false;
+  if (!in_panic) {
+    in_panic = true;
+    std::vector<std::function<void()>> hooks;
+    {
+      PanicHookRegistry& reg = HookRegistry();
+      std::lock_guard<std::mutex> lock(reg.mu);
+      for (auto it = reg.hooks.rbegin(); it != reg.hooks.rend(); ++it) {
+        hooks.push_back(it->second);
+      }
+    }
+    for (const auto& hook : hooks) {
+      hook();
+    }
+    std::fflush(stderr);
+  }
   std::abort();
 }
 

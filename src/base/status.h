@@ -10,6 +10,7 @@
 #define NEVE_SRC_BASE_STATUS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <variant>
@@ -112,6 +113,24 @@ class StatusOr {
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
+  // The held value, or `fallback` converted to T on error. The rvalue
+  // overload moves the held value out, so it works for move-only T
+  // (e.g. `std::move(so).value_or(nullptr)` on a StatusOr<unique_ptr<X>>).
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    if (ok()) {
+      return std::get<T>(v_);
+    }
+    return static_cast<T>(std::forward<U>(fallback));
+  }
+  template <typename U>
+  T value_or(U&& fallback) && {
+    if (ok()) {
+      return std::get<T>(std::move(v_));
+    }
+    return static_cast<T>(std::forward<U>(fallback));
+  }
+
  private:
   void CheckOk() const;
 
@@ -120,7 +139,16 @@ class StatusOr {
 
 // Aborts the process with a formatted message. Used for modeling-invariant
 // violations where continuing would silently corrupt measured results.
+// Before aborting, runs every registered panic hook (newest first) so layers
+// can flush diagnostics -- the Machine registers one that dumps its metric
+// snapshot and trace ring (status.cc guards against recursive panics).
 [[noreturn]] void Panic(const char* file, int line, const std::string& message);
+
+// Registers `hook` to run inside Panic() before the abort; returns an id for
+// RemovePanicHook. Hooks must not allocate unboundedly or panic themselves
+// (a panic from inside a hook skips the remaining hooks and aborts).
+int AddPanicHook(std::function<void()> hook);
+void RemovePanicHook(int id);
 
 }  // namespace neve
 

@@ -4,6 +4,8 @@
 #include "src/base/bits.h"
 #include "src/base/log.h"
 #include "src/base/status.h"
+#include "src/fault/fault.h"
+#include "src/fault/guest_fault.h"
 #include "src/mem/mem_io.h"
 #include "src/mem/page_table.h"
 
@@ -20,7 +22,13 @@ class S2TranslatingView : public MemIo {
   uint64_t Read64(Pa ipa) const override {
     WalkResult w =
         PageTable::WalkFrom(*mem_, s2_root_, ipa.value, /*is_write=*/false);
-    NEVE_CHECK_MSG(w.ok, "Stage-2 fault on Stage-1 table walk (unsupported)");
+    // The model does not take the hardware's "Stage-2 fault on a Stage-1
+    // table walk" trap-and-retry path; the state is reachable only when the
+    // controlling hypervisor yanked Stage-2 mappings under live Stage-1
+    // tables (e.g. a lost-TLBI / injected stale shadow), so it is
+    // guest-attributable: confine it to the VM.
+    NEVE_GUEST_CHECK(w.ok, "s2_on_s1_walk",
+                     "Stage-2 fault on a Stage-1 table walk");
     return mem_->Read64(w.pa);
   }
   void Write64(Pa, uint64_t) override {
@@ -76,6 +84,18 @@ TrapOutcome Cpu::TakeTrapToEl2(const Syndrome& s, uint32_t detect_cost) {
   NEVE_CHECK_MSG(host_ != nullptr, "no EL2 host installed");
   NEVE_CHECK_MSG(trap_depth_ < 64, "runaway trap recursion (modeling bug)");
 
+  // Trap-livelock watchdog: the guest burned through its cycle budget for
+  // this VM entry (e.g. an injected runaway hypercall storm, or corrupt
+  // state refaulting forever). Checked here because every livelock by
+  // construction keeps trapping; raising a confined guest fault unwinds the
+  // guest frames back to the HostKvm::RunVcpu that armed the deadline.
+  if (watchdog_deadline_ != 0 && cycles_ >= watchdog_deadline_) {
+    watchdog_deadline_ = 0;
+    RaiseGuestFault("watchdog",
+                    "trap-livelock watchdog: cycle budget exhausted inside "
+                    "one VM entry (next trap: " + s.ToString() + ")");
+  }
+
   uint64_t episode_start = cycles_;
   Charge(detect_cost + cost_.trap_entry);
   trace_.OnTrapToEl2(s, cycles_);
@@ -97,12 +117,24 @@ TrapOutcome Cpu::TakeTrapToEl2(const Syndrome& s, uint32_t detect_cost) {
     regs_[static_cast<size_t>(RegId::kHPFAR_EL2)] = s.hpfar >> 8;
   }
 
-  El saved_el = el_;
-  el_ = El::kEl2;
-  ++trap_depth_;
-  TrapOutcome outcome = host_->OnTrapToEl2(*this, s);
-  --trap_depth_;
-  el_ = saved_el;
+  // RAII so a GuestFaultException unwinding out of the host handler (a
+  // confined VM kill) leaves the EL and trap-depth bookkeeping consistent
+  // for the next VM entry on this CPU.
+  struct TrapScope {
+    Cpu* cpu;
+    El saved_el;
+    ~TrapScope() {
+      --cpu->trap_depth_;
+      cpu->el_ = saved_el;
+    }
+  };
+  TrapOutcome outcome;
+  {
+    TrapScope scope{this, el_};
+    el_ = El::kEl2;
+    ++trap_depth_;
+    outcome = host_->OnTrapToEl2(*this, s);
+  }
   Charge(cost_.trap_return);
   if (trap_depth_ == 0) {
     trace_.AttributeCycles(s.ec, cycles_ - episode_start);
@@ -151,14 +183,24 @@ uint64_t Cpu::SysRegRead(SysReg enc) {
       NEVE_CHECK_MSG(gic_ != nullptr, "no GIC CPU interface installed");
       Charge(cost_.gic_vcpuif_access);
       return gic_->IccRead(index_, r.target);
-    case AccessResolution::Kind::kMemory:
+    case AccessResolution::Kind::kMemory: {
       // NEVE rewrote the register read into a plain load (section 6.1).
       Charge(cost_.mem_access);
       if (ObsActive(obs_)) {
         obs_->metrics().Counter("cpu.vncr_redirects").Add(1);
         obs_->tracer().Instant(index_, "vncr", SysRegName(enc), cycles_);
       }
-      return mem_->Read64(VncrPage() + r.mem_offset);
+      uint64_t value = mem_->Read64(VncrPage() + r.mem_offset);
+      // Injected VNCR page corruption: the deferred-access load returns
+      // flipped bits, as a DRAM error or hypervisor bug in the deferred
+      // page would. The guest hypervisor consumes garbage state.
+      if (FaultActive(fault_) &&
+          fault_->ShouldInject(FaultPoint::kVncrCorruption, index_, cycles_,
+                               static_cast<uint64_t>(enc))) {
+        value ^= fault_->CorruptBits();
+      }
+      return value;
+    }
     case AccessResolution::Kind::kTrapEl2: {
       TrapOutcome out = TakeTrapToEl2(
           Syndrome::SysRegTrap(enc, /*is_write=*/false, 0), cost_.detect_sysreg);
@@ -166,9 +208,11 @@ uint64_t Cpu::SysRegRead(SysReg enc) {
       return out.value;
     }
     case AccessResolution::Kind::kUndefined:
-      NEVE_CHECK_MSG(false, std::string("UNDEFINED read of ") +
-                                SysRegName(enc) + " at " + ElName(el_) +
-                                " (a real guest hypervisor would crash here)");
+      // A real guest hypervisor would take an UNDEF and crash; confinement
+      // kills the offending VM instead of the simulation.
+      RaiseGuestFault("undefined_sysreg",
+                      std::string("UNDEFINED read of ") + SysRegName(enc) +
+                          " at " + ElName(el_));
   }
   return 0;
 }
@@ -197,6 +241,14 @@ void Cpu::SysRegWrite(SysReg enc, uint64_t value) {
         obs_->metrics().Counter("cpu.vncr_redirects").Add(1);
         obs_->tracer().Instant(index_, "vncr", SysRegName(enc), cycles_);
       }
+      // Injected stale VNCR contents: the deferred write never lands, so
+      // the page keeps the previous value and the next world switch loads
+      // stale guest-hypervisor state.
+      if (FaultActive(fault_) &&
+          fault_->ShouldInject(FaultPoint::kVncrStale, index_, cycles_,
+                               static_cast<uint64_t>(enc))) {
+        return;
+      }
       mem_->Write64(VncrPage() + r.mem_offset, value);
       return;
     case AccessResolution::Kind::kTrapEl2: {
@@ -207,9 +259,9 @@ void Cpu::SysRegWrite(SysReg enc, uint64_t value) {
       return;
     }
     case AccessResolution::Kind::kUndefined:
-      NEVE_CHECK_MSG(false, std::string("UNDEFINED write of ") +
-                                SysRegName(enc) + " at " + ElName(el_) +
-                                " (a real guest hypervisor would crash here)");
+      RaiseGuestFault("undefined_sysreg",
+                      std::string("UNDEFINED write of ") + SysRegName(enc) +
+                          " at " + ElName(el_));
   }
 }
 
@@ -238,9 +290,8 @@ void Cpu::EretFromVirtualEl2() {
       return;
     }
     case EretResolution::kUndefined:
-      NEVE_CHECK_MSG(false, std::string("UNDEFINED eret at ") + ElName(el_) +
-                                " (a real guest would crash here)");
-      return;
+      RaiseGuestFault("undefined_eret",
+                      std::string("UNDEFINED eret at ") + ElName(el_));
     case EretResolution::kLocal:
       // Plain EL1 eret (a guest OS returning to its user space): cost only.
       Charge(cost_.el1_eret);
@@ -271,7 +322,10 @@ void Cpu::TlbiAll() {
   tlb_.clear();
 }
 
-void Cpu::Compute(uint32_t cycles) { Charge(cycles); }
+void Cpu::Compute(uint32_t cycles) {
+  Charge(cycles);
+  WatchdogCheckGuestSpin();
+}
 
 bool Cpu::TranslateVa(Va va, bool is_write, Pa* pa, Syndrome* fault) {
   bool below_el2 = el_ != El::kEl2;
@@ -335,6 +389,7 @@ uint64_t Cpu::LoadVa(Va va) {
     Syndrome fault;
     if (TranslateVa(va, /*is_write=*/false, &pa, &fault)) {
       Charge(cost_.mem_access);
+      WatchdogCheckGuestSpin();
       return mem_->Read64(pa);
     }
     TrapOutcome out = TakeTrapToEl2(fault, cost_.detect_mem_abort);
@@ -350,6 +405,7 @@ void Cpu::StoreVa(Va va, uint64_t value) {
     Syndrome fault;
     if (TranslateVa(va, /*is_write=*/true, &pa, &fault)) {
       Charge(cost_.mem_access);
+      WatchdogCheckGuestSpin();
       mem_->Write64(pa, value);
       return;
     }
@@ -366,9 +422,14 @@ void Cpu::RunLowerEl(El target_el, const std::function<void()>& body) {
   NEVE_CHECK(target_el != El::kEl2);
   Charge(cost_.trap_return);  // the eret into the guest
   el_ = target_el;
+  // RAII: a confined guest fault unwinding out of `body` must still land the
+  // CPU back at EL2 for the catch handler in HostKvm::RunVcpu.
+  struct ElScope {
+    Cpu* cpu;
+    ~ElScope() { cpu->el_ = El::kEl2; }
+  } scope{this};
   body();
   NEVE_CHECK_MSG(el_ == target_el, "unbalanced EL transitions");
-  el_ = El::kEl2;
 }
 
 uint64_t Cpu::HostLoad(Pa pa) {

@@ -30,10 +30,13 @@
 #include "src/cpu/resolution_cache.h"
 #include "src/cpu/trace.h"
 #include "src/cpu/trap_rules.h"
+#include "src/fault/guest_fault.h"
 #include "src/mem/phys_mem.h"
 #include "src/obs/observability.h"
 
 namespace neve {
+
+class FaultInjector;
 
 // How a trapped operation completes, decided by the host hypervisor.
 struct TrapOutcome {
@@ -85,6 +88,37 @@ class Cpu {
   // both present and enabled.
   void SetObservability(Observability* obs) { obs_ = obs; }
   Observability* obs() const { return obs_; }
+  // Machine-wide fault injector (src/fault); may stay null. Injection sites
+  // are no-ops unless the injector is both present and armed (FaultActive).
+  void SetFaultInjector(FaultInjector* fault) { fault_ = fault; }
+  FaultInjector* fault() const { return fault_; }
+
+  // --- trap-livelock watchdog -------------------------------------------
+  // When nonzero, the next trap taken at or past this cycle count raises a
+  // confined guest fault ("watchdog") instead of dispatching to the host.
+  // Armed by HostKvm::RunVcpu from MachineConfig::fault.watchdog_budget; the
+  // check only fires on guest-context traps, so it unwinds to the VM entry
+  // point that armed it.
+  uint64_t watchdog_deadline() const { return watchdog_deadline_; }
+  void SetWatchdogDeadline(uint64_t deadline) {
+    watchdog_deadline_ = deadline;
+  }
+
+  // The complementary check for livelocks that never trap: a guest spinning
+  // on compute or ordinary memory accesses (e.g. waiting on a flag that a
+  // dropped interrupt will never set) burns cycles without ever reaching
+  // the trap-entry check above. Called from guest-context Compute/LoadVa/
+  // StoreVa; inert at EL2 (host emulation work is bounded by construction)
+  // and when no deadline is armed.
+  void WatchdogCheckGuestSpin() {
+    if (watchdog_deadline_ != 0 && el_ != El::kEl2 &&
+        cycles_ >= watchdog_deadline_) {
+      watchdog_deadline_ = 0;
+      RaiseGuestFault("watchdog",
+                      "trap-livelock watchdog: cycle budget exhausted inside "
+                      "one VM entry (compute/memory spin, no trap)");
+    }
+  }
 
   int index() const { return index_; }
   const ArchFeatures& features() const { return features_; }
@@ -228,6 +262,7 @@ class Cpu {
   El2Host* host_ = nullptr;
   GicCpuInterface* gic_ = nullptr;
   Observability* obs_ = nullptr;
+  FaultInjector* fault_ = nullptr;
 
   El el_ = El::kEl2;
   uint64_t cycles_ = 0;
@@ -236,6 +271,7 @@ class Cpu {
   CpuTrace trace_;
   std::unordered_map<TlbKey, TlbEntry, TlbKeyHash> tlb_;
   int trap_depth_ = 0;
+  uint64_t watchdog_deadline_ = 0;
 };
 
 }  // namespace neve

@@ -1,0 +1,81 @@
+#include "src/fault/fault.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace neve {
+
+const char* FaultPointName(FaultPoint p) {
+  switch (p) {
+    case FaultPoint::kShadowS2TranslationFault:
+      return "shadow_s2.translation_fault";
+    case FaultPoint::kShadowS2ExternalAbort:
+      return "s2.external_abort";
+    case FaultPoint::kGicSpuriousIrq:
+      return "gic.spurious_irq";
+    case FaultPoint::kGicDroppedIrq:
+      return "gic.dropped_irq";
+    case FaultPoint::kGicMisroutedIrq:
+      return "gic.misrouted_irq";
+    case FaultPoint::kVncrCorruption:
+      return "vncr.corruption";
+    case FaultPoint::kVncrStale:
+      return "vncr.stale_write";
+    case FaultPoint::kVirtioRingCorruption:
+      return "virtio.ring_corruption";
+    case FaultPoint::kGuestHypPanic:
+      return "guest_hyp.panic";
+    case FaultPoint::kTrapLoop:
+      return "guest_hyp.trap_loop";
+  }
+  return "?";
+}
+
+bool FaultInjector::ShouldInject(FaultPoint point, int cpu, uint64_t cycles,
+                                 uint64_t detail) {
+  if (!config_.enabled || (config_.points & FaultPointBit(point)) == 0) {
+    return false;
+  }
+  // An injected trap loop is only survivable with the watchdog armed.
+  if (point == FaultPoint::kTrapLoop && config_.watchdog_budget == 0) {
+    return false;
+  }
+  if (config_.rate <= 0.0 || !rng_.NextBool(config_.rate)) {
+    return false;
+  }
+  InjectionRecord rec{.seq = log_.size(),
+                      .point = point,
+                      .cpu = cpu,
+                      .cycles = cycles,
+                      .detail = detail};
+  log_.push_back(rec);
+  ++counts_[static_cast<size_t>(point)];
+  if (ObsActive(obs_)) {
+    obs_->metrics().Counter("fault.injected_total").Add(1);
+    obs_->metrics()
+        .Counter(std::string("fault.injected.") + FaultPointName(point))
+        .Add(1);
+    obs_->tracer().Instant(cpu < 0 ? 0 : cpu, "fault", FaultPointName(point),
+                           cycles, "detail", detail);
+  }
+  return true;
+}
+
+uint64_t FaultInjector::CorruptBits() {
+  uint64_t bits = rng_.Next();
+  return bits != 0 ? bits : 0xDEADBEEFDEADBEEFull;
+}
+
+std::string FaultInjector::LogText() const {
+  std::string out;
+  char line[160];
+  for (const InjectionRecord& r : log_) {
+    snprintf(line, sizeof(line),
+             "%" PRIu64 " %s cpu=%d cycles=%" PRIu64 " detail=0x%" PRIx64 "\n",
+             r.seq, FaultPointName(r.point), r.cpu, r.cycles, r.detail);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace neve

@@ -1,0 +1,9 @@
+#include "src/fault/guest_fault.h"
+
+namespace neve {
+
+void RaiseGuestFault(const char* kind, std::string reason) {
+  throw GuestFaultException(kind, std::move(reason));
+}
+
+}  // namespace neve

@@ -1,0 +1,61 @@
+// Guest-fault confinement: the mechanism that turns a guest-attributable
+// anomaly anywhere in the nested stack into a dead *VM* instead of a dead
+// process.
+//
+// The simulator's C++ call stack mirrors the privilege stack (cpu.h), so the
+// natural confinement boundary is stack unwinding: a layer that detects
+// guest-corrupted state throws GuestFaultException, which unwinds through
+// every nested guest frame -- RAII guards in Cpu::TakeTrapToEl2/RunLowerEl
+// keep the EL and trap-depth bookkeeping consistent -- and is caught at the
+// host's outermost VM entry point (HostKvm::RunVcpu). The catch handler
+// kills the faulting VM, restores the pCPU's host context, records fault.*
+// metrics and a tracer instant, and returns an error Status; the machine,
+// its other VMs and the bench harness keep running.
+//
+// Use NEVE_GUEST_CHECK for invariants whose violation a guest can provoke
+// (corrupt virtual Stage-2 tables, bogus MMIO, torn virtio rings, unmodeled
+// register traffic). Keep NEVE_CHECK -- with a `// host-invariant:`
+// justification comment, enforced by srclint -- for conditions only a
+// simulator or embedder bug can violate.
+
+#ifndef NEVE_SRC_FAULT_GUEST_FAULT_H_
+#define NEVE_SRC_FAULT_GUEST_FAULT_H_
+
+#include <exception>
+#include <string>
+
+namespace neve {
+
+class GuestFaultException : public std::exception {
+ public:
+  GuestFaultException(const char* kind, std::string reason)
+      : kind_(kind), reason_(std::move(reason)) {}
+
+  // Short static tag ("watchdog", "unhandled_exit", ...) used for the
+  // fault.kill.<kind> metric name; must outlive the exception (string
+  // literals only).
+  const char* kind() const { return kind_; }
+  const std::string& reason() const { return reason_; }
+  const char* what() const noexcept override { return reason_.c_str(); }
+
+ private:
+  const char* kind_;
+  std::string reason_;
+};
+
+// Throws GuestFaultException. A free function so call sites read like the
+// Panic they replace.
+[[noreturn]] void RaiseGuestFault(const char* kind, std::string reason);
+
+// Guest-reachable invariant: violation kills the faulting VM, not the
+// process. `kind` must be a string literal.
+#define NEVE_GUEST_CHECK(cond, kind, msg)                   \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::neve::RaiseGuestFault((kind), (msg));               \
+    }                                                       \
+  } while (false)
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_FAULT_GUEST_FAULT_H_

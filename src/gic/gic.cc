@@ -1,45 +1,84 @@
 #include "src/gic/gic.h"
 
 #include "src/base/status.h"
+#include "src/fault/fault.h"
+#include "src/fault/guest_fault.h"
 
 namespace neve {
 
 GicV3::GicV3(int num_cpus) : num_cpus_(num_cpus) {
+  // host-invariant: machine construction parameter, no guest influence.
   NEVE_CHECK(num_cpus > 0);
   cpus_.resize(num_cpus, nullptr);
 }
 
 void GicV3::AttachCpu(Cpu* cpu) {
+  // host-invariant: wiring happens at machine construction time.
   NEVE_CHECK(cpu != nullptr);
+  // host-invariant: wiring happens at machine construction time.
   NEVE_CHECK(cpu->index() >= 0 && cpu->index() < num_cpus_);
   cpus_[cpu->index()] = cpu;
   cpu->SetGicCpuInterface(this);
 }
 
 Cpu& GicV3::CpuRef(int cpu) {
+  // host-invariant: CPU indices come from machine wiring, not guest state.
   NEVE_CHECK(cpu >= 0 && cpu < num_cpus_ && cpus_[cpu] != nullptr);
   return *cpus_[cpu];
 }
 
 void GicV3::SendPhysSgi(int from_cpu, int to_cpu, uint8_t sgi_id) {
+  // host-invariant: only host hypervisor code sends physical SGIs.
   NEVE_CHECK_MSG(sink_, "no physical IRQ sink installed");
   uint64_t raiser_cycles = CpuRef(from_cpu).cycles();
   if (ObsActive(obs_)) {
     obs_->metrics().Counter("gic.phys_sgis").Add(1);
     obs_->tracer().Instant(from_cpu, "gic", "phys_sgi", raiser_cycles);
   }
+  // Injected IPI loss: the kick never reaches the target CPU (as a wire
+  // glitch or distributor bug would). The queued virtual interrupt stays
+  // pending until the next vcpu load.
+  if (FaultActive(fault_) &&
+      fault_->ShouldInject(FaultPoint::kGicDroppedIrq, to_cpu, raiser_cycles,
+                           kSgiBase + sgi_id)) {
+    return;
+  }
   sink_(to_cpu, kSgiBase + sgi_id, raiser_cycles);
 }
 
 void GicV3::RaiseSpi(int target_cpu, uint32_t intid, uint64_t raiser_cycles) {
+  // host-invariant: device models raise SPIs with device-fixed intids.
   NEVE_CHECK(intid >= kSpiBase);
+  // host-invariant: the sink is installed at hypervisor construction.
   NEVE_CHECK_MSG(sink_, "no physical IRQ sink installed");
+  if (FaultActive(fault_)) {
+    // Injected interrupt loss: the device's SPI is silently swallowed.
+    if (fault_->ShouldInject(FaultPoint::kGicDroppedIrq, target_cpu,
+                             raiser_cycles, intid)) {
+      return;
+    }
+    // Injected misrouting: the distributor delivers to the wrong CPU (a
+    // corrupted affinity-routing table).
+    if (num_cpus_ > 1 &&
+        fault_->ShouldInject(FaultPoint::kGicMisroutedIrq, target_cpu,
+                             raiser_cycles, intid)) {
+      target_cpu = (target_cpu + 1) % num_cpus_;
+    }
+  }
   sink_(target_cpu, intid, raiser_cycles);
 }
 
 void GicV3::RaisePpi(int target_cpu, uint32_t intid, uint64_t raiser_cycles) {
+  // host-invariant: the timer raises PPIs with architecture-fixed intids.
   NEVE_CHECK(intid >= kPpiBase && intid < kSpiBase);
+  // host-invariant: the sink is installed at hypervisor construction.
   NEVE_CHECK_MSG(sink_, "no physical IRQ sink installed");
+  // Injected interrupt loss (timer ticks can vanish too).
+  if (FaultActive(fault_) &&
+      fault_->ShouldInject(FaultPoint::kGicDroppedIrq, target_cpu,
+                           raiser_cycles, intid)) {
+    return;
+  }
   sink_(target_cpu, intid, raiser_cycles);
 }
 
@@ -83,6 +122,14 @@ uint64_t GicV3::IccRead(int cpu_idx, RegId reg) {
   Cpu& cpu = CpuRef(cpu_idx);
   switch (reg) {
     case RegId::kICC_IAR1_EL1: {
+      // Injected spurious interrupt: the acknowledge races a deactivation
+      // and reads back 1023 without acking anything. Well-written guests
+      // (and the guest_kvm IRQ path) must tolerate this per the GIC spec.
+      if (FaultActive(fault_) &&
+          fault_->ShouldInject(FaultPoint::kGicSpuriousIrq, cpu_idx,
+                               cpu.cycles())) {
+        return kSpuriousIntid;
+      }
       // Virtual acknowledge: highest-priority pending list register goes
       // active; the VM learns the intid -- no hypervisor involvement.
       int lr_idx = FindPendingLr(cpu);
@@ -113,7 +160,9 @@ uint64_t GicV3::IccRead(int cpu_idx, RegId reg) {
     case RegId::kICC_SRE_EL1:
       return cpu.PeekReg(reg);
     default:
-      NEVE_CHECK_MSG(false, "unmodeled ICC read");
+      // Guest traffic to an ICC register the model does not implement:
+      // confine to the offending VM rather than killing the simulation.
+      RaiseGuestFault("unmodeled_icc", "unmodeled ICC read");
   }
   return 0;
 }
@@ -164,7 +213,7 @@ void GicV3::IccWrite(int cpu_idx, RegId reg, uint64_t value) {
       cpu.PokeReg(reg, value);
       return;
     default:
-      NEVE_CHECK_MSG(false, "unmodeled ICC write");
+      RaiseGuestFault("unmodeled_icc", "unmodeled ICC write");
   }
 }
 

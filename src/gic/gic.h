@@ -78,6 +78,9 @@ class GicV3 : public GicCpuInterface {
   void AttachCpu(Cpu* cpu);
   void SetPhysIrqSink(PhysIrqSink sink) { sink_ = std::move(sink); }
   void SetObservability(Observability* obs) { obs_ = obs; }
+  // Machine-wide fault injector (drop/misroute/spurious interrupt points);
+  // may stay null for bare GICs built outside a Machine.
+  void SetFaultInjector(FaultInjector* fault) { fault_ = fault; }
 
   int num_list_regs() const { return kNumListRegs; }
 
@@ -120,6 +123,7 @@ class GicV3 : public GicCpuInterface {
   std::vector<Cpu*> cpus_;
   PhysIrqSink sink_;
   Observability* obs_ = nullptr;
+  FaultInjector* fault_ = nullptr;
   uint64_t virtual_acks_ = 0;
   uint64_t virtual_eois_ = 0;
 };

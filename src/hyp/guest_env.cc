@@ -10,11 +10,13 @@ void GuestEnv::SetIrqHandler(GuestIrqHandler handler) {
 }
 
 void GuestEnv::SetVel2Handler(Vel2Handler* handler) {
+  // host-invariant: handlers are C++ objects wired by the workload code.
   NEVE_CHECK(handler != nullptr);
   vcpu_->SoftwareFor(vcpu_->mode).vel2 = handler;
 }
 
 void GuestEnv::SetNestedProgram(GuestMain program) {
+  // host-invariant: only GuestKvm (itself gated on virtual_el2) calls this.
   NEVE_CHECK_MSG(vcpu_->vm().config().virtual_el2,
                  "only guest hypervisors load nested images");
   // A hypervisor running as someone's nested guest loads images one level
@@ -27,7 +29,9 @@ void GuestEnv::SetNestedProgram(GuestMain program) {
 }
 
 void GuestEnv::DeferVectorCall(Vel2Handler* handler, const Syndrome& syndrome) {
+  // host-invariant: handlers are C++ objects wired by the workload code.
   NEVE_CHECK(handler != nullptr);
+  // host-invariant: single-slot deferral is GuestKvm's own sequencing.
   NEVE_CHECK_MSG(!vcpu_->deferred_vector.has_value(),
                  "a vector call is already pending");
   vcpu_->deferred_vector =

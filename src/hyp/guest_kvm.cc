@@ -3,6 +3,8 @@
 #include "src/arch/vncr.h"
 #include "src/base/bits.h"
 #include "src/base/status.h"
+#include "src/fault/fault.h"
+#include "src/fault/guest_fault.h"
 #include "src/gic/gic.h"
 
 namespace neve {
@@ -35,14 +37,16 @@ GuestKvm::GuestKvm(GuestEnv* boot_env, Machine* machine,
                    my_ram_size / kTableFraction),
       next_nested_ram_(my_ram_size / kNestedRamFraction),
       nested_ram_end_(my_ram_size - my_ram_size / kTableFraction) {
+  // host-invariant: construction wiring supplied by the embedder.
   NEVE_CHECK(machine != nullptr);
   pvcpu_.resize(boot_env->vcpu().vm().num_vcpus());
   // Sanity: we believe we run in EL2 (the NV disguise) -- a hypervisor
   // booting in EL1 would bail out here, which is exactly the pre-ARMv8.3
   // crash scenario of section 2. The disguise holds transitively for an L2
-  // hypervisor under recursive nesting.
-  NEVE_CHECK_MSG(boot_env->CurrentEl() == El::kEl2,
-                 "guest hypervisor does not see EL2: no NV support?");
+  // hypervisor under recursive nesting. This is guest code bailing out, so
+  // it dies as a guest: the VM is killed, the machine lives.
+  NEVE_GUEST_CHECK(boot_env->CurrentEl() == El::kEl2, "no_nv_boot",
+                   "guest hypervisor does not see EL2: no NV support?");
   boot_env->SetVel2Handler(this);
   // Hypervisor boot: vector base, hyp configuration (trapped or deferred
   // depending on the architecture; boot cost is not part of any benchmark).
@@ -56,8 +60,8 @@ GuestKvm::GuestKvm(GuestEnv* boot_env, Machine* machine,
 }
 
 void GuestKvm::AttachVcpu(GuestEnv& env) {
-  NEVE_CHECK_MSG(env.CurrentEl() == El::kEl2,
-                 "secondary vcpu does not see EL2");
+  NEVE_GUEST_CHECK(env.CurrentEl() == El::kEl2, "no_nv_boot",
+                   "secondary vcpu does not see EL2");
   env.SetVel2Handler(this);
   env.WriteSys(SysReg::kVBAR_EL2, 0xFFFF'0000'0000'0800ull);
   env.WriteSys(SysReg::kTPIDR_EL2, 0x1000 + env.vcpu().id());
@@ -77,8 +81,10 @@ GuestKvm::NestedVcpuState& GuestKvm::NstateOf(Vcpu& vcpu) {
 }
 
 Vm* GuestKvm::CreateVm(const VmConfig& config) {
-  NEVE_CHECK_MSG(next_nested_ram_ + config.ram_size <= nested_ram_end_,
-                 "guest hypervisor out of memory for nested VMs");
+  // The guest hypervisor over-committing its own RAM is its bug.
+  NEVE_GUEST_CHECK(next_nested_ram_ + config.ram_size <= nested_ram_end_,
+                   "guest_oom",
+                   "guest hypervisor out of memory for nested VMs");
   Pa ram_base(next_nested_ram_);
   next_nested_ram_ += config.ram_size;
   vms_.push_back(
@@ -88,6 +94,7 @@ Vm* GuestKvm::CreateVm(const VmConfig& config) {
 
 void GuestKvm::RunVcpu(GuestEnv& env, Vcpu& vcpu, GuestMain program) {
   PvcpuState& ps = PstateOf(env);
+  // host-invariant: nested scheduling is sequenced by the workload harness.
   NEVE_CHECK_MSG(ps.running == nullptr, "virtual CPU already runs a vcpu");
   ps.running = &vcpu;
   vcpu.loaded_on_pcpu = env.vcpu().id();
@@ -98,11 +105,14 @@ void GuestKvm::RunVcpu(GuestEnv& env, Vcpu& vcpu, GuestMain program) {
     if (ns.rec == nullptr) {
       ns.rec = std::make_unique<RecState>();
       ns.rec->shadow = std::make_unique<ShadowS2>(&view_, &table_alloc_);
+      ns.rec->shadow->SetFaultInjector(&machine_->fault());
       if (vcpu.vm().config().expose_neve) {
         // The deferred access page for our guest lives in *our* memory; the
         // host translates its address through Stage-2 when emulating NEVE
         // for the deeper level (section 6.2).
-        NEVE_CHECK(next_nested_ram_ + kPageSize <= nested_ram_end_);
+        NEVE_GUEST_CHECK(next_nested_ram_ + kPageSize <= nested_ram_end_,
+                         "guest_oom",
+                         "guest hypervisor out of memory for a deferred page");
         ns.rec->page_ipa = Pa(next_nested_ram_);
         ns.rec->has_page = true;
         next_nested_ram_ += kPageSize;
@@ -234,6 +244,8 @@ void GuestKvm::SwitchOutOfNested(GuestEnv& env, Vcpu& vcpu) {
 
 void GuestKvm::OnVirtualExit(GuestEnv& env, const Syndrome& s) {
   PvcpuState& ps = PstateOf(env);
+  // host-invariant: the host only vectors here while RunVcpu has a nested
+  // vcpu loaded on this virtual CPU.
   NEVE_CHECK_MSG(ps.running != nullptr,
                  "virtual exit with no nested vcpu loaded");
   Vcpu& vcpu = *ps.running;
@@ -261,6 +273,26 @@ void GuestKvm::OnVirtualExit(GuestEnv& env, const Syndrome& s) {
 }
 
 void GuestKvm::HandleNestedExit(GuestEnv& env, Vcpu& vcpu, const Syndrome& s) {
+  if (FaultInjector& fi = machine_->fault(); FaultActive(&fi)) {
+    // Injected guest-hypervisor panic: the L1's exit handler hits its own
+    // BUG() while servicing this exit. The whole L1 VM (and everything
+    // nested inside it) dies; the host and sibling VMs do not.
+    if (fi.ShouldInject(FaultPoint::kGuestHypPanic, env.cpu().index(),
+                        env.cpu().cycles(), static_cast<uint64_t>(s.ec))) {
+      RaiseGuestFault("guest_hyp_panic",
+                      "injected guest hypervisor panic handling " +
+                          s.ToString());
+    }
+    // Injected runaway trap storm: the L1 spins issuing hypercalls forever.
+    // Only fires when the trap-livelock watchdog is armed (ShouldInject
+    // refuses otherwise), which converts the storm into a confined kill.
+    if (fi.ShouldInject(FaultPoint::kTrapLoop, env.cpu().index(),
+                        env.cpu().cycles())) {
+      for (;;) {
+        env.Hvc(kHvcTestCall);
+      }
+    }
+  }
   if (NstateOf(vcpu).rec != nullptr) {
     HandleRecursiveExit(env, vcpu, s);
     return;
@@ -300,6 +332,12 @@ void GuestKvm::HandleNestedExit(GuestEnv& env, Vcpu& vcpu, const Syndrome& s) {
       // -- and rides the next entry's list registers either way.
       uint64_t intid = env.ReadSys(SysReg::kICC_IAR1_EL1);
       env.Compute(SwCost::kVirqInject);
+      if (intid == kSpuriousIntid) {
+        // Spurious acknowledge (1023): possible on real hardware when the
+        // interrupt vanished between exit and ack -- and injectable via the
+        // kGicSpuriousIrq fault point. Nothing to queue, nothing to EOI.
+        return;
+      }
       if (intid >= kSpiBase) {
         env.Compute(SwCost::kDeviceIo);  // backend RX processing
         vcpu.pending_virq.push_back(static_cast<uint32_t>(intid));
@@ -311,7 +349,9 @@ void GuestKvm::HandleNestedExit(GuestEnv& env, Vcpu& vcpu, const Syndrome& s) {
       env.Compute(SwCost::kHypercall);
       return;
     default:
-      NEVE_CHECK_MSG(false, "guest hypervisor: unhandled exit " + s.ToString());
+      // The guest hypervisor's exit handler has no case for this: its bug.
+      RaiseGuestFault("unhandled_exit",
+                      "guest hypervisor: unhandled exit " + s.ToString());
   }
 }
 
@@ -461,7 +501,8 @@ void GuestKvm::HandleRecursiveExit(GuestEnv& env, Vcpu& vcpu,
           env.CompleteMmio(0xD0D0'BEEF);
           return;
         default:
-          NEVE_CHECK_MSG(false, "recursive vvEL2 exit: " + s.ToString());
+          RaiseGuestFault("unhandled_exit",
+                          "recursive vvEL2 exit: " + s.ToString());
       }
       return;
 
@@ -554,8 +595,8 @@ void GuestKvm::ForwardToVvel2(GuestEnv& env, Vcpu& vcpu, const Syndrome& s) {
   if (!env.vcpu().deferred_vector_active) {
     // When we resume our guest, control must land at the L2 hypervisor's
     // exception vector.
-    NEVE_CHECK_MSG(env.vcpu().nested_sw.vel2 != nullptr,
-                   "L2 hypervisor registered no vector");
+    NEVE_GUEST_CHECK(env.vcpu().nested_sw.vel2 != nullptr, "no_vel2_vector",
+                     "L2 hypervisor registered no vector");
     env.DeferVectorCall(env.vcpu().nested_sw.vel2, s);
   }
 }
@@ -581,7 +622,10 @@ void GuestKvm::FixRecursiveShadowFault(GuestEnv& env, Vcpu& vcpu,
       ForwardToVvel2(env, vcpu, s);  // the L2's device, its problem
       return;
     case ShadowS2::FixupResult::kHostFault:
-      NEVE_CHECK_MSG(false, "recursive shadow: hole in our own Stage-2");
+      // The L2's virtual Stage-2 maps outside the memory its hypervisor (us,
+      // an L1 guest) was given: guest-attributable all the way down.
+      RaiseGuestFault("bad_guest_mapping",
+                      "recursive shadow: hole in our own Stage-2");
   }
 }
 

@@ -4,6 +4,8 @@
 #include "src/base/bits.h"
 #include "src/base/log.h"
 #include "src/base/status.h"
+#include "src/fault/fault.h"
+#include "src/fault/guest_fault.h"
 #include "src/gic/gic.h"
 
 namespace neve {
@@ -31,7 +33,9 @@ bool UsesDeferredSlot(RegId reg, bool guest_vhe) {
 
 HostKvm::HostKvm(Machine* machine, const HostKvmConfig& config)
     : machine_(machine), config_(config) {
+  // host-invariant: hypervisor construction parameters, no guest influence.
   NEVE_CHECK(machine != nullptr);
+  // host-invariant: host configuration validated against machine features.
   NEVE_CHECK_MSG(!config.vhe || machine->config().features.vhe,
                  "VHE host requires VHE hardware");
   pcpu_.resize(machine->num_cpus());
@@ -51,11 +55,13 @@ HostKvm::~HostKvm() = default;
 
 HostKvm::VcpuHostState& HostKvm::HostStateOf(Vcpu& vcpu) {
   auto it = vcpu_state_.find(&vcpu);
+  // host-invariant: vcpus only reach the host through its own CreateVm.
   NEVE_CHECK_MSG(it != vcpu_state_.end(), "vcpu not owned by this hypervisor");
   return *it->second;
 }
 
 Vm* HostKvm::CreateVm(const VmConfig& config) {
+  // host-invariant: VM configuration is host input, validated at creation.
   NEVE_CHECK_MSG(!config.virtual_el2 || machine_->config().features.nv,
                  "virtual EL2 requires ARMv8.3-NV hardware support");
   Pa ram = machine_->AllocGuestRam(config.ram_size);
@@ -109,6 +115,7 @@ ShadowS2& HostKvm::ShadowFor(Vcpu& vcpu, uint64_t vvttbr) {
   auto& slot = vcpu.shadows[vvttbr];
   if (slot == nullptr) {
     slot = std::make_unique<ShadowS2>(&machine_->mem(), &machine_->host_pool());
+    slot->SetFaultInjector(&machine_->fault());
   }
   return *slot;
 }
@@ -167,7 +174,10 @@ void HostKvm::LoadVel1State(Cpu& cpu, Vcpu& vcpu) {
 }
 
 void HostKvm::EnterVel1Mode(Cpu& cpu, Vcpu& vcpu, VcpuMode vel1_mode) {
+  // host-invariant: mode transitions are sequenced by the host's own
+  // eret/delivery emulation, not by guest-chosen values.
   NEVE_CHECK(vcpu.mode == VcpuMode::kVel2);
+  // host-invariant: callers pass one of the two literal vEL1 modes.
   NEVE_CHECK(vel1_mode == VcpuMode::kVel1Kernel ||
              vel1_mode == VcpuMode::kVel1Nested);
   VcpuHostState& hs = HostStateOf(vcpu);
@@ -179,6 +189,8 @@ void HostKvm::EnterVel1Mode(Cpu& cpu, Vcpu& vcpu, VcpuMode vel1_mode) {
 }
 
 void HostKvm::EnterVel2Mode(Cpu& cpu, Vcpu& vcpu) {
+  // host-invariant: mode transitions are sequenced by the host's own
+  // eret/delivery emulation, not by guest-chosen values.
   NEVE_CHECK(vcpu.mode == VcpuMode::kVel1Kernel ||
              vcpu.mode == VcpuMode::kVel1Nested);
   VcpuHostState& hs = HostStateOf(vcpu);
@@ -195,6 +207,7 @@ void HostKvm::EnterVel2Mode(Cpu& cpu, Vcpu& vcpu) {
 
 void HostKvm::SwitchIntoGuest(Cpu& cpu, Vcpu& vcpu) {
   PcpuState& ps = pcpu_.at(cpu.index());
+  // host-invariant: load/put pairing is the host run loop's own sequencing.
   NEVE_CHECK(!ps.guest_loaded);
   VcpuHostState& hs = HostStateOf(vcpu);
 
@@ -257,7 +270,10 @@ void HostKvm::SwitchIntoGuest(Cpu& cpu, Vcpu& vcpu) {
         cpu.Compute(PageTable::kWalkLevels * cpu.cost().tlb_walk_per_level);
         WalkResult walk = vcpu.vm().s2().Walk(Ipa(guest_vncr.baddr()),
                                               /*is_write=*/true);
-        NEVE_CHECK_MSG(walk.ok, "guest VNCR page unmapped in Stage-2");
+        // The guest hypervisor chose this VNCR base address: a bad one is
+        // its bug, confined to its VM.
+        NEVE_GUEST_CHECK(walk.ok, "vncr_unmapped",
+                         "guest VNCR page unmapped in Stage-2");
         vncr = VncrEl2::Make(walk.pa.PageBase().value, true).bits();
       }
     }
@@ -269,6 +285,7 @@ void HostKvm::SwitchIntoGuest(Cpu& cpu, Vcpu& vcpu) {
 
 void HostKvm::SwitchOutOfGuest(Cpu& cpu, Vcpu& vcpu) {
   PcpuState& ps = pcpu_.at(cpu.index());
+  // host-invariant: load/put pairing is the host run loop's own sequencing.
   NEVE_CHECK(ps.guest_loaded);
   ps.guest_loaded = false;
   VcpuHostState& hs = HostStateOf(vcpu);
@@ -315,34 +332,123 @@ void HostKvm::SwitchOutOfGuest(Cpu& cpu, Vcpu& vcpu) {
 }
 
 void HostKvm::StartGuestProgram(Cpu& cpu, Vcpu& vcpu, GuestSoftware& sw) {
+  // host-invariant: callers check sw.main before starting a program.
   NEVE_CHECK(sw.main);
+  // host-invariant: single-start is enforced by the host's own run loop.
   NEVE_CHECK(!sw.started);
   sw.started = true;
   GuestEnv env(&cpu, &vcpu);
   cpu.RunLowerEl(El::kEl1, [&] { sw.main(env); });
 }
 
-void HostKvm::RunVcpu(Vcpu& vcpu, int pcpu) {
+Status HostKvm::RunVcpu(Vcpu& vcpu, int pcpu) {
+  if (vcpu.vm().dead()) {
+    return Status::FailedPrecondition(
+        "vm '" + vcpu.vm().config().name +
+        "' was killed by a confined guest fault; RestartVm() to run it again");
+  }
   PcpuState& ps = pcpu_.at(pcpu);
+  // host-invariant: pcpu scheduling is the embedding harness's sequencing.
   NEVE_CHECK_MSG(ps.current == nullptr, "pcpu already running a vcpu");
   Cpu& cpu = machine_->cpu(pcpu);
   ps.current = &vcpu;
   vcpu.loaded_on_pcpu = pcpu;
 
-  cpu.Compute(SwCost::kVcpuLoadPut);
-  SwitchIntoGuest(cpu, vcpu);
-  StartGuestProgram(cpu, vcpu, vcpu.SoftwareFor(vcpu.mode));
-  if (vcpu.parked) {
-    // The guest stays logically running (interrupt-driven); state remains
-    // loaded and later IRQ deliveries execute against it.
-    return;
+  // Arm the trap-livelock watchdog for this entry: if the guest keeps
+  // trapping past the cycle budget without ever returning, the check at
+  // trap entry raises a confined guest fault instead of spinning forever.
+  uint64_t saved_deadline = cpu.watchdog_deadline();
+  uint64_t budget = machine_->config().fault.watchdog_budget;
+  if (budget > 0) {
+    cpu.SetWatchdogDeadline(cpu.cycles() + budget);
   }
-  if (ps.guest_loaded) {
-    SwitchOutOfGuest(cpu, vcpu);
+
+  try {
+    cpu.Compute(SwCost::kVcpuLoadPut);
+    SwitchIntoGuest(cpu, vcpu);
+    StartGuestProgram(cpu, vcpu, vcpu.SoftwareFor(vcpu.mode));
+    if (vcpu.parked) {
+      // The guest stays logically running (interrupt-driven); state remains
+      // loaded and later IRQ deliveries execute against it.
+      cpu.SetWatchdogDeadline(saved_deadline);
+      return Status::Ok();
+    }
+    if (ps.guest_loaded) {
+      SwitchOutOfGuest(cpu, vcpu);
+    }
+    cpu.Compute(SwCost::kVcpuLoadPut);
+    ps.current = nullptr;
+    vcpu.loaded_on_pcpu = -1;
+  } catch (const GuestFaultException& e) {
+    cpu.SetWatchdogDeadline(saved_deadline);
+    return ConfineGuestFault(cpu, vcpu, e);
   }
-  cpu.Compute(SwCost::kVcpuLoadPut);
-  ps.current = nullptr;
-  vcpu.loaded_on_pcpu = -1;
+  cpu.SetWatchdogDeadline(saved_deadline);
+  return Status::Ok();
+}
+
+Status HostKvm::ConfineGuestFault(Cpu& cpu, Vcpu& vcpu,
+                                  const GuestFaultException& e) {
+  Vm& vm = vcpu.vm();
+  vm.set_dead(true);
+  if (Observability& obs = machine_->obs(); ObsActive(&obs)) {
+    obs.metrics().Counter("fault.vm_kills").Add(1);
+    obs.metrics().Counter(std::string("fault.kill.") + e.kind()).Add(1);
+    obs.tracer().Instant(cpu.index(), "fault", "vm_kill", cpu.cycles());
+  }
+
+  // Drop the dead VM's run-time state from every pcpu it may be loaded on
+  // (multi-vcpu VMs park siblings on other pcpus).
+  for (size_t p = 0; p < pcpu_.size(); ++p) {
+    PcpuState& ps = pcpu_[p];
+    if (ps.current != nullptr && &ps.current->vm() == &vm) {
+      ps.current = nullptr;
+      ps.guest_loaded = false;
+      ps.lrs_loaded = 0;
+    }
+  }
+  for (int i = 0; i < vm.num_vcpus(); ++i) {
+    Vcpu& v = vm.vcpu(i);
+    v.loaded_on_pcpu = -1;
+    v.parked = false;
+    v.vel2_handler_active = false;
+    v.deferred_vector.reset();
+    v.deferred_vector_active = false;
+    v.mmio_retry = false;
+    v.pending_virq.clear();
+  }
+
+  // The fault unwound out of an arbitrary point of the world-switch /
+  // emulation code: put the hardware back into a clean host configuration
+  // (trap controls, deferred page off, no Stage-2, empty list registers).
+  // No costs are charged -- the VM is gone, there is nothing to measure.
+  cpu.PokeReg(RegId::kHCR_EL2, HostHcr());
+  cpu.PokeReg(RegId::kVNCR_EL2, 0);
+  cpu.PokeReg(RegId::kVTTBR_EL2, 0);
+  for (int i = 0; i < machine_->gic().num_list_regs(); ++i) {
+    cpu.PokeReg(IchListRegister(i), 0);
+  }
+  machine_->gic().SyncStatusRegs(cpu);
+
+  return Status::Internal("guest fault [" + std::string(e.kind()) + "] " +
+                          e.what() + " (vm '" + vm.config().name +
+                          "' killed)");
+}
+
+void HostKvm::RestartVm(Vm& vm) {
+  vm.set_dead(false);
+  vm.bump_generation();
+  for (int i = 0; i < vm.num_vcpus(); ++i) {
+    Vcpu& vcpu = vm.vcpu(i);
+    vcpu.ResetRuntimeState();  // keeps vncr_hw_page: the host owns that page
+    auto it = vcpu_state_.find(&vcpu);
+    if (it != vcpu_state_.end()) {
+      *it->second = VcpuHostState{};
+    }
+  }
+  if (Observability& obs = machine_->obs(); ObsActive(&obs)) {
+    obs.metrics().Counter("fault.vm_restarts").Add(1);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +457,7 @@ void HostKvm::RunVcpu(Vcpu& vcpu, int pcpu) {
 
 TrapOutcome HostKvm::OnTrapToEl2(Cpu& cpu, const Syndrome& s) {
   PcpuState& ps = pcpu_.at(cpu.index());
+  // host-invariant: traps only fire while RunVcpu has a vcpu loaded.
   NEVE_CHECK_MSG(ps.current != nullptr, "trap with no vcpu loaded");
   Vcpu& vcpu = *ps.current;
   ++vcpu.exits;
@@ -411,7 +518,9 @@ TrapOutcome HostKvm::HandleExit(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
       return TrapOutcome::Completed();
     }
     default:
-      NEVE_CHECK_MSG(false, "unhandled exit: " + s.ToString());
+      // The guest triggered an exit class the host does not handle: its
+      // problem, not the machine's. Kill the VM, keep simulating.
+      RaiseGuestFault("unhandled_exit", "unhandled exit: " + s.ToString());
   }
   return TrapOutcome::Completed();
 }
@@ -495,7 +604,9 @@ TrapOutcome HostKvm::HandleSysRegTrap(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
       default:
         break;
     }
-    NEVE_CHECK(slot != nullptr);
+    // The guest hypervisor picked the trapped EL02 encoding.
+    NEVE_GUEST_CHECK(slot != nullptr, "el02_unmodeled",
+                     "unmodeled EL02 timer register access");
     if (s.is_write) {
       *slot = s.write_value;
       return TrapOutcome::Completed();
@@ -535,6 +646,10 @@ TrapOutcome HostKvm::HandleSysRegTrap(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
 }
 
 TrapOutcome HostKvm::HandleEret(Cpu& cpu, Vcpu& vcpu) {
+  // Hardware only traps eret when HCR_EL2.NV is set, which the host programs
+  // exclusively for vEL2 contexts (nested_is_hyp erets are routed to
+  // DeliverToVel2 by HandleExit before reaching here).
+  // host-invariant: eret traps cannot come from non-vEL2 modes.
   NEVE_CHECK_MSG(vcpu.mode == VcpuMode::kVel2,
                  "eret trap outside virtual EL2");
   cpu.Compute(SwCost::kEretEmulate);
@@ -592,6 +707,16 @@ TrapOutcome HostKvm::HandleDataAbort(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
     // retry) or the guest hypervisor itself left it unmapped (forward: its
     // device, its problem).
     cpu.Compute(SwCost::kShadowFixup);
+    // Injected Stage-2 external abort: the memory system reported an
+    // uncorrectable error on the nested access. KVM's policy for SEA during
+    // a guest access is to kill the VM -- model exactly that, confined.
+    if (FaultInjector& fi = machine_->fault();
+        FaultActive(&fi) &&
+        fi.ShouldInject(FaultPoint::kShadowS2ExternalAbort, cpu.index(),
+                        cpu.cycles(), ipa.value)) {
+      RaiseGuestFault("s2_external_abort",
+                      "injected Stage-2 external abort on nested access");
+    }
     uint64_t vvttbr = ReadVel2Reg(cpu, vcpu, RegId::kVTTBR_EL2);
     GuestPhysView view(&machine_->mem(), &vcpu.vm().s2());
     ShadowS2::FixupResult result;
@@ -627,7 +752,10 @@ TrapOutcome HostKvm::HandleDataAbort(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
         }
         return TrapOutcome::Completed(vcpu.mmio_result);
       case ShadowS2::FixupResult::kHostFault:
-        NEVE_CHECK_MSG(false, "host Stage-2 hole under shadow fault");
+        // The guest hypervisor's virtual Stage-2 points at an L1 IPA the
+        // host never mapped (outside its RAM): guest-attributable.
+        RaiseGuestFault("bad_guest_mapping",
+                        "guest virtual Stage-2 maps outside the VM's memory");
     }
     return TrapOutcome::Completed();
   }
@@ -640,7 +768,9 @@ TrapOutcome HostKvm::HandleDataAbort(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
       ipa.value < kGichMmioBase + kPageSize) {
     cpu.Compute(SwCost::kVgicEmulate);
     auto reg = static_cast<RegId>((ipa.value - kGichMmioBase) / 8);
-    NEVE_CHECK_MSG(IsIchRegister(reg), "GICH access outside the ICH block");
+    // The guest hypervisor computed this GICH offset.
+    NEVE_GUEST_CHECK(IsIchRegister(reg), "gich_oob",
+                     "GICH access outside the ICH block");
     if (s.abort_is_write) {
       WriteVel2Reg(cpu, vcpu, reg, s.write_value);
       return TrapOutcome::Completed();
@@ -649,8 +779,11 @@ TrapOutcome HostKvm::HandleDataAbort(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
   }
 
   const MmioRange* range = vcpu.vm().FindMmio(ipa);
-  NEVE_CHECK_MSG(range != nullptr,
-                 "Stage-2 fault on unmapped non-MMIO address");
+  // The guest accessed an address its hypervisor never mapped or registered
+  // as a device: real KVM delivers SIGBUS / an external abort and the VM
+  // dies. Confine it the same way.
+  NEVE_GUEST_CHECK(range != nullptr, "unmapped_mmio",
+                   "Stage-2 fault on unmapped non-MMIO address");
   uint64_t offset = ipa.value - range->base.value;
   if (s.abort_is_write) {
     range->device->MmioWrite(cpu, offset, s.write_value);
@@ -664,6 +797,7 @@ TrapOutcome HostKvm::HandleDataAbort(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
 // ---------------------------------------------------------------------------
 
 void HostKvm::DeliverToVel2(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
+  // host-invariant: callers only forward exits for virtual_el2 VMs.
   NEVE_CHECK(vcpu.vm().config().virtual_el2);
   ++vcpu.vel2_deliveries;
   cpu.Compute(SwCost::kVel2Deliver);
@@ -698,7 +832,10 @@ void HostKvm::DeliverToVel2(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
 
   if (!kernel_bounce) {
     GuestSoftware& sw = vcpu.main_sw;
-    NEVE_CHECK_MSG(sw.vel2 != nullptr, "no virtual EL2 vector registered");
+    // A guest hypervisor that takes exits before registering its vector is
+    // a broken guest hypervisor.
+    NEVE_GUEST_CHECK(sw.vel2 != nullptr, "no_vel2_vector",
+                     "no virtual EL2 vector registered");
     SwitchIntoGuest(cpu, vcpu);
     vcpu.vel2_handler_active = true;
     GuestEnv env(&cpu, &vcpu);
@@ -764,6 +901,8 @@ void HostKvm::OnPhysIrq(int target_pcpu, uint32_t intid,
     cpu.Compute(SwCost::kIrqTriageHost);
     return;
   }
+  // host-invariant: ps.current is only set while guest state is loaded
+  // (RunVcpu / confinement keep the two coherent).
   NEVE_CHECK(ps.guest_loaded);
 
   // Hardware IRQ exit from the running guest.

@@ -23,11 +23,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/status.h"
 #include "src/hyp/vm.h"
 #include "src/hyp/world_switch.h"
 #include "src/sim/machine.h"
 
 namespace neve {
+
+class GuestFaultException;
 
 struct HostKvmConfig {
   // Host hypervisor operating mode. The paper's testbed host is ARMv8.0
@@ -54,7 +57,20 @@ class HostKvm : public El2Host {
   Vm* CreateVm(const VmConfig& config);
 
   // Runs `vcpu.main_sw` on physical CPU `pcpu` until it returns or parks.
-  void RunVcpu(Vcpu& vcpu, int pcpu);
+  //
+  // Fault confinement boundary: a guest-attributable fault raised anywhere
+  // below this frame (trapped emulation, device models, shadow walks, the
+  // trap-livelock watchdog) unwinds to here, kills only `vcpu`'s VM, restores
+  // the host context on the pcpu, and surfaces as an error Status. The
+  // machine and every other VM keep running. Returns OkStatus on a normal
+  // run, FailedPrecondition when the VM is already dead.
+  Status RunVcpu(Vcpu& vcpu, int pcpu);
+
+  // Brings a killed VM back: clears the dead flag, resets every vCPU's
+  // run-time state (software slots, shadows, pending interrupts, registers)
+  // and the host-side per-vcpu context, and bumps the VM's generation.
+  // The caller re-registers software images and calls RunVcpu again.
+  void RestartVm(Vm& vm);
 
   // Injects a virtual interrupt for `vcpu`. If the vCPU is loaded on another
   // physical CPU, kicks it (physical SGI) and the delivery runs there,
@@ -145,6 +161,12 @@ class HostKvm : public El2Host {
   // --- interrupts ------------------------------------------------------------
   void DeliverVirqsToLoadedVcpu(Cpu& cpu, Vcpu& vcpu);
   void DeliverLoadedLrToGuestSw(Cpu& cpu, Vcpu& vcpu);
+
+  // --- fault confinement ----------------------------------------------------
+  // Kills `vcpu`'s VM after a guest-attributable fault: records fault.*
+  // metrics and a tracer episode, marks the VM dead, drops its run-time
+  // state from every pcpu, and restores the host context on `cpu`.
+  Status ConfineGuestFault(Cpu& cpu, Vcpu& vcpu, const GuestFaultException& e);
 
   Machine* machine_;
   HostKvmConfig config_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/base/status.h"
+#include "src/fault/fault.h"
+#include "src/fault/guest_fault.h"
 #include "src/hyp/world_switch.h"
 
 namespace neve {
@@ -18,6 +20,7 @@ VirtioBackend::VirtioBackend(MemIo* guest_mem, Pa ring_base,
     : guest_mem_(guest_mem),
       ring_base_(ring_base),
       per_buffer_cycles_(per_buffer_cycles) {
+  // host-invariant: backend wiring is host/embedder construction code.
   NEVE_CHECK(guest_mem != nullptr);
 }
 
@@ -45,12 +48,24 @@ void VirtioBackend::MmioWrite(Cpu& cpu, uint64_t offset, uint64_t value) {
   // without further notification", section 7.2).
   Write(L::kUsedFlags, L::kNoNotify);
   ProcessAvail(cpu);
+  // Injected ring corruption: the used.idx update tears (as a non-atomic
+  // 64-bit store racing the frontend would), leaving an index further ahead
+  // than the queue can hold. The frontend's ReapUsed detects it.
+  if (FaultActive(fault_) &&
+      fault_->ShouldInject(FaultPoint::kVirtioRingCorruption, cpu.index(),
+                           cpu.cycles(), kicks_)) {
+    Write(L::kUsedIdx, Read(L::kUsedIdx) + L::kQueueSize + 7);
+  }
 }
 
 int VirtioBackend::ProcessAvail(Cpu& cpu) {
   ScopedSpan span(cpu.obs(), cpu, "virtio", "process_avail");
   uint64_t avail = Read(L::kAvailIdx);
   uint64_t used = Read(L::kUsedIdx);
+  // The ring lives in guest memory: an avail.idx further ahead than the
+  // queue size is guest corruption, not a backend bug.
+  NEVE_GUEST_CHECK(avail - last_avail_ <= L::kQueueSize, "virtio_ring",
+                   "virtio avail.idx ran past the queue size");
   int processed = 0;
   while (last_avail_ < avail) {
     int slot = static_cast<int>(last_avail_ % L::kQueueSize);
@@ -86,6 +101,8 @@ void VirtioBackend::Poll(uint64_t now_cycles) {
 void VirtioBackend::ProcessAvailOnThread() {
   uint64_t avail = Read(L::kAvailIdx);
   uint64_t used = Read(L::kUsedIdx);
+  NEVE_GUEST_CHECK(avail - last_avail_ <= L::kQueueSize, "virtio_ring",
+                   "virtio avail.idx ran past the queue size");
   while (last_avail_ < avail) {
     int slot = static_cast<int>(last_avail_ % L::kQueueSize);
     uint64_t desc = Read(L::AvailSlot(slot));
@@ -138,6 +155,12 @@ bool VirtioDriver::SendBuffer(GuestEnv& env, uint64_t addr, uint64_t len) {
 
 int VirtioDriver::ReapUsed(GuestEnv& env) {
   uint64_t used = env.Load(Va(base_.value + L::kUsedIdx));
+  // A used.idx more than one queue's worth ahead of what we reaped cannot
+  // come from a well-behaved backend: the ring is torn (e.g. an injected
+  // kVirtioRingCorruption). A real driver BUG()s here; the VM dies, the
+  // machine does not.
+  NEVE_GUEST_CHECK(used - last_used_ <= L::kQueueSize, "virtio_ring",
+                   "virtio used.idx ran past the queue size (torn ring)");
   int reaped = 0;
   while (last_used_ < used) {
     (void)env.Load(Va(base_.value +

@@ -33,6 +33,8 @@
 
 namespace neve {
 
+class FaultInjector;
+
 struct VringLayout {
   static constexpr int kQueueSize = 16;
   static constexpr uint64_t kDescTable = 0x000;
@@ -85,6 +87,10 @@ class VirtioBackend : public MmioDevice {
   // arriving before this need no kick.
   bool BusyAt(uint64_t now_cycles) const { return now_cycles < busy_until_; }
 
+  // Machine-wide fault injector (kVirtioRingCorruption: a kick may tear the
+  // used.idx the frontend reads). May stay null.
+  void SetFaultInjector(FaultInjector* fault) { fault_ = fault; }
+
   uint64_t kicks() const { return kicks_; }
   uint64_t buffers_processed() const { return buffers_processed_; }
   uint64_t busy_until() const { return busy_until_; }
@@ -100,6 +106,7 @@ class VirtioBackend : public MmioDevice {
 
   MemIo* guest_mem_;
   Pa ring_base_;
+  FaultInjector* fault_ = nullptr;
   uint32_t per_buffer_cycles_;
   uint64_t last_avail_ = 0;
   uint64_t busy_until_ = 0;

@@ -18,10 +18,34 @@ const char* VcpuModeName(VcpuMode mode) {
   return "?";
 }
 
+void Vcpu::ResetRuntimeState() {
+  mode = vm_->config().virtual_el2 ? VcpuMode::kVel2 : VcpuMode::kGuest;
+  main_sw = GuestSoftware{};
+  nested_sw = GuestSoftware{};
+  nested2_sw = GuestSoftware{};
+  active_nested = &nested_sw;
+  vel2_handler_active = false;
+  parked = false;
+  loaded_on_pcpu = -1;
+  nested_is_hyp = false;
+  nested_hcr = 0;
+  deferred_vector.reset();
+  deferred_vector_active = false;
+  mmio_retry = false;
+  shadows.clear();
+  pending_virq.clear();
+  mmio_result = 0;
+  for (size_t i = 0; i < kNumRegIds; ++i) {
+    vregs_[i] = 0;
+  }
+}
+
 Vm::Vm(const VmConfig& config, Pa ram_base, MemIo* table_mem,
        PageAllocator* table_alloc)
     : config_(config), ram_base_(ram_base), s2_(table_mem, table_alloc) {
+  // host-invariant: VM configuration is host input, validated at creation.
   NEVE_CHECK(config.num_vcpus > 0);
+  // host-invariant: VM configuration is host input, validated at creation.
   NEVE_CHECK(!config.expose_neve || config.virtual_el2);
   // Identity-with-offset Stage-2: guest IPA [0, ram_size) -> creator
   // physical [ram_base, ram_base + ram_size).
@@ -35,6 +59,7 @@ Vm::Vm(const VmConfig& config, Pa ram_base, MemIo* table_mem,
 }
 
 void Vm::AddMmioRange(Ipa base, uint64_t size, MmioDevice* device) {
+  // host-invariant: device wiring is host code, not guest-controlled.
   NEVE_CHECK(device != nullptr);
   // The region must fault: unmap it from Stage-2 (it may overlap RAM
   // mappings created above; devices normally sit above RAM, but be safe).

@@ -149,6 +149,12 @@ class Vcpu {
   uint64_t exits = 0;
   uint64_t vel2_deliveries = 0;
 
+  // Drops every piece of run-time state the hypervisor layers above manage
+  // (software slots, pending interrupts, shadow tables, deferred work),
+  // returning the vCPU to its just-constructed shape. Used when a confined
+  // guest fault kills the VM and when a killed VM is restarted.
+  void ResetRuntimeState();
+
  private:
   Vm* vm_;
   int id_;
@@ -175,8 +181,18 @@ class Vm {
   void AddMmioRange(Ipa base, uint64_t size, MmioDevice* device);
   const MmioRange* FindMmio(Ipa ipa) const;
 
+  // A confined guest fault killed this VM: its vCPUs refuse to run until a
+  // restart clears the flag. The rest of the machine is unaffected.
+  bool dead() const { return dead_; }
+  void set_dead(bool dead) { dead_ = dead; }
+  // How often this VM has been (re)started; bumped by HostKvm::RestartVm.
+  uint64_t generation() const { return generation_; }
+  void bump_generation() { ++generation_; }
+
  private:
   VmConfig config_;
+  bool dead_ = false;
+  uint64_t generation_ = 0;
   Pa ram_base_;
   Stage2Table s2_;
   std::vector<std::unique_ptr<Vcpu>> vcpus_;

@@ -1,12 +1,18 @@
 #include "src/mem/shadow_s2.h"
 
 #include "src/base/status.h"
+#include "src/fault/fault.h"
+#include "src/fault/guest_fault.h"
 
 namespace neve {
 
 Pa GuestPhysView::Translate(Pa ipa_as_pa, bool is_write) const {
   WalkResult walk = host_s2_->Walk(Ipa(ipa_as_pa.value), is_write);
-  NEVE_CHECK_MSG(walk.ok, "GuestPhysView: IPA not mapped in host Stage-2");
+  // A guest hypervisor controls the guest-physical addresses walked through
+  // this view (its table roots, its virtual Stage-2 contents), so an
+  // unmapped IPA here is guest-attributable: confine it to the VM.
+  NEVE_GUEST_CHECK(walk.ok, "bad_guest_mapping",
+                   "GuestPhysView: IPA not mapped in the VM's Stage-2");
   return walk.pa;
 }
 
@@ -52,6 +58,15 @@ ShadowS2::FixupResult ShadowS2::HandleFault(Ipa l2_ipa, bool is_write,
 ShadowS2::FixupResult ShadowS2::FinishFault(Ipa l2_ipa, const WalkResult& virt,
                                             bool is_write,
                                             const Stage2Table& host_s2) {
+  // Injected stale shadow: drop the whole shadow tree before this fixup, as
+  // if a lost TLBI left it out of sync. The current fault still installs its
+  // page (below), but every other previously-shadowed page refaults -- extra
+  // exit-multiplication pressure with unchanged final state.
+  if (FaultActive(fault_) &&
+      fault_->ShouldInject(FaultPoint::kShadowS2TranslationFault, /*cpu=*/-1,
+                           faults_handled_, l2_ipa.value)) {
+    table_.Reset();
+  }
   if (!virt.ok) {
     return FixupResult::kVirtualFault;
   }

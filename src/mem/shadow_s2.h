@@ -19,6 +19,8 @@
 
 namespace neve {
 
+class FaultInjector;
+
 // Memory view in a VM's IPA space: every access is translated through the
 // VM's (host-maintained) Stage-2 table before touching the parent address
 // space. The guest hypervisor's own page tables are built over this view,
@@ -74,6 +76,11 @@ class ShadowS2 {
   // all shadow entries are stale.
   void Flush() { table_.Reset(); }
 
+  // Machine-wide fault injector; when armed, HandleFault may be hit with an
+  // injected stale-shadow drop (the whole shadow tree is discarded before
+  // the fixup, forcing later refaults). May stay null.
+  void SetFaultInjector(FaultInjector* fault) { fault_ = fault; }
+
   const Stage2Table& table() const { return table_; }
   Stage2Table& table() { return table_; }
 
@@ -85,6 +92,7 @@ class ShadowS2 {
 
   Stage2Table table_;
   uint64_t faults_handled_ = 0;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace neve

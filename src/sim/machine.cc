@@ -1,5 +1,8 @@
 #include "src/sim/machine.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "src/base/bits.h"
 #include "src/base/status.h"
 
@@ -7,6 +10,7 @@ namespace neve {
 
 Machine::Machine(const MachineConfig& config)
     : config_(config),
+      fault_(config.fault),
       mem_(config.ram_size + config.host_pool_size),
       gic_(config.num_cpus),
       timer_(&gic_, config.cycles_per_timer_tick),
@@ -15,15 +19,42 @@ Machine::Machine(const MachineConfig& config)
   NEVE_CHECK(config.num_cpus > 0);
   NEVE_CHECK(IsAligned(config.ram_size, kPageSize));
   NEVE_CHECK(IsAligned(config.host_pool_size, kPageSize));
+  fault_.SetObservability(&obs_);
   gic_.SetObservability(&obs_);
+  gic_.SetFaultInjector(&fault_);
   cpus_.reserve(config.num_cpus);
   for (int i = 0; i < config.num_cpus; ++i) {
     cpus_.push_back(
         std::make_unique<Cpu>(i, config.features, config.cost, &mem_));
     cpus_.back()->SetObservability(&obs_);
+    cpus_.back()->SetFaultInjector(&fault_);
     gic_.AttachCpu(cpus_.back().get());
   }
+  // On Panic(), flush this machine's diagnostics before the abort: the
+  // metric snapshot to stderr and the trace ring as a Chrome trace file
+  // (path from NEVE_PANIC_TRACE, default neve_panic.trace.json). Only fires
+  // when the obs layer actually collected something.
+  panic_hook_id_ = AddPanicHook([this] {
+    if (!obs_.enabled()) {
+      return;
+    }
+    std::string report = obs_.metrics().TextReport();
+    if (!report.empty()) {
+      std::fprintf(stderr, "[neve PANIC] metric snapshot:\n%s", report.c_str());
+    }
+    if (obs_.tracer().size() > 0) {
+      const char* path = std::getenv("NEVE_PANIC_TRACE");
+      if (path == nullptr || path[0] == '\0') {
+        path = "neve_panic.trace.json";
+      }
+      if (obs_.tracer().WriteChromeJson(path)) {
+        std::fprintf(stderr, "[neve PANIC] trace ring written to %s\n", path);
+      }
+    }
+  });
 }
+
+Machine::~Machine() { RemovePanicHook(panic_hook_id_); }
 
 Pa Machine::AllocGuestRam(uint64_t size) {
   NEVE_CHECK(IsAligned(size, kPageSize));

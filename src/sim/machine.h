@@ -21,6 +21,7 @@
 #include "src/arch/features.h"
 #include "src/cpu/cost_model.h"
 #include "src/cpu/cpu.h"
+#include "src/fault/fault.h"
 #include "src/gic/gic.h"
 #include "src/mem/phys_mem.h"
 #include "src/obs/observability.h"
@@ -36,11 +37,13 @@ struct MachineConfig {
   CostModel cost = CostModel::Default();
   uint64_t cycles_per_timer_tick = 24;     // 2.4 GHz CPU, 100 MHz counter
   uint64_t ipi_wire_latency = 150;         // cycles for a cross-CPU signal
+  FaultConfig fault{};                     // fault-injection campaign (off)
 };
 
 class Machine {
  public:
   explicit Machine(const MachineConfig& config);
+  ~Machine();
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -62,6 +65,11 @@ class Machine {
   Observability& obs() { return obs_; }
   const Observability& obs() const { return obs_; }
 
+  // Machine-wide fault injector (config().fault); shared by every CPU, the
+  // GIC and the hypervisor layers. Inert unless config.fault.enabled.
+  FaultInjector& fault() { return fault_; }
+  const FaultInjector& fault() const { return fault_; }
+
   // Guest RAM carve-outs: returns the base of a fresh region of `size` bytes.
   Pa AllocGuestRam(uint64_t size);
 
@@ -71,15 +79,17 @@ class Machine {
 
  private:
   MachineConfig config_;
-  // Declared before cpus_/gic_ so the pointer handed to them outlives their
+  // Declared before cpus_/gic_ so the pointers handed to them outlive their
   // construction and destruction.
   Observability obs_;
+  FaultInjector fault_;
   PhysMem mem_;
   std::vector<std::unique_ptr<Cpu>> cpus_;
   GicV3 gic_;
   TimerUnit timer_;
   PageAllocator host_pool_;
   uint64_t next_guest_ram_;
+  int panic_hook_id_ = 0;
 };
 
 }  // namespace neve

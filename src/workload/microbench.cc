@@ -1,5 +1,6 @@
 #include "src/workload/microbench.h"
 
+#include <cstdio>
 #include <memory>
 
 #include "src/base/status.h"
@@ -128,7 +129,16 @@ GuestMain MakeIpiReceiver() {
   };
 }
 
+// Campaign applied to every bench stack that doesn't bring its own
+// (SetBenchFaultCampaign). Plain value, set once from main() before the
+// bench fans out; workers only read it.
+FaultConfig g_bench_fault;
+
 }  // namespace
+
+void SetBenchFaultCampaign(const FaultConfig& fault) {
+  g_bench_fault = fault;
+}
 
 const char* MicrobenchName(MicrobenchKind kind) {
   switch (kind) {
@@ -148,11 +158,22 @@ MicrobenchResult RunArmMicrobench(MicrobenchKind kind, const StackConfig& cfg,
                                   int iterations) {
   NEVE_CHECK(iterations > 0);
   int num_cpus = kind == MicrobenchKind::kVirtualIpi ? 2 : 1;
-  ArmStack stack(cfg, num_cpus);
+  StackConfig run_cfg = cfg;
+  if (!run_cfg.fault.enabled && g_bench_fault.enabled) {
+    run_cfg.fault = g_bench_fault;
+  }
+  ArmStack stack(run_cfg, num_cpus);
   Measure m{.stack = &stack};
   GuestMain receiver =
       kind == MicrobenchKind::kVirtualIpi ? MakeIpiReceiver() : nullptr;
-  stack.Run(MakeBenchBody(kind, &stack, &m, iterations), std::move(receiver));
+  Status status = stack.Run(MakeBenchBody(kind, &stack, &m, iterations),
+                            std::move(receiver));
+  if (!status.ok()) {
+    // Only a fault campaign can fail a run; the kill was confined to this
+    // stack's VM, so report the lost measurement and carry on.
+    std::fprintf(stderr, "microbench %s: %s\n", MicrobenchName(kind),
+                 status.ToString().c_str());
+  }
   return m.Result(iterations);
 }
 

@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "src/fault/fault.h"
+
 namespace neve {
 
 enum class MicrobenchKind {
@@ -38,13 +40,24 @@ struct StackConfig {
   // GICv2 memory-mapped hypervisor interface for the guest hypervisor
   // (instead of GICv3 system registers); see GuestKvmConfig::gicv2_mmio.
   bool gicv2_mmio = false;
+  // Fault-injection campaign for the machine (off by default). Benches fill
+  // this from --fault-seed/--fault-rate; the chaos harness drives it.
+  FaultConfig fault{};
 
   static StackConfig Vm() { return {}; }
   static StackConfig NestedV83(bool vhe) {
-    return {.nested = true, .guest_vhe = vhe, .neve = false};
+    StackConfig cfg;
+    cfg.nested = true;
+    cfg.guest_vhe = vhe;
+    cfg.neve = false;
+    return cfg;
   }
   static StackConfig NestedNeve(bool vhe) {
-    return {.nested = true, .guest_vhe = vhe, .neve = true};
+    StackConfig cfg;
+    cfg.nested = true;
+    cfg.guest_vhe = vhe;
+    cfg.neve = true;
+    return cfg;
   }
 };
 
@@ -55,6 +68,13 @@ struct MicrobenchResult {
 
 MicrobenchResult RunArmMicrobench(MicrobenchKind kind, const StackConfig& cfg,
                                   int iterations);
+
+// Process-wide fault campaign for benches (--fault-seed=/--fault-rate=,
+// assembled by FaultCampaignFromArgs). When set, RunArmMicrobench applies it
+// to every stack whose config doesn't carry its own campaign. A campaign
+// that kills the measured VM is reported on stderr and the bench keeps
+// running -- confinement means one lost measurement, not a lost process.
+void SetBenchFaultCampaign(const FaultConfig& fault);
 
 // The x86 comparison stack (Tables 1/6/7 "x86" columns): KVM x86 with VT-x,
 // Turtles-style nesting, VMCS shadowing and APICv. traps_per_op counts

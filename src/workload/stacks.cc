@@ -14,6 +14,7 @@ ArmStack::ArmStack(const StackConfig& cfg, int num_cpus)
   mc.features.neve_deferred = cfg.neve_deferred;
   mc.features.neve_redirect = cfg.neve_redirect;
   mc.features.neve_cached = cfg.neve_cached;
+  mc.fault = cfg.fault;
   machine_ = std::make_unique<Machine>(mc);
   l0_ = std::make_unique<HostKvm>(machine_.get(), HostKvmConfig{});
 
@@ -39,16 +40,18 @@ ArmStack::~ArmStack() = default;
 
 Vcpu& ArmStack::MeasuredVcpu() { return vm_->vcpu(0); }
 
-void ArmStack::Run(GuestMain body, GuestMain receiver) {
+Status ArmStack::Run(GuestMain body, GuestMain receiver) {
   NEVE_CHECK(body);
   if (!cfg_.nested) {
     if (receiver) {
       vm_->vcpu(1).main_sw.main = std::move(receiver);
-      l0_->RunVcpu(vm_->vcpu(1), /*pcpu=*/1);
+      Status s = l0_->RunVcpu(vm_->vcpu(1), /*pcpu=*/1);
+      if (!s.ok()) {
+        return s;
+      }
     }
     vm_->vcpu(0).main_sw.main = std::move(body);
-    l0_->RunVcpu(vm_->vcpu(0), /*pcpu=*/0);
-    return;
+    return l0_->RunVcpu(vm_->vcpu(0), /*pcpu=*/0);
   }
 
   GuestKvmConfig gc{.vhe = cfg_.guest_vhe, .gicv2_mmio = cfg_.gicv2_mmio};
@@ -64,13 +67,15 @@ void ArmStack::Run(GuestMain body, GuestMain receiver) {
       nvm_ = l1_->CreateVm(nvc);
       l1_->RunVcpu(env, nvm_->vcpu(1), receiver);
     };
-    l0_->RunVcpu(vm_->vcpu(1), /*pcpu=*/1);
+    Status s = l0_->RunVcpu(vm_->vcpu(1), /*pcpu=*/1);
+    if (!s.ok()) {
+      return s;
+    }
     vm_->vcpu(0).main_sw.main = [&, body](GuestEnv& env) {
       l1_->AttachVcpu(env);
       l1_->RunVcpu(env, nvm_->vcpu(0), body);
     };
-    l0_->RunVcpu(vm_->vcpu(0), /*pcpu=*/0);
-    return;
+    return l0_->RunVcpu(vm_->vcpu(0), /*pcpu=*/0);
   }
 
   vm_->vcpu(0).main_sw.main = [&, body](GuestEnv& env) {
@@ -82,7 +87,7 @@ void ArmStack::Run(GuestMain body, GuestMain receiver) {
     nvm_ = l1_->CreateVm(nvc);
     l1_->RunVcpu(env, nvm_->vcpu(0), body);
   };
-  l0_->RunVcpu(vm_->vcpu(0), /*pcpu=*/0);
+  return l0_->RunVcpu(vm_->vcpu(0), /*pcpu=*/0);
 }
 
 uint64_t ArmStack::TotalTrapsToHost() const {

@@ -37,8 +37,10 @@ class ArmStack {
 
   // Runs `body` as the measured guest on pCPU 0. When `receiver` is given,
   // it runs first on pCPU 1 and is expected to park itself (IPI target /
-  // interrupt sink).
-  void Run(GuestMain body, GuestMain receiver = nullptr);
+  // interrupt sink). Returns the first confined guest fault (the VM is dead;
+  // the machine survives) or OK; fault-free runs always return OK, so
+  // benchmark callers may ignore the result.
+  Status Run(GuestMain body, GuestMain receiver = nullptr);
 
   // The L0 vCPU carrying the measured guest (for virtual-IRQ queueing by
   // device models).

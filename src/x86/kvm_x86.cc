@@ -5,6 +5,7 @@ namespace neve {
 X86Machine::X86Machine(int num_cpus, const CostModel& cost,
                        uint64_t wire_latency)
     : wire_latency_(wire_latency) {
+  // host-invariant: machine construction parameter.
   NEVE_CHECK(num_cpus > 0);
   for (int i = 0; i < num_cpus; ++i) {
     cpus_.push_back(std::make_unique<VmxCpu>(i, cost));
@@ -25,6 +26,7 @@ uint64_t X86Machine::TotalVmexits() const {
 
 KvmX86::KvmX86(X86Machine* machine, bool vmcs_shadowing)
     : machine_(machine), vmcs_shadowing_(vmcs_shadowing) {
+  // host-invariant: hypervisor construction wiring.
   NEVE_CHECK(machine != nullptr);
   loaded_.resize(machine->num_cpus(), nullptr);
   for (int i = 0; i < machine->num_cpus(); ++i) {
@@ -53,12 +55,14 @@ void KvmX86::EnterL2Context(VmxCpu& cpu, X86Vcpu& vcpu) {
 }
 
 void KvmX86::RunVcpu(X86Vcpu& vcpu, int pcpu) {
+  // host-invariant: pcpu scheduling is harness sequencing.
   NEVE_CHECK(loaded_.at(pcpu) == nullptr);
   VmxCpu& cpu = machine_->cpu(pcpu);
   loaded_[pcpu] = &vcpu;
   vcpu.loaded_on_pcpu = pcpu;
   cpu.Compute(SwCostX86::kDispatch);  // vcpu load
   EnterL1Context(cpu, vcpu);
+  // host-invariant: single-start enforced by the harness.
   NEVE_CHECK(!vcpu.main_started);
   vcpu.main_started = true;
   cpu.RunNonRoot([&] {
@@ -98,6 +102,7 @@ void KvmX86::ReflectToL1(VmxCpu& cpu, X86Vcpu& vcpu, const X86Syndrome& s) {
   }
   EnterL1Context(cpu, vcpu);
   if (!vcpu.l1_handler_active) {
+    // host-invariant: the x86 baseline runs fixed scripted workloads that always register an L1.
     NEVE_CHECK_MSG(vcpu.l1 != nullptr, "no guest hypervisor registered");
     vcpu.l1_handler_active = true;
     cpu.RunNonRoot([&] {
@@ -141,6 +146,7 @@ X86Outcome KvmX86::HandleL0Exit(VmxCpu& cpu, X86Vcpu& vcpu,
     case ExitReason::kHlt:
       return X86Outcome::Completed();
     default:
+      // host-invariant: the x86 baseline only emits the modeled exit reasons.
       NEVE_CHECK_MSG(false, "unhandled L0 exit");
   }
   return X86Outcome::Completed();
@@ -148,6 +154,7 @@ X86Outcome KvmX86::HandleL0Exit(VmxCpu& cpu, X86Vcpu& vcpu,
 
 X86Outcome KvmX86::OnVmexit(VmxCpu& cpu, const X86Syndrome& s) {
   X86Vcpu* vcpu = loaded_.at(cpu.index());
+  // host-invariant: exits only fire while RunVcpu has a vcpu loaded.
   NEVE_CHECK_MSG(vcpu != nullptr, "vmexit with no vcpu loaded");
   ++vcpu->exits;
 
@@ -262,6 +269,7 @@ void KvmX86::DeliverIpi(X86Vcpu& target, uint32_t vector, VmxCpu* raiser) {
 
 X86GuestHyp::X86GuestHyp(X86Env* boot_env, X86Machine* machine)
     : machine_(machine) {
+  // host-invariant: construction wiring.
   NEVE_CHECK(boot_env != nullptr && machine != nullptr);
   boot_env->vcpu().l1 = this;
 }
@@ -311,6 +319,7 @@ void X86GuestHyp::HandleExitBody(X86Env& env, const X86Syndrome& s) {
     case ExitReason::kHlt:
       return;
     default:
+      // host-invariant: the x86 baseline only emits the modeled exit reasons.
       NEVE_CHECK_MSG(false, "x86 guest hypervisor: unhandled exit");
   }
 }

@@ -29,18 +29,21 @@ const char* ExitReasonName(ExitReason reason) {
 }
 
 uint64_t VmxCpu::VmreadRoot(Vmcs& vmcs, VmcsField field) {
+  // host-invariant: root-mode ops are only issued by the modeled L0.
   NEVE_CHECK(!nonroot_);
   Compute(cost_.vmread);
   return vmcs.Read(field);
 }
 
 void VmxCpu::VmwriteRoot(Vmcs& vmcs, VmcsField field, uint64_t value) {
+  // host-invariant: root-mode ops are only issued by the modeled L0.
   NEVE_CHECK(!nonroot_);
   Compute(cost_.vmwrite);
   vmcs.Write(field, value);
 }
 
 void VmxCpu::Vmptrld(Vmcs* vmcs, Vmcs* shadow, bool shadowing) {
+  // host-invariant: root-mode ops are only issued by the modeled L0.
   NEVE_CHECK(!nonroot_);
   Compute(cost_.vmwrite);  // vmptrld is roughly a VMCS access
   current_ = vmcs;
@@ -49,19 +52,23 @@ void VmxCpu::Vmptrld(Vmcs* vmcs, Vmcs* shadow, bool shadowing) {
 }
 
 void VmxCpu::RunNonRoot(const std::function<void()>& body) {
+  // host-invariant: root-mode ops are only issued by the modeled L0.
   NEVE_CHECK(!nonroot_);
   NEVE_CHECK_MSG(current_ != nullptr, "no VMCS loaded");
   // vmentry: hardware loads the full guest state from the VMCS.
   Compute(cost_.vmentry);
   nonroot_ = true;
   body();
+  // host-invariant: non-root ops are only issued from RunNonRoot bodies.
   NEVE_CHECK(nonroot_);
   nonroot_ = false;
 }
 
 X86Outcome VmxCpu::TakeVmexit(const X86Syndrome& s) {
+  // host-invariant: mode pairing is VmxCpu's own sequencing.
   NEVE_CHECK_MSG(nonroot_, "vmexit from root mode");
   NEVE_CHECK_MSG(host_ != nullptr, "no root handler installed");
+  // host-invariant: bounded by the fixed scripted workloads.
   NEVE_CHECK(exit_depth_ < 64);
   // Hardware: save guest state to the VMCS, load host state, record the
   // exit information -- one bundled operation (the CISC contrast).
@@ -83,6 +90,7 @@ X86Outcome VmxCpu::TakeVmexit(const X86Syndrome& s) {
 }
 
 uint64_t VmxCpu::Vmread(VmcsField field) {
+  // host-invariant: non-root ops are only issued from RunNonRoot bodies.
   NEVE_CHECK(nonroot_);
   if (shadowing_ && shadow_ != nullptr && FieldShadowed(field)) {
     Compute(cost_.vmread);
@@ -96,6 +104,7 @@ uint64_t VmxCpu::Vmread(VmcsField field) {
 }
 
 void VmxCpu::Vmwrite(VmcsField field, uint64_t value) {
+  // host-invariant: non-root ops are only issued from RunNonRoot bodies.
   NEVE_CHECK(nonroot_);
   if (shadowing_ && shadow_ != nullptr && FieldShadowed(field)) {
     Compute(cost_.vmwrite);

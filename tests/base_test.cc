@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <memory>
 #include <set>
+#include <utility>
 
 #include "src/base/bits.h"
 #include "src/base/log.h"
@@ -71,6 +74,46 @@ TEST(StatusOrTest, ValueOnErrorAborts) {
   EXPECT_DEATH((void)v.value(), "StatusOr::value");
 }
 
+TEST(StatusOrTest, HoldsMoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(**v, 7);
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(StatusOrTest, ValueOrReturnsValue) {
+  StatusOr<int> v = 42;
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOrTest, ValueOrReturnsFallbackOnError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, ValueOrMovesOutMoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(9);
+  std::unique_ptr<int> out = std::move(v).value_or(nullptr);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 9);
+}
+
+TEST(StatusOrTest, ValueOrFallbackForMoveOnlyError) {
+  StatusOr<std::unique_ptr<int>> v = Status::Internal("gone");
+  EXPECT_EQ(std::move(v).value_or(nullptr), nullptr);
+}
+
+TEST(StatusOrTest, ValueOrConvertsFallbackType) {
+  StatusOr<std::string> v = Status::NotFound("missing");
+  EXPECT_EQ(v.value_or("fallback"), "fallback");
+}
+
+TEST(StatusOrTest, MoveOnlyValueOnErrorAborts) {
+  StatusOr<std::unique_ptr<int>> v = Status::Internal("boom");
+  EXPECT_DEATH((void)std::move(v).value(), "StatusOr::value");
+}
+
 TEST(CheckTest, PassingCheckIsSilent) { NEVE_CHECK(1 + 1 == 2); }
 
 TEST(CheckTest, FailingCheckAborts) {
@@ -79,6 +122,31 @@ TEST(CheckTest, FailingCheckAborts) {
 
 TEST(CheckTest, FailingCheckMsgIncludesMessage) {
   EXPECT_DEATH(NEVE_CHECK_MSG(false, "vcpu exploded"), "vcpu exploded");
+}
+
+TEST(PanicHookTest, HooksRunBeforeTheAbortNewestFirst) {
+  // Panic prints its own line first, then runs hooks newest-first.
+  EXPECT_DEATH(
+      {
+        AddPanicHook([] { std::fprintf(stderr, "hook-older\n"); });
+        AddPanicHook([] { std::fprintf(stderr, "hook-newer\n"); });
+        Panic(__FILE__, __LINE__, "deliberate");
+      },
+      "deliberate(.|\n)*hook-newer(.|\n)*hook-older");
+}
+
+TEST(PanicHookTest, RemovedHookDoesNotRun) {
+  // The death-test child removes one hook before panicking. The panic line
+  // must be immediately followed by the surviving hook's marker -- anything
+  // in between would be the removed hook running.
+  EXPECT_DEATH(
+      {
+        AddPanicHook([] { std::fprintf(stderr, "survivor\n"); });
+        int id = AddPanicHook([] { std::fprintf(stderr, "removed-marker\n"); });
+        RemovePanicHook(id);
+        Panic(__FILE__, __LINE__, "deliberate");
+      },
+      "deliberate\nsurvivor");
 }
 
 // --- Bits --------------------------------------------------------------------

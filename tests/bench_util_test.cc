@@ -59,6 +59,40 @@ TEST(ThreadsFromArgsTest, ParsesAndDefaults) {
   EXPECT_EQ(ThreadsFromArgs(2, zero), DefaultBenchThreads());
 }
 
+TEST(FaultFlagsTest, DefaultsLeaveInjectionOff) {
+  char* argv[] = {Mutable("bench")};
+  EXPECT_EQ(FaultSeedFromArgs(1, argv), 0u);
+  EXPECT_EQ(FaultRateFromArgs(1, argv), 0.0);
+}
+
+TEST(FaultFlagsTest, ParsesSeedAndRateLastFlagWins) {
+  char* argv[] = {Mutable("bench"), Mutable("--fault-seed=7"),
+                  Mutable("--fault-rate=0.25"), Mutable("--fault-seed=12345"),
+                  Mutable("--fault-rate=0.5")};
+  EXPECT_EQ(FaultSeedFromArgs(5, argv), 12345u);
+  EXPECT_EQ(FaultRateFromArgs(5, argv), 0.5);
+}
+
+TEST(FaultFlagsTest, SeedIsFull64Bit) {
+  char* argv[] = {Mutable("bench"), Mutable("--fault-seed=18446744073709551615")};
+  EXPECT_EQ(FaultSeedFromArgs(2, argv), ~uint64_t{0});
+}
+
+TEST(FaultFlagsTest, CampaignEnabledOnlyByPositiveRate) {
+  char* seed_only[] = {Mutable("bench"), Mutable("--fault-seed=7")};
+  FaultConfig f = FaultCampaignFromArgs(2, seed_only);
+  EXPECT_FALSE(f.enabled);  // a seed alone must not arm injection
+  EXPECT_EQ(f.seed, 7u);
+
+  char* both[] = {Mutable("bench"), Mutable("--fault-seed=7"),
+                  Mutable("--fault-rate=0.1")};
+  f = FaultCampaignFromArgs(3, both);
+  EXPECT_TRUE(f.enabled);
+  EXPECT_EQ(f.seed, 7u);
+  EXPECT_EQ(f.rate, 0.1);
+  EXPECT_GT(f.watchdog_budget, 22'000'000u);  // clears a full nested-v8.3 boot
+}
+
 TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
   for (unsigned threads : {1u, 2u, 7u}) {
     constexpr size_t kN = 100;

@@ -7,6 +7,7 @@
 
 #include "src/arch/vncr.h"
 #include "src/cpu/cpu.h"
+#include "src/fault/guest_fault.h"
 #include "src/cpu/trace.h"
 #include "src/mem/shadow_s2.h"
 #include "src/mem/page_table.h"
@@ -185,16 +186,20 @@ TEST_F(CpuFixture, HostCodeCannotTrap) {
   EXPECT_DEATH(cpu_.EretFromVirtualEl2(), "");
 }
 
-TEST_F(CpuFixture, UndefinedAccessAbortsLikeACrash) {
-  // ARMv8.0 semantics: EL2 access from EL1 is UNDEFINED.
+TEST_F(CpuFixture, UndefinedAccessRaisesGuestFault) {
+  // ARMv8.0 semantics: EL2 access from EL1 is UNDEFINED. The crash is the
+  // guest's, so it surfaces as a confinable guest fault, not an abort.
   PhysMem mem(16ull << 20);
   Cpu v80(0, ArchFeatures::Armv80(), CostModel::Default(), &mem);
   FakeHost host;
   v80.SetEl2Host(&host);
   v80.PokeReg(RegId::kHCR_EL2, Hcr::Make({HcrBits::kImo}));
-  EXPECT_DEATH(
-      v80.RunLowerEl(El::kEl1, [&] { v80.SysRegWrite(SysReg::kVBAR_EL2, 1); }),
-      "crash");
+  try {
+    v80.RunLowerEl(El::kEl1, [&] { v80.SysRegWrite(SysReg::kVBAR_EL2, 1); });
+    FAIL() << "expected a GuestFaultException";
+  } catch (const GuestFaultException& e) {
+    EXPECT_STREQ(e.kind(), "undefined_sysreg");
+  }
 }
 
 TEST_F(CpuFixture, RunLowerElTracksElevation) {

@@ -2,6 +2,7 @@
 // nested virtualization (virtual EL2 emulation, shadow Stage-2, exit
 // forwarding), NEVE host support, and cross-CPU interrupt delivery.
 
+#include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -73,14 +74,21 @@ TEST(HostKvmTest, MmioReachesDevice) {
   EXPECT_EQ(machine.cpu(0).trace().abort_traps(), 2u);
 }
 
-TEST(HostKvmTest, UnmappedNonMmioAccessAborts) {
+TEST(HostKvmTest, UnmappedNonMmioAccessKillsOnlyTheVm) {
   Machine machine(BaseConfig(ArchFeatures::Armv83Nv()));
   HostKvm l0(&machine, {});
   Vm* vm = l0.CreateVm({.ram_size = 8ull << 20});
   vm->vcpu(0).main_sw.main = [](GuestEnv& env) {
     env.Store(Va(0x5000'0000), 1);
   };
-  EXPECT_DEATH(l0.RunVcpu(vm->vcpu(0), 0), "unmapped non-MMIO");
+  Status s = l0.RunVcpu(vm->vcpu(0), 0);
+  EXPECT_FALSE(s.ok());
+  EXPECT_THAT(s.message(), testing::HasSubstr("unmapped_mmio"));
+  EXPECT_TRUE(vm->dead());
+  // The host survives and refuses to run the dead VM again.
+  Status again = l0.RunVcpu(vm->vcpu(0), 0);
+  EXPECT_EQ(again.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(l0.LoadedVcpu(0), nullptr);
 }
 
 TEST(HostKvmTest, PlainGuestIpiAcrossPcpus) {
@@ -313,14 +321,18 @@ TEST(NeveHostTest, HostKvmCanDisableNeveUse) {
 
 TEST(V80CrashTest, GuestHypervisorWithoutNvDies) {
   // Section 2: running an unmodified hypervisor at EL1 on pre-v8.3 hardware
-  // crashes on its first EL2 register access.
+  // crashes on its first EL2 register access. The crash is the guest's: the
+  // VM dies, the host keeps running.
   Machine machine(BaseConfig(ArchFeatures::Armv80()));
   HostKvm l0(&machine, {});
   Vm* vm = l0.CreateVm({.ram_size = 8ull << 20});
   vm->vcpu(0).main_sw.main = [](GuestEnv& env) {
     env.WriteSys(SysReg::kVBAR_EL2, 0x800);
   };
-  EXPECT_DEATH(l0.RunVcpu(vm->vcpu(0), 0), "crash");
+  Status s = l0.RunVcpu(vm->vcpu(0), 0);
+  EXPECT_FALSE(s.ok());
+  EXPECT_THAT(s.message(), testing::HasSubstr("undefined_sysreg"));
+  EXPECT_TRUE(vm->dead());
 }
 
 // --- vcpu mode bookkeeping ----------------------------------------------------------

@@ -1,7 +1,9 @@
 // Unit tests for src/mem: physical memory, page tables, shadow Stage-2.
 
+#include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
+#include "src/fault/guest_fault.h"
 #include "src/mem/page_table.h"
 #include "src/base/bits.h"
 #include "src/mem/phys_mem.h"
@@ -253,8 +255,16 @@ TEST_F(ShadowFixture, GuestPhysViewTranslatesThroughHostS2) {
   EXPECT_EQ(view_.Read64(Pa(0x1000)), 0x77u);
 }
 
-TEST_F(ShadowFixture, GuestPhysViewUnmappedIpaAborts) {
-  EXPECT_DEATH(view_.Read64(Pa(17ull << 20)), "not mapped");
+TEST_F(ShadowFixture, GuestPhysViewUnmappedIpaRaisesGuestFault) {
+  // An unmapped IPA is the guest hypervisor's bug, not the host's: it
+  // raises a confinable guest fault instead of aborting the process.
+  try {
+    view_.Read64(Pa(17ull << 20));
+    FAIL() << "expected a GuestFaultException";
+  } catch (const GuestFaultException& e) {
+    EXPECT_STREQ(e.kind(), "bad_guest_mapping");
+    EXPECT_THAT(std::string(e.what()), testing::HasSubstr("not mapped"));
+  }
 }
 
 TEST_F(ShadowFixture, CollapseInstallsCombinedMapping) {

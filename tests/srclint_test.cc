@@ -189,6 +189,75 @@ TEST(SrcLintTest, BalancedTracerSpansPass) {
                   .empty());
 }
 
+// --- guest-reachable aborts --------------------------------------------------
+
+TEST(SrcLintTest, UnjustifiedCheckInHypIsFlagged) {
+  std::vector<Diagnostic> d = Lint("src/hyp/host_kvm.cc",
+                                   "void F(Vcpu& v) {\n"
+                                   "  NEVE_CHECK(v.parked);\n"
+                                   "}\n");
+  const Diagnostic* diag = Find(d, "guest-reachable-abort");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->file, "src/hyp/host_kvm.cc");
+  EXPECT_EQ(diag->line, 2);
+}
+
+TEST(SrcLintTest, UnjustifiedCheckMsgAndAbortAreFlagged) {
+  std::vector<Diagnostic> d = Lint("src/gic/gic.cc",
+                                   "void F() {\n"
+                                   "  NEVE_CHECK_MSG(x, \"boom\");\n"
+                                   "  std::abort();\n"
+                                   "}\n");
+  size_t hits = 0;
+  for (const Diagnostic& diag : d) {
+    hits += diag.check == "guest-reachable-abort" ? 1 : 0;
+  }
+  EXPECT_EQ(hits, 2u);
+}
+
+TEST(SrcLintTest, HostInvariantCommentJustifiesACheck) {
+  EXPECT_TRUE(Lint("src/hyp/vm.cc",
+                   "void F(Vm* vm) {\n"
+                   "  // host-invariant: wiring supplied by the embedder.\n"
+                   "  NEVE_CHECK(vm != nullptr);\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, HostInvariantWithinTwoLinesAboveJustifies) {
+  EXPECT_TRUE(Lint("src/x86/kvm_x86.cc",
+                   "void F(Vm* vm) {\n"
+                   "  // host-invariant: the x86 model runs only scripted\n"
+                   "  // workloads fixed at build time.\n"
+                   "  NEVE_CHECK(vm != nullptr);\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, HostInvariantThreeLinesAboveDoesNotJustify) {
+  std::vector<Diagnostic> d = Lint("src/hyp/guest_kvm.cc",
+                                   "void F(Vm* vm) {\n"
+                                   "  // host-invariant: too far away.\n"
+                                   "  // filler\n"
+                                   "  // filler\n"
+                                   "  NEVE_CHECK(vm != nullptr);\n"
+                                   "}\n");
+  EXPECT_NE(Find(d, "guest-reachable-abort"), nullptr);
+}
+
+TEST(SrcLintTest, GuestCheckIsNotAGuestReachableAbort) {
+  EXPECT_TRUE(Lint("src/hyp/virtio.cc",
+                   "void F(bool ok) {\n"
+                   "  NEVE_GUEST_CHECK(ok, \"virtio_ring\", \"torn ring\");\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, ChecksOutsideConfinedDirsAreNotFlagged) {
+  EXPECT_TRUE(Lint("src/sim/machine.cc", "NEVE_CHECK(cpu != nullptr);\n")
+                  .empty());
+}
+
 // --- the real tree -----------------------------------------------------------
 
 TEST(SrcLintTest, LoadRepoSourcesOnMissingRootIsEmpty) {

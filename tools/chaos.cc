@@ -1,0 +1,256 @@
+// chaos: seeded fault-injection campaigns over the full nested stack.
+//
+//   chaos --mode=campaign [--campaigns=N] [--fault-seed=S] [--fault-rate=R]
+//         [--watchdog=W]
+//   chaos --mode=zero   one fault-free boot per configuration, injector
+//                       armed at rate 0 (prints "config cycles traps")
+//   chaos --mode=off    the same boots with the injector disabled
+//
+// Campaign mode boots every stack configuration (plain VM, nested v8.3 with
+// the guest hypervisor in non-VHE and VHE designs, nested NEVE both ways)
+// N times under a seeded fault campaign and enforces the confinement
+// contract:
+//   - the process survives every campaign: an injected fault kills at most
+//     the faulting VM, never the machine (a process abort fails the run)
+//   - the fault.* metrics reconcile exactly with the injector's log
+//   - a campaign that killed its VM can RestartVm() and complete a clean
+//     follow-up run on the same machine
+//
+// Zero/off modes print one deterministic line per configuration;
+// tools/chaos.sh byte-compares the two outputs to prove every injection
+// gate is inert when nothing is armed.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/fault/fault.h"
+#include "src/hyp/guest_kvm.h"
+#include "src/hyp/host_kvm.h"
+#include "src/workload/stacks.h"
+
+namespace neve {
+namespace {
+
+struct NamedConfig {
+  const char* name;
+  StackConfig cfg;
+};
+
+const NamedConfig kConfigs[] = {
+    {"vm", StackConfig::Vm()},
+    {"nested-v83", StackConfig::NestedV83(/*vhe=*/false)},
+    {"nested-v83-vhe", StackConfig::NestedV83(/*vhe=*/true)},
+    {"nested-neve", StackConfig::NestedNeve(/*vhe=*/false)},
+    {"nested-neve-vhe", StackConfig::NestedNeve(/*vhe=*/true)},
+};
+
+// The boot workload: memory traffic (shadow Stage-2 fills when nested),
+// device MMIO (exit + emulation path) and hypercalls (world switches).
+GuestMain BootBody() {
+  return [](GuestEnv& env) {
+    for (int i = 0; i < 32; ++i) {
+      env.Store(Va(0x2000 + i * 0x1000), static_cast<uint64_t>(i));
+      (void)env.Load(Va(0x2000 + i * 0x1000));
+      if (i % 4 == 0) {
+        env.Store(Va(kBenchDeviceBase + 0x20), static_cast<uint64_t>(i));
+        (void)env.Load(Va(kBenchDeviceBase + 0x10));
+      }
+      env.Hvc(kHvcTestCall);
+    }
+  };
+}
+
+uint64_t CounterValue(const MetricsRegistry& metrics, const std::string& name) {
+  const MetricCounter* c = metrics.FindCounter(name);
+  return c != nullptr ? c->value() : 0;
+}
+
+struct Totals {
+  uint64_t campaigns = 0;
+  uint64_t injections = 0;
+  uint64_t kills = 0;
+  uint64_t restarts = 0;
+  uint64_t violations = 0;
+};
+
+void Violation(Totals& t, const char* config, uint64_t seed, const char* what,
+               uint64_t got, uint64_t want) {
+  std::fprintf(stderr,
+               "chaos VIOLATION [%s seed=%" PRIu64 "] %s: got %" PRIu64
+               ", want %" PRIu64 "\n",
+               config, seed, what, got, want);
+  ++t.violations;
+}
+
+void RunCampaign(const NamedConfig& nc, uint64_t seed, double rate,
+                 uint64_t watchdog, Totals& t) {
+  StackConfig cfg = nc.cfg;
+  cfg.fault.enabled = true;
+  cfg.fault.seed = seed;
+  cfg.fault.rate = rate;
+  cfg.fault.watchdog_budget = watchdog;
+  ArmStack stack(cfg, 1);
+  stack.machine().obs().set_enabled(true);
+  Status status = stack.Run(BootBody());
+  ++t.campaigns;
+
+  // Reconcile the fault metrics with the injection log, exactly.
+  const FaultInjector& fi = stack.machine().fault();
+  const MetricsRegistry& metrics = stack.machine().obs().metrics();
+  t.injections += fi.total_injections();
+  if (CounterValue(metrics, "fault.injected_total") != fi.total_injections()) {
+    Violation(t, nc.name, seed, "fault.injected_total vs log",
+              CounterValue(metrics, "fault.injected_total"),
+              fi.total_injections());
+  }
+  std::map<std::string, uint64_t> from_log;
+  for (const InjectionRecord& rec : fi.log()) {
+    ++from_log[FaultPointName(rec.point)];
+  }
+  uint64_t per_point_sum = 0;
+  for (int p = 0; p < kNumFaultPoints; ++p) {
+    FaultPoint point = static_cast<FaultPoint>(p);
+    const char* name = FaultPointName(point);
+    per_point_sum += fi.count(point);
+    if (fi.count(point) != from_log[name]) {
+      Violation(t, nc.name, seed, name, fi.count(point), from_log[name]);
+    }
+    if (CounterValue(metrics, std::string("fault.injected.") + name) !=
+        from_log[name]) {
+      Violation(t, nc.name, seed, (std::string("metric ") + name).c_str(),
+                CounterValue(metrics, std::string("fault.injected.") + name),
+                from_log[name]);
+    }
+  }
+  if (per_point_sum != fi.total_injections()) {
+    Violation(t, nc.name, seed, "per-point sum", per_point_sum,
+              fi.total_injections());
+  }
+
+  // Confinement: a failed run means exactly one confined VM kill, and the
+  // machine must still be able to restart the VM and boot it cleanly.
+  uint64_t kills = CounterValue(metrics, "fault.vm_kills");
+  if (status.ok()) {
+    if (kills != 0) {
+      Violation(t, nc.name, seed, "vm_kills on a clean run", kills, 0);
+    }
+    return;
+  }
+  t.kills += kills;
+  if (kills != 1) {
+    Violation(t, nc.name, seed, "vm_kills on a faulted run", kills, 1);
+  }
+  Vm& vm = stack.MeasuredVcpu().vm();
+  if (!vm.dead()) {
+    Violation(t, nc.name, seed, "vm.dead() after confined kill", 0, 1);
+    return;
+  }
+  stack.host().RestartVm(vm);
+  stack.machine().fault().set_enabled(false);
+  Status again = stack.Run(BootBody());
+  if (!again.ok()) {
+    std::fprintf(stderr,
+                 "chaos VIOLATION [%s seed=%" PRIu64
+                 "] restarted VM failed a fault-free run: %s\n",
+                 nc.name, seed, again.ToString().c_str());
+    ++t.violations;
+    return;
+  }
+  ++t.restarts;
+}
+
+int RunCampaigns(int campaigns, uint64_t base_seed, double rate,
+                 uint64_t watchdog) {
+  Totals t;
+  for (size_t c = 0; c < sizeof(kConfigs) / sizeof(kConfigs[0]); ++c) {
+    for (int i = 0; i < campaigns; ++i) {
+      uint64_t seed = base_seed * 1000003ull + c * 131ull + i;
+      RunCampaign(kConfigs[c], seed, rate, watchdog, t);
+    }
+  }
+  std::printf("chaos: %" PRIu64 " campaigns across %zu configs, %" PRIu64
+              " injections, %" PRIu64 " vm kills, %" PRIu64 " restarts, %"
+              PRIu64 " violations\n",
+              t.campaigns, sizeof(kConfigs) / sizeof(kConfigs[0]),
+              t.injections, t.kills, t.restarts, t.violations);
+  if (t.kills != t.restarts) {
+    std::fprintf(stderr,
+                 "chaos VIOLATION: %" PRIu64 " kills but %" PRIu64
+                 " successful restarts\n",
+                 t.kills, t.restarts);
+    return 1;
+  }
+  return t.violations == 0 ? 0 : 1;
+}
+
+// One fault-free boot per configuration. `armed` runs with the injector
+// enabled at rate 0; chaos.sh byte-compares this against the disabled run.
+int RunBaseline(bool armed) {
+  for (const NamedConfig& nc : kConfigs) {
+    StackConfig cfg = nc.cfg;
+    cfg.fault.enabled = armed;
+    cfg.fault.rate = 0.0;
+    ArmStack stack(cfg, 1);
+    Status status = stack.Run(BootBody());
+    if (!status.ok()) {
+      std::fprintf(stderr, "chaos: fault-free %s boot failed: %s\n", nc.name,
+                   status.ToString().c_str());
+      return 1;
+    }
+    if (stack.machine().fault().total_injections() != 0) {
+      std::fprintf(stderr, "chaos: %s injected at rate 0\n", nc.name);
+      return 1;
+    }
+    std::printf("%-16s cycles=%" PRIu64 " traps=%" PRIu64 "\n", nc.name,
+                stack.machine().cpu(0).cycles(), stack.TotalTrapsToHost());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string mode = "campaign";
+  int campaigns = 12;
+  // The whole nested stack boots inside ONE host RunVcpu entry, so the
+  // per-entry watchdog budget must clear the longest legitimate boot
+  // (nested-v8.3 is ~22M cycles of exit multiplication); a genuine trap
+  // livelock blows through any finite budget, so margin costs nothing.
+  uint64_t watchdog = 200'000'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+      mode = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--campaigns=", 12) == 0) {
+      campaigns = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--watchdog=", 11) == 0) {
+      watchdog = std::strtoull(argv[i] + 11, nullptr, 10);
+    }
+  }
+  uint64_t seed = FaultSeedFromArgs(argc, argv);
+  if (seed == 0) {
+    seed = 20170801;  // default campaign family
+  }
+  double rate = FaultRateFromArgs(argc, argv);
+  if (rate == 0.0) {
+    rate = 0.02;
+  }
+  if (mode == "campaign") {
+    return RunCampaigns(campaigns, seed, rate, watchdog);
+  }
+  if (mode == "zero") {
+    return RunBaseline(/*armed=*/true);
+  }
+  if (mode == "off") {
+    return RunBaseline(/*armed=*/false);
+  }
+  std::fprintf(stderr, "usage: chaos --mode=campaign|zero|off [--campaigns=N]"
+                       " [--fault-seed=S] [--fault-rate=R] [--watchdog=W]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace neve
+
+int main(int argc, char** argv) { return neve::Main(argc, argv); }

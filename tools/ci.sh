@@ -8,9 +8,13 @@
 #   tools/ci.sh tidy       clang-tidy over src/ (skipped when not installed)
 #   tools/ci.sh smoke      simcore_gbench smoke (BENCH_simcore.json) + cached
 #                          vs uncached archlint matrix-dump byte comparison
+#   tools/ci.sh chaos      extended fault-injection sweep (tools/chaos.sh)
+#                          against the asan and ubsan builds
 #
 # Every configuration runs the whole ctest suite, which includes the archlint
-# model verification and the srclint repo-convention checks.
+# model verification, the srclint repo-convention checks, and a short chaos
+# sweep; the `chaos` stage reruns the sweep with more campaigns per config
+# under both sanitizers.
 
 set -euo pipefail
 
@@ -68,6 +72,32 @@ run_smoke() {
   echo "==> [smoke] OK"
 }
 
+# Extended chaos sweep under the sanitizers: many seeded fault campaigns per
+# stack configuration, plus the zero-fault byte-identity check. The short
+# (12-campaign) sweep already runs inside every configuration's ctest; this
+# stage widens the seed coverage where memory and UB bugs actually surface.
+run_chaos() {
+  local campaigns="${CHAOS_CAMPAIGNS:-50}"
+  for name in asan ubsan; do
+    local build_dir="$ROOT/build-ci-$name"
+    if [[ ! -x "$build_dir/tools/chaos" ]]; then
+      echo "==> [chaos/$name] configure + build"
+      case "$name" in
+        asan)  cmake -B "$build_dir" -S "$ROOT" \
+                 -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+                 "-DNEVE_SANITIZE=address" >/dev/null ;;
+        ubsan) cmake -B "$build_dir" -S "$ROOT" \
+                 -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+                 "-DNEVE_SANITIZE=undefined" >/dev/null ;;
+      esac
+      cmake --build "$build_dir" -j "$JOBS" --target chaos >/dev/null
+    fi
+    echo "==> [chaos/$name] $campaigns campaigns per config"
+    bash "$ROOT/tools/chaos.sh" "$build_dir" "$campaigns"
+    echo "==> [chaos/$name] OK"
+  done
+}
+
 run_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "==> [tidy] clang-tidy not installed; skipping"
@@ -88,15 +118,17 @@ case "${1:-all}" in
   ubsan)   run_ubsan ;;
   tidy)    run_tidy ;;
   smoke)   run_smoke ;;
+  chaos)   run_chaos ;;
   all)
     run_release
     run_smoke
     run_asan
     run_ubsan
+    run_chaos
     run_tidy
     ;;
   *)
-    echo "usage: $0 [all|release|asan|ubsan|tidy|smoke]" >&2
+    echo "usage: $0 [all|release|asan|ubsan|tidy|smoke|chaos]" >&2
     exit 2
     ;;
 esac
