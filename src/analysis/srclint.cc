@@ -334,6 +334,33 @@ void LintGuestReachableAborts(const SourceFile& f,
   }
 }
 
+// --- rule: unseeded randomness in the fuzzer ---------------------------------
+
+// The fuzzer's determinism contract (stackfuzz output is a pure function of
+// --seed/--runs) dies the moment any ambient entropy source sneaks in. All
+// randomness in src/fuzz must flow from the seeded neve::Rng.
+void LintFuzzUnseededRandomness(const SourceFile& f,
+                                std::vector<Diagnostic>& d) {
+  if (f.path.rfind("src/fuzz/", 0) != 0) {
+    return;
+  }
+  static constexpr const char* kForbidden[] = {
+      "rand(",        "srand(",       "random_device",
+      "mt19937",      "minstd_rand",  "default_random_engine",
+      "drand48(",     "lrand48(",     "ranlux",
+  };
+  for (const char* pattern : kForbidden) {
+    for (size_t pos : FindCalls(f.content, pattern)) {
+      d.push_back({f.path, LineOfOffset(f.content, pos),
+                   "fuzz-unseeded-randomness",
+                   std::string(pattern) +
+                       "... is ambient entropy; src/fuzz must derive all "
+                       "randomness from the seeded neve::Rng so campaigns "
+                       "replay byte-identically"});
+    }
+  }
+}
+
 // --- rule: obs span balance --------------------------------------------------
 
 void LintSpanBalance(const SourceFile& f, std::vector<Diagnostic>& d) {
@@ -365,6 +392,7 @@ std::vector<Diagnostic> LintSources(const std::vector<SourceFile>& files) {
     LintRawRegisterAccess(f, d);
     LintTrapInstrumentation(f, d);
     LintGuestReachableAborts(f, d);
+    LintFuzzUnseededRandomness(f, d);
     LintSpanBalance(f, d);
   }
   return d;

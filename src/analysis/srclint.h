@@ -18,6 +18,12 @@
 //                         the same line or the two lines above; such checks
 //                         must be confined (NEVE_GUEST_CHECK or
 //                         RaiseGuestFault) so a guest bug kills only its VM
+//   fuzz-unseeded-randomness
+//                         ambient entropy sources (rand, std::random_device,
+//                         mt19937, drand48, ...) anywhere under src/fuzz;
+//                         the fuzzer's byte-identical-replay contract
+//                         requires every random bit to come from the seeded
+//                         neve::Rng
 //   span-balance          tracer().Begin( and tracer().End( counts match per
 //                         file, so obs spans cannot leak
 //

@@ -1,0 +1,71 @@
+// Order-sensitive 64-bit digests for architectural-state comparison.
+//
+// The differential oracles (src/fuzz, archlint's sweeps, the world-switch
+// round-trip property test) need a cheap, deterministic fingerprint of "the
+// architectural state right now" and of "every value the guest observed".
+// A digest is FNV-1a-style multiply/xor mixing: not cryptographic, but two
+// runs that diverge anywhere in a mixed stream disagree with overwhelming
+// probability, which is all a differential test needs -- a mismatch is then
+// re-diagnosed from the component values, never from the hash.
+//
+// Determinism contract: a digest is a pure function of the mixed values and
+// their order. No addresses, no iteration over unordered containers, no
+// wall-clock anywhere near this file.
+
+#ifndef NEVE_SRC_BASE_DIGEST_H_
+#define NEVE_SRC_BASE_DIGEST_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace neve {
+
+inline constexpr uint64_t kDigestSeed = 0xCBF29CE484222325ull;  // FNV basis
+
+// One mixing step: absorb `v` into `h`. The odd multiplier and the two
+// xor-shifts give full avalanche over 64 bits (splitmix64 finalizer).
+constexpr uint64_t DigestMix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return h;
+}
+
+// Convenience for hashing a few values outside a running digest.
+constexpr uint64_t DigestOf(uint64_t a) { return DigestMix(kDigestSeed, a); }
+constexpr uint64_t DigestOf(uint64_t a, uint64_t b) {
+  return DigestMix(DigestOf(a), b);
+}
+constexpr uint64_t DigestOf(uint64_t a, uint64_t b, uint64_t c) {
+  return DigestMix(DigestOf(a, b), c);
+}
+
+// Accumulator form for streams.
+class Digest {
+ public:
+  void Mix(uint64_t v) { h_ = DigestMix(h_, v); }
+  void Mix(std::string_view s) {
+    Mix(s.size());
+    uint64_t word = 0;
+    int n = 0;
+    for (unsigned char c : s) {
+      word = (word << 8) | c;
+      if (++n == 8) {
+        Mix(word);
+        word = 0;
+        n = 0;
+      }
+    }
+    if (n != 0) {
+      Mix(word);
+    }
+  }
+  uint64_t value() const { return h_; }
+
+ private:
+  uint64_t h_ = kDigestSeed;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_BASE_DIGEST_H_

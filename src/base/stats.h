@@ -35,7 +35,10 @@ class RunningStats {
     return max_;
   }
   double variance() const {
-    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    // Welford's m2 can dip fractionally below zero from floating-point
+    // cancellation when all samples are (nearly) equal; without the clamp
+    // stddev() would be sqrt(negative) = NaN.
+    return n_ > 1 ? std::max(0.0, m2_) / static_cast<double>(n_ - 1) : 0.0;
   }
   double stddev() const { return std::sqrt(variance()); }
 

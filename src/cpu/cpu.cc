@@ -2,6 +2,7 @@
 
 #include "src/arch/vncr.h"
 #include "src/base/bits.h"
+#include "src/base/digest.h"
 #include "src/base/log.h"
 #include "src/base/status.h"
 #include "src/fault/fault.h"
@@ -77,6 +78,15 @@ AccessContext Cpu::CurrentAccessContext() const {
                        .el = el_,
                        .hcr = hcr(),
                        .vncr_enabled = VncrEnabled()};
+}
+
+uint64_t Cpu::ArchStateDigest() const {
+  Digest d;
+  d.Mix(static_cast<uint64_t>(el_));
+  for (uint64_t reg : regs_) {
+    d.Mix(reg);
+  }
+  return d.value();
 }
 
 TrapOutcome Cpu::TakeTrapToEl2(const Syndrome& s, uint32_t detect_cost) {

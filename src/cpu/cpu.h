@@ -200,6 +200,16 @@ class Cpu {
   // trap_explorer example).
   AccessContext CurrentAccessContext() const;
 
+  // Order-stable digest of the architectural CPU state: the full backing
+  // register file plus the current EL. Cycle counts are deliberately *not*
+  // mixed in -- callers that need cycle identity (the resolution-cache
+  // differential oracle) compare cycles() separately so a digest mismatch
+  // always means a register/EL divergence. Simulator-side caches (TLB,
+  // resolution cache) are invisible to this digest by design: they must
+  // never change architectural state, which is exactly what the fuzz
+  // oracles use this hook to prove.
+  uint64_t ArchStateDigest() const;
+
   // The sysreg resolution fast-path cache (resolution_cache.h). Exposed so
   // tests and benches can read its counters or disable it (the uncached
   // variant in simcore_gbench, the differential checks in archlint).

@@ -1,0 +1,563 @@
+#include "src/fuzz/harness.h"
+
+#include <cstdio>
+#include <map>
+#include <string_view>
+
+#include "src/arch/hcr.h"
+#include "src/base/digest.h"
+#include "src/cpu/trap_rules.h"
+#include "src/gic/gic.h"
+#include "src/obs/coverage.h"
+#include "src/workload/stacks.h"
+
+namespace neve::fuzz {
+namespace {
+
+using ResKind = AccessResolution::Kind;
+
+std::string Hex(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+const char* KindName(ResKind k) {
+  switch (k) {
+    case ResKind::kRegister:
+      return "register";
+    case ResKind::kGicCpuIf:
+      return "gic-cpuif";
+    case ResKind::kMemory:
+      return "deferred-page";
+    case ResKind::kTrapEl2:
+      return "trap";
+    case ResKind::kUndefined:
+      return "undefined";
+  }
+  return "?";
+}
+
+// Registers whose read-back the host legitimately rewrites between guest
+// instructions: exception frames (virtual exception delivery), stack
+// pointers (mode stashing), GIC and timer state (vGIC/timer machinery).
+bool GoldenTracked(RegId r) {
+  if (IsIchRegister(r)) {
+    return false;
+  }
+  std::string_view name = RegName(r);
+  if (name.starts_with("CNT") || name.starts_with("ICC") ||
+      name.starts_with("SP_")) {
+    return false;
+  }
+  switch (r) {
+    case RegId::kESR_EL1:
+    case RegId::kESR_EL2:
+    case RegId::kFAR_EL1:
+    case RegId::kFAR_EL2:
+    case RegId::kELR_EL1:
+    case RegId::kELR_EL2:
+    case RegId::kSPSR_EL1:
+    case RegId::kSPSR_EL2:
+    case RegId::kHPFAR_EL2:
+    case RegId::kVNCR_EL2:
+      return false;
+    default:
+      return true;
+  }
+}
+
+// Read values excluded from the cross-architecture digest: live counters and
+// timer status bits advance with the cycle clock (which the two
+// architectures legitimately disagree on), and GIC CPU-interface reads
+// reflect delivery timing. Everything else a guest reads must match.
+bool ArchComparableRead(SysReg enc, const AccessResolution& res) {
+  if (res.kind == ResKind::kGicCpuIf) {
+    return false;
+  }
+  RegId r = SysRegStorage(enc);
+  std::string_view name = RegName(r);
+  if (name.starts_with("ICC")) {
+    return false;
+  }
+  switch (r) {
+    case RegId::kCNTVCT_EL0:
+    case RegId::kCNTPCT_EL0:
+    case RegId::kCNTV_CTL_EL0:
+    case RegId::kCNTP_CTL_EL0:
+    case RegId::kCNTHV_CTL_EL2:
+    case RegId::kCNTHP_CTL_EL2:
+      return false;
+    default:
+      return true;
+  }
+}
+
+class Executor {
+ public:
+  Executor(const Program& p, const VariantSpec& v, RunResult* r)
+      : p_(p), v_(v), r_(r), check_(!v.fault.enabled) {}
+
+  void Run() {
+    if (p_.cfg.nested) {
+      RunModeB();
+    } else {
+      RunModeA();
+    }
+  }
+
+ private:
+  void Prepare(Machine& machine) {
+    machine.obs().set_enabled(true);
+    for (int i = 0; i < machine.num_cpus(); ++i) {
+      machine.cpu(i).resolution_cache().set_enabled(v_.cache_enabled);
+    }
+  }
+
+  // Mode A: the fuzzed program IS the guest hypervisor, running in virtual
+  // EL2 directly under the host -- the tightest loop around the NV/NEVE
+  // emulation machinery.
+  void RunModeA() {
+    MachineConfig mc;
+    mc.num_cpus = 1;
+    mc.ram_size = 64ull << 20;
+    mc.features =
+        v_.neve ? ArchFeatures::Armv84Neve() : ArchFeatures::Armv83Nv();
+    mc.fault = v_.fault;
+    Machine machine(mc);
+    Prepare(machine);
+    HostKvm l0(&machine, {.vhe = false, .use_neve = v_.neve});
+    Vm* vm = l0.CreateVm({.name = "fuzz-l1",
+                          .ram_size = 32ull << 20,
+                          .virtual_el2 = true,
+                          .expose_neve = v_.neve,
+                          .guest_vhe = p_.cfg.guest_vhe});
+    Vcpu& vcpu = vm->vcpu(0);
+    vcpu.main_sw.main = [this](GuestEnv& env) {
+      env.SetIrqHandler(
+          [this](GuestEnv& e, uint32_t intid) { OnIrq(e, intid); });
+      // The nested image is memory-free: with no guest hypervisor building
+      // Stage-2 tables for it, any L2 memory access would die in the shadow
+      // walk. Its hvc exercises the forward-to-virtual-EL2 path.
+      env.SetNestedProgram([this](GuestEnv& e) {
+        ++r_->nested_entries;
+        e.Compute(64);
+        e.Hvc(kHvcTestCall);
+      });
+      RunOps(env);
+    };
+    r_->status = l0.RunVcpu(vcpu, 0);
+    Finish(machine, machine.cpu(0), vcpu);
+  }
+
+  // Mode B: the fuzzed program runs at L2 under a real GuestKvm guest
+  // hypervisor -- every trap multiplies through forwarding, shadow Stage-2
+  // and the guest hypervisor's own (trappable) emulation work.
+  void RunModeB() {
+    StackConfig sc = v_.neve ? StackConfig::NestedNeve(p_.cfg.guest_vhe)
+                             : StackConfig::NestedV83(p_.cfg.guest_vhe);
+    sc.fault = v_.fault;
+    ArmStack stack(sc, /*num_cpus=*/1);
+    Prepare(stack.machine());
+    r_->status = stack.Run([this](GuestEnv& env) {
+      env.SetIrqHandler(
+          [this](GuestEnv& e, uint32_t intid) { OnIrq(e, intid); });
+      RunOps(env);
+    });
+    Finish(stack.machine(), stack.machine().cpu(0), stack.MeasuredVcpu());
+  }
+
+  void RunOps(GuestEnv& env) {
+    for (const FuzzOp& op : p_.ops) {
+      op_index_ = static_cast<int>(r_->ops_executed);
+      ExecOp(env, op);
+      ++r_->ops_executed;
+    }
+  }
+
+  void OnIrq(GuestEnv& env, uint32_t intid) {
+    ++r_->irqs_taken;
+    full_.Mix(DigestOf(0x1290, intid));
+    arch_.Mix(DigestOf(0x1291, intid));
+    uint64_t iar = env.ReadSys(DirectEncodingOf(RegId::kICC_IAR1_EL1));
+    full_.Mix(iar);
+    if ((iar & 0xFFFFFFu) != 1023) {
+      env.WriteSys(DirectEncodingOf(RegId::kICC_EOIR1_EL1), iar);
+    }
+  }
+
+  void ExecOp(GuestEnv& env, const FuzzOp& op) {
+    const bool nested = p_.cfg.nested;
+    switch (op.kind) {
+      case OpKind::kSysRead:
+        SysAccess(env, op.enc, /*is_write=*/false, 0);
+        break;
+      case OpKind::kSysWrite:
+        SysAccess(env, op.enc, /*is_write=*/true, op.value);
+        break;
+      case OpKind::kHcrFlip: {
+        if (nested) {
+          // HCR_EL2 is UNDEFINED at L2's EL1; flip a benign VM register so
+          // the op survives mode B instead of always ending the program.
+          SysAccess(env, DirectEncodingOf(RegId::kCONTEXTIDR_EL1),
+                    /*is_write=*/true, op.value);
+          break;
+        }
+        SysReg hcr = DirectEncodingOf(RegId::kHCR_EL2);
+        uint64_t cur = SysAccess(env, hcr, /*is_write=*/false, 0);
+        SysAccess(env, hcr, /*is_write=*/true,
+                  cur ^ (op.value & kHcrFlipMask));
+        break;
+      }
+      case OpKind::kHvc:
+        NonSys(env, [&] { env.Hvc(op.imm); });
+        break;
+      case OpKind::kEret:
+        if (!nested && env.vcpu().mode == VcpuMode::kVel2) {
+          NonSys(env, [&] { env.EretToGuest(); });
+        } else {
+          env.Compute(32);
+        }
+        break;
+      case OpKind::kCurrentEl: {
+        uint64_t el = static_cast<uint64_t>(env.CurrentEl());
+        full_.Mix(DigestOf(0x2200, el));
+        arch_.Mix(DigestOf(0x2201, el));  // the NV disguise must agree
+        break;
+      }
+      case OpKind::kMemLoad:
+      case OpKind::kMemStore: {
+        if (!nested && env.vcpu().mode == VcpuMode::kVel1Nested) {
+          // Mode A's nested context has no Stage-2 tables behind it; a
+          // memory access would die in the shadow walk either way, but the
+          // walk consumes the fault budget non-portably. Skip.
+          env.Compute(16);
+          break;
+        }
+        NonSys(env, [&] {
+          if (op.kind == OpKind::kMemStore) {
+            env.Store(Va(op.addr), op.value);
+            arch_.Mix(DigestOf(0x3300, op.addr, op.value));
+          } else {
+            uint64_t v = env.Load(Va(op.addr));
+            full_.Mix(v);
+            arch_.Mix(DigestOf(0x3301, op.addr, v));
+          }
+        });
+        break;
+      }
+      case OpKind::kDeviceLoad:
+      case OpKind::kDeviceStore: {
+        if (!nested) {
+          env.Compute(16);  // mode A wires no MMIO device
+          break;
+        }
+        uint64_t addr = kBenchDeviceBase + op.addr;
+        NonSys(env, [&] {
+          if (op.kind == OpKind::kDeviceStore) {
+            env.Store(Va(addr), op.value);
+          } else {
+            uint64_t v = env.Load(Va(addr));
+            full_.Mix(v);
+            arch_.Mix(DigestOf(0x3302, op.addr, v));
+          }
+        });
+        break;
+      }
+      case OpKind::kSgi:
+        // Self-SGI: delivery (vGIC emulation, list registers, the IRQ
+        // handler above) completes within the write's trap handling, but
+        // may take more than one host trap even single-level.
+        SysAccess(env, DirectEncodingOf(RegId::kICC_SGI1R_EL1),
+                  /*is_write=*/true, SgiR::Make(0b1, op.imm),
+                  /*multi_trap_ok=*/true);
+        break;
+      case OpKind::kWfi:
+        NonSys(env, [&] { env.Wfi(); });
+        break;
+      case OpKind::kBarrier:
+        env.Barrier();
+        break;
+      case OpKind::kTlbi:
+        NonSys(env, [&] { env.TlbiAll(); });
+        break;
+      case OpKind::kCompute:
+        env.Compute(static_cast<uint32_t>(op.value));
+        break;
+    }
+  }
+
+  // Non-sysreg op: record the trap delta in the full digest (cache pairs
+  // must agree on it) without predicting it.
+  template <typename F>
+  void NonSys(GuestEnv& env, F&& f) {
+    uint64_t t0 = env.cpu().trace().traps_to_el2();
+    f();
+    full_.Mix(DigestOf(0x4400, env.cpu().trace().traps_to_el2() - t0));
+  }
+
+  uint64_t SysAccess(GuestEnv& env, SysReg enc, bool is_write, uint64_t wval,
+                     bool multi_trap_ok = false) {
+    Cpu& cpu = env.cpu();
+    VcpuMode mode_before = env.vcpu().mode;
+    AccessResolution res =
+        ResolveSysRegAccess(cpu.CurrentAccessContext(), enc, is_write);
+    uint64_t t0 = cpu.trace().traps_to_el2();
+    // An UNDEFINED access raises a confined guest fault here: everything
+    // below is skipped and the run ends -- at the same op in both stacks of
+    // a pair, which the status/ops_executed comparisons then verify.
+    uint64_t value = 0;
+    if (is_write) {
+      env.WriteSys(enc, wval);
+    } else {
+      value = env.ReadSys(enc);
+    }
+    uint64_t dt = cpu.trace().traps_to_el2() - t0;
+
+    uint64_t key = static_cast<uint64_t>(enc) * 2 + (is_write ? 1 : 0);
+    full_.Mix(DigestOf(key, value, dt));
+    if (!is_write && ArchComparableRead(enc, res)) {
+      arch_.Mix(DigestOf(key, value));
+    }
+    features_.push_back(
+        DigestOf(key, (static_cast<uint64_t>(res.kind) << 8) |
+                          (static_cast<uint64_t>(mode_before) << 4) |
+                          (v_.neve ? 1 : 0)));
+
+    if (check_) {
+      bool predicted = res.kind == ResKind::kTrapEl2;
+      if (!predicted && dt != 0) {
+        Violation(enc, is_write, res, mode_before,
+                  "predicted " + std::string(KindName(res.kind)) +
+                      " (no trap), observed " + std::to_string(dt) +
+                      " trap(s)");
+      } else if (predicted && dt == 0) {
+        Violation(enc, is_write, res, mode_before,
+                  "predicted trap, observed none");
+      } else if (predicted && !p_.cfg.nested && !multi_trap_ok && dt != 1) {
+        Violation(enc, is_write, res, mode_before,
+                  "predicted exactly one trap, observed " +
+                      std::to_string(dt));
+      }
+    }
+
+    if (check_ && !p_.cfg.nested && mode_before == VcpuMode::kVel2 &&
+        env.vcpu().mode == VcpuMode::kVel2 && res.kind != ResKind::kUndefined) {
+      RegId storage = SysRegStorage(enc);
+      if (GoldenTracked(storage)) {
+        // Key the shadow by the resolved *destination*, not the backing
+        // RegId: at virtual EL2 with virtual E2H, FOO_EL12 (the VM's
+        // register) and FOO_EL1 (the guest hypervisor's own register) share
+        // a backing RegId but are distinct architectural registers -- one
+        // lands in the trapped/deferred VM context, the other in the live
+        // hardware register. Same-destination read-after-write must still
+        // round-trip exactly.
+        uint64_t key = GoldenKey(storage, res);
+        if (is_write) {
+          golden_[key] = wval;
+        } else if (auto it = golden_.find(key);
+                   it != golden_.end() && it->second != value) {
+          r_->violations.push_back(
+              "vel2-golden: op " + std::to_string(op_index_) + " " +
+              SysRegName(enc) + " read " + Hex(value) + ", golden model has " +
+              Hex(it->second) + " [" + (v_.neve ? "neve" : "v83") + "]");
+        }
+      }
+    }
+    return value;
+  }
+
+  static uint64_t GoldenKey(RegId storage, const AccessResolution& res) {
+    switch (res.kind) {
+      case ResKind::kRegister:  // live hardware register (incl. redirects)
+        return static_cast<uint64_t>(res.target) * 4 + 0;
+      case ResKind::kMemory:  // deferred-page slot
+        return static_cast<uint64_t>(res.target) * 4 + 1;
+      default:  // trapped: the host routes by backing register
+        return static_cast<uint64_t>(storage) * 4 + 2;
+    }
+  }
+
+  void Violation(SysReg enc, bool is_write, const AccessResolution& res,
+                 VcpuMode mode, const std::string& what) {
+    r_->violations.push_back(
+        "trap-predict: op " + std::to_string(op_index_) + " " +
+        (is_write ? "write " : "read ") + SysRegName(enc) + " at " +
+        VcpuModeName(mode) + ": " + what + " [" + (v_.neve ? "neve" : "v83") +
+        (p_.cfg.nested ? ", nested" : "") + "]");
+    (void)res;
+  }
+
+  void Finish(Machine& machine, Cpu& cpu, Vcpu& vcpu) {
+    r_->died = !r_->status.ok();
+    r_->end_cycles = cpu.cycles();
+    r_->traps = cpu.trace().traps_to_el2();
+    r_->fault_log = machine.fault().LogText();
+
+    Digest st;
+    st.Mix(cpu.ArchStateDigest());
+    st.Mix(vcpu.ContextDigest());
+    full_.Mix(st.value());
+    full_.Mix(r_->end_cycles);
+    full_.Mix(r_->traps);
+    full_.Mix(static_cast<uint64_t>(r_->status.code()));
+    full_.Mix(r_->status.message());
+    full_.Mix(r_->fault_log);
+
+    arch_.Mix(r_->ops_executed);
+    arch_.Mix(r_->irqs_taken);
+    arch_.Mix(r_->nested_entries);
+    arch_.Mix(static_cast<uint64_t>(r_->status.code()));
+    arch_.Mix(r_->died ? 1 : 0);
+
+    r_->full_digest = full_.value();
+    r_->arch_digest = arch_.value();
+
+    std::vector<uint64_t> obs_features;
+    CollectObsFeatures(machine.obs(), &obs_features);
+    uint64_t tag =
+        (v_.neve ? 1u : 0u) | (v_.fault.enabled ? 2u : 0u) |
+        (p_.cfg.nested ? 4u : 0u);
+    for (uint64_t f : obs_features) {
+      features_.push_back(DigestOf(f, tag));
+    }
+    features_.push_back(DigestOf(0x5500, tag,
+                                 static_cast<uint64_t>(r_->status.code())));
+    r_->features = std::move(features_);
+  }
+
+  const Program& p_;
+  const VariantSpec& v_;
+  RunResult* r_;
+  bool check_;
+  int op_index_ = 0;
+  Digest full_;
+  Digest arch_;
+  std::vector<uint64_t> features_;
+  std::map<uint64_t, uint64_t> golden_;
+};
+
+void AppendFeatures(const RunResult& r, CaseResult* out) {
+  out->features.insert(out->features.end(), r.features.begin(),
+                       r.features.end());
+}
+
+bool TakeViolations(const RunResult& r, CaseResult* out) {
+  if (r.violations.empty()) {
+    return false;
+  }
+  out->ok = false;
+  out->failure = r.violations.front();
+  return true;
+}
+
+bool CompareCachePair(const RunResult& on, const RunResult& off,
+                      const std::string& tag, CaseResult* out) {
+  auto fail = [&](const std::string& what) {
+    out->ok = false;
+    out->failure = "cache-diff[" + tag + "]: " + what;
+    return true;
+  };
+  if (on.end_cycles != off.end_cycles) {
+    return fail("cycles " + std::to_string(on.end_cycles) + " vs " +
+                std::to_string(off.end_cycles));
+  }
+  if (on.traps != off.traps) {
+    return fail("traps " + std::to_string(on.traps) + " vs " +
+                std::to_string(off.traps));
+  }
+  if (!(on.status == off.status)) {
+    return fail("status " + on.status.ToString() + " vs " +
+                off.status.ToString());
+  }
+  if (on.fault_log != off.fault_log) {
+    return fail("fault log diverged:\n--- cache on ---\n" + on.fault_log +
+                "--- cache off ---\n" + off.fault_log);
+  }
+  if (on.full_digest != off.full_digest) {
+    return fail("state digest " + Hex(on.full_digest) + " vs " +
+                Hex(off.full_digest));
+  }
+  return false;
+}
+
+bool CompareCrossArch(const RunResult& v83, const RunResult& neve,
+                      CaseResult* out) {
+  auto fail = [&](const std::string& what) {
+    out->ok = false;
+    out->failure = "arch-diff: " + what;
+    return true;
+  };
+  if (v83.ops_executed != neve.ops_executed) {
+    return fail("program length v83=" + std::to_string(v83.ops_executed) +
+                " neve=" + std::to_string(neve.ops_executed));
+  }
+  if (v83.status.code() != neve.status.code()) {
+    return fail("outcome v83=" + v83.status.ToString() +
+                " neve=" + neve.status.ToString());
+  }
+  if (v83.irqs_taken != neve.irqs_taken) {
+    return fail("irqs v83=" + std::to_string(v83.irqs_taken) +
+                " neve=" + std::to_string(neve.irqs_taken));
+  }
+  if (v83.nested_entries != neve.nested_entries) {
+    return fail("nested entries v83=" + std::to_string(v83.nested_entries) +
+                " neve=" + std::to_string(neve.nested_entries));
+  }
+  if (v83.arch_digest != neve.arch_digest) {
+    return fail("guest-visible state " + Hex(v83.arch_digest) + " vs " +
+                Hex(neve.arch_digest));
+  }
+  return false;
+}
+
+}  // namespace
+
+RunResult RunProgramVariant(const Program& program, const VariantSpec& v) {
+  RunResult r;
+  Executor ex(program, v, &r);
+  ex.Run();
+  return r;
+}
+
+CaseResult RunCase(const std::vector<uint8_t>& bytes) {
+  Program p = DecodeProgram(bytes);
+  CaseResult out;
+
+  if (p.cfg.fault) {
+    VariantSpec on{.neve = p.cfg.fault_neve,
+                   .cache_enabled = true,
+                   .fault = p.cfg.fault_config};
+    VariantSpec off = on;
+    off.cache_enabled = false;
+    RunResult r_on = RunProgramVariant(p, on);
+    RunResult r_off = RunProgramVariant(p, off);
+    out.execs = 2;
+    AppendFeatures(r_on, &out);
+    CompareCachePair(r_on, r_off, p.cfg.fault_neve ? "neve,fault" : "v83,fault",
+                     &out);
+    return out;
+  }
+
+  RunResult v83_on = RunProgramVariant(p, {.neve = false});
+  RunResult v83_off =
+      RunProgramVariant(p, {.neve = false, .cache_enabled = false});
+  RunResult nv_on = RunProgramVariant(p, {.neve = true});
+  RunResult nv_off =
+      RunProgramVariant(p, {.neve = true, .cache_enabled = false});
+  out.execs = 4;
+  AppendFeatures(v83_on, &out);
+  AppendFeatures(nv_on, &out);
+
+  if (TakeViolations(v83_on, &out) || TakeViolations(nv_on, &out)) {
+    return out;
+  }
+  if (CompareCachePair(v83_on, v83_off, "v83", &out) ||
+      CompareCachePair(nv_on, nv_off, "neve", &out)) {
+    return out;
+  }
+  CompareCrossArch(v83_on, nv_on, &out);
+  return out;
+}
+
+}  // namespace neve::fuzz

@@ -1,0 +1,95 @@
+// Paired-stack execution of a fuzzed guest program, plus the differential
+// oracles.
+//
+// One *case* (a decoded Program) runs through several stack variants; each
+// variant produces a RunResult carrying two digests:
+//
+//   full_digest  everything the variant computed -- per-op values, per-op
+//                trap deltas, final architectural state, cycle count, trap
+//                count, status, fault log. Two runs differing only in the
+//                resolution-cache setting must produce IDENTICAL full
+//                digests: the cache is a simulator fast-path and must be
+//                invisible, cycles included.
+//
+//   arch_digest  the architecture-independent guest-visible view -- values
+//                the guest program read (minus live counters/GIC state),
+//                op/irq/nested-entry counts, how the program ended. An
+//                ARMv8.3-NV stack and a NEVE stack running the same program
+//                must produce IDENTICAL arch digests: NEVE changes *where*
+//                accesses resolve and how often they trap, never what
+//                software observes (the paper's transparency claim).
+//
+// Per-op oracles run inside the executor:
+//
+//   trap-predict  before each sysreg access the executor consults
+//                 ResolveSysRegAccess (the same pure function archlint
+//                 verifies against the paper tables) and checks the observed
+//                 trap delta: non-trapping resolutions take zero traps; a
+//                 predicted trap takes exactly one in a single-level stack
+//                 (>= 1 at L2, where forwarding multiplies exits).
+//
+//   vel2-golden   a shadow model of the virtual-EL2 register file: values
+//                 written from virtual EL2 to plain-storage registers must
+//                 read back unchanged, whether they landed in a trapped
+//                 vreg, the deferred access page, or a redirected EL1
+//                 register. Registers the host legitimately rewrites
+//                 (exception frames, GIC, timers) are excluded.
+//
+// Both per-op oracles are disabled when fault injection is armed (faults
+// perturb trap counts and redirected values by design); the cache-identity
+// oracle is NOT -- fault campaigns draw from a seeded stream keyed by
+// machine behaviour the cache must not alter.
+
+#ifndef NEVE_SRC_FUZZ_HARNESS_H_
+#define NEVE_SRC_FUZZ_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/fault/fault.h"
+#include "src/fuzz/program.h"
+
+namespace neve::fuzz {
+
+struct VariantSpec {
+  bool neve = false;          // ARMv8.4 NEVE stack vs plain ARMv8.3-NV
+  bool cache_enabled = true;  // sysreg resolution cache on/off
+  FaultConfig fault{};        // armed => fault dimension
+};
+
+struct RunResult {
+  Status status;
+  bool died = false;  // program ended in a confined guest fault
+  uint64_t ops_executed = 0;
+  uint64_t irqs_taken = 0;
+  uint64_t nested_entries = 0;
+  uint64_t full_digest = 0;
+  uint64_t arch_digest = 0;
+  uint64_t end_cycles = 0;
+  uint64_t traps = 0;
+  std::string fault_log;
+  std::vector<uint64_t> features;
+  std::vector<std::string> violations;  // per-op oracle failures
+};
+
+RunResult RunProgramVariant(const Program& program, const VariantSpec& v);
+
+struct CaseResult {
+  bool ok = true;
+  std::string failure;  // "<oracle>: detail" for the first failed oracle
+  uint64_t execs = 0;   // stack variants executed
+  std::vector<uint64_t> features;
+};
+
+// Runs the full oracle matrix for one input:
+//   fault armed:  one architecture, cache on vs off (full identity).
+//   otherwise:    {v8.3, NEVE} x {cache on, cache off}; cache identity per
+//                 architecture, per-op oracles per run, transparency across
+//                 architectures.
+CaseResult RunCase(const std::vector<uint8_t>& bytes);
+
+}  // namespace neve::fuzz
+
+#endif  // NEVE_SRC_FUZZ_HARNESS_H_

@@ -1,0 +1,231 @@
+#include "src/fuzz/program.h"
+
+namespace neve::fuzz {
+namespace {
+
+std::vector<SysReg> BuildPool(bool (*pred)(SysReg)) {
+  std::vector<SysReg> pool;
+  for (int i = 0; i < kNumSysRegs; ++i) {
+    SysReg enc = static_cast<SysReg>(i);
+    if (pred(enc)) {
+      pool.push_back(enc);
+    }
+  }
+  return pool;
+}
+
+}  // namespace
+
+const std::vector<SysReg>& El2EncodingPool() {
+  static const std::vector<SysReg> pool = BuildPool([](SysReg e) {
+    return SysRegEncKind(e) == EncKind::kDirect && SysRegMinEl(e) == El::kEl2;
+  });
+  return pool;
+}
+
+const std::vector<SysReg>& El1EncodingPool() {
+  static const std::vector<SysReg> pool = BuildPool([](SysReg e) {
+    return SysRegEncKind(e) == EncKind::kDirect && SysRegMinEl(e) != El::kEl2;
+  });
+  return pool;
+}
+
+const std::vector<SysReg>& AliasEncodingPool() {
+  static const std::vector<SysReg> pool = BuildPool([](SysReg e) {
+    return SysRegEncKind(e) != EncKind::kDirect;
+  });
+  return pool;
+}
+
+const std::vector<SysReg>& AllEncodingPool() {
+  static const std::vector<SysReg> pool =
+      BuildPool([](SysReg) { return true; });
+  return pool;
+}
+
+bool WriteAllowed(SysReg enc) {
+  switch (SysRegStorage(enc)) {
+    // Stage-1 translation control: the simulator's guests premap their
+    // address spaces and never enable Stage-1, so don't flip SCTLR.M or
+    // retarget translation out from under running software.
+    case RegId::kSCTLR_EL1:
+    case RegId::kSCTLR_EL2:
+    case RegId::kTCR_EL1:
+    case RegId::kTCR_EL2:
+    case RegId::kTTBR0_EL1:
+    case RegId::kTTBR1_EL1:
+    case RegId::kTTBR0_EL2:
+    case RegId::kTTBR1_EL2:
+      return false;
+    // The deferred access page location is host-programmed; a guest write
+    // would move NEVE redirection onto an arbitrary page.
+    case RegId::kVNCR_EL2:
+      return false;
+    // Only the masked flip op may touch HCR_EL2 (virtual or hardware view).
+    case RegId::kHCR_EL2:
+      return false;
+    // Timer enable bits: an armed timer fires asynchronously relative to
+    // the op stream and would break per-op trap prediction. CVAL/CNTVOFF
+    // writes stay allowed (they cover the deferred/trap-on-write classes).
+    case RegId::kCNTV_CTL_EL0:
+    case RegId::kCNTP_CTL_EL0:
+    case RegId::kCNTHV_CTL_EL2:
+    case RegId::kCNTHP_CTL_EL2:
+    case RegId::kCNTHCTL_EL2:
+      return false;
+    default:
+      return true;
+  }
+}
+
+namespace {
+
+SysReg PickEncoding(SeedStream& s) {
+  uint8_t c = s.U8();
+  const std::vector<SysReg>* pool;
+  if (c < 110) {
+    pool = &El2EncodingPool();       // the NEVE-interesting space
+  } else if (c < 170) {
+    pool = &El1EncodingPool();       // VM registers / NV1 territory
+  } else if (c < 215) {
+    pool = &AliasEncodingPool();     // *_EL12 / *_EL02
+  } else {
+    pool = &AllEncodingPool();
+  }
+  return (*pool)[s.U16() % pool->size()];
+}
+
+uint64_t PickValue(SeedStream& s) {
+  switch (s.U8() % 6) {
+    case 0:
+      return 0;
+    case 1:
+      return 1;
+    case 2:
+      return ~uint64_t{0};
+    case 3:
+      return 0x5A5A5A5A5A5A5A5Aull;
+    case 4:
+      return uint64_t{1} << (s.U8() % 64);
+    default:
+      return s.U64();
+  }
+}
+
+uint64_t PickMemAddr(SeedStream& s) {
+  uint64_t addr = (s.U16() % kMemSpanPages) * 4096 + (s.U8() % 8) * 8;
+  if (s.U8() < 10) {
+    // Rare wild pointer: lands outside every stack's RAM, exercising the
+    // unmapped-Stage-2 confinement path.
+    addr |= 0x7000'0000ull;
+  }
+  return addr;
+}
+
+void DecodeFaultConfig(SeedStream& s, FaultConfig* fc) {
+  fc->enabled = true;
+  fc->seed = s.U16();
+  static constexpr double kRates[] = {0.002, 0.01, 0.05};
+  fc->rate = kRates[s.U8() % 3];
+  uint32_t points = s.U16() & kAllFaultPoints;
+  fc->points = points != 0 ? points : kAllFaultPoints;
+  // The kTrapLoop point requires a watchdog; give every fault campaign one
+  // so injected livelocks terminate deterministically.
+  fc->watchdog_budget = 50'000'000;
+}
+
+}  // namespace
+
+Program DecodeProgram(const std::vector<uint8_t>& bytes) {
+  SeedStream s(bytes);
+  Program p;
+  uint8_t header = s.U8();
+  p.cfg.nested = (header & 1) != 0;
+  p.cfg.guest_vhe = (header & 2) != 0;
+  p.cfg.fault = (header & 4) != 0;
+  p.cfg.fault_neve = (header & 8) != 0;
+  if (p.cfg.fault) {
+    DecodeFaultConfig(s, &p.cfg.fault_config);
+  }
+  while (!s.exhausted() && p.ops.size() < kMaxOps) {
+    FuzzOp op;
+    switch (s.U8() % 16) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+      case 4:
+        op.kind = OpKind::kSysRead;
+        op.enc = PickEncoding(s);
+        break;
+      case 5:
+      case 6:
+      case 7:
+      case 8:
+      case 9:
+        op.enc = PickEncoding(s);
+        op.value = PickValue(s);
+        // Deny-listed targets decay to reads of the same encoding so the
+        // byte stream keeps its meaning under mutation.
+        op.kind = WriteAllowed(op.enc) ? OpKind::kSysWrite : OpKind::kSysRead;
+        break;
+      case 10:
+        op.kind = OpKind::kHcrFlip;
+        op.value = s.U8();  // masked by the executor with kHcrFlipMask
+        break;
+      case 11:
+        op.kind = OpKind::kHvc;
+        op.imm = s.U8() < 200 ? uint16_t{0x4B00} : s.U16();
+        break;
+      case 12:
+        op.kind = OpKind::kEret;
+        break;
+      case 13:
+        op.kind = (s.U8() & 1) != 0 ? OpKind::kMemStore : OpKind::kMemLoad;
+        op.addr = PickMemAddr(s);
+        op.value = PickValue(s);
+        break;
+      case 14:
+        switch (s.U8() % 4) {
+          case 0:
+            op.kind = OpKind::kDeviceLoad;
+            op.addr = s.U16() & 0xFF8;
+            break;
+          case 1:
+            op.kind = OpKind::kDeviceStore;
+            op.addr = s.U16() & 0xFF8;
+            op.value = PickValue(s);
+            break;
+          default:
+            op.kind = OpKind::kSgi;
+            op.imm = s.U8() % 16;
+            break;
+        }
+        break;
+      default:
+        switch (s.U8() % 5) {
+          case 0:
+            op.kind = OpKind::kCurrentEl;
+            break;
+          case 1:
+            op.kind = OpKind::kWfi;
+            break;
+          case 2:
+            op.kind = OpKind::kBarrier;
+            break;
+          case 3:
+            op.kind = OpKind::kTlbi;
+            break;
+          default:
+            op.kind = OpKind::kCompute;
+            op.value = (uint64_t{s.U8()} + 1) * 8;
+            break;
+        }
+        break;
+    }
+    p.ops.push_back(op);
+  }
+  return p;
+}
+
+}  // namespace neve::fuzz

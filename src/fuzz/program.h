@@ -1,0 +1,98 @@
+// Guest-program synthesis: input bytes -> a sequence of operations a fuzzed
+// guest (hypervisor) executes through its GuestEnv.
+//
+// The decoder is a total function: every byte string decodes to a valid
+// program (garbage degrades to no-ops, exhaustion ends the program). Ops
+// deliberately include accesses that are UNDEFINED in context -- a confined
+// guest fault is a legal program ending, and the differential oracles
+// require both stacks of a pair to die at the same op for the same reason.
+//
+// A small deny-list keeps programs inside what the simulator models
+// (DESIGN.md: guests premap their address spaces, so Stage-1 stays off;
+// timers fire only when workloads arm them): writes that would enable
+// Stage-1 translation, move VNCR_EL2 out from under the host, or arm timer
+// interrupts are decoded as reads instead. HCR_EL2 is only touched through
+// a masked flip op so programs can toggle Stage-2/WFI/IRQ routing for the
+// *virtual* EL2 state without wedging the stack.
+
+#ifndef NEVE_SRC_FUZZ_PROGRAM_H_
+#define NEVE_SRC_FUZZ_PROGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/sysreg.h"
+#include "src/fault/fault.h"
+#include "src/fuzz/seed_stream.h"
+
+namespace neve::fuzz {
+
+enum class OpKind : uint8_t {
+  kSysRead,     // ReadSys(enc)
+  kSysWrite,    // WriteSys(enc, value)
+  kHcrFlip,     // HCR_EL2 ^= (value & kHcrFlipMask) via read+write
+  kHvc,         // Hvc(imm)
+  kEret,        // EretToGuest (virtual EL2 only; elsewhere decays to Compute)
+  kCurrentEl,   // ReadCurrentEl
+  kMemLoad,     // Load(addr)
+  kMemStore,    // Store(addr, value)
+  kDeviceLoad,  // Load(device base + addr); nested stacks only
+  kDeviceStore, // Store(device base + addr, value)
+  kSgi,         // ICC_SGI1R self-SGI, id = imm
+  kWfi,
+  kBarrier,
+  kTlbi,
+  kCompute,     // Compute(value) cycles
+};
+
+struct FuzzOp {
+  OpKind kind = OpKind::kCompute;
+  SysReg enc = SysReg::kNumSysRegs;  // kSysRead / kSysWrite
+  uint64_t value = 0;                // write value / flip mask / cycles
+  uint64_t addr = 0;                 // kMem* / kDevice* offset
+  uint16_t imm = 0;                  // hvc immediate / SGI id
+};
+
+// HCR_EL2 bits the flip op may toggle: Stage-2 enable (whether an eret
+// enters a nested context), WFI trapping, and IRQ/FIQ routing.
+inline constexpr uint64_t kHcrFlipMask =
+    (1ull << 0) | (1ull << 3) | (1ull << 4) | (1ull << 13);
+
+// Which stack pair a case exercises and whether the fault-injection
+// dimension is armed. Under fault injection the cross-architecture and
+// prediction oracles are off (faults perturb trap counts and values by
+// design); the cache-identity oracle still applies and the FaultConfig is
+// part of the decoded program, so fault campaigns replay exactly.
+struct CaseConfig {
+  bool nested = false;     // mode B: workload at L2 under a guest hypervisor
+  bool guest_vhe = false;
+  bool fault = false;
+  bool fault_neve = false;           // which architecture the fault pair uses
+  FaultConfig fault_config{};        // populated when `fault`
+};
+
+struct Program {
+  CaseConfig cfg;
+  std::vector<FuzzOp> ops;
+};
+
+inline constexpr int kMaxOps = 96;
+
+// Span of guest-RAM the kMem* ops address (well inside every stack's RAM).
+inline constexpr uint64_t kMemSpanPages = 512;  // 2 MB
+
+Program DecodeProgram(const std::vector<uint8_t>& bytes);
+
+// Deny-list described above. Exposed for tests.
+bool WriteAllowed(SysReg enc);
+
+// Encoding pools the decoder draws from (EL2-encoded, EL1/EL0-encoded,
+// VHE aliases, everything). Exposed for tests.
+const std::vector<SysReg>& El2EncodingPool();
+const std::vector<SysReg>& El1EncodingPool();
+const std::vector<SysReg>& AliasEncodingPool();
+const std::vector<SysReg>& AllEncodingPool();
+
+}  // namespace neve::fuzz
+
+#endif  // NEVE_SRC_FUZZ_PROGRAM_H_

@@ -1,0 +1,56 @@
+// The fuzzer's only randomness source: a byte stream decoded from the input.
+//
+// Every draw the program decoder makes comes from the input bytes, so the
+// mapping input -> guest program is a pure function: the corpus stays
+// replayable forever, minimization works by deleting bytes, and mutation
+// works by editing them. When the stream runs dry it returns zeros and sets
+// `exhausted`; the decoder treats exhaustion as end-of-program, which makes
+// truncation a natural minimization operator.
+//
+// Engine-side randomness (mutation scheduling) uses the repo's seeded Rng;
+// the srclint `fuzz-unseeded-randomness` rule keeps both this directory and
+// that one free of ambient entropy (rand, std::random_device, ...).
+
+#ifndef NEVE_SRC_FUZZ_SEED_STREAM_H_
+#define NEVE_SRC_FUZZ_SEED_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace neve::fuzz {
+
+class SeedStream {
+ public:
+  explicit SeedStream(const std::vector<uint8_t>& bytes) : bytes_(&bytes) {}
+
+  bool exhausted() const { return pos_ >= bytes_->size(); }
+  size_t consumed() const { return pos_; }
+
+  uint8_t U8() {
+    if (exhausted()) {
+      return 0;
+    }
+    return (*bytes_)[pos_++];
+  }
+
+  uint16_t U16() {
+    uint16_t lo = U8();
+    return static_cast<uint16_t>(lo | (static_cast<uint16_t>(U8()) << 8));
+  }
+
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(U8()) << (8 * i);
+    }
+    return v;
+  }
+
+ private:
+  const std::vector<uint8_t>* bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace neve::fuzz
+
+#endif  // NEVE_SRC_FUZZ_SEED_STREAM_H_

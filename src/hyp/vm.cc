@@ -1,5 +1,6 @@
 #include "src/hyp/vm.h"
 
+#include "src/base/digest.h"
 #include "src/base/status.h"
 
 namespace neve {
@@ -16,6 +17,15 @@ const char* VcpuModeName(VcpuMode mode) {
       return "vEL1-nested";
   }
   return "?";
+}
+
+uint64_t Vcpu::ContextDigest() const {
+  Digest d;
+  d.Mix(static_cast<uint64_t>(mode));
+  for (uint64_t reg : vregs_) {
+    d.Mix(reg);
+  }
+  return d.value();
 }
 
 void Vcpu::ResetRuntimeState() {

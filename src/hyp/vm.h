@@ -94,6 +94,11 @@ class Vcpu {
   uint64_t vreg(RegId reg) const { return vregs_[static_cast<size_t>(reg)]; }
   void set_vreg(RegId reg, uint64_t v) { vregs_[static_cast<size_t>(reg)] = v; }
 
+  // Order-stable digest of the virtual register file plus the virtual mode
+  // -- the vcpu-context half of the architectural state the differential
+  // fuzz oracles compare (the hardware half is Cpu::ArchStateDigest).
+  uint64_t ContextDigest() const;
+
   // The software slot that is executing / being set up in `mode`.
   GuestSoftware& SoftwareFor(VcpuMode mode) {
     return mode == VcpuMode::kVel1Nested ? *active_nested : main_sw;

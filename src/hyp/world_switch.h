@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <span>
 
+#include "src/base/digest.h"
 #include "src/cpu/cpu.h"
 
 namespace neve {
@@ -154,6 +155,41 @@ void WriteHostTrapControls(Cpu& cpu, uint64_t host_hcr);
 
 // Per-CPU data pointer reads KVM performs around a switch (TPIDR_EL2).
 void TouchPerCpuData(Cpu& cpu);
+
+// --- state digests ------------------------------------------------------------
+// Order-stable fingerprints of the saved context structures, for the
+// world-switch round-trip property test and the fuzz oracles: a
+// save/restore cycle must leave both the hardware state
+// (Cpu::ArchStateDigest) and these software images unchanged.
+inline uint64_t DigestOf(const El1Context& c) {
+  Digest d;
+  for (uint64_t r : c.regs) {
+    d.Mix(r);
+  }
+  return d.value();
+}
+inline uint64_t DigestOf(const ExtEl1Context& c) {
+  Digest d;
+  for (uint64_t r : c.regs) {
+    d.Mix(r);
+  }
+  return d.value();
+}
+inline uint64_t DigestOf(const PmuDebugContext& c) {
+  return neve::DigestOf(c.mdscr, c.pmuserenr);
+}
+inline uint64_t DigestOf(const VgicContext& c) {
+  Digest d;
+  d.Mix(c.vmcr);
+  d.Mix(static_cast<uint64_t>(c.lrs_in_use));
+  for (uint64_t lr : c.lr) {
+    d.Mix(lr);
+  }
+  return d.value();
+}
+inline uint64_t DigestOf(const TimerContext& c) {
+  return neve::DigestOf(c.cntv_ctl, c.cntv_cval);
+}
 
 }  // namespace neve
 

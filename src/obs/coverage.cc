@@ -1,0 +1,60 @@
+#include "src/obs/coverage.h"
+
+#include <bit>
+
+#include "src/obs/observability.h"
+
+namespace neve {
+
+uint64_t CoverageCountBucket(uint64_t count) {
+  if (count < 4) {
+    return count;
+  }
+  return 2 + std::bit_width(count);  // 4..7 -> 5, 8..15 -> 6, ...
+}
+
+size_t CoverageBitmap::CountNew(const std::vector<uint64_t>& features) const {
+  // Distinct features can fold onto the same bit; count distinct *bits*.
+  CoverageBitmap scratch;
+  size_t fresh = 0;
+  for (uint64_t f : features) {
+    if (!Test(f) && scratch.Set(f)) {
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
+size_t CoverageBitmap::Merge(const std::vector<uint64_t>& features) {
+  size_t fresh = 0;
+  for (uint64_t f : features) {
+    if (Set(f)) {
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
+void CollectObsFeatures(const Observability& obs,
+                        std::vector<uint64_t>* sink) {
+  for (const auto& [name, counter] : obs.metrics().counters()) {
+    if (counter.value() == 0) {
+      continue;
+    }
+    Digest d;
+    d.Mix(name);
+    d.Mix(CoverageCountBucket(counter.value()));
+    sink->push_back(d.value());
+  }
+  for (const auto& [name, hist] : obs.metrics().histograms()) {
+    if (hist.count() == 0) {
+      continue;
+    }
+    Digest d;
+    d.Mix(name);
+    d.Mix(CoverageCountBucket(hist.count()));
+    sink->push_back(d.value());
+  }
+}
+
+}  // namespace neve

@@ -1,0 +1,85 @@
+// Coverage bitmap: the feedback signal driving the differential fuzzer.
+//
+// A *feature* is a 64-bit hash describing one behaviour the stack exhibited:
+// a resolution cell hit (encoding x direction x resolution kind x vcpu
+// mode), a metric that reached a new order of magnitude, a fault-injection
+// point crossed, a trap-episode kind observed. Features are folded into a
+// fixed-size bitmap (AFL-style, with hit counts bucketed into powers of two
+// before hashing so "happened once" and "happened a thousand times" are
+// different features). An input is *interesting* when its run sets a bit no
+// earlier input set.
+//
+// Determinism: features are pure hashes of simulated behaviour and the
+// bitmap is a plain bit set -- merging the same runs in the same order
+// always yields the same bitmap, which the fuzzer's byte-identical
+// `--threads=` contract depends on.
+
+#ifndef NEVE_SRC_OBS_COVERAGE_H_
+#define NEVE_SRC_OBS_COVERAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/digest.h"
+
+namespace neve {
+
+class Observability;
+
+// Buckets a hit count AFL-style: 0,1,2,3 stay distinct, then powers of two.
+// Folding the bucket into the feature hash makes count growth (a trap storm
+// vs a single trap) visible as new coverage without per-count features.
+uint64_t CoverageCountBucket(uint64_t count);
+
+class CoverageBitmap {
+ public:
+  static constexpr size_t kNumBits = 1u << 16;
+
+  CoverageBitmap() : words_(kNumBits / 64, 0) {}
+
+  static size_t BitIndex(uint64_t feature) {
+    // Finalize so structured feature values spread over the whole map.
+    return static_cast<size_t>(DigestOf(feature) % kNumBits);
+  }
+
+  // Sets the feature's bit; true when it was previously clear.
+  bool Set(uint64_t feature) {
+    size_t bit = BitIndex(feature);
+    uint64_t mask = uint64_t{1} << (bit % 64);
+    uint64_t& word = words_[bit / 64];
+    if ((word & mask) != 0) {
+      return false;
+    }
+    word |= mask;
+    ++bits_set_;
+    return true;
+  }
+
+  bool Test(uint64_t feature) const {
+    size_t bit = BitIndex(feature);
+    return (words_[bit / 64] & (uint64_t{1} << (bit % 64))) != 0;
+  }
+
+  // How many of `features` would set a new bit (without setting them).
+  size_t CountNew(const std::vector<uint64_t>& features) const;
+
+  // Sets every feature; returns how many bits were newly set.
+  size_t Merge(const std::vector<uint64_t>& features);
+
+  uint64_t bits_set() const { return bits_set_; }
+
+ private:
+  std::vector<uint64_t> words_;
+  uint64_t bits_set_ = 0;
+};
+
+// Exports coverage features from a run's observability layer: one feature
+// per (metric name, bucketed value). Counters, histograms (by count) and
+// the tracer are all reflected through the metrics registry, so this single
+// walk captures trap-episode kinds, world-switch phases, shadow-S2 fixups,
+// GIC/virtio activity and fault.* injection points. Appends to `sink`.
+void CollectObsFeatures(const Observability& obs, std::vector<uint64_t>* sink);
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_OBS_COVERAGE_H_

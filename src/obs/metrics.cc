@@ -1,6 +1,7 @@
 #include "src/obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -29,6 +30,11 @@ auto* FindIn(const Map& map, std::string_view name) {
 uint64_t MetricHistogram::Percentile(double p) const {
   if (count_ == 0) {
     return 0;
+  }
+  // NaN fails both comparisons below and would reach the float->uint64_t
+  // cast, which is undefined for NaN; treat it as the median.
+  if (std::isnan(p)) {
+    p = 50.0;
   }
   if (p <= 0.0) {
     return min_;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <set>
@@ -195,6 +196,53 @@ TEST(BitsTest, Alignment) {
 }
 
 // --- Rng ---------------------------------------------------------------------
+
+TEST(RunningStatsTest, SingleSampleHasZeroVarianceAndSpread) {
+  RunningStats s;
+  s.Add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.relative_spread(), 0.0);
+}
+
+TEST(RunningStatsTest, IdenticalSamplesNeverYieldNaNStddev) {
+  // Welford's m2 accumulator can dip fractionally below zero from
+  // floating-point cancellation when samples are (nearly) identical;
+  // variance() must clamp so stddev() cannot go sqrt(negative) = NaN.
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    s.Add(0.1);  // not exactly representable: exercises the cancellation
+  }
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(s.stddev()));
+  EXPECT_NEAR(s.stddev(), 0.0, 1e-9);
+}
+
+TEST(RunningStatsTest, KnownSequenceMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of the classic sequence: sum((x-5)^2)/7 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.relative_spread(), (9.0 - 2.0) / 5.0);
+}
+
+TEST(RunningStatsTest, ZeroMeanSpreadIsDefinedAsZero) {
+  RunningStats s;
+  s.Add(-1.0);
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.relative_spread(), 0.0);
+}
 
 TEST(RngTest, DeterministicForSameSeed) {
   Rng a(123), b(123);

@@ -1,0 +1,243 @@
+// Tests for the differential fuzzer: seed-stream decoding, program-decoder
+// totality and write policy, coverage accounting, harness oracles on known
+// seeds, engine determinism across thread counts, and seed-file round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/digest.h"
+#include "src/base/rng.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/harness.h"
+#include "src/fuzz/program.h"
+#include "src/fuzz/seed_stream.h"
+#include "src/obs/coverage.h"
+
+namespace neve::fuzz {
+namespace {
+
+// --- SeedStream --------------------------------------------------------------
+
+TEST(SeedStreamTest, ReadsBytesThenZeroFills) {
+  std::vector<uint8_t> bytes = {0x11, 0x22};
+  SeedStream s(bytes);
+  EXPECT_EQ(s.U8(), 0x11);
+  EXPECT_EQ(s.U8(), 0x22);
+  EXPECT_TRUE(s.exhausted());
+  EXPECT_EQ(s.U8(), 0);  // dry stream reads as zero, stays exhausted
+  EXPECT_TRUE(s.exhausted());
+  EXPECT_EQ(s.consumed(), 2u);
+}
+
+TEST(SeedStreamTest, MultiByteDrawsAreLittleEndian) {
+  std::vector<uint8_t> bytes = {0x01, 0x02, 0x03, 0x04, 0x05,
+                                0x06, 0x07, 0x08, 0x09, 0x0a};
+  SeedStream s(bytes);
+  EXPECT_EQ(s.U16(), 0x0201u);
+  EXPECT_EQ(s.U64(), 0x0a09080706050403ull);
+}
+
+TEST(SeedStreamTest, U64AcrossExhaustionZeroFillsHighBytes) {
+  std::vector<uint8_t> bytes = {0xff, 0xee};
+  SeedStream s(bytes);
+  EXPECT_EQ(s.U64(), 0xeeffull);
+}
+
+// --- program decoding --------------------------------------------------------
+
+TEST(ProgramTest, EmptyInputDecodesToEmptyProgram) {
+  Program p = DecodeProgram({});
+  EXPECT_TRUE(p.ops.empty());
+  EXPECT_FALSE(p.cfg.fault);
+}
+
+TEST(ProgramTest, DecoderIsTotalAndBounded) {
+  // Any byte string must decode to a valid program: every op carries a
+  // real encoding where one is required, writes respect the deny-list, and
+  // the op count stays within kMaxOps.
+  Rng rng(0x70741);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> bytes(rng.NextBelow(300));
+    for (uint8_t& b : bytes) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    Program p = DecodeProgram(bytes);
+    EXPECT_LE(p.ops.size(), static_cast<size_t>(kMaxOps));
+    for (const FuzzOp& op : p.ops) {
+      if (op.kind == OpKind::kSysRead || op.kind == OpKind::kSysWrite) {
+        EXPECT_LT(static_cast<int>(op.enc),
+                  static_cast<int>(SysReg::kNumSysRegs));
+      }
+      if (op.kind == OpKind::kSysWrite) {
+        EXPECT_TRUE(WriteAllowed(op.enc))
+            << "decoder emitted a denied write: "
+            << SysRegName(op.enc);
+      }
+    }
+  }
+}
+
+TEST(ProgramTest, DecodingIsDeterministic) {
+  Rng rng(0xdec0de);
+  std::vector<uint8_t> bytes(64);
+  for (uint8_t& b : bytes) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  Program a = DecodeProgram(bytes);
+  Program b = DecodeProgram(bytes);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].kind, b.ops[i].kind);
+    EXPECT_EQ(a.ops[i].enc, b.ops[i].enc);
+    EXPECT_EQ(a.ops[i].value, b.ops[i].value);
+    EXPECT_EQ(a.ops[i].addr, b.ops[i].addr);
+    EXPECT_EQ(a.ops[i].imm, b.ops[i].imm);
+  }
+}
+
+TEST(ProgramTest, WritePolicyKeepsTheStackRunnable) {
+  // Stage-1 must stay off (guests premap their address spaces), VNCR must
+  // not move out from under the host, HCR only flips through the masked op,
+  // and timer CTL writes must not arm async interrupts mid-oracle.
+  EXPECT_FALSE(WriteAllowed(SysReg::kSCTLR_EL1));
+  EXPECT_FALSE(WriteAllowed(SysReg::kVNCR_EL2));
+  EXPECT_FALSE(WriteAllowed(SysReg::kHCR_EL2));
+  EXPECT_FALSE(WriteAllowed(SysReg::kCNTV_CTL_EL0));
+  // Plain state registers stay writable -- the fuzzer's value round-trip
+  // oracle depends on them.
+  EXPECT_TRUE(WriteAllowed(SysReg::kTPIDR_EL1));
+  EXPECT_TRUE(WriteAllowed(SysReg::kVBAR_EL2));
+}
+
+TEST(ProgramTest, EncodingPoolsPartitionTheSpace) {
+  EXPECT_FALSE(El2EncodingPool().empty());
+  EXPECT_FALSE(El1EncodingPool().empty());
+  EXPECT_FALSE(AliasEncodingPool().empty());
+  EXPECT_EQ(AllEncodingPool().size(), static_cast<size_t>(SysReg::kNumSysRegs));
+  EXPECT_EQ(El2EncodingPool().size() + El1EncodingPool().size() +
+                AliasEncodingPool().size(),
+            AllEncodingPool().size());
+}
+
+// --- coverage bitmap ---------------------------------------------------------
+
+TEST(CoverageTest, SetReportsNewBitsOnce) {
+  CoverageBitmap map;
+  EXPECT_TRUE(map.Set(42));
+  EXPECT_FALSE(map.Set(42));
+  EXPECT_TRUE(map.Test(42));
+  EXPECT_EQ(map.bits_set(), 1u);
+}
+
+TEST(CoverageTest, CountNewDoesNotMutate) {
+  CoverageBitmap map;
+  std::vector<uint64_t> features = {1, 2, 3, 3};
+  size_t fresh = map.CountNew(features);
+  EXPECT_GE(fresh, 1u);
+  EXPECT_LE(fresh, 3u);  // duplicate feature counts once
+  EXPECT_EQ(map.bits_set(), 0u);
+  EXPECT_EQ(map.Merge(features), fresh);
+  EXPECT_EQ(map.CountNew(features), 0u);
+}
+
+TEST(CoverageTest, CountBucketsSeparateOrdersOfMagnitude) {
+  EXPECT_EQ(CoverageCountBucket(0), 0u);
+  EXPECT_EQ(CoverageCountBucket(1), 1u);
+  EXPECT_NE(CoverageCountBucket(1), CoverageCountBucket(2));
+  EXPECT_EQ(CoverageCountBucket(1000), CoverageCountBucket(1023));
+  EXPECT_NE(CoverageCountBucket(1000), CoverageCountBucket(1024));
+}
+
+// --- harness on known seeds --------------------------------------------------
+
+TEST(HarnessTest, EmptyProgramPassesAllOracles) {
+  CaseResult r = RunCase({});
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(r.execs, 4u);  // {v8.3, NEVE} x {cache on, off}
+  EXPECT_FALSE(r.features.empty());
+}
+
+TEST(HarnessTest, RunResultsAreReproducible) {
+  std::vector<uint8_t> bytes = {0xca, 0x49, 0xd3, 0x40, 0x71};
+  Program p = DecodeProgram(bytes);
+  RunResult a = RunProgramVariant(p, VariantSpec{.neve = true});
+  RunResult b = RunProgramVariant(p, VariantSpec{.neve = true});
+  EXPECT_EQ(a.full_digest, b.full_digest);
+  EXPECT_EQ(a.arch_digest, b.arch_digest);
+  EXPECT_EQ(a.end_cycles, b.end_cycles);
+  EXPECT_EQ(a.traps, b.traps);
+}
+
+TEST(HarnessTest, CacheSettingNeverChangesTheFullDigest) {
+  Rng rng(0x5eed);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<uint8_t> bytes(16 + rng.NextBelow(48));
+    for (uint8_t& b : bytes) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    CaseResult r = RunCase(bytes);
+    EXPECT_TRUE(r.ok) << "trial " << trial << ": " << r.failure;
+  }
+}
+
+// The vel2-golden aliasing regression (found by the fuzzer): at virtual EL2
+// with virtual E2H set, CPACR_EL12 targets the *VM's* EL1 context while
+// CPACR_EL1 targets the guest hypervisor's own live register. Both share the
+// backing storage RegId, so a shadow model keyed by raw storage conflates
+// them; the oracle must key by resolved destination. See tests/corpus/.
+TEST(HarnessTest, Vel2GoldenDistinguishesEl12AliasFromEl1Direct) {
+  std::vector<uint8_t> bytes = {0xca, 0x49, 0xd3, 0x40, 0x71, 0x3f, 0x24,
+                                0x5d, 0xe3, 0xe7, 0xb2, 0xa8, 0xae, 0xb5};
+  CaseResult r = RunCase(bytes);
+  EXPECT_TRUE(r.ok) << r.failure;
+}
+
+// --- engine determinism ------------------------------------------------------
+
+TEST(FuzzerTest, ReportIsIdenticalAcrossThreadCounts) {
+  FuzzOptions opts;
+  opts.seed = 5;
+  opts.runs = 16;
+  std::ostringstream one;
+  std::ostringstream many;
+  opts.threads = 1;
+  Fuzzer a(opts);
+  int fa = a.Run(one);
+  opts.threads = 3;
+  Fuzzer b(opts);
+  int fb = b.Run(many);
+  EXPECT_EQ(fa, fb);
+  EXPECT_EQ(one.str(), many.str());
+  EXPECT_EQ(a.coverage_bits(), b.coverage_bits());
+  EXPECT_EQ(a.corpus_size(), b.corpus_size());
+  EXPECT_EQ(a.execs(), b.execs());
+}
+
+// --- seed files --------------------------------------------------------------
+
+TEST(SeedFileTest, RoundTripsBytesAndSurvivesComments) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "fuzz_test_roundtrip.seed")
+          .string();
+  std::vector<uint8_t> bytes(100);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<uint8_t>(i * 7 + 3);
+  }
+  WriteSeedFile(path, bytes, "round-trip test\nsecond comment line");
+  std::optional<std::vector<uint8_t>> back = LoadSeedFile(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes);
+}
+
+TEST(SeedFileTest, MissingFileLoadsAsNullopt) {
+  EXPECT_FALSE(LoadSeedFile("/nonexistent/missing.seed").has_value());
+}
+
+}  // namespace
+}  // namespace neve::fuzz

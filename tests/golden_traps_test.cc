@@ -1,0 +1,101 @@
+// Golden trap-count regression: the exact number of traps each microbenchmark
+// takes to the host hypervisor, per stack configuration, pinned against a
+// checked-in JSON snapshot.
+//
+// The paper's entire result set (Tables 1/6/7) reduces to these counts; the
+// per-op averages the benches report are total/iterations. Cycle costs may be
+// retuned, but a trap-count change means the *architecture model* changed --
+// it must be deliberate. To update after an intentional change: run this test,
+// copy the "actual" JSON from the failure message into
+// tests/golden/trap_counts.json, and justify the diff in the commit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/workload/microbench.h"
+
+namespace neve {
+namespace {
+
+constexpr int kIterations = 8;
+
+struct NamedConfig {
+  const char* name;
+  StackConfig cfg;
+};
+
+const NamedConfig kConfigs[] = {
+    {"vm", StackConfig::Vm()},
+    {"nested-v83", StackConfig::NestedV83(false)},
+    {"nested-v83-vhe", StackConfig::NestedV83(true)},
+    {"nested-neve", StackConfig::NestedNeve(false)},
+    {"nested-neve-vhe", StackConfig::NestedNeve(true)},
+};
+
+constexpr MicrobenchKind kKinds[] = {
+    MicrobenchKind::kHypercall,
+    MicrobenchKind::kDeviceIo,
+    MicrobenchKind::kVirtualIpi,
+    MicrobenchKind::kVirtualEoi,
+};
+
+// Canonical JSON rendering of every (bench, config) -> total-traps cell.
+// Deterministic formatting so the golden comparison is an exact string match.
+std::string ActualTrapCountsJson() {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"neve-trap-counts-v1\",\n";
+  out << "  \"iterations\": " << kIterations << ",\n";
+  out << "  \"entries\": [\n";
+  bool first = true;
+  for (MicrobenchKind kind : kKinds) {
+    for (const NamedConfig& c : kConfigs) {
+      MicrobenchResult r = RunArmMicrobench(kind, c.cfg, kIterations);
+      auto traps = static_cast<long long>(
+          std::llround(r.traps_per_op * kIterations));
+      if (!first) {
+        out << ",\n";
+      }
+      first = false;
+      out << "    {\"bench\": \"" << MicrobenchName(kind) << "\", \"config\": \""
+          << c.name << "\", \"traps\": " << traps << "}";
+    }
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+TEST(GoldenTrapsTest, TrapCountsMatchCheckedInSnapshot) {
+  std::string path = std::string(NEVE_SOURCE_DIR) +
+                     "/tests/golden/trap_counts.json";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file: " << path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  std::string actual = ActualTrapCountsJson();
+  EXPECT_EQ(golden.str(), actual)
+      << "trap counts diverged from tests/golden/trap_counts.json.\n"
+      << "If the change is intentional, replace the golden file with:\n"
+      << actual;
+}
+
+// The per-op trap averages the benches report must be exact multiples of
+// 1/iterations -- traps are integral events, and a fractional residue means
+// a bench mixed warmup traps into its measured window.
+TEST(GoldenTrapsTest, PerOpTrapAveragesAreIntegralTotals) {
+  for (MicrobenchKind kind : kKinds) {
+    for (const NamedConfig& c : kConfigs) {
+      MicrobenchResult r = RunArmMicrobench(kind, c.cfg, kIterations);
+      double total = r.traps_per_op * kIterations;
+      EXPECT_NEAR(total, std::llround(total), 1e-9)
+          << MicrobenchName(kind) << " / " << c.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace neve

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -114,6 +116,32 @@ TEST(MetricsTest, HistogramPercentileEmptyIsZero) {
   MetricHistogram h;
   for (double p : {0.0, 50.0, 99.0, 100.0}) {
     EXPECT_EQ(h.Percentile(p), 0u);
+  }
+}
+
+TEST(MetricsTest, HistogramPercentileBoundaryArguments) {
+  // NaN fails both range guards, so without explicit handling it reaches a
+  // float->uint64 cast whose behaviour is undefined. It must degrade to the
+  // median, and out-of-range finite arguments must clamp to the extremes.
+  MetricHistogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(h.Percentile(nan), h.Percentile(50));
+  EXPECT_EQ(h.Percentile(-5.0), 10u);
+  EXPECT_EQ(h.Percentile(250.0), 30u);
+  EXPECT_EQ(h.Percentile(std::numeric_limits<double>::infinity()), 30u);
+  EXPECT_EQ(h.Percentile(-std::numeric_limits<double>::infinity()), 10u);
+  MetricHistogram empty;
+  EXPECT_EQ(empty.Percentile(nan), 0u);
+}
+
+TEST(MetricsTest, HistogramSingleSampleIsEveryPercentile) {
+  MetricHistogram h;
+  h.Record(7);
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.Percentile(p), 7u) << "p" << p;
   }
 }
 

@@ -258,6 +258,50 @@ TEST(SrcLintTest, ChecksOutsideConfinedDirsAreNotFlagged) {
                   .empty());
 }
 
+// --- unseeded randomness in the fuzzer ---------------------------------------
+
+TEST(SrcLintTest, AmbientEntropyInFuzzDirIsFlagged) {
+  std::vector<Diagnostic> d = Lint("src/fuzz/fuzzer.cc",
+                                   "uint8_t Byte() {\n"
+                                   "  std::random_device rd;\n"
+                                   "  return static_cast<uint8_t>(rd());\n"
+                                   "}\n");
+  const Diagnostic* diag = Find(d, "fuzz-unseeded-randomness");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->file, "src/fuzz/fuzzer.cc");
+  EXPECT_EQ(diag->line, 2);
+}
+
+TEST(SrcLintTest, LibcRandInFuzzDirIsFlagged) {
+  std::vector<Diagnostic> d = Lint("src/fuzz/program.cc",
+                                   "int F() { return rand() % 7; }\n");
+  EXPECT_NE(Find(d, "fuzz-unseeded-randomness"), nullptr);
+}
+
+TEST(SrcLintTest, Mt19937InFuzzDirIsFlagged) {
+  std::vector<Diagnostic> d =
+      Lint("src/fuzz/harness.cc", "std::mt19937_64 gen(123);\n");
+  EXPECT_NE(Find(d, "fuzz-unseeded-randomness"), nullptr);
+}
+
+TEST(SrcLintTest, SeededRngInFuzzDirIsAllowed) {
+  EXPECT_TRUE(Lint("src/fuzz/fuzzer.cc",
+                   "Rng rng(DigestOf(opts_.seed, case_index));\n"
+                   "uint64_t v = rng.Next();\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, SrandOutsideFuzzDirIsNotThisRulesBusiness) {
+  // Other dirs have their own conventions; this rule only guards src/fuzz.
+  EXPECT_TRUE(Lint("src/workload/appbench.cc", "srand(42);\n").empty());
+}
+
+TEST(SrcLintTest, CommentedEntropyMentionInFuzzDirIsIgnored) {
+  EXPECT_TRUE(Lint("src/fuzz/seed_stream.h",
+                   "// never use std::random_device here; see the contract\n")
+                  .empty());
+}
+
 // --- the real tree -----------------------------------------------------------
 
 TEST(SrcLintTest, LoadRepoSourcesOnMissingRootIsEmpty) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/arch/vncr.h"
+#include "src/base/rng.h"
 #include "src/hyp/world_switch.h"
 #include "src/mem/phys_mem.h"
 
@@ -165,6 +166,79 @@ TEST_P(WorldSwitchTest, TrapControlWritesProfile) {
     EXPECT_EQ(traps, 4);
   } else {
     EXPECT_EQ(traps, 13);
+  }
+}
+
+TEST_P(WorldSwitchTest, RandomizedContextRoundTripIsAFixedPoint) {
+  // Property: after one save/restore cycle settles the hypervisor-owned
+  // controls (ICH_HCR, CNTHCTL, PMSELR), further cycles are a fixed point --
+  // every context image and the full architectural state digest come back
+  // bit-identical, whatever values the switched registers held. This is the
+  // host-side (real EL2) twin of the fuzzer's vel2-golden oracle: it catches
+  // save/restore lists that disagree on order, alias, or membership.
+  if (vhe()) {
+    // The *_EL12/*_EL02 alias encodings need a VHE host context.
+    cpu_.PokeReg(RegId::kHCR_EL2,
+                 SetBit(cpu_.PeekReg(RegId::kHCR_EL2), HcrBits::kE2h));
+  }
+  Rng rng(DigestOf(0x5757, vhe() ? 1 : 0, GetParam().vncr ? 1 : 0));
+  for (int iter = 0; iter < 64; ++iter) {
+    // Scramble every switched register through the resolving accessors.
+    for (SysReg enc : VmEl1Encodings(vhe())) {
+      cpu_.SysRegWrite(enc, rng.Next());
+    }
+    const SysReg ext[] = {
+        SysReg::kTPIDR_EL0,  SysReg::kTPIDRRO_EL0,
+        SysReg::kTPIDR_EL1,  SysReg::kPAR_EL1,
+        vhe() ? SysReg::kCNTKCTL_EL12 : SysReg::kCNTKCTL_EL1,
+        SysReg::kCSSELR_EL1};
+    for (SysReg enc : ext) {
+      cpu_.SysRegWrite(enc, rng.Next());
+    }
+    cpu_.SysRegWrite(SysReg::kMDSCR_EL1, rng.Next());
+    cpu_.SysRegWrite(SysReg::kPMUSERENR_EL0, rng.Next());
+    cpu_.SysRegWrite(SysReg::kICH_VMCR_EL2, rng.Next());
+    int lrs = static_cast<int>(rng.NextBelow(5));
+    for (int i = 0; i < lrs; ++i) {
+      cpu_.SysRegWrite(IchListRegisterEncoding(i), rng.Next());
+    }
+    // Keep the timer armed (bit 0) so the compare value is part of the
+    // context; ISTATUS is read-only and stays out of the written bits.
+    cpu_.SysRegWrite(vhe() ? SysReg::kCNTV_CTL_EL02 : SysReg::kCNTV_CTL_EL0,
+                     (rng.Next() & 0b10) | 0b01);
+    cpu_.SysRegWrite(vhe() ? SysReg::kCNTV_CVAL_EL02 : SysReg::kCNTV_CVAL_EL0,
+                     rng.Next());
+    uint64_t cntvoff = rng.Next();
+
+    auto cycle = [&](El1Context* c, ExtEl1Context* e, PmuDebugContext* p,
+                     VgicContext* v, TimerContext* t) {
+      v->lrs_in_use = lrs;
+      SaveEl1Context(cpu_, vhe(), c);
+      SaveExtEl1Context(cpu_, vhe(), e);
+      SavePmuDebugState(cpu_, p);
+      SaveVgic(cpu_, v);
+      SaveGuestTimer(cpu_, vhe(), t);
+      RestoreGuestTimer(cpu_, vhe(), *t, cntvoff);
+      RestoreVgic(cpu_, *v);
+      RestorePmuDebugState(cpu_, *p);
+      RestoreExtEl1Context(cpu_, vhe(), *e);
+      RestoreEl1Context(cpu_, vhe(), *c);
+    };
+
+    El1Context c1, c2;
+    ExtEl1Context e1, e2;
+    PmuDebugContext p1, p2;
+    VgicContext v1, v2;
+    TimerContext t1, t2;
+    cycle(&c1, &e1, &p1, &v1, &t1);
+    uint64_t settled = cpu_.ArchStateDigest();
+    cycle(&c2, &e2, &p2, &v2, &t2);
+    EXPECT_EQ(DigestOf(c2), DigestOf(c1)) << "iter " << iter;
+    EXPECT_EQ(DigestOf(e2), DigestOf(e1)) << "iter " << iter;
+    EXPECT_EQ(DigestOf(p2), DigestOf(p1)) << "iter " << iter;
+    EXPECT_EQ(DigestOf(v2), DigestOf(v1)) << "iter " << iter;
+    EXPECT_EQ(DigestOf(t2), DigestOf(t1)) << "iter " << iter;
+    EXPECT_EQ(cpu_.ArchStateDigest(), settled) << "iter " << iter;
   }
 }
 

@@ -10,6 +10,10 @@
 #                          vs uncached archlint matrix-dump byte comparison
 #   tools/ci.sh chaos      extended fault-injection sweep (tools/chaos.sh)
 #                          against the asan and ubsan builds
+#   tools/ci.sh fuzz       stackfuzz campaign: 10k-run differential sweep on
+#                          the Release build + regression corpus replay
+#   tools/ci.sh coverage   line-coverage build + per-directory ratchet floors
+#                          (tools/coverage.sh, tools/coverage_ratchet.txt)
 #
 # Every configuration runs the whole ctest suite, which includes the archlint
 # model verification, the srclint repo-convention checks, and a short chaos
@@ -98,6 +102,36 @@ run_chaos() {
   done
 }
 
+# Differential fuzzing campaign on the Release build: replay the checked-in
+# regression corpus, then run a 10k-case sweep with a date-derived seed so
+# successive CI runs explore different inputs while any single run stays
+# exactly reproducible from the seed it prints.
+run_fuzz() {
+  local runs="${FUZZ_RUNS:-10000}"
+  local seed="${FUZZ_SEED:-$(date -u +%Y%m%d)}"
+  local build_dir="$ROOT/build-ci-release"
+  if [[ ! -x "$build_dir/tools/stackfuzz" ]]; then
+    echo "==> [fuzz] configure + build (Release)"
+    cmake -B "$build_dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build "$build_dir" -j "$JOBS" --target stackfuzz >/dev/null
+  fi
+  echo "==> [fuzz] replay regression corpus"
+  "$build_dir/tools/stackfuzz" --replay="$ROOT/tests/corpus"
+  echo "==> [fuzz] determinism: report/corpus identical across --threads"
+  bash "$ROOT/tools/stackfuzz.sh" "$build_dir"
+  echo "==> [fuzz] campaign: seed=$seed runs=$runs"
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+  "$build_dir/tools/stackfuzz" --seed="$seed" --runs="$runs" \
+    --threads="$JOBS" --corpus-out="$tmp/corpus"
+  echo "==> [fuzz] OK"
+}
+
+run_coverage() {
+  bash "$ROOT/tools/coverage.sh"
+}
+
 run_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "==> [tidy] clang-tidy not installed; skipping"
@@ -113,22 +147,26 @@ run_tidy() {
 }
 
 case "${1:-all}" in
-  release) run_release ;;
-  asan)    run_asan ;;
-  ubsan)   run_ubsan ;;
-  tidy)    run_tidy ;;
-  smoke)   run_smoke ;;
-  chaos)   run_chaos ;;
+  release)  run_release ;;
+  asan)     run_asan ;;
+  ubsan)    run_ubsan ;;
+  tidy)     run_tidy ;;
+  smoke)    run_smoke ;;
+  chaos)    run_chaos ;;
+  fuzz)     run_fuzz ;;
+  coverage) run_coverage ;;
   all)
     run_release
     run_smoke
     run_asan
     run_ubsan
     run_chaos
+    run_fuzz
+    run_coverage
     run_tidy
     ;;
   *)
-    echo "usage: $0 [all|release|asan|ubsan|tidy|smoke|chaos]" >&2
+    echo "usage: $0 [all|release|asan|ubsan|tidy|smoke|chaos|fuzz|coverage]" >&2
     exit 2
     ;;
 esac

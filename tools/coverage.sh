@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# Line-coverage stage: build with -DNEVE_COVERAGE=ON, run the test suite,
+# aggregate per-directory line coverage over src/, and enforce the ratchet
+# floors in tools/coverage_ratchet.txt (a directory's coverage may only go
+# up; raise the floor when it does).
+#
+#   tools/coverage.sh [build-dir]
+#
+# Toolchains, in preference order:
+#   clang++  source-based profiles -> llvm-profdata merge + llvm-cov export
+#   g++      gcov notes -> gcov --json-format (gcc >= 9)
+# Skips (exit 0) when no usable toolchain is installed, so the stage is safe
+# to run on minimal machines; CI installs the tools and gets enforcement.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-ci-coverage}"
+JOBS="${JOBS:-$(nproc)}"
+RATCHET="$ROOT/tools/coverage_ratchet.txt"
+
+mode=""
+if command -v clang++ >/dev/null 2>&1 &&
+   command -v llvm-profdata >/dev/null 2>&1 &&
+   command -v llvm-cov >/dev/null 2>&1; then
+  mode=clang
+elif command -v g++ >/dev/null 2>&1 && command -v gcov >/dev/null 2>&1 &&
+     gcov --help 2>/dev/null | grep -q json-format; then
+  # Plain gcov only: llvm-cov's gcov emulation has no --json-format.
+  GCOV_TOOL="gcov"
+  mode=gcov
+fi
+if [[ -z "$mode" ]]; then
+  echo "==> [coverage] no usable coverage toolchain; skipping"
+  exit 0
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "==> [coverage] python3 not installed (needed to aggregate); skipping"
+  exit 0
+fi
+
+echo "==> [coverage] configure + build ($mode instrumentation)"
+config_args=(-DCMAKE_BUILD_TYPE=Debug -DNEVE_COVERAGE=ON)
+if [[ "$mode" == clang ]]; then
+  config_args+=(-DCMAKE_CXX_COMPILER=clang++)
+fi
+cmake -B "$BUILD" -S "$ROOT" "${config_args[@]}" >/dev/null
+cmake --build "$BUILD" -j "$JOBS" >/dev/null
+
+echo "==> [coverage] run test suite"
+if [[ "$mode" == clang ]]; then
+  (cd "$BUILD" &&
+   LLVM_PROFILE_FILE="$BUILD/profiles/%p.profraw" \
+     ctest --output-on-failure -j "$JOBS" >/dev/null)
+else
+  (cd "$BUILD" && ctest --output-on-failure -j "$JOBS" >/dev/null)
+fi
+
+echo "==> [coverage] aggregate per-directory line coverage"
+export NEVE_COV_ROOT="$ROOT" NEVE_COV_BUILD="$BUILD" NEVE_COV_MODE="$mode" \
+       NEVE_COV_RATCHET="$RATCHET" NEVE_COV_GCOV_TOOL="${GCOV_TOOL:-}"
+python3 - <<'PYEOF'
+import json, os, subprocess, sys, glob, collections
+
+root = os.environ["NEVE_COV_ROOT"]
+build = os.environ["NEVE_COV_BUILD"]
+mode = os.environ["NEVE_COV_MODE"]
+ratchet_path = os.environ["NEVE_COV_RATCHET"]
+
+# covered[file] = set of executed lines; seen[file] = set of instrumented lines
+covered = collections.defaultdict(set)
+seen = collections.defaultdict(set)
+
+def note(path, line, count):
+    path = os.path.realpath(path)
+    if not path.startswith(os.path.join(root, "src") + os.sep):
+        return
+    rel = os.path.relpath(path, root)
+    seen[rel].add(line)
+    if count > 0:
+        covered[rel].add(line)
+
+if mode == "gcov":
+    tool = os.environ["NEVE_COV_GCOV_TOOL"].split()
+    gcnos = glob.glob(os.path.join(build, "src", "**", "*.gcno"),
+                      recursive=True)
+    if not gcnos:
+        sys.exit("coverage: no .gcno files under %s/src" % build)
+    for gcno in gcnos:
+        if not os.path.exists(gcno[:-5] + ".gcda"):
+            continue  # object never executed; its lines count via other TUs
+        out = subprocess.run(tool + ["--json-format", "--stdout", gcno],
+                             capture_output=True, text=True, cwd=build)
+        for doc in out.stdout.splitlines():
+            if not doc.strip():
+                continue
+            data = json.loads(doc)
+            for f in data.get("files", []):
+                for ln in f.get("lines", []):
+                    note(os.path.join(data.get("current_working_directory",
+                                               build), f["file"]),
+                         ln["line_number"], ln["count"])
+else:
+    raws = glob.glob(os.path.join(build, "profiles", "*.profraw"))
+    if not raws:
+        sys.exit("coverage: no .profraw files (LLVM_PROFILE_FILE unset?)")
+    profdata = os.path.join(build, "profiles", "merged.profdata")
+    subprocess.run(["llvm-profdata", "merge", "-sparse", "-o", profdata]
+                   + raws, check=True)
+    binaries = [p for p in glob.glob(os.path.join(build, "tests", "*"))
+                if os.access(p, os.X_OK) and os.path.isfile(p)]
+    args = ["llvm-cov", "export", "-instr-profile", profdata, binaries[0]]
+    for b in binaries[1:]:
+        args += ["-object", b]
+    out = subprocess.run(args, capture_output=True, text=True, check=True)
+    data = json.loads(out.stdout)
+    for export in data["data"]:
+        for f in export["files"]:
+            for seg in f["segments"]:
+                line, _col, count, has_count, is_entry = seg[0], seg[1], \
+                    seg[2], seg[3], seg[4]
+                if has_count:
+                    note(f["filename"], line, count)
+
+# Per-directory rollup: src/<dir>.
+dirs = collections.defaultdict(lambda: [0, 0])  # dir -> [covered, total]
+for rel, lines in seen.items():
+    parts = rel.split(os.sep)
+    d = os.sep.join(parts[:2])
+    dirs[d][0] += len(covered.get(rel, ()))
+    dirs[d][1] += len(lines)
+
+floors = {}
+with open(ratchet_path) as fh:
+    for raw in fh:
+        raw = raw.split("#", 1)[0].strip()
+        if raw:
+            name, floor = raw.split()
+            floors[name] = float(floor)
+
+failed = False
+print(f"{'directory':<16} {'lines':>8} {'covered':>8} {'pct':>7}  floor")
+for d in sorted(dirs):
+    cov, total = dirs[d]
+    pct = 100.0 * cov / total if total else 0.0
+    floor = floors.get(d)
+    mark = ""
+    if floor is not None and pct < floor:
+        mark = "  << below floor"
+        failed = True
+    print(f"{d:<16} {total:>8} {cov:>8} {pct:>6.1f}%  "
+          f"{'' if floor is None else '%.1f%%' % floor}{mark}")
+for d in floors:
+    if d not in dirs:
+        sys.exit(f"coverage: ratchet names {d} but no lines were measured")
+if failed:
+    sys.exit("coverage: a directory fell below its ratchet floor "
+             "(tools/coverage_ratchet.txt)")
+print("==> [coverage] OK: all ratchet floors hold")
+PYEOF

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Fuzzer determinism check: stackfuzz output and every corpus file it writes
+# must be byte-identical for the same (seed, runs) regardless of --threads
+# and across reruns. This is the property that makes the regression corpus
+# replayable forever and lets CI bisect a campaign failure to one case.
+#
+#   tools/stackfuzz.sh <build-dir> [runs] [seed]
+
+set -euo pipefail
+
+BUILD="${1:?usage: tools/stackfuzz.sh <build-dir> [runs] [seed]}"
+RUNS="${2:-64}"
+SEED="${3:-7}"
+FUZZ="$BUILD/tools/stackfuzz"
+
+if [[ ! -x "$FUZZ" ]]; then
+  echo "stackfuzz.sh: $FUZZ not built" >&2
+  exit 2
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> [stackfuzz] seed=$SEED runs=$RUNS: threads=1 vs threads=8 vs rerun"
+"$FUZZ" --seed="$SEED" --runs="$RUNS" --threads=1 \
+  --corpus-out="$tmp/c1" >"$tmp/out1"
+"$FUZZ" --seed="$SEED" --runs="$RUNS" --threads=8 \
+  --corpus-out="$tmp/c2" >"$tmp/out2"
+"$FUZZ" --seed="$SEED" --runs="$RUNS" --threads=8 \
+  --corpus-out="$tmp/c3" >"$tmp/out3"
+
+# The report banner echoes the corpus directory, which legitimately differs
+# per run; normalize it before demanding byte-identical output.
+for n in 1 2 3; do
+  sed "s|corpus=$tmp/c$n|corpus=<dir>|" "$tmp/out$n" >"$tmp/norm$n"
+done
+cmp "$tmp/norm1" "$tmp/norm2"
+cmp "$tmp/norm2" "$tmp/norm3"
+diff -r "$tmp/c1" "$tmp/c2"
+diff -r "$tmp/c2" "$tmp/c3"
+echo "==> [stackfuzz] OK: report and corpus byte-identical across threads"
