@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/arch/vncr.h"
+#include "src/obs/attr.h"
 #include "src/workload/microbench.h"
 #include "src/workload/stacks.h"
 
@@ -34,9 +35,14 @@ BENCHMARK(BM_SysRegOp);
 // pipeline's hottest path; the cached/uncached pair isolates the fast-path
 // cache's host-side speedup (the uncached variant re-walks the full
 // E2H/NV/NEVE decision tree on every access).
-void RunVel2SysRegBurst(benchmark::State& state, bool cache_enabled) {
+void RunVel2SysRegBurst(benchmark::State& state, bool cache_enabled,
+                        CycleAttribution* attr = nullptr) {
   PhysMem mem(16ull << 20);
   Cpu cpu(0, ArchFeatures::Armv84Neve(), CostModel::Default(), &mem);
+  if (attr != nullptr) {
+    attr->AttachCpu(0);
+    cpu.SetAttribution(attr);
+  }
   cpu.resolution_cache().set_enabled(cache_enabled);
   cpu.PokeReg(RegId::kVNCR_EL2, VncrEl2::Make(8ull << 20, true).bits());
   cpu.PokeReg(RegId::kHCR_EL2, Hcr::Make({HcrBits::kVm, HcrBits::kImo,
@@ -61,6 +67,15 @@ void BM_Vel2SysRegBurstUncached(benchmark::State& state) {
   RunVel2SysRegBurst(state, /*cache_enabled=*/false);
 }
 BENCHMARK(BM_Vel2SysRegBurstUncached);
+
+void BM_Vel2SysRegBurstAttr(benchmark::State& state) {
+  // The same burst with cycle attribution attached: the gap to
+  // BM_Vel2SysRegBurstCached is the always-on accounting overhead (one
+  // pointer-add per Charge). attr_test's overhead guard holds it within 3%.
+  CycleAttribution attr;
+  RunVel2SysRegBurst(state, /*cache_enabled=*/true, &attr);
+}
+BENCHMARK(BM_Vel2SysRegBurstAttr);
 
 void BM_GuestMemoryAccess(benchmark::State& state) {
   ArmStack stack(StackConfig::Vm(), 1);

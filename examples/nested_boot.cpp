@@ -110,6 +110,8 @@ int main(int argc, char** argv) {
   std::printf("%s", machine.cpu(0).trace().Dump().c_str());
   std::printf("\n=== where the cycles went ===\n%s",
               machine.cpu(0).trace().AttributionReport().c_str());
+  std::printf("\n=== cycle attribution (vm -> layer -> category) ===\n%s",
+              machine.attr().TextTree().c_str());
   std::printf("\n=== machine-wide metrics ===\n%s",
               machine.obs().metrics().TextReport().c_str());
   std::printf(

@@ -334,6 +334,107 @@ void LintGuestReachableAborts(const SourceFile& f,
   }
 }
 
+// --- rule: attribution category annotation -----------------------------------
+
+// Files defining (or naming, in the linter's case) the attribution
+// primitives themselves.
+constexpr const char* kAttrWhitelist[] = {
+    "src/obs/attr.h",
+    "src/obs/attr.cc",
+    "src/cpu/cpu.h",
+    "src/analysis/srclint.cc",
+};
+
+// The parenthesized argument text of the call starting at `pos`, or "" when
+// no '(' opens before the statement ends (a declaration, not a call).
+std::string CallArgText(std::string_view content, size_t pos) {
+  size_t open = content.find('(', pos);
+  size_t semi = content.find(';', pos);
+  if (open == std::string_view::npos ||
+      (semi != std::string_view::npos && semi < open)) {
+    return "";
+  }
+  int depth = 0;
+  size_t end = open;
+  for (; end < content.size(); ++end) {
+    if (content[end] == '(') {
+      ++depth;
+    } else if (content[end] == ')' && --depth == 0) {
+      break;
+    }
+  }
+  return std::string(content.substr(open, end - open));
+}
+
+// The arguments name a category: a literal AttrCat:: enumerator or an
+// expression that computes one (emul_cat, TrapCatForEc(...)).
+bool MentionsAttrCategory(const std::string& args) {
+  if (args.find("AttrCat::") != std::string::npos) {
+    return true;
+  }
+  std::string lower = args;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  });
+  return lower.find("cat") != std::string::npos;
+}
+
+// Every cycle-charging attribution site must say *which* category it charges:
+// an uncategorized charge silently lands cycles in whatever frame happens to
+// be on top, which corrupts the per-category breakdown without tripping the
+// conservation invariant. src/cpu/cpu.cc must additionally keep its two
+// non-scope charge sites (AdvanceTo's idle rendezvous and the VNCR redirect)
+// on their dedicated categories.
+void LintAttrCategories(const SourceFile& f, std::vector<Diagnostic>& d) {
+  if (Whitelisted(f.path, kAttrWhitelist)) {
+    return;
+  }
+  static constexpr const char* kChargePatterns[] = {"ChargeAttributed(",
+                                                    "ChargeTo("};
+  for (const char* pattern : kChargePatterns) {
+    for (size_t pos : FindCalls(f.content, pattern)) {
+      if (!MentionsAttrCategory(CallArgText(f.content, pos))) {
+        d.push_back({f.path, LineOfOffset(f.content, pos),
+                     "attr-missing-category",
+                     std::string(pattern) +
+                         "...) charges cycles without an attribution "
+                         "category; pass an AttrCat:: enumerator (or an "
+                         "expression computing one)"});
+      }
+    }
+  }
+  for (size_t pos : FindCalls(f.content, "AttrScope")) {
+    std::string args = CallArgText(f.content, pos);
+    if (args.empty()) {
+      continue;  // a mention, not a construction
+    }
+    if (!MentionsAttrCategory(args)) {
+      d.push_back({f.path, LineOfOffset(f.content, pos),
+                   "attr-missing-category",
+                   "AttrScope constructed without an attribution category; "
+                   "every frame must name the AttrCat it charges"});
+    }
+  }
+  if (PathMatches(f.path, "src/cpu/cpu.cc")) {
+    struct Required {
+      const char* needle;
+      const char* check;
+      const char* message;
+    };
+    static constexpr Required kRequired[] = {
+        {"AttrCat::kIdleWait", "attr-missing-idle-category",
+         "AdvanceTo's rendezvous charge must stay on AttrCat::kIdleWait"},
+        {"AttrCat::kVncrRedirect", "attr-missing-vncr-category",
+         "the VNCR redirect charge must stay on AttrCat::kVncrRedirect"},
+    };
+    for (const Required& req : kRequired) {
+      if (f.content.find(req.needle) == std::string::npos) {
+        d.push_back({f.path, 0, req.check, req.message});
+      }
+    }
+  }
+}
+
 // --- rule: unseeded randomness in the fuzzer ---------------------------------
 
 // The fuzzer's determinism contract (stackfuzz output is a pure function of
@@ -392,6 +493,7 @@ std::vector<Diagnostic> LintSources(const std::vector<SourceFile>& files) {
     LintRawRegisterAccess(f, d);
     LintTrapInstrumentation(f, d);
     LintGuestReachableAborts(f, d);
+    LintAttrCategories(f, d);
     LintFuzzUnseededRandomness(f, d);
     LintSpanBalance(f, d);
   }

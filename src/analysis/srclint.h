@@ -18,6 +18,12 @@
 //                         the same line or the two lines above; such checks
 //                         must be confined (NEVE_GUEST_CHECK or
 //                         RaiseGuestFault) so a guest bug kills only its VM
+//   attr-*                cycle-charging attribution sites (ChargeAttributed,
+//                         ChargeTo, AttrScope constructions) must name the
+//                         AttrCat they charge — a literal enumerator or an
+//                         expression computing one; src/cpu/cpu.cc must keep
+//                         the idle rendezvous and the VNCR redirect on their
+//                         dedicated categories
 //   fuzz-unseeded-randomness
 //                         ambient entropy sources (rand, std::random_device,
 //                         mt19937, drand48, ...) anywhere under src/fuzz;

@@ -43,6 +43,31 @@ class S2TranslatingView : public MemIo {
   Pa s2_root_;
 };
 
+// The attribution category of a whole trap episode: entry, dispatch and
+// return cycles land here unless the handler refines them with a nested
+// scope (sysreg/timer/GIC emulation, shadow fixups, ...).
+AttrCat TrapCatForEc(Ec ec) {
+  switch (ec) {
+    case Ec::kHvc64:
+    case Ec::kSmc64:
+      return AttrCat::kTrapHvc;
+    case Ec::kSysReg:
+      return AttrCat::kTrapSysReg;
+    case Ec::kEretTrap:
+      return AttrCat::kTrapEret;
+    case Ec::kInstAbortLow:
+    case Ec::kDataAbortLow:
+      return AttrCat::kTrapDataAbort;
+    case Ec::kIrq:
+      return AttrCat::kTrapIrq;
+    case Ec::kWfx:
+      return AttrCat::kTrapWfx;
+    case Ec::kUnknown:
+      break;
+  }
+  return AttrCat::kTrapOther;
+}
+
 }  // namespace
 
 Cpu::Cpu(int index, ArchFeatures features, const CostModel& cost, PhysMem* mem)
@@ -60,7 +85,14 @@ Cpu::Cpu(int index, ArchFeatures features, const CostModel& cost, PhysMem* mem)
 
 void Cpu::AdvanceTo(uint64_t cycle_count) {
   if (cycle_count > cycles_) {
+    uint64_t delta = cycle_count - cycles_;
     cycles_ = cycle_count;
+    // The skipped-forward cycles are time this CPU logically sat idle while
+    // another CPU ran ahead; attribute them so the conservation invariant
+    // (sum of buckets == sum of clocks) covers rendezvous too.
+    if (attr_ != nullptr) {
+      attr_->ChargeTo(index_, AttrCat::kIdleWait, delta);
+    }
   }
 }
 
@@ -106,16 +138,25 @@ TrapOutcome Cpu::TakeTrapToEl2(const Syndrome& s, uint32_t detect_cost) {
                     "one VM entry (next trap: " + s.ToString() + ")");
   }
 
+  // The whole episode -- entry, host dispatch, return -- is attributed to
+  // the trap's category at layer L0 (handling happens in the host) unless a
+  // handler pushes a finer-grained scope. The RAII scope survives a
+  // GuestFaultException unwinding out of the host handler.
+  AttrScope attr_scope(*this, AttrLayer::kL0, TrapCatForEc(s.ec));
+
   uint64_t episode_start = cycles_;
   Charge(detect_cost + cost_.trap_entry);
   trace_.OnTrapToEl2(s, cycles_);
 
   // Snapshot observability state at entry so the begin/end pair stays
-  // balanced even if tracing is toggled while the handler runs.
+  // balanced even if tracing is toggled while the handler runs. The begin
+  // event's ID doubles as the episode's exemplar link.
   bool observing = ObsActive(obs_);
+  uint64_t trace_id = 0;
   if (observing) {
     obs_->metrics().Counter("cpu.traps_to_el2").Add(1);
-    obs_->tracer().Begin(index_, "trap", EcName(s.ec), episode_start);
+    trace_id = obs_->tracer().Begin(index_, "trap", EcName(s.ec),
+                                    episode_start);
   }
 
   // Hardware exception-entry side effects: syndrome and return state land in
@@ -149,9 +190,16 @@ TrapOutcome Cpu::TakeTrapToEl2(const Syndrome& s, uint32_t detect_cost) {
   if (trap_depth_ == 0) {
     trace_.AttributeCycles(s.ec, cycles_ - episode_start);
     if (observing) {
+      // Episode latency histograms, overall and per trap class, each with
+      // the begin event's ID as the bucket exemplar: an outlier links
+      // straight back to its trace span.
+      uint64_t episode = cycles_ - episode_start;
       obs_->metrics()
           .Histogram("cpu.trap_episode_cycles")
-          .Record(cycles_ - episode_start);
+          .RecordWithExemplar(episode, trace_id);
+      obs_->metrics()
+          .Histogram(std::string("cpu.trap_episode_cycles.") + EcName(s.ec))
+          .RecordWithExemplar(episode, trace_id);
     }
   }
   if (observing) {
@@ -191,11 +239,11 @@ uint64_t Cpu::SysRegRead(SysReg enc) {
       return regs_[static_cast<size_t>(r.target)];
     case AccessResolution::Kind::kGicCpuIf:
       NEVE_CHECK_MSG(gic_ != nullptr, "no GIC CPU interface installed");
-      Charge(cost_.gic_vcpuif_access);
+      ChargeAttributed(cost_.gic_vcpuif_access, AttrCat::kGicEmul);
       return gic_->IccRead(index_, r.target);
     case AccessResolution::Kind::kMemory: {
       // NEVE rewrote the register read into a plain load (section 6.1).
-      Charge(cost_.mem_access);
+      ChargeAttributed(cost_.mem_access, AttrCat::kVncrRedirect);
       if (ObsActive(obs_)) {
         obs_->metrics().Counter("cpu.vncr_redirects").Add(1);
         obs_->tracer().Instant(index_, "vncr", SysRegName(enc), cycles_);
@@ -242,11 +290,11 @@ void Cpu::SysRegWrite(SysReg enc, uint64_t value) {
       return;
     case AccessResolution::Kind::kGicCpuIf:
       NEVE_CHECK_MSG(gic_ != nullptr, "no GIC CPU interface installed");
-      Charge(cost_.gic_vcpuif_access);
+      ChargeAttributed(cost_.gic_vcpuif_access, AttrCat::kGicEmul);
       gic_->IccWrite(index_, r.target, value);
       return;
     case AccessResolution::Kind::kMemory:
-      Charge(cost_.mem_access);
+      ChargeAttributed(cost_.mem_access, AttrCat::kVncrRedirect);
       if (ObsActive(obs_)) {
         obs_->metrics().Counter("cpu.vncr_redirects").Add(1);
         obs_->tracer().Instant(index_, "vncr", SysRegName(enc), cycles_);

@@ -32,6 +32,7 @@
 #include "src/cpu/trap_rules.h"
 #include "src/fault/guest_fault.h"
 #include "src/mem/phys_mem.h"
+#include "src/obs/attr.h"
 #include "src/obs/observability.h"
 
 namespace neve {
@@ -92,6 +93,12 @@ class Cpu {
   // are no-ops unless the injector is both present and armed (FaultActive).
   void SetFaultInjector(FaultInjector* fault) { fault_ = fault; }
   FaultInjector* fault() const { return fault_; }
+  // Machine-wide cycle attribution (src/obs/attr.h); may stay null for bare
+  // CPUs built outside a Machine. When attached, every Charge lands in the
+  // CPU's current attribution frame; the CPU must have been AttachCpu()d
+  // first.
+  void SetAttribution(CycleAttribution* attr) { attr_ = attr; }
+  CycleAttribution* attribution() const { return attr_; }
 
   // --- trap-livelock watchdog -------------------------------------------
   // When nonzero, the next trap taken at or past this cycle count raises a
@@ -263,7 +270,25 @@ class Cpu {
   // errors (guests premap their address spaces) and panic.
   bool TranslateVa(Va va, bool is_write, Pa* pa, Syndrome* fault);
 
-  void Charge(uint32_t cycles) { cycles_ += cycles; }
+  // The only mutation points of cycles_ are Charge and AdvanceTo; both
+  // attribute, which is what makes the cycles-conserved invariant (sum of
+  // attribution buckets == sum of CPU clocks) hold by construction.
+  void Charge(uint32_t cycles) {
+    cycles_ += cycles;
+    if (attr_ != nullptr) {
+      attr_->ChargeCurrent(index_, cycles);
+    }
+  }
+
+  // Charge to the current frame's context but a specific category, for
+  // single-charge sites that are not worth a frame push (VNCR redirects,
+  // GIC vCPU-interface accesses).
+  void ChargeAttributed(uint32_t cycles, AttrCat cat) {
+    cycles_ += cycles;
+    if (attr_ != nullptr) {
+      attr_->ChargeTo(index_, cat, cycles);
+    }
+  }
 
   int index_;
   ArchFeatures features_;
@@ -273,6 +298,7 @@ class Cpu {
   GicCpuInterface* gic_ = nullptr;
   Observability* obs_ = nullptr;
   FaultInjector* fault_ = nullptr;
+  CycleAttribution* attr_ = nullptr;
 
   El el_ = El::kEl2;
   uint64_t cycles_ = 0;

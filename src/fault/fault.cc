@@ -47,7 +47,9 @@ bool FaultInjector::ShouldInject(FaultPoint point, int cpu, uint64_t cycles,
                       .point = point,
                       .cpu = cpu,
                       .cycles = cycles,
-                      .detail = detail};
+                      .detail = detail,
+                      .attr_key = attr_ != nullptr ? attr_->CurrentKey(cpu)
+                                                   : kNoAttrKey};
   log_.push_back(rec);
   ++counts_[static_cast<size_t>(point)];
   if (ObsActive(obs_)) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/base/rng.h"
+#include "src/obs/attr.h"
 #include "src/obs/observability.h"
 
 namespace neve {
@@ -82,6 +83,13 @@ struct InjectionRecord {
   int cpu = -1;          // simulated CPU at the injection site (-1: none)
   uint64_t cycles = 0;   // that CPU's cycle clock at injection
   uint64_t detail = 0;   // site-specific (intid, IPA, sysreg encoding, ...)
+  // Packed attribution key (attr.h) of the CPU's active frame at injection
+  // time (kNoAttrKey when no attribution was wired or cpu is -1); says which
+  // (vm, layer, category) the fault landed in -- chaos triage reads this via
+  // UnpackAttrKey. Deliberately not part of LogText(): the determinism
+  // contract compares that string across configurations that may differ only
+  // in attribution wiring.
+  uint64_t attr_key = kNoAttrKey;
 };
 
 class FaultInjector {
@@ -101,6 +109,10 @@ class FaultInjector {
   // Wired by Machine; injections are mirrored into fault.* metrics and
   // tracer instants when the obs layer is enabled.
   void SetObservability(Observability* obs) { obs_ = obs; }
+
+  // Wired by Machine; when present, each InjectionRecord is tagged with the
+  // injecting CPU's current attribution context (attr_key).
+  void SetAttribution(const CycleAttribution* attr) { attr_ = attr; }
 
   // The cheap gate every site checks first (via FaultActive).
   bool armed() const { return config_.enabled; }
@@ -131,6 +143,7 @@ class FaultInjector {
   FaultConfig config_;
   Rng rng_{0};
   Observability* obs_ = nullptr;
+  const CycleAttribution* attr_ = nullptr;
   std::vector<InjectionRecord> log_;
   uint64_t counts_[kNumFaultPoints] = {};
 };

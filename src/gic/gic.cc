@@ -10,6 +10,7 @@ GicV3::GicV3(int num_cpus) : num_cpus_(num_cpus) {
   // host-invariant: machine construction parameter, no guest influence.
   NEVE_CHECK(num_cpus > 0);
   cpus_.resize(num_cpus, nullptr);
+  ack_info_.resize(num_cpus);
 }
 
 void GicV3::AttachCpu(Cpu* cpu) {
@@ -140,11 +141,16 @@ uint64_t GicV3::IccRead(int cpu_idx, RegId reg) {
       cpu.PokeReg(IchListRegister(lr_idx), ListReg::ToActive(lr));
       SyncStatusRegs(cpu);
       ++virtual_acks_;
+      uint64_t ack_id = 0;
       if (ObsActive(obs_)) {
         obs_->metrics().Counter("gic.virtual_acks").Add(1);
-        obs_->tracer().Instant(cpu_idx, "gic", "virtual_ack", cpu.cycles(),
-                               "intid", ListReg::Intid(lr));
+        ack_id = obs_->tracer().Instant(cpu_idx, "gic", "virtual_ack",
+                                        cpu.cycles(), "intid",
+                                        ListReg::Intid(lr));
       }
+      ack_info_[cpu_idx][lr_idx] =
+          LrAckInfo{.ack_cycles = cpu.cycles(), .ack_trace_id = ack_id,
+                    .valid = true};
       return ListReg::Intid(lr);
     }
     case RegId::kICC_HPPIR1_EL1: {
@@ -180,11 +186,22 @@ void GicV3::IccWrite(int cpu_idx, RegId reg, uint64_t value) {
           cpu.PokeReg(IchListRegister(i), 0);
           SyncStatusRegs(cpu);
           ++virtual_eois_;
+          LrAckInfo& ai = ack_info_[cpu_idx][i];
           if (ObsActive(obs_)) {
             obs_->metrics().Counter("gic.virtual_eois").Add(1);
             obs_->tracer().Instant(cpu_idx, "gic", "virtual_eoi", cpu.cycles(),
                                    "intid", intid);
+            if (ai.valid) {
+              // Ack-to-EOI distance: how long the virtual interrupt stayed
+              // active in the guest's handler. The ack instant is the
+              // exemplar so a slow handler links back to its trace event.
+              obs_->metrics()
+                  .Histogram("gic.virtual_irq_active_cycles")
+                  .RecordWithExemplar(cpu.cycles() - ai.ack_cycles,
+                                      ai.ack_trace_id);
+            }
           }
+          ai.valid = false;
           return;
         }
       }

@@ -20,6 +20,7 @@
 #ifndef NEVE_SRC_GIC_GIC_H_
 #define NEVE_SRC_GIC_GIC_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -114,6 +115,16 @@ class GicV3 : public GicCpuInterface {
  private:
   static constexpr int kNumListRegs = 4;
 
+  // Virtual-ack bookkeeping per (cpu, list register): when the matching EOI
+  // arrives, the ack-to-EOI distance feeds the
+  // "gic.virtual_irq_active_cycles" histogram, with the ack's tracer event id
+  // as the bucket exemplar (histogram outlier -> the trace event behind it).
+  struct LrAckInfo {
+    uint64_t ack_cycles = 0;
+    uint64_t ack_trace_id = 0;
+    bool valid = false;
+  };
+
   Cpu& CpuRef(int cpu);
 
   // Highest-priority pending list register (lowest intid wins), or -1.
@@ -121,6 +132,7 @@ class GicV3 : public GicCpuInterface {
 
   int num_cpus_;
   std::vector<Cpu*> cpus_;
+  std::vector<std::array<LrAckInfo, kNumListRegs>> ack_info_;
   PhysIrqSink sink_;
   Observability* obs_ = nullptr;
   FaultInjector* fault_ = nullptr;

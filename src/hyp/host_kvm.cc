@@ -7,6 +7,7 @@
 #include "src/fault/fault.h"
 #include "src/fault/guest_fault.h"
 #include "src/gic/gic.h"
+#include "src/obs/attr.h"
 
 namespace neve {
 namespace {
@@ -27,6 +28,13 @@ bool UsesDeferredSlot(RegId reg, bool guest_vhe) {
     default:
       return false;
   }
+}
+
+// Which attribution layer a vCPU mode executes at: the nested VM is L2,
+// everything else inside the VM (plain guest, guest hypervisor in virtual
+// EL2, its kernel at virtual EL1) is L1.
+AttrLayer LayerOf(VcpuMode mode) {
+  return mode == VcpuMode::kVel1Nested ? AttrLayer::kL2 : AttrLayer::kL1;
 }
 
 }  // namespace
@@ -74,6 +82,7 @@ Vm* HostKvm::CreateVm(const VmConfig& config) {
       vcpu.vncr_hw_page = machine_->host_pool().AllocPage();
     }
   }
+  vm->set_id(static_cast<int>(vms_.size()));
   vms_.push_back(std::move(vm));
   return vms_.back().get();
 }
@@ -212,6 +221,7 @@ void HostKvm::SwitchIntoGuest(Cpu& cpu, Vcpu& vcpu) {
   VcpuHostState& hs = HostStateOf(vcpu);
 
   ScopedSpan span(cpu.obs(), cpu, "world_switch", "switch_into_guest");
+  AttrScope attr_scope(cpu, AttrCat::kWorldSwitchEnter);
   if (ObsActive(cpu.obs())) {
     cpu.obs()->metrics().Counter("hyp.switches_into_guest").Add(1);
   }
@@ -291,6 +301,7 @@ void HostKvm::SwitchOutOfGuest(Cpu& cpu, Vcpu& vcpu) {
   VcpuHostState& hs = HostStateOf(vcpu);
 
   ScopedSpan span(cpu.obs(), cpu, "world_switch", "switch_out_of_guest");
+  AttrScope attr_scope(cpu, AttrCat::kWorldSwitchExit);
   if (ObsActive(cpu.obs())) {
     cpu.obs()->metrics().Counter("hyp.switches_out_of_guest").Add(1);
   }
@@ -338,6 +349,7 @@ void HostKvm::StartGuestProgram(Cpu& cpu, Vcpu& vcpu, GuestSoftware& sw) {
   NEVE_CHECK(!sw.started);
   sw.started = true;
   GuestEnv env(&cpu, &vcpu);
+  AttrScope attr_scope(cpu, LayerOf(vcpu.mode), AttrCat::kGuestCompute);
   cpu.RunLowerEl(El::kEl1, [&] { sw.main(env); });
 }
 
@@ -351,6 +363,10 @@ Status HostKvm::RunVcpu(Vcpu& vcpu, int pcpu) {
   // host-invariant: pcpu scheduling is the embedding harness's sequencing.
   NEVE_CHECK_MSG(ps.current == nullptr, "pcpu already running a vcpu");
   Cpu& cpu = machine_->cpu(pcpu);
+  // Everything under this entry belongs to this (vm, vcpu); host-side work
+  // with no finer frame lands in L0/host_other.
+  AttrScope attr_scope(cpu, vcpu.vm().id(), vcpu.id(), AttrLayer::kL0,
+                       AttrCat::kHostOther);
   ps.current = &vcpu;
   vcpu.loaded_on_pcpu = pcpu;
 
@@ -391,6 +407,10 @@ Status HostKvm::ConfineGuestFault(Cpu& cpu, Vcpu& vcpu,
                                   const GuestFaultException& e) {
   Vm& vm = vcpu.vm();
   vm.set_dead(true);
+  // Flight-record the attribution tree at the moment of confinement: the
+  // charges survived the unwind (buckets outlive frames), so this snapshot
+  // shows exactly where the faulting run's cycles went.
+  machine_->attr().RecordFlight(std::string("guest_fault:") + e.kind());
   if (Observability& obs = machine_->obs(); ObsActive(&obs)) {
     obs.metrics().Counter("fault.vm_kills").Add(1);
     obs.metrics().Counter(std::string("fault.kill.") + e.kind()).Add(1);
@@ -477,6 +497,7 @@ TrapOutcome HostKvm::OnTrapToEl2(Cpu& cpu, const Syndrome& s) {
     vcpu.deferred_vector.reset();
     vcpu.deferred_vector_active = true;
     GuestEnv env(&cpu, &vcpu);
+    AttrScope attr_scope(cpu, LayerOf(vcpu.mode), AttrCat::kGuestCompute);
     cpu.RunLowerEl(El::kEl1,
                    [&] { dv.handler->OnVirtualExit(env, dv.syndrome); });
     vcpu.deferred_vector_active = false;
@@ -543,6 +564,19 @@ TrapOutcome HostKvm::HandleHvc(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
 
 TrapOutcome HostKvm::HandleSysRegTrap(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
   RegId storage = SysRegStorage(s.sysreg);
+
+  // Refine the trap episode into the emulation family the access exercises:
+  // GIC and timer state machines versus the plain VM-register stores that
+  // dominate under ARMv8.3 (Table 6's sysreg-emulation column).
+  AttrCat emul_cat = AttrCat::kSysRegEmul;
+  if (storage == RegId::kICC_SGI1R_EL1 ||
+      RegNeveClass(storage) == NeveClass::kGicCached) {
+    emul_cat = AttrCat::kGicEmul;
+  } else if (SysRegEncKind(s.sysreg) == EncKind::kEl02 ||
+             RegNeveClass(storage) == NeveClass::kTimerTrap) {
+    emul_cat = AttrCat::kTimerEmul;
+  }
+  AttrScope attr_scope(cpu, emul_cat);
 
   if (vcpu.mode != VcpuMode::kVel2) {
     // Traps from a plain guest / virtual EL1 context.
@@ -706,6 +740,7 @@ TrapOutcome HostKvm::HandleDataAbort(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
     // entry present in the guest hypervisor's virtual Stage-2 (fix up and
     // retry) or the guest hypervisor itself left it unmapped (forward: its
     // device, its problem).
+    AttrScope attr_scope(cpu, AttrCat::kShadowS2Fixup);
     cpu.Compute(SwCost::kShadowFixup);
     // Injected Stage-2 external abort: the memory system reported an
     // uncorrectable error on the nested access. KVM's policy for SEA during
@@ -766,6 +801,7 @@ TrapOutcome HostKvm::HandleDataAbort(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
   // this path -- the reason Table 5 presumes the GICv3 interface.
   if (vcpu.vm().config().virtual_el2 && ipa.value >= kGichMmioBase &&
       ipa.value < kGichMmioBase + kPageSize) {
+    AttrScope attr_scope(cpu, AttrCat::kGicEmul);
     cpu.Compute(SwCost::kVgicEmulate);
     auto reg = static_cast<RegId>((ipa.value - kGichMmioBase) / 8);
     // The guest hypervisor computed this GICH offset.
@@ -778,6 +814,7 @@ TrapOutcome HostKvm::HandleDataAbort(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
     return TrapOutcome::Completed(ReadVel2Reg(cpu, vcpu, reg));
   }
 
+  AttrScope attr_scope(cpu, AttrCat::kMmioEmul);
   const MmioRange* range = vcpu.vm().FindMmio(ipa);
   // The guest accessed an address its hypervisor never mapped or registered
   // as a device: real KVM delivers SIGBUS / an external abort and the VM
@@ -800,6 +837,7 @@ void HostKvm::DeliverToVel2(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
   // host-invariant: callers only forward exits for virtual_el2 VMs.
   NEVE_CHECK(vcpu.vm().config().virtual_el2);
   ++vcpu.vel2_deliveries;
+  AttrScope attr_scope(cpu, AttrCat::kVel2Deliver);
   cpu.Compute(SwCost::kVel2Deliver);
   ScopedSpan span(cpu.obs(), cpu, "hyp", "vel2_deliver");
   if (ObsActive(cpu.obs())) {
@@ -839,6 +877,7 @@ void HostKvm::DeliverToVel2(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
     SwitchIntoGuest(cpu, vcpu);
     vcpu.vel2_handler_active = true;
     GuestEnv env(&cpu, &vcpu);
+    AttrScope guest_scope(cpu, LayerOf(vcpu.mode), AttrCat::kGuestCompute);
     cpu.RunLowerEl(El::kEl1, [&] { sw.vel2->OnVirtualExit(env, s); });
     vcpu.vel2_handler_active = false;
   }
@@ -851,6 +890,7 @@ void HostKvm::DeliverToVel2(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
 // ---------------------------------------------------------------------------
 
 void HostKvm::EmulateSgi(Cpu& cpu, Vcpu& vcpu, uint64_t sgir) {
+  AttrScope attr_scope(cpu, AttrCat::kGicEmul);
   cpu.Compute(SwCost::kVgicSgi);
   uint16_t mask = SgiR::TargetMask(sgir);
   uint32_t virq = kSgiBase + SgiR::SgiId(sgir);
@@ -898,6 +938,7 @@ void HostKvm::OnPhysIrq(int target_pcpu, uint32_t intid,
   Vcpu* vcpu = ps.current;
   if (vcpu == nullptr) {
     // Interrupt while the host runs: triage only.
+    AttrScope attr_scope(cpu, AttrCat::kTrapIrq);
     cpu.Compute(SwCost::kIrqTriageHost);
     return;
   }
@@ -905,7 +946,11 @@ void HostKvm::OnPhysIrq(int target_pcpu, uint32_t intid,
   // (RunVcpu / confinement keep the two coherent).
   NEVE_CHECK(ps.guest_loaded);
 
-  // Hardware IRQ exit from the running guest.
+  // Hardware IRQ exit from the running guest. The receiving pcpu's RunVcpu
+  // frame is long gone (a parked vcpu's entry returned), so push a full
+  // context frame rather than inheriting whatever is on top.
+  AttrScope attr_scope(cpu, vcpu->vm().id(), vcpu->id(), AttrLayer::kL0,
+                       AttrCat::kTrapIrq);
   cpu.Compute(cpu.cost().trap_entry);
   cpu.trace().OnTrapToEl2(Syndrome::Irq(intid), cpu.cycles());
   SwitchOutOfGuest(cpu, *vcpu);
@@ -955,6 +1000,7 @@ void HostKvm::DeliverLoadedLrToGuestSw(Cpu& cpu, Vcpu& vcpu) {
     return;
   }
   GuestEnv env(&cpu, &vcpu);
+  AttrScope attr_scope(cpu, LayerOf(vcpu.mode), AttrCat::kGuestCompute);
   cpu.RunLowerEl(El::kEl1, [&] {
     cpu.Compute(cpu.cost().el1_vector_entry);
     sw.irq(env, intid);

@@ -176,6 +176,12 @@ class Vm {
   const VmConfig& config() const { return config_; }
   Pa ram_base() const { return ram_base_; }
 
+  // Host-assigned VM index, used as the attribution key's vm field (attr.h).
+  // -1 for VMs not registered with a host hypervisor (a guest hypervisor's
+  // internal Vm objects keep the default).
+  int id() const { return id_; }
+  void set_id(int id) { id_ = id; }
+
   int num_vcpus() const { return static_cast<int>(vcpus_.size()); }
   Vcpu& vcpu(int i) { return *vcpus_.at(i); }
 
@@ -196,6 +202,7 @@ class Vm {
 
  private:
   VmConfig config_;
+  int id_ = -1;
   bool dead_ = false;
   uint64_t generation_ = 0;
   Pa ram_base_;

@@ -68,12 +68,14 @@ ShadowS2::FixupResult ShadowS2::FinishFault(Ipa l2_ipa, const WalkResult& virt,
     table_.Reset();
   }
   if (!virt.ok) {
+    ++virtual_faults_;
     return FixupResult::kVirtualFault;
   }
   // Step 2: L1 IPA -> L0 PA through the host's tables.
   Ipa l1_ipa(virt.pa.value);
   WalkResult host = host_s2.Walk(l1_ipa, is_write);
   if (!host.ok) {
+    ++host_faults_;
     return FixupResult::kHostFault;
   }
   // Step 3: install the collapsed mapping with intersected permissions.
@@ -81,6 +83,7 @@ ShadowS2::FixupResult ShadowS2::FinishFault(Ipa l2_ipa, const WalkResult& virt,
                   .user = virt.perms.user};
   table_.MapPage(Ipa(l2_ipa.PageBase().value), host.pa.PageBase(), perms);
   ++faults_handled_;
+  ++installed_;
   return FixupResult::kInstalled;
 }
 

@@ -86,12 +86,22 @@ class ShadowS2 {
 
   uint64_t faults_handled() const { return faults_handled_; }
 
+  // Per-outcome fault counts (faults_handled() counts only installs). Used
+  // by the attribution report to split shadow-fixup cycles between real
+  // installs and forwarded virtual faults.
+  uint64_t installed() const { return installed_; }
+  uint64_t virtual_faults() const { return virtual_faults_; }
+  uint64_t host_faults() const { return host_faults_; }
+
  private:
   FixupResult FinishFault(Ipa l2_ipa, const WalkResult& virt, bool is_write,
                           const Stage2Table& host_s2);
 
   Stage2Table table_;
   uint64_t faults_handled_ = 0;
+  uint64_t installed_ = 0;
+  uint64_t virtual_faults_ = 0;
+  uint64_t host_faults_ = 0;
   FaultInjector* fault_ = nullptr;
 };
 

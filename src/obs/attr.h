@@ -1,0 +1,266 @@
+// Cross-layer cycle attribution: where do the cycles go?
+//
+// The paper's core measurements (Tables 6-7) are cost *breakdowns*: cycles
+// split by virtualization layer and by cause (trap kind, world-switch phase,
+// sysreg emulation, shadow Stage-2 fixups, GIC, VNCR redirects, guest
+// compute). The flat obs counters cannot answer those questions, so every
+// Machine owns a CycleAttribution: an always-on accounting layer that maps
+// every cycle charged on every simulated CPU into exactly one bucket keyed by
+// (vm, vcpu, layer, category).
+//
+// Mechanism: each CPU carries a stack of attribution *frames*. A frame is a
+// packed (vm, vcpu, layer, category) key plus a pointer to that key's bucket.
+// Layers push frames around meaningful regions (a trap episode, a world
+// switch phase, guest execution) via the AttrScope RAII helper; Cpu::Charge
+// adds to the top frame's bucket with a single pointer-chase -- no map lookup
+// on the hot path. Scopes are exception-safe: a GuestFaultException unwinding
+// through nested guest frames pops every frame it crossed.
+//
+// Conservation contract: the sum over all buckets equals the sum of the
+// machine's CPU cycle counters at all times (attr_test.cc asserts this on
+// every stack configuration). Two rules make that hold:
+//   1. every cycle mutation goes through Cpu::Charge / Cpu::AdvanceTo, both
+//      of which attribute, and
+//   2. Pop never discards a frame's charges -- charges land in buckets, not
+//      in frames.
+//
+// Overhead contract: with no CycleAttribution attached (attr_ == nullptr in
+// Cpu) the cost is one predicted-not-taken branch per Charge; with one
+// attached it is one add through a cached pointer. bench/simcore_gbench.cc's
+// BM_Vel2SysRegBurstAttr vs BM_Vel2SysRegBurst pair and the ctest overhead
+// guard keep the attached path within 3%.
+
+#ifndef NEVE_SRC_OBS_ATTR_H_
+#define NEVE_SRC_OBS_ATTR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace neve {
+
+class JsonWriter;
+
+// Which virtualization layer the cycles belong to. L0 is the host hypervisor
+// (and the host's own runtime), L1 a VM (or the guest hypervisor inside it),
+// L2 a nested VM.
+enum class AttrLayer : uint8_t { kL0 = 0, kL1, kL2 };
+inline constexpr int kNumAttrLayers = 3;
+
+// Why the cycles were spent. Trap categories cover the architectural trap
+// entry/return and the host's exit dispatch; the emulation categories refine
+// what the handler did; kGuestCompute is time the guest itself runs;
+// kIdleWait is cross-CPU rendezvous (AdvanceTo) -- cycles a CPU's clock
+// skipped forward while logically idle.
+enum class AttrCat : uint8_t {
+  kHostOther = 0,   // host run loop, vcpu load/put, uncategorized host work
+  kGuestCompute,    // the guest's own instructions
+  kTrapHvc,         // hypercall trap episodes
+  kTrapSysReg,      // sysreg trap episodes
+  kTrapEret,        // trapped ERET episodes (v8.3-NV nested entry/exit)
+  kTrapDataAbort,   // Stage-2 data abort episodes
+  kTrapIrq,         // physical IRQ trap episodes + host IRQ triage
+  kTrapWfx,         // WFI/WFE trap episodes
+  kTrapOther,       // any other trap class
+  kWorldSwitchEnter,  // host->guest world-switch phase
+  kWorldSwitchExit,   // guest->host world-switch phase
+  kSysRegEmul,      // sysreg emulation work inside a handler
+  kTimerEmul,       // timer (and EL0/2 timer) emulation
+  kGicEmul,         // GIC distributor/redistributor/vCPU-interface emulation
+  kShadowS2Fixup,   // shadow Stage-2 walk + install
+  kVel2Deliver,     // synthesizing an exception into virtual EL2
+  kMmioEmul,        // device MMIO dispatch + device model work
+  kVncrRedirect,    // NEVE deferred-sysreg memory redirects
+  kIdleWait,        // AdvanceTo rendezvous: clock catch-up while idle
+};
+inline constexpr int kNumAttrCats = 19;
+
+const char* AttrLayerName(AttrLayer layer);
+const char* AttrCatName(AttrCat cat);
+// Reverse lookups for tools/obsreport's JSON reader; return false on unknown
+// names.
+bool AttrLayerFromName(const std::string& name, AttrLayer* out);
+bool AttrCatFromName(const std::string& name, AttrCat* out);
+
+// Packed bucket key. vm/vcpu are sign-extended 16-bit fields so the host's
+// root context (vm = vcpu = -1) packs cleanly.
+inline constexpr uint64_t PackAttrKey(int vm, int vcpu, AttrLayer layer,
+                                      AttrCat cat) {
+  return (static_cast<uint64_t>(static_cast<uint16_t>(vm)) << 32) |
+         (static_cast<uint64_t>(static_cast<uint16_t>(vcpu)) << 16) |
+         (static_cast<uint64_t>(static_cast<uint8_t>(layer)) << 8) |
+         static_cast<uint64_t>(static_cast<uint8_t>(cat));
+}
+
+inline constexpr uint64_t ReplaceAttrCat(uint64_t key, AttrCat cat) {
+  return (key & ~UINT64_C(0xFF)) | static_cast<uint64_t>(cat);
+}
+
+// Sentinel for "no attribution context" (e.g. a fault injected on a CPU with
+// no attribution attached). Distinct from every packable key: the layer byte
+// is out of range.
+inline constexpr uint64_t kNoAttrKey = ~UINT64_C(0);
+
+// One row of a Snapshot(): an unpacked bucket key plus its cycle total.
+struct AttrBucket {
+  int vm = -1;     // -1: host root context (no VM)
+  int vcpu = -1;   // -1: no vcpu loaded
+  AttrLayer layer = AttrLayer::kL0;
+  AttrCat cat = AttrCat::kHostOther;
+  uint64_t cycles = 0;
+
+  // "vm0/vcpu1;L2;trap_sysreg" -- the collapsed-stack frame prefix.
+  std::string StackName() const;
+};
+
+// Unpacks a key into a zero-cycle bucket row (for tagged external records
+// like fault injections).
+AttrBucket UnpackAttrKey(uint64_t key);
+
+class CycleAttribution {
+ public:
+  CycleAttribution() = default;
+  CycleAttribution(const CycleAttribution&) = delete;
+  CycleAttribution& operator=(const CycleAttribution&) = delete;
+
+  // Registers a CPU and pushes its root frame (vm=-1, vcpu=-1, L0,
+  // kHostOther). Called once per CPU at machine construction.
+  void AttachCpu(int cpu);
+
+  // --- frame stack (AttrScope is the intended interface) -------------------
+  void Push(int cpu, int vm, int vcpu, AttrLayer layer, AttrCat cat);
+  // Push inheriting vm/vcpu/layer from the current top frame.
+  void PushInherit(int cpu, AttrCat cat);
+  // Push inheriting vm/vcpu, overriding layer.
+  void PushInheritLayer(int cpu, AttrLayer layer, AttrCat cat);
+  void Pop(int cpu);
+  size_t Depth(int cpu) const { return percpu_[cpu].stack.size(); }
+
+  // The packed key of `cpu`'s current top frame, or kNoAttrKey when that CPU
+  // was never attached. Used to tag externally-recorded events (fault
+  // injections) with the attribution context they happened under.
+  uint64_t CurrentKey(int cpu) const {
+    if (cpu < 0 || static_cast<size_t>(cpu) >= percpu_.size() ||
+        percpu_[static_cast<size_t>(cpu)].stack.empty()) {
+      return kNoAttrKey;
+    }
+    return percpu_[static_cast<size_t>(cpu)].stack.back();
+  }
+
+  // --- the hot path --------------------------------------------------------
+  // Charge to the current top frame's bucket: one add through a cached
+  // pointer.
+  void ChargeCurrent(int cpu, uint64_t cycles) {
+    *percpu_[static_cast<size_t>(cpu)].bucket += cycles;
+  }
+  // Charge to the current frame's context but a different category, without
+  // pushing a frame (for single-charge sites like the VNCR redirect). A
+  // one-entry memo per CPU keeps repeated redirects at pointer-add cost.
+  void ChargeTo(int cpu, AttrCat cat, uint64_t cycles) {
+    PerCpu& pc = percpu_[static_cast<size_t>(cpu)];
+    uint64_t key = ReplaceAttrCat(pc.stack.back(), cat);
+    if (key != pc.memo_key) {
+      pc.memo_key = key;
+      pc.memo_bucket = BucketFor(key);
+    }
+    *pc.memo_bucket += cycles;
+  }
+
+  // --- flight recorder -----------------------------------------------------
+  // A bounded ring of attribution-tree snapshots taken at notable moments
+  // (guest-fault confinement, panic). Machine wires the guest-fault and
+  // panic hooks to this.
+  struct FlightRecord {
+    std::string reason;
+    uint64_t cycles = 0;  // machine cycle total at capture
+    std::vector<AttrBucket> buckets;
+  };
+  static constexpr size_t kFlightCapacity = 16;
+  void RecordFlight(const std::string& reason);
+  const std::vector<FlightRecord>& flights() const { return flights_; }
+
+  // --- read side -----------------------------------------------------------
+  // All nonzero buckets, sorted by (vm, vcpu, layer, cat) for deterministic
+  // output.
+  std::vector<AttrBucket> Snapshot() const;
+  // Sum over all buckets; the conservation invariant compares this against
+  // the sum of the machine's CPU cycle counters.
+  uint64_t TotalCycles() const;
+
+  // Human-readable rollup: vm -> layer -> category tree with cycle counts
+  // and percentages.
+  std::string TextTree() const { return RenderTextTree(Snapshot()); }
+  // One line per bucket in collapsed-stack format ("frame;frame;frame N"),
+  // foldable by standard flamegraph tooling.
+  std::string CollapsedStacks() const { return RenderCollapsed(Snapshot()); }
+  // {"total": N, "buckets": [{vm, vcpu, layer, cat, cycles}, ...]}
+  void WriteJson(JsonWriter& w) const;
+
+  // The renderers behind TextTree/CollapsedStacks, usable on any bucket set
+  // (tools/obsreport renders rows it parsed back out of JSON). `rows` must be
+  // sorted the way Snapshot() sorts (SortBuckets does that).
+  static std::string RenderTextTree(const std::vector<AttrBucket>& rows);
+  static std::string RenderCollapsed(const std::vector<AttrBucket>& rows);
+  static void SortBuckets(std::vector<AttrBucket>* rows);
+
+ private:
+  struct PerCpu {
+    std::vector<uint64_t> stack;  // packed keys, bottom is the root frame
+    uint64_t* bucket = nullptr;   // cached bucket of stack.back()
+    uint64_t memo_key = ~UINT64_C(0);  // ChargeTo memo (impossible key)
+    uint64_t* memo_bucket = nullptr;
+  };
+
+  uint64_t* BucketFor(uint64_t key) { return &buckets_[key]; }
+
+  // std::unordered_map guarantees reference stability under insertion, so
+  // cached bucket pointers stay valid as new keys appear.
+  std::unordered_map<uint64_t, uint64_t> buckets_;
+  std::vector<PerCpu> percpu_;
+  std::vector<FlightRecord> flights_;
+  size_t flight_next_ = 0;
+};
+
+// RAII attribution frame, modeled on ScopedSpan. Clocked is any type exposing
+// attribution() and index() (Cpu in practice; a template keeps this header
+// free of a cpu.h dependency, which includes us). With no attribution
+// attached the scope is two null checks.
+template <typename Clocked>
+class AttrScope {
+ public:
+  AttrScope(Clocked& c, AttrCat cat)
+      : attr_(c.attribution()), cpu_(c.index()) {
+    if (attr_ != nullptr) {
+      attr_->PushInherit(cpu_, cat);
+    }
+  }
+  AttrScope(Clocked& c, AttrLayer layer, AttrCat cat)
+      : attr_(c.attribution()), cpu_(c.index()) {
+    if (attr_ != nullptr) {
+      attr_->PushInheritLayer(cpu_, layer, cat);
+    }
+  }
+  AttrScope(Clocked& c, int vm, int vcpu, AttrLayer layer, AttrCat cat)
+      : attr_(c.attribution()), cpu_(c.index()) {
+    if (attr_ != nullptr) {
+      attr_->Push(cpu_, vm, vcpu, layer, cat);
+    }
+  }
+  ~AttrScope() {
+    if (attr_ != nullptr) {
+      attr_->Pop(cpu_);
+    }
+  }
+
+  AttrScope(const AttrScope&) = delete;
+  AttrScope& operator=(const AttrScope&) = delete;
+
+ private:
+  CycleAttribution* attr_;
+  int cpu_;
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_OBS_ATTR_H_

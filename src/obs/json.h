@@ -1,0 +1,67 @@
+// Minimal JSON reader, the read-side twin of report.h's JsonWriter.
+//
+// tools/obsreport consumes attribution JSON produced by this repo only, so
+// the parser covers exactly the JSON we emit: objects, arrays, strings with
+// the standard escapes, integers/doubles, booleans, null. It is strict (no
+// trailing commas, no comments) and keeps integers exact up to 2^63-1 --
+// cycle counts must round-trip bit-for-bit for the byte-identical diff
+// contract.
+
+#ifndef NEVE_SRC_OBS_JSON_H_
+#define NEVE_SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace neve {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+
+  // Typed accessors; wrong-kind access returns the zero value rather than
+  // aborting (tools validate shape explicitly and report errors themselves).
+  bool AsBool() const { return kind_ == Kind::kBool && bool_; }
+  double AsDouble() const { return kind_ == Kind::kNumber ? num_ : 0.0; }
+  // Exact when the input was an unsigned integer literal <= UINT64_MAX;
+  // otherwise truncated from the double value.
+  uint64_t AsU64() const;
+  int64_t AsI64() const;
+  const std::string& AsString() const { return str_; }
+  const std::vector<JsonValue>& Items() const { return items_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Parses `text`; returns nullptr and sets *error (with a byte offset) on
+  // malformed input.
+  static std::unique_ptr<JsonValue> Parse(const std::string& text,
+                                          std::string* error);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  uint64_t u64_ = 0;     // exact integer payload when is_int_
+  bool is_int_ = false;
+  bool negative_ = false;
+  std::string str_;
+  std::vector<JsonValue> items_;                       // array elements
+  std::vector<std::pair<std::string, JsonValue>> members_;  // object members
+};
+
+}  // namespace neve
+
+#endif  // NEVE_SRC_OBS_JSON_H_

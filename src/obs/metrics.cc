@@ -27,9 +27,9 @@ auto* FindIn(const Map& map, std::string_view name) {
 
 }  // namespace
 
-uint64_t MetricHistogram::Percentile(double p) const {
+int MetricHistogram::PercentileBucket(double p) const {
   if (count_ == 0) {
-    return 0;
+    return -1;
   }
   // NaN fails both comparisons below and would reach the float->uint64_t
   // cast, which is undefined for NaN; treat it as the median.
@@ -37,10 +37,10 @@ uint64_t MetricHistogram::Percentile(double p) const {
     p = 50.0;
   }
   if (p <= 0.0) {
-    return min_;
+    return std::bit_width(min_);
   }
   if (p >= 100.0) {
-    return max_;
+    return std::bit_width(max_);
   }
   uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
   if (rank == 0) {
@@ -50,13 +50,43 @@ uint64_t MetricHistogram::Percentile(double p) const {
   for (int i = 0; i < kNumBuckets; ++i) {
     cumulative += buckets_[i];
     if (cumulative >= rank) {
-      // Clamp to the observed extremes so sparse histograms stay sane: the
-      // bucket upper bound can exceed max (or undershoot min) when only a
-      // few samples landed in it.
-      return std::clamp(BucketUpperBound(i), min_, max_);
+      return i;
     }
   }
-  return max_;
+  return std::bit_width(max_);
+}
+
+uint64_t MetricHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (std::isnan(p)) {
+    p = 50.0;
+  }
+  // The extremes are tracked exactly; report them rather than a bucket
+  // bound.
+  if (p <= 0.0) {
+    return min_;
+  }
+  if (p >= 100.0) {
+    return max_;
+  }
+  // Clamp to the observed extremes so sparse histograms stay sane: the
+  // bucket upper bound can exceed max (or undershoot min) when only a
+  // few samples landed in it.
+  return std::clamp(BucketUpperBound(PercentileBucket(p)), min_, max_);
+}
+
+std::optional<uint64_t> MetricHistogram::PercentileExemplar(double p) const {
+  int bucket = PercentileBucket(p);
+  if (bucket < 0) {
+    return std::nullopt;
+  }
+  uint64_t id = exemplars_[static_cast<size_t>(bucket)];
+  if (id == 0) {
+    return std::nullopt;
+  }
+  return id;
 }
 
 MetricHistogram::Summary MetricHistogram::Summarize() const {

@@ -21,6 +21,7 @@
 #include <bit>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -77,8 +78,29 @@ class MetricHistogram {
                       : 0.0;
   }
 
+  // Record with an exemplar: remembers `trace_id` (a Tracer event ID) as the
+  // most recent representative of the sample's bucket, so a histogram
+  // outlier links back to the trace event that produced it. trace_id 0
+  // ("no event") records the sample without touching the exemplar.
+  void RecordWithExemplar(uint64_t sample, uint64_t trace_id) {
+    Record(sample);
+    if (trace_id != 0) {
+      exemplars_[std::bit_width(sample)] = trace_id;
+    }
+  }
+
   // Upper-bound estimate of the p-th percentile (p in [0, 100]).
   uint64_t Percentile(double p) const;
+
+  // The exemplar trace ID of the bucket the p-th percentile falls in;
+  // nullopt when the histogram is empty or that bucket never recorded an
+  // exemplar.
+  std::optional<uint64_t> PercentileExemplar(double p) const;
+
+  // Exemplar of log2 bucket `bucket` (0 when none recorded).
+  uint64_t BucketExemplar(int bucket) const {
+    return exemplars_[static_cast<size_t>(bucket)];
+  }
 
   struct Summary {
     uint64_t count = 0;
@@ -93,7 +115,12 @@ class MetricHistogram {
   Summary Summarize() const;
 
  private:
+  // The log2 bucket Percentile(p) resolves to; -1 when the histogram is
+  // empty.
+  int PercentileBucket(double p) const;
+
   std::array<uint64_t, kNumBuckets> buckets_ = {};
+  std::array<uint64_t, kNumBuckets> exemplars_ = {};  // 0: no exemplar
   uint64_t count_ = 0;
   uint64_t sum_ = 0;
   uint64_t min_ = 0;

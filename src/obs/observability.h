@@ -29,7 +29,11 @@ namespace neve {
 class Observability {
  public:
   explicit Observability(size_t trace_capacity = Tracer::kDefaultCapacity)
-      : tracer_(trace_capacity) {}
+      : tracer_(trace_capacity) {
+    // Ring-overwrite drops surface as a metric so overflowing runs are
+    // visible without parsing the trace export.
+    tracer_.SetDropCounter(&metrics_.Counter("obs.trace_dropped_events"));
+  }
 
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;

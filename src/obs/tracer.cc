@@ -27,23 +27,29 @@ Tracer::Tracer(size_t capacity) : capacity_(capacity) {
   NEVE_CHECK(capacity > 0);
 }
 
-void Tracer::Push(TraceEvent ev) {
+uint64_t Tracer::Push(TraceEvent ev) {
+  ev.id = next_id_++;
+  uint64_t id = ev.id;
   if (events_.size() < capacity_) {
     events_.push_back(std::move(ev));
-    return;
+    return id;
   }
   events_[next_] = std::move(ev);
   next_ = (next_ + 1) % capacity_;
   ++dropped_;
+  if (drop_counter_ != nullptr) {
+    drop_counter_->Add(1);
+  }
+  return id;
 }
 
-void Tracer::Begin(int cpu, const char* category, std::string name,
-                   uint64_t ts) {
-  Push(TraceEvent{.phase = TracePhase::kBegin,
-                  .cpu = cpu,
-                  .ts = ts,
-                  .category = category,
-                  .name = std::move(name)});
+uint64_t Tracer::Begin(int cpu, const char* category, std::string name,
+                       uint64_t ts) {
+  return Push(TraceEvent{.phase = TracePhase::kBegin,
+                         .cpu = cpu,
+                         .ts = ts,
+                         .category = category,
+                         .name = std::move(name)});
 }
 
 void Tracer::End(int cpu, const char* category, std::string name,
@@ -55,15 +61,15 @@ void Tracer::End(int cpu, const char* category, std::string name,
                   .name = std::move(name)});
 }
 
-void Tracer::Instant(int cpu, const char* category, std::string name,
-                     uint64_t ts, const char* arg_name, uint64_t arg) {
-  Push(TraceEvent{.phase = TracePhase::kInstant,
-                  .cpu = cpu,
-                  .ts = ts,
-                  .category = category,
-                  .name = std::move(name),
-                  .arg_name = arg_name,
-                  .arg = arg});
+uint64_t Tracer::Instant(int cpu, const char* category, std::string name,
+                         uint64_t ts, const char* arg_name, uint64_t arg) {
+  return Push(TraceEvent{.phase = TracePhase::kInstant,
+                         .cpu = cpu,
+                         .ts = ts,
+                         .category = category,
+                         .name = std::move(name),
+                         .arg_name = arg_name,
+                         .arg = arg});
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {

@@ -38,7 +38,14 @@ struct TraceEvent {
   // Optional single argument, rendered into Chrome "args" when arg_name set.
   const char* arg_name = nullptr;
   uint64_t arg = 0;
+  // Monotonic per-tracer event ID (1-based; 0 means "no event"). Histogram
+  // exemplars store these so an outlier sample links back to its trace
+  // event; the ID survives ring overwrites as evidence the event existed
+  // even after its payload is gone.
+  uint64_t id = 0;
 };
+
+class MetricCounter;
 
 class Tracer {
  public:
@@ -46,10 +53,17 @@ class Tracer {
 
   explicit Tracer(size_t capacity = kDefaultCapacity);
 
-  void Begin(int cpu, const char* category, std::string name, uint64_t ts);
+  // Begin/Instant return the recorded event's ID (for exemplar links).
+  uint64_t Begin(int cpu, const char* category, std::string name, uint64_t ts);
   void End(int cpu, const char* category, std::string name, uint64_t ts);
-  void Instant(int cpu, const char* category, std::string name, uint64_t ts,
-               const char* arg_name = nullptr, uint64_t arg = 0);
+  uint64_t Instant(int cpu, const char* category, std::string name,
+                   uint64_t ts, const char* arg_name = nullptr,
+                   uint64_t arg = 0);
+
+  // Mirrors ring-overwrite drops into a metrics counter
+  // (obs.trace_dropped_events); Observability wires this at construction.
+  // The counter must outlive the tracer.
+  void SetDropCounter(MetricCounter* counter) { drop_counter_ = counter; }
 
   size_t size() const { return events_.size(); }
   size_t capacity() const { return capacity_; }
@@ -67,12 +81,14 @@ class Tracer {
   void Clear();
 
  private:
-  void Push(TraceEvent ev);
+  uint64_t Push(TraceEvent ev);
 
   size_t capacity_;
   std::vector<TraceEvent> events_;  // ring once size() == capacity_
   size_t next_ = 0;                 // ring write position
   uint64_t dropped_ = 0;
+  uint64_t next_id_ = 1;            // 0 is reserved for "no event"
+  MetricCounter* drop_counter_ = nullptr;
 };
 
 }  // namespace neve

@@ -20,6 +20,7 @@ Machine::Machine(const MachineConfig& config)
   NEVE_CHECK(IsAligned(config.ram_size, kPageSize));
   NEVE_CHECK(IsAligned(config.host_pool_size, kPageSize));
   fault_.SetObservability(&obs_);
+  fault_.SetAttribution(&attr_);
   gic_.SetObservability(&obs_);
   gic_.SetFaultInjector(&fault_);
   cpus_.reserve(config.num_cpus);
@@ -28,13 +29,25 @@ Machine::Machine(const MachineConfig& config)
         std::make_unique<Cpu>(i, config.features, config.cost, &mem_));
     cpus_.back()->SetObservability(&obs_);
     cpus_.back()->SetFaultInjector(&fault_);
+    attr_.AttachCpu(i);
+    cpus_.back()->SetAttribution(&attr_);
     gic_.AttachCpu(cpus_.back().get());
   }
   // On Panic(), flush this machine's diagnostics before the abort: the
-  // metric snapshot to stderr and the trace ring as a Chrome trace file
-  // (path from NEVE_PANIC_TRACE, default neve_panic.trace.json). Only fires
-  // when the obs layer actually collected something.
+  // attribution rollup (always on) to stderr, then -- when the obs layer
+  // collected something -- the metric snapshot and the trace ring as a
+  // Chrome trace file (path from NEVE_PANIC_TRACE, default
+  // neve_panic.trace.json).
   panic_hook_id_ = AddPanicHook([this] {
+    if (attr_.TotalCycles() > 0) {
+      std::fprintf(stderr, "[neve PANIC] cycle attribution:\n%s",
+                   attr_.TextTree().c_str());
+    }
+    for (const CycleAttribution::FlightRecord& f : attr_.flights()) {
+      std::fprintf(stderr, "[neve PANIC] flight record: %s at %llu cycles\n",
+                   f.reason.c_str(),
+                   static_cast<unsigned long long>(f.cycles));
+    }
     if (!obs_.enabled()) {
       return;
     }
@@ -55,6 +68,14 @@ Machine::Machine(const MachineConfig& config)
 }
 
 Machine::~Machine() { RemovePanicHook(panic_hook_id_); }
+
+uint64_t Machine::TotalCpuCycles() const {
+  uint64_t total = 0;
+  for (const auto& cpu : cpus_) {
+    total += cpu->cycles();
+  }
+  return total;
+}
 
 Pa Machine::AllocGuestRam(uint64_t size) {
   NEVE_CHECK(IsAligned(size, kPageSize));

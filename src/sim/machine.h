@@ -24,6 +24,7 @@
 #include "src/fault/fault.h"
 #include "src/gic/gic.h"
 #include "src/mem/phys_mem.h"
+#include "src/obs/attr.h"
 #include "src/obs/observability.h"
 #include "src/timer/timer.h"
 
@@ -70,6 +71,17 @@ class Machine {
   FaultInjector& fault() { return fault_; }
   const FaultInjector& fault() const { return fault_; }
 
+  // Machine-wide cycle attribution (src/obs/attr.h). Always on -- unlike
+  // obs(), there is no enable switch: every cycle charged on every CPU lands
+  // in an attribution bucket, and sum(buckets) == TotalCpuCycles() at all
+  // times (the cycles-conserved invariant, asserted by attr_test.cc).
+  CycleAttribution& attr() { return attr_; }
+  const CycleAttribution& attr() const { return attr_; }
+
+  // Sum of every CPU's cycle clock (the conservation invariant's right-hand
+  // side).
+  uint64_t TotalCpuCycles() const;
+
   // Guest RAM carve-outs: returns the base of a fresh region of `size` bytes.
   Pa AllocGuestRam(uint64_t size);
 
@@ -82,6 +94,7 @@ class Machine {
   // Declared before cpus_/gic_ so the pointers handed to them outlive their
   // construction and destruction.
   Observability obs_;
+  CycleAttribution attr_;
   FaultInjector fault_;
   PhysMem mem_;
   std::vector<std::unique_ptr<Cpu>> cpus_;

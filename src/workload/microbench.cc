@@ -156,6 +156,12 @@ const char* MicrobenchName(MicrobenchKind kind) {
 
 MicrobenchResult RunArmMicrobench(MicrobenchKind kind, const StackConfig& cfg,
                                   int iterations) {
+  return RunArmMicrobenchAttributed(kind, cfg, iterations).result;
+}
+
+AttributedRun RunArmMicrobenchAttributed(MicrobenchKind kind,
+                                         const StackConfig& cfg,
+                                         int iterations) {
   NEVE_CHECK(iterations > 0);
   int num_cpus = kind == MicrobenchKind::kVirtualIpi ? 2 : 1;
   StackConfig run_cfg = cfg;
@@ -174,7 +180,9 @@ MicrobenchResult RunArmMicrobench(MicrobenchKind kind, const StackConfig& cfg,
     std::fprintf(stderr, "microbench %s: %s\n", MicrobenchName(kind),
                  status.ToString().c_str());
   }
-  return m.Result(iterations);
+  return AttributedRun{.result = m.Result(iterations),
+                       .buckets = stack.machine().attr().Snapshot(),
+                       .machine_cycles = stack.machine().TotalCpuCycles()};
 }
 
 }  // namespace neve

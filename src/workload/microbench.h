@@ -14,8 +14,10 @@
 #define NEVE_SRC_WORKLOAD_MICROBENCH_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/fault/fault.h"
+#include "src/obs/attr.h"
 
 namespace neve {
 
@@ -68,6 +70,20 @@ struct MicrobenchResult {
 
 MicrobenchResult RunArmMicrobench(MicrobenchKind kind, const StackConfig& cfg,
                                   int iterations);
+
+// One attributed run: the per-op result plus the machine's final attribution
+// snapshot (src/obs/attr.h) and its total CPU cycle count -- the two sides of
+// the cycles-conserved invariant (sum of bucket cycles == machine_cycles).
+// tools/obsreport builds its per-layer/per-category reports from this.
+struct AttributedRun {
+  MicrobenchResult result;
+  std::vector<AttrBucket> buckets;  // nonzero buckets, deterministic order
+  uint64_t machine_cycles = 0;      // Machine::TotalCpuCycles() after the run
+};
+
+AttributedRun RunArmMicrobenchAttributed(MicrobenchKind kind,
+                                         const StackConfig& cfg,
+                                         int iterations);
 
 // Process-wide fault campaign for benches (--fault-seed=/--fault-rate=,
 // assembled by FaultCampaignFromArgs). When set, RunArmMicrobench applies it

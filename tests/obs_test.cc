@@ -145,6 +145,51 @@ TEST(MetricsTest, HistogramSingleSampleIsEveryPercentile) {
   }
 }
 
+TEST(MetricsTest, ExemplarLinksPercentileToTraceEvent) {
+  MetricHistogram h;
+  h.RecordWithExemplar(10, 41);
+  h.RecordWithExemplar(12, 42);   // same log2 bucket: latest exemplar wins
+  h.RecordWithExemplar(5000, 77); // outlier in its own bucket
+  std::optional<uint64_t> p50 = h.PercentileExemplar(50);
+  ASSERT_TRUE(p50.has_value());
+  EXPECT_EQ(*p50, 42u);
+  std::optional<uint64_t> p100 = h.PercentileExemplar(100);
+  ASSERT_TRUE(p100.has_value());
+  EXPECT_EQ(*p100, 77u);
+}
+
+TEST(MetricsTest, ExemplarEmptyHistogramIsNullopt) {
+  MetricHistogram h;
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_FALSE(h.PercentileExemplar(p).has_value()) << "p" << p;
+  }
+}
+
+TEST(MetricsTest, ExemplarSingleSampleCoversEveryPercentile) {
+  MetricHistogram h;
+  h.RecordWithExemplar(7, 9);
+  for (double p : {0.0, 50.0, 100.0}) {
+    std::optional<uint64_t> ex = h.PercentileExemplar(p);
+    ASSERT_TRUE(ex.has_value()) << "p" << p;
+    EXPECT_EQ(*ex, 9u);
+  }
+  EXPECT_EQ(h.BucketExemplar(3), 9u);  // bit_width(7) == 3
+}
+
+TEST(MetricsTest, ExemplarIdZeroRecordsSampleButNoExemplar) {
+  // Trace ID 0 means "no event" (tracing disabled): the sample must count,
+  // but a real exemplar must not be displaced and none must be invented.
+  MetricHistogram h;
+  h.RecordWithExemplar(10, 0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_FALSE(h.PercentileExemplar(50).has_value());
+  h.RecordWithExemplar(10, 5);
+  h.RecordWithExemplar(10, 0);
+  std::optional<uint64_t> ex = h.PercentileExemplar(50);
+  ASSERT_TRUE(ex.has_value());
+  EXPECT_EQ(*ex, 5u);
+}
+
 TEST(MetricsTest, SummarizeMatchesAccessors) {
   MetricHistogram h;
   for (uint64_t v : {5u, 9u, 17u, 33u}) {
@@ -210,6 +255,49 @@ TEST(TracerTest, RingOverwritesOldestAndCountsDrops) {
   // Oldest-first snapshot: the survivors are events 6..9.
   EXPECT_EQ(events.front().name, "e6");
   EXPECT_EQ(events.back().name, "e9");
+}
+
+TEST(TracerTest, EventIdsAreMonotonicFromOne) {
+  Tracer t;
+  EXPECT_EQ(t.Begin(0, "trap", "hvc", 10), 1u);
+  EXPECT_EQ(t.Instant(0, "vncr", "redirect", 20), 2u);
+  EXPECT_EQ(t.Begin(0, "trap", "wfx", 30), 3u);
+  auto events = t.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].id, 1u);
+  EXPECT_EQ(events[2].id, 3u);
+}
+
+TEST(TracerTest, DropCounterMirrorsRingOverwrites) {
+  MetricsRegistry reg;
+  Tracer t(/*capacity=*/2);
+  t.SetDropCounter(&reg.Counter("obs.trace_dropped_events"));
+  for (int i = 0; i < 5; ++i) {
+    t.Instant(0, "c", "e", static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(t.dropped_events(), 3u);
+  EXPECT_EQ(reg.FindCounter("obs.trace_dropped_events")->value(), 3u);
+}
+
+TEST(TracerTest, ObservabilityWiresTheDropCounter) {
+  Observability obs;
+  obs.set_enabled(true);
+  // The default ring is large; fill past capacity via the tracer directly.
+  for (size_t i = 0; i < Tracer::kDefaultCapacity + 3; ++i) {
+    obs.tracer().Instant(0, "c", "e", i);
+  }
+  const MetricCounter* c = obs.metrics().FindCounter("obs.trace_dropped_events");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 3u);
+}
+
+TEST(TracerTest, ChromeJsonReportsDroppedCount) {
+  Tracer t(/*capacity=*/2);
+  for (int i = 0; i < 6; ++i) {
+    t.Instant(0, "c", "e", static_cast<uint64_t>(i));
+  }
+  std::string json = t.ToChromeJson();
+  EXPECT_NE(json.find("\"dropped_events\":4"), std::string::npos);
 }
 
 TEST(TracerTest, ClearEmptiesRing) {

@@ -137,7 +137,13 @@ constexpr char kInstrumentedTrapPath[] =
 
 TEST(SrcLintTest, InstrumentedTrapPathPasses) {
   std::string content = std::string(kInstrumentedTrapPath) +
-                        "void F() { TakeTrapToEl2(s, cost_.detect_hvc); }\n";
+                        "void F() { TakeTrapToEl2(s, cost_.detect_hvc); }\n"
+                        "void Cpu::AdvanceTo(uint64_t t) {\n"
+                        "  attr_->ChargeTo(index_, AttrCat::kIdleWait, t);\n"
+                        "}\n"
+                        "void Cpu::RedirectVncr() {\n"
+                        "  ChargeAttributed(c, AttrCat::kVncrRedirect);\n"
+                        "}\n";
   EXPECT_TRUE(Lint("src/cpu/cpu.cc", content).empty());
 }
 
@@ -256,6 +262,83 @@ TEST(SrcLintTest, GuestCheckIsNotAGuestReachableAbort) {
 TEST(SrcLintTest, ChecksOutsideConfinedDirsAreNotFlagged) {
   EXPECT_TRUE(Lint("src/sim/machine.cc", "NEVE_CHECK(cpu != nullptr);\n")
                   .empty());
+}
+
+// --- attribution category annotation -----------------------------------------
+
+TEST(SrcLintTest, AttrScopeWithoutCategoryIsFlagged) {
+  std::vector<Diagnostic> d = Lint("src/hyp/nested.cc",
+                                   "void F(Cpu& cpu) {\n"
+                                   "  AttrScope scope(cpu, AttrLayer::kL0);\n"
+                                   "}\n");
+  const Diagnostic* diag = Find(d, "attr-missing-category");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->file, "src/hyp/nested.cc");
+  EXPECT_EQ(diag->line, 2);
+}
+
+TEST(SrcLintTest, AttrScopeWithEnumeratorPasses) {
+  EXPECT_TRUE(Lint("src/hyp/nested.cc",
+                   "void F(Cpu& cpu) {\n"
+                   "  AttrScope scope(cpu, AttrCat::kGicEmul);\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, AttrScopeWithComputedCategoryPasses) {
+  // A category-valued expression (emul_cat, TrapCatForEc(...)) counts as
+  // naming the category; only truly uncategorized frames are flagged.
+  EXPECT_TRUE(Lint("src/hyp/nested.cc",
+                   "void F(Cpu& cpu, AttrCat emul_cat) {\n"
+                   "  AttrScope scope(cpu, emul_cat);\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, AttrScopeMentionWithoutConstructionIsIgnored) {
+  EXPECT_TRUE(
+      Lint("src/hyp/nested.cc", "using HypScope = AttrScope<Cpu>;\n").empty());
+}
+
+TEST(SrcLintTest, ChargeToWithoutCategoryIsFlagged) {
+  std::vector<Diagnostic> d =
+      Lint("src/gic/gic.cc", "void F() { attr_->ChargeTo(0, top_key, 5); }\n");
+  EXPECT_NE(Find(d, "attr-missing-category"), nullptr);
+}
+
+TEST(SrcLintTest, ChargeAttributedMultiLineWithCategoryPasses) {
+  // Multi-line call sites must be scanned to the closing paren.
+  EXPECT_TRUE(Lint("src/gic/gic.cc",
+                   "void F(Cpu& cpu) {\n"
+                   "  cpu.ChargeAttributed(cost,\n"
+                   "                       AttrCat::kGicEmul);\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, ChargeAttributedWithoutCategoryIsFlagged) {
+  std::vector<Diagnostic> d =
+      Lint("src/mem/shadow_s2.cc",
+           "void F(Cpu& cpu) {\n"
+           "  cpu.ChargeAttributed(cost_.walk, top());\n"
+           "}\n");
+  const Diagnostic* diag = Find(d, "attr-missing-category");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->line, 2);
+}
+
+TEST(SrcLintTest, AttrPrimitivesDefinitionFilesAreWhitelisted) {
+  EXPECT_TRUE(Lint("src/obs/attr.h",
+                   "void ChargeTo(int cpu, uint64_t key, uint64_t cycles);\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, CpuMustKeepIdleAndRedirectCategories) {
+  // cpu.cc without the dedicated idle-wait / VNCR-redirect charges loses the
+  // paper's rendezvous and redirect buckets silently.
+  std::vector<Diagnostic> d = Lint("src/cpu/cpu.cc", kInstrumentedTrapPath);
+  EXPECT_NE(Find(d, "attr-missing-idle-category"), nullptr);
+  EXPECT_NE(Find(d, "attr-missing-vncr-category"), nullptr);
 }
 
 // --- unseeded randomness in the fuzzer ---------------------------------------

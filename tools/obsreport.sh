@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# obsreport end-to-end check:
+#   1. `obsreport run` documents are byte-identical across --threads values
+#      (the parallel fan-out merges in fixed order) and across reruns.
+#   2. `obsreport diff` of a NEVE run against a v8.3-NV run is deterministic
+#      and shows the paper's trap-cost reduction: the nested stack's total
+#      cycles shrink under NEVE (Table 6).
+#   3. `obsreport rollup` renders all three formats without error and the
+#      collapsed output folds to the run's total.
+#
+#   tools/obsreport.sh <build-dir> [iters]
+
+set -euo pipefail
+
+BUILD="${1:?usage: tools/obsreport.sh <build-dir> [iters]}"
+ITERS="${2:-32}"
+OBS="$BUILD/tools/obsreport"
+
+if [[ ! -x "$OBS" ]]; then
+  echo "obsreport.sh: $OBS not built" >&2
+  exit 2
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> [obsreport] run determinism: threads=1 vs threads=4 vs rerun"
+"$OBS" run --stack=neve --iters="$ITERS" --threads=1 --out="$tmp/neve1.json" \
+  >/dev/null
+"$OBS" run --stack=neve --iters="$ITERS" --threads=4 --out="$tmp/neve4.json" \
+  >/dev/null
+"$OBS" run --stack=neve --iters="$ITERS" --threads=4 --out="$tmp/neve4b.json" \
+  >/dev/null
+cmp "$tmp/neve1.json" "$tmp/neve4.json"
+cmp "$tmp/neve4.json" "$tmp/neve4b.json"
+
+echo "==> [obsreport] diff: v8.3-NV vs NEVE trap-cost reduction"
+"$OBS" run --stack=v83 --iters="$ITERS" --threads=4 --out="$tmp/v83.json" \
+  >/dev/null
+"$OBS" diff "$tmp/v83.json" "$tmp/neve4.json" >"$tmp/diff1.txt"
+"$OBS" --diff "$tmp/v83.json" "$tmp/neve4.json" >"$tmp/diff2.txt"
+cmp "$tmp/diff1.txt" "$tmp/diff2.txt"
+# The total line must show NEVE below v8.3 (a negative delta): the deferred
+# access page eliminates most vEL2 sysreg traps.
+total_line="$(grep '^total ' "$tmp/diff1.txt")"
+echo "    $total_line"
+case "$total_line" in
+  *" -"*) ;;
+  *) echo "obsreport.sh: expected NEVE total below v8.3 total" >&2; exit 1 ;;
+esac
+# Per-category deltas must include the trap_sysreg bucket shrinking.
+grep -q 'trap_sysreg' "$tmp/diff1.txt"
+
+echo "==> [obsreport] rollup: text, collapsed, json"
+"$OBS" rollup "$tmp/neve4.json" >"$tmp/rollup.txt"
+head -1 "$tmp/rollup.txt" | grep -q '^total .* cycles$'
+"$OBS" rollup "$tmp/neve4.json" --collapsed >"$tmp/collapsed.txt"
+# Collapsed stacks fold to the run's total.
+total_json="$(sed -n 's/.*"total_cycles":\([0-9]*\).*/\1/p' "$tmp/neve4.json")"
+total_folded="$(awk '{s += $NF} END {print s}' "$tmp/collapsed.txt")"
+if [[ "$total_json" != "$total_folded" ]]; then
+  echo "obsreport.sh: collapsed stacks sum $total_folded != total $total_json" >&2
+  exit 1
+fi
+"$OBS" rollup "$tmp/neve4.json" --json >"$tmp/rollup.json"
+grep -q '"total":' "$tmp/rollup.json"
+
+echo "==> [obsreport] OK"
