@@ -11,22 +11,22 @@
 namespace neve::analysis {
 namespace {
 
-// Files allowed to index the raw register file directly. The linter itself
-// is whitelisted because it names the patterns as string literals.
+// Files allowed to index the raw register file directly. (The linter's own
+// pattern strings no longer need whitelisting: rules match against views
+// with string-literal contents blanked.)
 constexpr const char* kRawRegsWhitelist[] = {
     "src/cpu/cpu.h",
     "src/cpu/cpu.cc",
-    "src/analysis/srclint.cc",
 };
 
 // Files allowed to use the non-resolving PeekReg/PokeReg accessors: the CPU
 // itself, the host hypervisor's world switch and KVM emulation, and the
 // device models that share hardware register state with the CPU.
 constexpr const char* kPeekPokeWhitelist[] = {
-    "src/cpu/cpu.h",          "src/cpu/cpu.cc",
+    "src/cpu/cpu.h",           "src/cpu/cpu.cc",
     "src/hyp/world_switch.cc", "src/hyp/host_kvm.cc",
     "src/gic/gic.cc",          "src/timer/timer.cc",
-    "src/workload/microbench.cc", "src/analysis/srclint.cc",
+    "src/workload/microbench.cc",
 };
 
 bool PathMatches(std::string_view path, std::string_view repo_relative) {
@@ -52,6 +52,82 @@ bool Whitelisted(std::string_view path, const char* const (&list)[N]) {
 bool IdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
+
+// Shared engine of StripComments / StripCommentsAndLiterals: a small state
+// machine over the text, replacing what the caller wants hidden with spaces.
+// Newlines are always kept so line numbers survive; the delimiting quotes of
+// a literal are kept so token boundaries survive.
+std::string StripImpl(std::string_view content, bool strip_literals) {
+  std::string out(content);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::kLineComment;
+        } else if (c == '/' && next == '*') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::kBlockComment;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'' && (i == 0 || !IdentChar(content[i - 1]))) {
+          // An apostrophe after an identifier char is a digit separator
+          // (1'000'000) or a literal suffix, not a character literal.
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        char delim = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < content.size()) {
+          if (strip_literals) {
+            out[i] = out[i + 1] = ' ';
+          }
+          ++i;  // the escaped char cannot close the literal
+        } else if (c == delim) {
+          state = State::kCode;
+        } else if (strip_literals && c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// A source file plus the preprocessed views the rules match against.
+// `uncommented` keeps string literals (for required-needle searches like
+// Counter("cpu.traps_to_el2") and for .inc quoted NAMEs); `stripped` blanks
+// them too (for call-site pattern matching). Justification comments and
+// call-argument text are read from the original `f.content`.
+struct LintedFile {
+  const SourceFile& f;
+  std::string uncommented;
+  std::string stripped;
+};
 
 int LineOfOffset(std::string_view content, size_t offset) {
   return 1 + static_cast<int>(
@@ -86,7 +162,7 @@ std::vector<size_t> FindCalls(std::string_view content,
 
 // --- rule: raw register-file access ------------------------------------------
 
-void LintRawRegisterAccess(const SourceFile& f, std::vector<Diagnostic>& d) {
+void LintRawRegisterAccess(const LintedFile& lf, std::vector<Diagnostic>& d) {
   struct Rule {
     const char* pattern;
     bool raw_array;  // uses the tighter regs_[ whitelist
@@ -94,13 +170,13 @@ void LintRawRegisterAccess(const SourceFile& f, std::vector<Diagnostic>& d) {
   static constexpr Rule kRules[] = {
       {"regs_[", true}, {"PeekReg(", false}, {"PokeReg(", false}};
   for (const Rule& rule : kRules) {
-    bool ok = rule.raw_array ? Whitelisted(f.path, kRawRegsWhitelist)
-                             : Whitelisted(f.path, kPeekPokeWhitelist);
+    bool ok = rule.raw_array ? Whitelisted(lf.f.path, kRawRegsWhitelist)
+                             : Whitelisted(lf.f.path, kPeekPokeWhitelist);
     if (ok) {
       continue;
     }
-    for (size_t pos : FindCalls(f.content, rule.pattern)) {
-      d.push_back({f.path, LineOfOffset(f.content, pos),
+    for (size_t pos : FindCalls(lf.stripped, rule.pattern)) {
+      d.push_back({lf.f.path, LineOfOffset(lf.stripped, pos),
                    "raw-register-access",
                    std::string(rule.pattern) +
                        "... bypasses access resolution; use the Cpu "
@@ -187,9 +263,12 @@ int IchLrIndex(const std::string& name) {
   return (any && name.compare(i, std::string::npos, "_EL2") == 0) ? n : -1;
 }
 
-void LintIncRows(const SourceFile& f, std::string_view macro,
+void LintIncRows(const LintedFile& lf, std::string_view macro,
                  std::vector<Diagnostic>& d) {
-  std::vector<IncRow> rows = ParseIncRows(f.content, macro);
+  // Parsed from the uncommented view: quoted NAME arguments must stay
+  // intact, but commented-out rows must not parse.
+  const SourceFile& f = lf.f;
+  std::vector<IncRow> rows = ParseIncRows(lf.uncommented, macro);
   std::map<std::string, int> ids;
   int prev_kind = 0;
   int prev_lr = -1;
@@ -231,20 +310,24 @@ void LintIncRows(const SourceFile& f, std::string_view macro,
 
 // --- rule: trap-path instrumentation -----------------------------------------
 
-void LintTrapInstrumentation(const SourceFile& f,
+void LintTrapInstrumentation(const LintedFile& lf,
                              std::vector<Diagnostic>& d) {
+  const SourceFile& f = lf.f;
   if (!PathMatches(f.path, "src/cpu/cpu.cc")) {
     return;
   }
-  for (size_t pos : FindCalls(f.content, "TakeTrapToEl2(")) {
-    // The argument list may span lines; scan to the matching close paren.
-    size_t open = f.content.find('(', pos);
+  for (size_t pos : FindCalls(lf.stripped, "TakeTrapToEl2(")) {
+    // The argument list may span lines; scan to the matching close paren on
+    // the stripped view (parens inside literals cannot confuse the match),
+    // then read the argument text from the ORIGINAL: the detect charge may
+    // be an explicit /*detect_cost=*/ comment.
+    size_t open = lf.stripped.find('(', pos);
     int depth = 0;
     size_t end = open;
-    for (; end < f.content.size(); ++end) {
-      if (f.content[end] == '(') {
+    for (; end < lf.stripped.size(); ++end) {
+      if (lf.stripped[end] == '(') {
         ++depth;
-      } else if (f.content[end] == ')' && --depth == 0) {
+      } else if (lf.stripped[end] == ')' && --depth == 0) {
         break;
       }
     }
@@ -270,7 +353,9 @@ void LintTrapInstrumentation(const SourceFile& f,
        "trap path never bumps the cpu.traps_to_el2 counter"},
   };
   for (const Required& req : kRequired) {
-    if (f.content.find(req.needle) == std::string::npos) {
+    // Needles contain quoted metric names, so search the uncommented view
+    // (literals intact, but a commented-out charge does not satisfy).
+    if (lf.uncommented.find(req.needle) == std::string::npos) {
       d.push_back({f.path, 0, req.check, req.message});
     }
   }
@@ -293,9 +378,12 @@ bool InConfinedDir(std::string_view path) {
   return false;
 }
 
-// True when "host-invariant:" appears on the match's own line or within the
-// two preceding lines.
-bool JustifiedHostInvariant(std::string_view content, size_t pos) {
+// True when `needle` (a justification marker like "host-invariant:" or
+// "single-mutator:") appears on the match's own line or within the two
+// preceding lines. Always evaluated on ORIGINAL text: justifications live
+// in comments.
+bool JustifiedNear(std::string_view content, size_t pos,
+                   std::string_view needle) {
   size_t bol = content.rfind('\n', pos);
   bol = (bol == std::string_view::npos) ? 0 : bol + 1;
   for (int i = 0; i < 2 && bol >= 2; ++i) {
@@ -306,20 +394,21 @@ bool JustifiedHostInvariant(std::string_view content, size_t pos) {
   if (eol == std::string_view::npos) {
     eol = content.size();
   }
-  return content.substr(bol, eol - bol).find("host-invariant:") !=
+  return content.substr(bol, eol - bol).find(needle) !=
          std::string_view::npos;
 }
 
-void LintGuestReachableAborts(const SourceFile& f,
+void LintGuestReachableAborts(const LintedFile& lf,
                               std::vector<Diagnostic>& d) {
+  const SourceFile& f = lf.f;
   if (!InConfinedDir(f.path)) {
     return;
   }
   static constexpr const char* kPatterns[] = {"NEVE_CHECK(", "NEVE_CHECK_MSG(",
                                               "abort("};
   for (const char* pattern : kPatterns) {
-    for (size_t pos : FindCalls(f.content, pattern)) {
-      if (JustifiedHostInvariant(f.content, pos)) {
+    for (size_t pos : FindCalls(lf.stripped, pattern)) {
+      if (JustifiedNear(f.content, pos, "host-invariant:")) {
         continue;
       }
       d.push_back({f.path, LineOfOffset(f.content, pos),
@@ -336,34 +425,36 @@ void LintGuestReachableAborts(const SourceFile& f,
 
 // --- rule: attribution category annotation -----------------------------------
 
-// Files defining (or naming, in the linter's case) the attribution
-// primitives themselves.
+// Files defining the attribution primitives themselves.
 constexpr const char* kAttrWhitelist[] = {
     "src/obs/attr.h",
     "src/obs/attr.cc",
     "src/cpu/cpu.h",
-    "src/analysis/srclint.cc",
 };
 
 // The parenthesized argument text of the call starting at `pos`, or "" when
 // no '(' opens before the statement ends (a declaration, not a call).
-std::string CallArgText(std::string_view content, size_t pos) {
-  size_t open = content.find('(', pos);
-  size_t semi = content.find(';', pos);
+// Boundaries come from the stripped view (parens and semicolons inside
+// literals cannot confuse the scan); the text returned is the ORIGINAL,
+// comments included, so /*category=*/-style markers survive.
+std::string CallArgText(std::string_view stripped, std::string_view original,
+                        size_t pos) {
+  size_t open = stripped.find('(', pos);
+  size_t semi = stripped.find(';', pos);
   if (open == std::string_view::npos ||
       (semi != std::string_view::npos && semi < open)) {
     return "";
   }
   int depth = 0;
   size_t end = open;
-  for (; end < content.size(); ++end) {
-    if (content[end] == '(') {
+  for (; end < stripped.size(); ++end) {
+    if (stripped[end] == '(') {
       ++depth;
-    } else if (content[end] == ')' && --depth == 0) {
+    } else if (stripped[end] == ')' && --depth == 0) {
       break;
     }
   }
-  return std::string(content.substr(open, end - open));
+  return std::string(original.substr(open, end - open));
 }
 
 // The arguments name a category: a literal AttrCat:: enumerator or an
@@ -385,15 +476,16 @@ bool MentionsAttrCategory(const std::string& args) {
 // conservation invariant. src/cpu/cpu.cc must additionally keep its two
 // non-scope charge sites (AdvanceTo's idle rendezvous and the VNCR redirect)
 // on their dedicated categories.
-void LintAttrCategories(const SourceFile& f, std::vector<Diagnostic>& d) {
+void LintAttrCategories(const LintedFile& lf, std::vector<Diagnostic>& d) {
+  const SourceFile& f = lf.f;
   if (Whitelisted(f.path, kAttrWhitelist)) {
     return;
   }
   static constexpr const char* kChargePatterns[] = {"ChargeAttributed(",
                                                     "ChargeTo("};
   for (const char* pattern : kChargePatterns) {
-    for (size_t pos : FindCalls(f.content, pattern)) {
-      if (!MentionsAttrCategory(CallArgText(f.content, pos))) {
+    for (size_t pos : FindCalls(lf.stripped, pattern)) {
+      if (!MentionsAttrCategory(CallArgText(lf.stripped, f.content, pos))) {
         d.push_back({f.path, LineOfOffset(f.content, pos),
                      "attr-missing-category",
                      std::string(pattern) +
@@ -403,8 +495,8 @@ void LintAttrCategories(const SourceFile& f, std::vector<Diagnostic>& d) {
       }
     }
   }
-  for (size_t pos : FindCalls(f.content, "AttrScope")) {
-    std::string args = CallArgText(f.content, pos);
+  for (size_t pos : FindCalls(lf.stripped, "AttrScope")) {
+    std::string args = CallArgText(lf.stripped, f.content, pos);
     if (args.empty()) {
       continue;  // a mention, not a construction
     }
@@ -428,7 +520,7 @@ void LintAttrCategories(const SourceFile& f, std::vector<Diagnostic>& d) {
          "the VNCR redirect charge must stay on AttrCat::kVncrRedirect"},
     };
     for (const Required& req : kRequired) {
-      if (f.content.find(req.needle) == std::string::npos) {
+      if (lf.uncommented.find(req.needle) == std::string::npos) {
         d.push_back({f.path, 0, req.check, req.message});
       }
     }
@@ -440,8 +532,9 @@ void LintAttrCategories(const SourceFile& f, std::vector<Diagnostic>& d) {
 // The fuzzer's determinism contract (stackfuzz output is a pure function of
 // --seed/--runs) dies the moment any ambient entropy source sneaks in. All
 // randomness in src/fuzz must flow from the seeded neve::Rng.
-void LintFuzzUnseededRandomness(const SourceFile& f,
+void LintFuzzUnseededRandomness(const LintedFile& lf,
                                 std::vector<Diagnostic>& d) {
+  const SourceFile& f = lf.f;
   if (f.path.rfind("src/fuzz/", 0) != 0) {
     return;
   }
@@ -451,7 +544,7 @@ void LintFuzzUnseededRandomness(const SourceFile& f,
       "drand48(",     "lrand48(",     "ranlux",
   };
   for (const char* pattern : kForbidden) {
-    for (size_t pos : FindCalls(f.content, pattern)) {
+    for (size_t pos : FindCalls(lf.stripped, pattern)) {
       d.push_back({f.path, LineOfOffset(f.content, pos),
                    "fuzz-unseeded-randomness",
                    std::string(pattern) +
@@ -464,11 +557,11 @@ void LintFuzzUnseededRandomness(const SourceFile& f,
 
 // --- rule: obs span balance --------------------------------------------------
 
-void LintSpanBalance(const SourceFile& f, std::vector<Diagnostic>& d) {
-  size_t begins = FindCalls(f.content, "tracer().Begin(").size();
-  size_t ends = FindCalls(f.content, "tracer().End(").size();
+void LintSpanBalance(const LintedFile& lf, std::vector<Diagnostic>& d) {
+  size_t begins = FindCalls(lf.stripped, "tracer().Begin(").size();
+  size_t ends = FindCalls(lf.stripped, "tracer().End(").size();
   if (begins != ends) {
-    d.push_back({f.path, 0, "span-balance",
+    d.push_back({lf.f.path, 0, "span-balance",
                  "tracer().Begin/End mismatch: " + std::to_string(begins) +
                      " Begin vs " + std::to_string(ends) +
                      " End -- a span leaks or double-closes"});
@@ -480,23 +573,295 @@ bool HasSuffix(std::string_view s, std::string_view suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+// --- rule: shared-mutation lockset audit -------------------------------------
+
+// Directories whose classes the lockset audit enforces (the simulator's
+// guest-state-bearing layers). Declarations elsewhere still enter the
+// catalog -- so a name declared in several classes resolves toward the union
+// of its home TUs -- but only audited members produce diagnostics.
+constexpr const char* kLocksetDirs[] = {"src/cpu/", "src/hyp/", "src/gic/",
+                                        "src/mem/", "src/sim/"};
+
+bool InLocksetDir(std::string_view path) {
+  for (const char* dir : kLocksetDirs) {
+    if (path.rfind(dir, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// src/hyp/virtio.cc -> "virtio": the TU stem. foo.h and foo.cc share a stem
+// and therefore a TU (the header is textually part of the .cc that includes
+// it), so header-inline mutations are home.
+std::string TuStem(std::string_view path) {
+  size_t slash = path.rfind('/');
+  std::string_view base =
+      slash == std::string_view::npos ? path : path.substr(slash + 1);
+  size_t dot = base.rfind('.');
+  return std::string(dot == std::string_view::npos ? base
+                                                   : base.substr(0, dot));
+}
+
+struct Token {
+  size_t pos = 0;
+  size_t len = 0;
+};
+
+// Identifier tokens that follow the repo's member-naming convention:
+// lowercase start, trailing underscore, at least one more character.
+std::vector<Token> MemberTokens(std::string_view s) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    if (!IdentChar(s[i]) || (i > 0 && IdentChar(s[i - 1]))) {
+      ++i;
+      continue;
+    }
+    size_t e = i;
+    while (e < s.size() && IdentChar(s[e])) {
+      ++e;
+    }
+    if (e - i >= 2 && s[e - 1] == '_' &&
+        std::islower(static_cast<unsigned char>(s[i])) != 0) {
+      out.push_back({i, e - i});
+    }
+    i = e;
+  }
+  return out;
+}
+
+// True when the token at [pos, pos+len) reads as a member *declaration*: a
+// type-ish token (identifier, '*', '&', '>') precedes it on its own line --
+// an assignment statement starts with the member itself -- and one of ';',
+// '=', '{', '[' or a GUARDED_BY annotation follows. Heuristic by design:
+// srclint is flow-light string matching, and the naming convention plus
+// these shape checks pin down the cases that occur in practice.
+bool IsDeclSite(std::string_view s, size_t pos, size_t len) {
+  size_t bol = s.rfind('\n', pos);
+  bol = (bol == std::string_view::npos) ? 0 : bol + 1;
+  size_t p = pos;
+  while (p > bol && (s[p - 1] == ' ' || s[p - 1] == '\t')) {
+    --p;
+  }
+  if (p == bol) {
+    return false;  // starts the line: an assignment or a wrapped expression
+  }
+  char prev = s[p - 1];
+  if (!IdentChar(prev) && prev != '*' && prev != '&' && prev != '>') {
+    return false;
+  }
+  if (prev == '&' && p >= 2 && s[p - 2] == '&') {
+    return false;  // `a && b_` is an expression, not `T& b_`
+  }
+  if (IdentChar(prev)) {
+    size_t tb = p - 1;
+    while (tb > bol && IdentChar(s[tb - 1])) {
+      --tb;
+    }
+    std::string_view tok = s.substr(tb, p - tb);
+    if (tok == "return" || tok == "co_return" || tok == "delete" ||
+        tok == "new" || tok == "case" || tok == "goto" || tok == "throw") {
+      return false;
+    }
+  }
+  size_t q = pos + len;
+  while (q < s.size() && (s[q] == ' ' || s[q] == '\t' || s[q] == '\n')) {
+    ++q;
+  }
+  if (q >= s.size()) {
+    return false;
+  }
+  if (s[q] == '=') {
+    return q + 1 >= s.size() || s[q + 1] != '=';  // `==` compares
+  }
+  if (s[q] == ';' || s[q] == '{' || s[q] == '[') {
+    return true;
+  }
+  return s.compare(q, 11, "GUARDED_BY(") == 0;
+}
+
+// True when the token at [pos, pos+len) is *mutated*: assigned (compound
+// assignments included), incremented or decremented, directly or through
+// one [subscript].
+bool IsWriteSite(std::string_view s, size_t pos, size_t len) {
+  // Prefix ++/-- applies to the whole access path: walk back over
+  // `obj.`/`ptr->` chains (`++w.pending_` mutates pending_).
+  size_t p = pos;
+  while (true) {
+    while (p > 0 && (s[p - 1] == ' ' || s[p - 1] == '\t')) {
+      --p;
+    }
+    if (p >= 1 && s[p - 1] == '.') {
+      --p;
+    } else if (p >= 2 && s[p - 1] == '>' && s[p - 2] == '-') {
+      p -= 2;
+    } else {
+      break;
+    }
+    while (p > 0 && IdentChar(s[p - 1])) {
+      --p;
+    }
+  }
+  if (p >= 2 && ((s[p - 1] == '+' && s[p - 2] == '+') ||
+                 (s[p - 1] == '-' && s[p - 2] == '-'))) {
+    return true;  // prefix ++/--
+  }
+  size_t q = pos + len;
+  while (q < s.size() && (s[q] == ' ' || s[q] == '\t')) {
+    ++q;
+  }
+  if (q < s.size() && s[q] == '[') {
+    int depth = 0;
+    for (; q < s.size(); ++q) {
+      if (s[q] == '[') {
+        ++depth;
+      } else if (s[q] == ']' && --depth == 0) {
+        ++q;
+        break;
+      }
+    }
+  }
+  while (q < s.size() && (s[q] == ' ' || s[q] == '\t' || s[q] == '\n')) {
+    ++q;
+  }
+  if (q >= s.size()) {
+    return false;
+  }
+  if (q + 1 < s.size() && ((s[q] == '+' && s[q + 1] == '+') ||
+                           (s[q] == '-' && s[q + 1] == '-'))) {
+    return true;  // postfix ++/--
+  }
+  static constexpr std::string_view kOps[] = {
+      "<<=", ">>=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="};
+  for (std::string_view op : kOps) {
+    if (s.compare(q, op.size(), op) == 0) {
+      return true;
+    }
+  }
+  return s[q] == '=' && (q + 1 >= s.size() || s[q + 1] != '=');
+}
+
+void LintLockset(const std::vector<SourceFile>& files,
+                 std::vector<Diagnostic>& d) {
+  for (const LocksetMember& m : LocksetInventory(files)) {
+    if (!m.audited || m.guarded || m.justified) {
+      continue;
+    }
+    for (const LocksetWrite& w : m.foreign_writes) {
+      d.push_back({w.path, w.line, "lockset-multi-tu-mutation",
+                   "'" + m.name + "' (declared at " + m.declared_in + ":" +
+                       std::to_string(m.declared_line) +
+                       ") is mutated outside its declaring translation unit; "
+                       "guard it with GUARDED_BY(mu) on the declaration or "
+                       "justify it with a '// single-mutator: <why>' comment "
+                       "there"});
+    }
+  }
+}
+
 }  // namespace
+
+std::string StripComments(std::string_view content) {
+  return StripImpl(content, /*strip_literals=*/false);
+}
+
+std::string StripCommentsAndLiterals(std::string_view content) {
+  return StripImpl(content, /*strip_literals=*/true);
+}
+
+std::vector<LocksetMember> LocksetInventory(
+    const std::vector<SourceFile>& files) {
+  std::vector<std::string> stripped;
+  stripped.reserve(files.size());
+  for (const SourceFile& f : files) {
+    stripped.push_back(StripCommentsAndLiterals(f.content));
+  }
+  // Pass 1: declarations build the catalog and each name's home-TU union.
+  std::map<std::string, LocksetMember> members;
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const SourceFile& f = files[fi];
+    const std::string& s = stripped[fi];
+    for (Token t : MemberTokens(s)) {
+      if (!IsDeclSite(s, t.pos, t.len)) {
+        continue;
+      }
+      std::string name(s.substr(t.pos, t.len));
+      LocksetMember& m = members[name];
+      if (m.name.empty()) {
+        m.name = name;
+        m.declared_in = f.path;
+        m.declared_line = LineOfOffset(s, t.pos);
+      }
+      m.audited = m.audited || InLocksetDir(f.path);
+      // GUARDED_BY may sit on a continuation line, so scan to the
+      // declaration's terminating semicolon (literal semicolons are blanked
+      // in the stripped view and cannot cut the statement short).
+      size_t semi = s.find(';', t.pos);
+      size_t stmt_end = semi == std::string::npos ? s.size() : semi;
+      if (s.substr(t.pos, stmt_end - t.pos).find("GUARDED_BY(") !=
+          std::string::npos) {
+        m.guarded = true;
+      }
+      if (JustifiedNear(f.content, t.pos, "single-mutator:")) {
+        m.justified = true;
+      }
+      std::string stem = TuStem(f.path);
+      if (std::find(m.home_tus.begin(), m.home_tus.end(), stem) ==
+          m.home_tus.end()) {
+        m.home_tus.push_back(stem);
+      }
+    }
+  }
+  // Pass 2: mutation sites, classified home/foreign against the catalog.
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const SourceFile& f = files[fi];
+    const std::string& s = stripped[fi];
+    std::string stem = TuStem(f.path);
+    for (Token t : MemberTokens(s)) {
+      auto it = members.find(std::string(s.substr(t.pos, t.len)));
+      if (it == members.end() || !IsWriteSite(s, t.pos, t.len)) {
+        continue;
+      }
+      LocksetMember& m = it->second;
+      if (std::find(m.writer_tus.begin(), m.writer_tus.end(), stem) ==
+          m.writer_tus.end()) {
+        m.writer_tus.push_back(stem);
+      }
+      if (std::find(m.home_tus.begin(), m.home_tus.end(), stem) ==
+          m.home_tus.end()) {
+        m.foreign_writes.push_back({f.path, LineOfOffset(s, t.pos)});
+      }
+    }
+  }
+  std::vector<LocksetMember> out;
+  out.reserve(members.size());
+  for (auto& [name, m] : members) {
+    std::sort(m.home_tus.begin(), m.home_tus.end());
+    std::sort(m.writer_tus.begin(), m.writer_tus.end());
+    out.push_back(std::move(m));
+  }
+  return out;
+}
 
 std::vector<Diagnostic> LintSources(const std::vector<SourceFile>& files) {
   std::vector<Diagnostic> d;
   for (const SourceFile& f : files) {
+    LintedFile lf{f, StripComments(f.content),
+                  StripCommentsAndLiterals(f.content)};
     if (HasSuffix(f.path, ".inc")) {
-      LintIncRows(f, "NEVE_REGID", d);
-      LintIncRows(f, "NEVE_SYSREG", d);
+      LintIncRows(lf, "NEVE_REGID", d);
+      LintIncRows(lf, "NEVE_SYSREG", d);
       continue;
     }
-    LintRawRegisterAccess(f, d);
-    LintTrapInstrumentation(f, d);
-    LintGuestReachableAborts(f, d);
-    LintAttrCategories(f, d);
-    LintFuzzUnseededRandomness(f, d);
-    LintSpanBalance(f, d);
+    LintRawRegisterAccess(lf, d);
+    LintTrapInstrumentation(lf, d);
+    LintGuestReachableAborts(lf, d);
+    LintAttrCategories(lf, d);
+    LintFuzzUnseededRandomness(lf, d);
+    LintSpanBalance(lf, d);
   }
+  LintLockset(files, d);
   return d;
 }
 

@@ -32,6 +32,24 @@
 //                         neve::Rng
 //   span-balance          tracer().Begin( and tracer().End( counts match per
 //                         file, so obs spans cannot leak
+//   lockset-multi-tu-mutation
+//                         the shared-mutation audit (DESIGN.md 6i): a
+//                         `member_`-style field declared in src/cpu, src/hyp,
+//                         src/gic, src/mem or src/sim that is assigned or
+//                         incremented from a translation unit other than its
+//                         declaring one must either be GUARDED_BY(mu) on its
+//                         declaration or carry a `// single-mutator: <why>`
+//                         justification on the declaration line or the two
+//                         lines above
+//
+// False-positive hardening: every pattern rule matches against a
+// preprocessed view of the file with comments (and, where the rule wants it,
+// string/char-literal contents) blanked out -- a `regs_[` inside a comment
+// or a "PeekReg(" inside a string literal is not a finding. The views are
+// length- and newline-preserving, so offsets and line numbers computed on a
+// view hold on the original text. Justification comments
+// (`// host-invariant:`, `// single-mutator:`) and call-argument text (which
+// may carry /*detect_cost=*/ markers) are read from the ORIGINAL text.
 //
 // The linter operates on (path, content) pairs so tests can feed it seeded
 // bad sources; LoadRepoSources gathers the real tree for the CLI.
@@ -40,6 +58,7 @@
 #define NEVE_SRC_ANALYSIS_SRCLINT_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/analysis/model.h"
@@ -50,6 +69,44 @@ struct SourceFile {
   std::string path;  // repo-relative, forward slashes
   std::string content;
 };
+
+// Comment text (// and /* */) replaced by spaces. Length- and
+// newline-preserving: offsets and line numbers computed on the result hold
+// on the input. String and character literals are left intact.
+std::string StripComments(std::string_view content);
+
+// StripComments plus the *contents* of string and character literals blanked
+// (the delimiting quotes stay, so tokenization boundaries survive). Raw
+// string literals are not understood; the repo style avoids them.
+std::string StripCommentsAndLiterals(std::string_view content);
+
+// One mutation site of a lockset-audited member outside its home TU.
+struct LocksetWrite {
+  std::string path;
+  int line = 0;
+};
+
+// The shared-mutation catalog entry for one `member_`-style field name.
+// Declarations of the same name in different classes are merged: the home
+// set is the union of their TU stems, which errs toward accepting (a write
+// in any declaring TU is home) rather than misattributing.
+struct LocksetMember {
+  std::string name;
+  std::string declared_in;           // first declaring file
+  int declared_line = 0;             // line of that declaration
+  bool audited = false;              // some declaration is in an audited dir
+  bool guarded = false;              // a declaration carries GUARDED_BY(...)
+  bool justified = false;            // a declaration carries single-mutator:
+  std::vector<std::string> home_tus;     // TU stems that may mutate freely
+  std::vector<std::string> writer_tus;   // TU stems that actually mutate
+  std::vector<LocksetWrite> foreign_writes;  // mutations outside home_tus
+};
+
+// Scans every file for member declarations and mutation sites; the basis of
+// the lockset-multi-tu-mutation rule and of `srclint --lockset`. Sorted by
+// member name.
+std::vector<LocksetMember> LocksetInventory(
+    const std::vector<SourceFile>& files);
 
 std::vector<Diagnostic> LintSources(const std::vector<SourceFile>& files);
 

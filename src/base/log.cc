@@ -1,5 +1,6 @@
 #include "src/base/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -8,7 +9,8 @@ namespace neve {
 namespace {
 
 LogLevel InitialLevel() {
-  const char* env = std::getenv("NEVE_LOG_LEVEL");
+  // Nothing in the process calls setenv, so this lone startup read is safe.
+  const char* env = std::getenv("NEVE_LOG_LEVEL");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) {
     return LogLevel::kWarning;
   }
@@ -25,8 +27,10 @@ LogLevel InitialLevel() {
   return *parsed;
 }
 
-LogLevel& MutableLevel() {
-  static LogLevel level = InitialLevel();
+// Atomic: worker threads in the bench fan-out consult the threshold while
+// the embedder may flip it; relaxed ordering is enough for a filter knob.
+std::atomic<LogLevel>& MutableLevel() {
+  static std::atomic<LogLevel> level{InitialLevel()};
   return level;
 }
 
@@ -48,8 +52,12 @@ const char* LevelTag(LogLevel level) {
 
 }  // namespace
 
-LogLevel GetLogLevel() { return MutableLevel(); }
-void SetLogLevel(LogLevel level) { MutableLevel() = level; }
+LogLevel GetLogLevel() {
+  return MutableLevel().load(std::memory_order_relaxed);
+}
+void SetLogLevel(LogLevel level) {
+  MutableLevel().store(level, std::memory_order_relaxed);
+}
 
 std::optional<LogLevel> ParseLogLevel(const char* s) {
   if (std::strcmp(s, "debug") == 0) {

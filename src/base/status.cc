@@ -2,9 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 
 namespace neve {
 
@@ -45,9 +47,12 @@ std::string Status::ToString() const {
 namespace {
 
 struct PanicHookRegistry {
-  std::mutex mu;
-  std::vector<std::pair<int, std::function<void()>>> hooks;
-  int next_id = 1;
+  // Cross-thread by design: any thread may panic while others register or
+  // remove hooks (bench fan-out workers each own a Machine whose ctor/dtor
+  // touches this registry).
+  Mutex mu{"base.panic_hooks"};
+  std::vector<std::pair<int, std::function<void()>>> hooks GUARDED_BY(mu);
+  int next_id GUARDED_BY(mu) = 1;
 };
 
 PanicHookRegistry& HookRegistry() {
@@ -59,7 +64,7 @@ PanicHookRegistry& HookRegistry() {
 
 int AddPanicHook(std::function<void()> hook) {
   PanicHookRegistry& reg = HookRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   int id = reg.next_id++;
   reg.hooks.emplace_back(id, std::move(hook));
   return id;
@@ -67,7 +72,7 @@ int AddPanicHook(std::function<void()> hook) {
 
 void RemovePanicHook(int id) {
   PanicHookRegistry& reg = HookRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (auto it = reg.hooks.begin(); it != reg.hooks.end(); ++it) {
     if (it->first == id) {
       reg.hooks.erase(it);
@@ -87,7 +92,7 @@ void Panic(const char* file, int line, const std::string& message) {
     std::vector<std::function<void()>> hooks;
     {
       PanicHookRegistry& reg = HookRegistry();
-      std::lock_guard<std::mutex> lock(reg.mu);
+      MutexLock lock(reg.mu);
       for (auto it = reg.hooks.rbegin(); it != reg.hooks.rend(); ++it) {
         hooks.push_back(it->second);
       }

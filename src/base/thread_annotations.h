@@ -1,0 +1,79 @@
+// Clang thread-safety annotations (-Wthread-safety), no-ops elsewhere.
+//
+// These macros attach compile-time locking contracts to data and functions:
+// a member declared GUARDED_BY(mu_) may only be touched while mu_ is held,
+// a function declared REQUIRES(mu_) may only be called with mu_ held, and
+// clang's analysis (enabled with -Wthread-safety -Werror for clang builds,
+// see the top-level CMakeLists.txt) rejects violations at compile time. GCC
+// ignores them all, so the annotations cost nothing on the default
+// toolchain -- they are machine-checked documentation, not code.
+//
+// The vocabulary follows the standard clang/abseil naming so the contracts
+// read the same here as in any annotated codebase. Use neve::Mutex
+// (src/base/mutex.h), not std::mutex, for lockable state: only the wrapper
+// carries the CAPABILITY attribute the analysis needs.
+
+#ifndef NEVE_SRC_BASE_THREAD_ANNOTATIONS_H_
+#define NEVE_SRC_BASE_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define NEVE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define NEVE_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+// On data members: the member may only be read or written while the named
+// capability (mutex) is held.
+#define GUARDED_BY(x) NEVE_THREAD_ANNOTATION_(guarded_by(x))
+
+// On pointer members: the pointed-to data (not the pointer itself) is
+// protected by the named mutex.
+#define PT_GUARDED_BY(x) NEVE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// On functions: the caller must hold the listed mutexes (exclusively /
+// shared) when calling.
+#define REQUIRES(...) \
+  NEVE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  NEVE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// On functions: the function acquires / releases the listed mutexes and
+// holds them across the call boundary.
+#define ACQUIRE(...) NEVE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  NEVE_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) NEVE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  NEVE_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+// On functions: acquires the mutex only when returning `ret`
+// (e.g. TRY_ACQUIRE(true) on a TryLock that returns success).
+#define TRY_ACQUIRE(...) \
+  NEVE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// On functions: the caller must NOT hold the listed mutexes (deadlock
+// guard for functions that acquire them internally).
+#define EXCLUDES(...) NEVE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// On mutex members: documents (and checks) a global acquisition order.
+#define ACQUIRED_BEFORE(...) \
+  NEVE_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  NEVE_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// On types: marks a class as a lockable capability ("mutex") / a scoped
+// lock-holder (RAII guard).
+#define CAPABILITY(x) NEVE_THREAD_ANNOTATION_(capability(x))
+#define SCOPED_CAPABILITY NEVE_THREAD_ANNOTATION_(scoped_lockable)
+
+// On functions: returns a reference to the mutex protecting this object
+// (lets accessors hand the guard to callers).
+#define RETURN_CAPABILITY(x) NEVE_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: the function's locking discipline is correct but beyond
+// the analysis (owner-serialized read sides, init/teardown paths). Every
+// use should say why in a comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  NEVE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // NEVE_SRC_BASE_THREAD_ANNOTATIONS_H_

@@ -36,6 +36,7 @@ void VirtioBackend::MmioWrite(Cpu& cpu, uint64_t offset, uint64_t value) {
   // clock, concurrently with the guest.
   (void)offset;
   (void)value;
+  MutexLock lock(ring_mu_);
   ++kicks_;
   ScopedSpan span(cpu.obs(), cpu, "virtio", "kick");
   if (ObsActive(cpu.obs())) {
@@ -47,7 +48,7 @@ void VirtioBackend::MmioWrite(Cpu& cpu, uint64_t offset, uint64_t value) {
   // driver is busy, it tells the frontend it can continue to send packets
   // without further notification", section 7.2).
   Write(L::kUsedFlags, L::kNoNotify);
-  ProcessAvail(cpu);
+  ProcessAvailLocked(cpu);
   // Injected ring corruption: the used.idx update tears (as a non-atomic
   // 64-bit store racing the frontend would), leaving an index further ahead
   // than the queue can hold. The frontend's ReapUsed detects it.
@@ -59,6 +60,11 @@ void VirtioBackend::MmioWrite(Cpu& cpu, uint64_t offset, uint64_t value) {
 }
 
 int VirtioBackend::ProcessAvail(Cpu& cpu) {
+  MutexLock lock(ring_mu_);
+  return ProcessAvailLocked(cpu);
+}
+
+int VirtioBackend::ProcessAvailLocked(Cpu& cpu) {
   ScopedSpan span(cpu.obs(), cpu, "virtio", "process_avail");
   uint64_t avail = Read(L::kAvailIdx);
   uint64_t used = Read(L::kUsedIdx);
@@ -89,6 +95,7 @@ void VirtioBackend::Poll(uint64_t now_cycles) {
   // The backend thread's scheduling points: pick up buffers that were
   // posted without a kick, and -- "only once the backend driver has nothing
   // left to do" -- re-enable notifications.
+  MutexLock lock(ring_mu_);
   if (Read(L::kAvailIdx) > last_avail_) {
     busy_until_ = std::max(busy_until_, now_cycles);
     ProcessAvailOnThread();

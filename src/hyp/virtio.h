@@ -27,6 +27,8 @@
 
 #include <cstdint>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/hyp/devices.h"
 #include "src/hyp/guest_env.h"
 #include "src/mem/mem_io.h"
@@ -70,30 +72,43 @@ class VirtioBackend : public MmioDevice {
 
   // MmioDevice: the doorbell register (offset 0) receives kicks.
   uint64_t MmioRead(Cpu& cpu, uint64_t offset) override;
-  void MmioWrite(Cpu& cpu, uint64_t offset, uint64_t value) override;
+  void MmioWrite(Cpu& cpu, uint64_t offset, uint64_t value)
+      EXCLUDES(ring_mu_) override;
 
   // Drains available buffers into the used ring. Processing time accrues on
   // the backend thread's own clock (`busy_until`), modeling the vhost
   // thread running concurrently with the guest. Returns buffers processed.
-  int ProcessAvail(Cpu& cpu);
+  int ProcessAvail(Cpu& cpu) EXCLUDES(ring_mu_);
 
   // Scheduling point of the backend's thread (called by the machine/harness
   // between guest operations): picks up buffers posted without a kick and,
   // once the thread has drained everything and caught up with `now`,
   // re-enables notifications in the used ring.
-  void Poll(uint64_t now_cycles);
+  void Poll(uint64_t now_cycles) EXCLUDES(ring_mu_);
 
   // True while the backend's thread is still working at `now`: posts
   // arriving before this need no kick.
-  bool BusyAt(uint64_t now_cycles) const { return now_cycles < busy_until_; }
+  bool BusyAt(uint64_t now_cycles) const EXCLUDES(ring_mu_) {
+    MutexLock lock(ring_mu_);
+    return now_cycles < busy_until_;
+  }
 
   // Machine-wide fault injector (kVirtioRingCorruption: a kick may tear the
   // used.idx the frontend reads). May stay null.
   void SetFaultInjector(FaultInjector* fault) { fault_ = fault; }
 
-  uint64_t kicks() const { return kicks_; }
-  uint64_t buffers_processed() const { return buffers_processed_; }
-  uint64_t busy_until() const { return busy_until_; }
+  uint64_t kicks() const EXCLUDES(ring_mu_) {
+    MutexLock lock(ring_mu_);
+    return kicks_;
+  }
+  uint64_t buffers_processed() const EXCLUDES(ring_mu_) {
+    MutexLock lock(ring_mu_);
+    return buffers_processed_;
+  }
+  uint64_t busy_until() const EXCLUDES(ring_mu_) {
+    MutexLock lock(ring_mu_);
+    return busy_until_;
+  }
 
  private:
   uint64_t Read(uint64_t off) const {
@@ -102,16 +117,23 @@ class VirtioBackend : public MmioDevice {
   void Write(uint64_t off, uint64_t v) {
     guest_mem_->Write64(Pa(ring_base_.value + off), v);
   }
-  void ProcessAvailOnThread();
+  int ProcessAvailLocked(Cpu& cpu) REQUIRES(ring_mu_);
+  void ProcessAvailOnThread() REQUIRES(ring_mu_);
 
   MemIo* guest_mem_;
   Pa ring_base_;
   FaultInjector* fault_ = nullptr;
   uint32_t per_buffer_cycles_;
-  uint64_t last_avail_ = 0;
-  uint64_t busy_until_ = 0;
-  uint64_t kicks_ = 0;
-  uint64_t buffers_processed_ = 0;
+  // The backend's ring cursor and work clock: in the SMP future a vhost
+  // host-thread drains the ring while vCPU threads kick it, so the shared
+  // cursor state is mutex-guarded now (uncontended while each Machine has a
+  // single mutator). The ring *contents* live in guest memory and follow
+  // the guest's own memory model, not this lock.
+  mutable Mutex ring_mu_{"hyp.virtio_ring"};
+  uint64_t last_avail_ GUARDED_BY(ring_mu_) = 0;
+  uint64_t busy_until_ GUARDED_BY(ring_mu_) = 0;
+  uint64_t kicks_ GUARDED_BY(ring_mu_) = 0;
+  uint64_t buffers_processed_ GUARDED_BY(ring_mu_) = 0;
 };
 
 // Frontend half: the guest's driver. All ring traffic goes through the

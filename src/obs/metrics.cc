@@ -101,6 +101,7 @@ MetricHistogram::Summary MetricHistogram::Summarize() const {
 }
 
 MetricCounter& MetricsRegistry::Counter(std::string_view name) {
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), MetricCounter{}).first;
@@ -109,6 +110,7 @@ MetricCounter& MetricsRegistry::Counter(std::string_view name) {
 }
 
 MetricGauge& MetricsRegistry::Gauge(std::string_view name) {
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), MetricGauge{}).first;
@@ -117,6 +119,7 @@ MetricGauge& MetricsRegistry::Gauge(std::string_view name) {
 }
 
 MetricHistogram& MetricsRegistry::Histogram(std::string_view name) {
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), MetricHistogram{}).first;
@@ -125,19 +128,23 @@ MetricHistogram& MetricsRegistry::Histogram(std::string_view name) {
 }
 
 const MetricCounter* MetricsRegistry::FindCounter(std::string_view name) const {
+  MutexLock lock(mu_);
   return FindIn(counters_, name);
 }
 
 const MetricGauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  MutexLock lock(mu_);
   return FindIn(gauges_, name);
 }
 
 const MetricHistogram* MetricsRegistry::FindHistogram(
     std::string_view name) const {
+  MutexLock lock(mu_);
   return FindIn(histograms_, name);
 }
 
 std::string MetricsRegistry::TextReport() const {
+  MutexLock lock(mu_);
   std::ostringstream oss;
   for (const auto& [name, c] : counters_) {
     oss << "counter   " << name << " = " << c.value() << "\n";
@@ -165,6 +172,7 @@ std::string MetricsRegistry::TextReport() const {
 }
 
 void MetricsRegistry::Reset() {
+  MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

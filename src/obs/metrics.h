@@ -3,11 +3,20 @@
 //
 // The registry is owned per-Machine and shared by every CPU and device model
 // of that machine, so a counter like "cpu.traps_to_el2" aggregates across
-// CPUs by construction (the simulator is single-threaded; no atomics). All
-// instrumentation sites are gated on Observability::enabled() -- when the
-// layer is off nothing here executes, keeping the hot paths at their
-// uninstrumented cost (the "zero-cost when disabled" contract verified by
-// bench/simcore_gbench).
+// CPUs by construction. All instrumentation sites are gated on
+// Observability::enabled() -- when the layer is off nothing here executes,
+// keeping the hot paths at their uninstrumented cost (the "zero-cost when
+// disabled" contract verified by bench/simcore_gbench).
+//
+// Concurrency (DESIGN.md 6i): registration -- the name->metric map structure
+// -- is guarded by mu_, so threads may look metrics up concurrently (the
+// --threads= bench fan-out constructs and reads registries on worker
+// threads). The *recorded values* (Add/Set/Record on the returned
+// references) stay unsynchronized: a Machine has exactly one mutator thread
+// at a time, and the ParallelFor join publishes its writes to whoever
+// aggregates. The SMP-nested-guest work will revisit that single-mutator
+// assumption; until then it is enforced by srclint's lockset audit, not
+// locks.
 //
 // Naming scheme (see DESIGN.md "Observability"): dot-separated
 // `<subsystem>.<event>[,k=v...]`, e.g. "cpu.traps_to_el2",
@@ -24,6 +33,9 @@
 #include <optional>
 #include <string>
 #include <string_view>
+
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 
 namespace neve {
 
@@ -132,35 +144,46 @@ class MetricHistogram {
 // instrumentation sites may cache them.
 class MetricsRegistry {
  public:
-  MetricCounter& Counter(std::string_view name);
-  MetricGauge& Gauge(std::string_view name);
-  MetricHistogram& Histogram(std::string_view name);
+  MetricCounter& Counter(std::string_view name) EXCLUDES(mu_);
+  MetricGauge& Gauge(std::string_view name) EXCLUDES(mu_);
+  MetricHistogram& Histogram(std::string_view name) EXCLUDES(mu_);
 
   // Lookup without creation; nullptr when the metric was never touched.
-  const MetricCounter* FindCounter(std::string_view name) const;
-  const MetricGauge* FindGauge(std::string_view name) const;
-  const MetricHistogram* FindHistogram(std::string_view name) const;
+  const MetricCounter* FindCounter(std::string_view name) const EXCLUDES(mu_);
+  const MetricGauge* FindGauge(std::string_view name) const EXCLUDES(mu_);
+  const MetricHistogram* FindHistogram(std::string_view name) const
+      EXCLUDES(mu_);
 
-  const std::map<std::string, MetricCounter, std::less<>>& counters() const {
+  // Whole-map read side, used by the post-join reporting paths (obsreport,
+  // BENCH json, panic dumps). Owner-serialized: the caller is the machine's
+  // only mutator (or runs after the fan-out joined), so the analysis is
+  // waived rather than taking the lock on every report line.
+  const std::map<std::string, MetricCounter, std::less<>>& counters() const
+      NO_THREAD_SAFETY_ANALYSIS {
     return counters_;
   }
-  const std::map<std::string, MetricGauge, std::less<>>& gauges() const {
+  const std::map<std::string, MetricGauge, std::less<>>& gauges() const
+      NO_THREAD_SAFETY_ANALYSIS {
     return gauges_;
   }
   const std::map<std::string, MetricHistogram, std::less<>>& histograms()
-      const {
+      const NO_THREAD_SAFETY_ANALYSIS {
     return histograms_;
   }
 
   // Human-readable dump of every metric, one per line, sorted by name.
-  std::string TextReport() const;
+  std::string TextReport() const EXCLUDES(mu_);
 
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
  private:
-  std::map<std::string, MetricCounter, std::less<>> counters_;
-  std::map<std::string, MetricGauge, std::less<>> gauges_;
-  std::map<std::string, MetricHistogram, std::less<>> histograms_;
+  // Guards the map structure (registration); see the header comment for why
+  // the metric values themselves stay owner-serialized.
+  mutable Mutex mu_{"obs.metrics"};
+  std::map<std::string, MetricCounter, std::less<>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, MetricGauge, std::less<>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, MetricHistogram, std::less<>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace neve

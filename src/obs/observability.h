@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/base/lock_order.h"
 #include "src/obs/metrics.h"
 #include "src/obs/tracer.h"
 
@@ -45,6 +46,17 @@ class Observability {
   const MetricsRegistry& metrics() const { return metrics_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+
+  // Mirrors process-global concurrency counters (the lock-order detector in
+  // src/base/lock_order.h) into this registry so reports and panic dumps
+  // carry them. Delta-mirrored against the current metric value, so calling
+  // it repeatedly (or from several report paths) never double-counts.
+  void SyncProcessCounters() {
+    MetricCounter& acq = metrics_.Counter("base.lock_acquisitions");
+    acq.Add(lock_order::Acquisitions() - acq.value());
+    MetricCounter& edges = metrics_.Counter("base.lock_order_edges");
+    edges.Add(lock_order::Edges() - edges.value());
+  }
 
  private:
   bool enabled_ = false;

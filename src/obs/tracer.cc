@@ -45,6 +45,7 @@ uint64_t Tracer::Push(TraceEvent ev) {
 
 uint64_t Tracer::Begin(int cpu, const char* category, std::string name,
                        uint64_t ts) {
+  MutexLock lock(mu_);
   return Push(TraceEvent{.phase = TracePhase::kBegin,
                          .cpu = cpu,
                          .ts = ts,
@@ -54,6 +55,7 @@ uint64_t Tracer::Begin(int cpu, const char* category, std::string name,
 
 void Tracer::End(int cpu, const char* category, std::string name,
                  uint64_t ts) {
+  MutexLock lock(mu_);
   Push(TraceEvent{.phase = TracePhase::kEnd,
                   .cpu = cpu,
                   .ts = ts,
@@ -63,6 +65,7 @@ void Tracer::End(int cpu, const char* category, std::string name,
 
 uint64_t Tracer::Instant(int cpu, const char* category, std::string name,
                          uint64_t ts, const char* arg_name, uint64_t arg) {
+  MutexLock lock(mu_);
   return Push(TraceEvent{.phase = TracePhase::kInstant,
                          .cpu = cpu,
                          .ts = ts,
@@ -72,7 +75,7 @@ uint64_t Tracer::Instant(int cpu, const char* category, std::string name,
                          .arg = arg});
 }
 
-std::vector<TraceEvent> Tracer::Snapshot() const {
+std::vector<TraceEvent> Tracer::SnapshotLocked() const {
   std::vector<TraceEvent> out;
   out.reserve(events_.size());
   // Oldest-first: the ring's write position is the oldest slot once wrapped.
@@ -83,12 +86,25 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
   return out;
 }
 
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  MutexLock lock(mu_);
+  return SnapshotLocked();
+}
+
 std::string Tracer::ToChromeJson() const {
+  // One consistent grab of ring + drop count; formatting runs unlocked.
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+  {
+    MutexLock lock(mu_);
+    events = SnapshotLocked();
+    dropped = dropped_;
+  }
   JsonWriter w;
   w.BeginObject();
   w.Key("traceEvents");
   w.BeginArray();
-  for (const TraceEvent& ev : Snapshot()) {
+  for (const TraceEvent& ev : events) {
     w.BeginObject();
     w.Key("name");
     w.String(ev.name);
@@ -123,7 +139,7 @@ std::string Tracer::ToChromeJson() const {
   w.Key("timebase");
   w.String("simulated cycles (rendered as us)");
   w.Key("dropped_events");
-  w.Number(dropped_);
+  w.Number(dropped);
   w.EndObject();
   w.EndObject();
   return w.str();
@@ -146,6 +162,7 @@ bool Tracer::WriteChromeJson(const std::string& path) const {
 }
 
 void Tracer::Clear() {
+  MutexLock lock(mu_);
   events_.clear();
   next_ = 0;
   dropped_ = 0;

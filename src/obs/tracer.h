@@ -21,6 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
+
 namespace neve {
 
 enum class TracePhase : uint8_t {
@@ -54,41 +57,57 @@ class Tracer {
   explicit Tracer(size_t capacity = kDefaultCapacity);
 
   // Begin/Instant return the recorded event's ID (for exemplar links).
-  uint64_t Begin(int cpu, const char* category, std::string name, uint64_t ts);
-  void End(int cpu, const char* category, std::string name, uint64_t ts);
+  uint64_t Begin(int cpu, const char* category, std::string name, uint64_t ts)
+      EXCLUDES(mu_);
+  void End(int cpu, const char* category, std::string name, uint64_t ts)
+      EXCLUDES(mu_);
   uint64_t Instant(int cpu, const char* category, std::string name,
                    uint64_t ts, const char* arg_name = nullptr,
-                   uint64_t arg = 0);
+                   uint64_t arg = 0) EXCLUDES(mu_);
 
   // Mirrors ring-overwrite drops into a metrics counter
   // (obs.trace_dropped_events); Observability wires this at construction.
   // The counter must outlive the tracer.
-  void SetDropCounter(MetricCounter* counter) { drop_counter_ = counter; }
+  void SetDropCounter(MetricCounter* counter) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    drop_counter_ = counter;
+  }
 
-  size_t size() const { return events_.size(); }
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return events_.size();
+  }
   size_t capacity() const { return capacity_; }
-  uint64_t dropped_events() const { return dropped_; }
+  uint64_t dropped_events() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return dropped_;
+  }
 
   // Recorded events, oldest first (unwinds the ring).
-  std::vector<TraceEvent> Snapshot() const;
+  std::vector<TraceEvent> Snapshot() const EXCLUDES(mu_);
 
   // Chrome trace-event JSON ({"traceEvents": [...], ...}).
-  std::string ToChromeJson() const;
+  std::string ToChromeJson() const EXCLUDES(mu_);
 
   // Writes ToChromeJson() to `path`; false (with a log line) on I/O failure.
-  bool WriteChromeJson(const std::string& path) const;
+  bool WriteChromeJson(const std::string& path) const EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
  private:
-  uint64_t Push(TraceEvent ev);
+  uint64_t Push(TraceEvent ev) REQUIRES(mu_);
+  std::vector<TraceEvent> SnapshotLocked() const REQUIRES(mu_);
 
+  // Guards the ring so per-cell Machines constructed and torn down on bench
+  // fan-out workers stay race-free; within one Machine the single-mutator
+  // rule (srclint lockset) means the lock is uncontended.
+  mutable Mutex mu_{"obs.tracer"};
   size_t capacity_;
-  std::vector<TraceEvent> events_;  // ring once size() == capacity_
-  size_t next_ = 0;                 // ring write position
-  uint64_t dropped_ = 0;
-  uint64_t next_id_ = 1;            // 0 is reserved for "no event"
-  MetricCounter* drop_counter_ = nullptr;
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);  // ring once at capacity
+  size_t next_ GUARDED_BY(mu_) = 0;                 // ring write position
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;  // 0 is reserved for "no event"
+  MetricCounter* drop_counter_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace neve

@@ -51,12 +51,14 @@ Machine::Machine(const MachineConfig& config)
     if (!obs_.enabled()) {
       return;
     }
+    obs_.SyncProcessCounters();
     std::string report = obs_.metrics().TextReport();
     if (!report.empty()) {
       std::fprintf(stderr, "[neve PANIC] metric snapshot:\n%s", report.c_str());
     }
     if (obs_.tracer().size() > 0) {
-      const char* path = std::getenv("NEVE_PANIC_TRACE");
+      // Nothing in the process calls setenv, so the read is safe even here.
+      const char* path = std::getenv("NEVE_PANIC_TRACE");  // NOLINT(concurrency-mt-unsafe)
       if (path == nullptr || path[0] == '\0') {
         path = "neve_panic.trace.json";
       }

@@ -1,0 +1,73 @@
+// ParallelFor semantics the bench harness depends on: every index runs
+// exactly once, a throwing cell propagates (rather than std::terminate-ing a
+// worker or deadlocking the join), the surviving cells still drain, and
+// which exception surfaces is deterministic across --threads= values.
+
+#include "src/base/parallel.h"
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace neve {
+namespace {
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 8u}) {
+    std::vector<std::atomic<int>> ran(64);
+    ParallelFor(ran.size(), threads, [&](size_t i) { ran[i].fetch_add(1); });
+    for (size_t i = 0; i < ran.size(); ++i) {
+      EXPECT_EQ(ran[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, ThrowPropagatesAndRemainingIndicesDrain) {
+  for (unsigned threads : {1u, 2u, 8u}) {
+    std::vector<std::atomic<int>> ran(16);
+    std::string caught;
+    try {
+      ParallelFor(ran.size(), threads, [&](size_t i) {
+        ran[i].fetch_add(1);
+        if (i == 3 || i == 11) {
+          throw std::runtime_error("cell " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected ParallelFor to rethrow (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+    // The LOWEST failing index wins, so serial and parallel runs surface the
+    // same error even when a later failing cell finishes first.
+    EXPECT_EQ(caught, "cell 3") << "threads " << threads;
+    // A failing cell must not starve the others: everything still ran once.
+    for (size_t i = 0; i < ran.size(); ++i) {
+      EXPECT_EQ(ran[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, NonStandardExceptionTypesPropagate) {
+  EXPECT_THROW(ParallelFor(4, 2,
+                           [](size_t i) {
+                             if (i == 2) {
+                               throw 42;  // not derived from std::exception
+                             }
+                           }),
+               int);
+}
+
+TEST(ParallelForTest, ZeroAndSingleIterationDegenerateCases) {
+  int calls = 0;
+  ParallelFor(0, 8, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, 8, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace neve

@@ -385,6 +385,218 @@ TEST(SrcLintTest, CommentedEntropyMentionInFuzzDirIsIgnored) {
                   .empty());
 }
 
+// --- comment / string-literal stripping --------------------------------------
+
+TEST(SrcLintTest, StripCommentsBlanksLineAndBlockComments) {
+  std::string in =
+      "int x;  // regs_[0]\n"
+      "/* PeekReg(\n"
+      "   spans lines */ int y;\n";
+  std::string out = StripComments(in);
+  ASSERT_EQ(out.size(), in.size());  // length-preserving
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_EQ(out.find("regs_["), std::string::npos);
+  EXPECT_EQ(out.find("PeekReg"), std::string::npos);
+  EXPECT_NE(out.find("int x;"), std::string::npos);
+  EXPECT_NE(out.find("int y;"), std::string::npos);
+}
+
+TEST(SrcLintTest, StripCommentsKeepsStringLiterals) {
+  std::string out = StripComments("Counter(\"cpu.traps_to_el2\").Add(1);\n");
+  EXPECT_NE(out.find("\"cpu.traps_to_el2\""), std::string::npos);
+}
+
+TEST(SrcLintTest, StripLiteralsBlanksContentsButKeepsQuotes) {
+  std::string in = "f(\"PeekReg( // not a comment\", ');');\n";
+  std::string out = StripCommentsAndLiterals(in);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_EQ(out.find("PeekReg"), std::string::npos);
+  // The quotes survive (token boundaries), the payload does not, and the
+  // comment-looking and paren-looking bytes inside literals are gone.
+  EXPECT_NE(out.find('"'), std::string::npos);
+  EXPECT_EQ(out.find("//"), std::string::npos);
+}
+
+TEST(SrcLintTest, StripLiteralsHandlesEscapes) {
+  // The escaped quote must not close the literal early.
+  std::string out =
+      StripCommentsAndLiterals("a(\"say \\\"regs_[\\\" here\"); regs_x();\n");
+  EXPECT_EQ(out.find("regs_["), std::string::npos);
+  EXPECT_NE(out.find("regs_x"), std::string::npos);
+}
+
+TEST(SrcLintTest, DigitSeparatorsAreNotCharLiterals) {
+  std::string in = "uint64_t big = 1'000'000; PeekCall();\n";
+  EXPECT_EQ(StripCommentsAndLiterals(in), in);
+}
+
+TEST(SrcLintTest, BlockCommentedPatternIsIgnored) {
+  // Regression: before stripping, only line comments were skipped, so a
+  // block comment around a pattern produced a false positive.
+  EXPECT_TRUE(Lint("src/hyp/nested.cc",
+                   "/* regs_[0] = 1; and PokeReg(r, v); */\nint x;\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, PatternInsideStringLiteralIsIgnored) {
+  // Regression: a quoted mention of a forbidden pattern used to require
+  // whitelisting the mentioning file (srclint.cc itself was whitelisted for
+  // exactly this reason).
+  EXPECT_TRUE(Lint("src/hyp/nested.cc",
+                   "const char* kMsg = \"use PokeReg(...) via regs_[i]\";\n")
+                  .empty());
+  EXPECT_TRUE(Lint("src/fuzz/gen.cc",
+                   "Log(\"mt19937 and rand( are banned here\");\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, TrailingCommentDoesNotHideRealViolation) {
+  std::vector<Diagnostic> d = Lint("src/hyp/nested.cc",
+                                   "c.regs_[0] = 1;  // tidy later\n");
+  EXPECT_NE(Find(d, "raw-register-access"), nullptr);
+}
+
+TEST(SrcLintTest, CommentedOutIncRowDoesNotParse) {
+  std::vector<Diagnostic> d = Lint(
+      "src/arch/regid_defs.inc",
+      "NEVE_REGID(kHCR_EL2, \"HCR_EL2\", El::kEl2, NeveClass::kDeferred, "
+      "kHCR_EL2)\n"
+      "// NEVE_REGID(kHCR_EL2, \"HCR_EL2\", El::kEl2, NeveClass::kDeferred, "
+      "kHCR_EL2)\n");
+  EXPECT_EQ(Find(d, "inc-duplicate-id"), nullptr);
+}
+
+// --- shared-mutation lockset audit -------------------------------------------
+
+TEST(SrcLintTest, ForeignTuMutationIsFlagged) {
+  std::vector<Diagnostic> d = LintSources(
+      {{"src/hyp/widget.h",
+        "class Widget {\n public:\n  uint64_t hits_ = 0;\n};\n"},
+       {"src/hyp/other.cc", "void F(Widget& w) {\n  w.hits_ += 1;\n}\n"}});
+  const Diagnostic* diag = Find(d, "lockset-multi-tu-mutation");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->file, "src/hyp/other.cc");
+  EXPECT_EQ(diag->line, 2);
+  EXPECT_NE(diag->message.find("hits_"), std::string::npos);
+  EXPECT_NE(diag->message.find("src/hyp/widget.h:3"), std::string::npos);
+}
+
+TEST(SrcLintTest, HomeTuMutationIsAllowed) {
+  // foo.h and foo.cc are one TU: header-inline and .cc writes are home.
+  EXPECT_TRUE(LintSources({{"src/hyp/widget.h",
+                            "class Widget {\n  uint64_t hits_ = 0;\n"
+                            "  void Bump() { hits_ += 1; }\n};\n"},
+                           {"src/hyp/widget.cc",
+                            "void Widget::Reset() {\n  hits_ = 0;\n}\n"}})
+                  .empty());
+}
+
+TEST(SrcLintTest, GuardedByExemptsForeignMutation) {
+  EXPECT_TRUE(
+      LintSources(
+          {{"src/hyp/widget.h",
+            "class Widget {\n  mutable Mutex mu_;\n"
+            "  uint64_t hits_ GUARDED_BY(mu_) = 0;\n};\n"},
+           {"src/hyp/other.cc", "void F(Widget& w) {\n  w.hits_ += 1;\n}\n"}})
+          .empty());
+}
+
+TEST(SrcLintTest, GuardedByOnContinuationLineExempts) {
+  EXPECT_TRUE(
+      LintSources(
+          {{"src/hyp/widget.h",
+            "class Widget {\n  mutable Mutex mu_;\n"
+            "  std::map<int, int> table_\n      GUARDED_BY(mu_);\n};\n"},
+           {"src/hyp/other.cc",
+            "void F(Widget& w) {\n  w.table_[1] = 2;\n}\n"}})
+          .empty());
+}
+
+TEST(SrcLintTest, SingleMutatorJustificationExempts) {
+  EXPECT_TRUE(
+      LintSources(
+          {{"src/hyp/widget.h",
+            "class Widget {\n"
+            "  // single-mutator: only the owning Machine's thread calls\n"
+            "  // F(), enforced by the harness.\n"
+            "  uint64_t hits_ = 0;\n};\n"},
+           {"src/hyp/other.cc", "void F(Widget& w) {\n  w.hits_ += 1;\n}\n"}})
+          .empty());
+}
+
+TEST(SrcLintTest, IncrementAndDecrementCountAsMutations) {
+  std::vector<Diagnostic> d = LintSources(
+      {{"src/gic/widget.h", "class W {\n public:\n  int pending_ = 0;\n};\n"},
+       {"src/gic/other.cc", "void F(W& w) {\n  ++w.pending_;\n}\n"}});
+  EXPECT_NE(Find(d, "lockset-multi-tu-mutation"), nullptr);
+  d = LintSources(
+      {{"src/gic/widget.h", "class W {\n public:\n  int pending_ = 0;\n};\n"},
+       {"src/gic/other.cc", "void F(W& w) {\n  w.pending_--;\n}\n"}});
+  EXPECT_NE(Find(d, "lockset-multi-tu-mutation"), nullptr);
+}
+
+TEST(SrcLintTest, ReadsAndComparisonsAreNotMutations) {
+  EXPECT_TRUE(LintSources({{"src/mem/widget.h",
+                            "class W {\n public:\n  uint64_t size_ = 0;\n};\n"},
+                           {"src/mem/other.cc",
+                            "bool F(W& w) {\n  return w.size_ == 0;\n}\n"
+                            "uint64_t G(W& w) {\n  return w.size_;\n}\n"}})
+                  .empty());
+}
+
+TEST(SrcLintTest, SubscriptAssignmentIsAMutation) {
+  std::vector<Diagnostic> d = LintSources(
+      {{"src/cpu/widget.h",
+        "class W {\n public:\n  std::array<int, 4> slots_;\n};\n"},
+       {"src/cpu/other.cc", "void F(W& w) {\n  w.slots_[2] = 7;\n}\n"}});
+  EXPECT_NE(Find(d, "lockset-multi-tu-mutation"), nullptr);
+}
+
+TEST(SrcLintTest, UnauditedDirsAreOutsideTheLockset) {
+  // src/obs members are owner-serialized by design; the audit covers the
+  // guest-state-bearing layers only.
+  EXPECT_TRUE(LintSources({{"src/obs/widget.h",
+                            "class W {\n public:\n  uint64_t n_ = 0;\n};\n"},
+                           {"src/obs/other.cc",
+                            "void F(W& w) {\n  w.n_ = 1;\n}\n"}})
+                  .empty());
+}
+
+TEST(SrcLintTest, SameNameInTwoHeadersMergesHomes) {
+  // Both TUs declare a `count_`; each writing its own is not foreign.
+  EXPECT_TRUE(LintSources({{"src/hyp/a.h", "class A {\n  int count_ = 0;\n};\n"},
+                           {"src/hyp/b.h", "class B {\n  int count_ = 0;\n};\n"},
+                           {"src/hyp/a.cc", "void A::F() {\n  count_ = 1;\n}\n"},
+                           {"src/hyp/b.cc", "void B::F() {\n  count_ = 2;\n}\n"}})
+                  .empty());
+}
+
+TEST(SrcLintTest, LocksetInventoryReportsWritersAndGuards) {
+  std::vector<LocksetMember> inv = LocksetInventory(
+      {{"src/hyp/widget.h",
+        "class Widget {\n  mutable Mutex mu_;\n"
+        "  uint64_t hits_ GUARDED_BY(mu_) = 0;\n  uint64_t cold_ = 0;\n};\n"},
+       {"src/hyp/other.cc", "void F(Widget& w) {\n  w.hits_ += 1;\n}\n"}});
+  const LocksetMember* hits = nullptr;
+  const LocksetMember* cold = nullptr;
+  for (const LocksetMember& m : inv) {
+    if (m.name == "hits_") {
+      hits = &m;
+    }
+    if (m.name == "cold_") {
+      cold = &m;
+    }
+  }
+  ASSERT_NE(hits, nullptr);
+  EXPECT_TRUE(hits->audited);
+  EXPECT_TRUE(hits->guarded);
+  ASSERT_EQ(hits->writer_tus.size(), 1u);
+  EXPECT_EQ(hits->writer_tus[0], "other");
+  EXPECT_EQ(hits->foreign_writes.size(), 1u);
+  ASSERT_NE(cold, nullptr);
+  EXPECT_FALSE(cold->guarded);
+}
+
 // --- the real tree -----------------------------------------------------------
 
 TEST(SrcLintTest, LoadRepoSourcesOnMissingRootIsEmpty) {

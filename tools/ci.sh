@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # CI entry point: build + test matrix.
 #
-#   tools/ci.sh            run the full matrix (Release, asan, ubsan)
+#   tools/ci.sh            run the full matrix (Release, asan, ubsan, tsan)
 #   tools/ci.sh release    run a single named configuration
 #   tools/ci.sh asan
 #   tools/ci.sh ubsan
+#   tools/ci.sh tsan       ThreadSanitizer build + the multithreaded
+#                          workloads: bench fan-out, obsreport and stackfuzz
+#                          at --threads=8, plus a --threads byte-identity
+#                          check on the bench output
 #   tools/ci.sh tidy       clang-tidy over src/ (skipped when not installed)
 #   tools/ci.sh smoke      simcore_gbench smoke (BENCH_simcore.json) + cached
 #                          vs uncached archlint matrix-dump byte comparison
@@ -19,11 +23,34 @@
 # model verification, the srclint repo-convention checks, and a short chaos
 # sweep; the `chaos` stage reruns the sweep with more campaigns per config
 # under both sanitizers.
+#
+# Each stage's wall time is recorded and a summary table prints on exit.
 
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
+
+STAGE_SUMMARY=()
+
+# timed <label> <command...>: run a stage and record its wall time.
+timed() {
+  local label="$1"
+  shift
+  local t0=$SECONDS
+  "$@"
+  STAGE_SUMMARY+=("$(printf '%-10s %5ss' "$label" $((SECONDS - t0)))")
+}
+
+print_summary() {
+  local status=$?
+  if ((${#STAGE_SUMMARY[@]} > 0)); then
+    echo "==> stage wall-time summary"
+    printf '    %s\n' "${STAGE_SUMMARY[@]}"
+  fi
+  return "$status"
+}
+trap print_summary EXIT
 
 run_config() {
   local name="$1"
@@ -50,6 +77,37 @@ run_ubsan() {
   run_config ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DNEVE_SANITIZE=undefined"
 }
 
+# ThreadSanitizer over the code paths that actually run multithreaded: the
+# bench harness's ParallelFor fan-out, obsreport's per-kind fan-out and the
+# stackfuzz worker pool, all pinned to --threads=8 so worker interleavings
+# exist even on small CI machines. Also proves the --threads byte-identity
+# contract on the bench output (a TSan-clean race would still be a
+# determinism bug, and vice versa).
+run_tsan() {
+  local build_dir="$ROOT/build-ci-tsan"
+  local runs="${TSAN_FUZZ_RUNS:-300}"
+  echo "==> [tsan] configure + build"
+  cmake -B "$build_dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    "-DNEVE_SANITIZE=thread" >/dev/null
+  cmake --build "$build_dir" -j "$JOBS" --target \
+    table1_micro_v83 fig2_applications obsreport stackfuzz >/dev/null
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"; trap - RETURN' RETURN
+  echo "==> [tsan] bench fan-out at --threads=8 (+ byte-identity vs serial)"
+  "$build_dir/bench/table1_micro_v83" --threads=8 >"$tmp/table1.mt.txt"
+  "$build_dir/bench/table1_micro_v83" --threads=1 >"$tmp/table1.serial.txt"
+  cmp "$tmp/table1.mt.txt" "$tmp/table1.serial.txt"
+  "$build_dir/bench/fig2_applications" --threads=8 >/dev/null
+  echo "==> [tsan] obsreport run --threads=8"
+  "$build_dir/tools/obsreport" run --stack=neve --threads=8 \
+    --out="$tmp/obsreport.json" >/dev/null
+  echo "==> [tsan] stackfuzz --threads=8 ($runs runs)"
+  "$build_dir/tools/stackfuzz" --seed=20260809 --runs="$runs" --threads=8 \
+    --corpus-out="$tmp/corpus" >/dev/null
+  echo "==> [tsan] OK"
+}
+
 # Perf + serialization smoke on the Release build: run the simulator-core
 # microbenchmarks into BENCH_simcore.json, validate the JSON with the
 # from-scratch checker, and prove the resolution fast-path cache is
@@ -69,7 +127,7 @@ run_smoke() {
   echo "==> [smoke] archlint --dump-matrix: cached vs uncached"
   local tmp
   tmp="$(mktemp -d)"
-  trap 'rm -rf "$tmp"' RETURN
+  trap 'rm -rf "$tmp"; trap - RETURN' RETURN
   "$build_dir/tools/archlint" --dump-matrix -o "$tmp/uncached.csv"
   "$build_dir/tools/archlint" --dump-matrix --cached -o "$tmp/cached.csv"
   cmp "$tmp/uncached.csv" "$tmp/cached.csv"
@@ -122,7 +180,7 @@ run_fuzz() {
   echo "==> [fuzz] campaign: seed=$seed runs=$runs"
   local tmp
   tmp="$(mktemp -d)"
-  trap 'rm -rf "$tmp"' RETURN
+  trap 'rm -rf "$tmp"; trap - RETURN' RETURN
   "$build_dir/tools/stackfuzz" --seed="$seed" --runs="$runs" \
     --threads="$JOBS" --corpus-out="$tmp/corpus"
   echo "==> [fuzz] OK"
@@ -147,26 +205,28 @@ run_tidy() {
 }
 
 case "${1:-all}" in
-  release)  run_release ;;
-  asan)     run_asan ;;
-  ubsan)    run_ubsan ;;
-  tidy)     run_tidy ;;
-  smoke)    run_smoke ;;
-  chaos)    run_chaos ;;
-  fuzz)     run_fuzz ;;
-  coverage) run_coverage ;;
+  release)  timed release run_release ;;
+  asan)     timed asan run_asan ;;
+  ubsan)    timed ubsan run_ubsan ;;
+  tsan)     timed tsan run_tsan ;;
+  tidy)     timed tidy run_tidy ;;
+  smoke)    timed smoke run_smoke ;;
+  chaos)    timed chaos run_chaos ;;
+  fuzz)     timed fuzz run_fuzz ;;
+  coverage) timed coverage run_coverage ;;
   all)
-    run_release
-    run_smoke
-    run_asan
-    run_ubsan
-    run_chaos
-    run_fuzz
-    run_coverage
-    run_tidy
+    timed release run_release
+    timed smoke run_smoke
+    timed asan run_asan
+    timed ubsan run_ubsan
+    timed tsan run_tsan
+    timed chaos run_chaos
+    timed fuzz run_fuzz
+    timed coverage run_coverage
+    timed tidy run_tidy
     ;;
   *)
-    echo "usage: $0 [all|release|asan|ubsan|tidy|smoke|chaos|fuzz|coverage]" >&2
+    echo "usage: $0 [all|release|asan|ubsan|tsan|tidy|smoke|chaos|fuzz|coverage]" >&2
     exit 2
     ;;
 esac
