@@ -18,6 +18,8 @@ const char* EcName(Ec ec) {
       return "SMC64";
     case Ec::kSysReg:
       return "SYSREG";
+    case Ec::kTlbi:
+      return "TLBI";
     case Ec::kEretTrap:
       return "ERET";
     case Ec::kInstAbortLow:

@@ -25,6 +25,7 @@ enum class Ec : uint8_t {
   kHvc64 = 0x16,
   kSmc64 = 0x17,
   kSysReg = 0x18,      // trapped MSR/MRS
+  kTlbi = 0x19,        // trapped TLB maintenance (HCR_EL2.TTLB-style)
   kEretTrap = 0x1A,    // ARMv8.3-NV: trapped eret from EL1
   kInstAbortLow = 0x20,
   kDataAbortLow = 0x24,
@@ -73,6 +74,11 @@ struct Syndrome {
   static Syndrome EretTrap() {
     Syndrome s;
     s.ec = Ec::kEretTrap;
+    return s;
+  }
+  static Syndrome Tlbi() {
+    Syndrome s;
+    s.ec = Ec::kTlbi;
     return s;
   }
   static Syndrome DataAbort(uint64_t far, uint64_t hpfar, bool is_write,

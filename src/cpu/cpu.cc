@@ -62,6 +62,7 @@ AttrCat TrapCatForEc(Ec ec) {
       return AttrCat::kTrapIrq;
     case Ec::kWfx:
       return AttrCat::kTrapWfx;
+    case Ec::kTlbi:
     case Ec::kUnknown:
       break;
   }
@@ -92,6 +93,14 @@ void Cpu::AdvanceTo(uint64_t cycle_count) {
     // (sum of buckets == sum of clocks) covers rendezvous too.
     if (attr_ != nullptr) {
       attr_->ChargeTo(index_, AttrCat::kIdleWait, delta);
+    }
+    // Idle-rendezvous time must not consume the trap-livelock budget: the
+    // watchdog bounds work *this* vCPU does inside one VM entry, and a vCPU
+    // parked waiting on a slower sibling is doing none. Without this an
+    // idle-heavy SMP rendezvous trips a false VM kill (the deadline was
+    // sized for single-vCPU entries).
+    if (watchdog_deadline_ != 0) {
+      watchdog_deadline_ += delta;
     }
   }
 }
@@ -376,6 +385,14 @@ void Cpu::Wfi() {
 void Cpu::Barrier() { Charge(cost_.barrier); }
 
 void Cpu::TlbiAll() {
+  if (trap_tlbi_ && el_ != El::kEl2) {
+    // Guest TLB maintenance with shadow Stage-2 state behind it: the host
+    // must observe the invalidation to flush stale shadow entries (and
+    // broadcast to sibling vCPUs under SMP) before the local invalidate
+    // completes.
+    TrapOutcome out = TakeTrapToEl2(Syndrome::Tlbi(), cost_.detect_hvc);
+    NEVE_CHECK(out.kind == TrapOutcome::Kind::kCompleted);
+  }
   Charge(cost_.barrier);
   tlb_.clear();
 }

@@ -170,8 +170,23 @@ class Cpu {
   // Barriers (isb/dsb): cost only.
   void Barrier();
 
-  // TLB invalidate: drops the TLB and charges a barrier-ish cost.
+  // TLB invalidate: drops the TLB and charges a barrier-ish cost. When the
+  // host armed trap_tlbi (SMP guests whose shadow Stage-2 must be kept
+  // coherent across vCPUs), a guest-context TLBI traps to EL2 first so the
+  // host can broadcast the shadow invalidation; the local drop and charge
+  // happen after the handler returns, like any other trapped instruction.
   void TlbiAll();
+
+  // Host control over guest TLBI trapping (HCR_EL2.TTLB in spirit; kept out
+  // of the HCR bits so existing guest HCR images stay valid). Armed by
+  // SwitchIntoGuest for virtual-EL2 VMs, cleared on the way out.
+  void SetTrapTlbi(bool trap) { trap_tlbi_ = trap; }
+  bool trap_tlbi() const { return trap_tlbi_; }
+
+  // Simulator-side TLB drop with no cycle charge: the host broadcasts a
+  // sibling CPU's shootdown (the IPI + flush costs are charged by the
+  // hypervisor emulation, not re-charged here).
+  void DropTlb() { tlb_.clear(); }
 
   // Generic software work worth `cycles` cycles (straight-line code between
   // the architecturally interesting instructions).
@@ -308,6 +323,7 @@ class Cpu {
   std::unordered_map<TlbKey, TlbEntry, TlbKeyHash> tlb_;
   int trap_depth_ = 0;
   uint64_t watchdog_deadline_ = 0;
+  bool trap_tlbi_ = false;
 };
 
 }  // namespace neve

@@ -93,6 +93,29 @@ bool ArchComparableRead(SysReg enc, const AccessResolution& res) {
   }
 }
 
+// Virtual-EL2 interrupt sink for the mode-A SMP receiver: a vel2 vCPU takes
+// cross-vCPU deliveries through its (virtual) EL2 vector, so a receiver with
+// only an EL1 IRQ handler would die with no_vel2_vector on the first fan-out
+// SGI. Acks and EOIs whatever arrived; the count feeds both digests.
+class Vel2IrqSink : public Vel2Handler {
+ public:
+  explicit Vel2IrqSink(uint64_t* count) : count_(count) {}
+
+  void OnVirtualExit(GuestEnv& env, const Syndrome& s) override {
+    if (s.ec != Ec::kIrq) {
+      return;
+    }
+    ++*count_;
+    uint64_t iar = env.ReadSys(DirectEncodingOf(RegId::kICC_IAR1_EL1));
+    if ((iar & 0xFFFFFFu) != 1023) {
+      env.WriteSys(DirectEncodingOf(RegId::kICC_EOIR1_EL1), iar);
+    }
+  }
+
+ private:
+  uint64_t* count_;
+};
+
 class Executor {
  public:
   Executor(const Program& p, const VariantSpec& v, RunResult* r)
@@ -119,7 +142,7 @@ class Executor {
   // emulation machinery.
   void RunModeA() {
     MachineConfig mc;
-    mc.num_cpus = 1;
+    mc.num_cpus = p_.cfg.smp ? 2 : 1;
     mc.ram_size = 64ull << 20;
     mc.features =
         v_.neve ? ArchFeatures::Armv84Neve() : ArchFeatures::Armv83Nv();
@@ -128,10 +151,34 @@ class Executor {
     Prepare(machine);
     HostKvm l0(&machine, {.vhe = false, .use_neve = v_.neve});
     Vm* vm = l0.CreateVm({.name = "fuzz-l1",
+                          .num_vcpus = p_.cfg.smp ? 2 : 1,
                           .ram_size = 32ull << 20,
                           .virtual_el2 = true,
                           .expose_neve = v_.neve,
                           .guest_vhe = p_.cfg.guest_vhe});
+    Vel2IrqSink sink(&r_->receiver_irqs);
+    if (p_.cfg.smp) {
+      // Park a receiver on vCPU 1 first; the kSgi op fans out to it, which
+      // exercises the cross-vCPU injection path (kick SGI on the raiser's
+      // CPU, cooperative delivery on the receiver's).
+      vm->vcpu(1).main_sw.main = [this, &sink](GuestEnv& env) {
+        env.SetVel2Handler(&sink);
+        env.SetIrqHandler([this](GuestEnv& henv, uint32_t) {
+          ++r_->receiver_irqs;
+          uint64_t iar = henv.ReadSys(DirectEncodingOf(RegId::kICC_IAR1_EL1));
+          if ((iar & 0xFFFFFFu) != 1023) {
+            henv.WriteSys(DirectEncodingOf(RegId::kICC_EOIR1_EL1), iar);
+          }
+        });
+        env.ParkRunning();
+      };
+      Status rs = l0.RunVcpu(vm->vcpu(1), /*pcpu=*/1);
+      if (!rs.ok()) {
+        r_->status = rs;
+        Finish(machine, machine.cpu(0), vm->vcpu(0));
+        return;
+      }
+    }
     Vcpu& vcpu = vm->vcpu(0);
     vcpu.main_sw.main = [this](GuestEnv& env) {
       env.SetIrqHandler(
@@ -157,13 +204,31 @@ class Executor {
     StackConfig sc = v_.neve ? StackConfig::NestedNeve(p_.cfg.guest_vhe)
                              : StackConfig::NestedV83(p_.cfg.guest_vhe);
     sc.fault = v_.fault;
-    ArmStack stack(sc, /*num_cpus=*/1);
+    ArmStack stack(sc, /*num_cpus=*/p_.cfg.smp ? 2 : 1);
     Prepare(stack.machine());
-    r_->status = stack.Run([this](GuestEnv& env) {
-      env.SetIrqHandler(
-          [this](GuestEnv& e, uint32_t intid) { OnIrq(e, intid); });
-      RunOps(env);
-    });
+    GuestMain receiver = nullptr;
+    if (p_.cfg.smp) {
+      // Parked L2 receiver (stack.Run boots the guest hypervisor on vCPU 1
+      // for it): the kSgi fan-out multiplies through the guest hypervisor's
+      // trapped injection path, mode B's whole point.
+      receiver = [this](GuestEnv& env) {
+        env.SetIrqHandler([this](GuestEnv& henv, uint32_t) {
+          ++r_->receiver_irqs;
+          uint64_t iar = henv.ReadSys(DirectEncodingOf(RegId::kICC_IAR1_EL1));
+          if ((iar & 0xFFFFFFu) != 1023) {
+            henv.WriteSys(DirectEncodingOf(RegId::kICC_EOIR1_EL1), iar);
+          }
+        });
+        env.ParkRunning();
+      };
+    }
+    r_->status = stack.Run(
+        [this](GuestEnv& env) {
+          env.SetIrqHandler(
+              [this](GuestEnv& e, uint32_t intid) { OnIrq(e, intid); });
+          RunOps(env);
+        },
+        std::move(receiver));
     Finish(stack.machine(), stack.machine().cpu(0), stack.MeasuredVcpu());
   }
 
@@ -265,11 +330,13 @@ class Executor {
         break;
       }
       case OpKind::kSgi:
-        // Self-SGI: delivery (vGIC emulation, list registers, the IRQ
-        // handler above) completes within the write's trap handling, but
+        // Self-SGI -- plus the parked sibling in SMP mode (cross-vCPU
+        // injection): delivery (vGIC emulation, list registers, the IRQ
+        // handlers above) completes within the write's trap handling, but
         // may take more than one host trap even single-level.
         SysAccess(env, DirectEncodingOf(RegId::kICC_SGI1R_EL1),
-                  /*is_write=*/true, SgiR::Make(0b1, op.imm),
+                  /*is_write=*/true,
+                  SgiR::Make(p_.cfg.smp ? 0b11 : 0b1, op.imm),
                   /*multi_trap_ok=*/true);
         break;
       case OpKind::kWfi:
@@ -404,8 +471,10 @@ class Executor {
     full_.Mix(r_->status.message());
     full_.Mix(r_->fault_log);
 
+    full_.Mix(r_->receiver_irqs);
     arch_.Mix(r_->ops_executed);
     arch_.Mix(r_->irqs_taken);
+    arch_.Mix(r_->receiver_irqs);
     arch_.Mix(r_->nested_entries);
     arch_.Mix(static_cast<uint64_t>(r_->status.code()));
     arch_.Mix(r_->died ? 1 : 0);
@@ -417,7 +486,7 @@ class Executor {
     CollectObsFeatures(machine.obs(), &obs_features);
     uint64_t tag =
         (v_.neve ? 1u : 0u) | (v_.fault.enabled ? 2u : 0u) |
-        (p_.cfg.nested ? 4u : 0u);
+        (p_.cfg.nested ? 4u : 0u) | (p_.cfg.smp ? 8u : 0u);
     for (uint64_t f : obs_features) {
       features_.push_back(DigestOf(f, tag));
     }
@@ -499,6 +568,10 @@ bool CompareCrossArch(const RunResult& v83, const RunResult& neve,
   if (v83.irqs_taken != neve.irqs_taken) {
     return fail("irqs v83=" + std::to_string(v83.irqs_taken) +
                 " neve=" + std::to_string(neve.irqs_taken));
+  }
+  if (v83.receiver_irqs != neve.receiver_irqs) {
+    return fail("receiver irqs v83=" + std::to_string(v83.receiver_irqs) +
+                " neve=" + std::to_string(neve.receiver_irqs));
   }
   if (v83.nested_entries != neve.nested_entries) {
     return fail("nested entries v83=" + std::to_string(v83.nested_entries) +

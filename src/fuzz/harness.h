@@ -64,6 +64,7 @@ struct RunResult {
   bool died = false;  // program ended in a confined guest fault
   uint64_t ops_executed = 0;
   uint64_t irqs_taken = 0;
+  uint64_t receiver_irqs = 0;  // deliveries observed by the SMP receiver vCPU
   uint64_t nested_entries = 0;
   uint64_t full_digest = 0;
   uint64_t arch_digest = 0;

@@ -144,6 +144,7 @@ Program DecodeProgram(const std::vector<uint8_t>& bytes) {
   p.cfg.guest_vhe = (header & 2) != 0;
   p.cfg.fault = (header & 4) != 0;
   p.cfg.fault_neve = (header & 8) != 0;
+  p.cfg.smp = (header & 16) != 0;
   if (p.cfg.fault) {
     DecodeFaultConfig(s, &p.cfg.fault_config);
   }

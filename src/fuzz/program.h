@@ -66,6 +66,8 @@ inline constexpr uint64_t kHcrFlipMask =
 struct CaseConfig {
   bool nested = false;     // mode B: workload at L2 under a guest hypervisor
   bool guest_vhe = false;
+  bool smp = false;        // two vCPUs: a parked receiver rides along and the
+                           // kSgi op fans out to it (cross-vCPU injection path)
   bool fault = false;
   bool fault_neve = false;           // which architecture the fault pair uses
   FaultConfig fault_config{};        // populated when `fault`

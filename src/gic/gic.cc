@@ -11,6 +11,8 @@ GicV3::GicV3(int num_cpus) : num_cpus_(num_cpus) {
   NEVE_CHECK(num_cpus > 0);
   cpus_.resize(num_cpus, nullptr);
   ack_info_.resize(num_cpus);
+  virtual_acks_.resize(num_cpus, 0);
+  virtual_eois_.resize(num_cpus, 0);
 }
 
 void GicV3::AttachCpu(Cpu* cpu) {
@@ -29,6 +31,12 @@ Cpu& GicV3::CpuRef(int cpu) {
 }
 
 void GicV3::SendPhysSgi(int from_cpu, int to_cpu, uint8_t sgi_id) {
+  // Only host hypervisor code sends physical SGIs, and the guest-facing SGI
+  // emulation validates target masks before fanning out, so an out-of-range
+  // target here is a hypervisor bug -- fail loudly, don't misroute the IPI.
+  // host-invariant: guest-chosen targets were validated by EmulateSgi.
+  NEVE_CHECK_MSG(to_cpu >= 0 && to_cpu < num_cpus_,
+                 "physical SGI target out of range");
   // host-invariant: only host hypervisor code sends physical SGIs.
   NEVE_CHECK_MSG(sink_, "no physical IRQ sink installed");
   uint64_t raiser_cycles = CpuRef(from_cpu).cycles();
@@ -140,7 +148,7 @@ uint64_t GicV3::IccRead(int cpu_idx, RegId reg) {
       uint64_t lr = cpu.PeekReg(IchListRegister(lr_idx));
       cpu.PokeReg(IchListRegister(lr_idx), ListReg::ToActive(lr));
       SyncStatusRegs(cpu);
-      ++virtual_acks_;
+      ++virtual_acks_[cpu_idx];
       uint64_t ack_id = 0;
       if (ObsActive(obs_)) {
         obs_->metrics().Counter("gic.virtual_acks").Add(1);
@@ -185,7 +193,7 @@ void GicV3::IccWrite(int cpu_idx, RegId reg, uint64_t value) {
         if (ListReg::Active(lr) && ListReg::Intid(lr) == intid) {
           cpu.PokeReg(IchListRegister(i), 0);
           SyncStatusRegs(cpu);
-          ++virtual_eois_;
+          ++virtual_eois_[cpu_idx];
           LrAckInfo& ai = ack_info_[cpu_idx][i];
           if (ObsActive(obs_)) {
             obs_->metrics().Counter("gic.virtual_eois").Add(1);
@@ -214,6 +222,11 @@ void GicV3::IccWrite(int cpu_idx, RegId reg, uint64_t value) {
     case RegId::kICC_SGI1R_EL1: {
       // Reached only from contexts where SGI writes do not trap (host EL2
       // sending a physical IPI).
+      // host-invariant: host code builds kick masks from physical CPU
+      // indices; a mask bit past num_cpus_ would silently drop an IPI.
+      NEVE_CHECK_MSG(SgiR::Encodable(value) &&
+                         (SgiR::TargetMask(value) >> num_cpus_) == 0,
+                     "host SGI mask targets nonexistent CPUs");
       uint16_t mask = SgiR::TargetMask(value);
       for (int t = 0; t < num_cpus_; ++t) {
         if ((mask >> t) & 1) {

@@ -58,6 +58,16 @@ struct ListReg {
 // ICC_SGI1R target encoding (simplified): low 16 bits = target CPU mask,
 // bits [27:24] = SGI id.
 struct SgiR {
+  // Every architecturally meaningful bit of the simplified encoding. A
+  // write with any other bit set is malformed: TargetMask/SgiId would
+  // silently truncate it, so emulation paths reject it up front (a guest
+  // writing garbage into ICC_SGI1R gets a confined fault, not a
+  // quietly-misrouted IPI).
+  static constexpr uint64_t kEncodableMask =
+      UINT64_C(0xFFFF) | (UINT64_C(0xF) << 24);
+
+  static bool Encodable(uint64_t v) { return (v & ~kEncodableMask) == 0; }
+
   static uint64_t Make(uint16_t target_mask, uint8_t sgi_id) {
     return static_cast<uint64_t>(target_mask) |
            (static_cast<uint64_t>(sgi_id & 0xF) << 24);
@@ -108,9 +118,12 @@ class GicV3 : public GicCpuInterface {
   uint64_t IccRead(int cpu, RegId reg) override;
   void IccWrite(int cpu, RegId reg, uint64_t value) override;
 
-  // Statistics.
-  uint64_t virtual_acks() const { return virtual_acks_; }
-  uint64_t virtual_eois() const { return virtual_eois_; }
+  // Statistics. The backing counters are sharded per CPU (each vCPU lane
+  // acks/EOIs only through its own CPU's interface, so the shards are
+  // single-writer under SMP); the accessors sum on read in index order,
+  // which keeps the totals deterministic at every --threads value.
+  uint64_t virtual_acks() const { return SumShards(virtual_acks_); }
+  uint64_t virtual_eois() const { return SumShards(virtual_eois_); }
 
  private:
   static constexpr int kNumListRegs = 4;
@@ -130,14 +143,28 @@ class GicV3 : public GicCpuInterface {
   // Highest-priority pending list register (lowest intid wins), or -1.
   int FindPendingLr(const Cpu& cpu) const;
 
+  static uint64_t SumShards(const std::vector<uint64_t>& shards) {
+    uint64_t total = 0;
+    for (uint64_t s : shards) {
+      total += s;
+    }
+    return total;
+  }
+
   int num_cpus_;
   std::vector<Cpu*> cpus_;
+  // Indexed by CPU: each entry is only touched through that CPU's own ICC
+  // interface, so two vCPU lanes never share a slot (the SMP-safety shape
+  // the per-CPU ack/EOI shards below follow too).
   std::vector<std::array<LrAckInfo, kNumListRegs>> ack_info_;
   PhysIrqSink sink_;
   Observability* obs_ = nullptr;
   FaultInjector* fault_ = nullptr;
-  uint64_t virtual_acks_ = 0;
-  uint64_t virtual_eois_ = 0;
+  // Per-CPU shards (see virtual_acks()/virtual_eois()): slot i is mutated
+  // only from CPU i's ack/EOI path, so concurrent lanes never race on a
+  // shard and the summed read is exact at quiescence.
+  std::vector<uint64_t> virtual_acks_;
+  std::vector<uint64_t> virtual_eois_;
 };
 
 }  // namespace neve

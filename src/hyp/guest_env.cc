@@ -1,7 +1,11 @@
 #include "src/hyp/guest_env.h"
 
+#include <utility>
+
 #include "src/base/status.h"
+#include "src/fault/guest_fault.h"
 #include "src/hyp/vm.h"
+#include "src/sim/smp.h"
 
 namespace neve {
 
@@ -45,5 +49,23 @@ void GuestEnv::CompleteMmio(uint64_t value) { vcpu_->mmio_result = value; }
 void GuestEnv::ParkRunning() { vcpu_->parked = true; }
 
 bool GuestEnv::parked() const { return vcpu_->parked; }
+
+void GuestEnv::SmpWaitUntil(std::function<bool()> pred) {
+  if (SmpEngine* engine = SmpEngine::Current(); engine != nullptr) {
+    engine->SetWaitPred(SmpEngine::CurrentLane(), std::move(pred));
+    cpu_->Hvc(kHvcSmpWait);
+    return;
+  }
+  // Cooperative path: every cross-vCPU send already delivered synchronously
+  // on this thread, so there is no pending event left to satisfy the
+  // predicate later -- an unsatisfied predicate here can never make
+  // progress.
+  if (!pred()) {
+    RaiseGuestFault("smp_wait_stuck",
+                    "cooperative SMP wait: predicate unsatisfied with no "
+                    "pending cross-vCPU work");
+  }
+  cpu_->Hvc(kHvcSmpWait);
+}
 
 }  // namespace neve

@@ -43,6 +43,13 @@ class Vel2Handler {
 // Guest entry point.
 using GuestMain = std::function<void(GuestEnv&)>;
 
+// Paravirtual "SMP wait" hypercall immediate (see SmpWaitUntil): the host
+// parks the issuing vCPU's lane at a deterministic rendezvous until the
+// registered predicate holds. Intercepted by the host for every guest level
+// (an L2's SmpWait is host business, never forwarded to its guest
+// hypervisor), like KVM's own PV hypercalls.
+inline constexpr uint16_t kHvcSmpWait = 0x4B20;
+
 class GuestEnv {
  public:
   GuestEnv(Cpu* cpu, Vcpu* vcpu) : cpu_(cpu), vcpu_(vcpu) {}
@@ -100,6 +107,15 @@ class GuestEnv {
   // loaded; interrupts delivered later run against it.
   void ParkRunning();
   bool parked() const;
+
+  // SMP rendezvous: parks this vCPU until `pred` holds. Under the SMP
+  // engine this issues the kHvcSmpWait hypercall (one real trap; the host
+  // parks the lane and cross-vCPU events are merged while everyone waits).
+  // On the cooperative path, cross-vCPU delivery already ran synchronously
+  // inside the sends, so the predicate must hold on entry -- a predicate
+  // that does not is a guest-level deadlock and confines the VM. Both paths
+  // execute the same hypercall so trap counts match across threading modes.
+  void SmpWaitUntil(std::function<bool()> pred);
 
  private:
   Cpu* cpu_;

@@ -6,6 +6,7 @@
 #include "src/fault/fault.h"
 #include "src/fault/guest_fault.h"
 #include "src/gic/gic.h"
+#include "src/sim/smp.h"
 
 namespace neve {
 namespace {
@@ -18,6 +19,28 @@ constexpr uint64_t kTableFraction = 8;
 
 // The guest hypervisor's kick SGI for its own vCPUs.
 constexpr uint8_t kNestedKickSgi = 2;
+
+// Enqueues `virq` on an L2 vcpu. Under the SMP engine a cross-lane enqueue
+// is deferred to the next merge point (the L2 vcpu's lane is the L1 virtual
+// CPU it is loaded on; lane == pcpu == vcpu index). Event-time propagation
+// rides the host-level kick SGI's own deferral, so only the queue mutation
+// is deferred here.
+void EnqueueNestedVirq(GuestEnv& env, Vcpu& target, int target_pv,
+                       uint32_t virq) {
+  if (SmpEngine* eng = SmpEngine::Current(); eng != nullptr) {
+    int target_lane = target_pv >= 0 ? target_pv : target.id();
+    if (target_lane != SmpEngine::CurrentLane()) {
+      Vcpu* t = &target;
+      eng->Defer(target_lane, env.cpu().cycles(), [t, virq] {
+        t->pending_virq.push_back(virq);
+        ++t->virqs_enqueued;
+      });
+      return;
+    }
+  }
+  target.pending_virq.push_back(virq);
+  ++target.virqs_enqueued;
+}
 
 }  // namespace
 
@@ -72,6 +95,7 @@ GuestKvm::PvcpuState& GuestKvm::PstateOf(GuestEnv& env) {
 }
 
 GuestKvm::NestedVcpuState& GuestKvm::NstateOf(Vcpu& vcpu) {
+  MutexLock lock(nstate_mu_);
   auto& slot = nstate_[&vcpu];
   if (slot == nullptr) {
     slot = std::make_unique<NestedVcpuState>();
@@ -341,6 +365,7 @@ void GuestKvm::HandleNestedExit(GuestEnv& env, Vcpu& vcpu, const Syndrome& s) {
       if (intid >= kSpiBase) {
         env.Compute(SwCost::kDeviceIo);  // backend RX processing
         vcpu.pending_virq.push_back(static_cast<uint32_t>(intid));
+        ++vcpu.virqs_enqueued;
       }
       env.WriteSys(SysReg::kICC_EOIR1_EL1, intid);
       return;
@@ -357,16 +382,23 @@ void GuestKvm::HandleNestedExit(GuestEnv& env, Vcpu& vcpu, const Syndrome& s) {
 
 void GuestKvm::EmulateNestedSgi(GuestEnv& env, Vcpu& sender, uint64_t sgir) {
   env.Compute(SwCost::kVgicSgi);
+  // The nested VM chose this ICC_SGI1R value (the host forwarded the trap
+  // to us). SgiR's accessors would silently truncate reserved bits, so
+  // reject malformed encodings and out-of-range targets as its bug.
+  NEVE_GUEST_CHECK(SgiR::Encodable(sgir), "sgi_malformed",
+                   "nested ICC_SGI1R write with reserved bits set");
   uint16_t mask = SgiR::TargetMask(sgir);
   uint32_t virq = kSgiBase + SgiR::SgiId(sgir);
   Vm& vm = sender.vm();
+  NEVE_GUEST_CHECK((mask >> vm.num_vcpus()) == 0, "sgi_bad_target",
+                   "nested SGI target mask addresses nonexistent vCPUs");
   for (int t = 0; t < vm.num_vcpus(); ++t) {
     if (((mask >> t) & 1) == 0) {
       continue;
     }
     Vcpu& target = vm.vcpu(t);
-    target.pending_virq.push_back(virq);
     int target_pv = target.loaded_on_pcpu;  // our virtual CPU id
+    EnqueueNestedVirq(env, target, target_pv, virq);
     if (target_pv < 0 || target_pv == env.vcpu().id()) {
       continue;  // loaded here: rides the next entry's list registers
     }
@@ -631,8 +663,8 @@ void GuestKvm::FixRecursiveShadowFault(GuestEnv& env, Vcpu& vcpu,
 
 void GuestKvm::InjectVirq(GuestEnv& env, Vcpu& vcpu, uint32_t virq) {
   env.Compute(SwCost::kVirqInject);
-  vcpu.pending_virq.push_back(virq);
   int target_pv = vcpu.loaded_on_pcpu;
+  EnqueueNestedVirq(env, vcpu, target_pv, virq);
   if (target_pv >= 0 && target_pv != env.vcpu().id()) {
     env.WriteSys(SysReg::kICC_SGI1R_EL1,
                  SgiR::Make(static_cast<uint16_t>(1u << target_pv),

@@ -33,6 +33,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/hyp/vm.h"
 #include "src/hyp/world_switch.h"
 #include "src/mem/shadow_s2.h"
@@ -156,7 +158,13 @@ class GuestKvm : public Vel2Handler {
   uint64_t nested_ram_end_;
   std::vector<std::unique_ptr<Vm>> vms_;
   std::vector<PvcpuState> pvcpu_;
-  std::unordered_map<const Vcpu*, std::unique_ptr<NestedVcpuState>> nstate_;
+  // Guards the *map structure* only: SMP-engine lanes running sibling nested
+  // vcpus hit NstateOf concurrently and the first touch inserts. The pointed-
+  // to NestedVcpuState is per-vcpu (lane-private by the engine's lane==vcpu
+  // assignment), so references returned by NstateOf stay lock-free.
+  mutable Mutex nstate_mu_{"hyp.guest_nstate"};
+  std::unordered_map<const Vcpu*, std::unique_ptr<NestedVcpuState>> nstate_
+      GUARDED_BY(nstate_mu_);
   MmioDevice* mmio_backend_ = nullptr;
 
  public:

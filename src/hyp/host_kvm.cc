@@ -7,7 +7,9 @@
 #include "src/fault/fault.h"
 #include "src/fault/guest_fault.h"
 #include "src/gic/gic.h"
+#include "src/mem/shootdown.h"
 #include "src/obs/attr.h"
+#include "src/sim/smp.h"
 
 namespace neve {
 namespace {
@@ -262,6 +264,11 @@ void HostKvm::SwitchIntoGuest(Cpu& cpu, Vcpu& vcpu) {
   RestoreGuestTimer(cpu, config_.vhe, hs.timer, hs.cntvoff);
   WriteGuestTrapControls(cpu, GuestHcrFor(vcpu), VttbrFor(cpu, vcpu),
                          static_cast<uint64_t>(vcpu.id()));
+  // Trap guest TLB maintenance only where the broadcast matters: a
+  // multi-vCPU guest hypervisor's TLBI must reach its siblings' shadow
+  // Stage-2 trees and hardware TLBs (HandleTlbi). Single-vCPU stacks keep
+  // the untrapped local invalidate and its original cost.
+  cpu.SetTrapTlbi(vcpu.vm().config().virtual_el2 && vcpu.vm().num_vcpus() > 1);
   if (vcpu.vm().config().virtual_el2 && machine_->config().features.neve &&
       config_.use_neve) {
     // Enable the deferred access page only while the guest hypervisor runs
@@ -338,6 +345,7 @@ void HostKvm::SwitchOutOfGuest(Cpu& cpu, Vcpu& vcpu) {
     RestoreEl1Context(cpu, /*vhe=*/false, ps.host_el1);
     RestoreExtEl1Context(cpu, /*vhe=*/false, ps.host_ext);
   }
+  cpu.SetTrapTlbi(false);
   WriteHostTrapControls(cpu, HostHcr());
   cpu.Compute(SwCost::kRunLoop);
 }
@@ -397,6 +405,15 @@ Status HostKvm::RunVcpu(Vcpu& vcpu, int pcpu) {
     vcpu.loaded_on_pcpu = -1;
   } catch (const GuestFaultException& e) {
     cpu.SetWatchdogDeadline(saved_deadline);
+    if (SmpEngine* eng = SmpEngine::Current(); eng != nullptr) {
+      // Tear the VM down with exclusive ownership of the machine (no sibling
+      // lane executing); exiting the barrier fails every lane still parked
+      // in a rendezvous the dead VM can no longer complete.
+      eng->EnterConfinement(SmpEngine::CurrentLane());
+      Status status = ConfineGuestFault(cpu, vcpu, e);
+      eng->ExitConfinement(SmpEngine::CurrentLane());
+      return status;
+    }
     return ConfineGuestFault(cpu, vcpu, e);
   }
   cpu.SetWatchdogDeadline(saved_deadline);
@@ -524,6 +541,8 @@ TrapOutcome HostKvm::HandleExit(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
     case Ec::kWfx:
       cpu.Compute(SwCost::kHypercall);
       return TrapOutcome::Completed();
+    case Ec::kTlbi:
+      return HandleTlbi(cpu, vcpu);
     case Ec::kIrq: {
       // Synchronously-modeled IRQ exit (device interrupt for the running
       // guest; see Cpu::TakeIrq). Ack/complete on the host CPU interface,
@@ -547,6 +566,28 @@ TrapOutcome HostKvm::HandleExit(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
 }
 
 TrapOutcome HostKvm::HandleHvc(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
+  if (s.imm16 == kHvcSmpWait) {
+    // Paravirtual SMP rendezvous: host business at every guest level (an
+    // L2's SmpWait is never forwarded to its guest hypervisor). Under the
+    // engine, park the lane until the registered predicate holds at a merge
+    // point, then deliver whatever the merge enqueued -- same tail as the
+    // kIrq exit above (SwitchOutOfGuest already ran at trap entry).
+    if (SmpEngine* eng = SmpEngine::Current(); eng != nullptr) {
+      eng->Wait(SmpEngine::CurrentLane());
+      PcpuState& ps = pcpu_.at(cpu.index());
+      DeliverVirqsToLoadedVcpu(cpu, vcpu);
+      if (!ps.guest_loaded) {
+        SwitchIntoGuest(cpu, vcpu);
+      }
+      DeliverLoadedLrToGuestSw(cpu, vcpu);
+      return TrapOutcome::Completed();
+    }
+    // Cooperative path: every cross-vCPU send already delivered
+    // synchronously, so the predicate held on entry (GuestEnv checked) and
+    // the hypercall is a plain host round trip.
+    cpu.Compute(SwCost::kHypercall);
+    return TrapOutcome::Completed();
+  }
   switch (vcpu.mode) {
     case VcpuMode::kGuest:
     case VcpuMode::kVel2:
@@ -885,6 +926,43 @@ void HostKvm::DeliverToVel2(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
   // trapped instruction.
 }
 
+TrapOutcome HostKvm::HandleTlbi(Cpu& cpu, Vcpu& vcpu) {
+  // Trapped guest TLB maintenance -- armed only for multi-vCPU virtual_el2
+  // VMs (SwitchIntoGuest). Architecturally the guest hypervisor's TLBI
+  // broadcasts to the inner-shareable domain, so the host must discard
+  // *every* vCPU's shadow Stage-2 trees for this VM (each vCPU caches its
+  // own shadows per virtual VTTBR) and drop the hardware TLBs of every pcpu
+  // a sibling is loaded on, not just the trapping CPU's.
+  AttrScope attr_scope(cpu, AttrCat::kShadowS2Fixup);
+  cpu.Compute(SwCost::kShadowFixup);
+  Vm& vm = vcpu.vm();
+  std::vector<ShadowS2*> shadows;
+  for (int i = 0; i < vm.num_vcpus(); ++i) {
+    for (auto& [vvttbr, shadow] : vm.vcpu(i).shadows) {
+      shadows.push_back(shadow.get());
+    }
+  }
+  int flushed = mem::FlushShadows(shadows);
+  if (Observability& obs = machine_->obs(); ObsActive(&obs)) {
+    obs.metrics().Counter("hyp.tlbi_broadcasts").Add(1);
+    obs.metrics().Counter("hyp.tlbi_shadow_flushes").Add(flushed);
+  }
+  SmpEngine* eng = SmpEngine::Current();
+  for (int i = 0; i < vm.num_vcpus(); ++i) {
+    int p = vm.vcpu(i).loaded_on_pcpu;
+    if (p < 0 || p == cpu.index()) {
+      continue;
+    }
+    if (eng != nullptr && p != SmpEngine::CurrentLane()) {
+      Cpu* sibling = &machine_->cpu(p);
+      eng->Defer(p, cpu.cycles(), [sibling] { sibling->DropTlb(); });
+    } else {
+      machine_->cpu(p).DropTlb();
+    }
+  }
+  return TrapOutcome::Completed();
+}
+
 // ---------------------------------------------------------------------------
 // Interrupts
 // ---------------------------------------------------------------------------
@@ -892,9 +970,16 @@ void HostKvm::DeliverToVel2(Cpu& cpu, Vcpu& vcpu, const Syndrome& s) {
 void HostKvm::EmulateSgi(Cpu& cpu, Vcpu& vcpu, uint64_t sgir) {
   AttrScope attr_scope(cpu, AttrCat::kGicEmul);
   cpu.Compute(SwCost::kVgicSgi);
+  // The guest chose this ICC_SGI1R value. SgiR's accessors would silently
+  // truncate reserved bits, so reject malformed encodings and targets beyond
+  // the VM's own vCPUs up front as a confined guest fault.
+  NEVE_GUEST_CHECK(SgiR::Encodable(sgir), "sgi_malformed",
+                   "ICC_SGI1R write with reserved bits set");
   uint16_t mask = SgiR::TargetMask(sgir);
   uint32_t virq = kSgiBase + SgiR::SgiId(sgir);
   Vm& vm = vcpu.vm();
+  NEVE_GUEST_CHECK((mask >> vm.num_vcpus()) == 0, "sgi_bad_target",
+                   "SGI target mask addresses nonexistent vCPUs");
   for (int t = 0; t < vm.num_vcpus(); ++t) {
     if ((mask >> t) & 1) {
       InjectVirq(vm.vcpu(t), virq, &cpu);
@@ -911,7 +996,27 @@ void HostKvm::InjectVirq(Vcpu& vcpu, uint32_t virq, Cpu* raiser,
                            raiser->cycles(), "intid", virq);
     }
   }
+  if (SmpEngine* eng = SmpEngine::Current(); eng != nullptr) {
+    int target_lane =
+        vcpu.loaded_on_pcpu >= 0 ? vcpu.loaded_on_pcpu : vcpu.id();
+    if (target_lane != SmpEngine::CurrentLane()) {
+      // Cross-lane injection under the engine: defer the enqueue (and the
+      // event-time propagation the kick SGI would have carried) to the next
+      // merge point. No kick -- delivery happens when the target lane wakes
+      // from its rendezvous; the merge *is* the kick.
+      uint64_t rc = raiser != nullptr ? raiser->cycles() : raiser_cycles;
+      Vcpu* target = &vcpu;
+      Machine* m = machine_;
+      eng->Defer(target_lane, rc, [m, target, target_lane, virq, rc] {
+        target->pending_virq.push_back(virq);
+        ++target->virqs_enqueued;
+        m->PropagateEventTime(m->cpu(target_lane), rc);
+      });
+      return;
+    }
+  }
   vcpu.pending_virq.push_back(virq);
+  ++vcpu.virqs_enqueued;
   int target_pcpu = vcpu.loaded_on_pcpu;
   if (target_pcpu < 0) {
     return;  // delivered when the vcpu is next loaded

@@ -129,6 +129,10 @@ class HostKvm : public El2Host {
   TrapOutcome HandleSysRegTrap(Cpu& cpu, Vcpu& vcpu, const Syndrome& s);
   TrapOutcome HandleEret(Cpu& cpu, Vcpu& vcpu);
   TrapOutcome HandleDataAbort(Cpu& cpu, Vcpu& vcpu, const Syndrome& s);
+  // Trapped guest TLB maintenance (multi-vCPU virtual_el2 VMs only):
+  // broadcasts the shadow Stage-2 invalidation to every vCPU of the VM and
+  // drops sibling hardware TLBs (deferred cross-lane under the SMP engine).
+  TrapOutcome HandleTlbi(Cpu& cpu, Vcpu& vcpu);
   void EmulateSgi(Cpu& cpu, Vcpu& vcpu, uint64_t sgir);
 
   // --- virtual EL2 emulation ------------------------------------------------

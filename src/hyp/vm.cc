@@ -44,6 +44,7 @@ void Vcpu::ResetRuntimeState() {
   mmio_retry = false;
   shadows.clear();
   pending_virq.clear();
+  virqs_enqueued = 0;
   mmio_result = 0;
   for (size_t i = 0; i < kNumRegIds; ++i) {
     vregs_[i] = 0;

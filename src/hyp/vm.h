@@ -145,6 +145,13 @@ class Vcpu {
   // Hypervisor-level virtual GIC: interrupts pending injection into this
   // vCPU, and the list-register images to load on next entry.
   std::deque<uint32_t> pending_virq;
+  // Monotonic count of virtual interrupts ever *newly* enqueued for this
+  // vCPU (re-queues on context switch do not count). SMP rendezvous
+  // predicates read it: unlike pending_virq's size it never decreases, so
+  // "my sibling sent round N's IPI" stays observable after delivery.
+  // Cross-lane writes go through the SMP engine's deferred merge (or stay
+  // on the single cooperative thread), hence no lock.
+  uint64_t virqs_enqueued = 0;
 
   // Result slot for a forwarded MMIO read completed by the guest hypervisor
   // (the architectural x0 of the faulting load).

@@ -45,6 +45,12 @@ std::optional<Pa> PageTable::DescSlot(uint64_t input_addr, bool create) {
 
 void PageTable::MapPage(uint64_t input_page_addr, Pa output_page,
                         PagePerms perms) {
+  MutexLock lock(mu_);
+  MapPageLocked(input_page_addr, output_page, perms);
+}
+
+void PageTable::MapPageLocked(uint64_t input_page_addr, Pa output_page,
+                              PagePerms perms) {
   NEVE_CHECK(IsAligned(input_page_addr, kPageSize));
   NEVE_CHECK(IsAligned(output_page.value, kPageSize));
   std::optional<Pa> slot = DescSlot(input_page_addr, /*create=*/true);
@@ -54,12 +60,14 @@ void PageTable::MapPage(uint64_t input_page_addr, Pa output_page,
 void PageTable::MapRange(uint64_t input_start, Pa output_start, uint64_t size,
                          PagePerms perms) {
   NEVE_CHECK(IsAligned(size, kPageSize));
+  MutexLock lock(mu_);
   for (uint64_t off = 0; off < size; off += kPageSize) {
-    MapPage(input_start + off, Pa(output_start.value + off), perms);
+    MapPageLocked(input_start + off, Pa(output_start.value + off), perms);
   }
 }
 
 void PageTable::UnmapPage(uint64_t input_page_addr) {
+  MutexLock lock(mu_);
   std::optional<Pa> slot = DescSlot(input_page_addr, /*create=*/false);
   if (slot.has_value()) {
     mem_->Write64(*slot, 0);

@@ -24,6 +24,8 @@
 #include <optional>
 #include <string>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/mem/addr.h"
 #include "src/mem/phys_mem.h"
 
@@ -118,12 +120,23 @@ class PageTable {
   static uint64_t MakePageDesc(Pa page, PagePerms perms);
   static PagePerms DescPerms(uint64_t d);
 
+  void MapPageLocked(uint64_t input_page_addr, Pa output_page,
+                     PagePerms perms) REQUIRES(mu_);
   // Returns the PA of the level-3 descriptor slot for input_addr, allocating
   // intermediate tables when `create` is set; nullopt when absent.
-  std::optional<Pa> DescSlot(uint64_t input_addr, bool create);
+  std::optional<Pa> DescSlot(uint64_t input_addr, bool create) REQUIRES(mu_);
 
   MemIo* mem_;
   PageAllocator* alloc_;
+  // Serializes structural mutation (Map/Unmap): SMP-engine lanes running
+  // sibling nested vCPUs fix up the *shared* nested Stage-2 table
+  // concurrently. Walks and root() stay lock-free, as on real hardware (the
+  // MMU walks while another CPU maps): descriptor stores are whole-slot
+  // writes, and SMP guests observing each other's in-flight mappings must
+  // rendezvous first -- the break-before-make + TLBI contract real SMP
+  // kernels follow. Reset() swaps the root and is owner-serialized (VM
+  // teardown/restart, never under the engine).
+  mutable Mutex mu_{"mem.page_table"};
   Pa root_;
 };
 

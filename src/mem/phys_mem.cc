@@ -21,6 +21,7 @@ void PhysMem::CheckRange(Pa pa, uint64_t bytes) const {
 }
 
 PhysMem::Page& PhysMem::PageFor(Pa pa) {
+  MutexLock lock(pages_mu_);
   auto& slot = pages_[pa.PageIndex()];
   if (slot == nullptr) {
     slot = std::make_unique<Page>();
@@ -30,6 +31,7 @@ PhysMem::Page& PhysMem::PageFor(Pa pa) {
 }
 
 const PhysMem::Page* PhysMem::PageForRead(Pa pa) const {
+  MutexLock lock(pages_mu_);
   auto it = pages_.find(pa.PageIndex());
   return it == pages_.end() ? nullptr : it->second.get();
 }
@@ -92,9 +94,16 @@ PageAllocator::PageAllocator(MemIo* mem, Pa start, uint64_t size)
 }
 
 Pa PageAllocator::AllocPage() {
-  NEVE_CHECK_MSG(next_ < end_, "page allocator exhausted");
-  Pa page(next_);
-  next_ += kPageSize;
+  Pa page(0);
+  {
+    MutexLock lock(mu_);
+    NEVE_CHECK_MSG(next_ < end_, "page allocator exhausted");
+    page = Pa(next_);
+    next_ += kPageSize;
+  }
+  // Zero outside the lock: the page is ours, and ZeroPage takes the
+  // phys-pages lock ("mem.page_alloc" before "mem.phys_pages" would
+  // otherwise become an acquisition-graph edge for no reason).
   mem_->ZeroPage(page);
   return page;
 }

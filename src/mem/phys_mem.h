@@ -13,6 +13,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/mem/addr.h"
 #include "src/mem/mem_io.h"
 
@@ -39,7 +41,10 @@ class PhysMem : public MemIo {
   void ZeroPage(Pa page_base) override;
 
   // Number of pages actually materialized (for tests / stats).
-  size_t ResidentPages() const { return pages_.size(); }
+  size_t ResidentPages() const {
+    MutexLock lock(pages_mu_);
+    return pages_.size();
+  }
 
  private:
   using Page = std::array<uint8_t, kPageSize>;
@@ -49,7 +54,15 @@ class PhysMem : public MemIo {
   void CheckRange(Pa pa, uint64_t bytes) const;
 
   uint64_t size_;
-  mutable std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+  // Guards the *map structure* only: SMP-engine lanes materialize pages
+  // concurrently, and an unordered_map rehash races with every lookup. Page
+  // payloads need no lock -- a byte is only shared across lanes through the
+  // engine's deferred-merge rule, never accessed concurrently. Page storage
+  // is a stable unique_ptr target, so pointers obtained under the lock stay
+  // valid outside it.
+  mutable Mutex pages_mu_{"mem.phys_pages"};
+  mutable std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_
+      GUARDED_BY(pages_mu_);
 };
 
 // Hands out fresh page-aligned physical pages from a region of PhysMem.
@@ -63,13 +76,24 @@ class PageAllocator {
   // sizes regions generously; exhaustion is a configuration bug).
   Pa AllocPage();
 
-  uint64_t PagesAllocated() const { return (next_ - start_.value) >> kPageShift; }
-  uint64_t PagesRemaining() const { return (end_ - next_) >> kPageShift; }
+  uint64_t PagesAllocated() const {
+    MutexLock lock(mu_);
+    return (next_ - start_.value) >> kPageShift;
+  }
+  uint64_t PagesRemaining() const {
+    MutexLock lock(mu_);
+    return (end_ - next_) >> kPageShift;
+  }
 
  private:
   MemIo* mem_;
   Pa start_;
-  uint64_t next_;
+  // Guards the bump pointer: SMP-engine lanes allocate page-table pages
+  // concurrently (shadow fixups). NOTE: this makes the *addresses* handed
+  // out dependent on lane interleaving -- byte-identity digests must avoid
+  // mixing in Pa values (DESIGN.md 6j); page *contents* stay deterministic.
+  mutable Mutex mu_{"mem.page_alloc"};
+  uint64_t next_ GUARDED_BY(mu_);
   uint64_t end_;
 };
 

@@ -73,8 +73,12 @@ class ShadowS2 {
                           const Stage2Table& host_s2);
 
   // The guest hypervisor changed its virtual Stage-2 (vTTBR write / TLBI):
-  // all shadow entries are stale.
-  void Flush() { table_.Reset(); }
+  // all shadow entries are stale. Under SMP the flush is broadcast to every
+  // vCPU's shadow of the same virtual Stage-2 (mem::FlushShadows).
+  void Flush() {
+    table_.Reset();
+    ++flushes_;
+  }
 
   // Machine-wide fault injector; when armed, HandleFault may be hit with an
   // injected stale-shadow drop (the whole shadow tree is discarded before
@@ -85,6 +89,10 @@ class ShadowS2 {
   Stage2Table& table() { return table_; }
 
   uint64_t faults_handled() const { return faults_handled_; }
+
+  // Times this shadow tree was discarded wholesale (vTTBR switch or TLBI
+  // shootdown); every flush forces refaults for the mappings still in use.
+  uint64_t flushes() const { return flushes_; }
 
   // Per-outcome fault counts (faults_handled() counts only installs). Used
   // by the attribution report to split shadow-fixup cycles between real
@@ -99,6 +107,7 @@ class ShadowS2 {
 
   Stage2Table table_;
   uint64_t faults_handled_ = 0;
+  uint64_t flushes_ = 0;
   uint64_t installed_ = 0;
   uint64_t virtual_faults_ = 0;
   uint64_t host_faults_ = 0;

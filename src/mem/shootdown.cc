@@ -1,0 +1,17 @@
+#include "src/mem/shootdown.h"
+
+namespace neve::mem {
+
+int FlushShadows(const std::vector<ShadowS2*>& shadows) {
+  int flushed = 0;
+  for (ShadowS2* shadow : shadows) {
+    if (shadow == nullptr) {
+      continue;
+    }
+    shadow->Flush();
+    ++flushed;
+  }
+  return flushed;
+}
+
+}  // namespace neve::mem

@@ -1,0 +1,33 @@
+// Shadow Stage-2 invalidation broadcast (TLB shootdown, memory side).
+//
+// A guest hypervisor that changes its virtual Stage-2 tables follows the
+// architectural recipe: update the tables, then TLBI. On hardware the TLBI
+// broadcasts to every PE in the inner-shareable domain; in the nested stack
+// the host additionally holds *shadow* Stage-2 trees (one per vCPU per
+// virtual VTTBR, see vm.h) whose entries collapse the now-stale virtual
+// Stage-2 -- those must be discarded on every vCPU, not just the one that
+// executed the TLBI.
+//
+// The hypervisor layer decides *which* shadows a trapped TLBI covers (it
+// owns the vCPU/Vm topology; src/mem deliberately knows nothing about it)
+// and hands the flat list here. Sibling-CPU hardware-TLB drops and the
+// cross-thread deferral under the SMP engine are likewise the hypervisor's
+// job: this helper only performs the memory-side invalidation.
+
+#ifndef NEVE_SRC_MEM_SHOOTDOWN_H_
+#define NEVE_SRC_MEM_SHOOTDOWN_H_
+
+#include <vector>
+
+#include "src/mem/shadow_s2.h"
+
+namespace neve::mem {
+
+// Flushes every shadow tree in `shadows` (null entries are skipped) and
+// returns how many were flushed. Each flush bumps the shadow's flushes()
+// counter so tests and the attribution report can see broadcast fan-out.
+int FlushShadows(const std::vector<ShadowS2*>& shadows);
+
+}  // namespace neve::mem
+
+#endif  // NEVE_SRC_MEM_SHOOTDOWN_H_

@@ -117,7 +117,7 @@ void CycleAttribution::AttachCpu(int cpu) {
   NEVE_CHECK(pc.stack.empty());
   uint64_t root = PackAttrKey(-1, -1, AttrLayer::kL0, AttrCat::kHostOther);
   pc.stack.push_back(root);
-  pc.bucket = BucketFor(root);
+  pc.bucket = BucketFor(cpu, root);
 }
 
 void CycleAttribution::Push(int cpu, int vm, int vcpu, AttrLayer layer,
@@ -125,14 +125,14 @@ void CycleAttribution::Push(int cpu, int vm, int vcpu, AttrLayer layer,
   PerCpu& pc = percpu_[static_cast<size_t>(cpu)];
   uint64_t key = PackAttrKey(vm, vcpu, layer, cat);
   pc.stack.push_back(key);
-  pc.bucket = BucketFor(key);
+  pc.bucket = BucketFor(cpu, key);
 }
 
 void CycleAttribution::PushInherit(int cpu, AttrCat cat) {
   PerCpu& pc = percpu_[static_cast<size_t>(cpu)];
   uint64_t key = ReplaceAttrCat(pc.stack.back(), cat);
   pc.stack.push_back(key);
-  pc.bucket = BucketFor(key);
+  pc.bucket = BucketFor(cpu, key);
 }
 
 void CycleAttribution::PushInheritLayer(int cpu, AttrLayer layer,
@@ -141,7 +141,7 @@ void CycleAttribution::PushInheritLayer(int cpu, AttrLayer layer,
   uint64_t top = pc.stack.back();
   uint64_t key = PackAttrKey(UnpackVm(top), UnpackVcpu(top), layer, cat);
   pc.stack.push_back(key);
-  pc.bucket = BucketFor(key);
+  pc.bucket = BucketFor(cpu, key);
 }
 
 void CycleAttribution::Pop(int cpu) {
@@ -149,13 +149,14 @@ void CycleAttribution::Pop(int cpu) {
   // host-invariant: scopes are RAII-balanced; the root frame never pops.
   NEVE_CHECK(pc.stack.size() > 1);
   pc.stack.pop_back();
-  pc.bucket = BucketFor(pc.stack.back());
+  pc.bucket = BucketFor(cpu, pc.stack.back());
 }
 
 void CycleAttribution::RecordFlight(const std::string& reason) {
   FlightRecord rec{.reason = reason,
                    .cycles = TotalCycles(),
                    .buckets = Snapshot()};
+  MutexLock lock(flights_mu_);
   if (flights_.size() < kFlightCapacity) {
     flights_.push_back(std::move(rec));
   } else {
@@ -165,9 +166,18 @@ void CycleAttribution::RecordFlight(const std::string& reason) {
 }
 
 std::vector<AttrBucket> CycleAttribution::Snapshot() const {
+  // Merge-sum the per-CPU shards: the same (vm, vcpu, layer, cat) key exists
+  // in every shard whose CPU charged it (every CPU has its own root-frame
+  // slot, for one).
+  std::map<uint64_t, uint64_t> merged;
+  for (const PerCpu& pc : percpu_) {
+    for (const auto& [key, cycles] : pc.buckets) {
+      merged[key] += cycles;
+    }
+  }
   std::vector<AttrBucket> out;
-  out.reserve(buckets_.size());
-  for (const auto& [key, cycles] : buckets_) {
+  out.reserve(merged.size());
+  for (const auto& [key, cycles] : merged) {
     if (cycles != 0) {
       out.push_back(Unpack(key, cycles));
     }
@@ -178,8 +188,10 @@ std::vector<AttrBucket> CycleAttribution::Snapshot() const {
 
 uint64_t CycleAttribution::TotalCycles() const {
   uint64_t total = 0;
-  for (const auto& [key, cycles] : buckets_) {
-    total += cycles;
+  for (const PerCpu& pc : percpu_) {
+    for (const auto& [key, cycles] : pc.buckets) {
+      total += cycles;
+    }
   }
   return total;
 }

@@ -29,6 +29,13 @@
 // attached it is one add through a cached pointer. bench/simcore_gbench.cc's
 // BM_Vel2SysRegBurstAttr vs BM_Vel2SysRegBurst pair and the ctest overhead
 // guard keep the attached path within 3%.
+//
+// Thread safety: the bucket store is sharded per CPU, so concurrent lanes of
+// the SMP engine (one lane per CPU, see sim/smp.h) charge without sharing a
+// single map -- notably the root (host) frame, which every CPU used to alias
+// to one bucket slot. The read side (Snapshot/TotalCycles) merge-sums the
+// shards; it runs only when no lane is executing. The flight-recorder ring
+// is the one cross-CPU mutation and takes "obs.attr_flights".
 
 #ifndef NEVE_SRC_OBS_ATTR_H_
 #define NEVE_SRC_OBS_ATTR_H_
@@ -37,6 +44,9 @@
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 
 namespace neve {
 
@@ -162,7 +172,7 @@ class CycleAttribution {
     uint64_t key = ReplaceAttrCat(pc.stack.back(), cat);
     if (key != pc.memo_key) {
       pc.memo_key = key;
-      pc.memo_bucket = BucketFor(key);
+      pc.memo_bucket = &pc.buckets[key];
     }
     *pc.memo_bucket += cycles;
   }
@@ -178,7 +188,12 @@ class CycleAttribution {
   };
   static constexpr size_t kFlightCapacity = 16;
   void RecordFlight(const std::string& reason);
-  const std::vector<FlightRecord>& flights() const { return flights_; }
+  // Returns a copy: the ring may be appended from another lane (a confined
+  // guest fault under the SMP engine records a flight mid-run).
+  std::vector<FlightRecord> flights() const {
+    MutexLock lock(flights_mu_);
+    return flights_;
+  }
 
   // --- read side -----------------------------------------------------------
   // All nonzero buckets, sorted by (vm, vcpu, layer, cat) for deterministic
@@ -207,19 +222,24 @@ class CycleAttribution {
  private:
   struct PerCpu {
     std::vector<uint64_t> stack;  // packed keys, bottom is the root frame
+    // This CPU's bucket shard. std::unordered_map guarantees reference
+    // stability under insertion (and under moving the map itself), so
+    // cached bucket pointers stay valid as new keys appear. Only this CPU's
+    // lane writes the shard; the merge-summing read side runs quiesced.
+    std::unordered_map<uint64_t, uint64_t> buckets;
     uint64_t* bucket = nullptr;   // cached bucket of stack.back()
     uint64_t memo_key = ~UINT64_C(0);  // ChargeTo memo (impossible key)
     uint64_t* memo_bucket = nullptr;
   };
 
-  uint64_t* BucketFor(uint64_t key) { return &buckets_[key]; }
+  uint64_t* BucketFor(int cpu, uint64_t key) {
+    return &percpu_[static_cast<size_t>(cpu)].buckets[key];
+  }
 
-  // std::unordered_map guarantees reference stability under insertion, so
-  // cached bucket pointers stay valid as new keys appear.
-  std::unordered_map<uint64_t, uint64_t> buckets_;
   std::vector<PerCpu> percpu_;
-  std::vector<FlightRecord> flights_;
-  size_t flight_next_ = 0;
+  mutable Mutex flights_mu_{"obs.attr_flights"};
+  std::vector<FlightRecord> flights_ GUARDED_BY(flights_mu_);
+  size_t flight_next_ GUARDED_BY(flights_mu_) = 0;
 };
 
 // RAII attribution frame, modeled on ScopedSpan. Clocked is any type exposing

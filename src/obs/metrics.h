@@ -8,15 +8,16 @@
 // keeping the hot paths at their uninstrumented cost (the "zero-cost when
 // disabled" contract verified by bench/simcore_gbench).
 //
-// Concurrency (DESIGN.md 6i): registration -- the name->metric map structure
-// -- is guarded by mu_, so threads may look metrics up concurrently (the
-// --threads= bench fan-out constructs and reads registries on worker
-// threads). The *recorded values* (Add/Set/Record on the returned
-// references) stay unsynchronized: a Machine has exactly one mutator thread
-// at a time, and the ParallelFor join publishes its writes to whoever
-// aggregates. The SMP-nested-guest work will revisit that single-mutator
-// assumption; until then it is enforced by srclint's lockset audit, not
-// locks.
+// Concurrency (DESIGN.md 6i/6j): registration -- the name->metric map
+// structure -- is guarded by mu_, so threads may look metrics up
+// concurrently (the --threads= bench fan-out constructs and reads registries
+// on worker threads). The *recorded values* (Add/Set/Record on the returned
+// references) stay unsynchronized: with the obs layer enabled a Machine has
+// exactly one mutator thread at a time, and the ParallelFor join publishes
+// its writes to whoever aggregates. The SMP engine (sim/smp.h) runs many
+// mutator threads per machine, which is why SmpEngine::Run refuses to start
+// with obs enabled -- SMP runs keep their observability through the sharded
+// cycle attribution (attr.h) and per-vCPU counters, not this registry.
 //
 // Naming scheme (see DESIGN.md "Observability"): dot-separated
 // `<subsystem>.<event>[,k=v...]`, e.g. "cpu.traps_to_el2",

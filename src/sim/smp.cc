@@ -1,0 +1,320 @@
+#include "src/sim/smp.h"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+#include "src/base/status.h"
+#include "src/fault/guest_fault.h"
+#include "src/sim/machine.h"
+
+namespace neve {
+namespace {
+
+thread_local SmpEngine* tls_engine = nullptr;
+thread_local int tls_lane = -1;
+
+}  // namespace
+
+SmpEngine* SmpEngine::Current() { return tls_engine; }
+int SmpEngine::CurrentLane() { return tls_lane; }
+
+SmpEngine::SmpEngine(Machine* machine, int num_lanes, int threads)
+    : machine_(machine),
+      num_lanes_(num_lanes),
+      free_slots_(std::max(1, threads)),
+      lanes_(static_cast<size_t>(num_lanes)) {
+  // host-invariant: engine construction parameters come from the embedding
+  // harness, not from guest state.
+  NEVE_CHECK(machine != nullptr && num_lanes > 0);
+  NEVE_CHECK(num_lanes <= machine->num_cpus());
+}
+
+SmpEngine::~SmpEngine() {
+  for (Lane& lane : lanes_) {
+    if (lane.thread.joinable()) {
+      lane.thread.join();
+    }
+  }
+}
+
+void SmpEngine::Run(LaneBody body) {
+  // host-invariant: the obs layer's recorded values are unsynchronized by
+  // design (DESIGN.md 6i); running lanes in parallel underneath it would
+  // race. SMP runs that need metrics use the cooperative path instead.
+  NEVE_CHECK_MSG(!machine_->obs().enabled(),
+                 "SmpEngine requires the observability layer disabled");
+  // host-invariant: fault injection draws from a seeded stream keyed by call
+  // order, which lane parallelism would permute.
+  NEVE_CHECK_MSG(!machine_->config().fault.enabled,
+                 "SmpEngine is incompatible with fault injection");
+  // host-invariant: Run is single-shot by construction.
+  NEVE_CHECK_MSG(!body_, "SmpEngine::Run called twice");
+  body_ = std::move(body);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    lanes_[0].state = LaneState::kRunnable;
+    lanes_[0].thread = std::thread([this] { LaneMain(0); });
+    cv_.wait(lk, [&] {
+      for (const Lane& lane : lanes_) {
+        if (lane.state != LaneState::kFinished) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+  for (Lane& lane : lanes_) {
+    if (lane.thread.joinable()) {
+      lane.thread.join();
+    }
+  }
+  for (Lane& lane : lanes_) {
+    if (lane.error) {
+      std::rethrow_exception(lane.error);
+    }
+  }
+}
+
+void SmpEngine::LaneMain(int lane) {
+  tls_engine = this;
+  tls_lane = lane;
+  Lane& l = lanes_[lane];
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return free_slots_ > 0 && !ConfinementPendingLocked(); });
+    --free_slots_;
+    l.holds_slot = true;
+    l.state = LaneState::kRunning;
+  }
+  try {
+    body_(lane);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    l.error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    l.state = LaneState::kFinished;
+    l.ever_blocked = true;
+    if (l.holds_slot) {
+      l.holds_slot = false;
+      ++free_slots_;
+    }
+    AdmitLocked();
+    MergeIfQuiescentLocked();
+    cv_.notify_all();
+  }
+  tls_engine = nullptr;
+  tls_lane = -1;
+}
+
+void SmpEngine::AdmitLocked() {
+  while (next_to_admit_ < num_lanes_ &&
+         lanes_[next_to_admit_ - 1].ever_blocked) {
+    int lane = next_to_admit_++;
+    lanes_[lane].state = LaneState::kRunnable;
+    lanes_[lane].thread = std::thread([this, lane] { LaneMain(lane); });
+  }
+}
+
+bool SmpEngine::ConfinementPendingLocked() const {
+  if (confinement_active_) {
+    return true;
+  }
+  for (const Lane& lane : lanes_) {
+    if (lane.state == LaneState::kConfining) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SmpEngine::MergeIfQuiescentLocked() {
+  if (ConfinementPendingLocked() || next_to_admit_ < num_lanes_) {
+    return;
+  }
+  bool any_blocked = false;
+  for (const Lane& lane : lanes_) {
+    switch (lane.state) {
+      case LaneState::kBlocked:
+        any_blocked = true;
+        break;
+      case LaneState::kFinished:
+        break;
+      default:
+        return;  // someone can still run: not quiescent
+    }
+  }
+  if (!any_blocked) {
+    // All lanes finished; leftover deferred events have no receiver (their
+    // target vCPUs' runs are over) and are dropped -- identically at every
+    // thread count, since quiescence is a logical-state property.
+    deferred_.clear();
+    return;
+  }
+
+  // Apply the cross-lane events accumulated since the last merge, in an
+  // order derived purely from simulated time: raiser cycle count, then
+  // raiser lane, then the raiser's local sequence number. No lane is
+  // executing, so the applies own the whole machine.
+  std::stable_sort(deferred_.begin(), deferred_.end(),
+                   [](const Deferred& a, const Deferred& b) {
+                     if (a.raiser_cycles != b.raiser_cycles) {
+                       return a.raiser_cycles < b.raiser_cycles;
+                     }
+                     if (a.raiser_lane != b.raiser_lane) {
+                       return a.raiser_lane < b.raiser_lane;
+                     }
+                     return a.seq < b.seq;
+                   });
+  for (Deferred& d : deferred_) {
+    d.apply();
+  }
+  deferred_.clear();
+
+  bool any_woken = false;
+  for (Lane& lane : lanes_) {
+    if (lane.state != LaneState::kBlocked) {
+      continue;
+    }
+    if (!lane.pred || lane.pred()) {
+      lane.state = LaneState::kRunnable;
+      any_woken = true;
+    }
+  }
+  if (any_woken) {
+    cv_.notify_all();
+    return;
+  }
+  // Every lane is parked on a predicate no future event can satisfy (there
+  // are no runnable lanes left to produce one): a guest-level deadlock.
+  // Confine it to the VMs involved instead of hanging the simulation.
+  for (Lane& lane : lanes_) {
+    if (lane.state == LaneState::kBlocked) {
+      lane.fault_kind = "smp_deadlock";
+    }
+  }
+  cv_.notify_all();
+}
+
+void SmpEngine::SetWaitPred(int lane, WaitPred pred) {
+  std::lock_guard<std::mutex> lk(mu_);
+  lanes_[lane].pred = std::move(pred);
+}
+
+void SmpEngine::Wait(int lane) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Lane& l = lanes_[lane];
+  l.in_wait = true;
+  if (l.holds_slot) {
+    l.holds_slot = false;
+    ++free_slots_;
+  }
+  l.state = LaneState::kBlocked;
+  l.ever_blocked = true;
+  AdmitLocked();
+  MergeIfQuiescentLocked();
+  cv_.notify_all();
+
+  cv_.wait(lk, [&] {
+    if (l.fault_kind != nullptr) {
+      return true;
+    }
+    return l.state == LaneState::kRunnable && free_slots_ > 0 &&
+           !ConfinementPendingLocked();
+  });
+  l.in_wait = false;
+  l.pred = nullptr;
+  if (l.fault_kind != nullptr) {
+    const char* kind = l.fault_kind;
+    l.fault_kind = nullptr;
+    // Unwinding runs on this thread without a slot; the confinement barrier
+    // below serializes it against everything else.
+    l.state = LaneState::kRunning;
+    lk.unlock();
+    RaiseGuestFault(kind,
+                    kind == std::string_view("smp_deadlock")
+                        ? "SMP rendezvous deadlock: every vCPU is parked on a "
+                          "predicate no sibling can ever satisfy"
+                        : "SMP rendezvous torn down: a sibling vCPU's "
+                          "confined fault killed the VM");
+  }
+  --free_slots_;
+  l.holds_slot = true;
+  l.state = LaneState::kRunning;
+}
+
+void SmpEngine::Defer(int target_lane, uint64_t raiser_cycles,
+                      DeferredApply apply) {
+  // host-invariant: Defer is only reached from lane threads (the hypervisor
+  // checks Current() before routing here).
+  NEVE_CHECK(tls_lane >= 0 && tls_engine == this);
+  std::lock_guard<std::mutex> lk(mu_);
+  deferred_.push_back(Deferred{.raiser_cycles = raiser_cycles,
+                               .raiser_lane = tls_lane,
+                               .seq = lanes_[tls_lane].defer_seq++,
+                               .target_lane = target_lane,
+                               .apply = std::move(apply)});
+}
+
+void SmpEngine::EnterConfinement(int lane) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Lane& l = lanes_[lane];
+  l.state = LaneState::kConfining;
+  cv_.notify_all();
+  cv_.wait(lk, [&] {
+    if (confinement_active_) {
+      return false;
+    }
+    for (int i = 0; i < num_lanes_; ++i) {
+      if (i == lane) {
+        continue;
+      }
+      LaneState s = lanes_[i].state;
+      if (s == LaneState::kRunning) {
+        return false;  // let it reach its own block/finish/fault point
+      }
+      if (s == LaneState::kConfining && i < lane) {
+        return false;  // lowest-index confiner goes first (determinism)
+      }
+    }
+    return true;
+  });
+  confinement_active_ = true;
+}
+
+void SmpEngine::ExitConfinement(int lane) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Lane& l = lanes_[lane];
+  // The confined VM's rendezvous can never complete: every lane still parked
+  // in a wait dies with it -- deterministically, since which lanes are
+  // parked at a merge/confinement point is a logical-state property.
+  for (int i = 0; i < num_lanes_; ++i) {
+    if (i == lane) {
+      continue;
+    }
+    Lane& sibling = lanes_[i];
+    if (sibling.state == LaneState::kBlocked ||
+        (sibling.state == LaneState::kRunnable && sibling.in_wait)) {
+      sibling.fault_kind = "smp_sibling_fault";
+    }
+  }
+  // Pending cross-lane events die with the VM they were bound for.
+  deferred_.clear();
+  confinement_active_ = false;
+  l.ever_blocked = true;
+  AdmitLocked();
+  if (!l.holds_slot) {
+    // Sibling-fault lanes released their slot when they parked; take one
+    // back before resuming the unwound body.
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return free_slots_ > 0; });
+    --free_slots_;
+    l.holds_slot = true;
+  }
+  l.state = LaneState::kRunning;
+  cv_.notify_all();
+}
+
+}  // namespace neve

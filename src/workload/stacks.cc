@@ -1,7 +1,11 @@
 #include "src/workload/stacks.h"
 
+#include <utility>
+
 #include "src/base/status.h"
+#include "src/gic/gic.h"
 #include "src/hyp/world_switch.h"
+#include "src/sim/smp.h"
 
 namespace neve {
 
@@ -88,6 +92,76 @@ Status ArmStack::Run(GuestMain body, GuestMain receiver) {
     l1_->RunVcpu(env, nvm_->vcpu(0), body);
   };
   return l0_->RunVcpu(vm_->vcpu(0), /*pcpu=*/0);
+}
+
+std::vector<Status> ArmStack::RunSmp(std::vector<GuestMain> bodies,
+                                     int threads) {
+  const int n = static_cast<int>(bodies.size());
+  NEVE_CHECK_MSG(n >= 1 && n <= machine_->num_cpus(),
+                 "one body per vCPU, at most one per pCPU");
+  std::vector<Status> statuses(static_cast<size_t>(n), Status::Ok());
+
+  if (!cfg_.nested) {
+    for (int k = 0; k < n; ++k) {
+      vm_->vcpu(k).main_sw.main = std::move(bodies[static_cast<size_t>(k)]);
+    }
+  } else {
+    GuestKvmConfig gc{.vhe = cfg_.guest_vhe, .gicv2_mmio = cfg_.gicv2_mmio};
+    // Lane 0 boots the guest hypervisor and the n-vCPU nested VM. The
+    // engine admits lane k+1 only after lane k first blocks (or finishes),
+    // and the booter's first block is inside its own L2 body -- after
+    // CreateVm -- so l1_/nvm_ are visible to every sibling without locks.
+    vm_->vcpu(0).main_sw.main = [this, gc, n,
+                                 body = std::move(bodies[0])](GuestEnv& env) {
+      l1_ = std::make_unique<GuestKvm>(&env, machine_.get(), gc);
+      l1_->SetMmioBackend(&device_);
+      VmConfig nvc;
+      nvc.name = "l2";
+      nvc.num_vcpus = n;
+      nvc.ram_size = 8ull << 20;
+      nvm_ = l1_->CreateVm(nvc);
+      l1_->RunVcpu(env, nvm_->vcpu(0), body);
+    };
+    for (int k = 1; k < n; ++k) {
+      vm_->vcpu(k).main_sw.main =
+          [this, k, body = std::move(bodies[static_cast<size_t>(k)])](
+              GuestEnv& env) {
+            if (l1_ == nullptr || nvm_ == nullptr) {
+              return;  // the booter faulted before constructing the stack
+            }
+            l1_->AttachVcpu(env);
+            l1_->RunVcpu(env, nvm_->vcpu(k), body);
+          };
+    }
+  }
+
+  SmpEngine engine(machine_.get(), n, threads);
+  engine.Run([this, &statuses](int lane) {
+    statuses[static_cast<size_t>(lane)] =
+        l0_->RunVcpu(vm_->vcpu(lane), /*pcpu=*/lane);
+  });
+  return statuses;
+}
+
+GuestMain ArmStack::MakeIpiRendezvous(int lane, int num_vcpus, int rounds) {
+  return [this, lane, num_vcpus, rounds](GuestEnv& env) {
+    const uint16_t siblings = static_cast<uint16_t>(
+        ((1u << num_vcpus) - 1u) & ~(1u << lane));
+    Vcpu& me = RendezvousVcpu(lane);
+    for (int round = 1; round <= rounds; ++round) {
+      env.WriteSys(SysReg::kICC_SGI1R_EL1, SgiR::Make(siblings, /*sgi_id=*/5));
+      // One IPI per sibling per completed round must have *arrived* (been
+      // enqueued on our vCPU) before this round's rendezvous is done. The
+      // count is monotonic, so a fast sibling racing ahead only overshoots.
+      const uint64_t want = static_cast<uint64_t>(round) *
+                            static_cast<uint64_t>(num_vcpus - 1);
+      env.SmpWaitUntil([&me, want] { return me.virqs_enqueued >= want; });
+    }
+  };
+}
+
+Vcpu& ArmStack::RendezvousVcpu(int lane) {
+  return cfg_.nested ? nvm_->vcpu(lane) : vm_->vcpu(lane);
 }
 
 uint64_t ArmStack::TotalTrapsToHost() const {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/hyp/guest_kvm.h"
 #include "src/hyp/host_kvm.h"
@@ -34,6 +35,11 @@ class ArmStack {
   HostKvm& host() { return *l0_; }
   TestDevice& device() { return device_; }
   bool nested() const { return cfg_.nested; }
+  // The L0-level VM (the L1 hypervisor's VM when nested). For tests that
+  // inspect per-vCPU state (shadows, pending virqs) after a run.
+  Vm& vm() { return *vm_; }
+  // The nested (L2) VM; null until a nested run has booted it.
+  Vm* nested_vm() { return nvm_; }
 
   // Runs `body` as the measured guest on pCPU 0. When `receiver` is given,
   // it runs first on pCPU 1 and is expected to park itself (IPI target /
@@ -45,6 +51,27 @@ class ArmStack {
   // The L0 vCPU carrying the measured guest (for virtual-IRQ queueing by
   // device models).
   Vcpu& MeasuredVcpu();
+
+  // Runs one guest body per vCPU with real host parallelism through the SMP
+  // engine (sim/smp.h): lane k carries vCPU k on pCPU k, `threads` lanes
+  // execute simulated code concurrently, and the result is byte-identical at
+  // every `threads` value. Nested stacks boot the guest hypervisor on lane 0
+  // (the engine's admission gate makes the boot happen-before every sibling)
+  // and run one L2 vCPU per lane. Bodies coordinate with
+  // GuestEnv::SmpWaitUntil; observability and fault injection must be off.
+  // Returns lane k's confined-fault status (or OK) at index k.
+  std::vector<Status> RunSmp(std::vector<GuestMain> bodies, int threads);
+
+  // A canonical SMP body: `rounds` all-to-all IPI rendezvous. Each round,
+  // lane `lane` SGIs every sibling, then parks until it has received one IPI
+  // per sibling per completed round. The workload behind the hackbench-style
+  // SMP rows: pure cross-vCPU interrupt traffic, no shared guest memory.
+  GuestMain MakeIpiRendezvous(int lane, int num_vcpus, int rounds);
+
+  // The vCPU whose state lane `lane`'s rendezvous predicates read: the L2
+  // vCPU when nested, the L0 vCPU otherwise. Valid once the stack (and, when
+  // nested, lane 0's boot) has run.
+  Vcpu& RendezvousVcpu(int lane);
 
   uint64_t TotalTrapsToHost() const;
 

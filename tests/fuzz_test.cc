@@ -100,6 +100,18 @@ TEST(ProgramTest, DecodingIsDeterministic) {
   }
 }
 
+TEST(ProgramTest, HeaderBitsSelectTheCaseConfig) {
+  // Header bit 4 arms SMP mode: a second vCPU rides along as a parked
+  // receiver and kSgi fans out cross-vCPU. Orthogonal to nested/vhe bits.
+  EXPECT_FALSE(DecodeProgram({0x00}).cfg.smp);
+  EXPECT_TRUE(DecodeProgram({0x10}).cfg.smp);
+  Program p = DecodeProgram({0x13});
+  EXPECT_TRUE(p.cfg.smp);
+  EXPECT_TRUE(p.cfg.nested);
+  EXPECT_TRUE(p.cfg.guest_vhe);
+  EXPECT_FALSE(p.cfg.fault);
+}
+
 TEST(ProgramTest, WritePolicyKeepsTheStackRunnable) {
   // Stage-1 must stay off (guests premap their address spaces), VNCR must
   // not move out from under the host, HCR only flips through the masked op,
@@ -160,6 +172,31 @@ TEST(HarnessTest, EmptyProgramPassesAllOracles) {
   EXPECT_TRUE(r.ok) << r.failure;
   EXPECT_EQ(r.execs, 4u);  // {v8.3, NEVE} x {cache on, off}
   EXPECT_FALSE(r.features.empty());
+}
+
+TEST(HarnessTest, SmpCaseFansOutToTheParkedReceiver) {
+  // Mode A SMP (header 0x10), three SGI ops (selector 14, sub-selector >= 2,
+  // SGI id): each fans out to vCPU 0 (self) and the parked receiver on
+  // vCPU 1. Every oracle must hold, and the receiver must have seen the
+  // cross-vCPU deliveries in both architectures (the arch digest would
+  // diverge otherwise -- checked here directly for a readable failure).
+  std::vector<uint8_t> bytes = {0x10, 14, 2, 5, 14, 3, 7, 14, 2, 1};
+  CaseResult r = RunCase(bytes);
+  EXPECT_TRUE(r.ok) << r.failure;
+  Program p = DecodeProgram(bytes);
+  ASSERT_TRUE(p.cfg.smp);
+  RunResult v83 = RunProgramVariant(p, VariantSpec{.neve = false});
+  RunResult nv = RunProgramVariant(p, VariantSpec{.neve = true});
+  EXPECT_EQ(v83.receiver_irqs, 3u);
+  EXPECT_EQ(nv.receiver_irqs, 3u);
+}
+
+TEST(HarnessTest, NestedSmpCasePassesAllOracles) {
+  // Mode B SMP (header 0x11): the fan-out SGI multiplies through the guest
+  // hypervisor's trapped injection path on both vCPUs.
+  CaseResult r = RunCase({0x11, 14, 2, 4, 14, 3, 2});
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(r.execs, 4u);
 }
 
 TEST(HarnessTest, RunResultsAreReproducible) {

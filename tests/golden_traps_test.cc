@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/workload/microbench.h"
+#include "src/workload/stacks.h"
 
 namespace neve {
 namespace {
@@ -43,6 +44,28 @@ constexpr MicrobenchKind kKinds[] = {
     MicrobenchKind::kVirtualEoi,
 };
 
+// Total traps for one rendezvous run: `rounds` all-to-all IPI barriers on a
+// 4-vCPU nested stack under the SMP engine.
+uint64_t RendezvousTraps(const StackConfig& cfg, int rounds) {
+  constexpr int kVcpus = 4;
+  ArmStack stack(cfg, kVcpus);
+  std::vector<GuestMain> bodies;
+  for (int k = 0; k < kVcpus; ++k) {
+    bodies.push_back(stack.MakeIpiRendezvous(k, kVcpus, rounds));
+  }
+  for (const Status& s : stack.RunSmp(std::move(bodies), /*threads=*/kVcpus)) {
+    EXPECT_TRUE(s.ok()) << s.message();
+  }
+  return stack.TotalTrapsToHost();
+}
+
+// Steady-state traps for kIterations rendezvous rounds, boot and teardown
+// cancelled by differencing two round counts (runs are deterministic, so the
+// subtraction is exact).
+uint64_t SmpRendezvousTrapTotal(const StackConfig& cfg) {
+  return RendezvousTraps(cfg, 2 + kIterations) - RendezvousTraps(cfg, 2);
+}
+
 // Canonical JSON rendering of every (bench, config) -> total-traps cell.
 // Deterministic formatting so the golden comparison is an exact string match.
 std::string ActualTrapCountsJson() {
@@ -65,6 +88,16 @@ std::string ActualTrapCountsJson() {
           << c.name << "\", \"traps\": " << traps << "}";
     }
   }
+  // SMP row: 4-vCPU nested guests, one all-to-all IPI rendezvous per
+  // iteration (the hackbench-style cross-vCPU traffic the paper's SMP rows
+  // measure). The trap totals are the cross-vCPU injection path multiplied
+  // through each architecture's emulation.
+  out << ",\n    {\"bench\": \"SMP Rendezvous\", \"config\": "
+      << "\"nested-v83-vhe\", \"traps\": "
+      << SmpRendezvousTrapTotal(StackConfig::NestedV83(true)) << "}";
+  out << ",\n    {\"bench\": \"SMP Rendezvous\", \"config\": "
+      << "\"nested-neve-vhe\", \"traps\": "
+      << SmpRendezvousTrapTotal(StackConfig::NestedNeve(true)) << "}";
   out << "\n  ]\n}\n";
   return out.str();
 }

@@ -227,16 +227,16 @@ class ShadowFixture : public MemFixture {
  protected:
   // The host Stage-2 must exist before the guest's own tables can be built
   // through the translating view -- same ordering a real host enforces.
-  static Stage2Table MakeHostS2(PhysMem* mem, PageAllocator* alloc) {
-    Stage2Table s2(mem, alloc);
+  // (Mapped in place: page tables carry a mutex now, so they don't move.)
+  Stage2Table& MakeHostS2() {
     // L1 IPA [0, 16MB) -> machine [16MB, 32MB).
-    s2.MapRange(Ipa(0), Pa(16ull << 20), 16ull << 20, PagePerms::Rw());
-    return s2;
+    host_s2_.MapRange(Ipa(0), Pa(16ull << 20), 16ull << 20, PagePerms::Rw());
+    return host_s2_;
   }
 
   ShadowFixture()
-      : host_s2_(MakeHostS2(&mem_, &alloc_)),
-        view_(&mem_, &host_s2_),
+      : host_s2_(&mem_, &alloc_),
+        view_(&mem_, &MakeHostS2()),
         guest_alloc_(&view_, Pa(4ull << 20), 4ull << 20),
         virtual_s2_(&view_, &guest_alloc_),
         shadow_(&mem_, &alloc_) {}

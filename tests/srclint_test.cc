@@ -597,6 +597,49 @@ TEST(SrcLintTest, LocksetInventoryReportsWritersAndGuards) {
   EXPECT_FALSE(cold->guarded);
 }
 
+TEST(SrcLintTest, PreSmpGicCounterShapeIsCaught) {
+  // Seeded regression for the shape the SMP work fixed: scalar GIC ack/EOI
+  // statistics bumped from the hypervisor TU. With one vCPU that was a
+  // single-mutator pattern nobody had to justify; with SMP lanes it is a
+  // cross-thread data race. The audit must flag it so the fix (per-CPU
+  // shards summed on read, mutated only from the GIC's own per-CPU ack/EOI
+  // path) can't silently regress.
+  std::vector<Diagnostic> d = LintSources(
+      {{"src/gic/gic_like.h",
+        "class GicLike {\n public:\n"
+        "  uint64_t virtual_acks_ = 0;\n  uint64_t virtual_eois_ = 0;\n};\n"},
+       {"src/hyp/host_like.cc",
+        "void OnAck(GicLike& g) {\n  ++g.virtual_acks_;\n}\n"
+        "void OnEoi(GicLike& g) {\n  g.virtual_eois_ += 1;\n}\n"}});
+  const Diagnostic* acks = nullptr;
+  const Diagnostic* eois = nullptr;
+  for (const Diagnostic& diag : d) {
+    if (diag.check != "lockset-multi-tu-mutation") {
+      continue;
+    }
+    if (diag.message.find("virtual_acks_") != std::string::npos) {
+      acks = &diag;
+    }
+    if (diag.message.find("virtual_eois_") != std::string::npos) {
+      eois = &diag;
+    }
+  }
+  ASSERT_NE(acks, nullptr);
+  EXPECT_EQ(acks->file, "src/hyp/host_like.cc");
+  ASSERT_NE(eois, nullptr);
+
+  // The shipped shape: the shard vector is mutated only from its home TU
+  // (per-CPU slot, one writer lane per slot) -- clean without any guard.
+  EXPECT_TRUE(
+      LintSources(
+          {{"src/gic/gic_like.h",
+            "class GicLike {\n public:\n"
+            "  std::vector<uint64_t> virtual_acks_;\n};\n"},
+           {"src/gic/gic_like.cc",
+            "void GicLike::Ack(int cpu) {\n  ++virtual_acks_[cpu];\n}\n"}})
+          .empty());
+}
+
 // --- the real tree -----------------------------------------------------------
 
 TEST(SrcLintTest, LoadRepoSourcesOnMissingRootIsEmpty) {

@@ -90,7 +90,8 @@ run_tsan() {
   cmake -B "$build_dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     "-DNEVE_SANITIZE=thread" >/dev/null
   cmake --build "$build_dir" -j "$JOBS" --target \
-    table1_micro_v83 fig2_applications obsreport stackfuzz >/dev/null
+    table1_micro_v83 fig2_applications smp_hackbench obsreport \
+    stackfuzz >/dev/null
   local tmp
   tmp="$(mktemp -d)"
   trap 'rm -rf "$tmp"; trap - RETURN' RETURN
@@ -99,6 +100,14 @@ run_tsan() {
   "$build_dir/bench/table1_micro_v83" --threads=1 >"$tmp/table1.serial.txt"
   cmp "$tmp/table1.mt.txt" "$tmp/table1.serial.txt"
   "$build_dir/bench/fig2_applications" --threads=8 >/dev/null
+  echo "==> [tsan] SMP engine: 4-vCPU nested guests at --threads=8 (+ byte-identity vs serial)"
+  # Unlike the fan-out above (independent Machines per worker), this runs
+  # vCPU lanes of ONE machine on concurrent host threads -- the SMP engine's
+  # deferred-mutation merge is what TSan is pointed at here, and the cmp is
+  # the determinism contract: same bytes at every --threads value.
+  "$build_dir/bench/smp_hackbench" --threads=8 >"$tmp/smp.mt.txt"
+  "$build_dir/bench/smp_hackbench" --threads=1 >"$tmp/smp.serial.txt"
+  cmp "$tmp/smp.mt.txt" "$tmp/smp.serial.txt"
   echo "==> [tsan] obsreport run --threads=8"
   "$build_dir/tools/obsreport" run --stack=neve --threads=8 \
     --out="$tmp/obsreport.json" >/dev/null
