@@ -1,0 +1,101 @@
+// Live-migration downtime and transfer cost versus the workload's dirty
+// rate, ARMv8.3-NV against NEVE.
+//
+// Each cell runs one full pre-copy migration (src/snap/migrate.h) of a
+// nested stack over the simulated link: baseline round, dirty-delta rounds,
+// stop-copy, commit handshake. The workload's store/load mix strides across
+// a configurable page span, so sweeping the span sweeps how many pages each
+// pre-copy round finds dirty -- the classic downtime driver. Downtime is
+// analytic: the stop-copy transfer (final dirty delta plus the non-RAM
+// sections of the snapshot stream) over the link bandwidth, plus one commit
+// round trip.
+//
+// The architecture comparison isolates a NEVE-specific migration cost: the
+// deferred-access (VNCR) page lives in host RAM and the guest hypervisor
+// dirties it continuously, so a NEVE source ships extra dirty state every
+// round that the trap-everything v8.3 stack does not have.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/base/table_printer.h"
+#include "src/obs/report.h"
+#include "src/snap/migrate.h"
+
+namespace neve {
+namespace {
+
+constexpr uint64_t kSteps = 192;
+constexpr uint64_t kPulseInterval = 16;  // workload steps between rounds
+
+snap::MigrationStats RunCell(bool neve, uint64_t span_pages) {
+  snap::SnapSpec spec;
+  spec.cfg = neve ? StackConfig::NestedNeve(false)
+                  : StackConfig::NestedV83(false);
+  spec.steps = kSteps;
+  spec.seed = 7;
+  spec.store_span_pages = span_pages;
+
+  snap::MigrateConfig cfg;
+  cfg.precopy_rounds = 4;
+  cfg.pulse_interval_steps = kPulseInterval;
+
+  snap::MigrationOutcome out;
+  Status st = RunMigration(spec, cfg, &out);
+  NEVE_CHECK_MSG(st.ok(), "fault-free migration must succeed");
+  NEVE_CHECK_MSG(out.stats.committed && out.vm_on_dest,
+                 "fault-free migration must commit");
+  return out.stats;
+}
+
+void Run(const std::string& json_path) {
+  PrintHeader("live-migration downtime vs dirty rate (v8.3 vs NEVE)",
+              "Lim et al., SOSP'17 -- NEVE state lives in RAM (the VNCR "
+              "page), so checkpoint/migration carries it as dirty state");
+  BenchReport report("migrate_downtime", "simulated cycles",
+                     "Lim et al., SOSP'17, sections 5-6 (VNCR page as "
+                     "migratable state)");
+
+  constexpr uint64_t kSpans[] = {1, 8, 32, 128};
+  TablePrinter t({"Dirty span (pages)", "Arch", "Rounds", "Pages sent",
+                  "Stop-copy bytes", "Downtime (cycles)", "Link cycles"});
+  for (uint64_t span : kSpans) {
+    for (bool neve : {false, true}) {
+      snap::MigrationStats s = RunCell(neve, span);
+      char label[32];
+      std::snprintf(label, sizeof(label), "%llu",
+                    static_cast<unsigned long long>(span));
+      t.AddRow({label, neve ? "NEVE" : "v8.3",
+                TablePrinter::Cycles(s.rounds_sent),
+                TablePrinter::Cycles(s.pages_sent),
+                TablePrinter::Cycles(s.stopcopy_bytes),
+                TablePrinter::Fixed(s.downtime_cycles, 0),
+                TablePrinter::Fixed(s.transfer_cycles, 0)});
+      std::string name = std::string("span=") + label;
+      std::string arch = neve ? "NEVE" : "ARM v8.3";
+      report.Add(name + " downtime", arch, s.downtime_cycles);
+      report.Add(name + " stopcopy_bytes", arch,
+                 static_cast<double>(s.stopcopy_bytes));
+      report.Add(name + " pages_sent", arch,
+                 static_cast<double>(s.pages_sent));
+      report.Add(name + " transfer_cycles", arch, s.transfer_cycles);
+    }
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf(
+      "Downtime scales with the final dirty delta: wider store spans leave\n"
+      "more pages dirty when stop-copy begins. NEVE ships slightly more\n"
+      "state per round than v8.3 at the same span -- the deferred-access\n"
+      "(VNCR) page is ordinary dirty RAM the pre-copy rounds must chase,\n"
+      "the price of NEVE keeping EL2 state in memory instead of traps.\n");
+  report.WriteIfRequested(json_path);
+}
+
+}  // namespace
+}  // namespace neve
+
+int main(int argc, char** argv) {
+  neve::Run(neve::JsonOutPath(argc, argv));
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string_view>
 
@@ -654,12 +655,19 @@ bool IsDeclSite(std::string_view s, size_t pos, size_t len) {
   if (prev == '&' && p >= 2 && s[p - 2] == '&') {
     return false;  // `a && b_` is an expression, not `T& b_`
   }
-  if (IdentChar(prev)) {
-    size_t tb = p - 1;
+  // Walk back over pointer/reference decoration to the type-ish token, so
+  // `return *ptr_;` is recognized as a dereference, not a `T* ptr_;` decl.
+  size_t te = p;
+  while (te > bol && (s[te - 1] == '*' || s[te - 1] == '&' ||
+                      s[te - 1] == ' ' || s[te - 1] == '\t')) {
+    --te;
+  }
+  if (te > bol && IdentChar(s[te - 1])) {
+    size_t tb = te;
     while (tb > bol && IdentChar(s[tb - 1])) {
       --tb;
     }
-    std::string_view tok = s.substr(tb, p - tb);
+    std::string_view tok = s.substr(tb, te - tb);
     if (tok == "return" || tok == "co_return" || tok == "delete" ||
         tok == "new" || tok == "case" || tok == "goto" || tok == "throw") {
       return false;
@@ -740,6 +748,88 @@ bool IsWriteSite(std::string_view s, size_t pos, size_t len) {
     }
   }
   return s[q] == '=' && (q + 1 >= s.size() || s[q + 1] != '=');
+}
+
+// --- rule: snapshot coverage -------------------------------------------------
+
+// Directories whose headers declare checkpointable guest/host state. Every
+// `member_`-style field there must either appear in src/snap (serialized,
+// reconstructed, or structurally verified by the serializer) or carry a
+// `// not-snapshotted: <why>` annotation.
+constexpr const char* kSnapshotDirs[] = {"src/cpu/", "src/hyp/", "src/gic/",
+                                         "src/mem/", "src/timer/"};
+
+bool InSnapshotDir(std::string_view path) {
+  for (const char* dir : kSnapshotDirs) {
+    if (path.rfind(dir, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The identifier token immediately before `pos` (skipping blanks), or "".
+std::string_view PrecedingIdentifier(std::string_view s, size_t pos) {
+  size_t p = pos;
+  while (p > 0 && (s[p - 1] == ' ' || s[p - 1] == '\t')) {
+    --p;
+  }
+  size_t e = p;
+  while (p > 0 && IdentChar(s[p - 1])) {
+    --p;
+  }
+  return s.substr(p, e - p);
+}
+
+void LintSnapshotCoverage(const std::vector<SourceFile>& files,
+                          std::vector<Diagnostic>& d) {
+  // Pass 1: every member-style token mentioned anywhere in src/snap counts
+  // as covered -- the serializer reads fields to capture them and writes
+  // them to restore, so a mere mention is the right (conservative) signal.
+  std::set<std::string> covered;
+  bool snap_layer_present = false;
+  for (const SourceFile& f : files) {
+    if (f.path.rfind("src/snap/", 0) != 0) {
+      continue;
+    }
+    snap_layer_present = true;
+    std::string s = StripCommentsAndLiterals(f.content);
+    for (Token t : MemberTokens(s)) {
+      covered.insert(std::string(s.substr(t.pos, t.len)));
+    }
+  }
+  if (!snap_layer_present) {
+    return;  // nothing to audit against (e.g. a synthetic test source set)
+  }
+  // Pass 2: audit declarations in the state-bearing headers.
+  for (const SourceFile& f : files) {
+    if (!InSnapshotDir(f.path) || !HasSuffix(f.path, ".h")) {
+      continue;
+    }
+    std::string s = StripCommentsAndLiterals(f.content);
+    for (Token t : MemberTokens(s)) {
+      if (!IsDeclSite(s, t.pos, t.len)) {
+        continue;
+      }
+      // Host-side synchronization primitives hold no guest state.
+      if (PrecedingIdentifier(s, t.pos) == "Mutex") {
+        continue;
+      }
+      std::string name(s.substr(t.pos, t.len));
+      if (covered.count(name) != 0) {
+        continue;
+      }
+      if (JustifiedNear(f.content, t.pos, "not-snapshotted:")) {
+        continue;
+      }
+      d.push_back({f.path, LineOfOffset(s, t.pos), "snapshot-coverage",
+                   "'" + name +
+                       "' is neither serialized in src/snap nor annotated "
+                       "'// not-snapshotted: <why>' on the declaration or "
+                       "the two lines above; checkpoint/restore would "
+                       "silently drop it"});
+    }
+  }
 }
 
 void LintLockset(const std::vector<SourceFile>& files,
@@ -862,6 +952,7 @@ std::vector<Diagnostic> LintSources(const std::vector<SourceFile>& files) {
     LintSpanBalance(lf, d);
   }
   LintLockset(files, d);
+  LintSnapshotCoverage(files, d);
   return d;
 }
 

@@ -41,6 +41,15 @@
 //                         declaration or carry a `// single-mutator: <why>`
 //                         justification on the declaration line or the two
 //                         lines above
+//   snapshot-coverage     the checkpoint completeness audit (DESIGN.md 6k):
+//                         a `member_`-style field declared in a header under
+//                         src/cpu, src/hyp, src/gic, src/mem or src/timer
+//                         must either be mentioned in src/snap (serialized,
+//                         reconstructed or structurally verified) or carry a
+//                         `// not-snapshotted: <why>` annotation on the
+//                         declaration line or the two lines above; Mutex
+//                         members are exempt (host-side synchronization).
+//                         Silent when the source set has no src/snap files.
 //
 // False-positive hardening: every pattern rule matches against a
 // preprocessed view of the file with comments (and, where the rule wants it,

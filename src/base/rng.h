@@ -15,6 +15,10 @@
 
 namespace neve {
 
+namespace snap {
+class Serializer;  // src/snap: checkpoints the generator state mid-stream
+}  // namespace snap
+
 class Rng {
  public:
   explicit Rng(uint64_t seed) {
@@ -63,6 +67,8 @@ class Rng {
   bool NextBool(double p) { return NextDouble() < p; }
 
  private:
+  friend class snap::Serializer;
+
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }

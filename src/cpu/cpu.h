@@ -39,6 +39,10 @@ namespace neve {
 
 class FaultInjector;
 
+namespace snap {
+class Serializer;  // src/snap: serializes the register file, TLB and clock
+}  // namespace snap
+
 // How a trapped operation completes, decided by the host hypervisor.
 struct TrapOutcome {
   enum class Kind : uint8_t {
@@ -305,25 +309,30 @@ class Cpu {
     }
   }
 
-  int index_;
-  ArchFeatures features_;
-  CostModel cost_;
-  PhysMem* mem_;
-  El2Host* host_ = nullptr;
-  GicCpuInterface* gic_ = nullptr;
-  Observability* obs_ = nullptr;
-  FaultInjector* fault_ = nullptr;
-  CycleAttribution* attr_ = nullptr;
+  friend class snap::Serializer;
 
-  El el_ = El::kEl2;
-  uint64_t cycles_ = 0;
+  int index_;             // not-snapshotted: construction identity, verified
+  ArchFeatures features_; // not-snapshotted: fixed by MachineConfig
+  CostModel cost_;        // not-snapshotted: fixed by MachineConfig
+  PhysMem* mem_;          // not-snapshotted: host wiring
+  El2Host* host_ = nullptr;           // not-snapshotted: host wiring
+  GicCpuInterface* gic_ = nullptr;    // not-snapshotted: host wiring
+  Observability* obs_ = nullptr;      // not-snapshotted: host wiring
+  FaultInjector* fault_ = nullptr;    // not-snapshotted: host wiring
+  CycleAttribution* attr_ = nullptr;  // not-snapshotted: host wiring
+
+  El el_ = El::kEl2;  // verified structurally on snapshot apply
+  uint64_t cycles_ = 0;  // single-mutator: snap restore runs quiesced
+  // not-snapshotted: cycle-invisible fast path; re-keyed via OnConfigChange
+  // after the register file is applied.
   ResolutionCache rcache_;
   uint64_t regs_[kNumRegIds] = {};
   CpuTrace trace_;
+  // single-mutator: snap restore rebuilds the TLB while quiesced
   std::unordered_map<TlbKey, TlbEntry, TlbKeyHash> tlb_;
-  int trap_depth_ = 0;
-  uint64_t watchdog_deadline_ = 0;
-  bool trap_tlbi_ = false;
+  int trap_depth_ = 0;  // verified structurally on snapshot apply
+  uint64_t watchdog_deadline_ = 0;  // single-mutator: snap restore
+  bool trap_tlbi_ = false;  // single-mutator: snap restore
 };
 
 }  // namespace neve

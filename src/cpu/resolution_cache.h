@@ -179,18 +179,20 @@ class ResolutionCache {
            (is_write ? 1 : 0);
   }
 
+  // not-snapshotted: the whole cache is a cycle-invisible fast path,
+  // rebuilt via InvalidateResolutionsFor/OnConfigChange after restore.
   std::array<Bank, kNumBanks> banks_ = {};
-  size_t current_ = 0;
+  size_t current_ = 0;  // not-snapshotted: see banks_
   // Generations start at 1 so zero-initialized entries are stale in every
   // bank; bank 0 owns generation 1 from the start and is tagged with the
   // reset configuration (HCR_EL2 = VNCR_EL2 = 0), matching a fresh Cpu.
-  uint64_t next_generation_ = 1;
-  uint64_t tick_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t invalidations_ = 0;
-  uint64_t revalidations_ = 0;
-  bool enabled_ = true;
+  uint64_t next_generation_ = 1;  // not-snapshotted: see banks_
+  uint64_t tick_ = 0;             // not-snapshotted: see banks_
+  uint64_t hits_ = 0;             // not-snapshotted: host-side metric
+  uint64_t misses_ = 0;           // not-snapshotted: host-side metric
+  uint64_t invalidations_ = 0;    // not-snapshotted: host-side metric
+  uint64_t revalidations_ = 0;    // not-snapshotted: host-side metric
+  bool enabled_ = true;  // not-snapshotted: fixed by MachineConfig
 };
 
 }  // namespace neve

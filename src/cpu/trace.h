@@ -17,6 +17,10 @@
 
 namespace neve {
 
+namespace snap {
+class Serializer;  // src/snap: serializes counters and recorded traps
+}  // namespace snap
+
 struct TrapRecord {
   uint64_t sequence = 0;  // monotonically increasing per CPU
   Syndrome syndrome;
@@ -100,6 +104,8 @@ class CpuTrace {
   std::string AttributionReport() const;
 
  private:
+  friend class snap::Serializer;
+
   static constexpr int kNumClasses = 6;
   static int ClassIndex(Ec ec) {
     switch (ec) {
@@ -120,13 +126,13 @@ class CpuTrace {
     }
   }
 
-  bool record_details_ = false;
-  uint64_t traps_to_el2_ = 0;
-  uint64_t hvc_traps_ = 0;
-  uint64_t sysreg_traps_ = 0;
-  uint64_t eret_traps_ = 0;
-  uint64_t abort_traps_ = 0;
-  uint64_t irq_exits_ = 0;
+  bool record_details_ = false;  // single-mutator: snap restore
+  uint64_t traps_to_el2_ = 0;  // single-mutator: snap restore
+  uint64_t hvc_traps_ = 0;  // single-mutator: snap restore
+  uint64_t sysreg_traps_ = 0;  // single-mutator: snap restore
+  uint64_t eret_traps_ = 0;  // single-mutator: snap restore
+  uint64_t abort_traps_ = 0;  // single-mutator: snap restore
+  uint64_t irq_exits_ = 0;  // single-mutator: snap restore
   std::vector<TrapRecord> records_;
   std::array<uint64_t, kNumClasses> cycles_by_class_ = {};
 };

@@ -27,6 +27,18 @@ const char* FaultPointName(FaultPoint p) {
       return "guest_hyp.panic";
     case FaultPoint::kTrapLoop:
       return "guest_hyp.trap_loop";
+    case FaultPoint::kMigrateLinkDrop:
+      return "migrate.link_drop";
+    case FaultPoint::kMigrateStreamTruncation:
+      return "migrate.stream_truncation";
+    case FaultPoint::kMigratePageCorruption:
+      return "migrate.page_corruption";
+    case FaultPoint::kMigrateDestOom:
+      return "migrate.dest_oom";
+    case FaultPoint::kMigrateSourceCrash:
+      return "migrate.source_crash";
+    case FaultPoint::kMigrateCommitRace:
+      return "migrate.commit_race";
   }
   return "?";
 }

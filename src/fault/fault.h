@@ -32,6 +32,10 @@
 
 namespace neve {
 
+namespace snap {
+class Serializer;  // src/snap: checkpoints the injector's stream and log
+}  // namespace snap
+
 // Every named injection point in the stack. Keep FaultPointName() and
 // kNumFaultPoints in sync when adding one.
 enum class FaultPoint : uint32_t {
@@ -45,13 +49,30 @@ enum class FaultPoint : uint32_t {
   kVirtioRingCorruption,          // virtio: used.idx torn by the backend
   kGuestHypPanic,                 // guest_kvm: the L1 hypervisor panics
   kTrapLoop,                      // guest_kvm: runaway hypercall storm
+  // Migration-transport points (src/snap/migrate.cc). These model failures
+  // of the migration *machinery*, not of the guest or the machine: they are
+  // consulted only by a MigrationEngine and never on a guest execution path,
+  // so arming them cannot perturb guest-visible behaviour.
+  kMigrateLinkDrop,          // migrate: a pre-copy round's data never arrives
+  kMigrateStreamTruncation,  // migrate: stop-copy stream cut short mid-section
+  kMigratePageCorruption,    // migrate: bits flipped in a transferred page
+  kMigrateDestOom,           // migrate: destination host cannot stage the VM
+  kMigrateSourceCrash,       // migrate: source migration task dies mid-round
+  kMigrateCommitRace,        // migrate: commit handshake ack lost in flight
 };
-inline constexpr int kNumFaultPoints = 10;
+inline constexpr int kNumFaultPoints = 16;
+inline constexpr int kNumGuestFaultPoints = 10;
 
 const char* FaultPointName(FaultPoint p);
 
-// All points armed.
-inline constexpr uint32_t kAllFaultPoints = (1u << kNumFaultPoints) - 1;
+// All *guest-path* points armed (the historical "everything" mask; chaos
+// campaigns and their golden logs predate the migration points, which live
+// behind their own mask below and fire only inside a MigrationEngine).
+inline constexpr uint32_t kAllFaultPoints = (1u << kNumGuestFaultPoints) - 1;
+
+// The migration-transport points (everything from kMigrateLinkDrop up).
+inline constexpr uint32_t kMigrateFaultPoints =
+    ((1u << kNumFaultPoints) - 1) & ~kAllFaultPoints;
 
 inline constexpr uint32_t FaultPointBit(FaultPoint p) {
   return 1u << static_cast<uint32_t>(p);
@@ -140,10 +161,12 @@ class FaultInjector {
   std::string LogText() const;
 
  private:
-  FaultConfig config_;
+  friend class snap::Serializer;
+
+  FaultConfig config_;      // not-snapshotted: campaign parameters, not state
   Rng rng_{0};
-  Observability* obs_ = nullptr;
-  const CycleAttribution* attr_ = nullptr;
+  Observability* obs_ = nullptr;           // not-snapshotted: host wiring
+  const CycleAttribution* attr_ = nullptr; // not-snapshotted: host wiring
   std::vector<InjectionRecord> log_;
   uint64_t counts_[kNumFaultPoints] = {};
 };

@@ -9,6 +9,7 @@
 #include "src/cpu/trap_rules.h"
 #include "src/gic/gic.h"
 #include "src/obs/coverage.h"
+#include "src/snap/snapshot.h"
 #include "src/workload/stacks.h"
 
 namespace neve::fuzz {
@@ -204,6 +205,10 @@ class Executor {
     StackConfig sc = v_.neve ? StackConfig::NestedNeve(p_.cfg.guest_vhe)
                              : StackConfig::NestedV83(p_.cfg.guest_vhe);
     sc.fault = v_.fault;
+    if (v_.snap_restore && p_.cfg.snap_restore) {
+      RunModeBSnap(sc);
+      return;
+    }
     ArmStack stack(sc, /*num_cpus=*/p_.cfg.smp ? 2 : 1);
     Prepare(stack.machine());
     GuestMain receiver = nullptr;
@@ -232,10 +237,73 @@ class Executor {
     Finish(stack.machine(), stack.machine().cpu(0), stack.MeasuredVcpu());
   }
 
-  void RunOps(GuestEnv& env) {
-    for (const FuzzOp& op : p_.ops) {
+  // The split variant of mode B: run the first `split` ops on a source
+  // stack, capture a snapshot at the op boundary, boot a fresh identical
+  // stack, apply the snapshot at the structurally identical point (workload
+  // entry, after the deterministic boot) and run the remaining ops there.
+  // The digest mixers carry across the two stacks untouched and nothing
+  // extra is mixed, so the oracle can demand byte-identity with the
+  // uninterrupted run: a checkpoint/restore cycle must be invisible.
+  void RunModeBSnap(const StackConfig& sc) {
+    const size_t n = p_.ops.size();
+    const size_t split = n == 0 ? 0 : p_.cfg.snap_at % (n + 1);
+    snap::Image img;
+    Status cap_status;
+    bool captured = false;
+    {
+      ArmStack src(sc, /*num_cpus=*/1);
+      Prepare(src.machine());
+      r_->status = src.Run([&](GuestEnv& env) {
+        env.SetIrqHandler(
+            [this](GuestEnv& e, uint32_t intid) { OnIrq(e, intid); });
+        RunOps(env, 0, split);
+        cap_status = snap::Serializer::Capture(TargetsOf(src), &img);
+        captured = cap_status.ok();
+      });
+      if (!captured) {
+        // The guest died before reaching the checkpoint (a confined fault
+        // unwinds past the capture call) or capture itself failed; the
+        // source run is the whole run, same as the uninterrupted variant.
+        if (r_->status.ok() && !cap_status.ok()) {
+          r_->status = cap_status;
+        }
+        Finish(src.machine(), src.machine().cpu(0), src.MeasuredVcpu());
+        return;
+      }
+    }
+    ArmStack dst(sc, /*num_cpus=*/1);
+    Prepare(dst.machine());
+    Status apply_status;
+    r_->status = dst.Run([&](GuestEnv& env) {
+      env.SetIrqHandler(
+          [this](GuestEnv& e, uint32_t intid) { OnIrq(e, intid); });
+      apply_status = snap::Serializer::Apply(TargetsOf(dst), img);
+      if (!apply_status.ok()) {
+        return;
+      }
+      RunOps(env, split, n);
+    });
+    if (r_->status.ok() && !apply_status.ok()) {
+      r_->status = apply_status;
+    }
+    Finish(dst.machine(), dst.machine().cpu(0), dst.MeasuredVcpu());
+  }
+
+  static snap::SnapTargets TargetsOf(ArmStack& stack) {
+    snap::SnapTargets t;
+    t.machine = &stack.machine();
+    t.host = &stack.host();
+    t.guest_hyp = stack.guest_hyp();
+    t.device = &stack.device();
+    return t;
+  }
+
+  void RunOps(GuestEnv& env) { RunOps(env, 0, p_.ops.size()); }
+
+  void RunOps(GuestEnv& env, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
       op_index_ = static_cast<int>(r_->ops_executed);
-      ExecOp(env, op);
+      ExecOp(env, p_.ops[i]);
       ++r_->ops_executed;
     }
   }
@@ -550,6 +618,47 @@ bool CompareCachePair(const RunResult& on, const RunResult& off,
   return false;
 }
 
+// Byte-identity of a checkpoint/restore split against the uninterrupted run
+// of the same architecture: every digest and counter must match -- a
+// snapshot cycle is host machinery and must be invisible to the guest.
+bool CompareSnapPair(const RunResult& base, const RunResult& snap,
+                     const std::string& tag, CaseResult* out) {
+  auto fail = [&](const std::string& what) {
+    out->ok = false;
+    out->failure = "snap-diff[" + tag + "]: " + what;
+    return true;
+  };
+  if (base.ops_executed != snap.ops_executed) {
+    return fail("ops " + std::to_string(base.ops_executed) + " vs " +
+                std::to_string(snap.ops_executed));
+  }
+  if (!(base.status == snap.status)) {
+    return fail("status " + base.status.ToString() + " vs " +
+                snap.status.ToString());
+  }
+  if (base.end_cycles != snap.end_cycles) {
+    return fail("cycles " + std::to_string(base.end_cycles) + " vs " +
+                std::to_string(snap.end_cycles));
+  }
+  if (base.traps != snap.traps) {
+    return fail("traps " + std::to_string(base.traps) + " vs " +
+                std::to_string(snap.traps));
+  }
+  if (base.fault_log != snap.fault_log) {
+    return fail("fault log diverged:\n--- uninterrupted ---\n" +
+                base.fault_log + "--- restored ---\n" + snap.fault_log);
+  }
+  if (base.full_digest != snap.full_digest) {
+    return fail("state digest " + Hex(base.full_digest) + " vs " +
+                Hex(snap.full_digest));
+  }
+  if (base.arch_digest != snap.arch_digest) {
+    return fail("guest-visible state " + Hex(base.arch_digest) + " vs " +
+                Hex(snap.arch_digest));
+  }
+  return false;
+}
+
 bool CompareCrossArch(const RunResult& v83, const RunResult& neve,
                       CaseResult* out) {
   auto fail = [&](const std::string& what) {
@@ -629,7 +738,24 @@ CaseResult RunCase(const std::vector<uint8_t>& bytes) {
       CompareCachePair(nv_on, nv_off, "neve", &out)) {
     return out;
   }
-  CompareCrossArch(v83_on, nv_on, &out);
+  if (CompareCrossArch(v83_on, nv_on, &out)) {
+    return out;
+  }
+
+  if (p.cfg.snap_restore) {
+    RunResult v83_snap =
+        RunProgramVariant(p, {.neve = false, .snap_restore = true});
+    RunResult nv_snap =
+        RunProgramVariant(p, {.neve = true, .snap_restore = true});
+    out.execs += 2;
+    if (TakeViolations(v83_snap, &out) || TakeViolations(nv_snap, &out)) {
+      return out;
+    }
+    if (CompareSnapPair(v83_on, v83_snap, "v83", &out) ||
+        CompareSnapPair(nv_on, nv_snap, "neve", &out)) {
+      return out;
+    }
+  }
   return out;
 }
 

@@ -56,6 +56,9 @@ namespace neve::fuzz {
 struct VariantSpec {
   bool neve = false;          // ARMv8.4 NEVE stack vs plain ARMv8.3-NV
   bool cache_enabled = true;  // sysreg resolution cache on/off
+  bool snap_restore = false;  // split the run: checkpoint mid-program,
+                              // restore into a fresh stack, finish there
+                              // (mode B only; requires cfg.snap_restore)
   FaultConfig fault{};        // armed => fault dimension
 };
 
@@ -88,7 +91,13 @@ struct CaseResult {
 //   fault armed:  one architecture, cache on vs off (full identity).
 //   otherwise:    {v8.3, NEVE} x {cache on, cache off}; cache identity per
 //                 architecture, per-op oracles per run, transparency across
-//                 architectures.
+//                 architectures. When cfg.snap_restore is armed, each
+//                 architecture additionally runs once as a checkpoint/
+//                 restore split (capture mid-program, restore into a fresh
+//                 Machine, finish there) and must reproduce the
+//                 uninterrupted run's digests byte-for-byte -- a snapshot
+//                 is a simulator artifact and must be invisible to the
+//                 guest, cycles and trap counts included.
 CaseResult RunCase(const std::vector<uint8_t>& bytes);
 
 }  // namespace neve::fuzz

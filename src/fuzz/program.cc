@@ -145,8 +145,13 @@ Program DecodeProgram(const std::vector<uint8_t>& bytes) {
   p.cfg.fault = (header & 4) != 0;
   p.cfg.fault_neve = (header & 8) != 0;
   p.cfg.smp = (header & 16) != 0;
+  p.cfg.snap_restore =
+      (header & 32) != 0 && p.cfg.nested && !p.cfg.smp && !p.cfg.fault;
   if (p.cfg.fault) {
     DecodeFaultConfig(s, &p.cfg.fault_config);
+  }
+  if (p.cfg.snap_restore) {
+    p.cfg.snap_at = s.U8();
   }
   while (!s.exhausted() && p.ops.size() < kMaxOps) {
     FuzzOp op;

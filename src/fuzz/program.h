@@ -71,6 +71,16 @@ struct CaseConfig {
   bool fault = false;
   bool fault_neve = false;           // which architecture the fault pair uses
   FaultConfig fault_config{};        // populated when `fault`
+
+  // Checkpoint/restore dimension: the case additionally runs each
+  // architecture as a split pair -- checkpoint after `snap_at % (ops + 1)`
+  // ops, restore into a fresh stack, finish there -- and the oracle demands
+  // byte-identical digests against the uninterrupted run. Decoded only for
+  // nested non-SMP non-fault cases (the snapshot layer targets a full
+  // single-vCPU ArmStack; SMP checkpointing needs the cooperative rendezvous
+  // workload, not an arbitrary op stream).
+  bool snap_restore = false;
+  uint8_t snap_at = 0;               // raw split cursor (populated when armed)
 };
 
 struct Program {

@@ -30,6 +30,10 @@
 
 namespace neve {
 
+namespace snap {
+class Serializer;  // src/snap: serializes ack bookkeeping and counter shards
+}  // namespace snap
+
 // Interrupt id ranges (GICv3 architecture).
 inline constexpr uint32_t kSgiBase = 0;     // 0-15: inter-processor
 inline constexpr uint32_t kPpiBase = 16;    // 16-31: per-CPU peripherals
@@ -151,20 +155,22 @@ class GicV3 : public GicCpuInterface {
     return total;
   }
 
-  int num_cpus_;
-  std::vector<Cpu*> cpus_;
+  friend class snap::Serializer;
+
+  int num_cpus_;            // not-snapshotted: fixed at construction, verified
+  std::vector<Cpu*> cpus_;  // not-snapshotted: host wiring
   // Indexed by CPU: each entry is only touched through that CPU's own ICC
   // interface, so two vCPU lanes never share a slot (the SMP-safety shape
   // the per-CPU ack/EOI shards below follow too).
   std::vector<std::array<LrAckInfo, kNumListRegs>> ack_info_;
-  PhysIrqSink sink_;
-  Observability* obs_ = nullptr;
-  FaultInjector* fault_ = nullptr;
+  PhysIrqSink sink_;                // not-snapshotted: host wiring
+  Observability* obs_ = nullptr;    // not-snapshotted: host wiring
+  FaultInjector* fault_ = nullptr;  // not-snapshotted: host wiring
   // Per-CPU shards (see virtual_acks()/virtual_eois()): slot i is mutated
   // only from CPU i's ack/EOI path, so concurrent lanes never race on a
   // shard and the summed read is exact at quiescence.
-  std::vector<uint64_t> virtual_acks_;
-  std::vector<uint64_t> virtual_eois_;
+  std::vector<uint64_t> virtual_acks_;  // single-mutator: snap restore
+  std::vector<uint64_t> virtual_eois_;  // single-mutator: snap restore
 };
 
 }  // namespace neve

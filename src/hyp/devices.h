@@ -14,6 +14,10 @@
 
 namespace neve {
 
+namespace snap {
+class Serializer;  // src/snap: serializes device-model counters
+}  // namespace snap
+
 class MmioDevice {
  public:
   virtual ~MmioDevice() = default;
@@ -46,7 +50,9 @@ class TestDevice : public MmioDevice {
   uint64_t last_write() const { return last_write_; }
 
  private:
-  uint32_t emulation_cycles_;
+  friend class snap::Serializer;
+
+  uint32_t emulation_cycles_;  // not-snapshotted: fixed at construction
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
   uint64_t last_write_ = 0;

@@ -118,8 +118,10 @@ class GuestEnv {
   void SmpWaitUntil(std::function<bool()> pred);
 
  private:
+  // not-snapshotted: call-stack wiring; a GuestEnv lives in the guest
+  // body's C++ frame, which restore re-creates by replaying the boot.
   Cpu* cpu_;
-  Vcpu* vcpu_;
+  Vcpu* vcpu_;  // not-snapshotted: see cpu_
 };
 
 }  // namespace neve

@@ -42,6 +42,10 @@
 
 namespace neve {
 
+namespace snap {
+class Serializer;  // src/snap: serializes nested-VM and pvcpu contexts
+}  // namespace snap
+
 struct GuestKvmConfig {
   bool vhe = false;  // hosted-VHE design vs split non-VHE design
   // Use a GICv2-style *memory-mapped* hypervisor control interface instead
@@ -150,12 +154,14 @@ class GuestKvm : public Vel2Handler {
   void ForwardToVvel2(GuestEnv& env, Vcpu& vcpu, const Syndrome& s);
   void FixRecursiveShadowFault(GuestEnv& env, Vcpu& vcpu, const Syndrome& s);
 
-  Machine* machine_;
-  GuestKvmConfig config_;
-  GuestPhysView view_;          // our guest-physical space
+  friend class snap::Serializer;
+
+  Machine* machine_;      // not-snapshotted: host wiring
+  GuestKvmConfig config_; // not-snapshotted: fixed at construction, verified
+  GuestPhysView view_;    // not-snapshotted: stateless view over machine mem
   PageAllocator table_alloc_;   // table pages carved from our RAM top
   uint64_t next_nested_ram_;
-  uint64_t nested_ram_end_;
+  uint64_t nested_ram_end_;  // not-snapshotted: fixed geometry, verified
   std::vector<std::unique_ptr<Vm>> vms_;
   std::vector<PvcpuState> pvcpu_;
   // Guards the *map structure* only: SMP-engine lanes running sibling nested
@@ -165,7 +171,7 @@ class GuestKvm : public Vel2Handler {
   mutable Mutex nstate_mu_{"hyp.guest_nstate"};
   std::unordered_map<const Vcpu*, std::unique_ptr<NestedVcpuState>> nstate_
       GUARDED_BY(nstate_mu_);
-  MmioDevice* mmio_backend_ = nullptr;
+  MmioDevice* mmio_backend_ = nullptr;  // not-snapshotted: device wiring
 
  public:
   // The guest-physical view of this hypervisor (for stacking deeper levels).

@@ -472,6 +472,45 @@ Status HostKvm::ConfineGuestFault(Cpu& cpu, Vcpu& vcpu,
                           "' killed)");
 }
 
+void HostKvm::CheckpointVm(Vm& vm) {
+  // Host-side and cycle-free: reading pages and contexts is the simulator's
+  // business, not the guest's, so taking a checkpoint never perturbs the run
+  // (fault_test asserts byte-identity of a checkpointed vs plain run).
+  VmCheckpoint cp;
+  PhysMem& mem = machine_->mem();
+  uint64_t ram_first = vm.ram_base().PageIndex();
+  uint64_t ram_last = (vm.ram_base().value + vm.config().ram_size - 1)
+                      >> kPageShift;
+  for (uint64_t page : mem.ResidentPageIndices()) {
+    if (page < ram_first || page > ram_last) {
+      continue;
+    }
+    VmCheckpointPage p;
+    p.page_index = page;
+    mem.ReadPage(page, &p.data);
+    cp.ram_pages.push_back(std::move(p));
+  }
+  for (int i = 0; i < vm.num_vcpus(); ++i) {
+    Vcpu& vcpu = vm.vcpu(i);
+    std::array<uint64_t, kNumRegIds> regs;
+    for (size_t r = 0; r < kNumRegIds; ++r) {
+      regs[r] = vcpu.vreg(static_cast<RegId>(r));
+    }
+    cp.vregs.push_back(regs);
+    cp.host_state.push_back(HostStateOf(vcpu));
+    if (vcpu.vncr_hw_page.value != 0) {
+      VmCheckpointPage p;
+      p.page_index = vcpu.vncr_hw_page.PageIndex();
+      mem.ReadPage(p.page_index, &p.data);
+      cp.vncr_pages.push_back(std::move(p));
+    }
+  }
+  checkpoints_[&vm] = std::move(cp);
+  if (Observability& obs = machine_->obs(); ObsActive(&obs)) {
+    obs.metrics().Counter("fault.vm_checkpoints").Add(1);
+  }
+}
+
 void HostKvm::RestartVm(Vm& vm) {
   vm.set_dead(false);
   vm.bump_generation();
@@ -481,6 +520,41 @@ void HostKvm::RestartVm(Vm& vm) {
     auto it = vcpu_state_.find(&vcpu);
     if (it != vcpu_state_.end()) {
       *it->second = VcpuHostState{};
+    }
+  }
+  if (auto cpit = checkpoints_.find(&vm); cpit != checkpoints_.end()) {
+    // Reboot from the last checkpoint instead of from scratch: put the VM's
+    // RAM back exactly (resident set included -- pages the guest dirtied
+    // after the checkpoint go back to implicit zero), then the register
+    // files, VNCR pages and host-side contexts.
+    const VmCheckpoint& cp = cpit->second;
+    PhysMem& mem = machine_->mem();
+    uint64_t ram_first = vm.ram_base().PageIndex();
+    uint64_t ram_last = (vm.ram_base().value + vm.config().ram_size - 1)
+                        >> kPageShift;
+    for (uint64_t page : mem.ResidentPageIndices()) {
+      if (page >= ram_first && page <= ram_last) {
+        mem.DropPage(page);
+      }
+    }
+    for (const VmCheckpointPage& p : cp.ram_pages) {
+      mem.WritePage(p.page_index, p.data.data());
+    }
+    for (int i = 0; i < vm.num_vcpus(); ++i) {
+      Vcpu& vcpu = vm.vcpu(i);
+      for (size_t r = 0; r < kNumRegIds; ++r) {
+        vcpu.set_vreg(static_cast<RegId>(r), cp.vregs[i][r]);
+      }
+      auto it = vcpu_state_.find(&vcpu);
+      if (it != vcpu_state_.end()) {
+        *it->second = cp.host_state[i];
+      }
+    }
+    for (const VmCheckpointPage& p : cp.vncr_pages) {
+      mem.WritePage(p.page_index, p.data.data());
+    }
+    if (Observability& obs = machine_->obs(); ObsActive(&obs)) {
+      obs.metrics().Counter("fault.vm_restore_from_checkpoint").Add(1);
     }
   }
   if (Observability& obs = machine_->obs(); ObsActive(&obs)) {

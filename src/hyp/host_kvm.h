@@ -18,6 +18,7 @@
 #ifndef NEVE_SRC_HYP_HOST_KVM_H_
 #define NEVE_SRC_HYP_HOST_KVM_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -31,6 +32,10 @@
 namespace neve {
 
 class GuestFaultException;
+
+namespace snap {
+class Serializer;  // src/snap: serializes pcpu slots and per-vcpu contexts
+}  // namespace snap
 
 struct HostKvmConfig {
   // Host hypervisor operating mode. The paper's testbed host is ARMv8.0
@@ -69,8 +74,22 @@ class HostKvm : public El2Host {
   // Brings a killed VM back: clears the dead flag, resets every vCPU's
   // run-time state (software slots, shadows, pending interrupts, registers)
   // and the host-side per-vcpu context, and bumps the VM's generation.
-  // The caller re-registers software images and calls RunVcpu again.
+  // When a checkpoint taken with CheckpointVm exists, the VM's RAM, virtual
+  // register files, VNCR pages and host-side contexts are then restored from
+  // it -- a reboot from the last known-good memory image rather than from
+  // scratch. The caller re-registers software images and calls RunVcpu again.
   void RestartVm(Vm& vm);
+
+  // Captures a restart checkpoint of `vm`: its resident RAM pages, each
+  // vCPU's virtual register file and VNCR page, and the host-side per-vcpu
+  // contexts. Host-side and cycle-free; callable mid-run (e.g. from guest
+  // software via a host service call, or between RunVcpu entries). A later
+  // RestartVm of the same VM restores from it instead of booting cold.
+  void CheckpointVm(Vm& vm);
+  bool HasCheckpoint(const Vm& vm) const {
+    return checkpoints_.count(&vm) != 0;
+  }
+  void DropCheckpoint(const Vm& vm) { checkpoints_.erase(&vm); }
 
   // Injects a virtual interrupt for `vcpu`. If the vCPU is loaded on another
   // physical CPU, kicks it (physical SGI) and the delivery runs there,
@@ -172,11 +191,28 @@ class HostKvm : public El2Host {
   // state from every pcpu, and restores the host context on `cpu`.
   Status ConfineGuestFault(Cpu& cpu, Vcpu& vcpu, const GuestFaultException& e);
 
-  Machine* machine_;
-  HostKvmConfig config_;
+  // --- restart checkpoints --------------------------------------------------
+  struct VmCheckpointPage {
+    uint64_t page_index = 0;
+    std::array<uint8_t, kPageSize> data;
+  };
+  struct VmCheckpoint {
+    std::vector<VmCheckpointPage> ram_pages;  // resident pages, VM RAM range
+    std::vector<std::array<uint64_t, kNumRegIds>> vregs;  // per vcpu
+    std::vector<VcpuHostState> host_state;                // per vcpu
+    std::vector<VmCheckpointPage> vncr_pages;  // per NEVE vcpu's deferred page
+  };
+
+  friend class snap::Serializer;
+
+  Machine* machine_;      // not-snapshotted: host wiring
+  HostKvmConfig config_;  // not-snapshotted: fixed at construction, verified
   std::vector<std::unique_ptr<Vm>> vms_;
   std::vector<PcpuState> pcpu_;
   std::unordered_map<const Vcpu*, std::unique_ptr<VcpuHostState>> vcpu_state_;
+  // not-snapshotted: restart checkpoints are a host-local recovery aid, not
+  // machine state (a migrated VM starts with none, like a freshly booted one)
+  std::unordered_map<const Vm*, VmCheckpoint> checkpoints_;
 };
 
 }  // namespace neve

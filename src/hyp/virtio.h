@@ -37,6 +37,10 @@ namespace neve {
 
 class FaultInjector;
 
+namespace snap {
+class Serializer;  // src/snap: serializes ring cursors and backend clocks
+}  // namespace snap
+
 struct VringLayout {
   static constexpr int kQueueSize = 16;
   static constexpr uint64_t kDescTable = 0x000;
@@ -120,10 +124,12 @@ class VirtioBackend : public MmioDevice {
   int ProcessAvailLocked(Cpu& cpu) REQUIRES(ring_mu_);
   void ProcessAvailOnThread() REQUIRES(ring_mu_);
 
-  MemIo* guest_mem_;
-  Pa ring_base_;
-  FaultInjector* fault_ = nullptr;
-  uint32_t per_buffer_cycles_;
+  friend class snap::Serializer;
+
+  MemIo* guest_mem_;  // not-snapshotted: host wiring
+  Pa ring_base_;      // not-snapshotted: fixed at construction, verified
+  FaultInjector* fault_ = nullptr;  // not-snapshotted: host wiring
+  uint32_t per_buffer_cycles_;      // not-snapshotted: fixed at construction
   // The backend's ring cursor and work clock: in the SMP future a vhost
   // host-thread drains the ring while vCPU threads kick it, so the shared
   // cursor state is mutex-guarded now (uncontended while each Machine has a
@@ -159,8 +165,10 @@ class VirtioDriver {
   uint64_t posts() const { return posts_; }
 
  private:
-  Va base_;
-  Va doorbell_;
+  friend class snap::Serializer;
+
+  Va base_;      // not-snapshotted: fixed at construction, verified
+  Va doorbell_;  // not-snapshotted: fixed at construction, verified
   uint64_t avail_idx_ = 0;
   uint64_t last_used_ = 0;
   int next_desc_ = 0;

@@ -30,6 +30,10 @@
 
 namespace neve {
 
+namespace snap {
+class Serializer;  // src/snap: serializes vCPU contexts and shadow sets
+}  // namespace snap
+
 struct VmConfig {
   std::string name = "vm";
   int num_vcpus = 1;
@@ -168,8 +172,10 @@ class Vcpu {
   void ResetRuntimeState();
 
  private:
-  Vm* vm_;
-  int id_;
+  friend class snap::Serializer;
+
+  Vm* vm_;   // not-snapshotted: owner backpointer
+  int id_;   // not-snapshotted: construction identity, verified on apply
   uint64_t vregs_[kNumRegIds] = {};
 };
 
@@ -208,14 +214,16 @@ class Vm {
   void bump_generation() { ++generation_; }
 
  private:
-  VmConfig config_;
-  int id_ = -1;
-  bool dead_ = false;
-  uint64_t generation_ = 0;
-  Pa ram_base_;
+  friend class snap::Serializer;
+
+  VmConfig config_;  // not-snapshotted: fixed at CreateVm, verified on apply
+  int id_ = -1;      // not-snapshotted: construction identity, verified
+  bool dead_ = false;  // single-mutator: snap restore runs quiesced
+  uint64_t generation_ = 0;  // single-mutator: snap restore runs quiesced
+  Pa ram_base_;      // not-snapshotted: deterministic carve-out, verified
   Stage2Table s2_;
   std::vector<std::unique_ptr<Vcpu>> vcpus_;
-  std::vector<MmioRange> mmio_;
+  std::vector<MmioRange> mmio_;  // not-snapshotted: device wiring, rebuilt
 };
 
 }  // namespace neve

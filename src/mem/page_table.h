@@ -31,6 +31,10 @@
 
 namespace neve {
 
+namespace snap {
+class Serializer;  // src/snap: re-roots restored table trees
+}  // namespace snap
+
 struct PagePerms {
   bool write = false;
   bool user = false;  // EL0-accessible (Stage-1 only)
@@ -126,8 +130,10 @@ class PageTable {
   // intermediate tables when `create` is set; nullopt when absent.
   std::optional<Pa> DescSlot(uint64_t input_addr, bool create) REQUIRES(mu_);
 
-  MemIo* mem_;
-  PageAllocator* alloc_;
+  friend class snap::Serializer;
+
+  MemIo* mem_;            // not-snapshotted: host wiring
+  PageAllocator* alloc_;  // not-snapshotted: host wiring
   // Serializes structural mutation (Map/Unmap): SMP-engine lanes running
   // sibling nested vCPUs fix up the *shared* nested Stage-2 table
   // concurrently. Walks and root() stay lock-free, as on real hardware (the
@@ -137,7 +143,7 @@ class PageTable {
   // kernels follow. Reset() swaps the root and is owner-serialized (VM
   // teardown/restart, never under the engine).
   mutable Mutex mu_{"mem.page_table"};
-  Pa root_;
+  Pa root_;  // single-mutator: owner-serialized; snap restore quiesced
 };
 
 // Typed wrappers ---------------------------------------------------------------
@@ -158,6 +164,8 @@ class Stage1Table {
   Pa root() const { return table_.root(); }
 
  private:
+  friend class snap::Serializer;
+
   PageTable table_;
 };
 
@@ -179,6 +187,8 @@ class Stage2Table {
   Pa root() const { return table_.root(); }
 
  private:
+  friend class snap::Serializer;
+
   PageTable table_;
 };
 

@@ -1,5 +1,6 @@
 #include "src/mem/phys_mem.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/bits.h"
@@ -36,6 +37,68 @@ const PhysMem::Page* PhysMem::PageForRead(Pa pa) const {
   return it == pages_.end() ? nullptr : it->second.get();
 }
 
+void PhysMem::MarkDirty(uint64_t page_index) {
+  MutexLock lock(pages_mu_);
+  dirty_.insert(page_index);
+}
+
+std::vector<uint64_t> PhysMem::ResidentPageIndices() const {
+  std::vector<uint64_t> out;
+  {
+    MutexLock lock(pages_mu_);
+    out.reserve(pages_.size());
+    for (const auto& [index, page] : pages_) {
+      out.push_back(index);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool PhysMem::ReadPage(uint64_t page_index,
+                       std::array<uint8_t, kPageSize>* out) const {
+  CheckRange(Pa(page_index << kPageShift), kPageSize);
+  MutexLock lock(pages_mu_);
+  auto it = pages_.find(page_index);
+  if (it == pages_.end()) {
+    return false;
+  }
+  *out = *it->second;
+  return true;
+}
+
+void PhysMem::WritePage(uint64_t page_index, const uint8_t* data) {
+  Pa base(page_index << kPageShift);
+  CheckRange(base, kPageSize);
+  Page& page = PageFor(base);
+  std::memcpy(page.data(), data, kPageSize);
+  if (dirty_enabled_) {
+    MarkDirty(page_index);
+  }
+}
+
+void PhysMem::DropPage(uint64_t page_index) {
+  CheckRange(Pa(page_index << kPageShift), kPageSize);
+  MutexLock lock(pages_mu_);
+  pages_.erase(page_index);
+  if (dirty_enabled_) {
+    dirty_.insert(page_index);
+  }
+}
+
+void PhysMem::SetDirtyTracking(bool on) {
+  MutexLock lock(pages_mu_);
+  dirty_enabled_ = on;
+  dirty_.clear();
+}
+
+std::vector<uint64_t> PhysMem::DrainDirtyPages() {
+  MutexLock lock(pages_mu_);
+  std::vector<uint64_t> out(dirty_.begin(), dirty_.end());
+  dirty_.clear();
+  return out;
+}
+
 uint64_t PhysMem::Read64(Pa pa) const {
   CheckRange(pa, 8);
   const Page* page = PageForRead(pa);
@@ -50,6 +113,9 @@ uint64_t PhysMem::Read64(Pa pa) const {
 void PhysMem::Write64(Pa pa, uint64_t value) {
   CheckRange(pa, 8);
   std::memcpy(PageFor(pa).data() + pa.PageOffset(), &value, 8);
+  if (dirty_enabled_) {
+    MarkDirty(pa.PageIndex());
+  }
 }
 
 uint32_t PhysMem::Read32(Pa pa) const {
@@ -66,6 +132,9 @@ uint32_t PhysMem::Read32(Pa pa) const {
 void PhysMem::Write32(Pa pa, uint32_t value) {
   CheckRange(pa, 4);
   std::memcpy(PageFor(pa).data() + pa.PageOffset(), &value, 4);
+  if (dirty_enabled_) {
+    MarkDirty(pa.PageIndex());
+  }
 }
 
 uint8_t PhysMem::Read8(Pa pa) const {
@@ -77,12 +146,18 @@ uint8_t PhysMem::Read8(Pa pa) const {
 void PhysMem::Write8(Pa pa, uint8_t value) {
   CheckRange(pa, 1);
   PageFor(pa)[pa.PageOffset()] = value;
+  if (dirty_enabled_) {
+    MarkDirty(pa.PageIndex());
+  }
 }
 
 void PhysMem::ZeroPage(Pa page_base) {
   NEVE_CHECK(IsAligned(page_base.value, kPageSize));
   CheckRange(page_base, kPageSize);
   PageFor(page_base).fill(0);
+  if (dirty_enabled_) {
+    MarkDirty(page_base.PageIndex());
+  }
 }
 
 PageAllocator::PageAllocator(MemIo* mem, Pa start, uint64_t size)

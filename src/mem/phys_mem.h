@@ -11,7 +11,9 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "src/base/mutex.h"
 #include "src/base/thread_annotations.h"
@@ -19,6 +21,10 @@
 #include "src/mem/mem_io.h"
 
 namespace neve {
+
+namespace snap {
+class Serializer;  // src/snap: serializes the resident page set
+}  // namespace snap
 
 class PhysMem : public MemIo {
  public:
@@ -46,14 +52,43 @@ class PhysMem : public MemIo {
     return pages_.size();
   }
 
+  // --- host-side page access (checkpoint / restore / migration) -----------
+  // None of these charge cycles or appear to the guest; they are the tools
+  // the snap layer and HostKvm::CheckpointVm use to move whole pages.
+
+  // Sorted indices of every materialized page.
+  std::vector<uint64_t> ResidentPageIndices() const;
+
+  // Copies one page out; false (and *out untouched) when not resident.
+  bool ReadPage(uint64_t page_index, std::array<uint8_t, kPageSize>* out) const;
+
+  // Materializes and overwrites one page (counts as a dirtying write).
+  void WritePage(uint64_t page_index, const uint8_t* data);
+
+  // Returns the page to implicit-zero (not resident) state.
+  void DropPage(uint64_t page_index);
+
+  // --- dirty-page tracking (migration pre-copy) ---------------------------
+  // While enabled, every write records its page index. Pure host
+  // bookkeeping: no cycles, no guest-visible effect. Toggled only from
+  // single-threaded migration drivers, never while SMP lanes run.
+  void SetDirtyTracking(bool on);
+  bool dirty_tracking() const { return dirty_enabled_; }
+
+  // Sorted indices dirtied since the last drain; clears the set.
+  std::vector<uint64_t> DrainDirtyPages();
+
  private:
+  friend class snap::Serializer;
+
   using Page = std::array<uint8_t, kPageSize>;
 
   Page& PageFor(Pa pa);
   const Page* PageForRead(Pa pa) const;
   void CheckRange(Pa pa, uint64_t bytes) const;
+  void MarkDirty(uint64_t page_index);
 
-  uint64_t size_;
+  uint64_t size_;  // not-snapshotted: fixed by MachineConfig, verified on apply
   // Guards the *map structure* only: SMP-engine lanes materialize pages
   // concurrently, and an unordered_map rehash races with every lookup. Page
   // payloads need no lock -- a byte is only shared across lanes through the
@@ -63,6 +98,11 @@ class PhysMem : public MemIo {
   mutable Mutex pages_mu_{"mem.phys_pages"};
   mutable std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_
       GUARDED_BY(pages_mu_);
+  // Dirty tracking. The enable flag is read without the lock on the write
+  // fast path; it only ever changes while the machine is single-threaded
+  // (migration drivers toggle it between guest steps).
+  bool dirty_enabled_ = false;  // not-snapshotted: migration-driver toggle
+  std::set<uint64_t> dirty_ GUARDED_BY(pages_mu_);  // not-snapshotted: ditto
 };
 
 // Hands out fresh page-aligned physical pages from a region of PhysMem.
@@ -86,15 +126,17 @@ class PageAllocator {
   }
 
  private:
-  MemIo* mem_;
-  Pa start_;
+  friend class snap::Serializer;
+
+  MemIo* mem_;  // not-snapshotted: host wiring
+  Pa start_;    // not-snapshotted: fixed region geometry, verified on apply
   // Guards the bump pointer: SMP-engine lanes allocate page-table pages
   // concurrently (shadow fixups). NOTE: this makes the *addresses* handed
   // out dependent on lane interleaving -- byte-identity digests must avoid
   // mixing in Pa values (DESIGN.md 6j); page *contents* stay deterministic.
   mutable Mutex mu_{"mem.page_alloc"};
   uint64_t next_ GUARDED_BY(mu_);
-  uint64_t end_;
+  uint64_t end_;  // not-snapshotted: fixed region geometry, verified on apply
 };
 
 }  // namespace neve

@@ -21,6 +21,10 @@ namespace neve {
 
 class FaultInjector;
 
+namespace snap {
+class Serializer;  // src/snap: serializes shadow roots and fixup counters
+}  // namespace snap
+
 // Memory view in a VM's IPA space: every access is translated through the
 // VM's (host-maintained) Stage-2 table before touching the parent address
 // space. The guest hypervisor's own page tables are built over this view,
@@ -40,8 +44,8 @@ class GuestPhysView : public MemIo {
  private:
   Pa Translate(Pa ipa_as_pa, bool is_write) const;
 
-  MemIo* parent_;
-  const Stage2Table* host_s2_;
+  MemIo* parent_;              // not-snapshotted: host wiring
+  const Stage2Table* host_s2_; // not-snapshotted: host wiring
 };
 
 // The host hypervisor's shadow table for one nested VM.
@@ -102,6 +106,8 @@ class ShadowS2 {
   uint64_t host_faults() const { return host_faults_; }
 
  private:
+  friend class snap::Serializer;
+
   FixupResult FinishFault(Ipa l2_ipa, const WalkResult& virt, bool is_write,
                           const Stage2Table& host_s2);
 
@@ -111,7 +117,7 @@ class ShadowS2 {
   uint64_t installed_ = 0;
   uint64_t virtual_faults_ = 0;
   uint64_t host_faults_ = 0;
-  FaultInjector* fault_ = nullptr;
+  FaultInjector* fault_ = nullptr;  // not-snapshotted: host wiring
 };
 
 }  // namespace neve

@@ -52,6 +52,10 @@ namespace neve {
 
 class JsonWriter;
 
+namespace snap {
+class Serializer;  // src/snap: serializes bucket shards and flight records
+}  // namespace snap
+
 // Which virtualization layer the cycles belong to. L0 is the host hypervisor
 // (and the host's own runtime), L1 a VM (or the guest hypervisor inside it),
 // L2 a nested VM.
@@ -220,6 +224,8 @@ class CycleAttribution {
   static void SortBuckets(std::vector<AttrBucket>* rows);
 
  private:
+  friend class snap::Serializer;
+
   struct PerCpu {
     std::vector<uint64_t> stack;  // packed keys, bottom is the root frame
     // This CPU's bucket shard. std::unordered_map guarantees reference

@@ -30,6 +30,10 @@
 
 namespace neve {
 
+namespace snap {
+class Serializer;  // src/snap: serializes the guest-RAM carve-out cursor
+}  // namespace snap
+
 struct MachineConfig {
   int num_cpus = 1;
   uint64_t ram_size = 256ull << 20;        // guest-assignable RAM
@@ -90,7 +94,9 @@ class Machine {
   void PropagateEventTime(Cpu& target, uint64_t raiser_cycles);
 
  private:
-  MachineConfig config_;
+  friend class snap::Serializer;
+
+  MachineConfig config_;  // not-snapshotted: verified for compatibility
   // Declared before cpus_/gic_ so the pointers handed to them outlive their
   // construction and destruction.
   Observability obs_;
@@ -101,7 +107,7 @@ class Machine {
   GicV3 gic_;
   TimerUnit timer_;
   PageAllocator host_pool_;
-  uint64_t next_guest_ram_;
+  uint64_t next_guest_ram_;  // single-mutator: snap restore runs quiesced
   int panic_hook_id_ = 0;
 };
 

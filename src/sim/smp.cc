@@ -138,6 +138,14 @@ void SmpEngine::MergeIfQuiescentLocked() {
   for (const Lane& lane : lanes_) {
     switch (lane.state) {
       case LaneState::kBlocked:
+        if (lane.fault_kind != nullptr) {
+          // Fault-woken but not yet scheduled by the OS: logically this lane
+          // is already running (its wait predicate holds), so the system is
+          // not quiescent. Without this, a merge racing the wake-up would
+          // misclassify the lane as deadlocked and overwrite its pending
+          // fault kind -- an outcome dependent on host scheduling latency.
+          return;
+        }
         any_blocked = true;
         break;
       case LaneState::kFinished:
@@ -284,6 +292,42 @@ void SmpEngine::EnterConfinement(int lane) {
   confinement_active_ = true;
 }
 
+void SmpEngine::Quiesce(int lane, const std::function<void()>& fn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Lane& l = lanes_[lane];
+  l.state = LaneState::kConfining;
+  cv_.notify_all();
+  // Same exclusive-ownership predicate as EnterConfinement: no lane is
+  // executing, and lower-index confiners go first (determinism). Runnable
+  // lanes cannot start while a confiner is pending (slot waits check
+  // ConfinementPendingLocked), so fn owns the whole machine.
+  cv_.wait(lk, [&] {
+    if (confinement_active_) {
+      return false;
+    }
+    for (int i = 0; i < num_lanes_; ++i) {
+      if (i == lane) {
+        continue;
+      }
+      LaneState s = lanes_[i].state;
+      if (s == LaneState::kRunning) {
+        return false;
+      }
+      if (s == LaneState::kConfining && i < lane) {
+        return false;
+      }
+    }
+    return true;
+  });
+  confinement_active_ = true;
+  lk.unlock();
+  fn();
+  lk.lock();
+  confinement_active_ = false;
+  l.state = LaneState::kRunning;
+  cv_.notify_all();
+}
+
 void SmpEngine::ExitConfinement(int lane) {
   std::unique_lock<std::mutex> lk(mu_);
   Lane& l = lanes_[lane];
@@ -297,7 +341,14 @@ void SmpEngine::ExitConfinement(int lane) {
     Lane& sibling = lanes_[i];
     if (sibling.state == LaneState::kBlocked ||
         (sibling.state == LaneState::kRunnable && sibling.in_wait)) {
-      sibling.fault_kind = "smp_sibling_fault";
+      // A sibling that already carries a fault kind (e.g. "smp_deadlock"
+      // assigned at a merge point) was fault-woken before this confinement;
+      // it keeps its original, deterministically-assigned kind. Overwriting
+      // would make the reported fault depend on which thread the OS
+      // scheduled first.
+      if (sibling.fault_kind == nullptr) {
+        sibling.fault_kind = "smp_sibling_fault";
+      }
     }
   }
   // Pending cross-lane events die with the VM they were bound for.

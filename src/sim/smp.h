@@ -108,6 +108,16 @@ class SmpEngine {
   void EnterConfinement(int lane);
   void ExitConfinement(int lane);
 
+  // Runs `fn` with exclusive ownership of the machine, non-destructively:
+  // blocks until no sibling lane is executing simulated code (the same
+  // rendezvous EnterConfinement uses), runs fn on the calling lane's thread,
+  // then resumes normal scheduling. Unlike the confinement pair it does not
+  // fail parked waiters or drop deferred events -- siblings stay parked on
+  // their predicates throughout. Used for host-side whole-machine work at a
+  // rendezvous point (e.g. taking or applying a snapshot while the siblings
+  // wait for a GO IPI). `fn` must not block or re-enter the engine.
+  void Quiesce(int lane, const std::function<void()>& fn);
+
   // The engine driving the calling thread, or null on threads not owned by
   // an engine (the cooperative path checks this to stay synchronous).
   static SmpEngine* Current();

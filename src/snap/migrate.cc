@@ -1,0 +1,232 @@
+#include "src/snap/migrate.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "src/mem/phys_mem.h"
+#include "src/sim/machine.h"
+
+namespace neve {
+namespace snap {
+namespace {
+
+// Wire cost of one page: its contents plus the 8-byte page index.
+constexpr uint64_t kPageWireBytes = kPageSize + 8;
+
+}  // namespace
+
+MigrationEngine::MigrationEngine(const MigrateConfig& cfg) : cfg_(cfg) {
+  NEVE_CHECK_MSG(cfg_.precopy_rounds >= 0, "negative pre-copy round count");
+  NEVE_CHECK_MSG(cfg_.max_attempts >= 1, "migration needs at least 1 attempt");
+  NEVE_CHECK_MSG(cfg_.link.bandwidth_bytes_per_cycle > 0,
+                 "migration link needs positive bandwidth");
+  fault_.Configure(cfg_.fault);
+}
+
+void MigrationEngine::Event(const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  stats_.events.emplace_back(buf);
+}
+
+bool MigrationEngine::Pulse(uint64_t step, const SnapTargets& targets) {
+  NEVE_CHECK_MSG(targets.machine != nullptr, "migration pulse without machine");
+  PhysMem& mem = targets.machine->mem();
+  switch (state_) {
+    case State::kDone:
+      return false;
+    case State::kBackoff:
+      if (backoff_left_ > 0) {
+        --backoff_left_;
+        return false;
+      }
+      state_ = State::kStart;
+      [[fallthrough]];
+    case State::kStart: {
+      ++stats_.attempts;
+      round_ = 0;
+      pending_.clear();
+      if (!mem.dirty_tracking()) {
+        mem.SetDirtyTracking(true);
+      }
+      // A fresh attempt re-sends everything, so the bitmap restarts clean.
+      (void)mem.DrainDirtyPages();
+      for (uint64_t p : mem.ResidentPageIndices()) {
+        pending_.insert(p);
+      }
+      Event("attempt %d: baseline round, %zu resident pages", stats_.attempts,
+            pending_.size());
+      state_ = State::kPrecopy;
+      SendRound(step, mem);
+      return false;
+    }
+    case State::kPrecopy:
+      if (round_ < 1 + cfg_.precopy_rounds) {
+        SendRound(step, mem);
+        return false;
+      }
+      StopCopy(step, targets);
+      return stats_.committed;
+  }
+  return false;
+}
+
+void MigrationEngine::SendRound(uint64_t step, PhysMem& mem) {
+  ++round_;
+  ++stats_.rounds_sent;
+  for (uint64_t p : mem.DrainDirtyPages()) {
+    pending_.insert(p);
+  }
+  const uint64_t n = pending_.size();
+  if (fault_.ShouldInject(FaultPoint::kMigrateLinkDrop, /*cpu=*/0, step,
+                          /*detail=*/n)) {
+    Event("round %d: link dropped, %llu pages deferred", round_,
+          static_cast<unsigned long long>(n));
+    return;  // the pages stay pending and ride the next round
+  }
+  const uint64_t bytes = n * kPageWireBytes;
+  stats_.pages_sent += n;
+  stats_.bytes_sent += bytes;
+  stats_.transfer_cycles += bytes / cfg_.link.bandwidth_bytes_per_cycle;
+  pending_.clear();
+  Event("round %d: sent %llu pages", round_,
+        static_cast<unsigned long long>(n));
+}
+
+void MigrationEngine::StopCopy(uint64_t step, const SnapTargets& targets) {
+  PhysMem& mem = targets.machine->mem();
+  for (uint64_t p : mem.DrainDirtyPages()) {
+    pending_.insert(p);
+  }
+  if (fault_.ShouldInject(FaultPoint::kMigrateSourceCrash, /*cpu=*/0, step)) {
+    Rollback(step, "source migration process crashed before stop-copy");
+    return;
+  }
+  std::vector<uint8_t> stream;
+  Status cap = Serializer::CaptureBytes(targets, &stream);
+  if (!cap.ok()) {
+    Rollback(step, cap.ToString().c_str());
+    return;
+  }
+  // Stop-copy transfers the final dirty delta plus everything in the stream
+  // that is not RAM (CPU/hyp/device state, section framing); the rest of RAM
+  // already crossed during pre-copy.
+  const uint64_t pages_in_image = mem.ResidentPageIndices().size();
+  const uint64_t ram_bytes = pages_in_image * kPageWireBytes;
+  const uint64_t non_ram =
+      stream.size() > ram_bytes ? stream.size() - ram_bytes : stream.size();
+  stats_.stopcopy_bytes = pending_.size() * kPageWireBytes + non_ram;
+  stats_.bytes_sent += stats_.stopcopy_bytes;
+  const double wire_cycles =
+      stats_.stopcopy_bytes / cfg_.link.bandwidth_bytes_per_cycle;
+  stats_.transfer_cycles += wire_cycles;
+
+  if (fault_.ShouldInject(FaultPoint::kMigrateDestOom, /*cpu=*/0, step)) {
+    Rollback(step, "destination out of memory receiving the stream");
+    return;
+  }
+  if (fault_.ShouldInject(FaultPoint::kMigrateStreamTruncation, /*cpu=*/0,
+                          step)) {
+    stream.resize(stream.size() - stream.size() / 4);
+    Event("stop-copy: stream truncated on the wire (%zu bytes survive)",
+          stream.size());
+  }
+  if (fault_.ShouldInject(FaultPoint::kMigratePageCorruption, /*cpu=*/0,
+                          step) &&
+      !stream.empty()) {
+    const uint8_t flip = static_cast<uint8_t>(fault_.CorruptBits() | 1u);
+    stream[stream.size() / 2] ^= flip;
+    Event("stop-copy: byte %zu corrupted on the wire", stream.size() / 2);
+  }
+
+  Image img;
+  Status dec = Serializer::Decode(stream, &img);
+  if (!dec.ok()) {
+    // The destination detected the damage and discarded its half-built
+    // image; the source never stopped. Exactly the failure-atomic outcome.
+    Rollback(step, dec.ToString().c_str());
+    return;
+  }
+  if (fault_.ShouldInject(FaultPoint::kMigrateCommitRace, /*cpu=*/0, step)) {
+    // The destination verified the image but its ACK never arrived. The
+    // source must assume failure (and keep the VM); the destination, seeing
+    // no source handover, discards. Conservative on both sides: never a
+    // fork.
+    Rollback(step, "commit ACK lost; destination discarded verified image");
+    return;
+  }
+
+  image_ = std::move(img);
+  stats_.committed = true;
+  stats_.commit_step = step;
+  stats_.downtime_cycles =
+      wire_cycles + 2.0 * static_cast<double>(cfg_.link.rtt_cycles);
+  state_ = State::kDone;
+  Event("committed at step %llu: stop-copy %llu bytes (%llu dirty pages), "
+        "downtime %.0f cycles",
+        static_cast<unsigned long long>(step),
+        static_cast<unsigned long long>(stats_.stopcopy_bytes),
+        static_cast<unsigned long long>(pending_.size()),
+        stats_.downtime_cycles);
+}
+
+void MigrationEngine::Rollback(uint64_t step, const char* why) {
+  Event("attempt %d rolled back at step %llu: %s", stats_.attempts,
+        static_cast<unsigned long long>(step), why);
+  pending_.clear();
+  if (stats_.attempts >= cfg_.max_attempts) {
+    stats_.gave_up = true;
+    state_ = State::kDone;
+    Event("retries exhausted after %d attempts; VM stays on the source",
+          stats_.attempts);
+    return;
+  }
+  backoff_left_ = cfg_.backoff_base_steps << stats_.attempts;
+  state_ = State::kBackoff;
+  Event("backing off %llu steps before attempt %d",
+        static_cast<unsigned long long>(backoff_left_), stats_.attempts + 1);
+}
+
+Status RunMigration(const SnapSpec& spec, const MigrateConfig& cfg,
+                    MigrationOutcome* out) {
+  NEVE_CHECK_MSG(spec.num_cpus == 1,
+                 "live migration drives the single-vCPU workload");
+  SnapRunner source(spec);
+  MigrationEngine engine(cfg);
+  SnapHooks hooks;
+  const uint64_t interval =
+      cfg.pulse_interval_steps == 0 ? 1 : cfg.pulse_interval_steps;
+  hooks.on_step = [&engine, interval](uint64_t step, const SnapTargets& t) {
+    if (step % interval != 0) {
+      return false;
+    }
+    return engine.Pulse(step, t);
+  };
+  Status src = source.Run(hooks);
+  if (!src.ok()) {
+    return src;
+  }
+  out->stats = engine.stats();
+  out->source_end = source.End();
+  out->vm_on_dest = engine.stats().committed;
+  if (out->vm_on_dest) {
+    SnapRunner dest(spec);
+    SnapHooks resume;
+    resume.resume_image = &engine.image();
+    resume.resume_step = engine.stats().commit_step;
+    Status dst = dest.Run(resume);
+    if (!dst.ok()) {
+      return dst;
+    }
+    out->dest_end = dest.End();
+  }
+  return Status::Ok();
+}
+
+}  // namespace snap
+}  // namespace neve

@@ -1,0 +1,128 @@
+// Failure-atomic live migration of a snapshotted stack over a lossy link.
+//
+// The protocol is the classic pre-copy scheme, driven synchronously from the
+// workload's step loop (a "pulse" between guest steps, costing zero guest
+// cycles):
+//
+//   1. Baseline round: every resident physical page crosses the link; dirty
+//      tracking starts.
+//   2. Pre-copy rounds: each pulse drains the dirty-page bitmap and sends the
+//      delta. A dropped link defers the round's pages to the next one.
+//   3. Stop-copy: the source captures the full snapshot stream, sends the
+//      final dirty delta plus the non-RAM state, and the destination decodes
+//      and verifies it (magic, version, per-section digests, trailing-byte
+//      checks). Downtime is the stop-copy transfer plus one commit-handshake
+//      round trip, computed analytically from the link model.
+//   4. Commit handshake: only a fully verified destination image plus a
+//      delivered ACK commits. Every failure -- truncated stream, corrupted
+//      page, destination OOM, source-side tool crash, lost ACK -- rolls the
+//      attempt back: the destination discards its image, the source keeps
+//      running, and the engine retries after bounded exponential backoff.
+//      Exhausted attempts degrade to "the VM stays on the source". At no
+//      point can the VM be lost (neither side has it) or forked (both sides
+//      run it): the source only stops on a committed handshake, and the
+//      destination only starts from a committed image.
+//
+// Faults are injected from the engine's own FaultInjector (the kMigrate*
+// points), never the machine's, so the guest's execution -- and therefore
+// the bit-identity oracle -- is untouched by migration-layer chaos.
+
+#ifndef NEVE_SRC_SNAP_MIGRATE_H_
+#define NEVE_SRC_SNAP_MIGRATE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault.h"
+#include "src/snap/snap_stack.h"
+#include "src/snap/snapshot.h"
+
+namespace neve {
+namespace snap {
+
+// The simulated migration link.
+struct LinkConfig {
+  double bandwidth_bytes_per_cycle = 64.0;
+  uint64_t rtt_cycles = 2000;  // one way it's rtt/2; the commit ACK costs rtt
+};
+
+struct MigrateConfig {
+  int precopy_rounds = 3;        // dirty-delta rounds after the baseline
+  int max_attempts = 4;          // attempts before the VM stays on the source
+  uint64_t backoff_base_steps = 1;  // backoff after attempt k: base << k
+  uint64_t pulse_interval_steps = 1;  // workload steps between protocol
+                                      // pulses: more steps = more dirty
+                                      // pages per round (bench dial)
+  LinkConfig link;
+  FaultConfig fault;             // for the engine's own injector (kMigrate*)
+};
+
+struct MigrationStats {
+  bool committed = false;
+  bool gave_up = false;          // retries exhausted; VM stays on the source
+  int attempts = 0;              // attempts started
+  uint64_t rounds_sent = 0;      // pre-copy rounds attempted (incl. dropped)
+  uint64_t pages_sent = 0;       // pages that crossed the link
+  uint64_t bytes_sent = 0;       // total bytes across all attempts
+  uint64_t stopcopy_bytes = 0;   // last attempt's stop-copy transfer
+  double downtime_cycles = 0;    // last attempt: stop-copy + commit handshake
+  double transfer_cycles = 0;    // total link time across all attempts
+  uint64_t commit_step = kNoStep;
+  std::vector<std::string> events;
+};
+
+class MigrationEngine {
+ public:
+  explicit MigrationEngine(const MigrateConfig& cfg);
+
+  // The workload pulse (SnapHooks::on_step). Advances the protocol by one
+  // round (or backoff tick) per call; returns true exactly once, when a
+  // commit handshake completes -- the source's signal to stop executing.
+  bool Pulse(uint64_t step, const SnapTargets& targets);
+
+  const MigrationStats& stats() const { return stats_; }
+  // The destination's verified image. Valid only after a committed Pulse.
+  const Image& image() const { return image_; }
+  FaultInjector& fault() { return fault_; }
+
+ private:
+  enum class State { kStart, kPrecopy, kBackoff, kDone };
+
+  void Event(const char* fmt, ...);
+  void SendRound(uint64_t step, PhysMem& mem);
+  void StopCopy(uint64_t step, const SnapTargets& targets);
+  void Rollback(uint64_t step, const char* why);
+
+  MigrateConfig cfg_;
+  FaultInjector fault_;
+  MigrationStats stats_;
+  Image image_;
+
+  State state_ = State::kStart;
+  int round_ = 0;                  // rounds sent in the current attempt
+  uint64_t backoff_left_ = 0;      // pulses to skip before the next attempt
+  std::set<uint64_t> pending_;     // pages owed to the destination
+};
+
+// One full source-vs-destination migration experiment.
+struct MigrationOutcome {
+  MigrationStats stats;
+  bool vm_on_dest = false;  // where the VM ended up running
+  EndState source_end;      // the source stack after its run
+  EndState dest_end;        // valid only when vm_on_dest
+};
+
+// Runs `spec`'s workload on a source stack under a migration engine; on
+// commit, boots a destination stack, applies the transferred image at the
+// commit step, and finishes the workload there. The failure-atomicity
+// invariant callers check: the live side's EndState equals an unmigrated
+// control run's, and exactly one side is live.
+Status RunMigration(const SnapSpec& spec, const MigrateConfig& cfg,
+                    MigrationOutcome* out);
+
+}  // namespace snap
+}  // namespace neve
+
+#endif  // NEVE_SRC_SNAP_MIGRATE_H_

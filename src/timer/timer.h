@@ -47,8 +47,9 @@ class TimerUnit {
  private:
   bool Expired(const Cpu& cpu, uint64_t ctl, uint64_t cval) const;
 
-  GicV3* gic_;
-  uint64_t cycles_per_tick_;
+  GicV3* gic_;  // not-snapshotted: host wiring (timer state lives in the
+                // CPU register file, which the snapshot covers)
+  uint64_t cycles_per_tick_;  // not-snapshotted: fixed at construction
 };
 
 }  // namespace neve

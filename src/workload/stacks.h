@@ -34,6 +34,9 @@ class ArmStack {
   Machine& machine() { return *machine_; }
   HostKvm& host() { return *l0_; }
   TestDevice& device() { return device_; }
+  // The guest hypervisor; null until a nested run has booted it (src/snap
+  // captures and restores its software state).
+  GuestKvm* guest_hyp() { return l1_.get(); }
   bool nested() const { return cfg_.nested; }
   // The L0-level VM (the L1 hypervisor's VM when nested). For tests that
   // inspect per-vCPU state (shadows, pending virqs) after a run.

@@ -378,5 +378,113 @@ TEST(ConfinementTest, TornVirtioRingKillsOnlyTheVm) {
   EXPECT_EQ(machine.fault().count(FaultPoint::kVirtioRingCorruption), 1u);
 }
 
+// --- restart-from-checkpoint -------------------------------------------------
+
+TEST(ConfinementTest, RestartRestoresFromCheckpointExactly) {
+  MachineConfig mc;
+  mc.features = ArchFeatures::Armv83Nv();
+  Machine machine(mc);
+  HostKvm l0(&machine, {});
+  Vm* vm = l0.CreateVm({.name = "phoenix", .ram_size = kVmRam});
+
+  // Phase A: write recognizable state, then checkpoint it.
+  vm->vcpu(0).main_sw.main = [](GuestEnv& env) {
+    for (uint64_t i = 0; i < 8; ++i) {
+      env.Store(Va(0x1000 + 8 * i), 0xA0 + i);
+    }
+  };
+  ASSERT_TRUE(l0.RunVcpu(vm->vcpu(0), 0).ok());
+  l0.CheckpointVm(*vm);
+  ASSERT_TRUE(l0.HasCheckpoint(*vm));
+
+  // Phase B: scribble over phase A, dirty a brand-new page, then die on an
+  // out-of-RAM access.
+  vm->vcpu(0).main_sw = {};
+  vm->vcpu(0).main_sw.main = [](GuestEnv& env) {
+    for (uint64_t i = 0; i < 8; ++i) {
+      env.Store(Va(0x1000 + 8 * i), 0xDEAD);
+    }
+    env.Store(Va(0x9000), 0xBEEF);
+    env.Store(Va(0x5000'0000), 1);
+  };
+  EXPECT_FALSE(l0.RunVcpu(vm->vcpu(0), 0).ok());
+  EXPECT_TRUE(vm->dead());
+
+  // Restart restores the checkpoint: phase A is back byte-for-byte, and the
+  // page first touched after the checkpoint is back to implicit zero.
+  l0.RestartVm(*vm);
+  EXPECT_FALSE(vm->dead());
+  std::vector<uint64_t> vals(8);
+  uint64_t fresh = 1;
+  vm->vcpu(0).main_sw.main = [&](GuestEnv& env) {
+    for (uint64_t i = 0; i < 8; ++i) {
+      vals[i] = env.Load(Va(0x1000 + 8 * i));
+    }
+    fresh = env.Load(Va(0x9000));
+  };
+  ASSERT_TRUE(l0.RunVcpu(vm->vcpu(0), 0).ok());
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(vals[i], 0xA0 + i) << "slot " << i;
+  }
+  EXPECT_EQ(fresh, 0u);
+}
+
+TEST(ConfinementTest, CheckpointKillRestoreIsInvisibleToSibling) {
+  // Two machines run sibling VM b identically; on one of them, VM a also
+  // checkpoints, crashes and restores in between. b must be byte-identical.
+  auto run_b = [](HostKvm& l0, Vm* b) {
+    uint64_t sum = 0;
+    b->vcpu(0).main_sw.main = [&](GuestEnv& env) {
+      for (int i = 0; i < 16; ++i) {
+        env.Store(Va(0x1000 + i * 8), i * 3);
+        sum += env.Load(Va(0x1000 + i * 8));
+      }
+      env.Hvc(kHvcTestCall);
+    };
+    Status s = l0.RunVcpu(b->vcpu(0), 1);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return sum;
+  };
+  auto phase_a = [](Vm* a) {
+    a->vcpu(0).main_sw.main = [](GuestEnv& env) {
+      for (uint64_t i = 0; i < 4; ++i) {
+        env.Store(Va(0x2000 + 8 * i), 0x50 + i);
+      }
+    };
+  };
+
+  MachineConfig mc;
+  mc.num_cpus = 2;
+  mc.features = ArchFeatures::Armv83Nv();
+
+  Machine control(mc);
+  HostKvm control_l0(&control, {});
+  Vm* ca = control_l0.CreateVm({.name = "a", .ram_size = kVmRam});
+  Vm* cb = control_l0.CreateVm({.name = "b", .ram_size = kVmRam});
+  phase_a(ca);
+  ASSERT_TRUE(control_l0.RunVcpu(ca->vcpu(0), 0).ok());
+  uint64_t control_sum = run_b(control_l0, cb);
+
+  Machine machine(mc);
+  HostKvm l0(&machine, {});
+  Vm* a = l0.CreateVm({.name = "a", .ram_size = kVmRam});
+  Vm* b = l0.CreateVm({.name = "b", .ram_size = kVmRam});
+  phase_a(a);
+  ASSERT_TRUE(l0.RunVcpu(a->vcpu(0), 0).ok());
+  l0.CheckpointVm(*a);
+  a->vcpu(0).main_sw = {};
+  a->vcpu(0).main_sw.main = [](GuestEnv& env) {
+    env.Store(Va(0x5000'0000), 1);
+  };
+  EXPECT_FALSE(l0.RunVcpu(a->vcpu(0), 0).ok());
+  l0.RestartVm(*a);
+  uint64_t sum = run_b(l0, b);
+
+  EXPECT_EQ(sum, control_sum);
+  EXPECT_EQ(machine.cpu(1).ArchStateDigest(),
+            control.cpu(1).ArchStateDigest());
+  EXPECT_EQ(machine.cpu(1).cycles(), control.cpu(1).cycles());
+}
+
 }  // namespace
 }  // namespace neve

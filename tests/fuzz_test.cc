@@ -112,6 +112,22 @@ TEST(ProgramTest, HeaderBitsSelectTheCaseConfig) {
   EXPECT_FALSE(p.cfg.fault);
 }
 
+TEST(ProgramTest, SnapRestoreBitDecodesOnlyForNestedNonSmpNonFault) {
+  // Header bit 5 arms the checkpoint/restore dimension, but only where the
+  // snapshot layer can target the stack: mode B, single vCPU, no fault
+  // injection. Elsewhere the bit is inert (and consumes no split byte).
+  Program armed = DecodeProgram({0x21, 0x07, 14, 2, 5});
+  EXPECT_TRUE(armed.cfg.snap_restore);
+  EXPECT_EQ(armed.cfg.snap_at, 0x07);
+  EXPECT_FALSE(DecodeProgram({0x20}).cfg.snap_restore);  // not nested
+  EXPECT_FALSE(DecodeProgram({0x31}).cfg.snap_restore);  // SMP
+  EXPECT_FALSE(DecodeProgram({0x25}).cfg.snap_restore);  // fault armed
+  // When inert, the byte after the header is an op selector, not a cursor.
+  Program inert = DecodeProgram({0x20, 0x07});
+  ASSERT_EQ(inert.ops.size(), 1u);
+  EXPECT_EQ(inert.cfg.snap_at, 0);
+}
+
 TEST(ProgramTest, WritePolicyKeepsTheStackRunnable) {
   // Stage-1 must stay off (guests premap their address spaces), VNCR must
   // not move out from under the host, HCR only flips through the masked op,
@@ -219,6 +235,58 @@ TEST(HarnessTest, CacheSettingNeverChangesTheFullDigest) {
     }
     CaseResult r = RunCase(bytes);
     EXPECT_TRUE(r.ok) << "trial " << trial << ": " << r.failure;
+  }
+}
+
+TEST(HarnessTest, SnapRestoreSplitReproducesTheUninterruptedRun) {
+  // Header 0x21 arms nested + checkpoint/restore, split cursor 2: store
+  // 0x5A..5A to guest RAM, hvc, -- checkpoint / fresh stack / restore --
+  // load it back, read CurrentEl. The load after the restore boundary can
+  // only produce the right digest if the snapshot carried the dirtied RAM
+  // page (and cycles, trap counts, vGIC state) bit-exactly.
+  std::vector<uint8_t> bytes = {0x21, 0x02, 13,   1, 0x10, 0x00, 0x00,
+                                0x40, 3,    11,   0x10, 13,  0,   0x10,
+                                0x00, 0x00, 0x40, 3,    15,  0};
+  Program p = DecodeProgram(bytes);
+  ASSERT_TRUE(p.cfg.snap_restore);
+  ASSERT_EQ(p.ops.size(), 4u);
+  ASSERT_EQ(p.ops[0].kind, OpKind::kMemStore);
+  ASSERT_EQ(p.ops[2].kind, OpKind::kMemLoad);
+  ASSERT_EQ(p.ops[0].addr, p.ops[2].addr);
+
+  CaseResult r = RunCase(bytes);
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(r.execs, 6u);  // 4-variant matrix + one split pair per arch
+
+  RunResult base = RunProgramVariant(p, VariantSpec{.neve = true});
+  RunResult split =
+      RunProgramVariant(p, VariantSpec{.neve = true, .snap_restore = true});
+  EXPECT_EQ(base.full_digest, split.full_digest);
+  EXPECT_EQ(base.arch_digest, split.arch_digest);
+  EXPECT_EQ(base.end_cycles, split.end_cycles);
+  EXPECT_EQ(base.traps, split.traps);
+  EXPECT_EQ(base.ops_executed, split.ops_executed);
+}
+
+TEST(HarnessTest, SnapRestoreSurvivesEverySplitPoint) {
+  // The split cursor maps onto every op boundary, 0 (restore-at-entry)
+  // through N (checkpoint-after-last-op) included; identity must hold at
+  // all of them, SGIs and device MMIO in flight.
+  std::vector<uint8_t> base_bytes = {0x21, 0x00, 14, 2, 5,    11, 0x10,
+                                     13,   1,    9,  0, 0x00, 0x40, 3,
+                                     14,   0,    8,  0, 15,   0};
+  for (uint8_t cursor = 0; cursor <= 5; ++cursor) {
+    std::vector<uint8_t> bytes = base_bytes;
+    bytes[1] = cursor;
+    Program p = DecodeProgram(bytes);
+    ASSERT_TRUE(p.cfg.snap_restore);
+    RunResult base = RunProgramVariant(p, VariantSpec{.neve = true});
+    RunResult split =
+        RunProgramVariant(p, VariantSpec{.neve = true, .snap_restore = true});
+    EXPECT_EQ(base.full_digest, split.full_digest)
+        << "split cursor " << static_cast<int>(cursor);
+    EXPECT_EQ(base.end_cycles, split.end_cycles)
+        << "split cursor " << static_cast<int>(cursor);
   }
 }
 

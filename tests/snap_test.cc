@@ -1,0 +1,294 @@
+// Checkpoint/restore and live-migration tests: the bit-identity contract
+// (restore + continue == uninterrupted control, across every stack shape
+// including 4-vCPU SMP NEVE), byte-determinism of the wire format, decode
+// rejection of damaged streams, structural-mismatch rejection on apply, and
+// the failure-atomic migration invariant (committed -> destination matches
+// control; any failure -> the VM stays on the source, which matches control).
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault.h"
+#include "src/snap/migrate.h"
+#include "src/snap/snap_stack.h"
+#include "src/snap/snapshot.h"
+#include "src/workload/microbench.h"
+
+namespace neve {
+namespace snap {
+namespace {
+
+using testing::HasSubstr;
+
+std::vector<StackConfig> AllStackConfigs() {
+  return {StackConfig::Vm(), StackConfig::NestedV83(false),
+          StackConfig::NestedV83(true), StackConfig::NestedNeve(false),
+          StackConfig::NestedNeve(true)};
+}
+
+std::string CfgName(const StackConfig& cfg) {
+  if (!cfg.nested) {
+    return "vm";
+  }
+  std::string name = cfg.neve ? "neve" : "v83";
+  name += cfg.guest_vhe ? "-vhe" : "-nvhe";
+  return name;
+}
+
+// --- The bit-identity contract ----------------------------------------------
+
+TEST(SnapTest, CheckpointRestoreContinueIsBitIdentical) {
+  for (const StackConfig& cfg : AllStackConfigs()) {
+    SCOPED_TRACE(CfgName(cfg));
+    SnapSpec spec;
+    spec.cfg = cfg;
+    spec.steps = 24;
+
+    SnapRunner control(spec);
+    ASSERT_TRUE(control.Run().ok());
+    const EndState want = control.End();
+
+    // Capture mid-run; the source keeps going, so capturing must be
+    // invisible to the continued run.
+    Image img;
+    SnapHooks cap;
+    cap.checkpoint_step = 10;
+    cap.checkpoint_out = &img;
+    SnapRunner source(spec);
+    ASSERT_TRUE(source.Run(cap).ok());
+    EXPECT_EQ(source.End(), want)
+        << "capture perturbed the source\n  got  " << ToString(source.End())
+        << "\n  want " << ToString(want);
+
+    // Fresh stack, apply, continue from the checkpoint step.
+    SnapHooks res;
+    res.resume_image = &img;
+    res.resume_step = 10;
+    SnapRunner resumed(spec);
+    ASSERT_TRUE(resumed.Run(res).ok());
+    EXPECT_EQ(resumed.End(), want)
+        << "restored run diverged\n  got  " << ToString(resumed.End())
+        << "\n  want " << ToString(want);
+  }
+}
+
+TEST(SnapTest, SmpNeveCheckpointRestoreIsBitIdentical) {
+  SnapSpec spec;
+  spec.cfg = StackConfig::NestedNeve(true);
+  spec.num_cpus = 4;
+  spec.threads = 1;  // Pa allocation order must match across runs
+  spec.steps = 4;    // rendezvous rounds per phase
+
+  SnapRunner control(spec);
+  ASSERT_TRUE(control.Run().ok());
+  const EndState want = control.End();
+
+  Image img;
+  SnapHooks cap;
+  cap.checkpoint_out = &img;
+  SnapRunner source(spec);
+  ASSERT_TRUE(source.Run(cap).ok());
+  EXPECT_EQ(source.End(), want)
+      << "SMP capture perturbed the source\n  got  "
+      << ToString(source.End()) << "\n  want " << ToString(want);
+
+  SnapHooks res;
+  res.resume_image = &img;
+  SnapRunner resumed(spec);
+  ASSERT_TRUE(resumed.Run(res).ok());
+  EXPECT_EQ(resumed.End(), want)
+      << "SMP restored run diverged\n  got  " << ToString(resumed.End())
+      << "\n  want " << ToString(want);
+}
+
+// --- Wire format -------------------------------------------------------------
+
+TEST(SnapTest, EncodeIsByteDeterministic) {
+  SnapSpec spec;
+  spec.cfg = StackConfig::NestedNeve(true);
+  std::vector<uint8_t> streams[2];
+  for (auto& stream : streams) {
+    Image img;
+    SnapHooks cap;
+    cap.checkpoint_step = 10;
+    cap.checkpoint_out = &img;
+    SnapRunner runner(spec);
+    ASSERT_TRUE(runner.Run(cap).ok());
+    stream = Serializer::Encode(img);
+  }
+  ASSERT_FALSE(streams[0].empty());
+  EXPECT_EQ(streams[0], streams[1]);
+}
+
+TEST(SnapTest, DecodeRejectsDamagedStreams) {
+  SnapSpec spec;
+  spec.cfg = StackConfig::NestedV83(true);
+  Image img;
+  SnapHooks cap;
+  cap.checkpoint_step = 5;
+  cap.checkpoint_out = &img;
+  SnapRunner runner(spec);
+  ASSERT_TRUE(runner.Run(cap).ok());
+  const std::vector<uint8_t> good = Serializer::Encode(img);
+
+  Image out;
+  ASSERT_TRUE(Serializer::Decode(good, &out).ok());
+
+  // Truncation anywhere -> OutOfRange.
+  std::vector<uint8_t> truncated(good.begin(),
+                                 good.begin() + good.size() * 3 / 4);
+  Status st = Serializer::Decode(truncated, &out);
+  EXPECT_EQ(st.code(), ErrorCode::kOutOfRange) << st.ToString();
+
+  // A flipped payload byte -> section digest mismatch.
+  std::vector<uint8_t> corrupt = good;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  st = Serializer::Decode(corrupt, &out);
+  EXPECT_FALSE(st.ok());
+
+  // A damaged magic -> invalid.
+  std::vector<uint8_t> bad_magic = good;
+  bad_magic[0] ^= 0xff;
+  st = Serializer::Decode(bad_magic, &out);
+  EXPECT_EQ(st.code(), ErrorCode::kInvalidArgument) << st.ToString();
+
+  // Trailing garbage after the last section -> invalid.
+  std::vector<uint8_t> trailing = good;
+  trailing.push_back(0xab);
+  st = Serializer::Decode(trailing, &out);
+  EXPECT_EQ(st.code(), ErrorCode::kInvalidArgument) << st.ToString();
+  EXPECT_THAT(st.message(), HasSubstr("trailing"));
+}
+
+TEST(SnapTest, ApplyRejectsStructuralMismatchWithoutPanicking) {
+  // A NEVE nested snapshot must not apply to a plain-VM stack: phase-1
+  // structural verification fails with an error Status before any mutation.
+  SnapSpec nested;
+  nested.cfg = StackConfig::NestedNeve(true);
+  Image img;
+  SnapHooks cap;
+  cap.checkpoint_step = 5;
+  cap.checkpoint_out = &img;
+  SnapRunner source(nested);
+  ASSERT_TRUE(source.Run(cap).ok());
+
+  SnapSpec plain;
+  plain.cfg = StackConfig::Vm();
+  SnapHooks res;
+  res.resume_image = &img;
+  res.resume_step = 5;
+  SnapRunner wrong(plain);
+  Status st = wrong.Run(res);
+  EXPECT_EQ(st.code(), ErrorCode::kFailedPrecondition) << st.ToString();
+  EXPECT_THAT(st.message(), HasSubstr("structural mismatch"));
+}
+
+// --- Live migration ----------------------------------------------------------
+
+TEST(SnapTest, FaultFreeMigrationCommitsAndMatchesControl) {
+  for (const StackConfig& cfg : AllStackConfigs()) {
+    SCOPED_TRACE(CfgName(cfg));
+    SnapSpec spec;
+    spec.cfg = cfg;
+    spec.steps = 24;
+
+    SnapRunner control(spec);
+    ASSERT_TRUE(control.Run().ok());
+    const EndState want = control.End();
+
+    MigrateConfig mig;  // fault injection off
+    MigrationOutcome out;
+    ASSERT_TRUE(RunMigration(spec, mig, &out).ok());
+    ASSERT_TRUE(out.stats.committed);
+    ASSERT_TRUE(out.vm_on_dest);
+    EXPECT_GT(out.stats.pages_sent, 0u);
+    EXPECT_GT(out.stats.downtime_cycles, 0.0);
+    EXPECT_EQ(out.dest_end, want)
+        << "migrated run diverged\n  got  " << ToString(out.dest_end)
+        << "\n  want " << ToString(want);
+  }
+}
+
+// One MigrateConfig with exactly one always-firing fault point.
+MigrateConfig AlwaysFault(FaultPoint point) {
+  MigrateConfig mig;
+  mig.fault.enabled = true;
+  mig.fault.seed = 7;
+  mig.fault.rate = 1.0;
+  mig.fault.points = 1u << static_cast<uint32_t>(point);
+  return mig;
+}
+
+TEST(SnapTest, PersistentStreamDamageDegradesToVmStaysOnSource) {
+  const SnapSpec spec = [] {
+    SnapSpec s;
+    s.cfg = StackConfig::NestedNeve(true);
+    s.steps = 40;  // room for every retry to play out
+    return s;
+  }();
+  SnapRunner control(spec);
+  ASSERT_TRUE(control.Run().ok());
+  const EndState want = control.End();
+
+  for (FaultPoint point :
+       {FaultPoint::kMigrateStreamTruncation, FaultPoint::kMigratePageCorruption,
+        FaultPoint::kMigrateDestOom, FaultPoint::kMigrateSourceCrash,
+        FaultPoint::kMigrateCommitRace}) {
+    SCOPED_TRACE(FaultPointName(point));
+    MigrationOutcome out;
+    ASSERT_TRUE(RunMigration(spec, AlwaysFault(point), &out).ok());
+    EXPECT_FALSE(out.stats.committed);
+    EXPECT_TRUE(out.stats.gave_up);
+    EXPECT_EQ(out.stats.attempts, 4);
+    EXPECT_FALSE(out.vm_on_dest);
+    // Failure atomicity: the source never stopped, never forked, and its
+    // continued run is bit-identical to the unmigrated control.
+    EXPECT_EQ(out.source_end, want)
+        << "source diverged after rollback\n  got  "
+        << ToString(out.source_end) << "\n  want " << ToString(want);
+  }
+}
+
+TEST(SnapTest, DroppedLinkDefersPagesToStopCopy) {
+  SnapSpec spec;
+  spec.cfg = StackConfig::NestedNeve(true);
+  spec.steps = 24;
+  SnapRunner control(spec);
+  ASSERT_TRUE(control.Run().ok());
+
+  MigrationOutcome out;
+  ASSERT_TRUE(RunMigration(spec, AlwaysFault(FaultPoint::kMigrateLinkDrop),
+                           &out)
+                  .ok());
+  // Every pre-copy round drops, so nothing crosses early and the whole
+  // image rides the stop-copy -- a commit, just with maximal downtime.
+  ASSERT_TRUE(out.stats.committed);
+  EXPECT_EQ(out.stats.pages_sent, 0u);
+  EXPECT_EQ(out.dest_end, control.End());
+
+  MigrationOutcome clean;
+  ASSERT_TRUE(RunMigration(spec, MigrateConfig{}, &clean).ok());
+  EXPECT_GT(out.stats.downtime_cycles, clean.stats.downtime_cycles);
+}
+
+TEST(SnapTest, MigrationChaosDoesNotPerturbGuestExecution) {
+  // The engine's injector is private to the migration layer: even a fully
+  // faulted campaign leaves the guest's own fault log empty.
+  SnapSpec spec;
+  spec.cfg = StackConfig::NestedV83(false);
+  spec.steps = 40;
+  MigrationOutcome out;
+  ASSERT_TRUE(
+      RunMigration(spec, AlwaysFault(FaultPoint::kMigratePageCorruption), &out)
+          .ok());
+  EXPECT_FALSE(out.stats.committed);
+  EXPECT_THAT(out.stats.events, testing::Not(testing::IsEmpty()));
+}
+
+}  // namespace
+}  // namespace snap
+}  // namespace neve

@@ -646,5 +646,88 @@ TEST(SrcLintTest, LoadRepoSourcesOnMissingRootIsEmpty) {
   EXPECT_TRUE(LoadRepoSources("/nonexistent/path").empty());
 }
 
+// --- snapshot coverage -------------------------------------------------------
+
+namespace snapcov {
+
+const char kSnapSource[] =
+    "void Capture(const Cpu& c) {\n"
+    "  img.cycles = c.cycles_;\n"
+    "}\n";
+
+}  // namespace snapcov
+
+TEST(SrcLintTest, UnserializedStateFieldIsFlagged) {
+  std::vector<Diagnostic> d = LintSources(
+      {{"src/snap/snapshot.cc", snapcov::kSnapSource},
+       {"src/cpu/cpu.h",
+        "class Cpu {\n"
+        "  uint64_t cycles_ = 0;\n"
+        "  uint64_t secret_state_ = 0;\n"
+        "};\n"}});
+  const Diagnostic* diag = Find(d, "snapshot-coverage");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->file, "src/cpu/cpu.h");
+  EXPECT_EQ(diag->line, 3);
+  EXPECT_NE(diag->message.find("secret_state_"), std::string::npos);
+}
+
+TEST(SrcLintTest, SerializedFieldPassesSnapshotCoverage) {
+  std::vector<Diagnostic> d =
+      LintSources({{"src/snap/snapshot.cc", snapcov::kSnapSource},
+                   {"src/cpu/cpu.h",
+                    "class Cpu {\n"
+                    "  uint64_t cycles_ = 0;\n"
+                    "};\n"}});
+  EXPECT_EQ(Find(d, "snapshot-coverage"), nullptr);
+}
+
+TEST(SrcLintTest, NotSnapshottedAnnotationJustifiesAField) {
+  std::vector<Diagnostic> d = LintSources(
+      {{"src/snap/snapshot.cc", snapcov::kSnapSource},
+       {"src/timer/timer.h",
+        "class T {\n"
+        "  GicV3* gic_ = nullptr;  // not-snapshotted: host wiring\n"
+        "  // not-snapshotted: derived from config\n"
+        "  uint64_t period_ = 0;\n"
+        "};\n"}});
+  EXPECT_EQ(Find(d, "snapshot-coverage"), nullptr);
+}
+
+TEST(SrcLintTest, MutexFieldsAreExemptFromSnapshotCoverage) {
+  std::vector<Diagnostic> d =
+      LintSources({{"src/snap/snapshot.cc", snapcov::kSnapSource},
+                   {"src/mem/phys_mem.h",
+                    "class P {\n"
+                    "  mutable Mutex pages_mu_{\"mem.pages\"};\n"
+                    "};\n"}});
+  EXPECT_EQ(Find(d, "snapshot-coverage"), nullptr);
+}
+
+TEST(SrcLintTest, WithoutSnapLayerCoverageRuleStaysSilent) {
+  // Synthetic source sets with no src/snap files (every other lint test)
+  // must not drown in coverage findings.
+  std::vector<Diagnostic> d = Lint("src/cpu/cpu.h",
+                                   "class Cpu {\n"
+                                   "  uint64_t mystery_ = 0;\n"
+                                   "};\n");
+  EXPECT_EQ(Find(d, "snapshot-coverage"), nullptr);
+}
+
+TEST(SrcLintTest, DereferenceIsNotADeclarationSite) {
+  // `return *ptr_;` must not register ptr_ as a declared member (it would
+  // poison both the lockset and the snapshot-coverage catalogs).
+  std::vector<Diagnostic> d = LintSources(
+      {{"src/snap/snapshot.cc", snapcov::kSnapSource},
+       {"src/hyp/host_kvm.h",
+        "class H {\n"
+        " public:\n"
+        "  Machine& machine() { return *wiring_; }\n"
+        " private:\n"
+        "  Machine* wiring_;  // not-snapshotted: host wiring\n"
+        "};\n"}});
+  EXPECT_EQ(Find(d, "snapshot-coverage"), nullptr);
+}
+
 }  // namespace
 }  // namespace neve::analysis

@@ -2,6 +2,13 @@
 //
 //   chaos --mode=campaign [--campaigns=N] [--fault-seed=S] [--fault-rate=R]
 //         [--watchdog=W]
+//   chaos --mode=migrate [--campaigns=N] [--fault-seed=S] [--fault-rate=R]
+//                       seeded live-migration campaigns: N runs per stack
+//                       configuration with the six kMigrate* transport
+//                       faults armed (run 0 of each config is fault-free),
+//                       enforcing failure atomicity -- the VM is never lost
+//                       or forked, and the live side's end state is
+//                       bit-identical to an unmigrated control run
 //   chaos --mode=zero   one fault-free boot per configuration, injector
 //                       armed at rate 0 (prints "config cycles traps")
 //   chaos --mode=off    the same boots with the injector disabled
@@ -30,6 +37,7 @@
 #include "src/fault/fault.h"
 #include "src/hyp/guest_kvm.h"
 #include "src/hyp/host_kvm.h"
+#include "src/snap/migrate.h"
 #include "src/workload/stacks.h"
 
 namespace neve {
@@ -187,6 +195,100 @@ int RunCampaigns(int campaigns, uint64_t base_seed, double rate,
   return t.violations == 0 ? 0 : 1;
 }
 
+// Seeded live-migration chaos: `runs_per_config` migrations per stack
+// configuration with the six kMigrate* transport faults armed (run 0 is
+// fault-free), each checked against an unmigrated control run of the same
+// workload. The failure-atomicity contract:
+//   - never lost or forked: exactly one side is live, and it is the
+//     destination iff the commit handshake completed
+//   - committed  => the destination's EndState is bit-identical to control
+//   - rolled back => the engine gave up after its bounded retries and the
+//     source's EndState is bit-identical to control (migration chaos must
+//     not perturb guest execution)
+//   - run 0 (no faults) must commit
+int RunMigrateCampaigns(int runs_per_config, uint64_t base_seed, double rate) {
+  uint64_t total = 0;
+  uint64_t committed = 0;
+  uint64_t stayed = 0;
+  uint64_t attempts = 0;
+  uint64_t lost_or_forked = 0;
+  uint64_t violations = 0;
+  auto violation = [&](const char* config, uint64_t seed, const char* what) {
+    std::fprintf(stderr, "chaos VIOLATION [migrate %s seed=%" PRIu64 "] %s\n",
+                 config, seed, what);
+    ++violations;
+  };
+  for (size_t c = 0; c < sizeof(kConfigs) / sizeof(kConfigs[0]); ++c) {
+    const NamedConfig& nc = kConfigs[c];
+    snap::SnapSpec spec;
+    spec.cfg = nc.cfg;
+    // The window must outlast the protocol's worst case so every run ends
+    // in a terminal state (committed or gave up), never "still migrating":
+    // 4 attempts x 5 rounds + exponential backoff (2+4+8 pulses) = 34
+    // pulses = 136 steps at the pulse interval below.
+    spec.steps = 160;
+    spec.seed = 11;
+    spec.store_span_pages = 4;
+
+    snap::SnapRunner control(spec);
+    Status cs = control.Run();
+    if (!cs.ok()) {
+      violation(nc.name, 0, "control run failed");
+      continue;
+    }
+    snap::EndState control_end = control.End();
+
+    for (int i = 0; i < runs_per_config; ++i) {
+      uint64_t seed = base_seed * 1000003ull + c * 131ull + i;
+      snap::MigrateConfig mc;
+      mc.precopy_rounds = 3;
+      mc.pulse_interval_steps = 4;
+      mc.fault.enabled = i != 0;  // run 0: fault-free identity check
+      mc.fault.seed = seed;
+      mc.fault.rate = rate;
+      mc.fault.points = kMigrateFaultPoints;
+
+      snap::MigrationOutcome out;
+      Status st = RunMigration(spec, mc, &out);
+      ++total;
+      attempts += static_cast<uint64_t>(out.stats.attempts);
+      if (!st.ok()) {
+        violation(nc.name, seed, "migration run failed structurally");
+        continue;
+      }
+      if (out.vm_on_dest != out.stats.committed) {
+        ++lost_or_forked;
+        violation(nc.name, seed, "VM lost or forked");
+        continue;
+      }
+      if (out.stats.committed) {
+        ++committed;
+        if (!(out.dest_end == control_end)) {
+          violation(nc.name, seed, "destination diverged from control");
+        }
+      } else {
+        ++stayed;
+        if (!out.stats.gave_up) {
+          violation(nc.name, seed, "uncommitted without giving up");
+        }
+        if (!(out.source_end == control_end)) {
+          violation(nc.name, seed, "source diverged from control");
+        }
+      }
+      if (i == 0 && !out.stats.committed) {
+        violation(nc.name, seed, "fault-free migration failed to commit");
+      }
+    }
+  }
+  std::printf("chaos migrate: %" PRIu64 " runs across %zu configs, %" PRIu64
+              " attempts, %" PRIu64 " committed, %" PRIu64
+              " stayed on source, %" PRIu64 " lost/forked, %" PRIu64
+              " violations\n",
+              total, sizeof(kConfigs) / sizeof(kConfigs[0]), attempts,
+              committed, stayed, lost_or_forked, violations);
+  return violations == 0 ? 0 : 1;
+}
+
 // One fault-free boot per configuration. `armed` runs with the injector
 // enabled at rate 0; chaos.sh byte-compares this against the disabled run.
 int RunBaseline(bool armed) {
@@ -233,11 +335,18 @@ int Main(int argc, char** argv) {
     seed = 20170801;  // default campaign family
   }
   double rate = FaultRateFromArgs(argc, argv);
-  if (rate == 0.0) {
-    rate = 0.02;
-  }
   if (mode == "campaign") {
-    return RunCampaigns(campaigns, seed, rate, watchdog);
+    return RunCampaigns(campaigns, seed, rate == 0.0 ? 0.02 : rate, watchdog);
+  }
+  if (mode == "migrate") {
+    // The transport points see only a handful of draw opportunities per run
+    // (one per protocol round), so the default rate is much higher than the
+    // trap-level campaign's: the sweep must reach rollbacks and exhausted
+    // retries, not just clean commits. Nine runs per config x five configs
+    // clears the 40-run campaign floor with the fault-free identity run
+    // included.
+    int runs = campaigns == 12 ? 9 : campaigns;
+    return RunMigrateCampaigns(runs, seed, rate == 0.0 ? 0.25 : rate);
   }
   if (mode == "zero") {
     return RunBaseline(/*armed=*/true);
@@ -245,8 +354,9 @@ int Main(int argc, char** argv) {
   if (mode == "off") {
     return RunBaseline(/*armed=*/false);
   }
-  std::fprintf(stderr, "usage: chaos --mode=campaign|zero|off [--campaigns=N]"
-                       " [--fault-seed=S] [--fault-rate=R] [--watchdog=W]\n");
+  std::fprintf(stderr,
+               "usage: chaos --mode=campaign|migrate|zero|off [--campaigns=N]"
+               " [--fault-seed=S] [--fault-rate=R] [--watchdog=W]\n");
   return 2;
 }
 

@@ -14,6 +14,11 @@
 #                          vs uncached archlint matrix-dump byte comparison
 #   tools/ci.sh chaos      extended fault-injection sweep (tools/chaos.sh)
 #                          against the asan and ubsan builds
+#   tools/ci.sh migrate    seeded migration chaos campaigns (the six
+#                          kMigrate* transport faults, failure atomicity and
+#                          migrate-vs-control byte-identity) on the Release
+#                          and asan builds, plus the downtime bench's JSON
+#                          through bench_json_check
 #   tools/ci.sh fuzz       stackfuzz campaign: 10k-run differential sweep on
 #                          the Release build + regression corpus replay
 #   tools/ci.sh coverage   line-coverage build + per-directory ratchet floors
@@ -169,6 +174,41 @@ run_chaos() {
   done
 }
 
+# Migration chaos: seeded live-migration campaigns with the transport faults
+# armed, on the Release build and again under ASan (rollback paths juggle
+# partially-decoded images -- exactly where lifetime bugs would hide). Run 0
+# of every config is the zero-fault migrate-vs-control byte-identity check;
+# the campaign fails on any lost or forked VM or any end-state divergence.
+# The downtime bench rides along: every cell asserts a committed fault-free
+# migration, and its JSON goes through the schema checker.
+run_migrate() {
+  local runs="${MIGRATE_RUNS:-9}"   # per config, x5 configs => >= 40 runs
+  for name in release asan; do
+    local build_dir="$ROOT/build-ci-$name"
+    if [[ ! -x "$build_dir/tools/chaos" ||
+          ! -x "$build_dir/bench/migrate_downtime" ]]; then
+      echo "==> [migrate/$name] configure + build"
+      case "$name" in
+        release) cmake -B "$build_dir" -S "$ROOT" \
+                   -DCMAKE_BUILD_TYPE=Release >/dev/null ;;
+        asan)    cmake -B "$build_dir" -S "$ROOT" \
+                   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+                   "-DNEVE_SANITIZE=address" >/dev/null ;;
+      esac
+      cmake --build "$build_dir" -j "$JOBS" \
+        --target chaos migrate_downtime bench_json_check >/dev/null
+    fi
+    echo "==> [migrate/$name] $runs migration campaigns per config"
+    "$build_dir/tools/chaos" --mode=migrate --campaigns="$runs"
+    echo "==> [migrate/$name] OK"
+  done
+  echo "==> [migrate] downtime bench -> BENCH_migrate.json"
+  "$ROOT/build-ci-release/bench/migrate_downtime" \
+    --json="$ROOT/BENCH_migrate.json" >/dev/null
+  "$ROOT/build-ci-release/tools/bench_json_check" "$ROOT/BENCH_migrate.json"
+  echo "==> [migrate] OK"
+}
+
 # Differential fuzzing campaign on the Release build: replay the checked-in
 # regression corpus, then run a 10k-case sweep with a date-derived seed so
 # successive CI runs explore different inputs while any single run stays
@@ -221,6 +261,7 @@ case "${1:-all}" in
   tidy)     timed tidy run_tidy ;;
   smoke)    timed smoke run_smoke ;;
   chaos)    timed chaos run_chaos ;;
+  migrate)  timed migrate run_migrate ;;
   fuzz)     timed fuzz run_fuzz ;;
   coverage) timed coverage run_coverage ;;
   all)
@@ -230,12 +271,13 @@ case "${1:-all}" in
     timed ubsan run_ubsan
     timed tsan run_tsan
     timed chaos run_chaos
+    timed migrate run_migrate
     timed fuzz run_fuzz
     timed coverage run_coverage
     timed tidy run_tidy
     ;;
   *)
-    echo "usage: $0 [all|release|asan|ubsan|tsan|tidy|smoke|chaos|fuzz|coverage]" >&2
+    echo "usage: $0 [all|release|asan|ubsan|tsan|tidy|smoke|chaos|migrate|fuzz|coverage]" >&2
     exit 2
     ;;
 esac
