@@ -69,6 +69,22 @@ inline unsigned ThreadsFromArgs(int argc, char** argv) {
   return threads == 0 ? DefaultBenchThreads() : threads;
 }
 
+// Batched superblock execution (src/sim/batch): --batch=on|off, last flag
+// wins, default on (batching is the production path and byte-identical by
+// the engine's design invariant). "off" forces the pure per-op interpreter
+// everywhere -- the baseline half of every batched-vs-interpreted pair and
+// the escape hatch if a batching bug is ever suspected.
+inline bool BatchFromArgs(int argc, char** argv) {
+  constexpr const char kFlag[] = "--batch=";
+  bool batch = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      batch = std::strcmp(argv[i] + sizeof(kFlag) - 1, "off") != 0;
+    }
+  }
+  return batch;
+}
+
 // Fault-injection campaign seed: --fault-seed=N (last flag wins). 0 (the
 // default) leaves injection disabled so every bench stays byte-identical to
 // its uninstrumented behavior unless a campaign is explicitly requested.

@@ -11,6 +11,7 @@
 #include "src/base/table_printer.h"
 #include "src/obs/report.h"
 #include "src/workload/appbench.h"
+#include "src/workload/microbench.h"
 
 namespace neve {
 namespace {
@@ -101,6 +102,7 @@ void Run(const std::string& json_path, unsigned threads) {
 }  // namespace neve
 
 int main(int argc, char** argv) {
+  neve::SetBenchBatchMode(neve::BatchFromArgs(argc, argv));
   neve::Run(neve::JsonOutPath(argc, argv), neve::ThreadsFromArgs(argc, argv));
   return 0;
 }

@@ -22,6 +22,7 @@
 #include "src/base/table_printer.h"
 #include "src/obs/report.h"
 #include "src/snap/migrate.h"
+#include "src/workload/microbench.h"
 
 namespace neve {
 namespace {
@@ -96,6 +97,7 @@ void Run(const std::string& json_path) {
 }  // namespace neve
 
 int main(int argc, char** argv) {
+  neve::SetBenchBatchMode(neve::BatchFromArgs(argc, argv));
   neve::Run(neve::JsonOutPath(argc, argv));
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "src/hyp/guest_kvm.h"
 #include "src/hyp/host_kvm.h"
 #include "src/obs/report.h"
+#include "src/workload/microbench.h"
 
 namespace neve {
 namespace {
@@ -109,6 +110,7 @@ void Run(const std::string& json_path) {
 }  // namespace neve
 
 int main(int argc, char** argv) {
+  neve::SetBenchBatchMode(neve::BatchFromArgs(argc, argv));
   neve::Run(neve::JsonOutPath(argc, argv));
   return 0;
 }

@@ -10,8 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/arch/vncr.h"
 #include "src/obs/attr.h"
+#include "src/sim/batch/batch.h"
 #include "src/workload/microbench.h"
 #include "src/workload/stacks.h"
 
@@ -155,6 +157,69 @@ void BM_NestedHypercallV83Observed(benchmark::State& state) {
 }
 BENCHMARK(BM_NestedHypercallV83Observed);
 
+// --- guest-ops/sec: interpreter vs batched superblock execution --------------
+//
+// The trap-free burst family: a straight-line run of guest ops none of which
+// trap under the stack's configuration, executed through the batch engine's
+// program IR -- per-op interpretation with --batch=off, one compiled block
+// per Run with --batch=on. items_per_second is guest ops retired per host
+// second; the batched/interpreter ratio is the engine's raw speedup, locked
+// by tools/perf_ratchet.txt in CI.
+batch::Program TrapFreeBurst() {
+  batch::Program p;
+  for (int i = 0; i < 8; ++i) {
+    p.ops.push_back({.kind = batch::OpKind::kSysWrite,
+                     .enc = SysReg::kTPIDR_EL1,
+                     .value = static_cast<uint64_t>(i)});
+    p.ops.push_back({.kind = batch::OpKind::kSysRead,
+                     .enc = SysReg::kTPIDR_EL1});
+    p.ops.push_back({.kind = batch::OpKind::kSysWrite,
+                     .enc = SysReg::kCONTEXTIDR_EL1,
+                     .value = static_cast<uint64_t>(i) * 3});
+    p.ops.push_back({.kind = batch::OpKind::kSysRead,
+                     .enc = SysReg::kTPIDR_EL0});
+    p.ops.push_back({.kind = batch::OpKind::kCurrentEl});
+    p.ops.push_back({.kind = batch::OpKind::kCompute, .value = 16});
+    p.ops.push_back({.kind = batch::OpKind::kBarrier});
+    p.ops.push_back({.kind = batch::OpKind::kSysRead,
+                     .enc = SysReg::kCONTEXTIDR_EL1});
+  }
+  p.Finalize();
+  return p;
+}
+
+void RunGuestOpsBurst(benchmark::State& state, StackConfig cfg, bool batch) {
+  cfg.batch = batch;
+  ArmStack stack(cfg, 1);
+  batch::Program burst = TrapFreeBurst();
+  stack.Run([&](GuestEnv& env) {
+    batch::BatchEngine& eng = stack.machine().batch_engine();
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(eng.Run(env.cpu(), burst));
+    }
+  });
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(burst.ops.size()));
+}
+
+#define NEVE_GUEST_OPS_BENCH(tag, config)                            \
+  void BM_GuestOpsBurst_##tag##_interp(benchmark::State& state) {    \
+    RunGuestOpsBurst(state, config, /*batch=*/false);                \
+  }                                                                  \
+  BENCHMARK(BM_GuestOpsBurst_##tag##_interp);                        \
+  void BM_GuestOpsBurst_##tag##_batched(benchmark::State& state) {   \
+    RunGuestOpsBurst(state, config, /*batch=*/true);                 \
+  }                                                                  \
+  BENCHMARK(BM_GuestOpsBurst_##tag##_batched)
+
+NEVE_GUEST_OPS_BENCH(vm, StackConfig::Vm());
+NEVE_GUEST_OPS_BENCH(nested_v83, StackConfig::NestedV83(false));
+NEVE_GUEST_OPS_BENCH(nested_v83_vhe, StackConfig::NestedV83(true));
+NEVE_GUEST_OPS_BENCH(nested_neve, StackConfig::NestedNeve(false));
+NEVE_GUEST_OPS_BENCH(nested_neve_vhe, StackConfig::NestedNeve(true));
+
+#undef NEVE_GUEST_OPS_BENCH
+
 void BM_StackConstruction(benchmark::State& state) {
   for (auto _ : state) {
     ArmStack stack(StackConfig::NestedNeve(false), 1);
@@ -166,9 +231,12 @@ BENCHMARK(BM_StackConstruction);
 }  // namespace
 }  // namespace neve
 
-// BENCHMARK_MAIN plus the repo-wide --json=<path> flag, translated into
-// google-benchmark's JSON reporter so every bench shares one output contract.
+// BENCHMARK_MAIN plus the repo-wide --json=<path> and --batch=on|off flags;
+// --json translates into google-benchmark's JSON reporter so every bench
+// shares one output contract, --batch is consumed here (google-benchmark
+// would reject it) and applied process-wide before any stack is built.
 int main(int argc, char** argv) {
+  neve::SetBenchBatchMode(neve::BatchFromArgs(argc, argv));
   std::vector<std::string> args(argv, argv + argc);
   std::vector<char*> argv2;
   std::string out_flag, fmt_flag;
@@ -178,6 +246,9 @@ int main(int argc, char** argv) {
       out_flag = "--benchmark_out=" + a.substr(sizeof(kFlag) - 1);
       fmt_flag = "--benchmark_out_format=json";
       continue;
+    }
+    if (a.compare(0, 8, "--batch=") == 0) {
+      continue;  // consumed above
     }
     argv2.push_back(a.data());
   }

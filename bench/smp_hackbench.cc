@@ -179,6 +179,7 @@ void Run(const std::string& json_path, int threads) {
 }  // namespace neve
 
 int main(int argc, char** argv) {
+  neve::SetBenchBatchMode(neve::BatchFromArgs(argc, argv));
   neve::Run(neve::JsonOutPath(argc, argv),
             static_cast<int>(neve::ThreadsFromArgs(argc, argv)));
   return 0;

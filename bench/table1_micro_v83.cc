@@ -100,6 +100,7 @@ void Run(const std::string& json_path, unsigned threads) {
 }  // namespace neve
 
 int main(int argc, char** argv) {
+  neve::SetBenchBatchMode(neve::BatchFromArgs(argc, argv));
   neve::SetBenchFaultCampaign(neve::FaultCampaignFromArgs(argc, argv));
   neve::Run(neve::JsonOutPath(argc, argv), neve::ThreadsFromArgs(argc, argv));
   return 0;

@@ -89,6 +89,7 @@ void Run(const std::string& json_path) {
 }  // namespace neve
 
 int main(int argc, char** argv) {
+  neve::SetBenchBatchMode(neve::BatchFromArgs(argc, argv));
   neve::SetBenchFaultCampaign(neve::FaultCampaignFromArgs(argc, argv));
   neve::Run(neve::JsonOutPath(argc, argv));
   return 0;

@@ -12,6 +12,7 @@
 #include "src/base/table_printer.h"
 #include "src/cpu/cpu.h"
 #include "src/obs/report.h"
+#include "src/workload/microbench.h"
 
 namespace neve {
 namespace {
@@ -102,6 +103,7 @@ void Run(const std::string& json_path) {
 }  // namespace neve
 
 int main(int argc, char** argv) {
+  neve::SetBenchBatchMode(neve::BatchFromArgs(argc, argv));
   neve::Run(neve::JsonOutPath(argc, argv));
   return 0;
 }

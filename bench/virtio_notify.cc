@@ -16,6 +16,7 @@
 #include "src/hyp/virtio.h"
 #include "src/obs/report.h"
 #include "src/sim/machine.h"
+#include "src/workload/microbench.h"
 
 namespace neve {
 namespace {
@@ -125,6 +126,7 @@ void Run(const std::string& json_path) {
 }  // namespace neve
 
 int main(int argc, char** argv) {
+  neve::SetBenchBatchMode(neve::BatchFromArgs(argc, argv));
   neve::Run(neve::JsonOutPath(argc, argv));
   return 0;
 }

@@ -528,6 +528,41 @@ void LintAttrCategories(const LintedFile& lf, std::vector<Diagnostic>& d) {
   }
 }
 
+// --- rule: batch-bypass ------------------------------------------------------
+
+// The batch engine's contract is ONE aggregated charge (and one counter
+// delta) per executed block. A per-op Charge/metric call sneaking into a
+// batch-eligible path keeps byte-identity -- the cycles still add up -- so
+// no differential test catches it; what it silently destroys is the
+// aggregation itself, i.e. the engine's entire perf win. Every charging or
+// metric call under src/sim/batch must therefore say which side of the
+// contract it is on: `// block-delta:` (an aggregated per-block apply site)
+// or `// unbatched:` (a deliberate per-op fallback path), on the call's line
+// or the two lines above.
+void LintBatchBypass(const LintedFile& lf, std::vector<Diagnostic>& d) {
+  const SourceFile& f = lf.f;
+  if (f.path.rfind("src/sim/batch/", 0) != 0) {
+    return;
+  }
+  static constexpr const char* kPatterns[] = {
+      "Charge(", "ChargeAttributed(", "ChargeTo(", "Counter(", "Instant("};
+  for (const char* pattern : kPatterns) {
+    for (size_t pos : FindCalls(lf.stripped, pattern)) {
+      if (JustifiedNear(f.content, pos, "block-delta:") ||
+          JustifiedNear(f.content, pos, "unbatched:")) {
+        continue;
+      }
+      d.push_back({f.path, LineOfOffset(f.content, pos), "batch-bypass",
+                   std::string(pattern) +
+                       "...) in the batch layer without a contract marker; "
+                       "annotate it '// block-delta: <why>' (aggregated "
+                       "per-block apply site) or '// unbatched: <why>' "
+                       "(deliberate per-op fallback) within the two "
+                       "preceding lines"});
+    }
+  }
+}
+
 // --- rule: unseeded randomness in the fuzzer ---------------------------------
 
 // The fuzzer's determinism contract (stackfuzz output is a pure function of
@@ -948,6 +983,7 @@ std::vector<Diagnostic> LintSources(const std::vector<SourceFile>& files) {
     LintTrapInstrumentation(lf, d);
     LintGuestReachableAborts(lf, d);
     LintAttrCategories(lf, d);
+    LintBatchBypass(lf, d);
     LintFuzzUnseededRandomness(lf, d);
     LintSpanBalance(lf, d);
   }

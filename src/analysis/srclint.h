@@ -24,6 +24,14 @@
 //                         expression computing one; src/cpu/cpu.cc must keep
 //                         the idle rendezvous and the VNCR redirect on their
 //                         dedicated categories
+//   batch-bypass          charging/metric calls (Charge, ChargeAttributed,
+//                         ChargeTo, Counter, Instant) under src/sim/batch
+//                         without a contract marker; the batch engine's
+//                         aggregated-charge contract requires every such
+//                         site to be annotated `// block-delta: <why>`
+//                         (per-block apply site) or `// unbatched: <why>`
+//                         (deliberate per-op fallback) on the call's line or
+//                         the two lines above
 //   fuzz-unseeded-randomness
 //                         ambient entropy sources (rand, std::random_device,
 //                         mt19937, drand48, ...) anywhere under src/fuzz;

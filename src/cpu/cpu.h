@@ -43,6 +43,10 @@ namespace snap {
 class Serializer;  // src/snap: serializes the register file, TLB and clock
 }  // namespace snap
 
+namespace batch {
+class BatchEngine;  // src/sim/batch: batched superblock execution
+}  // namespace batch
+
 // How a trapped operation completes, decided by the host hypervisor.
 struct TrapOutcome {
   enum class Kind : uint8_t {
@@ -310,6 +314,11 @@ class Cpu {
   }
 
   friend class snap::Serializer;
+  // The batch engine (src/sim/batch) replays precompiled resolutions over
+  // regs_ directly and applies per-block aggregated charges through
+  // Charge/ChargeAttributed -- the same two mutation points, so the
+  // cycles-conserved invariant is untouched by batching.
+  friend class batch::BatchEngine;
 
   int index_;             // not-snapshotted: construction identity, verified
   ArchFeatures features_; // not-snapshotted: fixed by MachineConfig

@@ -154,6 +154,15 @@ class ResolutionCache {
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
 
+  // The current bank's generation: a value-identity fingerprint of the live
+  // (HCR_EL2, VNCR_EL2) configuration, moved by every OnConfigChange to a
+  // genuinely new configuration and *restored* when a warm one returns. The
+  // batch engine (src/sim/batch) keys compiled superblocks on it, which is
+  // how "invalidate formed blocks on any trap-config write" reuses this
+  // cache's generation machinery instead of growing its own. Maintained
+  // even with the cache disabled (OnConfigChange is called unconditionally).
+  uint64_t config_generation() const { return banks_[current_].generation; }
+
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t invalidations() const { return invalidations_; }

@@ -9,6 +9,7 @@
 #include "src/cpu/trap_rules.h"
 #include "src/gic/gic.h"
 #include "src/obs/coverage.h"
+#include "src/sim/batch/batch.h"
 #include "src/snap/snapshot.h"
 #include "src/workload/stacks.h"
 
@@ -120,7 +121,17 @@ class Vel2IrqSink : public Vel2Handler {
 class Executor {
  public:
   Executor(const Program& p, const VariantSpec& v, RunResult* r)
-      : p_(p), v_(v), r_(r), check_(!v.fault.enabled) {}
+      : p_(p), v_(v), r_(r), check_(!v.fault.enabled) {
+    // Static FuzzOp -> batch-IR translation: op kinds with executor-side
+    // semantics (mode-dependent skips, digest side channels, SGI fan-out)
+    // become kOpaque, which the engine treats as block enders it never
+    // interprets; the rest map 1:1 so TryRunBlock can batch trap-free runs.
+    bprog_.ops.reserve(p.ops.size());
+    for (const FuzzOp& op : p.ops) {
+      bprog_.ops.push_back(TranslateOp(op));
+    }
+    bprog_.Finalize();
+  }
 
   void Run() {
     if (p_.cfg.nested) {
@@ -135,6 +146,34 @@ class Executor {
     machine.obs().set_enabled(true);
     for (int i = 0; i < machine.num_cpus(); ++i) {
       machine.cpu(i).resolution_cache().set_enabled(v_.cache_enabled);
+    }
+    // Both batch-on and batch-off variants route RunOps through the engine
+    // (a disabled engine never forms blocks), so the two paths share every
+    // line of mixing code and differ only in this switch.
+    machine.batch_engine().set_enabled(v_.batch);
+    engine_ = &machine.batch_engine();
+  }
+
+  static batch::Op TranslateOp(const FuzzOp& op) {
+    switch (op.kind) {
+      case OpKind::kSysRead:
+        return {.kind = batch::OpKind::kSysRead, .enc = op.enc};
+      case OpKind::kSysWrite:
+        return {.kind = batch::OpKind::kSysWrite,
+                .enc = op.enc,
+                .value = op.value};
+      case OpKind::kCurrentEl:
+        return {.kind = batch::OpKind::kCurrentEl};
+      case OpKind::kWfi:
+        return {.kind = batch::OpKind::kWfi};
+      case OpKind::kBarrier:
+        return {.kind = batch::OpKind::kBarrier};
+      case OpKind::kTlbi:
+        return {.kind = batch::OpKind::kTlbi};
+      case OpKind::kCompute:
+        return {.kind = batch::OpKind::kCompute, .value = op.value};
+      default:
+        return {.kind = batch::OpKind::kOpaque};
     }
   }
 
@@ -301,10 +340,110 @@ class Executor {
   void RunOps(GuestEnv& env) { RunOps(env, 0, p_.ops.size()); }
 
   void RunOps(GuestEnv& env, size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      op_index_ = static_cast<int>(r_->ops_executed);
-      ExecOp(env, p_.ops[i]);
-      ++r_->ops_executed;
+    for (size_t i = begin; i < end;) {
+      batch::BlockRecord rec;
+      size_t consumed =
+          engine_ ? engine_->TryRunBlock(env.cpu(), bprog_, i, end, &rec) : 0;
+      if (consumed == 0) {
+        op_index_ = static_cast<int>(r_->ops_executed);
+        ExecOp(env, p_.ops[i]);
+        ++r_->ops_executed;
+        ++i;
+        continue;
+      }
+      // The engine executed ops [i, i+consumed) as one batched step; the
+      // digest mixing the per-op path would have done is replayed here from
+      // the block record -- byte-identically, because a batched op by
+      // construction takes zero traps and leaves the access context alone.
+      // The record's values are compact (producing ops only, in program
+      // order), so a cursor tracks which result belongs to which op.
+      size_t vi = 0;
+      for (size_t j = 0; j < consumed; ++j) {
+        op_index_ = static_cast<int>(r_->ops_executed);
+        uint64_t value = batch::ProducesValue(bprog_.ops[i + j].kind)
+                             ? rec.values[vi++]
+                             : 0;
+        MixBatchedOp(env, p_.ops[i + j], value);
+        ++r_->ops_executed;
+      }
+      i += consumed;
+    }
+  }
+
+  // Digest/oracle bookkeeping for one op the batch engine already executed.
+  // Mirrors ExecOp line for line with the execution elided and the trap
+  // delta pinned to zero (blocks only form over trap-free resolutions).
+  void MixBatchedOp(GuestEnv& env, const FuzzOp& op, uint64_t value) {
+    switch (op.kind) {
+      case OpKind::kSysRead:
+        MixBatchedSys(env, op.enc, /*is_write=*/false, 0, value);
+        break;
+      case OpKind::kSysWrite:
+        MixBatchedSys(env, op.enc, /*is_write=*/true, op.value, 0);
+        break;
+      case OpKind::kCurrentEl:
+        full_.Mix(DigestOf(0x2200, value));
+        arch_.Mix(DigestOf(0x2201, value));
+        break;
+      case OpKind::kWfi:
+      case OpKind::kTlbi:
+        full_.Mix(DigestOf(0x4400, uint64_t{0}));  // NonSys, zero trap delta
+        break;
+      case OpKind::kBarrier:
+      case OpKind::kCompute:
+        break;  // ExecOp mixes nothing for these
+      default:
+        // Translated to kOpaque, which ends every block: the engine can
+        // never hand one back as batched.
+        NEVE_CHECK(false);
+    }
+  }
+
+  // SysAccess's digest/oracle tail for a batched access. The resolution is
+  // recomputed (stable across the block: no traps, no EL change, no
+  // HCR/VNCR writes inside a block) and the mixing matches SysAccess with
+  // dt == 0 exactly -- same keys, same golden-model updates.
+  void MixBatchedSys(GuestEnv& env, SysReg enc, bool is_write, uint64_t wval,
+                     uint64_t rval) {
+    Cpu& cpu = env.cpu();
+    VcpuMode mode_before = env.vcpu().mode;
+    AccessResolution res =
+        ResolveSysRegAccess(cpu.CurrentAccessContext(), enc, is_write);
+    uint64_t value = is_write ? 0 : rval;
+
+    uint64_t key = static_cast<uint64_t>(enc) * 2 + (is_write ? 1 : 0);
+    full_.Mix(DigestOf(key, value, /*dt=*/uint64_t{0}));
+    if (!is_write && ArchComparableRead(enc, res)) {
+      arch_.Mix(DigestOf(key, value));
+    }
+    features_.push_back(
+        DigestOf(key, (static_cast<uint64_t>(res.kind) << 8) |
+                          (static_cast<uint64_t>(mode_before) << 4) |
+                          (v_.neve ? 1 : 0)));
+
+    if (check_ && res.kind == ResKind::kTrapEl2) {
+      // Unreachable by construction (trapping resolutions end blocks); if it
+      // ever fires the engine batched an access it had no business batching.
+      Violation(enc, is_write, res, mode_before,
+                "batched access resolves to a trap");
+    }
+
+    if (check_ && !p_.cfg.nested && mode_before == VcpuMode::kVel2 &&
+        env.vcpu().mode == VcpuMode::kVel2 && res.kind != ResKind::kUndefined) {
+      RegId storage = SysRegStorage(enc);
+      if (GoldenTracked(storage)) {
+        uint64_t gkey = GoldenKey(storage, res);
+        if (is_write) {
+          golden_[gkey] = wval;
+        } else if (auto it = golden_.find(gkey);
+                   it != golden_.end() && it->second != value) {
+          r_->violations.push_back(
+              "vel2-golden: op " + std::to_string(op_index_) + " " +
+              SysRegName(enc) + " read " + Hex(value) + ", golden model has " +
+              Hex(it->second) + " [" + (v_.neve ? "neve" : "v83") +
+              ", batched]");
+        }
+      }
     }
   }
 
@@ -567,6 +706,8 @@ class Executor {
   const VariantSpec& v_;
   RunResult* r_;
   bool check_;
+  batch::Program bprog_;  // p_.ops translated to the engine's IR
+  batch::BatchEngine* engine_ = nullptr;  // current Machine's; set in Prepare
   int op_index_ = 0;
   Digest full_;
   Digest arch_;
@@ -614,6 +755,48 @@ bool CompareCachePair(const RunResult& on, const RunResult& off,
   if (on.full_digest != off.full_digest) {
     return fail("state digest " + Hex(on.full_digest) + " vs " +
                 Hex(off.full_digest));
+  }
+  return false;
+}
+
+// Byte-identity of a batched run against the interpreted run of the same
+// architecture: the superblock engine is a simulator fast path (like the
+// resolution cache) and must be invisible -- cycles, traps, outcome, fault
+// log and the full per-op digest included.
+bool CompareBatchPair(const RunResult& interp, const RunResult& batched,
+                      const std::string& tag, CaseResult* out) {
+  auto fail = [&](const std::string& what) {
+    out->ok = false;
+    out->failure = "batch-diff[" + tag + "]: " + what;
+    return true;
+  };
+  if (interp.ops_executed != batched.ops_executed) {
+    return fail("ops " + std::to_string(interp.ops_executed) + " vs " +
+                std::to_string(batched.ops_executed));
+  }
+  if (interp.end_cycles != batched.end_cycles) {
+    return fail("cycles " + std::to_string(interp.end_cycles) + " vs " +
+                std::to_string(batched.end_cycles));
+  }
+  if (interp.traps != batched.traps) {
+    return fail("traps " + std::to_string(interp.traps) + " vs " +
+                std::to_string(batched.traps));
+  }
+  if (!(interp.status == batched.status)) {
+    return fail("status " + interp.status.ToString() + " vs " +
+                batched.status.ToString());
+  }
+  if (interp.fault_log != batched.fault_log) {
+    return fail("fault log diverged:\n--- interpreted ---\n" +
+                interp.fault_log + "--- batched ---\n" + batched.fault_log);
+  }
+  if (interp.full_digest != batched.full_digest) {
+    return fail("state digest " + Hex(interp.full_digest) + " vs " +
+                Hex(batched.full_digest));
+  }
+  if (interp.arch_digest != batched.arch_digest) {
+    return fail("guest-visible state " + Hex(interp.arch_digest) + " vs " +
+                Hex(batched.arch_digest));
   }
   return false;
 }
@@ -740,6 +923,19 @@ CaseResult RunCase(const std::vector<uint8_t>& bytes) {
   }
   if (CompareCrossArch(v83_on, nv_on, &out)) {
     return out;
+  }
+
+  if (p.cfg.batch) {
+    RunResult v83_b = RunProgramVariant(p, {.neve = false, .batch = true});
+    RunResult nv_b = RunProgramVariant(p, {.neve = true, .batch = true});
+    out.execs += 2;
+    if (TakeViolations(v83_b, &out) || TakeViolations(nv_b, &out)) {
+      return out;
+    }
+    if (CompareBatchPair(v83_on, v83_b, "v83", &out) ||
+        CompareBatchPair(nv_on, nv_b, "neve", &out)) {
+      return out;
+    }
   }
 
   if (p.cfg.snap_restore) {

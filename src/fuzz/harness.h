@@ -59,6 +59,9 @@ struct VariantSpec {
   bool snap_restore = false;  // split the run: checkpoint mid-program,
                               // restore into a fresh stack, finish there
                               // (mode B only; requires cfg.snap_restore)
+  bool batch = false;         // batched superblock engine (src/sim/batch) on:
+                              // trap-free runs execute as one batched step;
+                              // must be byte-invisible (full identity)
   FaultConfig fault{};        // armed => fault dimension
 };
 
@@ -97,7 +100,11 @@ struct CaseResult {
 //                 Machine, finish there) and must reproduce the
 //                 uninterrupted run's digests byte-for-byte -- a snapshot
 //                 is a simulator artifact and must be invisible to the
-//                 guest, cycles and trap counts included.
+//                 guest, cycles and trap counts included. When cfg.batch is
+//                 armed, each architecture additionally runs once with the
+//                 batched superblock engine enabled, under the same full-
+//                 identity demand (batching is a simulator fast path, like
+//                 the resolution cache).
 CaseResult RunCase(const std::vector<uint8_t>& bytes);
 
 }  // namespace neve::fuzz

@@ -130,8 +130,13 @@ void DecodeFaultConfig(SeedStream& s, FaultConfig* fc) {
   uint32_t points = s.U16() & kAllFaultPoints;
   fc->points = points != 0 ? points : kAllFaultPoints;
   // The kTrapLoop point requires a watchdog; give every fault campaign one
-  // so injected livelocks terminate deterministically.
-  fc->watchdog_budget = 50'000'000;
+  // so injected livelocks terminate deterministically. The budget is sized
+  // to take a few thousand storm iterations -- enough to exercise the
+  // livelock/kill path, small enough that a nested SMP storm (each
+  // iteration a full emulated exit round-trip, per vCPU, per stack variant)
+  // stays in the milliseconds; at 50M cycles a single shrink candidate
+  // could grind for minutes.
+  fc->watchdog_budget = 2'000'000;
 }
 
 }  // namespace
@@ -147,6 +152,7 @@ Program DecodeProgram(const std::vector<uint8_t>& bytes) {
   p.cfg.smp = (header & 16) != 0;
   p.cfg.snap_restore =
       (header & 32) != 0 && p.cfg.nested && !p.cfg.smp && !p.cfg.fault;
+  p.cfg.batch = (header & 64) != 0 && !p.cfg.fault;
   if (p.cfg.fault) {
     DecodeFaultConfig(s, &p.cfg.fault_config);
   }

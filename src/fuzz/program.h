@@ -81,6 +81,15 @@ struct CaseConfig {
   // workload, not an arbitrary op stream).
   bool snap_restore = false;
   uint8_t snap_at = 0;               // raw split cursor (populated when armed)
+
+  // Batched-execution dimension (src/sim/batch): the case additionally runs
+  // each architecture with the batch engine enabled, and the oracle demands
+  // full byte-identity against the interpreted run -- the engine is a
+  // simulator fast path and must be invisible, cycles included. Decoded for
+  // non-fault cases only (with injection armed the engine falls back to
+  // per-op interpretation wholesale, so the pair would compare the
+  // interpreter against itself).
+  bool batch = false;
 };
 
 struct Program {

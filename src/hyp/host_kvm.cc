@@ -1138,12 +1138,30 @@ void HostKvm::OnPhysIrq(int target_pcpu, uint32_t intid,
   cpu.Compute(2 * cpu.cost().gic_vcpuif_access);
   cpu.Compute(SwCost::kIrqTriageHost);
 
-  DeliverVirqsToLoadedVcpu(cpu, *vcpu);
-  if (!ps.guest_loaded) {
-    SwitchIntoGuest(cpu, *vcpu);
+  // Delivery executes guest code -- the L1's virtual-IRQ handler below, the
+  // guest's IRQ vector in DeliverLoadedLrToGuestSw -- outside any RunVcpu
+  // frame: a parked vcpu's entry returned long ago and restored its
+  // deadline. Arm the trap-livelock watchdog for this episode exactly as
+  // RunVcpu arms its entry; without it an injected trap storm inside
+  // delivery spins unbounded (kTrapLoop's arming check sees only the
+  // configured budget, not whether a deadline is live).
+  uint64_t saved_deadline = cpu.watchdog_deadline();
+  uint64_t budget = machine_->config().fault.watchdog_budget;
+  if (budget > 0) {
+    cpu.SetWatchdogDeadline(cpu.cycles() + budget);
   }
-  cpu.Compute(cpu.cost().trap_return);
-  DeliverLoadedLrToGuestSw(cpu, *vcpu);
+  try {
+    DeliverVirqsToLoadedVcpu(cpu, *vcpu);
+    if (!ps.guest_loaded) {
+      SwitchIntoGuest(cpu, *vcpu);
+    }
+    cpu.Compute(cpu.cost().trap_return);
+    DeliverLoadedLrToGuestSw(cpu, *vcpu);
+  } catch (...) {
+    cpu.SetWatchdogDeadline(saved_deadline);
+    throw;
+  }
+  cpu.SetWatchdogDeadline(saved_deadline);
 }
 
 void HostKvm::DeliverVirqsToLoadedVcpu(Cpu& cpu, Vcpu& vcpu) {

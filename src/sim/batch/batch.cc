@@ -1,0 +1,398 @@
+#include "src/sim/batch/batch.h"
+
+#include "src/base/digest.h"
+#include "src/base/status.h"
+#include "src/cpu/cpu.h"
+#include "src/fault/fault.h"
+#include "src/obs/observability.h"
+
+namespace neve::batch {
+
+void Program::Finalize() {
+  Digest d;
+  d.Mix(ops.size());
+  for (const Op& op : ops) {
+    d.Mix(DigestOf(static_cast<uint64_t>(op.kind),
+                   static_cast<uint64_t>(op.enc)));
+    d.Mix(DigestOf(op.value, op.addr, op.imm));
+  }
+  digest_ = d.value() | 1;  // nonzero, so 0 can mean "not finalized"
+}
+
+BatchEngine::BatchEngine(int num_cpus) {
+  NEVE_CHECK(num_cpus > 0);
+  shards_.resize(static_cast<size_t>(num_cpus));
+}
+
+uint64_t BatchEngine::ConfigToken(const Cpu& cpu) {
+  return (cpu.resolution_cache().config_generation() << 3) |
+         (static_cast<uint64_t>(cpu.current_el()) << 1) |
+         (cpu.trap_tlbi() ? 1u : 0u);
+}
+
+bool BatchEngine::Compile(Cpu& cpu, const Program& p, size_t start, size_t end,
+                          CompiledBlock* out) const {
+  const AccessContext ctx = cpu.CurrentAccessContext();
+  const CostModel& cost = cpu.cost();
+  out->actions.clear();
+  out->ops_len = 0;
+  out->n_values = 0;
+  out->plain_cycles = 0;
+  out->vncr_cycles = 0;
+  out->vncr_count = 0;
+  for (size_t i = start; i < end; ++i) {
+    const Op& op = p.ops[i];
+    Action a;
+    a.enc = op.enc;
+    switch (op.kind) {
+      case OpKind::kSysRead:
+      case OpKind::kSysWrite: {
+        bool is_write = op.kind == OpKind::kSysWrite;
+        AccessResolution r = ResolveSysRegAccess(ctx, op.enc, is_write);
+        if (r.kind == AccessResolution::Kind::kRegister) {
+          // Writes landing in HCR_EL2/VNCR_EL2 change the trap configuration
+          // mid-stream: they end the block and run per-op, so the
+          // InvalidateResolutionsFor -> OnConfigChange generation bump fires
+          // exactly as in unbatched execution (and moves this token).
+          if (is_write && (r.target == RegId::kHCR_EL2 ||
+                           r.target == RegId::kVNCR_EL2)) {
+            goto done;
+          }
+          a.kind = is_write ? ActKind::kRegWrite : ActKind::kRegRead;
+          a.slot = static_cast<uint32_t>(r.target);
+          a.imm = op.value;
+          out->plain_cycles += cost.sysreg_access;
+        } else if (r.kind == AccessResolution::Kind::kMemory) {
+          a.kind = is_write ? ActKind::kVncrWrite : ActKind::kVncrRead;
+          a.slot = static_cast<uint32_t>(r.mem_offset);
+          a.imm = op.value;
+          out->vncr_cycles += cost.mem_access;
+          ++out->vncr_count;
+        } else {
+          goto done;  // GIC interface, trap, UNDEFINED: per-op territory
+        }
+        out->actions.push_back(a);
+        break;
+      }
+      case OpKind::kCurrentEl:
+        a.kind = ActKind::kConst;
+        a.imm = static_cast<uint64_t>(ResolveCurrentEl(ctx));
+        out->plain_cycles += cost.sysreg_access;
+        out->actions.push_back(a);
+        break;
+      case OpKind::kWfi:
+        if (ctx.el != El::kEl2 && ctx.hcr.twi()) {
+          goto done;  // traps
+        }
+        out->plain_cycles += cost.wfx;  // charge-only: no action
+        break;
+      case OpKind::kBarrier:
+        out->plain_cycles += cost.barrier;  // charge-only: no action
+        break;
+      case OpKind::kTlbi:
+        if (cpu.trap_tlbi() && ctx.el != El::kEl2) {
+          goto done;  // traps
+        }
+        a.kind = ActKind::kTlbFlush;
+        out->plain_cycles += cost.barrier;
+        out->actions.push_back(a);
+        break;
+      case OpKind::kCompute:
+        // Matches ExecSingleOp's cast; the guest-spin watchdog check is
+        // inert (blocks never form with a deadline armed).
+        out->plain_cycles += static_cast<uint32_t>(op.value);
+        break;
+      case OpKind::kHvc:
+      case OpKind::kEret:
+      case OpKind::kMemLoad:
+      case OpKind::kMemStore:
+      case OpKind::kOpaque:
+        goto done;
+    }
+    ++out->ops_len;
+    if (ProducesValue(op.kind)) {
+      ++out->n_values;
+    }
+  }
+done:
+  if (out->ops_len < kMinBlockOps) {
+    // Negative result, memoized under this token (ops_len == 0 is the
+    // "no block opens here" marker TryRunBlock tests).
+    out->actions.clear();
+    out->ops_len = 0;
+    out->n_values = 0;
+    return false;
+  }
+  return true;
+}
+
+void BatchEngine::Execute(Cpu& cpu, const CompiledBlock& b, CpuShard* shard) {
+  // The tight loop: raw register file + physical memory, no resolution, no
+  // dispatch through Cpu methods, no per-op charges. Produced values append
+  // compactly in action order == producing-op program order (Compile emits
+  // one action per effectful op, in op order).
+  uint64_t* regs = cpu.regs_;
+  PhysMem& mem = cpu.mem();
+  const Pa vncr = b.vncr_count != 0 ? cpu.VncrPage() : Pa(0);
+  if (shard->values.size() < b.n_values) {
+    shard->values.resize(b.n_values);
+  }
+  uint64_t* vals = shard->values.data();
+  size_t nv = 0;
+  for (const Action& a : b.actions) {
+    switch (a.kind) {
+      case ActKind::kRegRead:
+        vals[nv++] = regs[a.slot];
+        break;
+      case ActKind::kRegWrite:
+        regs[a.slot] = a.imm;
+        break;
+      case ActKind::kVncrRead:
+        vals[nv++] = mem.Read64(vncr + a.slot);
+        break;
+      case ActKind::kVncrWrite:
+        mem.Write64(vncr + a.slot, a.imm);
+        break;
+      case ActKind::kConst:
+        vals[nv++] = a.imm;
+        break;
+      case ActKind::kTlbFlush:
+        cpu.DropTlb();
+        break;
+    }
+  }
+  // The aggregated charge, split exactly as the per-op charges would be:
+  // plain cycles to the current attribution frame, VNCR redirect cycles to
+  // their category, so attribution buckets stay byte-identical and the
+  // cycles-conserved invariant holds through batching. Charge takes 32 bits;
+  // chunk (a block's total can in principle exceed one op's ceiling).
+  for (uint64_t left = b.plain_cycles; left > 0;) {
+    uint32_t chunk = left > UINT32_MAX ? UINT32_MAX
+                                       : static_cast<uint32_t>(left);
+    cpu.Charge(chunk);  // block-delta: the aggregated plain-cycle apply site
+    left -= chunk;
+  }
+  for (uint64_t left = b.vncr_cycles; left > 0;) {
+    uint32_t chunk = left > UINT32_MAX ? UINT32_MAX
+                                       : static_cast<uint32_t>(left);
+    // block-delta: the aggregated VNCR-redirect apply site
+    cpu.ChargeAttributed(chunk, AttrCat::kVncrRedirect);
+    left -= chunk;
+  }
+  if (b.vncr_count != 0 && ObsActive(cpu.obs())) {
+    // block-delta: one counter add for the whole block's VNCR redirects
+    cpu.obs()->metrics().Counter("cpu.vncr_redirects").Add(b.vncr_count);
+    // One instant per redirect, as per-op execution emits: identical event
+    // count and names (so trace_dropped_events matches); only the
+    // timestamps coarsen to the block-end cycle.
+    for (const Action& a : b.actions) {
+      if (a.kind == ActKind::kVncrRead || a.kind == ActKind::kVncrWrite) {
+        // block-delta: replay of the block's own redirect events, not per-op
+        cpu.obs()->tracer().Instant(cpu.index(), "vncr", SysRegName(a.enc),
+                                    cpu.cycles());
+      }
+    }
+  }
+  ++shard->blocks_executed;
+  shard->ops_batched += b.ops_len;
+}
+
+size_t BatchEngine::TryRunBlock(Cpu& cpu, const Program& p, size_t start,
+                                size_t end, BlockRecord* rec) {
+  if (!enabled_) {
+    return 0;
+  }
+  NEVE_CHECK_MSG(p.digest() != 0, "Program::Finalize() before execution");
+  NEVE_CHECK(end <= p.ops.size());
+  if (start >= end || end - start < kMinBlockOps) {
+    return 0;
+  }
+  // Fault injection keys off per-op cycle counts and the guest-spin
+  // watchdog checks per-op; with either armed the aggregated charge would
+  // move injection/kill points. Fall back to per-op interpretation wholesale.
+  if (FaultActive(cpu.fault()) || cpu.watchdog_deadline() != 0) {
+    return 0;
+  }
+  // Cheap pre-filter: kinds that can never open a block skip the memo map.
+  switch (p.ops[start].kind) {
+    case OpKind::kHvc:
+    case OpKind::kEret:
+    case OpKind::kMemLoad:
+    case OpKind::kMemStore:
+    case OpKind::kOpaque:
+      return 0;
+    default:
+      break;
+  }
+  CpuShard& shard = shards_[static_cast<size_t>(cpu.index())];
+  const uint64_t token = ConfigToken(cpu);
+  const BlockKey key{p.digest(), start};
+  bool compiled_now = false;
+  CompiledBlock* b = shard.last_block;
+  if (b == nullptr || !(shard.last_key == key) || b->token != token) {
+    // Miss in the monomorphic cache: fall back to the memo map.
+    auto it = shard.blocks.find(key);
+    if (it == shard.blocks.end()) {
+      CompiledBlock nb;
+      nb.token = token;
+      Compile(cpu, p, start, end, &nb);
+      it = shard.blocks.emplace(key, std::move(nb)).first;
+      compiled_now = true;
+    } else if (it->second.token != token) {
+      // The trap configuration moved under this block (HCR/VNCR write, EL
+      // change, trap_tlbi flip) -- the formed block is invalid; recompile
+      // under the new token. Returning to a warm configuration restores its
+      // generation (resolution-cache banks), so the recompiled block
+      // revalidates on the next visit instead of thrashing.
+      ++shard.stale_recompiles;
+      CompiledBlock nb;
+      nb.token = token;
+      Compile(cpu, p, start, end, &nb);
+      it->second = std::move(nb);
+      compiled_now = true;
+    }
+    b = &it->second;
+    shard.last_key = key;
+    shard.last_block = b;
+  }
+  if (b->ops_len == 0) {
+    return 0;  // memoized negative: no trap-free run opens here
+  }
+  if (b->ops_len > end - start) {
+    return 0;  // caller's window is narrower than the formed block
+  }
+  if (compiled_now) {
+    ++shard.blocks_formed;
+  } else {
+    ++shard.memo_hits;
+  }
+  Execute(cpu, *b, &shard);
+  if (rec != nullptr) {
+    rec->values = shard.values.data();
+    rec->len = b->ops_len;
+    rec->n_values = b->n_values;
+  }
+  return b->ops_len;
+}
+
+uint64_t BatchEngine::ExecSingleOp(Cpu& cpu, const Op& op) {
+  // unbatched: the per-op fallback is the interpreter, charge-per-op by
+  // definition; every call here is the baseline the batched path must match.
+  switch (op.kind) {
+    case OpKind::kSysRead:
+      return cpu.SysRegRead(op.enc);
+    case OpKind::kSysWrite:
+      cpu.SysRegWrite(op.enc, op.value);
+      return 0;
+    case OpKind::kCurrentEl:
+      return static_cast<uint64_t>(cpu.ReadCurrentEl());
+    case OpKind::kWfi:
+      cpu.Wfi();
+      return 0;
+    case OpKind::kBarrier:
+      cpu.Barrier();
+      return 0;
+    case OpKind::kTlbi:
+      cpu.TlbiAll();
+      return 0;
+    case OpKind::kCompute:
+      cpu.Compute(static_cast<uint32_t>(op.value));
+      return 0;
+    case OpKind::kHvc:
+      cpu.Hvc(op.imm);
+      return 0;
+    case OpKind::kEret:
+      cpu.EretFromVirtualEl2();
+      return 0;
+    case OpKind::kMemLoad:
+      return cpu.LoadVa(Va(op.addr));
+    case OpKind::kMemStore:
+      cpu.StoreVa(Va(op.addr), op.value);
+      return 0;
+    case OpKind::kOpaque:
+      break;
+  }
+  NEVE_CHECK_MSG(false, "kOpaque ops carry caller-side semantics; the engine "
+                        "cannot interpret them");
+  return 0;
+}
+
+uint64_t BatchEngine::Run(Cpu& cpu, const Program& p) {
+  NEVE_CHECK_MSG(p.digest() != 0, "Program::Finalize() before execution");
+  CpuShard& shard = shards_.at(static_cast<size_t>(cpu.index()));
+  Digest d;
+  size_t i = 0;
+  const size_t n = p.ops.size();
+  while (i < n) {
+    BlockRecord rec;
+    size_t consumed = TryRunBlock(cpu, p, i, n, &rec);
+    if (consumed == 0) {
+      const Op& op = p.ops[i];
+      uint64_t v = ExecSingleOp(cpu, op);
+      if (ProducesValue(op.kind)) {
+        d.Mix(v);
+      }
+      ++shard.ops_interpreted;
+      ++i;
+      continue;
+    }
+    // The compact value record holds exactly the produced results in
+    // program order, so a linear mix matches per-op interpretation's mix
+    // sequence byte for byte.
+    for (size_t k = 0; k < rec.n_values; ++k) {
+      d.Mix(rec.values[k]);
+    }
+    i += consumed;
+  }
+  return d.value();
+}
+
+uint64_t BatchEngine::blocks_formed() const {
+  uint64_t total = 0;
+  for (const CpuShard& s : shards_) {
+    total += s.blocks_formed;
+  }
+  return total;
+}
+
+uint64_t BatchEngine::memo_hits() const {
+  uint64_t total = 0;
+  for (const CpuShard& s : shards_) {
+    total += s.memo_hits;
+  }
+  return total;
+}
+
+uint64_t BatchEngine::stale_recompiles() const {
+  uint64_t total = 0;
+  for (const CpuShard& s : shards_) {
+    total += s.stale_recompiles;
+  }
+  return total;
+}
+
+uint64_t BatchEngine::blocks_executed() const {
+  uint64_t total = 0;
+  for (const CpuShard& s : shards_) {
+    total += s.blocks_executed;
+  }
+  return total;
+}
+
+uint64_t BatchEngine::ops_batched() const {
+  uint64_t total = 0;
+  for (const CpuShard& s : shards_) {
+    total += s.ops_batched;
+  }
+  return total;
+}
+
+uint64_t BatchEngine::ops_interpreted() const {
+  uint64_t total = 0;
+  for (const CpuShard& s : shards_) {
+    total += s.ops_interpreted;
+  }
+  return total;
+}
+
+}  // namespace neve::batch

@@ -1,0 +1,258 @@
+// Batched superblock execution engine (DESIGN.md §6l).
+//
+// The interpreter executes one guest op per Cpu method call: resolve, charge,
+// attribute, bump counters, touch state. For trap-free stretches of a guest
+// program that per-op overhead dominates -- the simulator analogue of staying
+// in TCG when KVM could run the code natively. The BatchEngine recognizes
+// *trap-free runs* of ops at their first execution, compiles each run into a
+// flat action list (the resolved destination devirtualized into a direct
+// register-file slot or VNCR-page offset), and thereafter executes the whole
+// run as one batched step: a tight switch loop over precompiled actions, one
+// aggregated cycle charge, and per-block observability deltas instead of
+// per-op increments.
+//
+// Byte-identity is the design invariant, not an aspiration: a batched block
+// must leave every observation point -- ArchStateDigest, trap counts,
+// metrics, attribution buckets -- exactly where per-op interpretation would
+// have left it. Three mechanisms make that hold by construction:
+//
+//  1. Only ops whose resolution cannot trap under the *current* trap
+//     configuration enter a block. Anything that traps, faults, or changes
+//     the configuration (writes landing in HCR_EL2/VNCR_EL2, TLBI with
+//     trap_tlbi armed, WFI with TWI set, GIC/memory/device ops) ends block
+//     formation and runs through the ordinary per-op path.
+//  2. Compiled blocks are keyed by (program digest, start index, config
+//     token). The token reuses the resolution cache's generation machinery
+//     (ResolutionCache::config_generation): any HCR_EL2/VNCR_EL2 write --
+//     cycle-charged or simulator Poke -- moves the generation, so stale
+//     blocks are unreachable in O(1) and returning to a warm configuration
+//     revalidates its blocks, the world-switch pattern the cache banks were
+//     built for. EL and the trap_tlbi latch complete the token.
+//  3. The aggregated charge splits exactly as the per-op charges would:
+//     plain cycles to the CPU's current attribution frame, VNCR-redirect
+//     cycles to AttrCat::kVncrRedirect, so sum(buckets) == TotalCpuCycles
+//     (the cycles-conserved invariant) holds through batching.
+//
+// Deliberate non-identities, excluded from the definition of "observation
+// point": the resolution-cache meta-counters (cpu.resolve_cache_hits/misses
+// -- batched blocks do not consult the cache; precedent: the cache on/off
+// oracle also excludes them) and trace-event *timestamps* (a block's VNCR
+// instants all carry the block-end cycle; the event count, names and the
+// trace_dropped_events metric stay identical).
+//
+// The engine falls back to per-op interpretation wholesale when fault
+// injection is armed (injection points key off per-op cycle counts) or a
+// trap-livelock watchdog deadline is set (the guest-spin check is per-op).
+// All mutable state is sharded per CPU index, so SMP lanes batch
+// independently with no locks and byte-identical results at every --threads
+// value (smp.h rules).
+
+#ifndef NEVE_SRC_SIM_BATCH_BATCH_H_
+#define NEVE_SRC_SIM_BATCH_BATCH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/arch/sysreg.h"
+#include "src/mem/phys_mem.h"
+
+namespace neve {
+
+class Cpu;
+
+namespace batch {
+
+// One guest operation in the engine's program IR. Values are immediates:
+// the IR has no data flow, mirroring the fuzzer's FuzzOp and the workload
+// bodies (guest programs in this simulator are straight-line op sequences).
+enum class OpKind : uint8_t {
+  kSysRead,    // SysRegRead(enc)
+  kSysWrite,   // SysRegWrite(enc, value)
+  kCurrentEl,  // ReadCurrentEl()
+  kWfi,        // Wfi()
+  kBarrier,    // Barrier()
+  kTlbi,       // TlbiAll()
+  kCompute,    // Compute(value)
+  kHvc,        // Hvc(imm)           -- never batched (always traps)
+  kEret,       // EretFromVirtualEl2() -- never batched
+  kMemLoad,    // LoadVa(addr)       -- never batched (TLB/walk state)
+  kMemStore,   // StoreVa(addr, value) -- never batched
+  kOpaque,     // placeholder the *caller* interprets (fuzz executor ops with
+               // executor-side semantics); ends blocks, inert in ExecSingleOp
+};
+
+struct Op {
+  OpKind kind = OpKind::kOpaque;
+  SysReg enc = static_cast<SysReg>(0);
+  uint64_t value = 0;  // write value / compute cycles
+  uint64_t addr = 0;   // kMemLoad/kMemStore virtual address
+  uint16_t imm = 0;    // kHvc immediate
+};
+
+// True for kinds whose per-op execution returns a value (mixed into Run()'s
+// result digest and surfaced per-op through BlockRecord).
+inline bool ProducesValue(OpKind k) {
+  return k == OpKind::kSysRead || k == OpKind::kCurrentEl ||
+         k == OpKind::kMemLoad;
+}
+
+// An op sequence plus its identity digest (the memoization key's program
+// half). Finalize() after the ops are in place; the engine checks.
+struct Program {
+  std::vector<Op> ops;
+
+  uint64_t digest() const { return digest_; }
+  void Finalize();
+
+ private:
+  uint64_t digest_ = 0;  // 0 = not finalized (Finalize yields nonzero)
+};
+
+// Results of a batched block, valid until the next engine call on the same
+// CPU. `values` is COMPACT: values[0..n_values) are the results of the
+// block's ProducesValue() ops in program order, with non-producing ops
+// contributing no entry. Consumers walking ops [start, start + len) keep a
+// cursor into `values`, advancing it on each producing op -- exactly the
+// order per-op interpretation would surface the same results.
+struct BlockRecord {
+  const uint64_t* values = nullptr;
+  size_t len = 0;       // ops the block consumed
+  size_t n_values = 0;  // produced results in `values`
+};
+
+class BatchEngine {
+ public:
+  // `num_cpus` sizes the per-CPU shards (Machine passes its CPU count).
+  explicit BatchEngine(int num_cpus);
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  // A disabled engine never forms blocks: TryRunBlock returns 0 and Run()
+  // degenerates to the per-op interpreter, which is what makes `--batch=off`
+  // a pure baseline sharing every other line of code with `--batch=on`.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // Tries to execute a batched block starting at p.ops[start], not running
+  // past `end`. Returns the number of ops consumed (>= 2) with *rec filled,
+  // or 0 when no block forms there (caller interprets p.ops[start] itself).
+  // A consumed run is fully executed: charges applied, state mutated,
+  // per-block observability deltas emitted.
+  size_t TryRunBlock(Cpu& cpu, const Program& p, size_t start, size_t end,
+                     BlockRecord* rec);
+
+  // Executes the whole program, batching where possible, and returns an
+  // order-stable digest of every value the program produced (reads and
+  // CurrentEL results). Identical with the engine enabled or disabled -- the
+  // byte-identity tests hang off this return value plus the Cpu-side
+  // observation points.
+  uint64_t Run(Cpu& cpu, const Program& p);
+
+  // The per-op fallback: interprets one op exactly as unbatched execution
+  // would, returning the produced value (0 for non-producing kinds). Public
+  // so tests can drive the two paths explicitly.
+  static uint64_t ExecSingleOp(Cpu& cpu, const Op& op);
+
+  // --- engine meta-counters (host-side; aggregated over CPU shards) -------
+  uint64_t blocks_formed() const;     // compilations (first sight of a run)
+  uint64_t memo_hits() const;         // executions served by a warm block
+  uint64_t stale_recompiles() const;  // token moved under a formed block
+  uint64_t blocks_executed() const;   // total batched steps
+  uint64_t ops_batched() const;       // ops executed inside batched steps
+  uint64_t ops_interpreted() const;   // Run()'s per-op fallback executions
+
+ private:
+  enum class ActKind : uint8_t {
+    kRegRead,    // value = regs[slot]
+    kRegWrite,   // regs[slot] = imm
+    kVncrRead,   // value = mem[vncr_page + slot]
+    kVncrWrite,  // mem[vncr_page + slot] = imm
+    kConst,      // value = imm (CurrentEL under a fixed context)
+    kTlbFlush,   // TLB invalidate (charge aggregated; drop is per-action)
+  };
+  // Charge-only ops (barrier, compute, untrapped WFI) have no ActKind: they
+  // fold into CompiledBlock::plain_cycles at compile time.
+
+  // One devirtualized step: the resolution pipeline's verdict flattened to a
+  // direct register-slot / VNCR-offset action, so the batched loop never
+  // consults ResolveSysRegAccess, the resolution cache, or a vtable.
+  struct Action {
+    ActKind kind = ActKind::kRegRead;
+    SysReg enc = static_cast<SysReg>(0);  // original encoding (VNCR tracing)
+    uint32_t slot = 0;                    // register slot or VNCR offset
+    uint64_t imm = 0;                     // write value / constant
+  };
+
+  // A compiled block covers ops_len ops but stores only the EFFECTFUL ones
+  // as actions: charge-only ops (barrier, compute, untrapped WFI) fold into
+  // plain_cycles at compile time and cost nothing per execution. ops_len ==
+  // 0 marks a memoized negative (no trap-free run opens at this key).
+  struct CompiledBlock {
+    uint64_t token = 0;  // config token the block was compiled under
+    std::vector<Action> actions;
+    uint32_t ops_len = 0;   // ops the block covers (>= actions.size())
+    uint32_t n_values = 0;  // ProducesValue ops among them
+    uint64_t plain_cycles = 0;  // charged to the current attribution frame
+    uint64_t vncr_cycles = 0;   // charged to AttrCat::kVncrRedirect
+    uint32_t vncr_count = 0;    // cpu.vncr_redirects delta + instant events
+  };
+
+  struct BlockKey {
+    uint64_t program_digest = 0;
+    uint64_t start = 0;
+    bool operator==(const BlockKey&) const = default;
+  };
+  struct BlockKeyHash {
+    size_t operator()(const BlockKey& k) const {
+      return static_cast<size_t>(k.program_digest ^
+                                 (k.start * 0x9E3779B97F4A7C15ull));
+    }
+  };
+
+  // Per-CPU shard: SMP lanes touch only their own index, keeping the engine
+  // lock-free and deterministic (smp.h rule 2). Mutated only from batch.cc
+  // on the owning lane's thread; aggregate readers run quiesced.
+  struct CpuShard {
+    std::unordered_map<BlockKey, CompiledBlock, BlockKeyHash> blocks;
+    // Monomorphic-call-site cache: the block the last TryRunBlock resolved
+    // to, keyed so a hit skips the hash lookup entirely. Pointers into
+    // `blocks` stay valid across inserts (unordered_map rehash moves no
+    // elements) and stale-token overwrites reuse the node, so the cached
+    // pointer can dangle only on erase -- which the engine never does.
+    BlockKey last_key{};
+    CompiledBlock* last_block = nullptr;
+    std::vector<uint64_t> values;  // BlockRecord backing store, reused
+    uint64_t blocks_formed = 0;
+    uint64_t memo_hits = 0;
+    uint64_t stale_recompiles = 0;
+    uint64_t blocks_executed = 0;
+    uint64_t ops_batched = 0;
+    uint64_t ops_interpreted = 0;
+  };
+
+  // The trap-configuration identity a block is valid under: the resolution
+  // cache's bank generation (moves on every HCR_EL2/VNCR_EL2 write, restores
+  // on return to a warm configuration) plus EL and the trap_tlbi latch.
+  static uint64_t ConfigToken(const Cpu& cpu);
+
+  // Compiles a maximal trap-free run of ops[start..end) under the current
+  // configuration. Returns false when fewer than kMinBlockOps ops qualify.
+  bool Compile(Cpu& cpu, const Program& p, size_t start, size_t end,
+               CompiledBlock* out) const;
+
+  // Executes a compiled block: the flattened action loop, then the
+  // aggregated charges and per-block observability deltas.
+  void Execute(Cpu& cpu, const CompiledBlock& b, CpuShard* shard);
+
+  static constexpr size_t kMinBlockOps = 2;  // below this, batching is noise
+
+  bool enabled_ = true;
+  std::vector<CpuShard> shards_;
+};
+
+}  // namespace batch
+}  // namespace neve
+
+#endif  // NEVE_SRC_SIM_BATCH_BATCH_H_

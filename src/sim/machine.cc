@@ -14,8 +14,10 @@ Machine::Machine(const MachineConfig& config)
       mem_(config.ram_size + config.host_pool_size),
       gic_(config.num_cpus),
       timer_(&gic_, config.cycles_per_timer_tick),
+      batch_(config.num_cpus),
       host_pool_(&mem_, Pa(config.ram_size), config.host_pool_size),
       next_guest_ram_(0) {
+  batch_.set_enabled(config.batch);
   NEVE_CHECK(config.num_cpus > 0);
   NEVE_CHECK(IsAligned(config.ram_size, kPageSize));
   NEVE_CHECK(IsAligned(config.host_pool_size, kPageSize));

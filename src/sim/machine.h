@@ -26,6 +26,7 @@
 #include "src/mem/phys_mem.h"
 #include "src/obs/attr.h"
 #include "src/obs/observability.h"
+#include "src/sim/batch/batch.h"
 #include "src/timer/timer.h"
 
 namespace neve {
@@ -43,6 +44,11 @@ struct MachineConfig {
   uint64_t cycles_per_timer_tick = 24;     // 2.4 GHz CPU, 100 MHz counter
   uint64_t ipi_wire_latency = 150;         // cycles for a cross-CPU signal
   FaultConfig fault{};                     // fault-injection campaign (off)
+  // Batched superblock execution (src/sim/batch). On by default: batching is
+  // the production path, byte-identical to per-op interpretation by the
+  // engine's design invariant; `false` forces the pure interpreter (the
+  // `--batch=off` baseline on every bench).
+  bool batch = true;
 };
 
 class Machine {
@@ -82,6 +88,12 @@ class Machine {
   CycleAttribution& attr() { return attr_; }
   const CycleAttribution& attr() const { return attr_; }
 
+  // Machine-wide batched execution engine (src/sim/batch), one per-CPU shard
+  // per CPU. Enabled from config().batch; a disabled engine degenerates to
+  // per-op interpretation, so callers route through it unconditionally.
+  batch::BatchEngine& batch_engine() { return batch_; }
+  const batch::BatchEngine& batch_engine() const { return batch_; }
+
   // Sum of every CPU's cycle clock (the conservation invariant's right-hand
   // side).
   uint64_t TotalCpuCycles() const;
@@ -106,6 +118,7 @@ class Machine {
   std::vector<std::unique_ptr<Cpu>> cpus_;
   GicV3 gic_;
   TimerUnit timer_;
+  batch::BatchEngine batch_;
   PageAllocator host_pool_;
   uint64_t next_guest_ram_;  // single-mutator: snap restore runs quiesced
   int panic_hook_id_ = 0;

@@ -5,6 +5,7 @@
 
 #include "src/base/status.h"
 #include "src/gic/gic.h"
+#include "src/sim/batch/batch.h"
 #include "src/workload/stacks.h"
 
 namespace neve {
@@ -14,6 +15,17 @@ constexpr int kWarmupIters = 4;
 constexpr uint32_t kBenchSgi = 5;
 constexpr uint32_t kEoiIntid = 40;
 constexpr uint64_t kFlagVa = 0x1000;  // shared guest page for the IPI ack
+
+// The bench bodies are op sequences, so they run through the batch engine's
+// program IR (per-op fallback for everything that traps -- identical ops,
+// identical cycles and trap counts, which is what keeps the golden
+// trap_counts.json byte-stable with batching on or off).
+batch::Program RepeatOp(const batch::Op& op, int count) {
+  batch::Program p;
+  p.ops.assign(static_cast<size_t>(count), op);
+  p.Finalize();
+  return p;
+}
 
 // Per-run measurement capture.
 struct Measure {
@@ -46,31 +58,35 @@ GuestMain MakeBenchBody(MicrobenchKind kind, ArmStack* stack, Measure* m,
   switch (kind) {
     case MicrobenchKind::kHypercall:
       return [=](GuestEnv& env) {
-        for (int i = 0; i < kWarmupIters; ++i) {
-          env.Hvc(kHvcTestCall);
-        }
+        batch::BatchEngine& eng = stack->machine().batch_engine();
+        batch::Op hvc{.kind = batch::OpKind::kHvc, .imm = kHvcTestCall};
+        eng.Run(env.cpu(), RepeatOp(hvc, kWarmupIters));
+        batch::Program measured = RepeatOp(hvc, iterations);
         m->Begin(env.cpu());
-        for (int i = 0; i < iterations; ++i) {
-          env.Hvc(kHvcTestCall);
-        }
+        eng.Run(env.cpu(), measured);
         m->End(env.cpu());
       };
     case MicrobenchKind::kDeviceIo:
       return [=](GuestEnv& env) {
-        for (int i = 0; i < kWarmupIters; ++i) {
-          (void)env.Load(Va(kBenchDeviceBase));
-        }
+        batch::BatchEngine& eng = stack->machine().batch_engine();
+        batch::Op load{.kind = batch::OpKind::kMemLoad,
+                       .addr = kBenchDeviceBase};
+        eng.Run(env.cpu(), RepeatOp(load, kWarmupIters));
+        batch::Program measured = RepeatOp(load, iterations);
         m->Begin(env.cpu());
-        for (int i = 0; i < iterations; ++i) {
-          (void)env.Load(Va(kBenchDeviceBase));
-        }
+        eng.Run(env.cpu(), measured);
         m->End(env.cpu());
       };
     case MicrobenchKind::kVirtualIpi:
       return [=](GuestEnv& env) {
+        batch::BatchEngine& eng = stack->machine().batch_engine();
+        batch::Program send = RepeatOp(
+            batch::Op{.kind = batch::OpKind::kSysWrite,
+                      .enc = SysReg::kICC_SGI1R_EL1,
+                      .value = SgiR::Make(/*mask=*/0b10, kBenchSgi)},
+            1);
         auto one_ipi = [&](uint64_t seq) {
-          env.WriteSys(SysReg::kICC_SGI1R_EL1,
-                       SgiR::Make(/*mask=*/0b10, kBenchSgi));
+          eng.Run(env.cpu(), send);
           // Wait for the receiver's handler to acknowledge. Delivery ran
           // synchronously, so the flag is visible; the sender's clock must
           // still cover the receiver's handling (the rendezvous).
@@ -91,6 +107,12 @@ GuestMain MakeBenchBody(MicrobenchKind kind, ArmStack* stack, Measure* m,
     case MicrobenchKind::kVirtualEoi:
       return [=](GuestEnv& env) {
         Cpu& cpu = env.cpu();
+        batch::BatchEngine& eng = stack->machine().batch_engine();
+        batch::Program eoi = RepeatOp(
+            batch::Op{.kind = batch::OpKind::kSysWrite,
+                      .enc = SysReg::kICC_EOIR1_EL1,
+                      .value = kEoiIntid},
+            1);
         auto arm_lr = [&] {
           // Harness: hardware delivered and the guest acknowledged an
           // interrupt earlier; only the EOI is being measured (free setup).
@@ -99,12 +121,12 @@ GuestMain MakeBenchBody(MicrobenchKind kind, ArmStack* stack, Measure* m,
         };
         for (int i = 0; i < kWarmupIters; ++i) {
           arm_lr();
-          env.WriteSys(SysReg::kICC_EOIR1_EL1, kEoiIntid);
+          eng.Run(cpu, eoi);
         }
         m->Begin(cpu);
         for (int i = 0; i < iterations; ++i) {
           arm_lr();
-          env.WriteSys(SysReg::kICC_EOIR1_EL1, kEoiIntid);
+          eng.Run(cpu, eoi);
         }
         m->End(cpu);
       };
@@ -134,11 +156,20 @@ GuestMain MakeIpiReceiver() {
 // bench fans out; workers only read it.
 FaultConfig g_bench_fault;
 
+// --batch=off override; same set-once-from-main discipline as above.
+// Applied by the ArmStack constructor (the choke point every bench stack
+// passes through), not here.
+bool g_bench_batch = true;
+
 }  // namespace
 
 void SetBenchFaultCampaign(const FaultConfig& fault) {
   g_bench_fault = fault;
 }
+
+void SetBenchBatchMode(bool batch) { g_bench_batch = batch; }
+
+bool BenchBatchMode() { return g_bench_batch; }
 
 const char* MicrobenchName(MicrobenchKind kind) {
   switch (kind) {

@@ -45,6 +45,11 @@ struct StackConfig {
   // Fault-injection campaign for the machine (off by default). Benches fill
   // this from --fault-seed/--fault-rate; the chaos harness drives it.
   FaultConfig fault{};
+  // Batched superblock execution (src/sim/batch, MachineConfig::batch). On
+  // by default -- batching is the production path and byte-identical by the
+  // engine's invariant; `--batch=off` benches and the differential tests
+  // force the pure interpreter here.
+  bool batch = true;
 
   static StackConfig Vm() { return {}; }
   static StackConfig NestedV83(bool vhe) {
@@ -91,6 +96,13 @@ AttributedRun RunArmMicrobenchAttributed(MicrobenchKind kind,
 // that kills the measured VM is reported on stderr and the bench keeps
 // running -- confinement means one lost measurement, not a lost process.
 void SetBenchFaultCampaign(const FaultConfig& fault);
+
+// Process-wide batch-mode override (--batch=on|off via BatchFromArgs). When
+// off, every ArmStack the process builds forces the pure interpreter,
+// regardless of the config's batch flag; when on (the default), the config
+// decides. Set once from main() before the bench fans out.
+void SetBenchBatchMode(bool batch);
+bool BenchBatchMode();
 
 // The x86 comparison stack (Tables 1/6/7 "x86" columns): KVM x86 with VT-x,
 // Turtles-style nesting, VMCS shadowing and APICv. traps_per_op counts

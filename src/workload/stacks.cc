@@ -19,6 +19,7 @@ ArmStack::ArmStack(const StackConfig& cfg, int num_cpus)
   mc.features.neve_redirect = cfg.neve_redirect;
   mc.features.neve_cached = cfg.neve_cached;
   mc.fault = cfg.fault;
+  mc.batch = cfg.batch && BenchBatchMode();
   machine_ = std::make_unique<Machine>(mc);
   l0_ = std::make_unique<HostKvm>(machine_.get(), HostKvmConfig{});
 

@@ -1,0 +1,398 @@
+// Tests for the batched superblock execution engine (src/sim/batch):
+// block formation and memoization, generation-based invalidation on
+// trap-configuration writes, per-op fallback (single ops, fault injection,
+// watchdog, confined guest faults), and the byte-identity invariant -- a
+// batched run must leave every observation point (cycles, ArchStateDigest,
+// attribution buckets, metrics, trap counts) exactly where per-op
+// interpretation leaves it, on bare Machines, on all five paper stack
+// configurations, and under the SMP engine at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/arch/vncr.h"
+#include "src/fault/guest_fault.h"
+#include "src/sim/batch/batch.h"
+#include "src/sim/machine.h"
+#include "src/workload/microbench.h"
+#include "src/workload/stacks.h"
+
+namespace neve {
+namespace {
+
+using batch::BatchEngine;
+using batch::Op;
+using batch::OpKind;
+
+batch::Program MakeProgram(std::vector<Op> ops) {
+  batch::Program p;
+  p.ops = std::move(ops);
+  p.Finalize();
+  return p;
+}
+
+// A trap-free burst at EL2: register-file sysreg traffic plus charge-only
+// ops, the engine's bread and butter.
+batch::Program El2Burst() {
+  return MakeProgram({
+      {.kind = OpKind::kSysWrite, .enc = SysReg::kTPIDR_EL1, .value = 0x11},
+      {.kind = OpKind::kSysRead, .enc = SysReg::kTPIDR_EL1},
+      {.kind = OpKind::kCurrentEl},
+      {.kind = OpKind::kCompute, .value = 64},
+      {.kind = OpKind::kBarrier},
+      {.kind = OpKind::kSysWrite, .enc = SysReg::kVBAR_EL2, .value = 0x2000},
+      {.kind = OpKind::kSysRead, .enc = SysReg::kVBAR_EL2},
+      {.kind = OpKind::kTlbi},
+  });
+}
+
+MachineConfig TestMachineConfig(bool batch_on) {
+  MachineConfig mc;
+  mc.num_cpus = 1;
+  mc.ram_size = 64ull << 20;
+  mc.features = ArchFeatures::Armv84Neve();
+  mc.batch = batch_on;
+  return mc;
+}
+
+// --- block formation and memoization -----------------------------------------
+
+TEST(BatchEngineTest, FormsOneBlockAndServesRepeatsFromTheMemo) {
+  Machine m(TestMachineConfig(true));
+  BatchEngine& eng = m.batch_engine();
+  batch::Program p = El2Burst();
+
+  eng.Run(m.cpu(0), p);
+  EXPECT_EQ(eng.blocks_formed(), 1u);
+  EXPECT_EQ(eng.blocks_executed(), 1u);
+  EXPECT_EQ(eng.ops_batched(), p.ops.size());
+  EXPECT_EQ(eng.ops_interpreted(), 0u);
+  EXPECT_EQ(eng.memo_hits(), 0u);
+
+  eng.Run(m.cpu(0), p);
+  EXPECT_EQ(eng.blocks_formed(), 1u) << "second run must hit the memo";
+  EXPECT_EQ(eng.memo_hits(), 1u);
+  EXPECT_EQ(eng.blocks_executed(), 2u);
+}
+
+TEST(BatchEngineTest, SingleOpProgramFallsBackToTheInterpreter) {
+  Machine m(TestMachineConfig(true));
+  BatchEngine& eng = m.batch_engine();
+  batch::Program p =
+      MakeProgram({{.kind = OpKind::kSysRead, .enc = SysReg::kVBAR_EL2}});
+  eng.Run(m.cpu(0), p);
+  EXPECT_EQ(eng.blocks_formed(), 0u);
+  EXPECT_EQ(eng.blocks_executed(), 0u);
+  EXPECT_EQ(eng.ops_interpreted(), 1u);
+}
+
+TEST(BatchEngineTest, DisabledEngineNeverFormsBlocks) {
+  Machine m(TestMachineConfig(false));
+  BatchEngine& eng = m.batch_engine();
+  ASSERT_FALSE(eng.enabled());
+  batch::Program p = El2Burst();
+  batch::BlockRecord rec;
+  EXPECT_EQ(eng.TryRunBlock(m.cpu(0), p, 0, p.ops.size(), &rec), 0u);
+  eng.Run(m.cpu(0), p);
+  EXPECT_EQ(eng.blocks_formed(), 0u);
+  EXPECT_EQ(eng.ops_interpreted(), p.ops.size());
+}
+
+// --- invalidation on trap-configuration writes -------------------------------
+
+TEST(BatchEngineTest, HcrWriteInvalidatesFormedBlocks) {
+  Machine m(TestMachineConfig(true));
+  BatchEngine& eng = m.batch_engine();
+  Cpu& cpu = m.cpu(0);
+  batch::Program p = El2Burst();
+
+  eng.Run(cpu, p);
+  ASSERT_EQ(eng.blocks_formed(), 1u);
+
+  // A cycle-charged HCR_EL2 write moves the resolution-cache generation;
+  // the formed block's token is stale and the next visit must recompile.
+  cpu.SysRegWrite(SysReg::kHCR_EL2, Hcr::Make({HcrBits::kImo}));
+  eng.Run(cpu, p);
+  EXPECT_EQ(eng.stale_recompiles(), 1u);
+
+  // A simulator Poke of VNCR_EL2 must invalidate just the same (the
+  // generation machinery hangs off InvalidateResolutionsFor, which PokeReg
+  // shares with the charged path).
+  cpu.PokeReg(RegId::kVNCR_EL2, VncrEl2::Make(8ull << 20, true).bits());
+  eng.Run(cpu, p);
+  EXPECT_EQ(eng.stale_recompiles(), 2u);
+
+  // Warm-configuration return: no further recompiles once the token is
+  // stable again.
+  eng.Run(cpu, p);
+  EXPECT_EQ(eng.stale_recompiles(), 2u);
+  EXPECT_GE(eng.memo_hits(), 1u);
+}
+
+// --- wholesale per-op fallback -----------------------------------------------
+
+TEST(BatchEngineTest, FaultInjectionForcesPerOpFallback) {
+  MachineConfig mc = TestMachineConfig(true);
+  mc.fault.enabled = true;
+  mc.fault.rate = 0.0;  // armed is enough: injection points key off per-op
+  Machine m(mc);
+  BatchEngine& eng = m.batch_engine();
+  batch::Program p = El2Burst();
+  batch::BlockRecord rec;
+  EXPECT_EQ(eng.TryRunBlock(m.cpu(0), p, 0, p.ops.size(), &rec), 0u);
+  eng.Run(m.cpu(0), p);
+  EXPECT_EQ(eng.blocks_formed(), 0u);
+  EXPECT_EQ(eng.ops_interpreted(), p.ops.size());
+}
+
+TEST(BatchEngineTest, WatchdogDeadlineForcesPerOpFallback) {
+  Machine m(TestMachineConfig(true));
+  BatchEngine& eng = m.batch_engine();
+  Cpu& cpu = m.cpu(0);
+  batch::Program p = El2Burst();
+
+  cpu.SetWatchdogDeadline(1ull << 40);
+  batch::BlockRecord rec;
+  EXPECT_EQ(eng.TryRunBlock(cpu, p, 0, p.ops.size(), &rec), 0u);
+
+  cpu.SetWatchdogDeadline(0);
+  EXPECT_EQ(eng.TryRunBlock(cpu, p, 0, p.ops.size(), &rec), p.ops.size());
+}
+
+// --- confined guest fault mid-program ----------------------------------------
+
+TEST(BatchEngineTest, ConfinedGuestFaultUnwindsAndEngineStaysUsable) {
+  // The UNDEFINED access sits after a batchable burst: the burst executes
+  // as a block, the fault unwinds out of the per-op fallback mid-Run, and
+  // the engine (memo intact) keeps working afterwards -- byte-identically
+  // with a pure interpreter run of the same scenario.
+  batch::Program prog = MakeProgram({
+      {.kind = OpKind::kSysWrite, .enc = SysReg::kTPIDR_EL1, .value = 7},
+      {.kind = OpKind::kSysRead, .enc = SysReg::kTPIDR_EL1},
+      {.kind = OpKind::kCompute, .value = 32},
+      // HCR_EL2 access from EL1 with NV clear: UNDEFINED, a confined fault.
+      {.kind = OpKind::kSysRead, .enc = SysReg::kHCR_EL2},
+      {.kind = OpKind::kBarrier},
+  });
+
+  auto scenario = [&](Machine& m) -> uint64_t {
+    Cpu& cpu = m.cpu(0);
+    BatchEngine& eng = m.batch_engine();
+    uint64_t faults = 0;
+    cpu.RunLowerEl(El::kEl1, [&] {
+      try {
+        eng.Run(cpu, prog);
+        ADD_FAILURE() << "expected a GuestFaultException";
+      } catch (const GuestFaultException&) {
+        ++faults;
+      }
+    });
+    // The engine survives the unwind: a later trap-free program batches.
+    eng.Run(cpu, El2Burst());
+    return faults;
+  };
+
+  Machine batched(TestMachineConfig(true));
+  Machine interp(TestMachineConfig(false));
+  EXPECT_EQ(scenario(batched), 1u);
+  EXPECT_EQ(scenario(interp), 1u);
+  EXPECT_GE(batched.batch_engine().blocks_executed(), 2u)
+      << "the pre-fault burst and the post-fault burst must both batch";
+  EXPECT_EQ(batched.cpu(0).cycles(), interp.cpu(0).cycles());
+  EXPECT_EQ(batched.cpu(0).ArchStateDigest(), interp.cpu(0).ArchStateDigest());
+}
+
+// --- byte-identity on a bare machine -----------------------------------------
+
+std::string BucketsText(const std::vector<AttrBucket>& buckets) {
+  std::string s;
+  for (const AttrBucket& b : buckets) {
+    s += b.StackName() + "=" + std::to_string(b.cycles) + "\n";
+  }
+  return s;
+}
+
+// Metrics report with the deliberately excluded resolution-cache
+// meta-counters dropped (batched blocks never probe the cache; the cache
+// on/off oracle excludes them for the same reason).
+std::string FilteredMetrics(Machine& m) {
+  std::istringstream in(m.obs().metrics().TextReport());
+  std::string out, line;
+  while (std::getline(in, line)) {
+    if (line.find("resolve_cache") == std::string::npos) {
+      out += line + "\n";
+    }
+  }
+  return out;
+}
+
+TEST(BatchIdentityTest, BatchedRunMatchesInterpreterEverywhere) {
+  // A virtual-EL2 NEVE scenario mixing register-file traffic (plain cycles)
+  // with deferred-page traffic (VNCR cycles + redirect counters + trace
+  // events): every aggregated charge stream and per-block observability
+  // delta is exercised, then compared against per-op interpretation at
+  // every observation point.
+  batch::Program prog = MakeProgram({
+      {.kind = OpKind::kSysWrite, .enc = SysReg::kHCR_EL2, .value = 0x4A},
+      {.kind = OpKind::kSysRead, .enc = SysReg::kHCR_EL2},
+      {.kind = OpKind::kSysWrite, .enc = SysReg::kVTTBR_EL2, .value = 0xBEEF},
+      {.kind = OpKind::kSysRead, .enc = SysReg::kVTTBR_EL2},
+      {.kind = OpKind::kSysWrite, .enc = SysReg::kTPIDR_EL1, .value = 0x33},
+      {.kind = OpKind::kSysRead, .enc = SysReg::kTPIDR_EL1},
+      {.kind = OpKind::kCurrentEl},
+      {.kind = OpKind::kCompute, .value = 128},
+      {.kind = OpKind::kBarrier},
+      {.kind = OpKind::kWfi},
+  });
+
+  auto run = [&](Machine& m) -> uint64_t {
+    m.obs().set_enabled(true);
+    Cpu& cpu = m.cpu(0);
+    cpu.PokeReg(RegId::kVNCR_EL2, VncrEl2::Make(8ull << 20, true).bits());
+    cpu.PokeReg(RegId::kHCR_EL2,
+                SetBit(Hcr::Make({HcrBits::kVm, HcrBits::kImo, HcrBits::kNv}),
+                       HcrBits::kNv1));
+    uint64_t digest = 0;
+    cpu.RunLowerEl(El::kEl1, [&] {
+      digest = m.batch_engine().Run(cpu, prog);
+      // Second pass: the memoized block must replay identically.
+      digest = DigestOf(digest, m.batch_engine().Run(cpu, prog));
+    });
+    return digest;
+  };
+
+  Machine on(TestMachineConfig(true));
+  Machine off(TestMachineConfig(false));
+  uint64_t d_on = run(on);
+  uint64_t d_off = run(off);
+
+  EXPECT_GT(on.batch_engine().ops_batched(), 0u) << "blocks must have formed";
+  EXPECT_EQ(off.batch_engine().ops_batched(), 0u);
+  EXPECT_EQ(d_on, d_off) << "produced values diverged";
+  EXPECT_EQ(on.cpu(0).cycles(), off.cpu(0).cycles());
+  EXPECT_EQ(on.cpu(0).ArchStateDigest(), off.cpu(0).ArchStateDigest());
+  EXPECT_EQ(on.TotalCpuCycles(), off.TotalCpuCycles());
+  EXPECT_EQ(BucketsText(on.attr().Snapshot()),
+            BucketsText(off.attr().Snapshot()));
+  EXPECT_EQ(FilteredMetrics(on), FilteredMetrics(off));
+}
+
+TEST(BatchIdentityTest, ConservationHoldsThroughBatchedBlocks) {
+  // The aggregated charge must land in attribution buckets exactly as the
+  // per-op charges would: sum(buckets) == TotalCpuCycles at all times.
+  Machine m(TestMachineConfig(true));
+  Cpu& cpu = m.cpu(0);
+  cpu.PokeReg(RegId::kVNCR_EL2, VncrEl2::Make(8ull << 20, true).bits());
+  cpu.PokeReg(RegId::kHCR_EL2,
+              SetBit(Hcr::Make({HcrBits::kVm, HcrBits::kImo, HcrBits::kNv}),
+                     HcrBits::kNv1));
+  batch::Program prog = MakeProgram({
+      {.kind = OpKind::kSysWrite, .enc = SysReg::kHCR_EL2, .value = 1},
+      {.kind = OpKind::kSysRead, .enc = SysReg::kHCR_EL2},
+      {.kind = OpKind::kCompute, .value = 500},
+      {.kind = OpKind::kBarrier},
+  });
+  cpu.RunLowerEl(El::kEl1, [&] {
+    for (int i = 0; i < 5; ++i) {
+      m.batch_engine().Run(cpu, prog);
+    }
+  });
+  EXPECT_GT(m.batch_engine().ops_batched(), 0u);
+  EXPECT_EQ(m.attr().TotalCycles(), m.TotalCpuCycles());
+}
+
+// --- byte-identity across the paper's stack configurations -------------------
+
+struct NamedConfig {
+  const char* name;
+  StackConfig cfg;
+};
+
+const NamedConfig kConfigs[] = {
+    {"vm", StackConfig::Vm()},
+    {"nested-v83", StackConfig::NestedV83(false)},
+    {"nested-v83-vhe", StackConfig::NestedV83(true)},
+    {"nested-neve", StackConfig::NestedNeve(false)},
+    {"nested-neve-vhe", StackConfig::NestedNeve(true)},
+};
+
+constexpr MicrobenchKind kKinds[] = {
+    MicrobenchKind::kHypercall,
+    MicrobenchKind::kDeviceIo,
+    MicrobenchKind::kVirtualIpi,
+    MicrobenchKind::kVirtualEoi,
+};
+
+TEST(BatchIdentityTest, MicrobenchResultsMatchAcrossBatchModes) {
+  // Every (config, kind) cell of the golden trap-count matrix, batch on vs
+  // off: cycles, traps, attribution buckets and machine totals must be
+  // byte-identical -- the golden trap_counts.json stays valid regardless of
+  // the batch default.
+  constexpr int kIterations = 8;
+  for (const NamedConfig& c : kConfigs) {
+    for (MicrobenchKind kind : kKinds) {
+      StackConfig on_cfg = c.cfg;
+      on_cfg.batch = true;
+      StackConfig off_cfg = c.cfg;
+      off_cfg.batch = false;
+      AttributedRun on = RunArmMicrobenchAttributed(kind, on_cfg, kIterations);
+      AttributedRun off =
+          RunArmMicrobenchAttributed(kind, off_cfg, kIterations);
+      std::string where =
+          std::string(c.name) + "/" + MicrobenchName(kind);
+      EXPECT_EQ(on.result.cycles_per_op, off.result.cycles_per_op) << where;
+      EXPECT_EQ(on.result.traps_per_op, off.result.traps_per_op) << where;
+      EXPECT_EQ(on.machine_cycles, off.machine_cycles) << where;
+      EXPECT_EQ(BucketsText(on.buckets), BucketsText(off.buckets)) << where;
+    }
+  }
+}
+
+// --- SMP byte-identity -------------------------------------------------------
+
+struct SmpObservation {
+  uint64_t traps = 0;
+  std::vector<uint64_t> cycles;
+  std::vector<uint64_t> digests;
+
+  bool operator==(const SmpObservation&) const = default;
+};
+
+SmpObservation RunRendezvous(bool batch_on, int threads) {
+  constexpr int kVcpus = 4;
+  StackConfig cfg = StackConfig::NestedNeve(true);
+  cfg.batch = batch_on;
+  ArmStack stack(cfg, kVcpus);
+  std::vector<GuestMain> bodies;
+  for (int k = 0; k < kVcpus; ++k) {
+    bodies.push_back(stack.MakeIpiRendezvous(k, kVcpus, /*rounds=*/4));
+  }
+  for (const Status& s : stack.RunSmp(std::move(bodies), threads)) {
+    EXPECT_TRUE(s.ok()) << s.message();
+  }
+  SmpObservation obs;
+  obs.traps = stack.TotalTrapsToHost();
+  for (int k = 0; k < kVcpus; ++k) {
+    obs.cycles.push_back(stack.machine().cpu(k).cycles());
+    obs.digests.push_back(stack.machine().cpu(k).ArchStateDigest());
+  }
+  return obs;
+}
+
+TEST(BatchIdentityTest, SmpRendezvousIdenticalAcrossBatchModesAndThreads) {
+  // The engine's per-CPU shards must keep SMP lanes lock-free and
+  // deterministic: batch on/off at --threads=1/2/8 all produce the same
+  // traps, per-CPU cycles and per-CPU architectural state.
+  SmpObservation base = RunRendezvous(/*batch_on=*/false, /*threads=*/1);
+  for (bool batch_on : {false, true}) {
+    for (int threads : {1, 2, 8}) {
+      SmpObservation obs = RunRendezvous(batch_on, threads);
+      EXPECT_EQ(obs, base) << "batch=" << batch_on << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace neve

@@ -128,6 +128,19 @@ TEST(ProgramTest, SnapRestoreBitDecodesOnlyForNestedNonSmpNonFault) {
   EXPECT_EQ(inert.cfg.snap_at, 0);
 }
 
+TEST(ProgramTest, BatchBitDecodesForNonFaultCases) {
+  // Header bit 6 arms the batched-execution dimension: the case runs each
+  // architecture once more with the superblock engine enabled, under the
+  // full-identity oracle. Inert when fault injection is armed (the engine
+  // falls back per-op wholesale there, so the pair would compare the
+  // interpreter against itself).
+  EXPECT_TRUE(DecodeProgram({0x40}).cfg.batch);
+  EXPECT_TRUE(DecodeProgram({0x41}).cfg.batch);   // nested too
+  EXPECT_TRUE(DecodeProgram({0x50}).cfg.batch);   // SMP too
+  EXPECT_FALSE(DecodeProgram({0x00}).cfg.batch);  // bit clear
+  EXPECT_FALSE(DecodeProgram({0x44}).cfg.batch);  // fault armed
+}
+
 TEST(ProgramTest, WritePolicyKeepsTheStackRunnable) {
   // Stage-1 must stay off (guests premap their address spaces), VNCR must
   // not move out from under the host, HCR only flips through the masked op,
@@ -236,6 +249,55 @@ TEST(HarnessTest, CacheSettingNeverChangesTheFullDigest) {
     CaseResult r = RunCase(bytes);
     EXPECT_TRUE(r.ok) << "trial " << trial << ": " << r.failure;
   }
+}
+
+TEST(HarnessTest, BatchedRunReproducesTheInterpretedRun) {
+  // The payload of tests/corpus/cov-batch00.seed: a mode-A virtual-EL2
+  // program whose CurrentEL/barrier/compute bursts the superblock engine
+  // batches, with El2-pool sysreg accesses and an HCR flip mid-stream (a
+  // formed block must be invalidated by the generation bump). The batched
+  // pair must be byte-identical to the interpreted run.
+  std::vector<uint8_t> bytes = {0x40, 0x0f, 0x00, 0x0f, 0x02, 0x0f, 0x04,
+                                0x07, 0x0f, 0x01, 0x0f, 0x03, 0x0f, 0x00,
+                                0x0f, 0x04, 0x0f, 0x0f, 0x02, 0x00, 0x00,
+                                0x05, 0x00, 0x00, 0x00, 0x09, 0x00, 0x05,
+                                0x00, 0x0c, 0x00, 0x03, 0x0a, 0x09, 0x0f,
+                                0x00, 0x0f, 0x02, 0x0f, 0x04, 0x07, 0x0f,
+                                0x01};
+  Program p = DecodeProgram(bytes);
+  ASSERT_TRUE(p.cfg.batch);
+  ASSERT_FALSE(p.cfg.nested);
+  ASSERT_EQ(p.ops.size(), 16u);
+
+  CaseResult r = RunCase(bytes);
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(r.execs, 6u);  // 4-variant matrix + one batched run per arch
+
+  RunResult interp = RunProgramVariant(p, VariantSpec{.neve = true});
+  RunResult batched =
+      RunProgramVariant(p, VariantSpec{.neve = true, .batch = true});
+  EXPECT_EQ(interp.full_digest, batched.full_digest);
+  EXPECT_EQ(interp.arch_digest, batched.arch_digest);
+  EXPECT_EQ(interp.end_cycles, batched.end_cycles);
+  EXPECT_EQ(interp.traps, batched.traps);
+  EXPECT_EQ(interp.ops_executed, batched.ops_executed);
+}
+
+TEST(HarnessTest, BatchedNestedRunReproducesTheInterpretedRun) {
+  // The payload of tests/corpus/cov-batch01.seed: mode B, batchable bursts
+  // plus El1-pool reads under the full nested stack.
+  std::vector<uint8_t> bytes = {0x41, 0x0f, 0x00, 0x0f, 0x02, 0x0f, 0x04,
+                                0x07, 0x00, 0x70, 0x03, 0x00, 0x00, 0x70,
+                                0x07, 0x00, 0x0f, 0x00, 0x0f, 0x04, 0x0f,
+                                0x0f, 0x02, 0x0f, 0x01, 0x0f, 0x00, 0x0f,
+                                0x02, 0x0f, 0x04, 0x07};
+  Program p = DecodeProgram(bytes);
+  ASSERT_TRUE(p.cfg.batch);
+  ASSERT_TRUE(p.cfg.nested);
+
+  CaseResult r = RunCase(bytes);
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(r.execs, 6u);
 }
 
 TEST(HarnessTest, SnapRestoreSplitReproducesTheUninterruptedRun) {

@@ -385,6 +385,66 @@ TEST(SrcLintTest, CommentedEntropyMentionInFuzzDirIsIgnored) {
                   .empty());
 }
 
+// --- batch-bypass ------------------------------------------------------------
+
+TEST(SrcLintTest, UnjustifiedChargeInBatchLayerIsFlagged) {
+  std::vector<Diagnostic> d = Lint("src/sim/batch/batch.cc",
+                                   "void Execute(Cpu& cpu) {\n"
+                                   "  cpu.Charge(kOpCost);\n"
+                                   "}\n");
+  const Diagnostic* diag = Find(d, "batch-bypass");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->file, "src/sim/batch/batch.cc");
+  EXPECT_EQ(diag->line, 2);
+}
+
+TEST(SrcLintTest, UnjustifiedCounterAndInstantAreFlagged) {
+  std::vector<Diagnostic> d =
+      Lint("src/sim/batch/batch.cc",
+           "obs->metrics().Counter(\"cpu.vncr_redirects\").Add(1);\n"
+           "obs->tracer().Instant(0, \"vncr\", name, cycles);\n");
+  size_t findings = 0;
+  for (const Diagnostic& diag : d) {
+    findings += diag.check == "batch-bypass" ? 1 : 0;
+  }
+  EXPECT_EQ(findings, 2u);
+}
+
+TEST(SrcLintTest, BlockDeltaMarkerJustifiesABatchCharge) {
+  std::vector<Diagnostic> d =
+      Lint("src/sim/batch/batch.cc",
+           "cpu.Charge(chunk);  // block-delta: aggregated apply site\n");
+  EXPECT_EQ(Find(d, "batch-bypass"), nullptr);
+}
+
+TEST(SrcLintTest, UnbatchedMarkerWithinTwoLinesAboveJustifies) {
+  std::vector<Diagnostic> d =
+      Lint("src/sim/batch/batch.cc",
+           "// unbatched: the per-op fallback is the interpreter,\n"
+           "// charge-per-op by definition\n"
+           "obs->metrics().Counter(\"cpu.traps\").Add(1);\n");
+  EXPECT_EQ(Find(d, "batch-bypass"), nullptr);
+}
+
+TEST(SrcLintTest, BatchMarkerThreeLinesAboveDoesNotJustify) {
+  std::vector<Diagnostic> d =
+      Lint("src/sim/batch/batch.cc",
+           "// block-delta: too far away to cover the call below\n"
+           "//\n"
+           "//\n"
+           "cpu.Charge(chunk);\n");
+  const Diagnostic* diag = Find(d, "batch-bypass");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->line, 4);
+}
+
+TEST(SrcLintTest, ChargeOutsideBatchLayerIsNotThisRulesBusiness) {
+  // Other layers charge per-op by design; only src/sim/batch carries the
+  // aggregated-charge contract.
+  std::vector<Diagnostic> d = Lint("src/cpu/cpu.cc", "Charge(kOpCost);\n");
+  EXPECT_EQ(Find(d, "batch-bypass"), nullptr);
+}
+
 // --- comment / string-literal stripping --------------------------------------
 
 TEST(SrcLintTest, StripCommentsBlanksLineAndBlockComments) {

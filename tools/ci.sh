@@ -10,8 +10,10 @@
 #                          at --threads=8, plus a --threads byte-identity
 #                          check on the bench output
 #   tools/ci.sh tidy       clang-tidy over src/ (skipped when not installed)
-#   tools/ci.sh smoke      simcore_gbench smoke (BENCH_simcore.json) + cached
-#                          vs uncached archlint matrix-dump byte comparison
+#   tools/ci.sh smoke      simcore_gbench smoke (BENCH_simcore.json), the
+#                          guest-ops/sec perf ratchet (tools/perf_ratchet.txt)
+#                          and the cached vs uncached archlint matrix-dump
+#                          byte comparison
 #   tools/ci.sh chaos      extended fault-injection sweep (tools/chaos.sh)
 #                          against the asan and ubsan builds
 #   tools/ci.sh migrate    seeded migration chaos campaigns (the six
@@ -20,7 +22,9 @@
 #                          and asan builds, plus the downtime bench's JSON
 #                          through bench_json_check
 #   tools/ci.sh fuzz       stackfuzz campaign: 10k-run differential sweep on
-#                          the Release build + regression corpus replay
+#                          the Release build (every oracle dimension,
+#                          including the batch-on/off byte-identity pairs on
+#                          header-bit-64 cases) + regression corpus replay
 #   tools/ci.sh coverage   line-coverage build + per-directory ratchet floors
 #                          (tools/coverage.sh, tools/coverage_ratchet.txt)
 #
@@ -124,12 +128,15 @@ run_tsan() {
 
 # Perf + serialization smoke on the Release build: run the simulator-core
 # microbenchmarks into BENCH_simcore.json, validate the JSON with the
-# from-scratch checker, and prove the resolution fast-path cache is
-# behaviour-preserving by byte-comparing archlint's full resolution matrix
-# dumped with the cache on and off.
+# from-scratch checker, enforce the guest-ops/sec floors against the batch
+# engine (tools/perf_ratchet.txt; two extra GuestOpsBurst-only runs make the
+# check best-of-3 so one noisy run can't flake it), and prove the resolution
+# fast-path cache is behaviour-preserving by byte-comparing archlint's full
+# resolution matrix dumped with the cache on and off.
 run_smoke() {
   local build_dir="$ROOT/build-ci-release"
-  if [[ ! -x "$build_dir/bench/simcore_gbench" ]]; then
+  if [[ ! -x "$build_dir/bench/simcore_gbench" ||
+        ! -x "$build_dir/tools/perf_ratchet" ]]; then
     echo "==> [smoke] configure + build (Release)"
     cmake -B "$build_dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
     cmake --build "$build_dir" -j "$JOBS" >/dev/null
@@ -138,10 +145,17 @@ run_smoke() {
   "$build_dir/bench/simcore_gbench" --json="$ROOT/BENCH_simcore.json" \
     >/dev/null
   "$build_dir/tools/bench_json_check" "$ROOT/BENCH_simcore.json"
-  echo "==> [smoke] archlint --dump-matrix: cached vs uncached"
   local tmp
   tmp="$(mktemp -d)"
   trap 'rm -rf "$tmp"; trap - RETURN' RETURN
+  echo "==> [smoke] guest-ops/sec perf ratchet (best-of-3)"
+  "$build_dir/bench/simcore_gbench" --benchmark_filter=GuestOpsBurst \
+    --json="$tmp/ratchet1.json" >/dev/null
+  "$build_dir/bench/simcore_gbench" --benchmark_filter=GuestOpsBurst \
+    --json="$tmp/ratchet2.json" >/dev/null
+  "$build_dir/tools/perf_ratchet" "$ROOT/tools/perf_ratchet.txt" \
+    "$ROOT/BENCH_simcore.json" "$tmp/ratchet1.json" "$tmp/ratchet2.json"
+  echo "==> [smoke] archlint --dump-matrix: cached vs uncached"
   "$build_dir/tools/archlint" --dump-matrix -o "$tmp/uncached.csv"
   "$build_dir/tools/archlint" --dump-matrix --cached -o "$tmp/cached.csv"
   cmp "$tmp/uncached.csv" "$tmp/cached.csv"
